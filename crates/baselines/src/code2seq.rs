@@ -1,0 +1,232 @@
+//! The code2seq baseline (Alon et al. [2]).
+//!
+//! The state-of-the-art *static* model the paper compares against
+//! (Table 2). Like code2vec it consumes AST path contexts, but terminals
+//! are decomposed into sub-tokens (summed embeddings), paths are encoded
+//! by an RNN over node types, and the method name is *generated* as a
+//! sub-token sequence by an attentive decoder — we reuse LIGER's decoder
+//! head over code2seq's context memory.
+
+use crate::pathctx::{extract_path_contexts, PathConfig, PathContext};
+use liger::{EncoderOutput, NameDecoder, TokenId, Vocab};
+use minilang::Program;
+use nn::{Embedding, Linear, RnnCell};
+use rand::Rng;
+use tensor::{Graph, ParamStore, Tensor, VarId};
+
+/// A program as code2seq sees it: per context, the sub-token ids of both
+/// terminals and the node-type token sequence of the path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Code2SeqInput {
+    /// Per-context (left sub-tokens, path node-type tokens, right
+    /// sub-tokens).
+    pub contexts: Vec<(Vec<TokenId>, Vec<TokenId>, Vec<TokenId>)>,
+}
+
+/// Resolves path contexts against the sub-token and node-type vocabularies.
+pub fn code2seq_input(
+    contexts: &[PathContext],
+    subtoken_vocab: &Vocab,
+    node_vocab: &Vocab,
+) -> Code2SeqInput {
+    Code2SeqInput {
+        contexts: contexts
+            .iter()
+            .map(|c| {
+                let l = minilang::subtokens(&c.left)
+                    .iter()
+                    .map(|t| subtoken_vocab.get(t))
+                    .collect();
+                let p = c.path.iter().map(|n| node_vocab.get(n)).collect();
+                let r = minilang::subtokens(&c.right)
+                    .iter()
+                    .map(|t| subtoken_vocab.get(t))
+                    .collect();
+                (l, p, r)
+            })
+            .collect(),
+    }
+}
+
+/// Adds a program's context sub-tokens and node types to growing
+/// vocabularies; returns the contexts for reuse.
+pub fn code2seq_vocabs(
+    program: &Program,
+    config: &PathConfig,
+    subtoken_vocab: &mut Vocab,
+    node_vocab: &mut Vocab,
+) -> Vec<PathContext> {
+    let contexts = extract_path_contexts(program, config);
+    for c in &contexts {
+        for t in minilang::subtokens(&c.left).iter().chain(minilang::subtokens(&c.right).iter()) {
+            subtoken_vocab.add(t);
+        }
+        for n in &c.path {
+            node_vocab.add(n);
+        }
+    }
+    contexts
+}
+
+/// The code2seq encoder plus LIGER-style attentive decoder.
+#[derive(Debug, Clone, Copy)]
+pub struct Code2Seq {
+    sub_emb: Embedding,
+    node_emb: Embedding,
+    path_rnn: RnnCell,
+    proj: Linear,
+    /// The sub-token decoder (shared head architecture with LIGER).
+    pub decoder: NameDecoder,
+    hidden: usize,
+}
+
+impl Code2Seq {
+    /// Registers all parameters.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        subtoken_vocab: usize,
+        node_vocab: usize,
+        out_vocab: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Code2Seq {
+        Code2Seq {
+            sub_emb: Embedding::new(store, "c2s.sub", subtoken_vocab, hidden, rng),
+            node_emb: Embedding::new(store, "c2s.node", node_vocab, hidden, rng),
+            path_rnn: RnnCell::new(store, "c2s.path", hidden, hidden, rng),
+            proj: Linear::new(store, "c2s.proj", 3 * hidden, hidden, rng),
+            decoder: NameDecoder::new(store, out_vocab, hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    fn terminal_vec(&self, g: &mut Graph, store: &ParamStore, subs: &[TokenId]) -> VarId {
+        if subs.is_empty() {
+            return g.input(Tensor::zeros(self.hidden, 1));
+        }
+        let embs = self.sub_emb.lookup_seq(g, store, subs);
+        if embs.len() == 1 {
+            embs[0]
+        } else {
+            g.sum_vecs(&embs)
+        }
+    }
+
+    /// Encodes the program into a decoder-ready memory (one vector per
+    /// path context; the "program embedding" is their mean).
+    pub fn encode(&self, g: &mut Graph, store: &ParamStore, input: &Code2SeqInput) -> EncoderOutput {
+        let combined: Vec<VarId> = input
+            .contexts
+            .iter()
+            .map(|(l, p, r)| {
+                let lv = self.terminal_vec(g, store, l);
+                let pv = {
+                    let embs = self.node_emb.lookup_seq(g, store, p);
+                    self.path_rnn.encode(g, store, &embs)
+                };
+                let rv = self.terminal_vec(g, store, r);
+                let cat = g.concat(&[lv, pv, rv]);
+                let proj = self.proj.forward(g, store, cat);
+                g.tanh(proj)
+            })
+            .collect();
+        let program = if combined.is_empty() {
+            g.input(Tensor::zeros(self.hidden, 1))
+        } else {
+            let sum = g.sum_vecs(&combined);
+            g.scale(sum, 1.0 / combined.len() as f32)
+        };
+        EncoderOutput { program, flow: vec![combined], static_attention: Vec::new() }
+    }
+
+    /// Teacher-forced training loss for a target sub-token sequence.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        input: &Code2SeqInput,
+        target: &[TokenId],
+    ) -> VarId {
+        let enc = self.encode(g, store, input);
+        self.decoder.loss(g, store, &enc, target)
+    }
+
+    /// Greedy name prediction (sub-token ids, no `<EOS>`).
+    pub fn predict(&self, store: &ParamStore, input: &Code2SeqInput, max_len: usize) -> Vec<TokenId> {
+        let mut g = Graph::new();
+        let enc = self.encode(&mut g, store, input);
+        self.decoder.greedy(&mut g, store, &enc, max_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liger::{OutVocab, EOS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Vocab, Vocab, OutVocab, Code2SeqInput, Code2SeqInput) {
+        let p1 = minilang::parse(
+            "fn sumArr(a: array<int>) -> int { let s: int = 0; s += a[0]; return s; }",
+        )
+        .unwrap();
+        let p2 = minilang::parse(
+            "fn firstNeg(a: array<int>) -> bool { if (a[0] < 0) { return true; } return false; }",
+        )
+        .unwrap();
+        let mut sv = Vocab::new();
+        let mut nv = Vocab::new();
+        let config = PathConfig::default();
+        let c1 = code2seq_vocabs(&p1, &config, &mut sv, &mut nv);
+        let c2 = code2seq_vocabs(&p2, &config, &mut sv, &mut nv);
+        let mut ov = OutVocab::new();
+        for t in ["sum", "arr", "first", "neg"] {
+            ov.add(t);
+        }
+        let i1 = code2seq_input(&c1, &sv, &nv);
+        let i2 = code2seq_input(&c2, &sv, &nv);
+        (sv, nv, ov, i1, i2)
+    }
+
+    #[test]
+    fn learns_two_names() {
+        let (sv, nv, ov, i1, i2) = setup();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        let model = Code2Seq::new(&mut store, sv.len(), nv.len(), ov.len(), 8, &mut rng);
+        let t1 = ov.encode_name("sumArr");
+        let t2 = ov.encode_name("firstNeg");
+        let mut adam = nn::Adam::new(0.02);
+        for _ in 0..60 {
+            for (input, target) in [(&i1, &t1), (&i2, &t2)] {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, &store, input, target);
+                g.backward(loss, &mut store);
+                adam.step(&mut store);
+            }
+        }
+        assert_eq!(ov.decode_name(&model.predict(&store, &i1, 4)), vec!["sum", "arr"]);
+        assert_eq!(ov.decode_name(&model.predict(&store, &i2, 4)), vec!["first", "neg"]);
+        let _ = EOS;
+    }
+
+    #[test]
+    fn empty_input_is_not_fatal() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(34);
+        let model = Code2Seq::new(&mut store, 4, 4, 6, 8, &mut rng);
+        let ids = model.predict(&store, &Code2SeqInput::default(), 3);
+        assert!(ids.len() <= 3);
+    }
+
+    #[test]
+    fn subtokens_are_decomposed_in_input() {
+        let (sv, nv, _, i1, _) = setup();
+        let _ = nv;
+        // "sumArr" is the name (excluded); but identifiers like `a`/`s`
+        // appear as single subtokens.
+        assert!(i1.contexts.iter().any(|(l, _, r)| !l.is_empty() || !r.is_empty()));
+        assert!(sv.contains("a"));
+    }
+}

@@ -1,0 +1,194 @@
+//! The code2vec baseline (Alon et al. [3]).
+//!
+//! A purely static model: embeds a bag of AST path contexts, attends over
+//! them with a global attention vector, and predicts the *whole method
+//! name* as a single label from a closed name vocabulary — which is why
+//! the paper finds its predictions amount to "a keywords mining process".
+
+use crate::pathctx::{extract_path_contexts, PathConfig, PathContext};
+use liger::{TokenId, Vocab};
+use minilang::Program;
+use nn::{Embedding, Linear};
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, VarId};
+
+/// A program as code2vec sees it: vocabulary-resolved path contexts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Code2VecInput {
+    /// Triples (left terminal, path, right terminal).
+    pub contexts: Vec<(TokenId, TokenId, TokenId)>,
+}
+
+/// Resolves extracted path contexts against vocabularies.
+pub fn code2vec_input(
+    contexts: &[PathContext],
+    term_vocab: &Vocab,
+    path_vocab: &Vocab,
+) -> Code2VecInput {
+    Code2VecInput {
+        contexts: contexts
+            .iter()
+            .map(|c| (term_vocab.get(&c.left), path_vocab.get(&c.path_key()), term_vocab.get(&c.right)))
+            .collect(),
+    }
+}
+
+/// Adds a program's context tokens to growing vocabularies; returns the
+/// extracted contexts for reuse.
+pub fn contexts_into_vocabs(
+    program: &Program,
+    config: &PathConfig,
+    term_vocab: &mut Vocab,
+    path_vocab: &mut Vocab,
+) -> Vec<PathContext> {
+    let contexts = extract_path_contexts(program, config);
+    for c in &contexts {
+        term_vocab.add(&c.left);
+        term_vocab.add(&c.right);
+        path_vocab.add(&c.path_key());
+    }
+    contexts
+}
+
+/// The code2vec model.
+#[derive(Debug, Clone, Copy)]
+pub struct Code2Vec {
+    term_emb: Embedding,
+    path_emb: Embedding,
+    proj: Linear,
+    attn: ParamId,
+    out: Linear,
+    /// Number of name labels.
+    pub num_labels: usize,
+}
+
+impl Code2Vec {
+    /// Registers all parameters.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        term_vocab: usize,
+        path_vocab: usize,
+        num_labels: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Code2Vec {
+        Code2Vec {
+            term_emb: Embedding::new(store, "c2v.term", term_vocab, hidden, rng),
+            path_emb: Embedding::new(store, "c2v.path", path_vocab, hidden, rng),
+            proj: Linear::new(store, "c2v.proj", 3 * hidden, hidden, rng),
+            attn: store.add_xavier("c2v.attn", hidden, 1, rng),
+            out: Linear::new(store, "c2v.out", hidden, num_labels, rng),
+            num_labels,
+        }
+    }
+
+    /// The attention-pooled code vector of a program.
+    pub fn code_vector(&self, g: &mut Graph, store: &ParamStore, input: &Code2VecInput) -> VarId {
+        if input.contexts.is_empty() {
+            let h = store.get(self.attn).value.rows();
+            return g.input(tensor::Tensor::zeros(h, 1));
+        }
+        let combined: Vec<VarId> = input
+            .contexts
+            .iter()
+            .map(|&(l, p, r)| {
+                let le = self.term_emb.lookup(g, store, l);
+                let pe = self.path_emb.lookup(g, store, p);
+                let re = self.term_emb.lookup(g, store, r);
+                let cat = g.concat(&[le, pe, re]);
+                let proj = self.proj.forward(g, store, cat);
+                g.tanh(proj)
+            })
+            .collect();
+        let attn = g.param(store, self.attn);
+        let scores: Vec<VarId> = combined.iter().map(|&c| g.dot(c, attn)).collect();
+        let stacked = g.stack_scalars(&scores);
+        let weights = g.softmax(stacked);
+        g.weighted_sum(&combined, weights)
+    }
+
+    /// Training loss: cross-entropy of the whole-name label.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `label >= num_labels`.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        input: &Code2VecInput,
+        label: usize,
+    ) -> VarId {
+        assert!(label < self.num_labels);
+        let v = self.code_vector(g, store, input);
+        let logits = self.out.forward(g, store, v);
+        g.cross_entropy(logits, label)
+    }
+
+    /// Predicts the name label.
+    pub fn predict(&self, store: &ParamStore, input: &Code2VecInput) -> usize {
+        let mut g = Graph::new();
+        let v = self.code_vector(&mut g, store, input);
+        let logits = self.out.forward(&mut g, store, v);
+        liger::argmax(g.value(logits).data())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inputs() -> (Vocab, Vocab, Code2VecInput, Code2VecInput) {
+        let p1 = minilang::parse("fn sumArr(a: array<int>) -> int { let s: int = 0; for (let i: int = 0; i < len(a); i += 1) { s += a[i]; } return s; }").unwrap();
+        let p2 = minilang::parse("fn maxArr(a: array<int>) -> int { let m: int = a[0]; for (let i: int = 1; i < len(a); i += 1) { m = max(m, a[i]); } return m; }").unwrap();
+        let mut tv = Vocab::new();
+        let mut pv = Vocab::new();
+        let config = PathConfig::default();
+        let c1 = contexts_into_vocabs(&p1, &config, &mut tv, &mut pv);
+        let c2 = contexts_into_vocabs(&p2, &config, &mut tv, &mut pv);
+        let i1 = code2vec_input(&c1, &tv, &pv);
+        let i2 = code2vec_input(&c2, &tv, &pv);
+        (tv, pv, i1, i2)
+    }
+
+    #[test]
+    fn learns_to_separate_two_programs() {
+        let (tv, pv, i1, i2) = inputs();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(30);
+        let model = Code2Vec::new(&mut store, tv.len(), pv.len(), 2, 8, &mut rng);
+        let mut adam = nn::Adam::new(0.02);
+        for _ in 0..40 {
+            for (input, label) in [(&i1, 0usize), (&i2, 1usize)] {
+                let mut g = Graph::new();
+                let loss = model.loss(&mut g, &store, input, label);
+                g.backward(loss, &mut store);
+                adam.step(&mut store);
+            }
+        }
+        assert_eq!(model.predict(&store, &i1), 0);
+        assert_eq!(model.predict(&store, &i2), 1);
+    }
+
+    #[test]
+    fn empty_input_predicts_without_panicking() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let model = Code2Vec::new(&mut store, 5, 5, 3, 8, &mut rng);
+        let _ = model.predict(&store, &Code2VecInput::default());
+    }
+
+    #[test]
+    fn gradients_reach_embeddings() {
+        let (tv, pv, i1, _) = inputs();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(32);
+        let model = Code2Vec::new(&mut store, tv.len(), pv.len(), 2, 8, &mut rng);
+        let mut g = Graph::new();
+        let loss = model.loss(&mut g, &store, &i1, 0);
+        g.backward(loss, &mut store);
+        assert!(store.grad_norm() > 0.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! The DYPRO baseline (Wang [26]).
+//!
+//! The state-of-the-art *dynamic* model of the paper's comparison: it
+//! "learns from pure execution traces" — each concrete trace is embedded
+//! separately (no symbolic feature dimension, no per-path grouping) and
+//! the trace embeddings are pooled into the program embedding. Per §6.1
+//! "we feed the variable names together with their values for DYPRO to
+//! embed execution traces".
+
+use liger::{EncVar, EncoderOutput, NameDecoder, TokenId, Vocab};
+use minilang::Program;
+use nn::{Embedding, Linear, RnnCell};
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+use trace::{encode_state, BlendedTrace, VarEncoding};
+
+/// One program state as DYPRO sees it: (variable name, value) pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DyproState {
+    /// Per variable: the name's token and the value's encoding.
+    pub vars: Vec<(TokenId, EncVar)>,
+}
+
+/// One concrete execution: its sequence of states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DyproTrace {
+    /// The states in execution order.
+    pub states: Vec<DyproState>,
+}
+
+/// A program as DYPRO sees it: a flat set of concrete traces.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DyproProgram {
+    /// The concrete traces (ungrouped).
+    pub traces: Vec<DyproTrace>,
+}
+
+impl DyproProgram {
+    /// Keeps only the first `n` traces (down-sampling experiments).
+    pub fn with_trace_limit(&self, n: usize) -> DyproProgram {
+        DyproProgram { traces: self.traces.iter().take(n.max(1)).cloned().collect() }
+    }
+}
+
+/// Bounds on DYPRO's inputs (compute control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DyproOptions {
+    /// Maximum states kept per concrete trace.
+    pub max_steps: usize,
+    /// Maximum concrete traces kept per program.
+    pub max_traces: usize,
+}
+
+impl Default for DyproOptions {
+    fn default() -> Self {
+        DyproOptions { max_steps: 40, max_traces: 20 }
+    }
+}
+
+fn encode_var(enc: &VarEncoding, vocab: &Vocab) -> EncVar {
+    match enc {
+        VarEncoding::Primitive(t) => EncVar::Primitive(vocab.get(t)),
+        VarEncoding::Object(ts) => EncVar::Object(ts.iter().map(|t| vocab.get(t)).collect()),
+    }
+}
+
+/// Builds DYPRO's input from the same blended traces LIGER consumes: the
+/// grouping is flattened back into individual concrete executions, and
+/// variable names are attached from the program's layout.
+pub fn dypro_input(
+    program: &Program,
+    blended: &[BlendedTrace],
+    vocab: &Vocab,
+    opts: &DyproOptions,
+) -> DyproProgram {
+    let layout = interp::VarLayout::of(program);
+    let name_tokens: Vec<TokenId> = layout.names.iter().map(|n| vocab.get(n)).collect();
+    let mut traces = Vec::new();
+    'outer: for b in blended {
+        for k in 0..b.concrete_count {
+            if traces.len() >= opts.max_traces {
+                break 'outer;
+            }
+            let skip = b.steps.len().saturating_sub(opts.max_steps);
+            let states = b
+                .steps
+                .iter()
+                .skip(skip)
+                .map(|step| DyproState {
+                    vars: encode_state(&step.states[k])
+                        .iter()
+                        .zip(&name_tokens)
+                        .map(|(v, &n)| (n, encode_var(v, vocab)))
+                        .collect(),
+                })
+                .collect();
+            traces.push(DyproTrace { states });
+        }
+    }
+    DyproProgram { traces }
+}
+
+/// Adds the variable names of a program to a growing vocabulary (values
+/// are already added by `liger::program_into_vocab`).
+pub fn names_into_vocab(program: &Program, vocab: &mut Vocab) {
+    for name in interp::VarLayout::of(program).names {
+        vocab.add(&name);
+    }
+}
+
+/// The DYPRO encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct Dypro {
+    emb: Embedding,
+    value_rnn: RnnCell,
+    state_rnn: RnnCell,
+    trace_rnn: RnnCell,
+    hidden: usize,
+}
+
+impl Dypro {
+    /// Registers all encoder parameters.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        vocab_size: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> Dypro {
+        Dypro {
+            emb: Embedding::new(store, "dypro.emb", vocab_size, hidden, rng),
+            value_rnn: RnnCell::new(store, "dypro.value", hidden, hidden, rng),
+            state_rnn: RnnCell::new(store, "dypro.state", hidden, hidden, rng),
+            trace_rnn: RnnCell::new(store, "dypro.trace", hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    fn embed_state(&self, g: &mut Graph, store: &ParamStore, state: &DyproState) -> VarId {
+        let var_vecs: Vec<VarId> = state
+            .vars
+            .iter()
+            .map(|(name, value)| {
+                // Name and value tokens run through the value RNN together.
+                let mut seq = vec![self.emb.lookup(g, store, *name)];
+                match value {
+                    EncVar::Primitive(t) => seq.push(self.emb.lookup(g, store, *t)),
+                    EncVar::Object(ts) => seq.extend(self.emb.lookup_seq(g, store, ts)),
+                }
+                self.value_rnn.encode(g, store, &seq)
+            })
+            .collect();
+        self.state_rnn.encode(g, store, &var_vecs)
+    }
+
+    /// Encodes a program: each concrete trace separately, max-pooled into
+    /// the program embedding.
+    pub fn encode(&self, g: &mut Graph, store: &ParamStore, prog: &DyproProgram) -> EncoderOutput {
+        let mut flow = Vec::new();
+        let mut finals = Vec::new();
+        for trace in &prog.traces {
+            if trace.states.is_empty() {
+                continue;
+            }
+            let state_vecs: Vec<VarId> =
+                trace.states.iter().map(|s| self.embed_state(g, store, s)).collect();
+            let hs = self.trace_rnn.run(g, store, &state_vecs);
+            finals.push(*hs.last().expect("non-empty trace"));
+            flow.push(hs);
+        }
+        let program = if finals.is_empty() {
+            g.input(Tensor::zeros(self.hidden, 1))
+        } else {
+            g.max_pool(&finals)
+        };
+        EncoderOutput { program, flow, static_attention: Vec::new() }
+    }
+}
+
+/// DYPRO with the method-name decoder head.
+#[derive(Debug, Clone, Copy)]
+pub struct DyproNamer {
+    /// The encoder.
+    pub model: Dypro,
+    /// The decoder (same head architecture as LIGER's).
+    pub decoder: NameDecoder,
+}
+
+impl DyproNamer {
+    /// Registers encoder and decoder parameters.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        vocab_size: usize,
+        out_vocab_size: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> DyproNamer {
+        DyproNamer {
+            model: Dypro::new(store, vocab_size, hidden, rng),
+            decoder: NameDecoder::new(store, out_vocab_size, hidden, hidden, rng),
+        }
+    }
+
+    /// Teacher-forced loss.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        prog: &DyproProgram,
+        target: &[TokenId],
+    ) -> VarId {
+        let enc = self.model.encode(g, store, prog);
+        self.decoder.loss(g, store, &enc, target)
+    }
+
+    /// Greedy name prediction.
+    pub fn predict(&self, store: &ParamStore, prog: &DyproProgram, max_len: usize) -> Vec<TokenId> {
+        let mut g = Graph::new();
+        let enc = self.model.encode(&mut g, store, prog);
+        self.decoder.greedy(&mut g, store, &enc, max_len)
+    }
+}
+
+/// DYPRO with a classification head (§6.2's baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct DyproClassifier {
+    /// The encoder.
+    pub model: Dypro,
+    head: Linear,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl DyproClassifier {
+    /// Registers encoder and head parameters.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        vocab_size: usize,
+        num_classes: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> DyproClassifier {
+        DyproClassifier {
+            model: Dypro::new(store, vocab_size, hidden, rng),
+            head: Linear::new(store, "dypro.head", hidden, num_classes, rng),
+            num_classes,
+        }
+    }
+
+    /// All head parameters (encoder params live in the store regardless).
+    pub fn head_params(&self) -> Vec<ParamId> {
+        vec![self.head.w, self.head.b]
+    }
+
+    /// Cross-entropy loss against `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `label >= num_classes`.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        prog: &DyproProgram,
+        label: usize,
+    ) -> VarId {
+        assert!(label < self.num_classes);
+        let enc = self.model.encode(g, store, prog);
+        let logits = self.head.forward(g, store, enc.program);
+        g.cross_entropy(logits, label)
+    }
+
+    /// Argmax class prediction.
+    pub fn predict(&self, store: &ParamStore, prog: &DyproProgram) -> usize {
+        let mut g = Graph::new();
+        let enc = self.model.encode(&mut g, store, prog);
+        let logits = self.head.forward(&mut g, store, enc.program);
+        liger::argmax(g.value(logits).data())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::Value;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trace::{group_by_path, ExecutionTrace};
+
+    fn build(src: &str, inputs: Vec<Vec<Value>>) -> (Program, Vec<BlendedTrace>) {
+        let p = minilang::parse(src).unwrap();
+        let traces: Vec<ExecutionTrace> = inputs
+            .into_iter()
+            .map(|i| {
+                let run = interp::run(&p, &i).unwrap();
+                ExecutionTrace::from_run(i, run)
+            })
+            .collect();
+        let blended = group_by_path(traces).iter().map(|g| g.blend(5).unwrap()).collect();
+        (p, blended)
+    }
+
+    #[test]
+    fn input_flattens_grouped_traces() {
+        let (p, blended) = build(
+            "fn f(x: int) -> int { if (x > 0) { return 1; } return 0; }",
+            vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(-1)]],
+        );
+        let mut vocab = Vocab::new();
+        names_into_vocab(&p, &mut vocab);
+        let input = dypro_input(&p, &blended, &vocab, &DyproOptions::default());
+        // Three concrete executions regardless of path grouping.
+        assert_eq!(input.traces.len(), 3);
+        assert_eq!(input.traces[0].states.len(), 2); // guard + return
+        assert_eq!(input.with_trace_limit(1).traces.len(), 1);
+    }
+
+    #[test]
+    fn namer_overfits_one_program() {
+        let (p, blended) = build(
+            "fn doubleIt(x: int) -> int { x *= 2; return x; }",
+            vec![vec![Value::Int(2)], vec![Value::Int(5)]],
+        );
+        let mut vocab = Vocab::new();
+        names_into_vocab(&p, &mut vocab);
+        let mut ov = liger::OutVocab::new();
+        ov.add("double");
+        ov.add("it");
+        let input = dypro_input(&p, &blended, &vocab, &DyproOptions::default());
+
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(40);
+        let namer = DyproNamer::new(&mut store, vocab.len(), ov.len(), 8, &mut rng);
+        let target = ov.encode_name("doubleIt");
+        let mut adam = nn::Adam::new(0.03);
+        for _ in 0..60 {
+            let mut g = Graph::new();
+            let loss = namer.loss(&mut g, &store, &input, &target);
+            g.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        assert_eq!(ov.decode_name(&namer.predict(&store, &input, 4)), vec!["double", "it"]);
+    }
+
+    #[test]
+    fn classifier_separates_distinct_behaviours() {
+        let (p1, b1) = build(
+            "fn f(x: int) -> int { x *= 2; return x; }",
+            vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+        );
+        let (p2, b2) = build(
+            "fn f(x: int) -> int { x = 0 - x; return x; }",
+            vec![vec![Value::Int(2)], vec![Value::Int(3)]],
+        );
+        let mut vocab = Vocab::new();
+        names_into_vocab(&p1, &mut vocab);
+        names_into_vocab(&p2, &mut vocab);
+        // Values into vocab.
+        for b in b1.iter().chain(&b2) {
+            for s in &b.steps {
+                for st in &s.states {
+                    for v in trace::encode_state(st) {
+                        for t in v.tokens() {
+                            vocab.add(t);
+                        }
+                    }
+                }
+            }
+        }
+        let opts = DyproOptions::default();
+        let i1 = dypro_input(&p1, &b1, &vocab, &opts);
+        let i2 = dypro_input(&p2, &b2, &vocab, &opts);
+
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        let cls = DyproClassifier::new(&mut store, vocab.len(), 2, 8, &mut rng);
+        let mut adam = nn::Adam::new(0.03);
+        for _ in 0..50 {
+            for (input, label) in [(&i1, 0usize), (&i2, 1usize)] {
+                let mut g = Graph::new();
+                let loss = cls.loss(&mut g, &store, input, label);
+                g.backward(loss, &mut store);
+                adam.step(&mut store);
+            }
+        }
+        assert_eq!(cls.predict(&store, &i1), 0);
+        assert_eq!(cls.predict(&store, &i2), 1);
+    }
+
+    #[test]
+    fn empty_program_encodes_to_zero() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = Dypro::new(&mut store, 4, 6, &mut rng);
+        let mut g = Graph::new();
+        let out = model.encode(&mut g, &store, &DyproProgram::default());
+        assert_eq!(g.value(out.program).data(), &[0.0; 6]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # baselines — the comparison models of the paper's evaluation
+//!
+//! Table 2 and every figure compare LIGER against three prior models,
+//! reimplemented here on the shared `nn` substrate (the paper retrained
+//! the originals; DYPRO is closed source — see DESIGN.md §1):
+//!
+//! - [`Code2Vec`] — static; attention over AST path contexts, whole-name
+//!   classification (Alon et al. [3]),
+//! - [`Code2Seq`] — static; sub-token terminals + path RNNs with an
+//!   attentive sub-token decoder (Alon et al. [2]),
+//! - [`Dypro`] / [`DyproNamer`] / [`DyproClassifier`] — dynamic; embeds
+//!   each concrete trace separately (variable names fed together with
+//!   their values, §6.1) and pools trace embeddings (Wang [26]).
+//!
+//! # Examples
+//!
+//! ```
+//! use baselines::{contexts_into_vocabs, code2vec_input, PathConfig};
+//! use liger::Vocab;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = minilang::parse("fn inc(x: int) -> int { return x + 1; }")?;
+//! let mut terms = Vocab::new();
+//! let mut paths = Vocab::new();
+//! let contexts = contexts_into_vocabs(&program, &PathConfig::default(), &mut terms, &mut paths);
+//! let input = code2vec_input(&contexts, &terms, &paths);
+//! assert!(!input.contexts.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod code2seq;
+pub mod code2vec;
+pub mod dypro;
+pub mod pathctx;
+
+pub use code2seq::{code2seq_input, code2seq_vocabs, Code2Seq, Code2SeqInput};
+pub use code2vec::{code2vec_input, contexts_into_vocabs, Code2Vec, Code2VecInput};
+pub use dypro::{
+    dypro_input, names_into_vocab, Dypro, DyproClassifier, DyproNamer, DyproOptions,
+    DyproProgram, DyproState, DyproTrace,
+};
+pub use pathctx::{extract_path_contexts, PathConfig, PathContext};

@@ -1,0 +1,189 @@
+//! AST path-context extraction (the code2vec/code2seq representation).
+//!
+//! A *path context* is a triple ⟨terminal a, path, terminal b⟩ where the
+//! path walks from leaf a up to the lowest common ancestor and down to
+//! leaf b through AST node types (Alon et al. [2, 3]). Both static
+//! baselines consume these; neither sees executions.
+
+use minilang::{program_tree, AstTree, NodeLabel, Program};
+
+/// One extracted path context.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathContext {
+    /// The source terminal token.
+    pub left: String,
+    /// Node-type names from `left` up to the LCA and down to `right`.
+    pub path: Vec<String>,
+    /// The target terminal token.
+    pub right: String,
+}
+
+impl PathContext {
+    /// The path rendered as a single string key (how code2vec's path
+    /// vocabulary hashes whole paths).
+    pub fn path_key(&self) -> String {
+        self.path.join("|")
+    }
+}
+
+/// Extraction limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathConfig {
+    /// Maximum number of contexts kept per program (sampled determin-
+    /// istically by stride when exceeded).
+    pub max_contexts: usize,
+    /// Maximum path length (number of node-type hops); longer paths are
+    /// dropped, as in the original implementations.
+    pub max_path_len: usize,
+}
+
+impl Default for PathConfig {
+    fn default() -> Self {
+        PathConfig { max_contexts: 120, max_path_len: 9 }
+    }
+}
+
+/// Extracts path contexts from a whole program's AST.
+pub fn extract_path_contexts(program: &Program, config: &PathConfig) -> Vec<PathContext> {
+    let tree = program_tree(program);
+    let mut leaves: Vec<(String, Vec<usize>)> = Vec::new(); // (token, root-path)
+    collect_leaves(&tree, &mut Vec::new(), &mut leaves);
+
+    let mut contexts = Vec::new();
+    for i in 0..leaves.len() {
+        for j in (i + 1)..leaves.len() {
+            let (ref ta, ref pa) = leaves[i];
+            let (ref tb, ref pb) = leaves[j];
+            if let Some(path) = node_path(&tree, pa, pb, config.max_path_len) {
+                contexts.push(PathContext { left: ta.clone(), path, right: tb.clone() });
+            }
+        }
+    }
+    if contexts.len() > config.max_contexts {
+        // Deterministic stride sampling keeps coverage across the program.
+        let stride = contexts.len() as f64 / config.max_contexts as f64;
+        contexts = (0..config.max_contexts)
+            .map(|k| contexts[(k as f64 * stride) as usize].clone())
+            .collect();
+    }
+    contexts
+}
+
+fn collect_leaves(tree: &AstTree, prefix: &mut Vec<usize>, out: &mut Vec<(String, Vec<usize>)>) {
+    if let NodeLabel::Terminal(t) = &tree.label {
+        out.push((t.clone(), prefix.clone()));
+    }
+    for (i, c) in tree.children.iter().enumerate() {
+        prefix.push(i);
+        collect_leaves(c, prefix, out);
+        prefix.pop();
+    }
+}
+
+/// The node-type path between two leaves given their root paths; `None`
+/// when it exceeds `max_len`.
+fn node_path(root: &AstTree, pa: &[usize], pb: &[usize], max_len: usize) -> Option<Vec<String>> {
+    let common = pa.iter().zip(pb).take_while(|(a, b)| a == b).count();
+    // Nodes from a's parent chain up to (and including) the LCA, then down
+    // to b. The leaves themselves are excluded.
+    let mut names = Vec::new();
+    // Up: ancestors of a strictly above the leaf, down to depth `common`.
+    for depth in (common..pa.len()).rev() {
+        names.push(node_at(root, &pa[..depth]).label_name());
+    }
+    // Down: from below the LCA to b's parent.
+    for depth in common + 1..=pb.len() {
+        if depth == pb.len() {
+            break; // pb[..pb.len()] is the leaf itself
+        }
+        names.push(node_at(root, &pb[..depth]).label_name());
+    }
+    if names.len() > max_len {
+        None
+    } else {
+        Some(names)
+    }
+}
+
+fn node_at<'a>(root: &'a AstTree, path: &[usize]) -> &'a AstTree {
+    let mut node = root;
+    for &i in path {
+        node = &node.children[i];
+    }
+    node
+}
+
+trait LabelName {
+    fn label_name(&self) -> String;
+}
+
+impl LabelName for AstTree {
+    fn label_name(&self) -> String {
+        match &self.label {
+            NodeLabel::NonTerminal(ty) => ty.name().to_string(),
+            NodeLabel::Terminal(t) => t.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        minilang::parse(
+            "fn addOne(x: int) -> int {
+                let y: int = x + 1;
+                return y;
+            }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_contexts_with_bounded_paths() {
+        let config = PathConfig::default();
+        let ctxs = extract_path_contexts(&program(), &config);
+        assert!(!ctxs.is_empty());
+        for c in &ctxs {
+            assert!(c.path.len() <= config.max_path_len);
+            assert!(!c.left.is_empty() && !c.right.is_empty());
+            // Paths pass through node types, which are bracketed names.
+            assert!(c.path.iter().all(|p| p.starts_with('<')), "path: {:?}", c.path);
+        }
+    }
+
+    #[test]
+    fn contains_the_x_plus_one_context() {
+        let ctxs = extract_path_contexts(&program(), &PathConfig::default());
+        let found = ctxs
+            .iter()
+            .any(|c| c.left == "x" && c.right == "1" && c.path.contains(&"<BinaryExpr>".into()));
+        assert!(found, "expected a path context connecting x and 1 through BinaryExpr");
+    }
+
+    #[test]
+    fn respects_max_contexts_deterministically() {
+        let config = PathConfig { max_contexts: 5, max_path_len: 12 };
+        let a = extract_path_contexts(&program(), &config);
+        let b = extract_path_contexts(&program(), &config);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn method_name_is_not_a_terminal() {
+        let ctxs = extract_path_contexts(&program(), &PathConfig::default());
+        assert!(ctxs.iter().all(|c| c.left != "addOne" && c.right != "addOne"));
+    }
+
+    #[test]
+    fn path_key_is_stable() {
+        let c = PathContext {
+            left: "a".into(),
+            path: vec!["<X>".into(), "<Y>".into()],
+            right: "b".into(),
+        };
+        assert_eq!(c.path_key(), "<X>|<Y>");
+    }
+}

@@ -1,0 +1,46 @@
+//! **Figure 10** (§6.3.3) — ablation: LIGER without the fusion attention
+//! (uniform weights across the feature vectors of every ordered pair).
+//!
+//! Paper shape: a notable F1 drop everywhere (32.30→28.63 on Java-med in
+//! the paper) — the constant weights dilute the symbolic dimension's
+//! signal, so the model generalizes worse and leans harder on executions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{
+    build_method_dataset, concrete_markdown, fig6_concrete, fig6_symbolic, symbolic_markdown,
+    Scale,
+};
+use liger::Ablation;
+
+fn regenerate() {
+    let scale = bench::figure_scale();
+    bench::banner("Figure 10", "Ablation: LIGER w/o fusion attention", &scale);
+    let (ds, _) = build_method_dataset(&scale);
+    let c = fig6_concrete(&ds, &scale, Ablation::NoAttention);
+    println!("{}", concrete_markdown("fig10-concrete (w/o attention)", &c));
+    let s = fig6_symbolic(&ds, &scale, Ablation::NoAttention);
+    println!("{}", symbolic_markdown("fig10-symbolic (w/o attention)", &s));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let ds = bench::tiny_dataset();
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("train_no_attention_tiny", |b| {
+        b.iter(|| {
+            eval::liger_method_scores(
+                &ds,
+                &scale,
+                Ablation::NoAttention,
+                eval::PathLevel::Full,
+                scale.concrete_per_path,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! **Figure 11** (§6.3.4) — all ablation configurations side by side:
+//! full LIGER, w/o static, w/o dynamic, w/o attention, each at full data,
+//! at the minimum line-cover path set, and with a single concrete trace.
+//!
+//! Paper shape: the dynamic dimension drives peak accuracy; the static
+//! dimension + attention drive the resilience to trace reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{build_method_dataset, fig11, fig11_markdown, Scale};
+
+fn regenerate() {
+    let scale = bench::figure_scale();
+    bench::banner("Figure 11", "Ablation summary across configurations", &scale);
+    let (ds, _) = build_method_dataset(&scale);
+    let rows = fig11(&ds, &scale);
+    println!("{}", fig11_markdown(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let ds = bench::tiny_dataset();
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("encode_full_dataset_tiny", |b| {
+        let opts =
+            liger::EncodeOptions { max_steps: scale.max_steps, max_traces: scale.max_traces };
+        b.iter(|| {
+            ds.train
+                .iter()
+                .map(|s| {
+                    liger::encode_program(&s.program, &s.blended, &ds.vocabs.input, &opts)
+                        .total_steps()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! **Figure 6a/6b** — F1 vs. number of concrete traces per blended trace
+//! (symbolic traces constant), LIGER vs. DYPRO. Also prints the §6.1.2
+//! fusion-attention statistic (paper: ≈0.598 on the symbolic dimension,
+//! stable across the reduction).
+//!
+//! Paper shape: LIGER stays nearly flat down to ~3 concrete traces and
+//! degrades gently after; DYPRO degrades steadily with fewer executions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{build_method_dataset, concrete_markdown, fig6_concrete, Scale};
+use liger::Ablation;
+
+fn regenerate() {
+    let scale = bench::figure_scale();
+    bench::banner(
+        "Figure 6a/6b",
+        "Concrete-trace reduction (LIGER vs DYPRO) + attention stat",
+        &scale,
+    );
+    let (ds, _) = build_method_dataset(&scale);
+    let rows = fig6_concrete(&ds, &scale, Ablation::Full);
+    println!("{}", concrete_markdown("fig6-concrete", &rows));
+    let attns: Vec<String> = rows
+        .iter()
+        .filter_map(|r| r.liger_static_attention)
+        .map(|a| format!("{a:.3}"))
+        .collect();
+    println!("mean static-dimension attention across levels: [{}]", attns.join(", "));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let ds = bench::tiny_dataset();
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("fig6_concrete");
+    group.sample_size(10);
+    group.bench_function("reencode_at_one_concrete_trace", |b| {
+        let opts = liger::EncodeOptions { max_steps: scale.max_steps, max_traces: scale.max_traces };
+        b.iter(|| {
+            ds.train
+                .iter()
+                .map(|s| eval::method_at_concrete(s, &ds.vocabs.input, &opts, 1).0.total_steps())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

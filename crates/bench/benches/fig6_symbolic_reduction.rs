@@ -1,0 +1,46 @@
+//! **Figure 6c/6d** — F1 vs. number of symbolic traces with line coverage
+//! preserved (minimum line-cover path set computed greedily, paths removed
+//! from outside the cover first; three concrete traces per path).
+//!
+//! Paper shape: LIGER is largely unaffected until only a single symbolic
+//! trace remains, where it drops sharply; DYPRO (given the concrete traces
+//! out of the blended ones) degrades earlier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{build_method_dataset, fig6_symbolic, symbolic_markdown};
+use liger::Ablation;
+
+fn regenerate() {
+    let scale = bench::figure_scale();
+    bench::banner(
+        "Figure 6c/6d",
+        "Symbolic-trace reduction preserving line coverage (LIGER vs DYPRO)",
+        &scale,
+    );
+    let (ds, _) = build_method_dataset(&scale);
+    let avg_paths: f64 = ds.train.iter().map(|s| s.blended.len() as f64).sum::<f64>()
+        / ds.train.len().max(1) as f64;
+    let avg_cover: f64 = ds.train.iter().map(|s| s.min_cover as f64).sum::<f64>()
+        / ds.train.len().max(1) as f64;
+    println!(
+        "(avg paths/method: {avg_paths:.1}; avg minimum line-cover size: {avg_cover:.1} — the paper reports 5.3)\n"
+    );
+    let rows = fig6_symbolic(&ds, &scale, Ablation::Full);
+    println!("{}", symbolic_markdown("fig6-symbolic", &rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let ds = bench::tiny_dataset();
+    let mut group = c.benchmark_group("fig6_symbolic");
+    group.sample_size(10);
+    group.bench_function("min_line_cover_per_method", |b| {
+        b.iter(|| {
+            ds.train.iter().map(|s| s.min_cover).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! **Figure 7** — COSET accuracy as concrete and symbolic traces are
+//! down-sampled (path and line coverage preserved respectively).
+//!
+//! Paper shape: LIGER weathers the loss of training data far better than
+//! DYPRO — with ~4x fewer paths × fewer executions it still edges out
+//! DYPRO trained on everything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{build_coset_dataset, fig7, fig7_markdown, Scale};
+
+fn regenerate() {
+    let scale = bench::figure_scale();
+    bench::banner("Figure 7", "COSET down-sampling (LIGER vs DYPRO)", &scale);
+    let (ds, _) = build_coset_dataset(&scale);
+    let rows = fig7(&ds, &scale);
+    println!("{}", fig7_markdown(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let (ds, _) = build_coset_dataset(&Scale::tiny());
+    let scale = Scale::tiny();
+    let opts = liger::EncodeOptions { max_steps: scale.max_steps, max_traces: scale.max_traces };
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("reencode_coset_at_min_cover", |b| {
+        b.iter(|| {
+            ds.train
+                .iter()
+                .map(|s| {
+                    eval::coset_at(s, &ds.vocab, &opts, s.min_cover, 2).0.total_steps()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! **Figure 8** (§6.3.1) — ablation: LIGER without the static (symbolic)
+//! feature dimension, under both reduction protocols.
+//!
+//! Paper shape: near-full accuracy when traces are abundant, but the
+//! degradation profile now tracks DYPRO's — the static dimension is what
+//! buys the reduced reliance on executions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{
+    build_method_dataset, concrete_markdown, fig6_concrete, fig6_symbolic, symbolic_markdown,
+    Scale,
+};
+use liger::Ablation;
+
+fn regenerate() {
+    let scale = bench::figure_scale();
+    bench::banner("Figure 8", "Ablation: LIGER w/o static feature dimension", &scale);
+    let (ds, _) = build_method_dataset(&scale);
+    let c = fig6_concrete(&ds, &scale, Ablation::NoStatic);
+    println!("{}", concrete_markdown("fig8-concrete (w/o static)", &c));
+    let s = fig6_symbolic(&ds, &scale, Ablation::NoStatic);
+    println!("{}", symbolic_markdown("fig8-symbolic (w/o static)", &s));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let ds = bench::tiny_dataset();
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("train_no_static_tiny", |b| {
+        b.iter(|| {
+            eval::liger_method_scores(
+                &ds,
+                &scale,
+                Ablation::NoStatic,
+                eval::PathLevel::Full,
+                scale.concrete_per_path,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

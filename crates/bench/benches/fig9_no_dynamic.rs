@@ -1,0 +1,41 @@
+//! **Figure 9** (§6.3.2) — ablation: LIGER without the dynamic (concrete)
+//! feature dimension, under symbolic-trace reduction.
+//!
+//! Paper shape: a much lower starting F1 (below code2seq's in the paper) —
+//! learning precise embeddings from symbolic features alone is hard — but
+//! the curve stays flat under path reduction thanks to the static view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{build_method_dataset, fig6_symbolic, symbolic_markdown, Scale};
+use liger::Ablation;
+
+fn regenerate() {
+    let scale = bench::figure_scale();
+    bench::banner("Figure 9", "Ablation: LIGER w/o dynamic feature dimension", &scale);
+    let (ds, _) = build_method_dataset(&scale);
+    let s = fig6_symbolic(&ds, &scale, Ablation::NoDynamic);
+    println!("{}", symbolic_markdown("fig9-symbolic (w/o dynamic)", &s));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let ds = bench::tiny_dataset();
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("train_no_dynamic_tiny", |b| {
+        b.iter(|| {
+            eval::liger_method_scores(
+                &ds,
+                &scale,
+                Ablation::NoDynamic,
+                eval::PathLevel::Full,
+                scale.concrete_per_path,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

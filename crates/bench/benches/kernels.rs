@@ -1,0 +1,149 @@
+//! Micro-benchmarks for the substrate kernels every experiment sits on:
+//! lexing/parsing, traced interpretation, symbolic execution, blending,
+//! encoder forward pass, and one optimizer step. These are the ablation
+//! benches for the design choices called out in DESIGN.md §4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{Behavior, Knobs, Strategy};
+use interp::Value;
+use rand::SeedableRng;
+use symexec::{symbolic_execute, SymExecConfig};
+use tensor::{Graph, ParamStore};
+
+const BUBBLE: &str = "fn sortArray(a: array<int>) -> array<int> {
+    for (let i: int = len(a) - 1; i > 0; i -= 1) {
+        for (let j: int = 0; j < i; j += 1) {
+            if (a[j] > a[j + 1]) {
+                let tmp: int = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = tmp;
+            }
+        }
+    }
+    return a;
+}";
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.bench_function("parse_bubble_sort", |b| {
+        b.iter(|| minilang::parse(BUBBLE).unwrap())
+    });
+    let program = minilang::parse(BUBBLE).unwrap();
+    group.bench_function("typecheck_bubble_sort", |b| {
+        b.iter(|| minilang::typecheck(&program).unwrap())
+    });
+    group.bench_function("pretty_print_roundtrip", |b| {
+        b.iter(|| minilang::parse(&minilang::print_program(&program)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let program = minilang::parse(BUBBLE).unwrap();
+    let input = vec![Value::Array(vec![8, 5, 1, 4, 3, 9, 2, 7])];
+    let mut group = c.benchmark_group("execution");
+    group.bench_function("traced_interpret_bubble_sort", |b| {
+        b.iter(|| interp::run(&program, &input).unwrap())
+    });
+    group.bench_function("symbolic_execute_sign", |b| {
+        let sign = minilang::parse(
+            "fn signOf(x: int) -> int {
+                if (x > 0) { return 1; }
+                if (x < 0) { return 0 - 1; }
+                return 0;
+            }",
+        )
+        .unwrap();
+        b.iter(|| symbolic_execute(&sign, &SymExecConfig::default()))
+    });
+    group.bench_function("group_and_blend", |b| {
+        let traces: Vec<trace::ExecutionTrace> = (0..10)
+            .map(|k| {
+                let inputs = vec![Value::Array(vec![k, 5 - k, 2 * k, 1])];
+                let run = interp::run(&program, &inputs).unwrap();
+                trace::ExecutionTrace::from_run(inputs, run)
+            })
+            .collect();
+        b.iter(|| {
+            let groups = trace::group_by_path(traces.clone());
+            groups.iter().filter_map(|g| g.blend(5).ok()).count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let knobs = Knobs::plain();
+    let program = minilang::parse(&Behavior::SumArray.render(&knobs)).unwrap();
+    let traces: Vec<trace::ExecutionTrace> = (1..=6)
+        .map(|k| {
+            let inputs = vec![Value::Array(vec![k, -k, 2 * k])];
+            let run = interp::run(&program, &inputs).unwrap();
+            trace::ExecutionTrace::from_run(inputs, run)
+        })
+        .collect();
+    let blended: Vec<trace::BlendedTrace> =
+        trace::group_by_path(traces).iter().filter_map(|g| g.blend(3).ok()).collect();
+    let opts = liger::EncodeOptions::default();
+    let mut vocab = liger::Vocab::new();
+    liger::program_into_vocab(&program, &blended, &mut vocab, &opts);
+    let encoded = liger::encode_program(&program, &blended, &vocab, &opts);
+
+    let mut store = ParamStore::new();
+    let cfg = liger::LigerConfig { hidden: 16, attn: 16, ..liger::LigerConfig::default() };
+    let model = liger::LigerModel::new(&mut store, vocab.len(), cfg, &mut rng);
+
+    let mut group = c.benchmark_group("model");
+    group.bench_function("liger_encoder_forward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let out = model.encode(&mut g, &store, &encoded);
+            g.value(out.program).norm()
+        })
+    });
+    group.bench_function("liger_forward_backward_adam_step", |b| {
+        let mut adam = nn::Adam::new(0.01);
+        b.iter(|| {
+            let mut g = Graph::new();
+            let out = model.encode(&mut g, &store, &encoded);
+            let loss = g.cross_entropy(out.program, 0);
+            g.backward(loss, &mut store);
+            adam.step(&mut store);
+        })
+    });
+    // Ablation kernel comparison: TreeLSTM statement embedding vs. a flat
+    // token-RNN alternative (DESIGN.md §4 design-choice bench).
+    let tree = {
+        let sym = blended[0].symbolic.stmt_trees(&program);
+        liger::encode_tree(&sym[0], &vocab)
+    };
+    group.bench_function("treelstm_statement_embedding", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let h = model.embed_tree(&mut g, &store, &tree);
+            g.value(h).norm()
+        })
+    });
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datagen");
+    group.bench_function("render_all_behaviors", |b| {
+        let knobs = Knobs::plain();
+        b.iter(|| {
+            Behavior::ALL.iter().map(|beh| beh.render(&knobs).len()).sum::<usize>()
+        })
+    });
+    group.bench_function("render_all_strategies", |b| {
+        let knobs = Knobs::plain();
+        b.iter(|| {
+            Strategy::ALL.iter().map(|s| s.render(&knobs).len()).sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_execution, bench_model, bench_strategies);
+criterion_main!(benches);

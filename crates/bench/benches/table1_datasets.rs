@@ -1,0 +1,34 @@
+//! **Table 1** — dataset statistics before and after filtering.
+//!
+//! Paper shape: a large "Original" pool shrinks to the "Filtered" column
+//! through the compile / executions / timeout / size gates. Prints the
+//! regenerated rows for the med and large analogues, then times corpus
+//! generation as the Criterion kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{table1, table1_markdown, Scale};
+
+fn regenerate() {
+    for scale in [Scale::med(), Scale::large()] {
+        let stats = table1(&scale);
+        bench::banner("Table 1", "Dataset statistics (original vs. filtered)", &scale);
+        println!("{}", table1_markdown(&scale.name, &stats));
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("generate_and_filter_tiny_corpus", |b| {
+        b.iter(|| {
+            let stats = table1(&Scale::tiny());
+            assert!(stats.kept > 0);
+            stats
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! **Table 2** — method-name prediction: code2vec, code2seq, DYPRO, LIGER.
+//!
+//! Paper shape to reproduce: LIGER > DYPRO > code2seq > code2vec by F1,
+//! with the static models well behind the dynamic ones on a corpus full
+//! of renamings and syntactic confusables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{build_method_dataset, table2, table2_markdown, Scale};
+
+fn regenerate() {
+    let scale = Scale::from_env();
+    bench::banner("Table 2", "Method-name prediction P/R/F1 for all four models", &scale);
+    let (ds, _) = build_method_dataset(&scale);
+    println!(
+        "(dataset: {} train / {} test methods)\n",
+        ds.train.len(),
+        ds.test.len()
+    );
+    let rows = table2(&ds, &scale);
+    println!("{}", table2_markdown(&scale.name, &rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let ds = bench::tiny_dataset();
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("train_and_eval_liger_tiny", |b| {
+        b.iter(|| {
+            eval::liger_method_scores(
+                &ds,
+                &scale,
+                liger::Ablation::Full,
+                eval::PathLevel::Full,
+                scale.concrete_per_path,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

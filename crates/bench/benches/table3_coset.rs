@@ -1,0 +1,46 @@
+//! **Table 3** — COSET semantics classification: DYPRO vs. LIGER.
+//!
+//! Paper shape: LIGER beats DYPRO by a few points in both accuracy and F1
+//! (85.4%/0.85 vs 81.6%/0.81 in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eval::{build_coset_dataset, table3, table3_markdown, Scale};
+
+fn regenerate() {
+    let scale = Scale::from_env();
+    bench::banner("Table 3", "COSET-style semantics classification", &scale);
+    let (ds, stats) = build_coset_dataset(&scale);
+    println!(
+        "(corpus: {} generated, {} kept; {} train / {} test; {} classes)\n",
+        stats.original,
+        stats.kept,
+        ds.train.len(),
+        ds.test.len(),
+        ds.num_classes
+    );
+    let rows = table3(&ds, &scale);
+    println!("{}", table3_markdown(&rows));
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    regenerate();
+    let (ds, _) = build_coset_dataset(&Scale::tiny());
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("train_and_eval_liger_classifier_tiny", |b| {
+        b.iter(|| {
+            eval::liger_coset_scores(
+                &ds,
+                &scale,
+                liger::Ablation::Full,
+                eval::PathLevel::Full,
+                scale.concrete_per_path,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

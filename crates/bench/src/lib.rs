@@ -1,0 +1,57 @@
+//! # bench — the benchmark harness regenerating every table and figure
+//!
+//! Each Criterion bench target corresponds to one table or figure of the
+//! paper's §6 (see `DESIGN.md` §3 for the index). Every target first
+//! *regenerates and prints* its table's rows at the scale selected by the
+//! `LIGER_SCALE` environment variable (`tiny`/`bench`/`med`/`large`;
+//! default `bench`), then times a representative kernel so Criterion has
+//! something meaningful to measure.
+//!
+//! Run one experiment:
+//!
+//! ```text
+//! cargo bench -p bench --bench table2_method_name
+//! LIGER_SCALE=med cargo bench -p bench --bench fig6_concrete_reduction
+//! ```
+
+use eval::Scale;
+
+/// Banner printed before each regenerated table.
+pub fn banner(id: &str, paper: &str, scale: &Scale) {
+    println!("\n==============================================================");
+    println!("{id} — {paper}");
+    println!("scale = {} (set LIGER_SCALE=tiny|bench|med|large to change)", scale.name);
+    println!("==============================================================");
+}
+
+/// A tiny shared workload for Criterion kernels: one prepared dataset at
+/// tiny scale (built once, reused by the timed closures).
+pub fn tiny_dataset() -> eval::MethodDataset {
+    eval::build_method_dataset(&Scale::tiny()).0
+}
+
+/// The scale used by the *figure* benches (each retrains models at many
+/// reduction levels, so their default is lighter than the single-table
+/// benches'). `LIGER_SCALE` overrides it like everywhere else.
+pub fn figure_scale() -> Scale {
+    if let Ok(name) = std::env::var("LIGER_SCALE") {
+        if let Some(scale) = Scale::by_name(&name) {
+            return scale;
+        }
+    }
+    // Calibration note: below ~5 variants per family and ~16 epochs the
+    // blended model is undertrained and the paper's orderings invert —
+    // the figure scale must stay above that threshold.
+    Scale {
+        name: "fig".into(),
+        variants_per_family: 5,
+        hidden: 16,
+        epochs: 16,
+        lr: 0.015,
+        target_paths: 6,
+        concrete_per_path: 4,
+        max_steps: 18,
+        max_traces: 6,
+        seed: 5,
+    }
+}

@@ -1,0 +1,154 @@
+//! The semantics-classification head (§6.2).
+//!
+//! "Since LIGER is presented with a classification problem in this
+//! setting, we remove decoder from its architecture, and directly feed the
+//! learned program embedding to a linear transformation layer. Then, we
+//! add a one layer softmax regression to serve the prediction task."
+
+use crate::encode::EncodedProgram;
+use crate::model::LigerModel;
+use nn::Linear;
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, VarId};
+
+/// LIGER with a classification head instead of the decoder.
+#[derive(Debug, Clone, Copy)]
+pub struct LigerClassifier {
+    /// The shared encoder.
+    pub model: LigerModel,
+    head: Linear,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl LigerClassifier {
+    /// Registers the head for an existing encoder.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        model: LigerModel,
+        num_classes: usize,
+        rng: &mut R,
+    ) -> LigerClassifier {
+        let head = Linear::new(store, "cls.head", model.cfg.hidden, num_classes, rng);
+        LigerClassifier { model, head, num_classes }
+    }
+
+    /// All parameter ids (encoder + head).
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut out = self.model.params();
+        out.push(self.head.w);
+        out.push(self.head.b);
+        out
+    }
+
+    /// Class logits for a program.
+    pub fn logits(&self, g: &mut Graph, store: &ParamStore, prog: &EncodedProgram) -> VarId {
+        let enc = self.model.encode(g, store, prog);
+        self.head.forward(g, store, enc.program)
+    }
+
+    /// Cross-entropy training loss against `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `label >= num_classes`.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        prog: &EncodedProgram,
+        label: usize,
+    ) -> VarId {
+        assert!(label < self.num_classes, "label {label} out of {} classes", self.num_classes);
+        let logits = self.logits(g, store, prog);
+        g.cross_entropy(logits, label)
+    }
+
+    /// Greedy prediction: the argmax class.
+    pub fn predict(&self, store: &ParamStore, prog: &EncodedProgram) -> usize {
+        let mut g = Graph::new();
+        let logits = self.logits(&mut g, store, prog);
+        argmax(g.value(logits).data())
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(data: &[f32]) -> usize {
+    assert!(!data.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in data.iter().enumerate().skip(1) {
+        if v > data[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{EncBlended, EncState, EncStep, EncTree, EncVar};
+    use crate::model::LigerConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn prog(token: usize) -> EncodedProgram {
+        EncodedProgram {
+            traces: vec![EncBlended {
+                steps: vec![EncStep {
+                    tree: EncTree { token, children: vec![] },
+                    states: vec![EncState { vars: vec![EncVar::Primitive(token + 1)] }],
+                }],
+            }],
+        }
+    }
+
+    fn setup() -> (ParamStore, LigerClassifier) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = LigerConfig { hidden: 6, attn: 6, ..LigerConfig::default() };
+        let model = LigerModel::new(&mut store, 12, cfg, &mut rng);
+        let cls = LigerClassifier::new(&mut store, model, 3, &mut rng);
+        (store, cls)
+    }
+
+    #[test]
+    fn logits_have_class_count() {
+        let (store, cls) = setup();
+        let mut g = Graph::new();
+        let l = cls.logits(&mut g, &store, &prog(1));
+        assert_eq!(g.value(l).rows(), 3);
+    }
+
+    #[test]
+    fn learns_to_separate_two_programs() {
+        let (mut store, cls) = setup();
+        let a = prog(1);
+        let b = prog(5);
+        let mut adam = nn::Adam::new(0.05);
+        for _ in 0..60 {
+            for (p, label) in [(&a, 0usize), (&b, 2usize)] {
+                let mut g = Graph::new();
+                let loss = cls.loss(&mut g, &store, p, label);
+                g.backward(loss, &mut store);
+                adam.step(&mut store);
+            }
+        }
+        assert_eq!(cls.predict(&store, &a), 0);
+        assert_eq!(cls.predict(&store, &b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_label_panics() {
+        let (store, cls) = setup();
+        let mut g = Graph::new();
+        cls.loss(&mut g, &store, &prog(1), 9);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[2.0]), 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The method-name decoder (§5.1.2).
+//!
+//! "Given the encoder outputs 𝓗_P and {{Hᵉ_{i,j}}}, we use another RNN to
+//! decode the method names. For initialization, we provide the decoder
+//! with the program embedding 𝓗_P. The decoder also receives a special
+//! token to begin, and emits another to end the generation." The decoder
+//! attends (a₂) over the flow of all blended traces to build a context
+//! vector per generated word.
+
+use crate::model::EncoderOutput;
+use crate::vocab::{TokenId, EOS, SOS};
+use nn::{AttentionScorer, Embedding, Linear, RnnCell};
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+
+/// The attentive sub-token decoder.
+#[derive(Debug, Clone, Copy)]
+pub struct NameDecoder {
+    out_emb: Embedding,
+    rnn: RnnCell,
+    a2: AttentionScorer,
+    out: Linear,
+    /// Output vocabulary size.
+    pub out_vocab: usize,
+}
+
+impl NameDecoder {
+    /// Registers all decoder parameters in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        out_vocab: usize,
+        hidden: usize,
+        attn: usize,
+        rng: &mut R,
+    ) -> NameDecoder {
+        NameDecoder {
+            out_emb: Embedding::new(store, "dec.emb", out_vocab, hidden, rng),
+            rnn: RnnCell::new(store, "dec.rnn", hidden, hidden, rng),
+            a2: AttentionScorer::new(store, "dec.a2", hidden, hidden, attn, rng),
+            out: Linear::new(store, "dec.out", 2 * hidden, out_vocab, rng),
+            out_vocab,
+        }
+    }
+
+    /// All decoder parameter ids.
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut out = vec![self.out_emb.param()];
+        out.extend(self.rnn.params());
+        out.extend(self.a2.params());
+        out.push(self.out.w);
+        out.push(self.out.b);
+        out
+    }
+
+    fn step_logits(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        memory: &[VarId],
+        prev_token: TokenId,
+        h: VarId,
+    ) -> (VarId, VarId) {
+        let x = self.out_emb.lookup(g, store, prev_token);
+        let h_next = self.rnn.step(g, store, x, h);
+        let ctx = if memory.is_empty() {
+            let hidden = g.value(h_next).rows();
+            g.input(Tensor::zeros(hidden, 1))
+        } else {
+            let (ctx, _) = self.a2.attend(g, store, h_next, memory, None);
+            ctx
+        };
+        let cat = g.concat(&[h_next, ctx]);
+        let logits = self.out.forward(g, store, cat);
+        (logits, h_next)
+    }
+
+    /// Teacher-forced training loss: mean cross-entropy of generating
+    /// `target` (sub-token ids already terminated by `<EOS>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` is empty.
+    pub fn loss(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        enc: &EncoderOutput,
+        target: &[TokenId],
+    ) -> VarId {
+        assert!(!target.is_empty(), "decoder target must at least contain <EOS>");
+        let memory = enc.all_flow_states();
+        let mut h = enc.program;
+        let mut prev = SOS;
+        let mut terms = Vec::with_capacity(target.len());
+        for &t in target {
+            let (logits, h_next) = self.step_logits(g, store, &memory, prev, h);
+            terms.push(g.cross_entropy(logits, t));
+            h = h_next;
+            prev = t;
+        }
+        let stacked = g.stack_scalars(&terms);
+        g.mean(stacked)
+    }
+
+    /// Beam-search decoding: keeps the `width` highest log-probability
+    /// hypotheses per step, returning the best finished (or longest)
+    /// hypothesis without its `<EOS>`. `width = 1` coincides with
+    /// [`NameDecoder::greedy`] up to tie-breaking.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width == 0`.
+    pub fn beam(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        enc: &EncoderOutput,
+        max_len: usize,
+        width: usize,
+    ) -> Vec<TokenId> {
+        assert!(width > 0, "beam width must be positive");
+        let memory = enc.all_flow_states();
+        struct Hyp {
+            tokens: Vec<TokenId>,
+            score: f64,
+            h: VarId,
+            prev: TokenId,
+            done: bool,
+        }
+        let mut beam = vec![Hyp {
+            tokens: Vec::new(),
+            score: 0.0,
+            h: enc.program,
+            prev: SOS,
+            done: false,
+        }];
+        for _ in 0..max_len {
+            if beam.iter().all(|h| h.done) {
+                break;
+            }
+            let mut candidates: Vec<Hyp> = Vec::new();
+            for hyp in &beam {
+                if hyp.done {
+                    candidates.push(Hyp {
+                        tokens: hyp.tokens.clone(),
+                        score: hyp.score,
+                        h: hyp.h,
+                        prev: hyp.prev,
+                        done: true,
+                    });
+                    continue;
+                }
+                let (logits, h_next) = self.step_logits(g, store, &memory, hyp.prev, hyp.h);
+                let log_probs = log_softmax(g.value(logits).data());
+                // Expand with the `width` best continuations (skipping the
+                // reserved <UNK>/<SOS> tokens).
+                let mut ranked: Vec<(usize, f64)> = log_probs
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != 0 && *i != SOS)
+                    .map(|(i, &lp)| (i, lp))
+                    .collect();
+                ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite log-probs"));
+                for &(token, lp) in ranked.iter().take(width) {
+                    let mut tokens = hyp.tokens.clone();
+                    let done = token == EOS;
+                    if !done {
+                        tokens.push(token);
+                    }
+                    candidates.push(Hyp {
+                        tokens,
+                        score: hyp.score + lp,
+                        h: h_next,
+                        prev: token,
+                        done,
+                    });
+                }
+            }
+            candidates.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+            candidates.truncate(width);
+            beam = candidates;
+        }
+        beam.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+        beam.into_iter().next().map(|h| h.tokens).unwrap_or_default()
+    }
+
+    /// Greedy decoding: emits sub-token ids until `<EOS>` or `max_len`.
+    pub fn greedy(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        enc: &EncoderOutput,
+        max_len: usize,
+    ) -> Vec<TokenId> {
+        let memory = enc.all_flow_states();
+        let mut h = enc.program;
+        let mut prev = SOS;
+        let mut out = Vec::new();
+        for _ in 0..max_len {
+            let (logits, h_next) = self.step_logits(g, store, &memory, prev, h);
+            let data = g.value(logits).data();
+            let (best, _) = data
+                .iter()
+                .enumerate()
+                // Never emit <UNK> (0) or <SOS> (1).
+                .filter(|(i, _)| *i != 0 && *i != SOS)
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
+                .expect("output vocabulary is non-empty");
+            if best == EOS {
+                break;
+            }
+            out.push(best);
+            h = h_next;
+            prev = best;
+        }
+        out
+    }
+}
+
+/// Numerically-stable log-softmax over a slice (plain CPU math; decoding
+/// needs no gradients).
+fn log_softmax(logits: &[f32]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+    let log_sum: f64 =
+        logits.iter().map(|&v| ((v as f64) - max).exp()).sum::<f64>().ln() + max;
+    logits.iter().map(|&v| v as f64 - log_sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram};
+    use crate::model::{LigerConfig, LigerModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ParamStore, LigerModel, NameDecoder, EncodedProgram) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = LigerConfig { hidden: 6, attn: 6, ..LigerConfig::default() };
+        let model = LigerModel::new(&mut store, 12, cfg, &mut rng);
+        let dec = NameDecoder::new(&mut store, 8, 6, 6, &mut rng);
+        let prog = EncodedProgram {
+            traces: vec![EncBlended {
+                steps: vec![EncStep {
+                    tree: EncTree { token: 1, children: vec![] },
+                    states: vec![EncState { vars: vec![EncVar::Primitive(2)] }],
+                }],
+            }],
+        };
+        (store, model, dec, prog)
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let (mut store, model, dec, prog) = setup();
+        let mut g = Graph::new();
+        let enc = model.encode(&mut g, &store, &prog);
+        let loss = dec.loss(&mut g, &store, &enc, &[4, 5, EOS]);
+        let v = g.value(loss).item();
+        assert!(v.is_finite() && v > 0.0);
+        g.backward(loss, &mut store);
+        assert!(store.grad_norm() > 0.0);
+    }
+
+    #[test]
+    fn greedy_respects_max_len_and_reserved_tokens() {
+        let (store, model, dec, prog) = setup();
+        let mut g = Graph::new();
+        let enc = model.encode(&mut g, &store, &prog);
+        let ids = dec.greedy(&mut g, &store, &enc, 4);
+        assert!(ids.len() <= 4);
+        assert!(ids.iter().all(|&i| i != 0 && i != SOS && i != EOS));
+    }
+
+    #[test]
+    fn training_teaches_a_constant_name() {
+        // Over-fit a single sample: the decoder should learn to emit the
+        // fixed target sequence.
+        let (mut store, model, dec, prog) = setup();
+        let target = vec![4, 5, EOS];
+        let mut adam = nn::Adam::new(0.05);
+        for _ in 0..80 {
+            let mut g = Graph::new();
+            let enc = model.encode(&mut g, &store, &prog);
+            let loss = dec.loss(&mut g, &store, &enc, &target);
+            g.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        let mut g = Graph::new();
+        let enc = model.encode(&mut g, &store, &prog);
+        let ids = dec.greedy(&mut g, &store, &enc, 6);
+        assert_eq!(ids, vec![4, 5], "decoder failed to over-fit one sample");
+    }
+
+    #[test]
+    fn beam_width_one_matches_greedy() {
+        let (store, model, dec, prog) = setup();
+        let mut g = Graph::new();
+        let enc = model.encode(&mut g, &store, &prog);
+        let greedy = dec.greedy(&mut g, &store, &enc, 5);
+        let beam = dec.beam(&mut g, &store, &enc, 5, 1);
+        assert_eq!(greedy, beam);
+    }
+
+    #[test]
+    fn wider_beam_never_scores_worse_on_trained_model() {
+        // After over-fitting, both beams find the target.
+        let (mut store, model, dec, prog) = setup();
+        let target = vec![4, 5, EOS];
+        let mut adam = nn::Adam::new(0.05);
+        for _ in 0..80 {
+            let mut g = Graph::new();
+            let enc = model.encode(&mut g, &store, &prog);
+            let loss = dec.loss(&mut g, &store, &enc, &target);
+            g.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        let mut g = Graph::new();
+        let enc = model.encode(&mut g, &store, &prog);
+        assert_eq!(dec.beam(&mut g, &store, &enc, 6, 3), vec![4, 5]);
+    }
+
+    #[test]
+    fn log_softmax_is_normalized() {
+        let lp = log_softmax(&[1.0, 2.0, 3.0]);
+        let sum: f64 = lp.iter().map(|v| v.exp()).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(lp.iter().all(|&v| v <= 0.0));
+    }
+
+    #[test]
+    fn decodes_from_empty_memory() {
+        let (store, model, dec, _) = setup();
+        let mut g = Graph::new();
+        let enc = model.encode(&mut g, &store, &EncodedProgram::default());
+        let ids = dec.greedy(&mut g, &store, &enc, 3);
+        assert!(ids.len() <= 3);
+    }
+}

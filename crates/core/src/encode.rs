@@ -1,0 +1,336 @@
+//! Model-ready program encodings.
+//!
+//! Bridges the trace layer (ASTs, program states) and the neural layers
+//! (token ids): an [`EncodedProgram`] is the exact structured input of
+//! Figure 5 — U blended traces, each a sequence of ordered pairs
+//! ⟨statement-tree, {states}⟩ with every token resolved against the shared
+//! vocabulary.
+
+use crate::vocab::{TokenId, Vocab};
+use minilang::{AstTree, NodeLabel, Program};
+use trace::{encode_state, BlendedTrace, VarEncoding};
+
+/// A statement AST with vocabulary-resolved labels, ready for the
+/// TreeLSTM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncTree {
+    /// The node's token id (a terminal token or a node-type token).
+    pub token: TokenId,
+    /// Ordered children.
+    pub children: Vec<EncTree>,
+}
+
+impl EncTree {
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(EncTree::size).sum::<usize>()
+    }
+}
+
+/// One variable of one encoded program state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncVar {
+    /// A primitive value: embedded directly (`h'ᵥ = xᵥ`, §5.1).
+    Primitive(TokenId),
+    /// An object value: the flattened `attr(v)` token sequence, embedded
+    /// with the f₁ RNN (Equation 3).
+    Object(Vec<TokenId>),
+}
+
+/// One encoded program state: one entry per variable slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncState {
+    /// The variables in layout order.
+    pub vars: Vec<EncVar>,
+}
+
+/// One ordered pair θⱼ of an encoded blended trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncStep {
+    /// The statement's labelled tree (symbolic feature dimension).
+    pub tree: EncTree,
+    /// The states this statement created in each concrete trace (dynamic
+    /// feature dimension) — length Nε.
+    pub states: Vec<EncState>,
+}
+
+/// One encoded blended trace λᵢ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncBlended {
+    /// The ordered pairs θ₁ … θ_{|λ|}.
+    pub steps: Vec<EncStep>,
+}
+
+/// A model-ready program: U encoded blended traces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EncodedProgram {
+    /// The blended traces, one per path.
+    pub traces: Vec<EncBlended>,
+}
+
+impl EncodedProgram {
+    /// Total ordered pairs across all traces.
+    pub fn total_steps(&self) -> usize {
+        self.traces.iter().map(|t| t.steps.len()).sum()
+    }
+
+    /// Keeps only the first `n` traces (symbolic down-sampling helper).
+    pub fn with_trace_limit(&self, n: usize) -> EncodedProgram {
+        EncodedProgram { traces: self.traces.iter().take(n.max(1)).cloned().collect() }
+    }
+}
+
+/// Rewrites an identifier terminal to its canonical slot token.
+///
+/// LIGER keys on variable *identity*, not spelling: identifiers that name
+/// a program variable are replaced by `<VARk>` where `k` is the variable's
+/// slot in the program's fixed layout — the same indexing the state
+/// encoding uses. This is the symbolic-side canonicalization that makes
+/// renamed variants produce identical symbolic traces (the paper's corpus
+/// is large enough to learn spelling-invariance; at reproduction scale we
+/// build it in and document the substitution in DESIGN.md §4).
+fn canonical_terminal(t: &str, layout: &interp::VarLayout) -> String {
+    match layout.slot(t) {
+        Some(k) => format!("<VAR{k}>"),
+        None => t.to_string(),
+    }
+}
+
+/// Resolves a labelled AST against the vocabulary, canonicalizing
+/// variable identifiers through the program's layout.
+pub fn encode_tree_in(tree: &AstTree, vocab: &Vocab, layout: &interp::VarLayout) -> EncTree {
+    let token = match &tree.label {
+        NodeLabel::Terminal(t) => vocab.get(&canonical_terminal(t, layout)),
+        NodeLabel::NonTerminal(ty) => vocab.get(ty.name()),
+    };
+    EncTree {
+        token,
+        children: tree.children.iter().map(|c| encode_tree_in(c, vocab, layout)).collect(),
+    }
+}
+
+/// Resolves a labelled AST against the vocabulary without variable
+/// canonicalization (used by tests and external callers without a
+/// program context).
+pub fn encode_tree(tree: &AstTree, vocab: &Vocab) -> EncTree {
+    encode_tree_in(tree, vocab, &interp::VarLayout { names: Vec::new() })
+}
+
+/// Adds a labelled AST's keys to a growing vocabulary (canonicalized
+/// through the layout like [`encode_tree_in`]).
+pub fn tree_into_vocab_in(tree: &AstTree, vocab: &mut Vocab, layout: &interp::VarLayout) {
+    match &tree.label {
+        NodeLabel::Terminal(t) => {
+            vocab.add(&canonical_terminal(t, layout));
+        }
+        NodeLabel::NonTerminal(ty) => {
+            vocab.add(ty.name());
+        }
+    }
+    for c in &tree.children {
+        tree_into_vocab_in(c, vocab, layout);
+    }
+}
+
+/// Adds a labelled AST's keys to a growing vocabulary (no
+/// canonicalization).
+pub fn tree_into_vocab(tree: &AstTree, vocab: &mut Vocab) {
+    tree_into_vocab_in(tree, vocab, &interp::VarLayout { names: Vec::new() });
+}
+
+fn encode_var(enc: &VarEncoding, vocab: &Vocab) -> EncVar {
+    match enc {
+        VarEncoding::Primitive(t) => EncVar::Primitive(vocab.get(t)),
+        VarEncoding::Object(ts) => EncVar::Object(ts.iter().map(|t| vocab.get(t)).collect()),
+    }
+}
+
+/// Adds a state's value tokens to a growing vocabulary.
+fn state_into_vocab(enc: &[VarEncoding], vocab: &mut Vocab) {
+    for v in enc {
+        for t in v.tokens() {
+            vocab.add(t);
+        }
+    }
+}
+
+/// Options bounding encoded traces (compute control for the reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeOptions {
+    /// Maximum ordered pairs kept per blended trace. Longer traces keep
+    /// their *tail* — the accumulated results and the return state are the
+    /// most semantically informative part of an execution.
+    pub max_steps: usize,
+    /// Maximum blended traces kept per program.
+    pub max_traces: usize,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions { max_steps: 40, max_traces: 20 }
+    }
+}
+
+/// Encodes blended traces against a frozen vocabulary.
+pub fn encode_program(
+    program: &Program,
+    blended: &[BlendedTrace],
+    vocab: &Vocab,
+    opts: &EncodeOptions,
+) -> EncodedProgram {
+    let layout = interp::VarLayout::of(program);
+    let traces = blended
+        .iter()
+        .take(opts.max_traces)
+        .map(|b| {
+            let trees = b.symbolic.stmt_trees(program);
+            let skip = trees.len().saturating_sub(opts.max_steps);
+            let steps = trees
+                .iter()
+                .zip(&b.steps)
+                .skip(skip)
+                .map(|(tree, step)| EncStep {
+                    tree: encode_tree_in(tree, vocab, &layout),
+                    states: step
+                        .states
+                        .iter()
+                        .map(|s| EncState {
+                            vars: encode_state(s)
+                                .iter()
+                                .map(|v| encode_var(v, vocab))
+                                .collect(),
+                        })
+                        .collect(),
+                })
+                .collect();
+            EncBlended { steps }
+        })
+        .collect();
+    EncodedProgram { traces }
+}
+
+/// Adds every token a program's blended traces would produce to a growing
+/// vocabulary (the corpus pass that builds 𝒟ₛ ∪ 𝒟_d).
+pub fn program_into_vocab(
+    program: &Program,
+    blended: &[BlendedTrace],
+    vocab: &mut Vocab,
+    opts: &EncodeOptions,
+) {
+    for node_type in minilang::AstNodeType::ALL {
+        vocab.add(node_type.name());
+    }
+    for t in trace::reserved_tokens() {
+        vocab.add(&t);
+    }
+    let layout = interp::VarLayout::of(program);
+    for b in blended.iter().take(opts.max_traces) {
+        let skip = b.len().saturating_sub(opts.max_steps);
+        for tree in b.symbolic.stmt_trees(program).iter().skip(skip) {
+            tree_into_vocab_in(tree, vocab, &layout);
+        }
+        for step in b.steps.iter().skip(skip) {
+            for s in &step.states {
+                state_into_vocab(&encode_state(s), vocab);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::Value;
+    use trace::{group_by_path, ExecutionTrace};
+
+    fn blended_of(src: &str, inputs: Vec<Vec<Value>>) -> (Program, Vec<BlendedTrace>) {
+        let p = minilang::parse(src).unwrap();
+        let traces: Vec<ExecutionTrace> = inputs
+            .into_iter()
+            .map(|i| {
+                let run = interp::run(&p, &i).unwrap();
+                ExecutionTrace::from_run(i, run)
+            })
+            .collect();
+        let blended =
+            group_by_path(traces).iter().map(|g| g.blend(5).unwrap()).collect();
+        (p, blended)
+    }
+
+    const SRC: &str = "fn doubleIt(x: int) -> int { x *= 2; return x; }";
+
+    #[test]
+    fn vocabulary_covers_program_tokens() {
+        let (p, blended) =
+            blended_of(SRC, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+        let mut vocab = Vocab::new();
+        program_into_vocab(&p, &blended, &mut vocab, &EncodeOptions::default());
+        assert!(vocab.contains("<MulAssignStmt>"));
+        // The variable `x` is canonicalized to its layout slot.
+        assert!(vocab.contains("<VAR0>"));
+        assert!(!vocab.contains("x"));
+        assert!(vocab.contains("2"));
+        assert!(vocab.contains("6")); // runtime value of 3*2
+        assert!(vocab.contains("<BOT>"));
+    }
+
+    #[test]
+    fn encoded_shape_matches_traces() {
+        let (p, blended) =
+            blended_of(SRC, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+        let mut vocab = Vocab::new();
+        let opts = EncodeOptions::default();
+        program_into_vocab(&p, &blended, &mut vocab, &opts);
+        let enc = encode_program(&p, &blended, &vocab, &opts);
+        assert_eq!(enc.traces.len(), 1); // single path
+        assert_eq!(enc.traces[0].steps.len(), 2); // x*=2; return
+        assert_eq!(enc.traces[0].steps[0].states.len(), 2); // two concrete runs
+        assert!(enc.total_steps() > 0);
+    }
+
+    #[test]
+    fn unknown_tokens_become_unk_not_panic() {
+        let (p, blended) =
+            blended_of(SRC, vec![vec![Value::Int(3)]]);
+        // Encode against an empty vocabulary: everything is UNK (id 0).
+        let vocab = Vocab::new();
+        let enc = encode_program(&p, &blended, &vocab, &EncodeOptions::default());
+        let first = &enc.traces[0].steps[0];
+        assert_eq!(first.tree.token, 0);
+    }
+
+    #[test]
+    fn step_truncation_respects_options() {
+        let src = "fn sumTo(n: int) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < n; i += 1) { s += i; }
+            return s;
+        }";
+        let (p, blended) = blended_of(src, vec![vec![Value::Int(50)]]);
+        let mut vocab = Vocab::new();
+        let opts = EncodeOptions { max_steps: 7, max_traces: 20 };
+        program_into_vocab(&p, &blended, &mut vocab, &opts);
+        let enc = encode_program(&p, &blended, &vocab, &opts);
+        assert_eq!(enc.traces[0].steps.len(), 7);
+    }
+
+    #[test]
+    fn trace_limit_downsamples_paths() {
+        let src = "fn signOf(x: int) -> int {
+            if (x > 0) { return 1; }
+            if (x < 0) { return 0 - 1; }
+            return 0;
+        }";
+        let (p, blended) = blended_of(
+            src,
+            vec![vec![Value::Int(1)], vec![Value::Int(-1)], vec![Value::Int(0)]],
+        );
+        let mut vocab = Vocab::new();
+        let opts = EncodeOptions::default();
+        program_into_vocab(&p, &blended, &mut vocab, &opts);
+        let enc = encode_program(&p, &blended, &vocab, &opts);
+        assert_eq!(enc.traces.len(), 3);
+        assert_eq!(enc.with_trace_limit(2).traces.len(), 2);
+        assert_eq!(enc.with_trace_limit(0).traces.len(), 1); // clamps to 1
+    }
+}

@@ -1,0 +1,355 @@
+//! The LIGER encoder (Figure 5, §5.1.1).
+//!
+//! Four layers, exactly as the paper describes:
+//!
+//! 1. **Vocabulary embedding** — every token of 𝒟ₛ ∪ 𝒟_d has a vector.
+//! 2. **Fusion** — per ordered pair θⱼ = ⟨eⱼ, Sⱼ⟩: a Child-Sum TreeLSTM
+//!    embeds the statement AST (h_sta); each program state is embedded by
+//!    an RNN over its variables (f₂), with object values pre-embedded by a
+//!    value RNN (f₁, Equation 3); an attention network a₁ (queried by the
+//!    running trace embedding Hᵉ_{j−1}) allocates weights across the
+//!    feature vectors, which are combined into one step embedding h_j.
+//!    At the first ordered pair weights are distributed evenly, as in the
+//!    paper.
+//! 3. **Executions embedding** — a third RNN (f₃) models the flow of the
+//!    blended trace: Hᵉ_j = f₃(Hᵉ_{j−1}, h_j).
+//! 4. **Programs embedding** — max-pooling over the per-trace embeddings
+//!    Hᵉ₁ … Hᵉ_U yields the program embedding 𝓗_P.
+//!
+//! The ablation switches of §6.3 (no static / no dynamic / no attention)
+//! are first-class configuration.
+
+use crate::encode::{EncState, EncTree, EncVar, EncodedProgram};
+use nn::{AttentionScorer, ChildSumTreeLstm, Embedding, RnnCell};
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+
+/// Which fusion-layer component to ablate (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ablation {
+    /// The full blended model.
+    #[default]
+    Full,
+    /// §6.3.1 — remove the symbolic (static) feature dimension.
+    NoStatic,
+    /// §6.3.2 — remove the concrete (dynamic) feature dimension.
+    NoDynamic,
+    /// §6.3.3 — remove the attention mechanism (uniform fusion weights).
+    NoAttention,
+}
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LigerConfig {
+    /// Hidden size of every RNN and of the embeddings (the paper uses
+    /// 100; the reproduction defaults to a laptop-friendly 24).
+    pub hidden: usize,
+    /// Internal width of the attention scorers.
+    pub attn: usize,
+    /// Maximum sub-tokens generated per method name.
+    pub max_name_len: usize,
+    /// Fusion ablation switch.
+    pub ablation: Ablation,
+}
+
+impl Default for LigerConfig {
+    fn default() -> Self {
+        LigerConfig { hidden: 24, attn: 24, max_name_len: 6, ablation: Ablation::Full }
+    }
+}
+
+/// The outputs of the encoder for one program.
+#[derive(Debug, Clone)]
+pub struct EncoderOutput {
+    /// The program embedding 𝓗_P.
+    pub program: VarId,
+    /// The flow states Hᵉ_{i,j} for every trace i and step j — the
+    /// decoder's attention memory.
+    pub flow: Vec<Vec<VarId>>,
+    /// The fusion attention weight given to the static feature at each
+    /// step (empty under `NoStatic`/`NoDynamic`); feeds the §6.1.2
+    /// attention-weight analysis.
+    pub static_attention: Vec<f32>,
+}
+
+impl EncoderOutput {
+    /// All flow states flattened (what the decoder attends over).
+    pub fn all_flow_states(&self) -> Vec<VarId> {
+        self.flow.iter().flatten().copied().collect()
+    }
+
+    /// Mean fusion attention on the static dimension, if measured.
+    pub fn mean_static_attention(&self) -> Option<f32> {
+        if self.static_attention.is_empty() {
+            None
+        } else {
+            Some(self.static_attention.iter().sum::<f32>() / self.static_attention.len() as f32)
+        }
+    }
+}
+
+/// The LIGER encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct LigerModel {
+    /// Hyperparameters.
+    pub cfg: LigerConfig,
+    emb: Embedding,
+    tree: ChildSumTreeLstm,
+    f1: RnnCell,
+    f2: RnnCell,
+    f3: RnnCell,
+    a1: AttentionScorer,
+}
+
+impl LigerModel {
+    /// Registers all encoder parameters in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        vocab_size: usize,
+        cfg: LigerConfig,
+        rng: &mut R,
+    ) -> LigerModel {
+        let h = cfg.hidden;
+        LigerModel {
+            cfg,
+            emb: Embedding::new(store, "liger.emb", vocab_size, h, rng),
+            tree: ChildSumTreeLstm::new(store, "liger.tree", h, h, rng),
+            f1: RnnCell::new(store, "liger.f1", h, h, rng),
+            f2: RnnCell::new(store, "liger.f2", h, h, rng),
+            f3: RnnCell::new(store, "liger.f3", h, h, rng),
+            a1: AttentionScorer::new(store, "liger.a1", h, h, cfg.attn, rng),
+        }
+    }
+
+    /// The token-embedding table (shared by tests and introspection).
+    pub fn embedding(&self) -> &Embedding {
+        &self.emb
+    }
+
+    /// All encoder parameter ids.
+    pub fn params(&self) -> Vec<ParamId> {
+        let mut out = vec![self.emb.param()];
+        out.extend(self.tree.params());
+        out.extend(self.f1.params());
+        out.extend(self.f2.params());
+        out.extend(self.f3.params());
+        out.extend(self.a1.params());
+        out
+    }
+
+    /// Embeds a statement AST with the TreeLSTM, returning the root's
+    /// hidden state h_sta.
+    pub fn embed_tree(&self, g: &mut Graph, store: &ParamStore, tree: &EncTree) -> VarId {
+        let state = self.embed_tree_rec(g, store, tree);
+        state.h
+    }
+
+    fn embed_tree_rec(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        tree: &EncTree,
+    ) -> nn::LstmState {
+        let children: Vec<nn::LstmState> =
+            tree.children.iter().map(|c| self.embed_tree_rec(g, store, c)).collect();
+        let x = self.emb.lookup(g, store, tree.token);
+        self.tree.node(g, store, x, &children)
+    }
+
+    /// Embeds one program state: per-variable embeddings (f₁ for objects,
+    /// direct for primitives) threaded through the state RNN f₂.
+    pub fn embed_state(&self, g: &mut Graph, store: &ParamStore, state: &EncState) -> VarId {
+        let var_vecs: Vec<VarId> = state
+            .vars
+            .iter()
+            .map(|v| match v {
+                EncVar::Primitive(t) => self.emb.lookup(g, store, *t),
+                EncVar::Object(ts) => {
+                    let xs = self.emb.lookup_seq(g, store, ts);
+                    self.f1.encode(g, store, &xs)
+                }
+            })
+            .collect();
+        self.f2.encode(g, store, &var_vecs)
+    }
+
+    /// Encodes a whole program (all blended traces) per Figure 5.
+    pub fn encode(&self, g: &mut Graph, store: &ParamStore, prog: &EncodedProgram) -> EncoderOutput {
+        let mut flow: Vec<Vec<VarId>> = Vec::new();
+        let mut trace_embeddings: Vec<VarId> = Vec::new();
+        let mut static_attention: Vec<f32> = Vec::new();
+
+        for blended in &prog.traces {
+            if blended.steps.is_empty() {
+                continue;
+            }
+            let mut h_prev = self.f3.zero_state(g);
+            let mut states = Vec::with_capacity(blended.steps.len());
+            for (j, step) in blended.steps.iter().enumerate() {
+                let mut features: Vec<VarId> = Vec::new();
+                let has_static = self.cfg.ablation != Ablation::NoStatic;
+                if has_static {
+                    features.push(self.embed_tree(g, store, &step.tree));
+                }
+                if self.cfg.ablation != Ablation::NoDynamic {
+                    for s in &step.states {
+                        features.push(self.embed_state(g, store, s));
+                    }
+                }
+                debug_assert!(!features.is_empty(), "fusion layer needs at least one feature");
+
+                let h_j = if features.len() == 1 {
+                    if has_static && self.cfg.ablation != Ablation::NoDynamic {
+                        static_attention.push(1.0);
+                    }
+                    features[0]
+                } else if j == 0 || self.cfg.ablation == Ablation::NoAttention {
+                    // Even weights: first ordered pair (paper §5.1.1) or the
+                    // no-attention ablation (§6.3.3).
+                    let w = 1.0 / features.len() as f32;
+                    let sum = g.sum_vecs(&features);
+                    if has_static {
+                        static_attention.push(w);
+                    }
+                    g.scale(sum, w)
+                } else {
+                    let (ctx, weights) =
+                        self.a1.attend(g, store, h_prev, &features, None);
+                    if has_static {
+                        static_attention.push(g.value(weights).data()[0]);
+                    }
+                    ctx
+                };
+                h_prev = self.f3.step(g, store, h_j, h_prev);
+                states.push(h_prev);
+            }
+            trace_embeddings
+                .push(*states.last().expect("non-empty trace has a final state"));
+            flow.push(states);
+        }
+
+        let program = if trace_embeddings.is_empty() {
+            g.input(Tensor::zeros(self.cfg.hidden, 1))
+        } else {
+            g.max_pool(&trace_embeddings)
+        };
+        EncoderOutput { program, flow, static_attention }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{EncBlended, EncStep};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn leaf(token: usize) -> EncTree {
+        EncTree { token, children: Vec::new() }
+    }
+
+    fn tiny_program(n_traces: usize, n_steps: usize, n_states: usize) -> EncodedProgram {
+        let step = EncStep {
+            tree: EncTree { token: 1, children: vec![leaf(2), leaf(3)] },
+            states: (0..n_states)
+                .map(|k| EncState {
+                    vars: vec![EncVar::Primitive(4 + k), EncVar::Object(vec![2, 3])],
+                })
+                .collect(),
+        };
+        EncodedProgram {
+            traces: (0..n_traces)
+                .map(|_| EncBlended { steps: vec![step.clone(); n_steps] })
+                .collect(),
+        }
+    }
+
+    fn model(ablation: Ablation) -> (ParamStore, LigerModel) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = LigerConfig { hidden: 6, attn: 6, ablation, ..LigerConfig::default() };
+        let m = LigerModel::new(&mut store, 10, cfg, &mut rng);
+        (store, m)
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let (store, m) = model(Ablation::Full);
+        let prog = tiny_program(3, 4, 2);
+        let mut g = Graph::new();
+        let out = m.encode(&mut g, &store, &prog);
+        assert_eq!(g.value(out.program).rows(), 6);
+        assert_eq!(out.flow.len(), 3);
+        assert_eq!(out.flow[0].len(), 4);
+        assert_eq!(out.all_flow_states().len(), 12);
+        // Static attention measured for steps 2..4 of each trace (step 1
+        // uses even weights but still reports it) = 4 per trace.
+        assert_eq!(out.static_attention.len(), 12);
+    }
+
+    #[test]
+    fn fusion_weights_are_probabilities() {
+        let (store, m) = model(Ablation::Full);
+        let prog = tiny_program(1, 5, 3);
+        let mut g = Graph::new();
+        let out = m.encode(&mut g, &store, &prog);
+        for &w in &out.static_attention {
+            assert!((0.0..=1.0).contains(&w), "weight {w} out of range");
+        }
+        assert!(out.mean_static_attention().is_some());
+    }
+
+    #[test]
+    fn no_static_reports_no_static_attention() {
+        let (store, m) = model(Ablation::NoStatic);
+        let prog = tiny_program(2, 3, 2);
+        let mut g = Graph::new();
+        let out = m.encode(&mut g, &store, &prog);
+        assert!(out.static_attention.is_empty());
+        assert!(out.mean_static_attention().is_none());
+    }
+
+    #[test]
+    fn no_dynamic_uses_full_static_weight() {
+        let (store, m) = model(Ablation::NoDynamic);
+        let prog = tiny_program(2, 3, 2);
+        let mut g = Graph::new();
+        let out = m.encode(&mut g, &store, &prog);
+        // Single feature per step: no attention weights recorded.
+        assert!(out.static_attention.is_empty());
+        assert_eq!(g.value(out.program).rows(), 6);
+    }
+
+    #[test]
+    fn no_attention_uses_uniform_weights() {
+        let (store, m) = model(Ablation::NoAttention);
+        let prog = tiny_program(1, 4, 2);
+        let mut g = Graph::new();
+        let out = m.encode(&mut g, &store, &prog);
+        // 3 features per step (1 static + 2 dynamic) → weight 1/3 always.
+        for &w in &out.static_attention {
+            assert!((w - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_program_encodes_to_zero() {
+        let (store, m) = model(Ablation::Full);
+        let prog = EncodedProgram::default();
+        let mut g = Graph::new();
+        let out = m.encode(&mut g, &store, &prog);
+        assert_eq!(g.value(out.program).data(), &[0.0; 6]);
+        assert!(out.all_flow_states().is_empty());
+    }
+
+    #[test]
+    fn gradients_flow_through_full_encoder() {
+        let (mut store, m) = model(Ablation::Full);
+        let prog = tiny_program(2, 3, 2);
+        let mut g = Graph::new();
+        let out = m.encode(&mut g, &store, &prog);
+        let loss = g.cross_entropy(out.program, 0);
+        g.backward(loss, &mut store);
+        assert!(store.grad_norm() > 0.0, "no gradient reached the parameters");
+    }
+}

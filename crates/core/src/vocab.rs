@@ -1,0 +1,203 @@
+//! Vocabularies: the shared input vocabulary 𝒟ₛ ∪ 𝒟_d and the output
+//! (method-name sub-token) vocabulary.
+//!
+//! §6.1 Implementation: "Our vocabulary has 9,641 unique tokens (for both
+//! static and dynamic feature dimensions), each of which is embedded into
+//! a 100-dimensional vector" — one index space serves both feature
+//! dimensions, which is what lets identical concrete values teach the
+//! model that differently-spelled statements agree (§3).
+
+use std::collections::HashMap;
+
+/// Index of a token in a [`Vocab`].
+pub type TokenId = usize;
+
+/// A frozen token → index mapping with an `<UNK>` fallback at index 0.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    index: HashMap<String, TokenId>,
+    tokens: Vec<String>,
+}
+
+/// The reserved unknown-token spelling.
+pub const UNK: &str = "<UNK>";
+
+impl Vocab {
+    /// An empty vocabulary containing only `<UNK>`.
+    pub fn new() -> Vocab {
+        let mut v = Vocab { index: HashMap::new(), tokens: Vec::new() };
+        v.add(UNK);
+        v
+    }
+
+    /// Inserts `token` if absent; returns its id.
+    pub fn add(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.index.get(token) {
+            return id;
+        }
+        let id = self.tokens.len();
+        self.index.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        id
+    }
+
+    /// Inserts every token of an iterator.
+    pub fn add_all<'a>(&mut self, tokens: impl IntoIterator<Item = &'a str>) {
+        for t in tokens {
+            self.add(t);
+        }
+    }
+
+    /// The id of `token`, or the `<UNK>` id when absent.
+    pub fn get(&self, token: &str) -> TokenId {
+        self.index.get(token).copied().unwrap_or(0)
+    }
+
+    /// The spelling of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range ids.
+    pub fn token(&self, id: TokenId) -> &str {
+        &self.tokens[id]
+    }
+
+    /// Number of tokens (including `<UNK>`).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when only `<UNK>` is present.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() <= 1
+    }
+
+    /// True when `token` is present (not counting the `<UNK>` fallback).
+    pub fn contains(&self, token: &str) -> bool {
+        self.index.contains_key(token)
+    }
+}
+
+/// The output vocabulary for method-name generation: sub-tokens plus the
+/// reserved `<SOS>`/`<EOS>` markers ("The decoder also receives a special
+/// token to begin, and emits another to end the generation", §5.1.2).
+#[derive(Debug, Clone, Default)]
+pub struct OutVocab {
+    inner: Vocab,
+}
+
+/// Reserved id of the start-of-sequence marker.
+pub const SOS: TokenId = 1;
+/// Reserved id of the end-of-sequence marker.
+pub const EOS: TokenId = 2;
+
+impl OutVocab {
+    /// An output vocabulary containing `<UNK>`, `<SOS>`, `<EOS>`.
+    pub fn new() -> OutVocab {
+        let mut inner = Vocab::new();
+        let sos = inner.add("<SOS>");
+        let eos = inner.add("<EOS>");
+        debug_assert_eq!(sos, SOS);
+        debug_assert_eq!(eos, EOS);
+        OutVocab { inner }
+    }
+
+    /// Inserts a sub-token if absent; returns its id.
+    pub fn add(&mut self, token: &str) -> TokenId {
+        self.inner.add(token)
+    }
+
+    /// The id of `token`, or `<UNK>`'s id when absent.
+    pub fn get(&self, token: &str) -> TokenId {
+        self.inner.get(token)
+    }
+
+    /// The spelling of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for out-of-range ids.
+    pub fn token(&self, id: TokenId) -> &str {
+        self.inner.token(id)
+    }
+
+    /// Number of tokens, including the three reserved entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when only the reserved tokens exist.
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() <= 3
+    }
+
+    /// Encodes a method name as sub-token ids terminated by `<EOS>`.
+    pub fn encode_name(&self, name: &str) -> Vec<TokenId> {
+        let mut out: Vec<TokenId> =
+            minilang::subtokens(name).iter().map(|t| self.get(t)).collect();
+        out.push(EOS);
+        out
+    }
+
+    /// Decodes predicted ids (stopping at `<EOS>`) back to sub-tokens,
+    /// skipping reserved entries.
+    pub fn decode_name(&self, ids: &[TokenId]) -> Vec<String> {
+        let mut out = Vec::new();
+        for &id in ids {
+            if id == EOS {
+                break;
+            }
+            if id == SOS || id == 0 {
+                continue;
+            }
+            out.push(self.token(id).to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unk_is_index_zero() {
+        let v = Vocab::new();
+        assert_eq!(v.get("never-seen"), 0);
+        assert_eq!(v.token(0), UNK);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("x");
+        let b = v.add("x");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn out_vocab_reserved_ids() {
+        let v = OutVocab::new();
+        assert_eq!(v.token(SOS), "<SOS>");
+        assert_eq!(v.token(EOS), "<EOS>");
+    }
+
+    #[test]
+    fn encode_decode_name_roundtrip() {
+        let mut v = OutVocab::new();
+        v.add("find");
+        v.add("max");
+        let ids = v.encode_name("findMax");
+        assert_eq!(ids.len(), 3);
+        assert_eq!(*ids.last().unwrap(), EOS);
+        assert_eq!(v.decode_name(&ids), vec!["find", "max"]);
+    }
+
+    #[test]
+    fn unknown_subtokens_map_to_unk() {
+        let v = OutVocab::new();
+        let ids = v.encode_name("mystery");
+        assert_eq!(ids, vec![0, EOS]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Corpus assembly: generation, the Table 1 filtering pipeline, and
+//! train/validation/test splits.
+//!
+//! The paper filters Java-med/Java-large down to methods that (1) compile,
+//! (2) Randoop can execute, (3) finish within a timeout, and (4) are not
+//! trivially small (Table 1). The raw generator here deliberately includes
+//! defective programs (corrupted sources, crash-on-every-input bodies,
+//! diverging bodies, trivially small bodies) so that the same pipeline has
+//! real work to do.
+
+use crate::coset::Strategy;
+use crate::templates::Behavior;
+use crate::variation::Knobs;
+use minilang::Program;
+use rand::{Rng, RngExt as _};
+use randgen::{generate_grouped, GenConfig};
+use trace::PathGroup;
+
+/// Why a raw program was filtered out — the categories of Table 1's
+/// "filtered" discussion (§6.1 Datasets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterReason {
+    /// Does not parse or type-check ("some programs do not compile").
+    DoesNotCompile,
+    /// No input produced a successful execution ("Randoop does not have
+    /// access" / everything crashes).
+    NoExecutions,
+    /// Exceeded the fuel budget on every attempt ("take too long").
+    Timeout,
+    /// Fewer statements than the minimum ("too small to be considered").
+    TooSmall,
+}
+
+/// Aggregate statistics of one filtering run — the data behind Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterStats {
+    /// Programs generated before filtering ("Original").
+    pub original: usize,
+    /// Programs surviving all filters ("Filtered").
+    pub kept: usize,
+    /// Dropped: compile failures.
+    pub no_compile: usize,
+    /// Dropped: no successful executions.
+    pub no_exec: usize,
+    /// Dropped: timeouts.
+    pub timeout: usize,
+    /// Dropped: too small.
+    pub too_small: usize,
+}
+
+/// One usable sample of the method-name corpus.
+#[derive(Debug, Clone)]
+pub struct MethodSample {
+    /// The ground-truth method name.
+    pub name: String,
+    /// The behaviour family ("project" for splitting purposes).
+    pub behavior: Behavior,
+    /// The parsed program.
+    pub program: Program,
+    /// Executions grouped by path, ready to blend.
+    pub groups: Vec<PathGroup>,
+}
+
+/// One usable sample of the COSET-like corpus.
+#[derive(Debug, Clone)]
+pub struct CosetSample {
+    /// The algorithm-strategy class label.
+    pub label: usize,
+    /// The strategy.
+    pub strategy: Strategy,
+    /// The parsed program.
+    pub program: Program,
+    /// Executions grouped by path.
+    pub groups: Vec<PathGroup>,
+}
+
+/// Generation settings for both corpora.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Variants generated per behaviour/strategy (before filtering).
+    pub variants_per_family: usize,
+    /// Probability of a misleading accumulator name.
+    pub misleading_prob: f64,
+    /// Probability of injecting a defective variant (exercises Table 1's
+    /// filter categories).
+    pub defect_prob: f64,
+    /// Maximum dead-code distractor statements per program (each variant
+    /// draws uniformly from `0..=max_distractors`); distractors carry
+    /// cross-family keywords to defeat keyword mining while leaving
+    /// runtime behaviour untouched.
+    pub max_distractors: usize,
+    /// Trace generation settings (paths × concrete executions).
+    pub gen: GenConfig,
+    /// Minimum statement count (the "too small" filter).
+    pub min_statements: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            variants_per_family: 8,
+            misleading_prob: 0.8,
+            defect_prob: 0.08,
+            max_distractors: 2,
+            gen: GenConfig { target_paths: 12, concrete_per_path: 5, ..GenConfig::default() },
+            min_statements: 3,
+        }
+    }
+}
+
+/// A generated method-name corpus plus its filtering statistics.
+#[derive(Debug, Clone)]
+pub struct MethodCorpus {
+    /// The surviving samples.
+    pub samples: Vec<MethodSample>,
+    /// Table 1 statistics.
+    pub stats: FilterStats,
+}
+
+/// A generated COSET-like corpus plus its filtering statistics.
+#[derive(Debug, Clone)]
+pub struct CosetCorpus {
+    /// The surviving samples.
+    pub samples: Vec<CosetSample>,
+    /// Table 1-style statistics.
+    pub stats: FilterStats,
+}
+
+/// Injects a defect into a source string (for the filter pipeline tests).
+fn corrupt<R: Rng + ?Sized>(src: &str, rng: &mut R) -> (String, FilterReason) {
+    match rng.random_range(0..4) {
+        0 => {
+            // Undeclared variable → type error.
+            (src.replacen("return", "return zz9 + 0 * ", 1), FilterReason::DoesNotCompile)
+        }
+        1 => {
+            // Crash on every input.
+            let broken = src.replacen('{', "{\nlet zz0: int = 1 / (0 * 1);\n", 1);
+            (broken, FilterReason::NoExecutions)
+        }
+        2 => {
+            // Diverge on every input.
+            let broken =
+                src.replacen('{', "{\nlet zz1: int = 0;\nwhile (zz1 < 1) {\nzz1 *= 1;\n}\n", 1);
+            (broken, FilterReason::Timeout)
+        }
+        _ => {
+            // Trivially small.
+            let name = src.split('(').next().unwrap_or("fn f").to_string();
+            (format!("{name}() -> int {{\nreturn 0;\n}}"), FilterReason::TooSmall)
+        }
+    }
+}
+
+/// Runs the shared filter pipeline on one source string.
+fn filter_one<R: Rng + ?Sized>(
+    src: &str,
+    config: &CorpusConfig,
+    rng: &mut R,
+) -> Result<(Program, Vec<PathGroup>), FilterReason> {
+    let program = match minilang::parse(src).and_then(|p| minilang::typecheck(&p).map(|()| p)) {
+        Ok(p) => p,
+        Err(_) => return Err(FilterReason::DoesNotCompile),
+    };
+    if program.statements().len() < config.min_statements {
+        return Err(FilterReason::TooSmall);
+    }
+    let (groups, stats) = generate_grouped(&program, &config.gen, rng);
+    if groups.is_empty() {
+        // Distinguish "everything timed out" from "everything crashed" by
+        // re-running one input with generous fuel.
+        let inputs = randgen::random_inputs(&program, &config.gen.inputs, rng);
+        return match interp::run_with_fuel(&program, &inputs, config.gen.fuel * 8) {
+            Err(interp::RuntimeError::OutOfFuel) => Err(FilterReason::Timeout),
+            _ => Err(FilterReason::NoExecutions),
+        };
+    }
+    debug_assert!(stats.kept > 0);
+    Ok((program, groups))
+}
+
+fn record(stats: &mut FilterStats, reason: FilterReason) {
+    match reason {
+        FilterReason::DoesNotCompile => stats.no_compile += 1,
+        FilterReason::NoExecutions => stats.no_exec += 1,
+        FilterReason::Timeout => stats.timeout += 1,
+        FilterReason::TooSmall => stats.too_small += 1,
+    }
+}
+
+/// Generates the method-name corpus.
+pub fn generate_method_corpus<R: Rng + ?Sized>(
+    config: &CorpusConfig,
+    rng: &mut R,
+) -> MethodCorpus {
+    let mut samples = Vec::new();
+    let mut stats = FilterStats::default();
+    for behavior in Behavior::ALL {
+        for _ in 0..config.variants_per_family {
+            stats.original += 1;
+            let knobs = Knobs::random(rng, config.misleading_prob);
+            let pool = behavior.name_pool();
+            let name = pool[rng.random_range(0..pool.len())];
+            let distractors = rng.random_range(0..=config.max_distractors);
+            let mut src = crate::variation::with_distractors(
+                &behavior.render_named(&knobs, name),
+                distractors,
+                rng,
+            );
+            if rng.random_bool(config.defect_prob) {
+                src = corrupt(&src, rng).0;
+            }
+            match filter_one(&src, config, rng) {
+                Ok((program, groups)) => {
+                    stats.kept += 1;
+                    samples.push(MethodSample {
+                        name: name.to_string(),
+                        behavior,
+                        program,
+                        groups,
+                    });
+                }
+                Err(reason) => record(&mut stats, reason),
+            }
+        }
+    }
+    MethodCorpus { samples, stats }
+}
+
+/// Generates the COSET-like corpus.
+pub fn generate_coset_corpus<R: Rng + ?Sized>(config: &CorpusConfig, rng: &mut R) -> CosetCorpus {
+    let mut samples = Vec::new();
+    let mut stats = FilterStats::default();
+    for strategy in Strategy::ALL {
+        for _ in 0..config.variants_per_family {
+            stats.original += 1;
+            let knobs = Knobs::random(rng, config.misleading_prob);
+            let distractors = rng.random_range(0..=config.max_distractors);
+            let mut src =
+                crate::variation::with_distractors(&strategy.render(&knobs), distractors, rng);
+            if rng.random_bool(config.defect_prob) {
+                src = corrupt(&src, rng).0;
+            }
+            match filter_one(&src, config, rng) {
+                Ok((program, groups)) => {
+                    stats.kept += 1;
+                    samples.push(CosetSample {
+                        label: strategy.label(),
+                        strategy,
+                        program,
+                        groups,
+                    });
+                }
+                Err(reason) => record(&mut stats, reason),
+            }
+        }
+    }
+    CosetCorpus { samples, stats }
+}
+
+/// A train/validation/test split (by index, variants disjoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Validation indices.
+    pub valid: Vec<usize>,
+    /// Test indices.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` samples into shuffled train/valid/test index sets with the
+/// given fractions (test takes the remainder).
+///
+/// # Panics
+///
+/// Panics when the fractions exceed 1.
+pub fn split_indices<R: Rng + ?Sized>(
+    n: usize,
+    train_frac: f64,
+    valid_frac: f64,
+    rng: &mut R,
+) -> Split {
+    assert!(train_frac + valid_frac <= 1.0, "fractions exceed 1");
+    let mut idx: Vec<usize> = (0..n).collect();
+    use rand::seq::SliceRandom;
+    idx.shuffle(rng);
+    let n_train = (n as f64 * train_frac).round() as usize;
+    let n_valid = (n as f64 * valid_frac).round() as usize;
+    let train = idx[..n_train.min(n)].to_vec();
+    let valid = idx[n_train.min(n)..(n_train + n_valid).min(n)].to_vec();
+    let test = idx[(n_train + n_valid).min(n)..].to_vec();
+    Split { train, valid, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> CorpusConfig {
+        CorpusConfig {
+            variants_per_family: 2,
+            defect_prob: 0.3,
+            gen: GenConfig {
+                target_paths: 4,
+                concrete_per_path: 3,
+                max_attempts: 200,
+                ..GenConfig::default()
+            },
+            ..CorpusConfig::default()
+        }
+    }
+
+    #[test]
+    fn method_corpus_filters_and_keeps() {
+        let mut rng = StdRng::seed_from_u64(500);
+        let corpus = generate_method_corpus(&small_config(), &mut rng);
+        assert_eq!(corpus.stats.original, Behavior::ALL.len() * 2);
+        assert!(corpus.stats.kept > 0);
+        assert_eq!(corpus.samples.len(), corpus.stats.kept);
+        let dropped = corpus.stats.no_compile
+            + corpus.stats.no_exec
+            + corpus.stats.timeout
+            + corpus.stats.too_small;
+        assert_eq!(corpus.stats.original, corpus.stats.kept + dropped);
+        // With defect_prob 0.3 over 54 programs some must be filtered.
+        assert!(dropped > 0, "filter pipeline had nothing to do");
+        // Every kept sample has traces.
+        assert!(corpus.samples.iter().all(|s| !s.groups.is_empty()));
+    }
+
+    #[test]
+    fn coset_corpus_labels_are_valid() {
+        let mut rng = StdRng::seed_from_u64(501);
+        let corpus = generate_coset_corpus(&small_config(), &mut rng);
+        assert!(corpus.samples.iter().all(|s| s.label < Strategy::ALL.len()));
+        assert!(corpus.stats.kept > 0);
+    }
+
+    #[test]
+    fn corrupt_produces_filterable_programs() {
+        let mut rng = StdRng::seed_from_u64(502);
+        let config = small_config();
+        let base = Behavior::SumArray.render(&Knobs::plain());
+        let mut seen_failure = false;
+        for _ in 0..20 {
+            let (src, _expected) = corrupt(&base, &mut rng);
+            if filter_one(&src, &config, &mut rng).is_err() {
+                seen_failure = true;
+            }
+        }
+        assert!(seen_failure, "corruption never produced a filtered program");
+    }
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let mut rng = StdRng::seed_from_u64(503);
+        let split = split_indices(100, 0.7, 0.15, &mut rng);
+        assert_eq!(split.train.len(), 70);
+        assert_eq!(split.valid.len(), 15);
+        assert_eq!(split.test.len(), 15);
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.valid)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn overfull_split_panics() {
+        let mut rng = StdRng::seed_from_u64(504);
+        split_indices(10, 0.8, 0.4, &mut rng);
+    }
+}

@@ -1,0 +1,383 @@
+//! The COSET-like semantics-classification corpus (§6.2).
+//!
+//! COSET (Wang & Christodorescu [27]) contains programs by many
+//! programmers solving ten coding problems; "the challenge for models to
+//! resolve is to differentiate a variety of algorithms applied for solving
+//! each coding problem (e.g. bubble sort vs. insertion sort vs. merge
+//! sort)". This module generates the reproduction's equivalent: ten
+//! problems, each with several algorithmic strategies, all rendered
+//! through the variation engine. The label is the *strategy*.
+
+use crate::variation::Knobs;
+
+/// One (problem, strategy) pair of the COSET-like corpus. The class label
+/// of the classification task is the index into [`Strategy::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Sorting — bubble sort (adjacent swaps, shrinking bound).
+    SortBubble,
+    /// Sorting — insertion sort (shift left into place).
+    SortInsertion,
+    /// Sorting — selection sort (select minimum, swap to front).
+    SortSelection,
+    /// Max — forward best-so-far scan.
+    MaxForward,
+    /// Max — backward best-so-far scan.
+    MaxBackward,
+    /// Max — `max()` accumulator.
+    MaxBuiltin,
+    /// Reverse — two-pointer in-place swap.
+    ReverseSwap,
+    /// Reverse — rebuild via `push` from the end.
+    ReverseBuild,
+    /// Sum — forward accumulation.
+    SumForward,
+    /// Sum — backward accumulation.
+    SumBackward,
+    /// Contains — early-return linear search.
+    ContainsEarly,
+    /// Contains — full-scan flag.
+    ContainsFlag,
+    /// Count occurrences — conditional increment.
+    CountIf,
+    /// Count occurrences — boolean-to-int arithmetic.
+    CountArith,
+    /// GCD — Euclid with remainder.
+    GcdMod,
+    /// GCD — Euclid with subtraction.
+    GcdSub,
+    /// Factorial — ascending product.
+    FactUp,
+    /// Factorial — descending product.
+    FactDown,
+    /// Fibonacci — rolling pair.
+    FibPair,
+    /// Fibonacci — array dynamic programming.
+    FibArray,
+    /// Power — repeated multiplication.
+    PowLoop,
+    /// Power — square-and-multiply.
+    PowFast,
+    /// Is-even — remainder test.
+    EvenMod,
+    /// Is-even — halving-doubling identity test.
+    EvenHalf,
+    /// Digit sum — remainder peeling.
+    DigitMod,
+    /// Digit count — division counting.
+    DigitCount,
+}
+
+impl Strategy {
+    /// All strategies (the class label space of Table 3's task).
+    pub const ALL: [Strategy; 26] = [
+        Strategy::SortBubble,
+        Strategy::SortInsertion,
+        Strategy::SortSelection,
+        Strategy::MaxForward,
+        Strategy::MaxBackward,
+        Strategy::MaxBuiltin,
+        Strategy::ReverseSwap,
+        Strategy::ReverseBuild,
+        Strategy::SumForward,
+        Strategy::SumBackward,
+        Strategy::ContainsEarly,
+        Strategy::ContainsFlag,
+        Strategy::CountIf,
+        Strategy::CountArith,
+        Strategy::GcdMod,
+        Strategy::GcdSub,
+        Strategy::FactUp,
+        Strategy::FactDown,
+        Strategy::FibPair,
+        Strategy::FibArray,
+        Strategy::PowLoop,
+        Strategy::PowFast,
+        Strategy::EvenMod,
+        Strategy::EvenHalf,
+        Strategy::DigitMod,
+        Strategy::DigitCount,
+    ];
+
+    /// The class label (index into [`Strategy::ALL`]).
+    pub fn label(self) -> usize {
+        Strategy::ALL.iter().position(|s| *s == self).expect("strategy is in ALL")
+    }
+
+    /// The coding problem this strategy solves; strategies of the same
+    /// problem produce identical outputs on identical inputs (the
+    /// confusability the task is about).
+    pub fn problem(self) -> &'static str {
+        match self {
+            Strategy::SortBubble | Strategy::SortInsertion | Strategy::SortSelection => "sort",
+            Strategy::MaxForward | Strategy::MaxBackward | Strategy::MaxBuiltin => "max",
+            Strategy::ReverseSwap | Strategy::ReverseBuild => "reverse",
+            Strategy::SumForward | Strategy::SumBackward => "sum",
+            Strategy::ContainsEarly | Strategy::ContainsFlag => "contains",
+            Strategy::CountIf | Strategy::CountArith => "countOcc",
+            Strategy::GcdMod | Strategy::GcdSub => "gcd",
+            Strategy::FactUp | Strategy::FactDown => "factorial",
+            Strategy::FibPair | Strategy::FibArray => "fibonacci",
+            Strategy::PowLoop | Strategy::PowFast => "power",
+            Strategy::EvenMod | Strategy::EvenHalf => "isEven",
+            Strategy::DigitMod => "digitSum",
+            Strategy::DigitCount => "digitCount",
+        }
+    }
+
+    /// Renders one variant through the variation knobs. The generated
+    /// function is always named `solve` so the method name carries no
+    /// class signal — classification must come from structure/semantics.
+    pub fn render(self, knobs: &Knobs) -> String {
+        let nm = &knobs.names;
+        let (arr, num, i, j, acc, tmp, aux) =
+            (&nm.arr, &nm.n, &nm.idx, &nm.jdx, &nm.acc, &nm.tmp, &nm.aux);
+        match self {
+            Strategy::SortBubble => format!(
+                "fn solve({arr}: array<int>) -> array<int> {{\nfor (let {i}: int = len({arr}) - 1; {i} > 0; {i} -= 1) {{\nfor (let {j}: int = 0; {cond}; {incr}) {{\nif ({arr}[{j}] > {arr}[{j} + 1]) {{\nlet {tmp}: int = {arr}[{j}];\n{arr}[{j}] = {arr}[{j} + 1];\n{arr}[{j} + 1] = {tmp};\n}}\n}}\n}}\nreturn {arr};\n}}",
+                cond = knobs.lt(j, i),
+                incr = knobs.incr_stmt(j),
+            ),
+            Strategy::SortInsertion => format!(
+                "fn solve({arr}: array<int>) -> array<int> {{\nfor (let {i}: int = 1; {cond}; {incr}) {{\nlet {j}: int = {i};\nwhile ({j} > 0 && {arr}[{j} - 1] > {arr}[{j}]) {{\nlet {tmp}: int = {arr}[{j}];\n{arr}[{j}] = {arr}[{j} - 1];\n{arr}[{j} - 1] = {tmp};\n{j} -= 1;\n}}\n}}\nreturn {arr};\n}}",
+                cond = knobs.lt(i, &format!("len({arr})")),
+                incr = knobs.incr_stmt(i),
+            ),
+            Strategy::SortSelection => format!(
+                "fn solve({arr}: array<int>) -> array<int> {{\nfor (let {i}: int = 0; {cond}; {incr}) {{\nlet {aux}: int = {i};\nfor (let {j}: int = {i} + 1; {cond2}; {incr2}) {{\nif ({arr}[{j}] < {arr}[{aux}]) {{\n{aux} = {j};\n}}\n}}\nlet {tmp}: int = {arr}[{i}];\n{arr}[{i}] = {arr}[{aux}];\n{arr}[{aux}] = {tmp};\n}}\nreturn {arr};\n}}",
+                cond = knobs.lt(i, &format!("len({arr})")),
+                incr = knobs.incr_stmt(i),
+                cond2 = knobs.lt(j, &format!("len({arr})")),
+                incr2 = knobs.incr_stmt(j),
+            ),
+            Strategy::MaxForward => format!(
+                "fn solve({arr}: array<int>) -> int {{\nif (len({arr}) == 0) {{\nreturn 0;\n}}\nlet {acc}: int = {arr}[0];\n{lp}\nreturn {acc};\n}}",
+                lp = knobs.counted_loop(
+                    i,
+                    "1",
+                    &format!("len({arr})"),
+                    &format!("if ({arr}[{i}] > {acc}) {{\n{acc} = {arr}[{i}];\n}}"),
+                ),
+            ),
+            Strategy::MaxBackward => format!(
+                "fn solve({arr}: array<int>) -> int {{\nif (len({arr}) == 0) {{\nreturn 0;\n}}\nlet {acc}: int = {arr}[len({arr}) - 1];\nlet {i}: int = len({arr}) - 2;\nwhile ({i} >= 0) {{\nif ({arr}[{i}] > {acc}) {{\n{acc} = {arr}[{i}];\n}}\n{i} -= 1;\n}}\nreturn {acc};\n}}"
+            ),
+            Strategy::MaxBuiltin => format!(
+                "fn solve({arr}: array<int>) -> int {{\nif (len({arr}) == 0) {{\nreturn 0;\n}}\nlet {acc}: int = {arr}[0];\n{lp}\nreturn {acc};\n}}",
+                lp = knobs.counted_loop(
+                    i,
+                    "1",
+                    &format!("len({arr})"),
+                    &format!("{acc} = max({acc}, {arr}[{i}]);"),
+                ),
+            ),
+            Strategy::ReverseSwap => format!(
+                "fn solve({arr}: array<int>) -> array<int> {{\n{lp}\nreturn {arr};\n}}",
+                lp = knobs.counted_loop(
+                    i,
+                    "0",
+                    &format!("len({arr}) / 2"),
+                    &format!("let {tmp}: int = {arr}[{i}];\n{arr}[{i}] = {arr}[len({arr}) - 1 - {i}];\n{arr}[len({arr}) - 1 - {i}] = {tmp};"),
+                ),
+            ),
+            Strategy::ReverseBuild => format!(
+                "fn solve({arr}: array<int>) -> array<int> {{\nlet {acc}: array<int> = [];\nlet {i}: int = len({arr}) - 1;\nwhile ({i} >= 0) {{\n{acc} = push({acc}, {arr}[{i}]);\n{i} -= 1;\n}}\nreturn {acc};\n}}"
+            ),
+            Strategy::SumForward => format!(
+                "fn solve({arr}: array<int>) -> int {{\nlet {acc}: int = 0;\n{lp}\nreturn {acc};\n}}",
+                lp = knobs.counted_loop(
+                    i,
+                    "0",
+                    &format!("len({arr})"),
+                    &format!("{acc} += {arr}[{i}];"),
+                ),
+            ),
+            Strategy::SumBackward => format!(
+                "fn solve({arr}: array<int>) -> int {{\nlet {acc}: int = 0;\nlet {i}: int = len({arr}) - 1;\nwhile ({i} >= 0) {{\n{acc} += {arr}[{i}];\n{i} -= 1;\n}}\nreturn {acc};\n}}"
+            ),
+            Strategy::ContainsEarly => format!(
+                "fn solve({arr}: array<int>, {num}: int) -> bool {{\n{lp}\nreturn false;\n}}",
+                lp = knobs.counted_loop(
+                    i,
+                    "0",
+                    &format!("len({arr})"),
+                    &format!("if ({arr}[{i}] == {num}) {{\nreturn true;\n}}"),
+                ),
+            ),
+            Strategy::ContainsFlag => format!(
+                "fn solve({arr}: array<int>, {num}: int) -> bool {{\nlet {aux}: bool = false;\n{lp}\nreturn {aux};\n}}",
+                lp = knobs.counted_loop(
+                    i,
+                    "0",
+                    &format!("len({arr})"),
+                    &format!("if ({arr}[{i}] == {num}) {{\n{aux} = true;\n}}"),
+                ),
+            ),
+            Strategy::CountIf => format!(
+                "fn solve({arr}: array<int>, {num}: int) -> int {{\nlet {acc}: int = 0;\n{lp}\nreturn {acc};\n}}",
+                lp = knobs.counted_loop(
+                    i,
+                    "0",
+                    &format!("len({arr})"),
+                    &format!("if ({arr}[{i}] == {num}) {{\n{acc} += 1;\n}}"),
+                ),
+            ),
+            Strategy::CountArith => format!(
+                "fn solve({arr}: array<int>, {num}: int) -> int {{\nlet {acc}: int = 0;\n{lp}\nreturn {acc};\n}}",
+                lp = knobs.counted_loop(
+                    i,
+                    "0",
+                    &format!("len({arr})"),
+                    // 1 - min(1, |a[i] - x|) is 1 exactly on equality.
+                    &format!("{acc} += 1 - min(1, abs({arr}[{i}] - {num}));"),
+                ),
+            ),
+            Strategy::GcdMod => format!(
+                "fn solve({num}: int, {aux}: int) -> int {{\nlet {acc}: int = abs({num});\nlet {tmp}: int = abs({aux});\nwhile ({tmp} != 0) {{\nlet {j}: int = {acc} % {tmp};\n{acc} = {tmp};\n{tmp} = {j};\n}}\nreturn {acc};\n}}"
+            ),
+            Strategy::GcdSub => format!(
+                "fn solve({num}: int, {aux}: int) -> int {{\nlet {acc}: int = abs({num});\nlet {tmp}: int = abs({aux});\nif ({acc} == 0) {{\nreturn {tmp};\n}}\nif ({tmp} == 0) {{\nreturn {acc};\n}}\nwhile ({acc} != {tmp}) {{\nif ({acc} > {tmp}) {{\n{acc} -= {tmp};\n}} else {{\n{tmp} -= {acc};\n}}\n}}\nreturn {acc};\n}}"
+            ),
+            Strategy::FactUp => format!(
+                "fn solve({num}: int) -> int {{\nif ({num} > 12) {{\nreturn 0;\n}}\nlet {acc}: int = 1;\n{lp}\nreturn {acc};\n}}",
+                lp = knobs.counted_loop(j, "1", &format!("{num} + 1"), &format!("{acc} *= {j};")),
+            ),
+            Strategy::FactDown => format!(
+                "fn solve({num}: int) -> int {{\nif ({num} > 12) {{\nreturn 0;\n}}\nlet {acc}: int = 1;\nlet {j}: int = {num};\nwhile ({j} > 1) {{\n{acc} *= {j};\n{j} -= 1;\n}}\nreturn {acc};\n}}"
+            ),
+            Strategy::FibPair => format!(
+                "fn solve({num}: int) -> int {{\nlet {acc}: int = 0;\nlet {tmp}: int = 1;\nlet {aux}: int = min(abs({num}), 40);\n{lp}\nreturn {acc};\n}}",
+                lp = knobs.counted_loop(
+                    j,
+                    "0",
+                    aux,
+                    &format!("let {i}: int = {acc} + {tmp};\n{acc} = {tmp};\n{tmp} = {i};"),
+                ),
+            ),
+            Strategy::FibArray => format!(
+                "fn solve({num}: int) -> int {{\nlet {aux}: int = min(abs({num}), 40);\nlet {arr}: array<int> = newArray({aux} + 2, 0);\n{arr}[1] = 1;\n{lp}\nreturn {arr}[{aux}];\n}}",
+                lp = knobs.counted_loop(
+                    j,
+                    "2",
+                    &format!("{aux} + 1"),
+                    &format!("{arr}[{j}] = {arr}[{j} - 1] + {arr}[{j} - 2];"),
+                ),
+            ),
+            Strategy::PowLoop => format!(
+                "fn solve({num}: int, {aux}: int) -> int {{\nlet {tmp}: int = abs({aux}) % 5;\nlet {acc}: int = 1;\n{lp}\nreturn {acc};\n}}",
+                lp = knobs.counted_loop(j, "0", tmp, &format!("{acc} *= {num};")),
+            ),
+            Strategy::PowFast => format!(
+                "fn solve({num}: int, {aux}: int) -> int {{\nlet {tmp}: int = abs({aux}) % 5;\nlet {acc}: int = 1;\nlet {i}: int = {num};\nwhile ({tmp} > 0) {{\nif ({tmp} % 2 == 1) {{\n{acc} *= {i};\n}}\n{i} *= {i};\n{tmp} = {tmp} / 2;\n}}\nreturn {acc};\n}}"
+            ),
+            Strategy::EvenMod => format!(
+                "fn solve({num}: int) -> bool {{\nif ({num} % 2 == 0) {{\nreturn true;\n}}\nreturn false;\n}}"
+            ),
+            Strategy::EvenHalf => format!(
+                "fn solve({num}: int) -> bool {{\nlet {tmp}: int = {num} / 2;\nif ({tmp} * 2 == {num}) {{\nreturn true;\n}}\nreturn false;\n}}"
+            ),
+            Strategy::DigitMod => format!(
+                "fn solve({num}: int) -> int {{\nlet {tmp}: int = abs({num});\nlet {acc}: int = 0;\nwhile ({tmp} > 0) {{\n{acc} += {tmp} % 10;\n{tmp} = {tmp} / 10;\n}}\nreturn {acc};\n}}"
+            ),
+            Strategy::DigitCount => format!(
+                "fn solve({num}: int) -> int {{\nlet {tmp}: int = abs({num});\nif ({tmp} == 0) {{\nreturn 1;\n}}\nlet {acc}: int = 0;\nwhile ({tmp} > 0) {{\n{acc} += 1;\n{tmp} = {tmp} / 10;\n}}\nreturn {acc};\n}}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::Value;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_strategy_parses_and_typechecks_under_many_knobs() {
+        let mut rng = StdRng::seed_from_u64(300);
+        for s in Strategy::ALL {
+            for _ in 0..8 {
+                let knobs = Knobs::random(&mut rng, 0.2);
+                let src = s.render(&knobs);
+                let p = minilang::parse(&src)
+                    .unwrap_or_else(|e| panic!("{s:?} failed to parse: {e}\n{src}"));
+                minilang::typecheck(&p)
+                    .unwrap_or_else(|e| panic!("{s:?} failed to typecheck: {e}\n{src}"));
+                assert_eq!(p.function.name, "solve");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_dense_and_unique() {
+        for (i, s) in Strategy::ALL.iter().enumerate() {
+            assert_eq!(s.label(), i);
+        }
+    }
+
+    #[test]
+    fn same_problem_strategies_agree_on_outputs() {
+        // COSET's premise: different algorithms for the same problem are
+        // I/O-equivalent; the model must tell them apart anyway.
+        let mut rng = StdRng::seed_from_u64(301);
+        let cfg = randgen::InputConfig::default();
+        let groups: Vec<Vec<Strategy>> = vec![
+            vec![Strategy::SortBubble, Strategy::SortInsertion, Strategy::SortSelection],
+            vec![Strategy::MaxForward, Strategy::MaxBackward, Strategy::MaxBuiltin],
+            vec![Strategy::ReverseSwap, Strategy::ReverseBuild],
+            vec![Strategy::SumForward, Strategy::SumBackward],
+            vec![Strategy::ContainsEarly, Strategy::ContainsFlag],
+            vec![Strategy::CountIf, Strategy::CountArith],
+            vec![Strategy::GcdMod, Strategy::GcdSub],
+            vec![Strategy::FactUp, Strategy::FactDown],
+            vec![Strategy::FibPair, Strategy::FibArray],
+            vec![Strategy::PowLoop, Strategy::PowFast],
+            vec![Strategy::EvenMod, Strategy::EvenHalf],
+        ];
+        let k = Knobs::plain();
+        for group in groups {
+            let programs: Vec<_> = group
+                .iter()
+                .map(|s| minilang::parse(&s.render(&k)).unwrap())
+                .collect();
+            for _ in 0..20 {
+                let inputs = randgen::random_inputs(&programs[0], &cfg, &mut rng);
+                let results: Vec<_> =
+                    programs.iter().map(|p| interp::run(p, &inputs)).collect();
+                let first = &results[0];
+                for (s, r) in group.iter().zip(&results) {
+                    match (first, r) {
+                        (Ok(a), Ok(b)) => assert_eq!(
+                            a.return_value, b.return_value,
+                            "{:?} vs {s:?} on {inputs:?}",
+                            group[0]
+                        ),
+                        _ => {
+                            // Tolerate paired failures (e.g. overflow).
+                            assert_eq!(first.is_err(), r.is_err(), "{:?} vs {s:?}", group[0]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let k = Knobs::plain();
+        let p = minilang::parse(&Strategy::SortBubble.render(&k)).unwrap();
+        let out = interp::run(&p, &[Value::Array(vec![8, 5, 1, 4, 3])]).unwrap().return_value;
+        assert_eq!(out, Value::Array(vec![1, 3, 4, 5, 8]));
+    }
+
+    #[test]
+    fn fib_strategies_compute_fibonacci() {
+        let k = Knobs::plain();
+        for s in [Strategy::FibPair, Strategy::FibArray] {
+            let p = minilang::parse(&s.render(&k)).unwrap();
+            let out = interp::run(&p, &[Value::Int(10)]).unwrap().return_value;
+            assert_eq!(out, Value::Int(55), "{s:?}");
+        }
+    }
+}

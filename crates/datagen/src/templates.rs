@@ -1,0 +1,497 @@
+//! Method-name corpus templates.
+//!
+//! The substitute for Java-med / Java-large (DESIGN.md §1): a catalogue of
+//! method behaviours, each rendered through the variation engine into many
+//! syntactically-diverse but semantically-identical variants. The method
+//! name is the ground-truth label; several behaviour pairs are deliberate
+//! *confusables* — near-identical syntax, different semantics (sum vs.
+//! product, max vs. min, count-positive vs. count-negative) — so that
+//! keyword mining is insufficient and trace reading is rewarded, which is
+//! the regime the paper's Table 2 describes.
+
+use crate::variation::Knobs;
+
+/// One method behaviour of the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Behavior {
+    /// Sum of array elements.
+    SumArray,
+    /// Product of array elements.
+    ProductArray,
+    /// Maximum element.
+    MaxArray,
+    /// Minimum element.
+    MinArray,
+    /// Count of strictly positive elements.
+    CountPositive,
+    /// Count of strictly negative elements.
+    CountNegative,
+    /// Count of even elements.
+    CountEven,
+    /// Sum of even elements.
+    SumEven,
+    /// Sum of positive elements.
+    SumPositive,
+    /// Sum of absolute values.
+    AbsSum,
+    /// In-place reversal.
+    ReverseArray,
+    /// Membership test.
+    ContainsValue,
+    /// First index of a value (−1 when absent).
+    IndexOfValue,
+    /// Monotone non-decreasing test.
+    IsSorted,
+    /// Max minus min.
+    RangeArray,
+    /// Every element doubled.
+    DoubleArray,
+    /// Every element incremented.
+    IncrementArray,
+    /// Sum of `1..=n`.
+    SumToN,
+    /// Factorial (1 for n < 1).
+    Factorial,
+    /// Greatest common divisor.
+    Gcd,
+    /// `x` raised to a small bounded exponent.
+    PowerOf,
+    /// −1 / 0 / +1 sign.
+    SignOf,
+    /// Absolute value.
+    AbsValue,
+    /// Even test.
+    IsEven,
+    /// Digit sum of |n|.
+    SumDigits,
+    /// Decimal digit count of |n|.
+    CountDigits,
+    /// Decimal reversal of |n|.
+    ReverseNumber,
+}
+
+impl Behavior {
+    /// All behaviours in the catalogue.
+    pub const ALL: [Behavior; 27] = [
+        Behavior::SumArray,
+        Behavior::ProductArray,
+        Behavior::MaxArray,
+        Behavior::MinArray,
+        Behavior::CountPositive,
+        Behavior::CountNegative,
+        Behavior::CountEven,
+        Behavior::SumEven,
+        Behavior::SumPositive,
+        Behavior::AbsSum,
+        Behavior::ReverseArray,
+        Behavior::ContainsValue,
+        Behavior::IndexOfValue,
+        Behavior::IsSorted,
+        Behavior::RangeArray,
+        Behavior::DoubleArray,
+        Behavior::IncrementArray,
+        Behavior::SumToN,
+        Behavior::Factorial,
+        Behavior::Gcd,
+        Behavior::PowerOf,
+        Behavior::SignOf,
+        Behavior::AbsValue,
+        Behavior::IsEven,
+        Behavior::SumDigits,
+        Behavior::CountDigits,
+        Behavior::ReverseNumber,
+    ];
+
+    /// The ground-truth method name (the prediction target).
+    pub fn name(self) -> &'static str {
+        match self {
+            Behavior::SumArray => "sumArray",
+            Behavior::ProductArray => "productArray",
+            Behavior::MaxArray => "maxArray",
+            Behavior::MinArray => "minArray",
+            Behavior::CountPositive => "countPositive",
+            Behavior::CountNegative => "countNegative",
+            Behavior::CountEven => "countEven",
+            Behavior::SumEven => "sumEven",
+            Behavior::SumPositive => "sumPositive",
+            Behavior::AbsSum => "absSum",
+            Behavior::ReverseArray => "reverseArray",
+            Behavior::ContainsValue => "containsValue",
+            Behavior::IndexOfValue => "indexOfValue",
+            Behavior::IsSorted => "isSorted",
+            Behavior::RangeArray => "rangeArray",
+            Behavior::DoubleArray => "doubleArray",
+            Behavior::IncrementArray => "incrementArray",
+            Behavior::SumToN => "sumToN",
+            Behavior::Factorial => "factorial",
+            Behavior::Gcd => "gcd",
+            Behavior::PowerOf => "powerOf",
+            Behavior::SignOf => "signOf",
+            Behavior::AbsValue => "absValue",
+            Behavior::IsEven => "isEven",
+            Behavior::SumDigits => "sumDigits",
+            Behavior::CountDigits => "countDigits",
+            Behavior::ReverseNumber => "reverseNumber",
+        }
+    }
+
+    /// Alternative names real programmers give this behaviour. The corpus
+    /// draws method names from this pool, so the name space is large and
+    /// test names are frequently unseen as whole labels — the regime in
+    /// which the paper's code2vec struggles (its predictions come from a
+    /// closed whole-name vocabulary) while sub-token decoders share
+    /// statistical strength across synonyms.
+    /// The pools are built from sub-token *permutations* of the canonical
+    /// name plus one `compute`-prefixed variant: the order-free sub-token
+    /// targets stay (nearly) identical within a family, while the whole-
+    /// name label space triples — the exact regime that punishes
+    /// closed-label prediction without punishing sub-token decoding.
+    pub fn name_pool(self) -> &'static [&'static str] {
+        match self {
+            Behavior::SumArray => &["sumArray", "arraySum", "computeArraySum"],
+            Behavior::ProductArray => &["productArray", "arrayProduct", "computeArrayProduct"],
+            Behavior::MaxArray => &["maxArray", "arrayMax", "computeArrayMax"],
+            Behavior::MinArray => &["minArray", "arrayMin", "computeArrayMin"],
+            Behavior::CountPositive => &["countPositive", "positiveCount", "computePositiveCount"],
+            Behavior::CountNegative => &["countNegative", "negativeCount", "computeNegativeCount"],
+            Behavior::CountEven => &["countEven", "evenCount", "computeEvenCount"],
+            Behavior::SumEven => &["sumEven", "evenSum", "computeEvenSum"],
+            Behavior::SumPositive => &["sumPositive", "positiveSum", "computePositiveSum"],
+            Behavior::AbsSum => &["absSum", "sumAbs", "computeAbsSum"],
+            Behavior::ReverseArray => &["reverseArray", "arrayReverse", "computeArrayReverse"],
+            Behavior::ContainsValue => &["containsValue", "valueContains", "computeValueContains"],
+            Behavior::IndexOfValue => &["indexOfValue", "valueOfIndex", "computeValueIndex"],
+            Behavior::IsSorted => &["isSorted", "sortedIs", "computeSortedIs"],
+            Behavior::RangeArray => &["rangeArray", "arrayRange", "computeArrayRange"],
+            Behavior::DoubleArray => &["doubleArray", "arrayDouble", "computeArrayDouble"],
+            Behavior::IncrementArray => &["incrementArray", "arrayIncrement", "computeArrayIncrement"],
+            Behavior::SumToN => &["sumToN", "toNSum", "computeSumToN"],
+            Behavior::Factorial => &["factorial", "factorialValue", "computeFactorial"],
+            Behavior::Gcd => &["gcd", "gcdValue", "computeGcd"],
+            Behavior::PowerOf => &["powerOf", "ofPower", "computePowerOf"],
+            Behavior::SignOf => &["signOf", "ofSign", "computeSignOf"],
+            Behavior::AbsValue => &["absValue", "valueAbs", "computeValueAbs"],
+            Behavior::IsEven => &["isEven", "evenIs", "computeEvenIs"],
+            Behavior::SumDigits => &["sumDigits", "digitsSum", "computeDigitsSum"],
+            Behavior::CountDigits => &["countDigits", "digitsCount", "computeDigitsCount"],
+            Behavior::ReverseNumber => &["reverseNumber", "numberReverse", "computeNumberReverse"],
+        }
+    }
+
+    /// Renders one variant with an alternative method name drawn from
+    /// [`Behavior::name_pool`].
+    pub fn render_named(self, knobs: &Knobs, name: &str) -> String {
+        let canonical = format!("fn {}(", self.name());
+        self.render(knobs).replacen(&canonical, &format!("fn {name}("), 1)
+    }
+
+    /// Renders one variant of the behaviour through `knobs`. The produced
+    /// source parses, type-checks, and is total on the random-input
+    /// distribution of `randgen` (no division by zero, no out-of-bounds,
+    /// bounded loops).
+    pub fn render(self, knobs: &Knobs) -> String {
+        let n = &knobs.names;
+        let (arr, num, i, j, acc, tmp, aux) =
+            (&n.arr, &n.n, &n.idx, &n.jdx, &n.acc, &n.tmp, &n.aux);
+        match self {
+            Behavior::SumArray => fold_loop(self, knobs, "0", &format!("{acc} += {arr}[{i}];")),
+            Behavior::ProductArray => {
+                fold_loop(self, knobs, "1", &format!("{acc} *= {arr}[{i}];"))
+            }
+            Behavior::SumPositive => fold_loop(
+                self,
+                knobs,
+                "0",
+                &format!("if ({arr}[{i}] > 0) {{\n{acc} += {arr}[{i}];\n}}"),
+            ),
+            Behavior::SumEven => fold_loop(
+                self,
+                knobs,
+                "0",
+                &format!("if ({arr}[{i}] % 2 == 0) {{\n{acc} += {arr}[{i}];\n}}"),
+            ),
+            Behavior::AbsSum => {
+                fold_loop(self, knobs, "0", &format!("{acc} += abs({arr}[{i}]);"))
+            }
+            Behavior::CountPositive => fold_loop(
+                self,
+                knobs,
+                "0",
+                &format!("if ({arr}[{i}] > 0) {{\n{acc} += 1;\n}}"),
+            ),
+            Behavior::CountNegative => fold_loop(
+                self,
+                knobs,
+                "0",
+                &format!("if ({arr}[{i}] < 0) {{\n{acc} += 1;\n}}"),
+            ),
+            Behavior::CountEven => fold_loop(
+                self,
+                knobs,
+                "0",
+                &format!("if ({arr}[{i}] % 2 == 0) {{\n{acc} += 1;\n}}"),
+            ),
+            Behavior::MaxArray => extremum(self, knobs, ">"),
+            Behavior::MinArray => extremum(self, knobs, "<"),
+            Behavior::RangeArray => {
+                let body = format!(
+                    "if ({arr}[{i}] > {acc}) {{\n{acc} = {arr}[{i}];\n}}\nif ({arr}[{i}] < {tmp}) {{\n{tmp} = {arr}[{i}];\n}}"
+                );
+                let lp = knobs.counted_loop(i, "1", &format!("len({arr})"), &body);
+                format!(
+                    "fn {name}({arr}: array<int>) -> int {{\nif (len({arr}) == 0) {{\nreturn 0;\n}}\nlet {acc}: int = {arr}[0];\nlet {tmp}: int = {arr}[0];\n{lp}\nreturn {acc} - {tmp};\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::ReverseArray => {
+                let body = format!(
+                    "let {tmp}: int = {arr}[{i}];\n{arr}[{i}] = {arr}[len({arr}) - 1 - {i}];\n{arr}[len({arr}) - 1 - {i}] = {tmp};"
+                );
+                let lp = knobs.counted_loop(i, "0", &format!("len({arr}) / 2"), &body);
+                format!(
+                    "fn {name}({arr}: array<int>) -> array<int> {{\n{lp}\nreturn {arr};\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::ContainsValue => {
+                let body = format!("if ({arr}[{i}] == {num}) {{\nreturn true;\n}}");
+                let lp = knobs.counted_loop(i, "0", &format!("len({arr})"), &body);
+                format!(
+                    "fn {name}({arr}: array<int>, {num}: int) -> bool {{\n{lp}\nreturn false;\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::IndexOfValue => {
+                let body = format!("if ({arr}[{i}] == {num}) {{\nreturn {i};\n}}");
+                let lp = knobs.counted_loop(i, "0", &format!("len({arr})"), &body);
+                format!(
+                    "fn {name}({arr}: array<int>, {num}: int) -> int {{\n{lp}\nreturn 0 - 1;\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::IsSorted => {
+                let body = format!("if ({arr}[{i}] > {arr}[{i} + 1]) {{\nreturn false;\n}}");
+                let lp = knobs.counted_loop(i, "0", &format!("len({arr}) - 1"), &body);
+                format!(
+                    "fn {name}({arr}: array<int>) -> bool {{\nif (len({arr}) == 0) {{\nreturn true;\n}}\n{lp}\nreturn true;\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::DoubleArray => {
+                let body = knobs.double_stmt(&format!("{arr}[{i}]")) + ";";
+                let lp = knobs.counted_loop(i, "0", &format!("len({arr})"), &body);
+                format!(
+                    "fn {name}({arr}: array<int>) -> array<int> {{\n{lp}\nreturn {arr};\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::IncrementArray => {
+                let body = knobs.incr_stmt(&format!("{arr}[{i}]")) + ";";
+                let lp = knobs.counted_loop(i, "0", &format!("len({arr})"), &body);
+                format!(
+                    "fn {name}({arr}: array<int>) -> array<int> {{\n{lp}\nreturn {arr};\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::SumToN => {
+                let body = format!("{acc} += {j};");
+                let lp = knobs.counted_loop(j, "1", &format!("{num} + 1"), &body);
+                format!(
+                    "fn {name}({num}: int) -> int {{\nlet {acc}: int = 0;\n{lp}\nreturn {acc};\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::Factorial => {
+                let body = format!("{acc} *= {j};");
+                let lp = knobs.counted_loop(j, "1", &format!("{num} + 1"), &body);
+                format!(
+                    "fn {name}({num}: int) -> int {{\nlet {acc}: int = 1;\nif ({num} > 12) {{\nreturn 0;\n}}\n{lp}\nreturn {acc};\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::Gcd => format!(
+                "fn {name}({num}: int, {aux}: int) -> int {{\nlet {acc}: int = abs({num});\nlet {tmp}: int = abs({aux});\nwhile ({tmp} != 0) {{\nlet {j}: int = {acc} % {tmp};\n{acc} = {tmp};\n{tmp} = {j};\n}}\nreturn {acc};\n}}",
+                name = self.name()
+            ),
+            Behavior::PowerOf => {
+                let body = format!("{acc} *= {num};");
+                let lp = knobs.counted_loop(j, "0", tmp, &body);
+                format!(
+                    "fn {name}({num}: int, {aux}: int) -> int {{\nlet {tmp}: int = abs({aux}) % 5;\nlet {acc}: int = 1;\n{lp}\nreturn {acc};\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::SignOf => format!(
+                "fn {name}({num}: int) -> int {{\nif ({num} > 0) {{\nreturn 1;\n}}\nif ({num} < 0) {{\nreturn 0 - 1;\n}}\nreturn 0;\n}}",
+                name = self.name()
+            ),
+            Behavior::AbsValue => format!(
+                "fn {name}({num}: int) -> int {{\nif ({num} < 0) {{\nreturn 0 - {num};\n}}\nreturn {num};\n}}",
+                name = self.name()
+            ),
+            Behavior::IsEven => format!(
+                "fn {name}({num}: int) -> bool {{\nif ({num} % 2 == 0) {{\nreturn true;\n}}\nreturn false;\n}}",
+                name = self.name()
+            ),
+            Behavior::SumDigits => digit_loop(self, knobs, &format!("{acc} += {tmp} % 10;")),
+            Behavior::CountDigits => {
+                // A 0 has one digit; normalise via the initial check.
+                let body = format!("{acc} += 1;");
+                format!(
+                    "fn {name}({num}: int) -> int {{\nlet {tmp}: int = abs({num});\nif ({tmp} == 0) {{\nreturn 1;\n}}\nlet {acc}: int = 0;\nwhile ({tmp} > 0) {{\n{body}\n{tmp} = {tmp} / 10;\n}}\nreturn {acc};\n}}",
+                    name = self.name()
+                )
+            }
+            Behavior::ReverseNumber => digit_loop(
+                self,
+                knobs,
+                &format!("{acc} = {acc} * 10 + {tmp} % 10;"),
+            ),
+        }
+    }
+}
+
+/// The common accumulate-over-array shape.
+fn fold_loop(b: Behavior, knobs: &Knobs, init: &str, body: &str) -> String {
+    let n = &knobs.names;
+    let lp = knobs.counted_loop(&n.idx, "0", &format!("len({})", n.arr), body);
+    format!(
+        "fn {name}({arr}: array<int>) -> int {{\nlet {acc}: int = {init};\n{lp}\nreturn {acc};\n}}",
+        name = b.name(),
+        arr = n.arr,
+        acc = n.acc,
+    )
+}
+
+/// The common best-so-far extremum shape.
+fn extremum(b: Behavior, knobs: &Knobs, cmp: &str) -> String {
+    let n = &knobs.names;
+    let body = format!(
+        "if ({arr}[{i}] {cmp} {acc}) {{\n{acc} = {arr}[{i}];\n}}",
+        arr = n.arr,
+        i = n.idx,
+        acc = n.acc,
+    );
+    let lp = knobs.counted_loop(&n.idx, "1", &format!("len({})", n.arr), &body);
+    format!(
+        "fn {name}({arr}: array<int>) -> int {{\nif (len({arr}) == 0) {{\nreturn 0;\n}}\nlet {acc}: int = {arr}[0];\n{lp}\nreturn {acc};\n}}",
+        name = b.name(),
+        arr = n.arr,
+        acc = n.acc,
+    )
+}
+
+/// The common digit-peeling shape over |n|.
+fn digit_loop(b: Behavior, knobs: &Knobs, body: &str) -> String {
+    let n = &knobs.names;
+    format!(
+        "fn {name}({num}: int) -> int {{\nlet {tmp}: int = abs({num});\nlet {acc}: int = 0;\nwhile ({tmp} > 0) {{\n{body}\n{tmp} = {tmp} / 10;\n}}\nreturn {acc};\n}}",
+        name = b.name(),
+        num = n.n,
+        tmp = n.tmp,
+        acc = n.acc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_behavior_parses_and_typechecks_under_many_knobs() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for behavior in Behavior::ALL {
+            for _ in 0..12 {
+                let knobs = Knobs::random(&mut rng, 0.3);
+                let src = behavior.render(&knobs);
+                let program = minilang::parse(&src)
+                    .unwrap_or_else(|e| panic!("{behavior:?} failed to parse: {e}\n{src}"));
+                minilang::typecheck(&program)
+                    .unwrap_or_else(|e| panic!("{behavior:?} failed to typecheck: {e}\n{src}"));
+                assert_eq!(program.function.name, behavior.name());
+            }
+        }
+    }
+
+    #[test]
+    fn variants_are_semantically_equivalent() {
+        // Any two knob renderings of the same behaviour agree on random
+        // inputs — the variation engine is semantics-preserving.
+        let mut rng = StdRng::seed_from_u64(200);
+        let input_cfg = randgen::InputConfig::default();
+        for behavior in Behavior::ALL {
+            let ka = Knobs::plain();
+            let kb = Knobs::random(&mut rng, 0.5);
+            let pa = minilang::parse(&behavior.render(&ka)).unwrap();
+            let pb = minilang::parse(&behavior.render(&kb)).unwrap();
+            for trial in 0..25 {
+                let inputs = randgen::random_inputs(&pa, &input_cfg, &mut rng);
+                let ra = interp::run(&pa, &inputs);
+                let rb = interp::run(&pb, &inputs);
+                match (ra, rb) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        a.return_value, b.return_value,
+                        "{behavior:?} variants disagree on {inputs:?} (trial {trial})"
+                    ),
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{behavior:?} errors disagree"),
+                    (a, b) => panic!("{behavior:?}: one variant failed: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn behaviors_are_executable_on_typical_inputs() {
+        use interp::Value;
+        let k = Knobs::plain();
+        let cases: Vec<(Behavior, Vec<Value>, Value)> = vec![
+            (Behavior::SumArray, vec![Value::Array(vec![1, 2, 3])], Value::Int(6)),
+            (Behavior::ProductArray, vec![Value::Array(vec![2, 3, 4])], Value::Int(24)),
+            (Behavior::MaxArray, vec![Value::Array(vec![3, 9, 1])], Value::Int(9)),
+            (Behavior::MinArray, vec![Value::Array(vec![3, -9, 1])], Value::Int(-9)),
+            (Behavior::CountPositive, vec![Value::Array(vec![1, -2, 3])], Value::Int(2)),
+            (Behavior::ReverseArray, vec![Value::Array(vec![1, 2, 3])], Value::Array(vec![3, 2, 1])),
+            (Behavior::ContainsValue, vec![Value::Array(vec![5, 7]), Value::Int(7)], Value::Bool(true)),
+            (Behavior::IndexOfValue, vec![Value::Array(vec![5, 7]), Value::Int(9)], Value::Int(-1)),
+            (Behavior::IsSorted, vec![Value::Array(vec![1, 2, 2])], Value::Bool(true)),
+            (Behavior::RangeArray, vec![Value::Array(vec![4, -1, 9])], Value::Int(10)),
+            (Behavior::SumToN, vec![Value::Int(4)], Value::Int(10)),
+            (Behavior::Factorial, vec![Value::Int(5)], Value::Int(120)),
+            (Behavior::Gcd, vec![Value::Int(12), Value::Int(18)], Value::Int(6)),
+            (Behavior::PowerOf, vec![Value::Int(2), Value::Int(3)], Value::Int(8)),
+            (Behavior::SignOf, vec![Value::Int(-9)], Value::Int(-1)),
+            (Behavior::SumDigits, vec![Value::Int(-123)], Value::Int(6)),
+            (Behavior::CountDigits, vec![Value::Int(4075)], Value::Int(4)),
+            (Behavior::ReverseNumber, vec![Value::Int(123)], Value::Int(321)),
+        ];
+        for (behavior, inputs, expected) in cases {
+            let p = minilang::parse(&behavior.render(&k)).unwrap();
+            let got = interp::run(&p, &inputs).unwrap().return_value;
+            assert_eq!(got, expected, "{behavior:?} on {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn confusable_pairs_share_shape_but_differ_semantically() {
+        use interp::Value;
+        let k = Knobs::plain();
+        let pairs = [
+            (Behavior::SumArray, Behavior::ProductArray),
+            (Behavior::MaxArray, Behavior::MinArray),
+            (Behavior::CountPositive, Behavior::CountNegative),
+        ];
+        for (a, b) in pairs {
+            let pa = minilang::parse(&a.render(&k)).unwrap();
+            let pb = minilang::parse(&b.render(&k)).unwrap();
+            // Same statement count (syntactic confusability)…
+            assert_eq!(pa.statements().len(), pb.statements().len(), "{a:?} vs {b:?}");
+            // …different behaviour on a separating input.
+            let input = vec![Value::Array(vec![2, 3, -5])];
+            let ra = interp::run(&pa, &input).unwrap().return_value;
+            let rb = interp::run(&pb, &input).unwrap().return_value;
+            assert_ne!(ra, rb, "{a:?} vs {b:?} should differ on {input:?}");
+        }
+    }
+}

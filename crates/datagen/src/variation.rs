@@ -1,0 +1,334 @@
+//! The semantics-preserving variation engine.
+//!
+//! The paper's central phenomenon — static models read syntax, dynamic
+//! models read semantics — is reproduced *by construction* (DESIGN.md §1):
+//! every generated program is rendered through a set of knobs that change
+//! its syntax without changing its behaviour:
+//!
+//! - identifier choice, including deliberately *misleading* names drawn
+//!   from other behaviours' keyword pools (the paper's §6.1.1 remark:
+//!   "replacing keywords with less informative names for variable
+//!   identifiers sways code2seq's previous correct predictions"),
+//! - loop form (`for` vs. `while`),
+//! - increment spelling (`i += 1` vs. `i = i + 1`),
+//! - doubling spelling (`x *= 2` vs. `x += x`, the §3 motivating pair),
+//! - comparison form (`i < n` vs. `i <= n - 1`).
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngExt as _};
+
+/// Loop rendering style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopStyle {
+    /// `for (let i: int = a; i < b; i += 1) { .. }`
+    For,
+    /// `let i: int = a; while (i < b) { .. i += 1; }`
+    While,
+}
+
+/// Increment rendering style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrStyle {
+    /// `i += 1`
+    Compound,
+    /// `i = i + 1`
+    Plain,
+}
+
+/// How upper-bound comparisons are rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpStyle {
+    /// `i < n`
+    Lt,
+    /// `i <= n - 1`
+    LePred,
+}
+
+/// The full knob set for one rendered variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Knobs {
+    /// Loop form.
+    pub loop_style: LoopStyle,
+    /// Increment spelling.
+    pub incr: IncrStyle,
+    /// Upper-bound comparison spelling.
+    pub cmp: CmpStyle,
+    /// Spell doubling as `x += x` instead of `x *= 2`.
+    pub double_as_add: bool,
+    /// Identifiers by role (accumulator, index, …).
+    pub names: NameAssignment,
+}
+
+/// Identifier assignment by role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameAssignment {
+    /// The main array/string parameter.
+    pub arr: String,
+    /// The scalar parameter.
+    pub n: String,
+    /// Loop index.
+    pub idx: String,
+    /// Secondary loop index.
+    pub jdx: String,
+    /// Accumulator / result.
+    pub acc: String,
+    /// Scratch variable.
+    pub tmp: String,
+    /// Secondary scratch.
+    pub aux: String,
+}
+
+/// Neutral identifier pools per role.
+const ARR_NAMES: &[&str] = &["a", "arr", "data", "items", "xs", "buf"];
+const N_NAMES: &[&str] = &["n", "x", "num", "v", "k0"];
+const IDX_NAMES: &[&str] = &["i", "p", "pos", "k"];
+const JDX_NAMES: &[&str] = &["j", "q", "w"];
+const ACC_NAMES: &[&str] = &["s", "r", "res", "out", "acc"];
+const TMP_NAMES: &[&str] = &["t", "tmp", "h"];
+const AUX_NAMES: &[&str] = &["u", "b2", "g"];
+
+/// Misleading names: keywords of *other* behaviours, used to confuse
+/// keyword-mining static models.
+const MISLEADING: &[&str] = &["sum", "count", "best", "sorted", "found", "total", "prod"];
+const MISLEADING_AUX: &[&str] = &["minimum", "digits", "factor", "reversed", "sign"];
+const MISLEADING_ARR: &[&str] = &["sums", "counts", "sortedArr", "results", "maxes"];
+
+impl Knobs {
+    /// Draws a random knob set. With probability `misleading_prob` the
+    /// accumulator gets a name borrowed from an unrelated behaviour's
+    /// keyword pool.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, misleading_prob: f64) -> Knobs {
+        let pick = |pool: &[&str], rng: &mut R| -> String {
+            (*pool.choose(rng).expect("pools are non-empty")).to_string()
+        };
+        let mut names = NameAssignment {
+            arr: pick(ARR_NAMES, rng),
+            n: pick(N_NAMES, rng),
+            idx: pick(IDX_NAMES, rng),
+            jdx: pick(JDX_NAMES, rng),
+            acc: pick(ACC_NAMES, rng),
+            tmp: pick(TMP_NAMES, rng),
+            aux: pick(AUX_NAMES, rng),
+        };
+        if rng.random_bool(misleading_prob) {
+            names.acc = pick(MISLEADING, rng);
+        }
+        if rng.random_bool(misleading_prob) {
+            names.tmp = pick(MISLEADING_AUX, rng);
+        }
+        if rng.random_bool(misleading_prob) {
+            names.arr = pick(MISLEADING_ARR, rng);
+        }
+        Knobs {
+            loop_style: if rng.random::<bool>() { LoopStyle::For } else { LoopStyle::While },
+            incr: if rng.random::<bool>() { IncrStyle::Compound } else { IncrStyle::Plain },
+            cmp: if rng.random::<bool>() { CmpStyle::Lt } else { CmpStyle::LePred },
+            double_as_add: rng.random::<bool>(),
+            names,
+        }
+    }
+
+    /// A fixed, readable knob set (used by examples and tests).
+    pub fn plain() -> Knobs {
+        Knobs {
+            loop_style: LoopStyle::For,
+            incr: IncrStyle::Compound,
+            cmp: CmpStyle::Lt,
+            double_as_add: false,
+            names: NameAssignment {
+                arr: "a".into(),
+                n: "n".into(),
+                idx: "i".into(),
+                jdx: "j".into(),
+                acc: "s".into(),
+                tmp: "tmp".into(),
+                aux: "u".into(),
+            },
+        }
+    }
+
+    /// Renders `i += 1` or `i = i + 1` per the increment knob.
+    pub fn incr_stmt(&self, var: &str) -> String {
+        match self.incr {
+            IncrStyle::Compound => format!("{var} += 1"),
+            IncrStyle::Plain => format!("{var} = {var} + 1"),
+        }
+    }
+
+    /// Renders the upper-bound comparison per the comparison knob.
+    pub fn lt(&self, lhs: &str, rhs: &str) -> String {
+        match self.cmp {
+            CmpStyle::Lt => format!("{lhs} < {rhs}"),
+            CmpStyle::LePred => format!("{lhs} <= {rhs} - 1"),
+        }
+    }
+
+    /// Renders a doubling statement per the §3 knob.
+    pub fn double_stmt(&self, var: &str) -> String {
+        if self.double_as_add {
+            format!("{var} += {var}")
+        } else {
+            format!("{var} *= 2")
+        }
+    }
+
+    /// Renders a counted loop over `[lo, hi)` with the given body lines.
+    /// `hi` must be a simple expression (it is re-evaluated per iteration
+    /// in the `while` form, so it must be loop-invariant).
+    pub fn counted_loop(&self, idx: &str, lo: &str, hi: &str, body: &str) -> String {
+        let cond = self.lt(idx, hi);
+        match self.loop_style {
+            LoopStyle::For => format!(
+                "for (let {idx}: int = {lo}; {cond}; {incr}) {{\n{body}\n}}",
+                incr = self.incr_stmt(idx)
+            ),
+            LoopStyle::While => format!(
+                "let {idx}: int = {lo};\nwhile ({cond}) {{\n{body}\n{incr};\n}}",
+                incr = self.incr_stmt(idx)
+            ),
+        }
+    }
+}
+
+/// Statement templates for dead-code distractors. Each declares and
+/// (possibly) dead-branches over a fresh variable whose name pattern-
+/// matches a *different* behaviour family — statically it smells like the
+/// wrong family, dynamically its state never changes, so trace-reading
+/// models see through it. This reproduces, in miniature, why real method
+/// bodies defeat keyword mining (§6.1.1's code2seq remarks).
+const DISTRACTOR_VARS: &[(&str, &str)] = &[
+    ("sortedCount", "0"),
+    ("sumOfMax", "1"),
+    ("foundIndex", "0 - 1"),
+    ("prodTotal", "1"),
+    ("reversedSign", "0"),
+    ("digitBest", "0"),
+];
+
+/// Renders `count` dead-code distractor statements (declarations plus a
+/// dead conditional), deterministic in `rng`. The produced code never
+/// changes observable behaviour: the variables are fresh and the branch
+/// conditions are constant-false over the declared initial values.
+pub fn distractor_preamble<R: Rng + ?Sized>(count: usize, rng: &mut R) -> String {
+    let mut out = String::new();
+    let mut used: Vec<usize> = (0..DISTRACTOR_VARS.len()).collect();
+    for k in 0..count.min(DISTRACTOR_VARS.len()) {
+        let pick = rng.random_range(0..used.len());
+        let (name, init) = DISTRACTOR_VARS[used.swap_remove(pick)];
+        out.push_str(&format!("let {name}: int = {init};\n"));
+        if k == 0 && rng.random::<bool>() {
+            // A dead branch: `init` values never exceed 100.
+            out.push_str(&format!(
+                "if ({name} > 100) {{\n{name} = 0;\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Inserts a distractor preamble at the top of a rendered function body.
+pub fn with_distractors<R: Rng + ?Sized>(src: &str, count: usize, rng: &mut R) -> String {
+    if count == 0 {
+        return src.to_string();
+    }
+    let preamble = distractor_preamble(count, rng);
+    match src.find('{') {
+        Some(pos) => {
+            let mut out = String::with_capacity(src.len() + preamble.len() + 1);
+            out.push_str(&src[..=pos]);
+            out.push('\n');
+            out.push_str(&preamble);
+            out.push_str(&src[pos + 1..]);
+            out
+        }
+        None => src.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distractors_preserve_behavior() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let base = "fn f(x: int) -> int {\nlet s: int = 0;\ns += x;\nreturn s;\n}";
+        for count in 0..=3 {
+            let noisy = with_distractors(base, count, &mut rng);
+            let p0 = minilang::parse(base).unwrap();
+            let p1 = minilang::parse(&noisy).unwrap();
+            minilang::typecheck(&p1).unwrap();
+            let a = interp::run(&p0, &[interp::Value::Int(7)]).unwrap().return_value;
+            let b = interp::run(&p1, &[interp::Value::Int(7)]).unwrap().return_value;
+            assert_eq!(a, b, "distractors changed behaviour:\n{noisy}");
+        }
+    }
+
+    #[test]
+    fn distractor_names_are_cross_family_keywords() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let pre = distractor_preamble(3, &mut rng);
+        assert!(pre.lines().count() >= 3);
+        // Each distractor name mixes two families' keywords.
+        assert!(pre.contains("let "));
+    }
+
+    #[test]
+    fn random_knobs_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let k = Knobs::random(&mut rng, 0.3);
+            assert!(!k.names.arr.is_empty());
+            // Roles draw from disjoint pools except deliberate misleading
+            // accumulators, so arr/idx never collide.
+            assert_ne!(k.names.arr, k.names.idx);
+            assert_ne!(k.names.idx, k.names.jdx);
+        }
+    }
+
+    #[test]
+    fn counted_loop_renders_both_styles() {
+        let mut k = Knobs::plain();
+        let f = k.counted_loop("i", "0", "n", "s += i;");
+        assert!(f.starts_with("for ("));
+        k.loop_style = LoopStyle::While;
+        let w = k.counted_loop("i", "0", "n", "s += i;");
+        assert!(w.contains("while ("));
+        assert!(w.contains("i += 1;"));
+    }
+
+    #[test]
+    fn loop_styles_are_semantically_equal() {
+        let mut k = Knobs::plain();
+        let run = |knobs: &Knobs| {
+            let src = format!(
+                "fn f(n: int) -> int {{\nlet s: int = 0;\n{}\nreturn s;\n}}",
+                knobs.counted_loop("i", "0", "n", "s += i;")
+            );
+            let p = minilang::parse(&src).unwrap();
+            minilang::typecheck(&p).unwrap();
+            interp::run(&p, &[interp::Value::Int(6)]).unwrap().return_value
+        };
+        let for_result = run(&k);
+        k.loop_style = LoopStyle::While;
+        k.incr = IncrStyle::Plain;
+        k.cmp = CmpStyle::LePred;
+        assert_eq!(for_result, run(&k));
+    }
+
+    #[test]
+    fn double_stmt_variants_agree() {
+        for double_as_add in [false, true] {
+            let k = Knobs { double_as_add, ..Knobs::plain() };
+            let src = format!(
+                "fn f(x: int) -> int {{\n{};\nreturn x;\n}}",
+                k.double_stmt("x")
+            );
+            let p = minilang::parse(&src).unwrap();
+            let out = interp::run(&p, &[interp::Value::Int(21)]).unwrap().return_value;
+            assert_eq!(out, interp::Value::Int(42));
+        }
+    }
+}

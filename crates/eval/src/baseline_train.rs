@@ -1,0 +1,170 @@
+//! Training loops for the baseline models (mirrors `liger::train`).
+
+use baselines::{Code2Seq, Code2SeqInput, Code2Vec, Code2VecInput, DyproNamer, DyproProgram};
+use liger::TokenId;
+use nn::Adam;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use tensor::{Graph, ParamStore};
+
+/// Shared baseline training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineTrainConfig {
+    /// Passes over the training data.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Examples per optimizer step.
+    pub batch_size: usize,
+}
+
+impl Default for BaselineTrainConfig {
+    fn default() -> Self {
+        BaselineTrainConfig { epochs: 8, lr: 0.01, batch_size: 8 }
+    }
+}
+
+/// Generic accumulate-then-step loop over any per-sample loss builder.
+fn train_generic<R: Rng + ?Sized, S>(
+    store: &mut ParamStore,
+    samples: &[S],
+    cfg: &BaselineTrainConfig,
+    rng: &mut R,
+    mut loss_of: impl FnMut(&mut Graph, &ParamStore, &S) -> Option<tensor::VarId>,
+) -> Vec<f32> {
+    let mut adam = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        let mut total = 0.0f32;
+        let mut count = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            for &i in chunk {
+                let mut g = Graph::new();
+                let Some(loss) = loss_of(&mut g, store, &samples[i]) else { continue };
+                total += g.value(loss).item();
+                count += 1;
+                g.backward(loss, store);
+            }
+            adam.step(store);
+        }
+        epoch_losses.push(if count == 0 { 0.0 } else { total / count as f32 });
+    }
+    epoch_losses
+}
+
+/// Trains code2vec on (input, whole-name label) pairs.
+pub fn train_code2vec<R: Rng + ?Sized>(
+    model: &Code2Vec,
+    store: &mut ParamStore,
+    samples: &[(Code2VecInput, usize)],
+    cfg: &BaselineTrainConfig,
+    rng: &mut R,
+) -> Vec<f32> {
+    train_generic(store, samples, cfg, rng, |g, s, (input, label)| {
+        if input.contexts.is_empty() {
+            return None;
+        }
+        Some(model.loss(g, s, input, *label))
+    })
+}
+
+/// Trains code2seq on (input, target sub-token ids) pairs.
+pub fn train_code2seq<R: Rng + ?Sized>(
+    model: &Code2Seq,
+    store: &mut ParamStore,
+    samples: &[(Code2SeqInput, Vec<TokenId>)],
+    cfg: &BaselineTrainConfig,
+    rng: &mut R,
+) -> Vec<f32> {
+    train_generic(store, samples, cfg, rng, |g, s, (input, target)| {
+        if input.contexts.is_empty() || target.is_empty() {
+            return None;
+        }
+        Some(model.loss(g, s, input, target))
+    })
+}
+
+/// Trains the DYPRO namer on (input, target sub-token ids) pairs.
+pub fn train_dypro_namer<R: Rng + ?Sized>(
+    model: &DyproNamer,
+    store: &mut ParamStore,
+    samples: &[(DyproProgram, Vec<TokenId>)],
+    cfg: &BaselineTrainConfig,
+    rng: &mut R,
+) -> Vec<f32> {
+    train_generic(store, samples, cfg, rng, |g, s, (input, target)| {
+        if input.traces.is_empty() || target.is_empty() {
+            return None;
+        }
+        Some(model.loss(g, s, input, target))
+    })
+}
+
+/// Trains the DYPRO classifier on (input, class label) pairs.
+pub fn train_dypro_classifier<R: Rng + ?Sized>(
+    model: &baselines::DyproClassifier,
+    store: &mut ParamStore,
+    samples: &[(DyproProgram, usize)],
+    cfg: &BaselineTrainConfig,
+    rng: &mut R,
+) -> Vec<f32> {
+    train_generic(store, samples, cfg, rng, |g, s, (input, label)| {
+        if input.traces.is_empty() {
+            return None;
+        }
+        Some(model.loss(g, s, input, *label))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn code2vec_training_reduces_loss() {
+        let p = minilang::parse("fn addOne(x: int) -> int { let y: int = x + 1; return y; }")
+            .unwrap();
+        let mut tv = liger::Vocab::new();
+        let mut pv = liger::Vocab::new();
+        let ctxs = baselines::contexts_into_vocabs(
+            &p,
+            &baselines::PathConfig::default(),
+            &mut tv,
+            &mut pv,
+        );
+        let input = baselines::code2vec_input(&ctxs, &tv, &pv);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(700);
+        let model = Code2Vec::new(&mut store, tv.len(), pv.len(), 2, 8, &mut rng);
+        let samples = vec![(input, 1usize)];
+        let losses = train_code2vec(
+            &model,
+            &mut store,
+            &samples,
+            &BaselineTrainConfig { epochs: 20, lr: 0.05, batch_size: 1 },
+            &mut rng,
+        );
+        assert!(losses.last().unwrap() < &losses[0]);
+        assert_eq!(model.predict(&store, &samples[0].0), 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_skipped() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(701);
+        let model = Code2Vec::new(&mut store, 3, 3, 2, 4, &mut rng);
+        let samples = vec![(baselines::Code2VecInput::default(), 0usize)];
+        let losses = train_code2vec(
+            &model,
+            &mut store,
+            &samples,
+            &BaselineTrainConfig { epochs: 2, lr: 0.01, batch_size: 1 },
+            &mut rng,
+        );
+        assert_eq!(losses, vec![0.0, 0.0]);
+    }
+}

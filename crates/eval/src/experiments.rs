@@ -1,0 +1,727 @@
+//! Experiment drivers — one entry point per table/figure of §6.
+//!
+//! Every driver is deterministic given a [`Scale`] (which fixes the seed,
+//! corpus size, and model size). Absolute numbers differ from the paper
+//! (synthetic corpus, small models, CPU — see EXPERIMENTS.md); the
+//! *shapes* are the reproduction target: model ordering in Table 2/3,
+//! LIGER's flatness under concrete-trace reduction, its resilience under
+//! line-coverage-preserving path reduction, and the ablation orderings of
+//! Figures 8–11.
+
+use crate::baseline_train::{
+    train_code2seq, train_code2vec, train_dypro_classifier, train_dypro_namer,
+    BaselineTrainConfig,
+};
+use crate::metrics::{Accuracy, ClassF1, PrecisionRecallF1};
+use crate::pipeline::{
+    coset_at, method_at_paths, prepare_coset_dataset, prepare_method_dataset, CosetDataset,
+    MethodDataset, PrepareOptions,
+};
+use baselines::{Code2Seq, Code2Vec, DyproClassifier, DyproNamer};
+use datagen::{generate_coset_corpus, generate_method_corpus, CorpusConfig, FilterStats};
+use liger::{
+    Ablation, ClassSample, EncodeOptions, LigerClassifier, LigerConfig, LigerModel, LigerNamer,
+    NameSample, TrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use randgen::GenConfig;
+use tensor::ParamStore;
+
+/// The size of one experimental run: corpus scale + model scale + seeds.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Display name ("med", "large", …).
+    pub name: String,
+    /// Variants generated per behaviour family.
+    pub variants_per_family: usize,
+    /// Model hidden size.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Paths collected per program (the paper's U ≈ 20).
+    pub target_paths: usize,
+    /// Concrete executions per path (the paper's Nε = 5).
+    pub concrete_per_path: usize,
+    /// Maximum trace steps encoded.
+    pub max_steps: usize,
+    /// Maximum paths encoded.
+    pub max_traces: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Minimal scale for unit tests (seconds).
+    pub fn tiny() -> Scale {
+        Scale {
+            name: "tiny".into(),
+            variants_per_family: 2,
+            hidden: 10,
+            epochs: 4,
+            lr: 0.02,
+            target_paths: 4,
+            concrete_per_path: 3,
+            max_steps: 15,
+            max_traces: 4,
+            seed: 1,
+        }
+    }
+
+    /// Default bench scale: large enough for the paper's shapes to be
+    /// visible, small enough to finish in minutes on a laptop CPU.
+    pub fn bench() -> Scale {
+        Scale {
+            name: "bench".into(),
+            variants_per_family: 8,
+            hidden: 16,
+            epochs: 16,
+            lr: 0.015,
+            target_paths: 6,
+            concrete_per_path: 4,
+            max_steps: 18,
+            max_traces: 6,
+            seed: 5,
+        }
+    }
+
+    /// Resolves a scale by name (`tiny`/`bench`/`med`/`large`), e.g. from
+    /// the `LIGER_SCALE` environment variable used by the bench harness.
+    pub fn by_name(name: &str) -> Option<Scale> {
+        match name {
+            "tiny" => Some(Scale::tiny()),
+            "bench" => Some(Scale::bench()),
+            "med" => Some(Scale::med()),
+            "large" => Some(Scale::large()),
+            _ => None,
+        }
+    }
+
+    /// The scale selected by the `LIGER_SCALE` environment variable, or
+    /// [`Scale::bench`] when unset/unknown.
+    pub fn from_env() -> Scale {
+        std::env::var("LIGER_SCALE")
+            .ok()
+            .and_then(|n| Scale::by_name(&n))
+            .unwrap_or_else(Scale::bench)
+    }
+
+    /// The Java-med analogue (bench scale; minutes).
+    pub fn med() -> Scale {
+        Scale {
+            name: "med".into(),
+            variants_per_family: 6,
+            hidden: 16,
+            epochs: 12,
+            lr: 0.015,
+            target_paths: 8,
+            concrete_per_path: 5,
+            max_steps: 22,
+            max_traces: 8,
+            seed: 7,
+        }
+    }
+
+    /// The Java-large analogue (more variants and paths than `med`).
+    pub fn large() -> Scale {
+        Scale {
+            name: "large".into(),
+            variants_per_family: 10,
+            hidden: 16,
+            epochs: 12,
+            lr: 0.015,
+            target_paths: 10,
+            concrete_per_path: 5,
+            max_steps: 22,
+            max_traces: 10,
+            seed: 11,
+        }
+    }
+
+    fn corpus_config(&self) -> CorpusConfig {
+        CorpusConfig {
+            variants_per_family: self.variants_per_family,
+            gen: GenConfig {
+                target_paths: self.target_paths,
+                concrete_per_path: self.concrete_per_path,
+                max_attempts: 600,
+                ..GenConfig::default()
+            },
+            ..CorpusConfig::default()
+        }
+    }
+
+    fn prepare_options(&self) -> PrepareOptions {
+        PrepareOptions {
+            encode: EncodeOptions { max_steps: self.max_steps, max_traces: self.max_traces },
+            ..PrepareOptions::default()
+        }
+    }
+
+    fn liger_config(&self, ablation: Ablation) -> LigerConfig {
+        LigerConfig { hidden: self.hidden, attn: self.hidden, max_name_len: 5, ablation }
+    }
+
+    fn train_config(&self) -> TrainConfig {
+        TrainConfig { epochs: self.epochs * 2, lr: self.lr, batch_size: 2 }
+    }
+
+    fn dypro_config(&self) -> BaselineTrainConfig {
+        BaselineTrainConfig { epochs: self.epochs * 2, lr: self.lr, batch_size: 2 }
+    }
+
+    fn baseline_config(&self) -> BaselineTrainConfig {
+        BaselineTrainConfig { epochs: self.epochs, lr: self.lr, batch_size: 2 }
+    }
+}
+
+/// Builds the method-name dataset for a scale (Table 1 numbers included).
+pub fn build_method_dataset(scale: &Scale) -> (MethodDataset, FilterStats) {
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let corpus = generate_method_corpus(&scale.corpus_config(), &mut rng);
+    let stats = corpus.stats;
+    let ds = prepare_method_dataset(
+        &corpus,
+        &scale.prepare_options(),
+        scale.concrete_per_path,
+        &mut rng,
+    );
+    (ds, stats)
+}
+
+/// Builds the COSET-like dataset for a scale.
+pub fn build_coset_dataset(scale: &Scale) -> (CosetDataset, FilterStats) {
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(1000));
+    let corpus = generate_coset_corpus(&scale.corpus_config(), &mut rng);
+    let stats = corpus.stats;
+    let ds = prepare_coset_dataset(
+        &corpus,
+        &scale.prepare_options(),
+        scale.concrete_per_path,
+        &mut rng,
+    );
+    (ds, stats)
+}
+
+/// **Table 1** — dataset statistics before/after filtering.
+pub fn table1(scale: &Scale) -> FilterStats {
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    generate_method_corpus(&scale.corpus_config(), &mut rng).stats
+}
+
+/// Sub-token scores of one model on one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NameScores {
+    /// Precision (%).
+    pub precision: f64,
+    /// Recall (%).
+    pub recall: f64,
+    /// F1 (%).
+    pub f1: f64,
+}
+
+impl From<PrecisionRecallF1> for NameScores {
+    fn from(m: PrecisionRecallF1) -> NameScores {
+        NameScores { precision: m.precision(), recall: m.recall(), f1: m.f1() }
+    }
+}
+
+/// How many symbolic traces (paths) a reduction level keeps, per sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathLevel {
+    /// All collected paths.
+    Full,
+    /// `max(min_cover, ceil(fraction × total))` — removes only paths
+    /// outside the minimum line-cover, as in §6.1.2.
+    Fraction(f64),
+    /// Exactly the minimum line-covering set.
+    MinCover,
+    /// A fixed count (used for the single-trace extreme).
+    Count(usize),
+}
+
+impl PathLevel {
+    /// Resolves the level to a path count for one sample. A sample with
+    /// no paths at all resolves to 0.
+    pub fn resolve(&self, total: usize, min_cover: usize) -> usize {
+        if total == 0 {
+            return 0;
+        }
+        match *self {
+            PathLevel::Full => total,
+            PathLevel::Fraction(f) => {
+                ((total as f64 * f).ceil() as usize).max(min_cover).min(total).max(1)
+            }
+            PathLevel::MinCover => min_cover.clamp(1, total),
+            PathLevel::Count(k) => k.clamp(1, total),
+        }
+    }
+
+    /// Display label for result rows.
+    pub fn label(&self) -> String {
+        match *self {
+            PathLevel::Full => "full".into(),
+            PathLevel::Fraction(f) => format!("{:.0}%", f * 100.0),
+            PathLevel::MinCover => "min-cover".into(),
+            PathLevel::Count(k) => format!("{k}"),
+        }
+    }
+}
+
+/// Trains and evaluates LIGER on the method-name task at the given
+/// reduction levels; returns scores and the mean static-feature attention
+/// at convergence (the §6.1.2 measurement).
+pub fn liger_method_scores(
+    ds: &MethodDataset,
+    scale: &Scale,
+    ablation: Ablation,
+    paths: PathLevel,
+    concrete: usize,
+) -> (NameScores, Option<f64>) {
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(42));
+    let opts = scale.prepare_options().encode;
+    let at = |s: &crate::pipeline::PreparedMethod| {
+        let keep = paths.resolve(s.blended.len(), s.min_cover);
+        method_at_paths(s, &ds.vocabs.input, &opts, keep, concrete).0
+    };
+    let samples: Vec<NameSample> = ds
+        .train
+        .iter()
+        .map(|s| NameSample { program: at(s), target: s.target.clone() })
+        .collect();
+
+    let mut store = ParamStore::new();
+    let namer = LigerNamer::new(
+        &mut store,
+        ds.vocabs.input.len(),
+        ds.vocabs.output.len(),
+        scale.liger_config(ablation),
+        &mut rng,
+    );
+    liger::train_namer(&namer, &mut store, &samples, &scale.train_config(), &mut rng);
+
+    let mut metric = PrecisionRecallF1::default();
+    let mut attn_sum = 0.0f64;
+    let mut attn_count = 0usize;
+    for s in &ds.test {
+        let prog = at(s);
+        let predicted = ds.vocabs.output.decode_name(&namer.predict(&store, &prog));
+        metric.add(&predicted, &s.subtokens);
+        if let Some(a) = namer.static_attention(&store, &prog) {
+            attn_sum += f64::from(a);
+            attn_count += 1;
+        }
+    }
+    let attn = if attn_count == 0 { None } else { Some(attn_sum / attn_count as f64) };
+    (metric.into(), attn)
+}
+
+/// Trains and evaluates DYPRO on the method-name task at the given
+/// reduction levels (it consumes the concrete traces out of the same
+/// blended set, as in §6.1.2).
+pub fn dypro_method_scores(
+    ds: &MethodDataset,
+    scale: &Scale,
+    paths: PathLevel,
+    concrete: usize,
+) -> NameScores {
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(43));
+    let opts = scale.prepare_options().encode;
+    let at = |s: &crate::pipeline::PreparedMethod| {
+        let keep = paths.resolve(s.blended.len(), s.min_cover);
+        method_at_paths(s, &ds.vocabs.input, &opts, keep, concrete).1
+    };
+    let samples: Vec<(baselines::DyproProgram, Vec<liger::TokenId>)> =
+        ds.train.iter().map(|s| (at(s), s.target.clone())).collect();
+
+    let mut store = ParamStore::new();
+    let namer = DyproNamer::new(
+        &mut store,
+        ds.vocabs.input.len(),
+        ds.vocabs.output.len(),
+        scale.hidden,
+        &mut rng,
+    );
+    train_dypro_namer(&namer, &mut store, &samples, &scale.dypro_config(), &mut rng);
+
+    let mut metric = PrecisionRecallF1::default();
+    for s in &ds.test {
+        let predicted =
+            ds.vocabs.output.decode_name(&namer.predict(&store, &at(s), 5));
+        metric.add(&predicted, &s.subtokens);
+    }
+    metric.into()
+}
+
+fn code2vec_scores(ds: &MethodDataset, scale: &Scale) -> NameScores {
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(44));
+    let samples: Vec<(baselines::Code2VecInput, usize)> =
+        ds.train.iter().map(|s| (s.c2v.clone(), s.name_label)).collect();
+    let mut store = ParamStore::new();
+    let model = Code2Vec::new(
+        &mut store,
+        ds.vocabs.terms.len(),
+        ds.vocabs.paths.len(),
+        ds.vocabs.name_labels.len(),
+        scale.hidden,
+        &mut rng,
+    );
+    train_code2vec(&model, &mut store, &samples, &scale.baseline_config(), &mut rng);
+    let mut metric = PrecisionRecallF1::default();
+    for s in &ds.test {
+        let label = model.predict(&store, &s.c2v);
+        let predicted = minilang::subtokens(ds.vocabs.name_labels.token(label));
+        metric.add(&predicted, &s.subtokens);
+    }
+    metric.into()
+}
+
+fn code2seq_scores(ds: &MethodDataset, scale: &Scale) -> NameScores {
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(45));
+    let samples: Vec<(baselines::Code2SeqInput, Vec<liger::TokenId>)> =
+        ds.train.iter().map(|s| (s.c2s.clone(), s.target.clone())).collect();
+    let mut store = ParamStore::new();
+    let model = Code2Seq::new(
+        &mut store,
+        ds.vocabs.subtokens.len(),
+        ds.vocabs.nodes.len(),
+        ds.vocabs.output.len(),
+        scale.hidden,
+        &mut rng,
+    );
+    train_code2seq(&model, &mut store, &samples, &scale.baseline_config(), &mut rng);
+    let mut metric = PrecisionRecallF1::default();
+    for s in &ds.test {
+        let predicted = ds.vocabs.output.decode_name(&model.predict(&store, &s.c2s, 5));
+        metric.add(&predicted, &s.subtokens);
+    }
+    metric.into()
+}
+
+/// **Table 2** — method-name prediction: all four models on one dataset
+/// scale. Rows in the paper's order.
+pub fn table2(ds: &MethodDataset, scale: &Scale) -> Vec<(String, NameScores)> {
+    let c2v = code2vec_scores(ds, scale);
+    let c2s = code2seq_scores(ds, scale);
+    let dypro = dypro_method_scores(ds, scale, PathLevel::Full, scale.concrete_per_path);
+    let (liger, _) =
+        liger_method_scores(ds, scale, Ablation::Full, PathLevel::Full, scale.concrete_per_path);
+    vec![
+        ("code2vec".into(), c2v),
+        ("code2seq".into(), c2s),
+        ("DYPRO".into(), dypro),
+        ("LIGER".into(), liger),
+    ]
+}
+
+/// One row of a concrete-trace reduction figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcreteRow {
+    /// Concrete traces per blended trace.
+    pub concrete: usize,
+    /// LIGER F1 (%).
+    pub liger_f1: f64,
+    /// DYPRO F1 (%).
+    pub dypro_f1: f64,
+    /// Mean fusion attention on the static dimension (None under
+    /// ablations that remove a dimension).
+    pub liger_static_attention: Option<f64>,
+}
+
+/// **Figure 6a/6b** (and Figure 8's concrete half under an ablation) —
+/// F1 as concrete traces per blended trace are reduced, symbolic traces
+/// constant.
+pub fn fig6_concrete(ds: &MethodDataset, scale: &Scale, ablation: Ablation) -> Vec<ConcreteRow> {
+    (1..=scale.concrete_per_path)
+        .rev()
+        .map(|concrete| {
+            let (liger, attn) =
+                liger_method_scores(ds, scale, ablation, PathLevel::Full, concrete);
+            let dypro = dypro_method_scores(ds, scale, PathLevel::Full, concrete);
+            ConcreteRow {
+                concrete,
+                liger_f1: liger.f1,
+                dypro_f1: dypro.f1,
+                liger_static_attention: attn,
+            }
+        })
+        .collect()
+}
+
+/// One row of a symbolic-trace reduction figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicRow {
+    /// The reduction level label.
+    pub level: String,
+    /// LIGER F1 (%).
+    pub liger_f1: f64,
+    /// DYPRO F1 (%).
+    pub dypro_f1: f64,
+}
+
+/// The §6.1.2 symbolic-reduction ladder: full → 75% → 50% → minimum
+/// line-cover → a single trace.
+pub fn symbolic_levels() -> Vec<PathLevel> {
+    vec![
+        PathLevel::Full,
+        PathLevel::Fraction(0.75),
+        PathLevel::Fraction(0.5),
+        PathLevel::MinCover,
+        PathLevel::Count(1),
+    ]
+}
+
+/// **Figure 6c/6d** (and Figures 9/10's symbolic halves under ablations)
+/// — F1 as symbolic traces are removed while line coverage is preserved
+/// (three concrete traces per path, per §6.1.2).
+pub fn fig6_symbolic(ds: &MethodDataset, scale: &Scale, ablation: Ablation) -> Vec<SymbolicRow> {
+    let concrete = 3.min(scale.concrete_per_path);
+    symbolic_levels()
+        .into_iter()
+        .map(|level| {
+            let (liger, _) = liger_method_scores(ds, scale, ablation, level, concrete);
+            let dypro = dypro_method_scores(ds, scale, level, concrete);
+            SymbolicRow { level: level.label(), liger_f1: liger.f1, dypro_f1: dypro.f1 }
+        })
+        .collect()
+}
+
+/// Classification scores (Table 3's columns).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClassScores {
+    /// Accuracy (%).
+    pub accuracy: f64,
+    /// Macro F1 in [0, 1].
+    pub f1: f64,
+}
+
+/// Trains and evaluates LIGER's classifier on COSET at the given levels.
+pub fn liger_coset_scores(
+    ds: &CosetDataset,
+    scale: &Scale,
+    ablation: Ablation,
+    paths: PathLevel,
+    concrete: usize,
+) -> ClassScores {
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(46));
+    let opts = scale.prepare_options().encode;
+    let at = |s: &crate::pipeline::PreparedCoset| {
+        let keep = paths.resolve(s.blended.len(), s.min_cover);
+        coset_at(s, &ds.vocab, &opts, keep, concrete).0
+    };
+    let samples: Vec<ClassSample> =
+        ds.train.iter().map(|s| ClassSample { program: at(s), label: s.label }).collect();
+    let mut store = ParamStore::new();
+    let model = LigerModel::new(
+        &mut store,
+        ds.vocab.len(),
+        scale.liger_config(ablation),
+        &mut rng,
+    );
+    let cls = LigerClassifier::new(&mut store, model, ds.num_classes, &mut rng);
+    liger::train_classifier(&cls, &mut store, &samples, &scale.train_config(), &mut rng);
+
+    let mut acc = Accuracy::default();
+    let mut f1 = ClassF1::default();
+    for s in &ds.test {
+        let predicted = cls.predict(&store, &at(s));
+        acc.add(predicted, s.label);
+        f1.add(predicted, s.label);
+    }
+    ClassScores { accuracy: acc.percent(), f1: f1.macro_f1() }
+}
+
+/// Trains and evaluates DYPRO's classifier on COSET at the given levels.
+pub fn dypro_coset_scores(
+    ds: &CosetDataset,
+    scale: &Scale,
+    paths: PathLevel,
+    concrete: usize,
+) -> ClassScores {
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(47));
+    let opts = scale.prepare_options().encode;
+    let at = |s: &crate::pipeline::PreparedCoset| {
+        let keep = paths.resolve(s.blended.len(), s.min_cover);
+        coset_at(s, &ds.vocab, &opts, keep, concrete).1
+    };
+    let samples: Vec<(baselines::DyproProgram, usize)> =
+        ds.train.iter().map(|s| (at(s), s.label)).collect();
+    let mut store = ParamStore::new();
+    let cls =
+        DyproClassifier::new(&mut store, ds.vocab.len(), ds.num_classes, scale.hidden, &mut rng);
+    train_dypro_classifier(&cls, &mut store, &samples, &scale.dypro_config(), &mut rng);
+
+    let mut acc = Accuracy::default();
+    let mut f1 = ClassF1::default();
+    for s in &ds.test {
+        let predicted = cls.predict(&store, &at(s));
+        acc.add(predicted, s.label);
+        f1.add(predicted, s.label);
+    }
+    ClassScores { accuracy: acc.percent(), f1: f1.macro_f1() }
+}
+
+/// **Table 3** — COSET semantics classification, DYPRO vs LIGER.
+pub fn table3(ds: &CosetDataset, scale: &Scale) -> Vec<(String, ClassScores)> {
+    let dypro = dypro_coset_scores(ds, scale, PathLevel::Full, scale.concrete_per_path);
+    let liger =
+        liger_coset_scores(ds, scale, Ablation::Full, PathLevel::Full, scale.concrete_per_path);
+    vec![("DYPRO".into(), dypro), ("LIGER".into(), liger)]
+}
+
+/// One row of Figure 7 (COSET down-sampling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosetReductionRow {
+    /// Level label (e.g. "concrete=2" or "paths=min-cover").
+    pub level: String,
+    /// LIGER accuracy (%).
+    pub liger_acc: f64,
+    /// DYPRO accuracy (%).
+    pub dypro_acc: f64,
+}
+
+/// **Figure 7** — COSET accuracy under concrete- and symbolic-trace
+/// down-sampling.
+pub fn fig7(ds: &CosetDataset, scale: &Scale) -> Vec<CosetReductionRow> {
+    let mut rows = Vec::new();
+    for concrete in (1..=scale.concrete_per_path).rev() {
+        let liger =
+            liger_coset_scores(ds, scale, Ablation::Full, PathLevel::Full, concrete);
+        let dypro = dypro_coset_scores(ds, scale, PathLevel::Full, concrete);
+        rows.push(CosetReductionRow {
+            level: format!("concrete={concrete}"),
+            liger_acc: liger.accuracy,
+            dypro_acc: dypro.accuracy,
+        });
+    }
+    let concrete = 2.min(scale.concrete_per_path);
+    for level in symbolic_levels() {
+        let liger = liger_coset_scores(ds, scale, Ablation::Full, level, concrete);
+        let dypro = dypro_coset_scores(ds, scale, level, concrete);
+        rows.push(CosetReductionRow {
+            level: format!("paths={}", level.label()),
+            liger_acc: liger.accuracy,
+            dypro_acc: dypro.accuracy,
+        });
+    }
+    rows
+}
+
+/// One row of the Figure 11 ablation summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// The configuration name.
+    pub config: String,
+    /// F1 at full data (%).
+    pub full_f1: f64,
+    /// F1 at the minimum line-cover path set (%).
+    pub min_cover_f1: f64,
+    /// F1 with a single concrete trace per path (%).
+    pub one_concrete_f1: f64,
+}
+
+/// **Figure 11** — every ablation configuration (full, w/o static, w/o
+/// dynamic, w/o attention) at full data, minimum path cover, and single
+/// concrete trace.
+pub fn fig11(ds: &MethodDataset, scale: &Scale) -> Vec<AblationRow> {
+    [
+        ("LIGER", Ablation::Full),
+        ("LIGER w/o static", Ablation::NoStatic),
+        ("LIGER w/o dynamic", Ablation::NoDynamic),
+        ("LIGER w/o attention", Ablation::NoAttention),
+    ]
+    .into_iter()
+    .map(|(name, ablation)| {
+        let (full, _) = liger_method_scores(
+            ds,
+            scale,
+            ablation,
+            PathLevel::Full,
+            scale.concrete_per_path,
+        );
+        let (cover, _) = liger_method_scores(ds, scale, ablation, PathLevel::MinCover, 3);
+        let (one, _) =
+            liger_method_scores(ds, scale, ablation, PathLevel::Full, 1);
+        AblationRow {
+            config: name.into(),
+            full_f1: full.f1,
+            min_cover_f1: cover.f1,
+            one_concrete_f1: one.f1,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_level_resolution() {
+        assert_eq!(PathLevel::Full.resolve(8, 3), 8);
+        assert_eq!(PathLevel::Fraction(0.5).resolve(8, 3), 4);
+        // Fraction never goes below the min cover.
+        assert_eq!(PathLevel::Fraction(0.25).resolve(8, 3), 3);
+        assert_eq!(PathLevel::MinCover.resolve(8, 3), 3);
+        assert_eq!(PathLevel::Count(1).resolve(8, 3), 1);
+        assert_eq!(PathLevel::Count(99).resolve(8, 3), 8);
+        // Degenerate sample with no paths at all.
+        assert_eq!(PathLevel::MinCover.resolve(0, 0), 0);
+        assert_eq!(PathLevel::Full.resolve(0, 0), 0);
+    }
+
+    #[test]
+    fn table1_reports_consistent_totals() {
+        let stats = table1(&Scale::tiny());
+        assert_eq!(
+            stats.original,
+            stats.kept + stats.no_compile + stats.no_exec + stats.timeout + stats.too_small
+        );
+        assert!(stats.kept > 0);
+    }
+
+    /// Diagnostic (run with `--ignored --nocapture`): train-set fit of the
+    /// dynamic models at bench scale — separates optimization failures
+    /// from generalization gaps.
+    #[test]
+    #[ignore]
+    fn diag_trainset_fit() {
+        let scale = Scale::bench();
+        let (mut ds, _) = build_method_dataset(&scale);
+        ds.test = ds.train.clone();
+        let (liger, attn) = liger_method_scores(
+            &ds,
+            &scale,
+            Ablation::Full,
+            PathLevel::Full,
+            scale.concrete_per_path,
+        );
+        eprintln!("LIGER train-set fit: {liger:?}, attn {attn:?}");
+        let dypro =
+            dypro_method_scores(&ds, &scale, PathLevel::Full, scale.concrete_per_path);
+        eprintln!("DYPRO train-set fit: {dypro:?}");
+    }
+
+    #[test]
+    fn tiny_table2_runs_end_to_end() {
+        let (ds, _) = build_method_dataset(&Scale::tiny());
+        let rows = table2(&ds, &Scale::tiny());
+        assert_eq!(rows.len(), 4);
+        for (name, scores) in &rows {
+            assert!(
+                scores.f1 >= 0.0 && scores.f1 <= 100.0,
+                "{name} F1 out of range: {scores:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_table3_runs_end_to_end() {
+        let (ds, _) = build_coset_dataset(&Scale::tiny());
+        let rows = table3(&ds, &Scale::tiny());
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|(_, s)| s.accuracy >= 0.0 && s.accuracy <= 100.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Runtime errors of the tracing interpreter.
+
+use minilang::Type;
+use std::fmt;
+
+/// Errors raised while executing a MiniLang program.
+///
+/// The dataset filter (Table 1) treats any runtime error during input
+/// generation as "Randoop failed to produce a meaningful execution" and
+/// discards the offending input (or, if no input works, the program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Wrong number of inputs supplied.
+    ArityMismatch {
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied input count.
+        actual: usize,
+    },
+    /// An input's type does not match its parameter.
+    InputTypeMismatch {
+        /// Parameter name.
+        param: String,
+        /// Declared type.
+        expected: Type,
+        /// Supplied type.
+        actual: Type,
+    },
+    /// The function returned a value of the wrong type.
+    ReturnTypeMismatch {
+        /// Declared return type.
+        expected: Type,
+        /// Actual returned type.
+        actual: Type,
+    },
+    /// Use of a variable with no binding (unreachable for type-checked
+    /// programs).
+    UndefinedVariable(String),
+    /// Division or remainder by zero.
+    DivisionByZero,
+    /// Arithmetic overflow on `i64`.
+    ArithmeticOverflow,
+    /// Array or string index out of range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// The collection length.
+        len: usize,
+    },
+    /// `substring` range out of bounds.
+    SubstringOutOfRange {
+        /// Start index.
+        start: i64,
+        /// End index.
+        end: i64,
+        /// String length.
+        len: usize,
+    },
+    /// `newArray` with a negative or excessive length.
+    InvalidArrayLength(i64),
+    /// A dynamic type error (unreachable for type-checked programs).
+    TypeMismatch {
+        /// Description of the mismatch.
+        msg: String,
+    },
+    /// Execution exceeded its fuel budget.
+    OutOfFuel,
+    /// Control fell off the end of the function without `return`.
+    MissingReturn,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ArityMismatch { expected, actual } => {
+                write!(f, "expected {expected} inputs, got {actual}")
+            }
+            RuntimeError::InputTypeMismatch { param, expected, actual } => {
+                write!(f, "parameter {param} expects {expected}, got {actual}")
+            }
+            RuntimeError::ReturnTypeMismatch { expected, actual } => {
+                write!(f, "function declares return type {expected}, returned {actual}")
+            }
+            RuntimeError::UndefinedVariable(name) => write!(f, "undefined variable: {name}"),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::ArithmeticOverflow => write!(f, "arithmetic overflow"),
+            RuntimeError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            RuntimeError::SubstringOutOfRange { start, end, len } => {
+                write!(f, "substring range {start}..{end} out of bounds for length {len}")
+            }
+            RuntimeError::InvalidArrayLength(n) => write!(f, "invalid array length: {n}"),
+            RuntimeError::TypeMismatch { msg } => write!(f, "type mismatch: {msg}"),
+            RuntimeError::OutOfFuel => write!(f, "execution exceeded fuel budget"),
+            RuntimeError::MissingReturn => write!(f, "control reached end of function without return"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

@@ -1,0 +1,77 @@
+//! Raw execution-trace events emitted by the tracing interpreter.
+//!
+//! An execution trace (Definition 2.1) is π = s₀ → (eᵢ → sᵢ)*. The
+//! interpreter emits one [`TraceEvent`] per executed statement eᵢ, carrying
+//! the program state sᵢ observed immediately after it. Branching statements
+//! appear as *guard* events with the direction taken, so the projection to
+//! a symbolic trace (Definition 2.2) describes one program path exactly.
+
+use crate::value::State;
+use minilang::StmtId;
+
+/// What kind of statement produced a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A simple statement executed (`let`, assignment, `return`, `break`,
+    /// `continue`).
+    Exec,
+    /// A branch guard (the condition of `if`/`while`/`for`) evaluated, with
+    /// the direction taken.
+    Guard {
+        /// `true` when the condition held.
+        taken: bool,
+    },
+}
+
+/// One step of an execution trace: a statement event and the program state
+/// immediately after it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// The statement that executed.
+    pub stmt: StmtId,
+    /// Source line of that statement.
+    pub line: u32,
+    /// Simple execution or branch guard.
+    pub kind: EventKind,
+    /// The program state sᵢ after the event.
+    pub state: State,
+}
+
+impl TraceEvent {
+    /// The path-identity component of this event: which statement ran and,
+    /// for guards, which way it went. Two executions follow the same
+    /// program path iff their event sequences project to equal step lists.
+    pub fn path_step(&self) -> PathStep {
+        PathStep { stmt: self.stmt, kind: self.kind }
+    }
+}
+
+/// One element of a path signature (see [`TraceEvent::path_step`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathStep {
+    /// The statement.
+    pub stmt: StmtId,
+    /// Exec or guard-with-direction.
+    pub kind: EventKind,
+}
+
+// Manual Ord for EventKind so PathStep can be ordered (useful for
+// deterministic grouping).
+impl PartialOrd for EventKind {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKind {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(k: &EventKind) -> u8 {
+            match k {
+                EventKind::Exec => 0,
+                EventKind::Guard { taken: false } => 1,
+                EventKind::Guard { taken: true } => 2,
+            }
+        }
+        rank(self).cmp(&rank(other))
+    }
+}

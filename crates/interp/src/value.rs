@@ -1,0 +1,198 @@
+//! Runtime values and program states.
+//!
+//! A program state (Definition 2.1) is "a set of variable/memory and value
+//! pairs immediately after the execution of statement eᵢ". Following §5.1,
+//! "the order of variables [is] fixed across all program states in any
+//! concrete trace of P": states are snapshots over a fixed variable layout
+//! computed once per program, with ⊥ ([`None`]) for variables that are not
+//! yet (or no longer) in scope — exactly like `right:⊥` in the paper's
+//! Figure 2.
+
+use std::fmt;
+
+/// A MiniLang runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Integer array ("object type" in the paper's sense — flattened into
+    /// an `attr(v)` sequence when fed to the model, see `trace::encode`).
+    Array(Vec<i64>),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn ty(&self) -> minilang::Type {
+        match self {
+            Value::Int(_) => minilang::Type::Int,
+            Value::Bool(_) => minilang::Type::Bool,
+            Value::Str(_) => minilang::Type::Str,
+            Value::Array(_) => minilang::Type::IntArray,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Array(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// A program state: one optional value per slot of the program's fixed
+/// variable layout (`None` = ⊥, not in scope).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct State {
+    /// Values in layout order.
+    pub values: Vec<Option<Value>>,
+}
+
+impl State {
+    /// Renders the state in the paper's Figure 2 style, given the layout's
+    /// variable names: `{A:[8, 5, 1, 4, 3]; left:0; right:⊥}`.
+    pub fn render(&self, names: &[String]) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in names.iter().zip(&self.values).enumerate() {
+            if i > 0 {
+                out.push_str("; ");
+            }
+            out.push_str(name);
+            out.push(':');
+            match value {
+                Some(v) => out.push_str(&v.to_string()),
+                None => out.push('⊥'),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The fixed variable layout of a program: parameter names first (in
+/// declaration order), then every `let`-declared name in statement-id
+/// order. Shadowed re-declarations share their slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarLayout {
+    /// Variable names in slot order.
+    pub names: Vec<String>,
+}
+
+impl VarLayout {
+    /// Computes the layout of `program`.
+    pub fn of(program: &minilang::Program) -> VarLayout {
+        let mut names: Vec<String> =
+            program.function.params.iter().map(|p| p.name.clone()).collect();
+        for stmt in program.statements() {
+            if let minilang::StmtKind::Let { name, .. } = &stmt.kind {
+                if !names.contains(name) {
+                    names.push(name.clone());
+                }
+            }
+        }
+        VarLayout { names }
+    }
+
+    /// The slot of `name`, if declared anywhere in the program.
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the program declares no variables at all.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_orders_params_then_lets() {
+        let p = minilang::parse(
+            "fn f(a: array<int>, n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i += 1) { s += a[i]; }
+                return s;
+            }",
+        )
+        .unwrap();
+        let layout = VarLayout::of(&p);
+        assert_eq!(layout.names, vec!["a", "n", "s", "i"]);
+        assert_eq!(layout.slot("i"), Some(3));
+        assert_eq!(layout.slot("zz"), None);
+    }
+
+    #[test]
+    fn shadowed_names_share_a_slot() {
+        let p = minilang::parse(
+            "fn f(x: int) -> int {
+                let y: int = 0;
+                if (x > 0) { let y: int = 1; x += y; }
+                return y;
+            }",
+        )
+        .unwrap();
+        let layout = VarLayout::of(&p);
+        assert_eq!(layout.names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn state_renders_figure2_style() {
+        let state = State {
+            values: vec![
+                Some(Value::Array(vec![8, 5, 1, 4, 3])),
+                Some(Value::Int(0)),
+                None,
+            ],
+        };
+        let names = vec!["A".to_string(), "left".to_string(), "right".to_string()];
+        assert_eq!(state.render(&names), "{A:[8, 5, 1, 4, 3]; left:0; right:⊥}");
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Str("ab".into()).to_string(), "\"ab\"");
+        assert_eq!(Value::Array(vec![1, 2]).to_string(), "[1, 2]");
+    }
+}

@@ -1,0 +1,491 @@
+//! The abstract syntax tree of MiniLang.
+//!
+//! One [`Program`] holds one [`Function`] — mirroring the paper's setting
+//! where each subject is a single method body. Every statement carries a
+//! stable [`StmtId`] (assigned after parsing, in pre-order) and the source
+//! line it starts on; both are used by the tracing interpreter and by the
+//! line-coverage-preserving path reduction of §6.1.2.
+
+use std::fmt;
+
+/// The types of MiniLang values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Immutable string.
+    Str,
+    /// Growable array of integers (`array<int>`).
+    IntArray,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::Str => write!(f, "str"),
+            Type::IntArray => write!(f, "array<int>"),
+        }
+    }
+}
+
+/// A stable identifier for a statement within a program.
+///
+/// Ids are assigned in pre-order by [`Program::assign_ids`], so the same
+/// source always produces the same numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+impl fmt::Display for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A whole MiniLang program: exactly one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The single function (method) this program defines.
+    pub function: Function,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// The method name, e.g. `bubbleSort`. This is the prediction target of
+    /// the method-name prediction task.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Declared return type.
+    pub ret: Type,
+    /// The function body.
+    pub body: Block,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// The statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement together with its id and source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Stable pre-order id (0 until [`Program::assign_ids`] runs).
+    pub id: StmtId,
+    /// 1-based source line of the statement's first token.
+    pub line: u32,
+    /// The statement proper.
+    pub kind: StmtKind,
+}
+
+/// The kinds of MiniLang statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let name: ty = init;`
+    Let {
+        /// Declared variable name.
+        name: String,
+        /// Declared type.
+        ty: Type,
+        /// Initializer expression.
+        init: Expr,
+    },
+    /// `target op= value;` where `op` is empty, `+`, `-`, or `*`.
+    Assign {
+        /// Assignment target.
+        target: LValue,
+        /// Compound-assignment operator, if any (`x += e` keeps `AssignOp::Add`
+        /// in the AST so the `i += i` vs `i *= 2` distinction of §3 survives
+        /// to the symbolic feature dimension).
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then-block.
+        then_block: Block,
+        /// Optional else-block.
+        else_block: Option<Block>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for (init; cond; update) { .. }` — `init` and `update` are
+    /// restricted to `let`/assignment statements by the parser.
+    For {
+        /// Loop initializer.
+        init: Box<Stmt>,
+        /// Loop condition.
+        cond: Expr,
+        /// Loop update statement.
+        update: Box<Stmt>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return e;` or `return;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// Assignment operator of an [`StmtKind::Assign`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// Plain `=`.
+    Set,
+    /// `+=`.
+    Add,
+    /// `-=`.
+    Sub,
+    /// `*=`.
+    Mul,
+}
+
+/// The target of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A variable, e.g. `x = ..`.
+    Var(String),
+    /// An array element, e.g. `a[i] = ..`.
+    Index(String, Expr),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression proper.
+    pub kind: ExprKind,
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn new(kind: ExprKind) -> Expr {
+        Expr { kind }
+    }
+
+    /// An integer literal expression.
+    pub fn int(v: i64) -> Expr {
+        Expr::new(ExprKind::IntLit(v))
+    }
+
+    /// A variable reference expression.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::new(ExprKind::Var(name.into()))
+    }
+
+    /// A binary expression.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+}
+
+/// The kinds of MiniLang expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// String literal.
+    StrLit(String),
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation. `&&`/`||` are short-circuiting.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Array or string indexing, e.g. `a[i]` (on strings yields the
+    /// character code as an int).
+    Index(Box<Expr>, Box<Expr>),
+    /// Builtin call, e.g. `len(a)`.
+    Call(Builtin, Vec<Expr>),
+    /// Array literal, e.g. `[1, 2, 3]`.
+    ArrayLit(Vec<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negation `-`.
+    Neg,
+    /// Boolean negation `!`.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (integer addition or string concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (truncating; division by zero is a runtime error).
+    Div,
+    /// `%` (division by zero is a runtime error).
+    Mod,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `==` (ints, bools, strings, arrays element-wise).
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `&&` (short-circuiting).
+    And,
+    /// `||` (short-circuiting).
+    Or,
+}
+
+impl BinOp {
+    /// True for `<, <=, >, >=, ==, !=` — operators producing `bool` from
+    /// comparable operands.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// True for `+ - * / %`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+}
+
+/// Builtin functions of MiniLang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `len(x)` — length of an array or string.
+    Len,
+    /// `substring(s, i, j)` — the substring of `s` from `i` (inclusive) to
+    /// `j` (exclusive); out-of-range indices are a runtime error.
+    Substring,
+    /// `abs(x)` — absolute value.
+    Abs,
+    /// `min(x, y)`.
+    Min,
+    /// `max(x, y)`.
+    Max,
+    /// `newArray(n, v)` — a fresh integer array of length `n` filled with `v`.
+    NewArray,
+    /// `push(a, v)` — returns `a` with `v` appended (value semantics).
+    Push,
+    /// `charToStr(c)` — single-character string from a character code.
+    CharToStr,
+}
+
+impl Builtin {
+    /// Returns the builtin named `s`, if any.
+    pub fn from_name(s: &str) -> Option<Builtin> {
+        Some(match s {
+            "len" => Builtin::Len,
+            "substring" => Builtin::Substring,
+            "abs" => Builtin::Abs,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "newArray" => Builtin::NewArray,
+            "push" => Builtin::Push,
+            "charToStr" => Builtin::CharToStr,
+            _ => return None,
+        })
+    }
+
+    /// The surface name of the builtin.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Len => "len",
+            Builtin::Substring => "substring",
+            Builtin::Abs => "abs",
+            Builtin::Min => "min",
+            Builtin::Max => "max",
+            Builtin::NewArray => "newArray",
+            Builtin::Push => "push",
+            Builtin::CharToStr => "charToStr",
+        }
+    }
+
+    /// Number of arguments the builtin expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Len | Builtin::Abs | Builtin::CharToStr => 1,
+            Builtin::Min | Builtin::Max | Builtin::NewArray | Builtin::Push => 2,
+            Builtin::Substring => 3,
+        }
+    }
+}
+
+impl Program {
+    /// Assigns pre-order [`StmtId`]s to every statement, returning the total
+    /// number of statements. Parsers call this automatically; constructors
+    /// of synthetic ASTs must call it before handing the program to the
+    /// interpreter.
+    pub fn assign_ids(&mut self) -> u32 {
+        let mut next = 0u32;
+        assign_block(&mut self.function.body, &mut next);
+        next
+    }
+
+    /// All statements of the program in pre-order, flattened.
+    pub fn statements(&self) -> Vec<&Stmt> {
+        let mut out = Vec::new();
+        collect_block(&self.function.body, &mut out);
+        out
+    }
+
+    /// Looks up a statement by id. Returns `None` for out-of-range ids.
+    pub fn stmt(&self, id: StmtId) -> Option<&Stmt> {
+        self.statements().into_iter().find(|s| s.id == id)
+    }
+
+    /// The set of distinct source lines holding statements — the denominator
+    /// of line coverage.
+    pub fn statement_lines(&self) -> std::collections::BTreeSet<u32> {
+        self.statements().iter().map(|s| s.line).collect()
+    }
+}
+
+fn assign_block(block: &mut Block, next: &mut u32) {
+    for stmt in &mut block.stmts {
+        assign_stmt(stmt, next);
+    }
+}
+
+fn assign_stmt(stmt: &mut Stmt, next: &mut u32) {
+    stmt.id = StmtId(*next);
+    *next += 1;
+    match &mut stmt.kind {
+        StmtKind::If { then_block, else_block, .. } => {
+            assign_block(then_block, next);
+            if let Some(e) = else_block {
+                assign_block(e, next);
+            }
+        }
+        StmtKind::While { body, .. } => assign_block(body, next),
+        StmtKind::For { init, update, body, .. } => {
+            assign_stmt(init, next);
+            assign_stmt(update, next);
+            assign_block(body, next);
+        }
+        _ => {}
+    }
+}
+
+fn collect_block<'a>(block: &'a Block, out: &mut Vec<&'a Stmt>) {
+    for stmt in &block.stmts {
+        collect_stmt(stmt, out);
+    }
+}
+
+fn collect_stmt<'a>(stmt: &'a Stmt, out: &mut Vec<&'a Stmt>) {
+    out.push(stmt);
+    match &stmt.kind {
+        StmtKind::If { then_block, else_block, .. } => {
+            collect_block(then_block, out);
+            if let Some(e) = else_block {
+                collect_block(e, out);
+            }
+        }
+        StmtKind::While { body, .. } => collect_block(body, out),
+        StmtKind::For { init, update, body, .. } => {
+            collect_stmt(init, out);
+            collect_stmt(update, out);
+            collect_block(body, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stmt(kind: StmtKind) -> Stmt {
+        Stmt { id: StmtId(0), line: 1, kind }
+    }
+
+    #[test]
+    fn assign_ids_is_preorder() {
+        let mut prog = Program {
+            function: Function {
+                name: "f".into(),
+                params: vec![],
+                ret: Type::Int,
+                body: Block {
+                    stmts: vec![
+                        stmt(StmtKind::Let { name: "x".into(), ty: Type::Int, init: Expr::int(0) }),
+                        stmt(StmtKind::If {
+                            cond: Expr::var("b"),
+                            then_block: Block { stmts: vec![stmt(StmtKind::Return(None))] },
+                            else_block: Some(Block { stmts: vec![stmt(StmtKind::Break)] }),
+                        }),
+                        stmt(StmtKind::Return(Some(Expr::var("x")))),
+                    ],
+                },
+            },
+        };
+        let count = prog.assign_ids();
+        assert_eq!(count, 5);
+        let ids: Vec<u32> = prog.statements().iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stmt_lookup_by_id() {
+        let mut prog = Program {
+            function: Function {
+                name: "f".into(),
+                params: vec![],
+                ret: Type::Int,
+                body: Block { stmts: vec![stmt(StmtKind::Return(Some(Expr::int(1))))] },
+            },
+        };
+        prog.assign_ids();
+        assert!(prog.stmt(StmtId(0)).is_some());
+        assert!(prog.stmt(StmtId(7)).is_none());
+    }
+
+    #[test]
+    fn builtin_arity_matches_names() {
+        for b in [
+            Builtin::Len,
+            Builtin::Substring,
+            Builtin::Abs,
+            Builtin::Min,
+            Builtin::Max,
+            Builtin::NewArray,
+            Builtin::Push,
+            Builtin::CharToStr,
+        ] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+            assert!(b.arity() >= 1 && b.arity() <= 3);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type shared by the MiniLang front end.
+
+use std::fmt;
+
+/// Convenient result alias for front-end operations.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+/// Errors produced while lexing, parsing, or type-checking MiniLang.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// A lexical error at the given 1-based line.
+    Lex {
+        /// Source line of the error.
+        line: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A parse error at the given 1-based line.
+    Parse {
+        /// Source line of the error.
+        line: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A type error.
+    Type {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, msg } => write!(f, "lex error at line {line}: {msg}"),
+            LangError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            LangError::Type { msg } => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

@@ -1,0 +1,121 @@
+//! Identifier sub-token handling.
+//!
+//! The paper's method-name metric (§6.1.1) scores predictions "over case
+//! insensitive sub-tokens": `computeDiff` → `[compute, diff]`, and a
+//! prediction of `diffCompute` is a perfect answer. This module provides
+//! the camelCase/snake_case splitter shared by the decoder vocabulary, the
+//! evaluation metric, and the corpus generator.
+
+/// Splits an identifier into lowercase sub-tokens at camelCase humps,
+/// underscores, and digit boundaries.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(minilang::subtokens("computeDiff"), vec!["compute", "diff"]);
+/// assert_eq!(minilang::subtokens("parse_HTTP2Header"), vec!["parse", "http", "2", "header"]);
+/// assert_eq!(minilang::subtokens(""), Vec::<String>::new());
+/// ```
+pub fn subtokens(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == '_' || c == '-' || c == ' ' {
+            flush(&mut current, &mut out);
+            continue;
+        }
+        let boundary = if current.is_empty() {
+            false
+        } else if c.is_ascii_uppercase() {
+            let prev = chars[i - 1];
+            // aB boundary, or the end of an acronym: "HTTPServer" →
+            // HTTP | Server (boundary before the S of Server).
+            prev.is_ascii_lowercase()
+                || prev.is_ascii_digit()
+                || (prev.is_ascii_uppercase()
+                    && chars.get(i + 1).is_some_and(|n| n.is_ascii_lowercase()))
+        } else if c.is_ascii_digit() {
+            !chars[i - 1].is_ascii_digit()
+        } else {
+            chars[i - 1].is_ascii_digit()
+        };
+        if boundary {
+            flush(&mut current, &mut out);
+        }
+        current.push(c.to_ascii_lowercase());
+    }
+    flush(&mut current, &mut out);
+    out
+}
+
+fn flush(current: &mut String, out: &mut Vec<String>) {
+    if !current.is_empty() {
+        out.push(std::mem::take(current));
+    }
+}
+
+/// Joins sub-tokens back into a camelCase identifier.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(minilang::join_subtokens(&["compute".into(), "diff".into()]), "computeDiff");
+/// ```
+pub fn join_subtokens(tokens: &[String]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i == 0 {
+            out.push_str(t);
+        } else {
+            let mut cs = t.chars();
+            if let Some(first) = cs.next() {
+                out.extend(first.to_uppercase());
+                out.push_str(cs.as_str());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(subtokens("bubbleSort"), vec!["bubble", "sort"]);
+        assert_eq!(subtokens("isStringRotation"), vec!["is", "string", "rotation"]);
+    }
+
+    #[test]
+    fn splits_snake_case_and_mixed() {
+        assert_eq!(subtokens("find_max_value"), vec!["find", "max", "value"]);
+        assert_eq!(subtokens("sum2Elements"), vec!["sum", "2", "elements"]);
+    }
+
+    #[test]
+    fn handles_acronyms() {
+        assert_eq!(subtokens("HTTPServer"), vec!["http", "server"]);
+        assert_eq!(subtokens("parseURL"), vec!["parse", "url"]);
+    }
+
+    #[test]
+    fn single_word_lowercases() {
+        assert_eq!(subtokens("Sort"), vec!["sort"]);
+    }
+
+    #[test]
+    fn join_is_camel_case() {
+        assert_eq!(join_subtokens(&["find".into(), "max".into()]), "findMax");
+        assert_eq!(join_subtokens(&[]), "");
+    }
+
+    #[test]
+    fn roundtrip_for_simple_names() {
+        for name in ["bubbleSort", "findMax", "sumArray", "reverse"] {
+            let toks = subtokens(name);
+            assert_eq!(join_subtokens(&toks), name);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The MiniLang lexer.
+//!
+//! Converts source text into a [`Token`] stream. Supports `//` line comments,
+//! decimal integer literals, double-quoted string literals with `\n`, `\t`,
+//! `\"` and `\\` escapes, identifiers, keywords and the operator set listed
+//! in [`crate::token::Punct`].
+
+use crate::error::{LangError, Result};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Lexes `src` into a vector of tokens.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on unterminated strings, integer literals that
+/// overflow `i64`, or characters outside the language's alphabet.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minilang::LangError> {
+/// let tokens = minilang::lex("let x: int = 1;")?;
+/// assert_eq!(tokens.len(), 7);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().peekable(), line: 1, tokens: Vec::new() }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::Lex { line: self.line, msg: msg.into() }
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.tokens.push(Token { kind, line: self.line });
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.chars.peek() == Some(&expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' => {
+                    self.bump();
+                    if self.eat('/') {
+                        while let Some(&c) = self.chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    } else {
+                        self.push(TokenKind::Punct(Punct::Slash));
+                    }
+                }
+                '0'..='9' => self.number()?,
+                '"' => self.string()?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.ident(),
+                _ => self.punct()?,
+            }
+        }
+        Ok(self.tokens)
+    }
+
+    fn number(&mut self) -> Result<()> {
+        let mut text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let value: i64 =
+            text.parse().map_err(|_| self.err(format!("integer literal overflows i64: {text}")))?;
+        self.push(TokenKind::Int(value));
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<()> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('"') => text.push('"'),
+                    Some('\\') => text.push('\\'),
+                    other => {
+                        return Err(self.err(format!("invalid escape sequence: \\{other:?}")));
+                    }
+                },
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str(text));
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let mut text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_str(&text) {
+            Some(kw) => self.push(TokenKind::Keyword(kw)),
+            None => self.push(TokenKind::Ident(text)),
+        }
+    }
+
+    fn punct(&mut self) -> Result<()> {
+        let c = self.bump().expect("punct called at end of input");
+        let p = match c {
+            '(' => Punct::LParen,
+            ')' => Punct::RParen,
+            '{' => Punct::LBrace,
+            '}' => Punct::RBrace,
+            '[' => Punct::LBracket,
+            ']' => Punct::RBracket,
+            ',' => Punct::Comma,
+            ';' => Punct::Semi,
+            ':' => Punct::Colon,
+            '+' => {
+                if self.eat('=') {
+                    Punct::PlusAssign
+                } else {
+                    Punct::Plus
+                }
+            }
+            '-' => {
+                if self.eat('>') {
+                    Punct::Arrow
+                } else if self.eat('=') {
+                    Punct::MinusAssign
+                } else {
+                    Punct::Minus
+                }
+            }
+            '*' => {
+                if self.eat('=') {
+                    Punct::StarAssign
+                } else {
+                    Punct::Star
+                }
+            }
+            '%' => Punct::Percent,
+            '<' => {
+                if self.eat('=') {
+                    Punct::Le
+                } else {
+                    Punct::Lt
+                }
+            }
+            '>' => {
+                if self.eat('=') {
+                    Punct::Ge
+                } else {
+                    Punct::Gt
+                }
+            }
+            '=' => {
+                if self.eat('=') {
+                    Punct::EqEq
+                } else {
+                    Punct::Assign
+                }
+            }
+            '!' => {
+                if self.eat('=') {
+                    Punct::Ne
+                } else {
+                    Punct::Bang
+                }
+            }
+            '&' => {
+                if self.eat('&') {
+                    Punct::AndAnd
+                } else {
+                    return Err(self.err("expected `&&`"));
+                }
+            }
+            '|' => {
+                if self.eat('|') {
+                    Punct::OrOr
+                } else {
+                    return Err(self.err("expected `||`"));
+                }
+            }
+            other => return Err(self.err(format!("unexpected character: {other:?}"))),
+        };
+        self.push(TokenKind::Punct(p));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        assert_eq!(
+            kinds("let x: int = 1;"),
+            vec![
+                TokenKind::Keyword(Keyword::Let),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Colon),
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Punct(Punct::Assign),
+                TokenKind::Int(1),
+                TokenKind::Punct(Punct::Semi),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("+= -= *= == != <= >= && || ->"),
+            vec![
+                TokenKind::Punct(Punct::PlusAssign),
+                TokenKind::Punct(Punct::MinusAssign),
+                TokenKind::Punct(Punct::StarAssign),
+                TokenKind::Punct(Punct::EqEq),
+                TokenKind::Punct(Punct::Ne),
+                TokenKind::Punct(Punct::Le),
+                TokenKind::Punct(Punct::Ge),
+                TokenKind::Punct(Punct::AndAnd),
+                TokenKind::Punct(Punct::OrOr),
+                TokenKind::Punct(Punct::Arrow),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_escapes() {
+        assert_eq!(kinds(r#""a\nb\"c""#), vec![TokenKind::Str("a\nb\"c".into())]);
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let tokens = lex("// header\nx\n  y").unwrap();
+        assert_eq!(tokens[0].line, 2);
+        assert_eq!(tokens[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_lone_ampersand() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_int() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn keyword_vs_identifier() {
+        assert_eq!(
+            kinds("iffy if"),
+            vec![TokenKind::Ident("iffy".into()), TokenKind::Keyword(Keyword::If)]
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! AST node types and the labelled-tree view used by the neural layers.
+//!
+//! The paper's vocabulary 𝒟ₛ contains "all tokens extracted from all
+//! programs … together with all AST (non-leaf) node types" (§5.1). This
+//! module defines that node-type enumeration ([`AstNodeType`]) and a
+//! language-agnostic tree shape ([`AstTree`]) which the fusion layer's
+//! Child-Sum TreeLSTM consumes: non-terminal nodes are labelled by node
+//! type, terminal nodes by a surface token.
+
+use crate::ast::*;
+
+/// The non-leaf AST node types of MiniLang — the node-type half of 𝒟ₛ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AstNodeType {
+    /// A `let` declaration.
+    LetStmt,
+    /// A plain `=` assignment.
+    AssignStmt,
+    /// A `+=` assignment.
+    AddAssignStmt,
+    /// A `-=` assignment.
+    SubAssignStmt,
+    /// A `*=` assignment.
+    MulAssignStmt,
+    /// A branch guard that evaluated to true (from `if`/`while`/`for`).
+    GuardTrue,
+    /// A branch guard that evaluated to false.
+    GuardFalse,
+    /// A `return` statement.
+    ReturnStmt,
+    /// A `break` statement.
+    BreakStmt,
+    /// A `continue` statement.
+    ContinueStmt,
+    /// A binary expression (the operator token is a terminal child).
+    BinaryExpr,
+    /// A unary expression.
+    UnaryExpr,
+    /// An indexing expression `a[i]`.
+    IndexExpr,
+    /// A builtin call.
+    CallExpr,
+    /// An array literal.
+    ArrayLitExpr,
+    /// An lvalue indexing target `a[i] = ..`.
+    IndexTarget,
+    /// A whole function declaration (root of [`program_tree`]).
+    FunctionDecl,
+    /// A formal parameter.
+    ParamDecl,
+    /// A `{ ... }` block.
+    BlockNode,
+    /// An `if` statement (full statement, not a trace guard).
+    IfStmt,
+    /// A `while` statement.
+    WhileStmt,
+    /// A `for` statement.
+    ForStmt,
+}
+
+impl AstNodeType {
+    /// All node types, for vocabulary construction.
+    pub const ALL: [AstNodeType; 22] = [
+        AstNodeType::LetStmt,
+        AstNodeType::AssignStmt,
+        AstNodeType::AddAssignStmt,
+        AstNodeType::SubAssignStmt,
+        AstNodeType::MulAssignStmt,
+        AstNodeType::GuardTrue,
+        AstNodeType::GuardFalse,
+        AstNodeType::ReturnStmt,
+        AstNodeType::BreakStmt,
+        AstNodeType::ContinueStmt,
+        AstNodeType::BinaryExpr,
+        AstNodeType::UnaryExpr,
+        AstNodeType::IndexExpr,
+        AstNodeType::CallExpr,
+        AstNodeType::ArrayLitExpr,
+        AstNodeType::IndexTarget,
+        AstNodeType::FunctionDecl,
+        AstNodeType::ParamDecl,
+        AstNodeType::BlockNode,
+        AstNodeType::IfStmt,
+        AstNodeType::WhileStmt,
+        AstNodeType::ForStmt,
+    ];
+
+    /// A stable textual name (used as the vocabulary key).
+    pub fn name(self) -> &'static str {
+        match self {
+            AstNodeType::LetStmt => "<LetStmt>",
+            AstNodeType::AssignStmt => "<AssignStmt>",
+            AstNodeType::AddAssignStmt => "<AddAssignStmt>",
+            AstNodeType::SubAssignStmt => "<SubAssignStmt>",
+            AstNodeType::MulAssignStmt => "<MulAssignStmt>",
+            AstNodeType::GuardTrue => "<GuardTrue>",
+            AstNodeType::GuardFalse => "<GuardFalse>",
+            AstNodeType::ReturnStmt => "<ReturnStmt>",
+            AstNodeType::BreakStmt => "<BreakStmt>",
+            AstNodeType::ContinueStmt => "<ContinueStmt>",
+            AstNodeType::BinaryExpr => "<BinaryExpr>",
+            AstNodeType::UnaryExpr => "<UnaryExpr>",
+            AstNodeType::IndexExpr => "<IndexExpr>",
+            AstNodeType::CallExpr => "<CallExpr>",
+            AstNodeType::ArrayLitExpr => "<ArrayLitExpr>",
+            AstNodeType::IndexTarget => "<IndexTarget>",
+            AstNodeType::FunctionDecl => "<FunctionDecl>",
+            AstNodeType::ParamDecl => "<ParamDecl>",
+            AstNodeType::BlockNode => "<Block>",
+            AstNodeType::IfStmt => "<IfStmt>",
+            AstNodeType::WhileStmt => "<WhileStmt>",
+            AstNodeType::ForStmt => "<ForStmt>",
+        }
+    }
+}
+
+/// A labelled ordered tree over an AST fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstTree {
+    /// This node's label.
+    pub label: NodeLabel,
+    /// Ordered children.
+    pub children: Vec<AstTree>,
+}
+
+/// The label of an [`AstTree`] node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeLabel {
+    /// A non-terminal labelled by its AST node type.
+    NonTerminal(AstNodeType),
+    /// A terminal labelled by a surface token (identifier, operator,
+    /// literal spelling, builtin name …).
+    Terminal(String),
+}
+
+impl AstTree {
+    /// A leaf with a terminal token label.
+    pub fn leaf(token: impl Into<String>) -> AstTree {
+        AstTree { label: NodeLabel::Terminal(token.into()), children: Vec::new() }
+    }
+
+    /// An internal node with a node-type label.
+    pub fn node(ty: AstNodeType, children: Vec<AstTree>) -> AstTree {
+        AstTree { label: NodeLabel::NonTerminal(ty), children }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(AstTree::size).sum::<usize>()
+    }
+
+    /// Depth of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(AstTree::depth).max().unwrap_or(0)
+    }
+
+    /// All terminal tokens in left-to-right order.
+    pub fn terminals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_terminals(&mut out);
+        out
+    }
+
+    fn collect_terminals<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match &self.label {
+            NodeLabel::Terminal(t) => out.push(t),
+            NodeLabel::NonTerminal(_) => {}
+        }
+        for c in &self.children {
+            c.collect_terminals(out);
+        }
+    }
+
+    /// All vocabulary keys (terminals plus node-type names) in pre-order —
+    /// the contribution of this tree to 𝒟ₛ.
+    pub fn vocab_keys(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_keys(&mut out);
+        out
+    }
+
+    fn collect_keys(&self, out: &mut Vec<String>) {
+        match &self.label {
+            NodeLabel::Terminal(t) => out.push(t.clone()),
+            NodeLabel::NonTerminal(ty) => out.push(ty.name().to_string()),
+        }
+        for c in &self.children {
+            c.collect_keys(out);
+        }
+    }
+}
+
+/// Builds the labelled tree of an expression.
+pub fn expr_tree(expr: &Expr) -> AstTree {
+    match &expr.kind {
+        ExprKind::IntLit(v) => AstTree::leaf(v.to_string()),
+        ExprKind::BoolLit(b) => AstTree::leaf(b.to_string()),
+        ExprKind::StrLit(s) => AstTree::leaf(format!("\"{s}\"")),
+        ExprKind::Var(name) => AstTree::leaf(name.clone()),
+        ExprKind::Unary(op, inner) => AstTree::node(
+            AstNodeType::UnaryExpr,
+            vec![
+                AstTree::leaf(match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                }),
+                expr_tree(inner),
+            ],
+        ),
+        ExprKind::Binary(op, lhs, rhs) => AstTree::node(
+            AstNodeType::BinaryExpr,
+            vec![expr_tree(lhs), AstTree::leaf(binop_token(*op)), expr_tree(rhs)],
+        ),
+        ExprKind::Index(base, idx) => {
+            AstTree::node(AstNodeType::IndexExpr, vec![expr_tree(base), expr_tree(idx)])
+        }
+        ExprKind::Call(builtin, args) => {
+            let mut children = vec![AstTree::leaf(builtin.name())];
+            children.extend(args.iter().map(expr_tree));
+            AstTree::node(AstNodeType::CallExpr, children)
+        }
+        ExprKind::ArrayLit(elems) => {
+            AstTree::node(AstNodeType::ArrayLitExpr, elems.iter().map(expr_tree).collect())
+        }
+    }
+}
+
+fn binop_token(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+/// Builds the labelled tree of a *simple* statement (`let`, assignment,
+/// `return`, `break`, `continue`). Control-flow statements are represented
+/// in symbolic traces by their guards — see [`guard_tree`].
+///
+/// # Panics
+///
+/// Panics when given `if`/`while`/`for`, which never appear as trace events
+/// themselves.
+pub fn stmt_tree(stmt: &Stmt) -> AstTree {
+    match &stmt.kind {
+        StmtKind::Let { name, ty, init } => AstTree::node(
+            AstNodeType::LetStmt,
+            vec![AstTree::leaf(name.clone()), AstTree::leaf(ty.to_string()), expr_tree(init)],
+        ),
+        StmtKind::Assign { target, op, value } => {
+            let ty = match op {
+                AssignOp::Set => AstNodeType::AssignStmt,
+                AssignOp::Add => AstNodeType::AddAssignStmt,
+                AssignOp::Sub => AstNodeType::SubAssignStmt,
+                AssignOp::Mul => AstNodeType::MulAssignStmt,
+            };
+            let target_tree = match target {
+                LValue::Var(name) => AstTree::leaf(name.clone()),
+                LValue::Index(name, idx) => AstTree::node(
+                    AstNodeType::IndexTarget,
+                    vec![AstTree::leaf(name.clone()), expr_tree(idx)],
+                ),
+            };
+            AstTree::node(ty, vec![target_tree, expr_tree(value)])
+        }
+        StmtKind::Return(Some(e)) => AstTree::node(AstNodeType::ReturnStmt, vec![expr_tree(e)]),
+        StmtKind::Return(None) => {
+            AstTree::node(AstNodeType::ReturnStmt, vec![AstTree::leaf("void")])
+        }
+        StmtKind::Break => AstTree::node(AstNodeType::BreakStmt, vec![AstTree::leaf("break")]),
+        StmtKind::Continue => {
+            AstTree::node(AstNodeType::ContinueStmt, vec![AstTree::leaf("continue")])
+        }
+        other => panic!("stmt_tree: control-flow statement has no direct tree: {other:?}"),
+    }
+}
+
+/// Builds the labelled tree of a branch guard: the condition expression of
+/// an `if`/`while`/`for` statement, rooted at [`AstNodeType::GuardTrue`] or
+/// [`AstNodeType::GuardFalse`] according to the direction taken.
+pub fn guard_tree(cond: &Expr, taken: bool) -> AstTree {
+    let ty = if taken { AstNodeType::GuardTrue } else { AstNodeType::GuardFalse };
+    AstTree::node(ty, vec![expr_tree(cond)])
+}
+
+/// Builds the labelled tree of the *whole function* — the static view the
+/// `code2vec`/`code2seq` baselines extract AST path contexts from. Unlike
+/// [`stmt_tree`], control-flow statements appear with their full structure.
+/// The method name itself is deliberately **not** in the tree (it is the
+/// prediction target).
+pub fn program_tree(program: &Program) -> AstTree {
+    let f = &program.function;
+    let mut children: Vec<AstTree> = f
+        .params
+        .iter()
+        .map(|p| {
+            AstTree::node(
+                AstNodeType::ParamDecl,
+                vec![AstTree::leaf(p.name.clone()), AstTree::leaf(p.ty.to_string())],
+            )
+        })
+        .collect();
+    children.push(block_tree(&f.body));
+    AstTree::node(AstNodeType::FunctionDecl, children)
+}
+
+fn block_tree(block: &Block) -> AstTree {
+    AstTree::node(AstNodeType::BlockNode, block.stmts.iter().map(full_stmt_tree).collect())
+}
+
+/// The full structural tree of any statement (including control flow).
+pub fn full_stmt_tree(stmt: &Stmt) -> AstTree {
+    match &stmt.kind {
+        StmtKind::If { cond, then_block, else_block } => {
+            let mut children = vec![expr_tree(cond), block_tree(then_block)];
+            if let Some(e) = else_block {
+                children.push(block_tree(e));
+            }
+            AstTree::node(AstNodeType::IfStmt, children)
+        }
+        StmtKind::While { cond, body } => {
+            AstTree::node(AstNodeType::WhileStmt, vec![expr_tree(cond), block_tree(body)])
+        }
+        StmtKind::For { init, cond, update, body } => AstTree::node(
+            AstNodeType::ForStmt,
+            vec![
+                full_stmt_tree(init),
+                expr_tree(cond),
+                full_stmt_tree(update),
+                block_tree(body),
+            ],
+        ),
+        _ => stmt_tree(stmt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    #[test]
+    fn expr_tree_has_operator_terminal() {
+        let e = parse_expr("a + 1").unwrap();
+        let t = expr_tree(&e);
+        assert_eq!(t.terminals(), vec!["a", "+", "1"]);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn add_assign_and_mul_assign_differ_symbolically() {
+        // The §3 motivating example: `i += i` and `i *= 2` must produce
+        // *different* symbolic trees (identical program states teach the
+        // model their equivalence).
+        let p1 = parse("fn f(i: int) -> int { i += i; return i; }").unwrap();
+        let p2 = parse("fn f(i: int) -> int { i *= 2; return i; }").unwrap();
+        let t1 = stmt_tree(p1.statements()[0]);
+        let t2 = stmt_tree(p2.statements()[0]);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn guard_trees_distinguish_polarity() {
+        let e = parse_expr("x < 10").unwrap();
+        assert_ne!(guard_tree(&e, true), guard_tree(&e, false));
+    }
+
+    #[test]
+    fn vocab_keys_include_node_types_and_tokens() {
+        let e = parse_expr("len(a)").unwrap();
+        let keys = expr_tree(&e).vocab_keys();
+        assert!(keys.contains(&"<CallExpr>".to_string()));
+        assert!(keys.contains(&"len".to_string()));
+        assert!(keys.contains(&"a".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "control-flow")]
+    fn stmt_tree_rejects_if() {
+        let p = parse("fn f(x: int) -> int { if (x > 0) { return 1; } return 0; }").unwrap();
+        stmt_tree(p.statements()[0]);
+    }
+
+    #[test]
+    fn all_node_types_have_unique_names() {
+        let names: std::collections::HashSet<_> =
+            AstNodeType::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), AstNodeType::ALL.len());
+    }
+}

@@ -1,0 +1,594 @@
+//! Recursive-descent parser for MiniLang.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program  := function
+//! function := 'fn' IDENT '(' (param (',' param)*)? ')' '->' type block
+//! param    := IDENT ':' type
+//! type     := 'int' | 'bool' | 'str' | 'array' '<' 'int' '>'
+//! block    := '{' stmt* '}'
+//! stmt     := 'let' IDENT ':' type '=' expr ';'
+//!           | lvalue ('=' | '+=' | '-=' | '*=') expr ';'
+//!           | 'if' '(' expr ')' block ('else' (block | ifstmt))?
+//!           | 'while' '(' expr ')' block
+//!           | 'for' '(' simple ';' expr ';' simple ')' block
+//!           | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+//! ```
+//!
+//! Expression precedence (loosest → tightest): `||`, `&&`, equality,
+//! relational, additive, multiplicative, unary, postfix indexing, primary.
+
+use crate::ast::*;
+use crate::error::{LangError, Result};
+use crate::lexer::lex;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+/// Parses a full program (one function) from source text, with statement
+/// ids already assigned.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minilang::LangError> {
+/// let program = minilang::parse(
+///     "fn addOne(x: int) -> int { return x + 1; }",
+/// )?;
+/// assert_eq!(program.function.name, "addOne");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let function = parser.function()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.err("trailing tokens after function"));
+    }
+    let mut program = Program { function };
+    program.assign_ids();
+    Ok(program)
+}
+
+/// Parses a single expression — used by tests and by the variation engine.
+///
+/// # Errors
+///
+/// Returns a lex or parse error on malformed input.
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let tokens = lex(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parser.err("trailing tokens after expression"));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        let line = self
+            .tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map_or(0, |t| t.line);
+        LangError::Parse { line, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens.get(self.pos).map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) -> Result<TokenKind> {
+        let t = self.tokens.get(self.pos).ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t.kind.clone())
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == Some(&TokenKind::Punct(p)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`, found {:?}", p.as_str(), self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == Some(&TokenKind::Keyword(k)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<()> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`, found {:?}", k.as_str(), self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump()? {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn function(&mut self) -> Result<Function> {
+        self.expect_keyword(Keyword::Fn)?;
+        let name = self.ident()?;
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.expect_punct(Punct::Colon)?;
+                let ty = self.ty()?;
+                params.push(Param { name: pname, ty });
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma)?;
+            }
+        }
+        self.expect_punct(Punct::Arrow)?;
+        let ret = self.ty()?;
+        let body = self.block()?;
+        Ok(Function { name, params, ret, body })
+    }
+
+    fn ty(&mut self) -> Result<Type> {
+        match self.bump()? {
+            TokenKind::Keyword(Keyword::Int) => Ok(Type::Int),
+            TokenKind::Keyword(Keyword::Bool) => Ok(Type::Bool),
+            TokenKind::Keyword(Keyword::Str) => Ok(Type::Str),
+            TokenKind::Keyword(Keyword::Array) => {
+                self.expect_punct(Punct::Lt)?;
+                self.expect_keyword(Keyword::Int)?;
+                self.expect_punct(Punct::Gt)?;
+                Ok(Type::IntArray)
+            }
+            other => Err(self.err(format!("expected type, found {other}"))),
+        }
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        let kind = match self.peek() {
+            Some(TokenKind::Keyword(Keyword::Let)) => {
+                let s = self.simple_stmt()?;
+                self.expect_punct(Punct::Semi)?;
+                s
+            }
+            Some(TokenKind::Keyword(Keyword::If)) => self.if_stmt()?,
+            Some(TokenKind::Keyword(Keyword::While)) => {
+                self.bump()?;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            Some(TokenKind::Keyword(Keyword::For)) => {
+                self.bump()?;
+                self.expect_punct(Punct::LParen)?;
+                let init_line = self.line();
+                let init_kind = self.simple_stmt()?;
+                let init = self.stmt_at(init_line, init_kind);
+                self.expect_punct(Punct::Semi)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::Semi)?;
+                let update_line = self.line();
+                let update_kind = self.simple_stmt()?;
+                let update = self.stmt_at(update_line, update_kind);
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block()?;
+                StmtKind::For {
+                    init: Box::new(init),
+                    cond,
+                    update: Box::new(update),
+                    body,
+                }
+            }
+            Some(TokenKind::Keyword(Keyword::Return)) => {
+                self.bump()?;
+                if self.eat_punct(Punct::Semi) {
+                    StmtKind::Return(None)
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(Punct::Semi)?;
+                    StmtKind::Return(Some(e))
+                }
+            }
+            Some(TokenKind::Keyword(Keyword::Break)) => {
+                self.bump()?;
+                self.expect_punct(Punct::Semi)?;
+                StmtKind::Break
+            }
+            Some(TokenKind::Keyword(Keyword::Continue)) => {
+                self.bump()?;
+                self.expect_punct(Punct::Semi)?;
+                StmtKind::Continue
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect_punct(Punct::Semi)?;
+                s
+            }
+        };
+        Ok(Stmt { id: StmtId(0), line, kind })
+    }
+
+    fn stmt_at(&self, line: u32, kind: StmtKind) -> Stmt {
+        Stmt { id: StmtId(0), line, kind }
+    }
+
+    fn if_stmt(&mut self) -> Result<StmtKind> {
+        self.expect_keyword(Keyword::If)?;
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let then_block = self.block()?;
+        let else_block = if self.eat_keyword(Keyword::Else) {
+            if self.peek() == Some(&TokenKind::Keyword(Keyword::If)) {
+                // `else if`: wrap the nested if in a one-statement block.
+                let line = self.line();
+                let nested = self.if_stmt()?;
+                Some(Block { stmts: vec![self.stmt_at(line, nested)] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(StmtKind::If { cond, then_block, else_block })
+    }
+
+    /// A `let` or assignment statement, *without* consuming the trailing
+    /// semicolon (shared between plain statements and `for` headers).
+    fn simple_stmt(&mut self) -> Result<StmtKind> {
+        if self.eat_keyword(Keyword::Let) {
+            let name = self.ident()?;
+            self.expect_punct(Punct::Colon)?;
+            let ty = self.ty()?;
+            self.expect_punct(Punct::Assign)?;
+            let init = self.expr()?;
+            return Ok(StmtKind::Let { name, ty, init });
+        }
+        let name = self.ident()?;
+        let target = if self.eat_punct(Punct::LBracket) {
+            let idx = self.expr()?;
+            self.expect_punct(Punct::RBracket)?;
+            LValue::Index(name, idx)
+        } else {
+            LValue::Var(name)
+        };
+        let op = match self.bump()? {
+            TokenKind::Punct(Punct::Assign) => AssignOp::Set,
+            TokenKind::Punct(Punct::PlusAssign) => AssignOp::Add,
+            TokenKind::Punct(Punct::MinusAssign) => AssignOp::Sub,
+            TokenKind::Punct(Punct::StarAssign) => AssignOp::Mul,
+            other => return Err(self.err(format!("expected assignment operator, found {other}"))),
+        };
+        let value = self.expr()?;
+        Ok(StmtKind::Assign { target, op, value })
+    }
+
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct(Punct::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality_expr()?;
+        while self.eat_punct(Punct::AndAnd) {
+            let rhs = self.equality_expr()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::EqEq) {
+                BinOp::Eq
+            } else if self.eat_punct(Punct::Ne) {
+                BinOp::Ne
+            } else {
+                break;
+            };
+            let rhs = self.relational_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Le) {
+                BinOp::Le
+            } else if self.eat_punct(Punct::Lt) {
+                BinOp::Lt
+            } else if self.eat_punct(Punct::Ge) {
+                BinOp::Ge
+            } else if self.eat_punct(Punct::Gt) {
+                BinOp::Gt
+            } else {
+                break;
+            };
+            let rhs = self.additive_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Plus) {
+                BinOp::Add
+            } else if self.eat_punct(Punct::Minus) {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = if self.eat_punct(Punct::Star) {
+                BinOp::Mul
+            } else if self.eat_punct(Punct::Slash) {
+                BinOp::Div
+            } else if self.eat_punct(Punct::Percent) {
+                BinOp::Mod
+            } else {
+                break;
+            };
+            let rhs = self.unary_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat_punct(Punct::Minus) {
+            let inner = self.unary_expr()?;
+            // Fold negation of integer literals so `-1` parses as the
+            // literal `-1`; this makes pretty-printing round-trip exactly.
+            if let ExprKind::IntLit(v) = inner.kind {
+                return Ok(Expr::int(v.wrapping_neg()));
+            }
+            Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(inner))))
+        } else if self.eat_punct(Punct::Bang) {
+            let inner = self.unary_expr()?;
+            Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(inner))))
+        } else {
+            self.postfix_expr()
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary_expr()?;
+        while self.eat_punct(Punct::LBracket) {
+            let idx = self.expr()?;
+            self.expect_punct(Punct::RBracket)?;
+            e = Expr::new(ExprKind::Index(Box::new(e), Box::new(idx)));
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.bump()? {
+            TokenKind::Int(v) => Ok(Expr::int(v)),
+            TokenKind::Str(s) => Ok(Expr::new(ExprKind::StrLit(s))),
+            TokenKind::Keyword(Keyword::True) => Ok(Expr::new(ExprKind::BoolLit(true))),
+            TokenKind::Keyword(Keyword::False) => Ok(Expr::new(ExprKind::BoolLit(false))),
+            TokenKind::Punct(Punct::LParen) => {
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Punct(Punct::LBracket) => {
+                let mut elems = Vec::new();
+                if !self.eat_punct(Punct::RBracket) {
+                    loop {
+                        elems.push(self.expr()?);
+                        if self.eat_punct(Punct::RBracket) {
+                            break;
+                        }
+                        self.expect_punct(Punct::Comma)?;
+                    }
+                }
+                Ok(Expr::new(ExprKind::ArrayLit(elems)))
+            }
+            TokenKind::Ident(name) => {
+                if self.peek() == Some(&TokenKind::Punct(Punct::LParen)) {
+                    let builtin = Builtin::from_name(&name)
+                        .ok_or_else(|| self.err(format!("unknown function: {name}")))?;
+                    self.bump()?; // `(`
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(Punct::RParen) {
+                                break;
+                            }
+                            self.expect_punct(Punct::Comma)?;
+                        }
+                    }
+                    if args.len() != builtin.arity() {
+                        return Err(self.err(format!(
+                            "{} expects {} arguments, got {}",
+                            builtin.name(),
+                            builtin.arity(),
+                            args.len()
+                        )));
+                    }
+                    Ok(Expr::new(ExprKind::Call(builtin, args)))
+                } else {
+                    Ok(Expr::var(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bubble_sort() {
+        let src = r#"
+            fn sortArray(a: array<int>) -> array<int> {
+                let left: int = 0;
+                let right: int = len(a) - 1;
+                for (let i: int = right; i > left; i -= 1) {
+                    for (let j: int = left; j < i; j += 1) {
+                        if (a[j] > a[j + 1]) {
+                            let tmp: int = a[j];
+                            a[j] = a[j + 1];
+                            a[j + 1] = tmp;
+                        }
+                    }
+                }
+                return a;
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.function.name, "sortArray");
+        assert_eq!(prog.function.params.len(), 1);
+        assert_eq!(prog.function.ret, Type::IntArray);
+        // let, let, for+init+update, for+init+update, if, let, assign,
+        // assign, return = 13 statements.
+        assert_eq!(prog.statements().len(), 13);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e.kind {
+            ExprKind::Binary(BinOp::Add, _, rhs) => match rhs.kind {
+                ExprKind::Binary(BinOp::Mul, _, _) => {}
+                other => panic!("expected Mul on rhs, got {other:?}"),
+            },
+            other => panic!("expected Add at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_comparison_over_and() {
+        let e = parse_expr("a < b && c > d").unwrap();
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let src = "fn f(x: int) -> int { if (x > 0) { return 1; } else if (x < 0) { return 2; } else { return 0; } }";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.statements().len(), 5);
+    }
+
+    #[test]
+    fn parses_compound_assignment() {
+        let src = "fn f(x: int) -> int { x += x; x *= 2; return x; }";
+        let prog = parse(src).unwrap();
+        let stmts = prog.statements();
+        assert!(matches!(stmts[0].kind, StmtKind::Assign { op: AssignOp::Add, .. }));
+        assert!(matches!(stmts[1].kind, StmtKind::Assign { op: AssignOp::Mul, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_call() {
+        assert!(parse("fn f() -> int { return foo(1); }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert!(parse("fn f() -> int { return len(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse("fn f() -> int { return 1; } extra").is_err());
+    }
+
+    #[test]
+    fn parses_array_literal_and_index() {
+        let e = parse_expr("[1, 2, 3][0]").unwrap();
+        assert!(matches!(e.kind, ExprKind::Index(_, _)));
+    }
+
+    #[test]
+    fn parses_string_builtin_chain() {
+        let src = r#"
+            fn isRotation(a: str, b: str) -> bool {
+                if (len(a) != len(b)) { return false; }
+                for (let i: int = 1; i < len(a); i += 1) {
+                    let tail: str = substring(a, i, len(a));
+                    let wrap: str = substring(a, 0, i);
+                    if (tail + wrap == b) { return true; }
+                }
+                return false;
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.function.name, "isRotation");
+    }
+
+    #[test]
+    fn unary_binds_tighter_than_mul() {
+        let e = parse_expr("-a * b").unwrap();
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+}

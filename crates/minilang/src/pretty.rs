@@ -1,0 +1,375 @@
+//! Pretty-printer for MiniLang ASTs.
+//!
+//! Printing followed by [`crate::parse`] yields a structurally identical
+//! program (modulo statement ids and line numbers) — a property-tested
+//! invariant. The printer is also the token source for the static baselines
+//! (`code2vec`/`code2seq` tokenize the printed form).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a program as source text.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    let f = &program.function;
+    write!(out, "fn {}(", f.name).unwrap();
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{}: {}", p.name, p.ty).unwrap();
+    }
+    writeln!(out, ") -> {} {{", f.ret).unwrap();
+    print_block(&f.body, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a single statement (without trailing newline handling of blocks).
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    print_stmt_into(stmt, 0, &mut out);
+    out.trim_end().to_string()
+}
+
+/// Renders an expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    expr_into(expr, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(block: &Block, level: usize, out: &mut String) {
+    for stmt in &block.stmts {
+        print_stmt_into(stmt, level, out);
+    }
+}
+
+fn print_stmt_into(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match &stmt.kind {
+        StmtKind::Let { name, ty, init } => {
+            write!(out, "let {name}: {ty} = ").unwrap();
+            expr_into(init, out);
+            out.push_str(";\n");
+        }
+        StmtKind::Assign { target, op, value } => {
+            simple_assign_into(target, *op, value, out);
+            out.push_str(";\n");
+        }
+        StmtKind::If { cond, then_block, else_block } => {
+            out.push_str("if (");
+            expr_into(cond, out);
+            out.push_str(") {\n");
+            print_block(then_block, level + 1, out);
+            indent(level, out);
+            out.push('}');
+            if let Some(e) = else_block {
+                out.push_str(" else {\n");
+                print_block(e, level + 1, out);
+                indent(level, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str("while (");
+            expr_into(cond, out);
+            out.push_str(") {\n");
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        StmtKind::For { init, cond, update, body } => {
+            out.push_str("for (");
+            simple_stmt_into(init, out);
+            out.push_str("; ");
+            expr_into(cond, out);
+            out.push_str("; ");
+            simple_stmt_into(update, out);
+            out.push_str(") {\n");
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        StmtKind::Return(Some(e)) => {
+            out.push_str("return ");
+            expr_into(e, out);
+            out.push_str(";\n");
+        }
+        StmtKind::Return(None) => out.push_str("return;\n"),
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+    }
+}
+
+fn simple_stmt_into(stmt: &Stmt, out: &mut String) {
+    match &stmt.kind {
+        StmtKind::Let { name, ty, init } => {
+            write!(out, "let {name}: {ty} = ").unwrap();
+            expr_into(init, out);
+        }
+        StmtKind::Assign { target, op, value } => simple_assign_into(target, *op, value, out),
+        other => panic!("not a simple statement: {other:?}"),
+    }
+}
+
+fn simple_assign_into(target: &LValue, op: AssignOp, value: &Expr, out: &mut String) {
+    match target {
+        LValue::Var(name) => out.push_str(name),
+        LValue::Index(name, idx) => {
+            out.push_str(name);
+            out.push('[');
+            expr_into(idx, out);
+            out.push(']');
+        }
+    }
+    out.push_str(match op {
+        AssignOp::Set => " = ",
+        AssignOp::Add => " += ",
+        AssignOp::Sub => " -= ",
+        AssignOp::Mul => " *= ",
+    });
+    expr_into(value, out);
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+    }
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+    }
+}
+
+fn expr_into(expr: &Expr, out: &mut String) {
+    expr_prec(expr, 0, out);
+}
+
+fn expr_prec(expr: &Expr, min_prec: u8, out: &mut String) {
+    match &expr.kind {
+        ExprKind::IntLit(v) => {
+            if *v < 0 {
+                // Negative literals print parenthesised so `a - (-1)` style
+                // trees survive a round-trip through the parser's unary-minus.
+                write!(out, "({v})").unwrap();
+            } else {
+                write!(out, "{v}").unwrap();
+            }
+        }
+        ExprKind::BoolLit(b) => write!(out, "{b}").unwrap(),
+        ExprKind::StrLit(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        ExprKind::Var(name) => out.push_str(name),
+        ExprKind::Unary(op, inner) => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            // Unary binds tighter than all binary operators.
+            expr_prec(inner, 7, out);
+        }
+        ExprKind::Binary(op, lhs, rhs) => {
+            let prec = precedence(*op);
+            let paren = prec < min_prec;
+            if paren {
+                out.push('(');
+            }
+            expr_prec(lhs, prec, out);
+            write!(out, " {} ", binop_str(*op)).unwrap();
+            // Left-associative: right operand needs strictly higher precedence.
+            expr_prec(rhs, prec + 1, out);
+            if paren {
+                out.push(')');
+            }
+        }
+        ExprKind::Index(base, idx) => {
+            expr_prec(base, 8, out);
+            out.push('[');
+            expr_prec(idx, 0, out);
+            out.push(']');
+        }
+        ExprKind::Call(builtin, args) => {
+            out.push_str(builtin.name());
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_prec(a, 0, out);
+            }
+            out.push(')');
+        }
+        ExprKind::ArrayLit(elems) => {
+            out.push('[');
+            for (i, e) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_prec(e, 0, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expr};
+
+    fn strip(mut p: Program) -> Program {
+        // Normalise lines so equality compares structure only.
+        fn walk_block(b: &mut Block) {
+            for s in &mut b.stmts {
+                walk(s);
+            }
+        }
+        fn walk(s: &mut Stmt) {
+            s.line = 0;
+            match &mut s.kind {
+                StmtKind::If { then_block, else_block, .. } => {
+                    walk_block(then_block);
+                    if let Some(e) = else_block {
+                        walk_block(e);
+                    }
+                }
+                StmtKind::While { body, .. } => walk_block(body),
+                StmtKind::For { init, update, body, .. } => {
+                    walk(init);
+                    walk(update);
+                    walk_block(body);
+                }
+                _ => {}
+            }
+        }
+        walk_block(&mut p.function.body);
+        p
+    }
+
+    #[test]
+    fn roundtrip_bubble_sort() {
+        let src = r#"
+            fn sortArray(a: array<int>) -> array<int> {
+                let right: int = len(a) - 1;
+                for (let i: int = right; i > 0; i -= 1) {
+                    for (let j: int = 0; j < i; j += 1) {
+                        if (a[j] > a[j + 1]) {
+                            let tmp: int = a[j];
+                            a[j] = a[j + 1];
+                            a[j + 1] = tmp;
+                        }
+                    }
+                }
+                return a;
+            }
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(strip(p1), strip(p2));
+    }
+
+    #[test]
+    fn parenthesises_by_precedence() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(print_expr(&e), "(1 + 2) * 3");
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(print_expr(&e), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn left_associativity_preserved() {
+        let e = parse_expr("a - b - c").unwrap();
+        let printed = print_expr(&e);
+        let reparsed = parse_expr(&printed).unwrap();
+        assert_eq!(e, reparsed);
+        let e = parse_expr("a - (b - c)").unwrap();
+        assert_eq!(parse_expr(&print_expr(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let e = parse_expr(r#""a\nb\"c\\d""#).unwrap();
+        assert_eq!(parse_expr(&print_expr(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn negative_literal_roundtrips() {
+        let e = Expr::binary(BinOp::Sub, Expr::var("a"), Expr::int(-1));
+        assert_eq!(parse_expr(&print_expr(&e)).unwrap(), e);
+    }
+}
+
+#[cfg(test)]
+mod stmt_print_tests {
+    use crate::parser::parse;
+    use crate::pretty::print_stmt;
+
+    #[test]
+    fn print_stmt_renders_each_kind() {
+        let src = "fn f(x: int) -> int {
+            let y: int = 1;
+            y += x;
+            if (x > 0) { return 1; }
+            while (x > 0) { x -= 1; }
+            for (let i: int = 0; i < 3; i += 1) { y += i; }
+            return y;
+        }";
+        let p = parse(src).unwrap();
+        let rendered: Vec<String> =
+            p.function.body.stmts.iter().map(print_stmt).collect();
+        assert!(rendered[0].starts_with("let y: int = 1;"));
+        assert!(rendered[1].starts_with("y += x;"));
+        assert!(rendered[2].starts_with("if (x > 0)"));
+        assert!(rendered[3].starts_with("while (x > 0)"));
+        assert!(rendered[4].starts_with("for (let i: int = 0;"));
+        assert!(rendered[5].starts_with("return y;"));
+    }
+
+    #[test]
+    fn else_branch_prints_and_reparses() {
+        let src = "fn f(x: int) -> int { if (x > 0) { return 1; } else { return 2; } }";
+        let p = parse(src).unwrap();
+        let printed = crate::pretty::print_program(&p);
+        assert!(printed.contains("} else {"));
+        assert!(parse(&printed).is_ok());
+    }
+}

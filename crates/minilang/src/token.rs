@@ -1,0 +1,222 @@
+//! Lexical tokens of MiniLang.
+//!
+//! MiniLang is the Java-like imperative language this reproduction uses in
+//! place of the paper's Java subjects (see `DESIGN.md` §1). Tokens carry the
+//! source line they start on so that downstream consumers (the tracing
+//! interpreter, the coverage accounting of §6.1.2) can reason about line
+//! coverage.
+
+use std::fmt;
+
+/// A lexical token together with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number in the source text.
+    pub line: u32,
+}
+
+/// The kinds of MiniLang tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal, e.g. `42`.
+    Int(i64),
+    /// A string literal, e.g. `"abc"` (payload is the unescaped content).
+    Str(String),
+    /// An identifier, e.g. `left`.
+    Ident(String),
+    /// A keyword, e.g. `while`.
+    Keyword(Keyword),
+    /// A punctuation or operator token, e.g. `+=`.
+    Punct(Punct),
+}
+
+/// Reserved words of MiniLang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    /// `fn` introduces a function definition.
+    Fn,
+    /// `let` introduces a local variable declaration.
+    Let,
+    /// `if` conditional.
+    If,
+    /// `else` branch of a conditional.
+    Else,
+    /// `while` loop.
+    While,
+    /// `for` loop.
+    For,
+    /// `return` statement.
+    Return,
+    /// `break` statement.
+    Break,
+    /// `continue` statement.
+    Continue,
+    /// `true` literal.
+    True,
+    /// `false` literal.
+    False,
+    /// `int` type.
+    Int,
+    /// `bool` type.
+    Bool,
+    /// `str` type.
+    Str,
+    /// `array` type constructor (`array<int>`).
+    Array,
+}
+
+impl Keyword {
+    /// Returns the keyword for `s` if `s` is reserved.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "fn" => Keyword::Fn,
+            "let" => Keyword::Let,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "for" => Keyword::For,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "int" => Keyword::Int,
+            "bool" => Keyword::Bool,
+            "str" => Keyword::Str,
+            "array" => Keyword::Array,
+            _ => return None,
+        })
+    }
+
+    /// The surface spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Fn => "fn",
+            Keyword::Let => "let",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::For => "for",
+            Keyword::Return => "return",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Int => "int",
+            Keyword::Bool => "bool",
+            Keyword::Str => "str",
+            Keyword::Array => "array",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+}
+
+impl Punct {
+    /// The surface spelling of the punctuation token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Punct::LParen => "(",
+            Punct::RParen => ")",
+            Punct::LBrace => "{",
+            Punct::RBrace => "}",
+            Punct::LBracket => "[",
+            Punct::RBracket => "]",
+            Punct::Comma => ",",
+            Punct::Semi => ";",
+            Punct::Colon => ":",
+            Punct::Arrow => "->",
+            Punct::Assign => "=",
+            Punct::PlusAssign => "+=",
+            Punct::MinusAssign => "-=",
+            Punct::StarAssign => "*=",
+            Punct::Plus => "+",
+            Punct::Minus => "-",
+            Punct::Star => "*",
+            Punct::Slash => "/",
+            Punct::Percent => "%",
+            Punct::Lt => "<",
+            Punct::Le => "<=",
+            Punct::Gt => ">",
+            Punct::Ge => ">=",
+            Punct::EqEq => "==",
+            Punct::Ne => "!=",
+            Punct::AndAnd => "&&",
+            Punct::OrOr => "||",
+            Punct::Bang => "!",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Punct(p) => write!(f, "{}", p.as_str()),
+        }
+    }
+}

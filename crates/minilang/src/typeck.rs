@@ -1,0 +1,437 @@
+//! Static type checker for MiniLang.
+//!
+//! The dataset filtering pipeline (Table 1's "some programs do not compile"
+//! category) uses this checker as its compile gate: programs that fail it
+//! are excluded exactly like non-compiling Java methods were.
+
+use crate::ast::*;
+use crate::error::{LangError, Result};
+use std::collections::HashMap;
+
+/// Type-checks a program.
+///
+/// Checks: every variable is declared before use, no variable is declared
+/// twice in the same scope, operand and assignment types match, conditions
+/// are boolean, indexing applies to arrays or strings, builtins receive the
+/// right argument types, every `return` matches the declared return type,
+/// and `break`/`continue` appear only inside loops.
+///
+/// # Errors
+///
+/// Returns [`LangError::Type`] describing the first violation found.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), minilang::LangError> {
+/// let program = minilang::parse("fn inc(x: int) -> int { return x + 1; }")?;
+/// minilang::typecheck(&program)?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn typecheck(program: &Program) -> Result<()> {
+    let f = &program.function;
+    let mut checker = Checker { scopes: vec![HashMap::new()], ret: f.ret, loop_depth: 0 };
+    for p in &f.params {
+        checker.declare(&p.name, p.ty)?;
+    }
+    checker.check_block(&f.body)?;
+    Ok(())
+}
+
+struct Checker {
+    scopes: Vec<HashMap<String, Type>>,
+    ret: Type,
+    loop_depth: u32,
+}
+
+fn err(msg: impl Into<String>) -> LangError {
+    LangError::Type { msg: msg.into() }
+}
+
+impl Checker {
+    fn declare(&mut self, name: &str, ty: Type) -> Result<()> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_string(), ty).is_some() {
+            return Err(err(format!("variable declared twice in the same scope: {name}")));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Result<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(ty) = scope.get(name) {
+                return Ok(*ty);
+            }
+        }
+        Err(err(format!("use of undeclared variable: {name}")))
+    }
+
+    fn check_block(&mut self, block: &Block) -> Result<()> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<()> {
+        match &stmt.kind {
+            StmtKind::Let { name, ty, init } => {
+                let init_ty = self.check_expr(init)?;
+                if init_ty != *ty {
+                    return Err(err(format!(
+                        "initializer of {name} has type {init_ty}, expected {ty}"
+                    )));
+                }
+                self.declare(name, *ty)
+            }
+            StmtKind::Assign { target, op, value } => {
+                let target_ty = match target {
+                    LValue::Var(name) => self.lookup(name)?,
+                    LValue::Index(name, idx) => {
+                        let base_ty = self.lookup(name)?;
+                        if base_ty != Type::IntArray {
+                            return Err(err(format!(
+                                "indexed assignment requires array<int>, {name} is {base_ty}"
+                            )));
+                        }
+                        let idx_ty = self.check_expr(idx)?;
+                        if idx_ty != Type::Int {
+                            return Err(err(format!("array index has type {idx_ty}, expected int")));
+                        }
+                        Type::Int
+                    }
+                };
+                let value_ty = self.check_expr(value)?;
+                match op {
+                    AssignOp::Set => {
+                        if value_ty != target_ty {
+                            return Err(err(format!(
+                                "assignment of {value_ty} to target of type {target_ty}"
+                            )));
+                        }
+                    }
+                    AssignOp::Add => {
+                        // `+=` works on int and str (concatenation), matching `+`.
+                        if !(target_ty == value_ty
+                            && (target_ty == Type::Int || target_ty == Type::Str))
+                        {
+                            return Err(err(format!(
+                                "`+=` requires int or str operands, got {target_ty} and {value_ty}"
+                            )));
+                        }
+                    }
+                    AssignOp::Sub | AssignOp::Mul => {
+                        if target_ty != Type::Int || value_ty != Type::Int {
+                            return Err(err(format!(
+                                "compound arithmetic assignment requires int, got {target_ty} and {value_ty}"
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                self.check_cond(cond)?;
+                self.check_block(then_block)?;
+                if let Some(e) = else_block {
+                    self.check_block(e)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                self.check_cond(cond)?;
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                Ok(())
+            }
+            StmtKind::For { init, cond, update, body } => {
+                // The `for` header introduces its own scope.
+                self.scopes.push(HashMap::new());
+                self.check_stmt(init)?;
+                self.check_cond(cond)?;
+                self.check_stmt(update)?;
+                self.loop_depth += 1;
+                self.check_block(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(())
+            }
+            StmtKind::Return(Some(e)) => {
+                let ty = self.check_expr(e)?;
+                if ty != self.ret {
+                    return Err(err(format!("return of {ty}, function declares {}", self.ret)));
+                }
+                Ok(())
+            }
+            StmtKind::Return(None) => {
+                Err(err(format!("bare `return;` in function returning {}", self.ret)))
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(err("break/continue outside of a loop"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn check_cond(&mut self, cond: &Expr) -> Result<()> {
+        let ty = self.check_expr(cond)?;
+        if ty != Type::Bool {
+            return Err(err(format!("condition has type {ty}, expected bool")));
+        }
+        Ok(())
+    }
+
+    fn check_expr(&mut self, expr: &Expr) -> Result<Type> {
+        match &expr.kind {
+            ExprKind::IntLit(_) => Ok(Type::Int),
+            ExprKind::BoolLit(_) => Ok(Type::Bool),
+            ExprKind::StrLit(_) => Ok(Type::Str),
+            ExprKind::Var(name) => self.lookup(name),
+            ExprKind::Unary(UnOp::Neg, inner) => {
+                let t = self.check_expr(inner)?;
+                if t != Type::Int {
+                    return Err(err(format!("unary `-` on {t}")));
+                }
+                Ok(Type::Int)
+            }
+            ExprKind::Unary(UnOp::Not, inner) => {
+                let t = self.check_expr(inner)?;
+                if t != Type::Bool {
+                    return Err(err(format!("unary `!` on {t}")));
+                }
+                Ok(Type::Bool)
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let lt = self.check_expr(lhs)?;
+                let rt = self.check_expr(rhs)?;
+                match op {
+                    BinOp::Add => match (lt, rt) {
+                        (Type::Int, Type::Int) => Ok(Type::Int),
+                        (Type::Str, Type::Str) => Ok(Type::Str),
+                        _ => Err(err(format!("`+` on {lt} and {rt}"))),
+                    },
+                    BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        if lt == Type::Int && rt == Type::Int {
+                            Ok(Type::Int)
+                        } else {
+                            Err(err(format!("arithmetic on {lt} and {rt}")))
+                        }
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        if lt == Type::Int && rt == Type::Int {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(err(format!("comparison on {lt} and {rt}")))
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if lt == rt {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(err(format!("equality between {lt} and {rt}")))
+                        }
+                    }
+                    BinOp::And | BinOp::Or => {
+                        if lt == Type::Bool && rt == Type::Bool {
+                            Ok(Type::Bool)
+                        } else {
+                            Err(err(format!("logical operator on {lt} and {rt}")))
+                        }
+                    }
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                let bt = self.check_expr(base)?;
+                let it = self.check_expr(idx)?;
+                if it != Type::Int {
+                    return Err(err(format!("index has type {it}, expected int")));
+                }
+                match bt {
+                    Type::IntArray => Ok(Type::Int),
+                    // Indexing a string yields the character code.
+                    Type::Str => Ok(Type::Int),
+                    other => Err(err(format!("indexing into {other}"))),
+                }
+            }
+            ExprKind::Call(builtin, args) => self.check_call(*builtin, args),
+            ExprKind::ArrayLit(elems) => {
+                for e in elems {
+                    let t = self.check_expr(e)?;
+                    if t != Type::Int {
+                        return Err(err(format!("array literal element of type {t}")));
+                    }
+                }
+                Ok(Type::IntArray)
+            }
+        }
+    }
+
+    fn check_call(&mut self, builtin: Builtin, args: &[Expr]) -> Result<Type> {
+        let tys: Vec<Type> =
+            args.iter().map(|a| self.check_expr(a)).collect::<Result<Vec<_>>>()?;
+        let bad = || {
+            err(format!(
+                "{} applied to ({})",
+                builtin.name(),
+                tys.iter().map(Type::to_string).collect::<Vec<_>>().join(", ")
+            ))
+        };
+        match builtin {
+            Builtin::Len => match tys[0] {
+                Type::IntArray | Type::Str => Ok(Type::Int),
+                _ => Err(bad()),
+            },
+            Builtin::Substring => {
+                if tys == [Type::Str, Type::Int, Type::Int] {
+                    Ok(Type::Str)
+                } else {
+                    Err(bad())
+                }
+            }
+            Builtin::Abs => {
+                if tys == [Type::Int] {
+                    Ok(Type::Int)
+                } else {
+                    Err(bad())
+                }
+            }
+            Builtin::Min | Builtin::Max => {
+                if tys == [Type::Int, Type::Int] {
+                    Ok(Type::Int)
+                } else {
+                    Err(bad())
+                }
+            }
+            Builtin::NewArray => {
+                if tys == [Type::Int, Type::Int] {
+                    Ok(Type::IntArray)
+                } else {
+                    Err(bad())
+                }
+            }
+            Builtin::Push => {
+                if tys == [Type::IntArray, Type::Int] {
+                    Ok(Type::IntArray)
+                } else {
+                    Err(bad())
+                }
+            }
+            Builtin::CharToStr => {
+                if tys == [Type::Int] {
+                    Ok(Type::Str)
+                } else {
+                    Err(bad())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<()> {
+        typecheck(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check(
+            "fn sumArray(a: array<int>) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < len(a); i += 1) { s += a[i]; }
+                return s;
+            }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        assert!(check("fn f() -> int { return x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_let() {
+        assert!(check("fn f() -> int { let x: int = true; return x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_non_bool_condition() {
+        assert!(check("fn f(x: int) -> int { if (x) { return 1; } return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        assert!(check("fn f() -> int { break; return 0; }").is_err());
+    }
+
+    #[test]
+    fn accepts_string_concat_and_equality() {
+        check(
+            "fn f(a: str, b: str) -> bool {
+                let c: str = a + b;
+                return c == b;
+            }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_mixed_equality() {
+        assert!(check("fn f(a: str, b: int) -> bool { return a == b; }").is_err());
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        assert!(check("fn f() -> bool { return 3; }").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration_in_scope() {
+        assert!(check("fn f() -> int { let x: int = 1; let x: int = 2; return x; }").is_err());
+    }
+
+    #[test]
+    fn accepts_shadowing_in_nested_scope() {
+        check(
+            "fn f() -> int {
+                let x: int = 1;
+                if (x > 0) { let x: int = 2; return x; }
+                return x;
+            }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn string_index_yields_int() {
+        check("fn f(s: str) -> int { return s[0]; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_indexing_into_int() {
+        assert!(check("fn f(x: int) -> int { return x[0]; }").is_err());
+    }
+
+    #[test]
+    fn for_header_scope_is_separate() {
+        check(
+            "fn f(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i += 1) { s += i; }
+                for (let i: int = 0; i < n; i += 1) { s += i; }
+                return s;
+            }",
+        )
+        .unwrap();
+    }
+}

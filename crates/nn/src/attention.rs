@@ -1,0 +1,159 @@
+//! Additive attention (Bahdanau-style; §4.3 of the paper).
+//!
+//! Both attention networks of LIGER — a₁ in the fusion layer (weighing
+//! symbolic vs. concrete feature vectors) and a₂ in the decoder (attending
+//! over the flow of all blended traces) — are "feedforward neural networks
+//! jointly trained with the system's other components". The scorer here is
+//! the standard additive form `score(q, k) = vᵀ · tanh(W·[k ⊕ q] + b)`.
+
+use crate::linear::Linear;
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, VarId};
+
+/// An additive attention scorer.
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionScorer {
+    proj: Linear,
+    v: ParamId,
+}
+
+impl AttentionScorer {
+    /// Registers a scorer for keys of size `key_dim` and queries of size
+    /// `query_dim`, with an internal projection of size `attn_dim`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        key_dim: usize,
+        query_dim: usize,
+        attn_dim: usize,
+        rng: &mut R,
+    ) -> AttentionScorer {
+        AttentionScorer {
+            proj: Linear::new(store, &format!("{name}.proj"), key_dim + query_dim, attn_dim, rng),
+            v: store.add_xavier(format!("{name}.v"), attn_dim, 1, rng),
+        }
+    }
+
+    /// The unnormalised score μ of one key against the query.
+    pub fn score(&self, g: &mut Graph, store: &ParamStore, key: VarId, query: VarId) -> VarId {
+        let cat = g.concat(&[key, query]);
+        let p = self.proj.forward(g, store, cat);
+        let t = g.tanh(p);
+        let v = g.param(store, self.v);
+        g.dot(t, v)
+    }
+
+    /// Softmax-normalised attention over `keys` against `query`:
+    /// returns (context, weights) where context = Σᵢ αᵢ · values[i].
+    ///
+    /// `values` defaults to `keys` when `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys` is empty or `values` has a different length.
+    pub fn attend(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        query: VarId,
+        keys: &[VarId],
+        values: Option<&[VarId]>,
+    ) -> (VarId, VarId) {
+        assert!(!keys.is_empty(), "attention over zero keys");
+        let values = values.unwrap_or(keys);
+        assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
+        let scores: Vec<VarId> =
+            keys.iter().map(|&k| self.score(g, store, k, query)).collect();
+        let stacked = g.stack_scalars(&scores);
+        let weights = g.softmax(stacked);
+        let context = g.weighted_sum(values, weights);
+        (context, weights)
+    }
+
+    /// All parameter ids of the scorer.
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![self.proj.w, self.proj.b, self.v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::{assert_grads_close, Tensor};
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let attn = AttentionScorer::new(&mut store, "a", 3, 2, 4, &mut rng);
+        let mut g = Graph::new();
+        let q = g.input(tensor::pseudo_tensor(2, 1, 1));
+        let keys: Vec<VarId> =
+            (0..5).map(|i| g.input(tensor::pseudo_tensor(3, 1, i + 2))).collect();
+        let (ctx, w) = attn.attend(&mut g, &store, q, &keys, None);
+        let sum: f32 = g.value(w).data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(g.value(ctx).rows(), 3);
+        assert!(g.value(w).data().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn context_interpolates_values() {
+        // With a single key, context == value regardless of scores.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let attn = AttentionScorer::new(&mut store, "a", 2, 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let q = g.input(Tensor::vector(vec![0.3, -0.1]));
+        let k = g.input(Tensor::vector(vec![1.0, 2.0]));
+        let (ctx, w) = attn.attend(&mut g, &store, q, &[k], None);
+        assert_eq!(g.value(ctx).data(), &[1.0, 2.0]);
+        assert_eq!(g.value(w).data(), &[1.0]);
+    }
+
+    #[test]
+    fn attention_gradients_check_out() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        let attn = AttentionScorer::new(&mut store, "a", 2, 2, 3, &mut rng);
+
+        let build = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let q = g.input(tensor::pseudo_tensor(2, 1, 7));
+            let keys: Vec<VarId> =
+                (0..3).map(|i| g.input(tensor::pseudo_tensor(2, 1, i + 20))).collect();
+            let (ctx, _) = attn.attend(&mut g, s, q, &keys, None);
+            let l = g.cross_entropy(ctx, 1);
+            (g, l)
+        };
+        let (g, l) = build(&store);
+        g.backward(l, &mut store);
+        assert_grads_close(&store, &attn.params(), 1e-3, 2e-2, |s| {
+            let (g, l) = build(s);
+            g.value(l).item()
+        });
+    }
+
+    #[test]
+    fn separate_values_are_combined() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(13);
+        let attn = AttentionScorer::new(&mut store, "a", 2, 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let q = g.input(tensor::pseudo_tensor(2, 1, 1));
+        let keys: Vec<VarId> =
+            (0..2).map(|i| g.input(tensor::pseudo_tensor(2, 1, i + 2))).collect();
+        let values = vec![
+            g.input(Tensor::vector(vec![1.0, 0.0, 0.0])),
+            g.input(Tensor::vector(vec![0.0, 1.0, 0.0])),
+        ];
+        let (ctx, w) = attn.attend(&mut g, &store, q, &keys, Some(&values));
+        let wd = g.value(w).data().to_vec();
+        let cd = g.value(ctx).data();
+        assert!((cd[0] - wd[0]).abs() < 1e-6);
+        assert!((cd[1] - wd[1]).abs() < 1e-6);
+        assert_eq!(cd[2], 0.0);
+    }
+}

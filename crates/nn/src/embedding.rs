@@ -1,0 +1,96 @@
+//! Token embedding tables (the paper's vocabulary embedding layer).
+//!
+//! "In this layer, each item in 𝒟ₛ and 𝒟_d will be assigned a vector"
+//! (§5.1). An [`Embedding`] owns one `V × d` parameter matrix; lookups are
+//! `param_row` graph leaves so gradients flow only into the rows actually
+//! used.
+
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, VarId};
+
+/// An embedding table for a vocabulary of `vocab` tokens, each mapped to a
+/// `dim`-dimensional vector.
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    matrix: ParamId,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Registers a fresh table in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Embedding {
+        Embedding { matrix: store.add_xavier(name, vocab, dim, rng), vocab, dim }
+    }
+
+    /// Looks up token `index` as a `dim × 1` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= vocab`.
+    pub fn lookup(&self, g: &mut Graph, store: &ParamStore, index: usize) -> VarId {
+        assert!(index < self.vocab, "token index {index} out of vocabulary {}", self.vocab);
+        g.param_row(store, self.matrix, index)
+    }
+
+    /// Looks up a sequence of tokens.
+    pub fn lookup_seq(&self, g: &mut Graph, store: &ParamStore, indices: &[usize]) -> Vec<VarId> {
+        indices.iter().map(|&i| self.lookup(g, store, i)).collect()
+    }
+
+    /// The underlying parameter id.
+    pub fn param(&self) -> ParamId {
+        self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_matrix_row() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(14);
+        let emb = Embedding::new(&mut store, "emb", 5, 3, &mut rng);
+        let mut g = Graph::new();
+        let v = emb.lookup(&mut g, &store, 2);
+        let row: Vec<f32> = store.get(emb.param()).value.data()[6..9].to_vec();
+        assert_eq!(g.value(v).data(), &row[..]);
+    }
+
+    #[test]
+    fn gradient_touches_only_used_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(15);
+        let emb = Embedding::new(&mut store, "emb", 4, 2, &mut rng);
+        let mut g = Graph::new();
+        let v0 = emb.lookup(&mut g, &store, 0);
+        let v3 = emb.lookup(&mut g, &store, 3);
+        let s = g.add(v0, v3);
+        let l = g.sum(s);
+        g.backward(l, &mut store);
+        let grad = store.get(emb.param()).grad.data();
+        assert_eq!(grad, &[1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn out_of_vocab_panics() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(16);
+        let emb = Embedding::new(&mut store, "emb", 2, 2, &mut rng);
+        let mut g = Graph::new();
+        emb.lookup(&mut g, &store, 5);
+    }
+}

@@ -1,0 +1,54 @@
+//! # nn — neural-network layers on the `tensor` autodiff engine
+//!
+//! The building blocks of §4–5 of the paper, each gradient-checked against
+//! numerical differentiation:
+//!
+//! - [`Linear`] — affine maps (the feedforward scorers a₁/a₂, task heads),
+//! - [`RnnCell`] / [`BiRnn`] — vanilla RNNs (Equation 1; LIGER's f₁, f₂,
+//!   f₃ and decoder),
+//! - [`LstmCell`] — a standard LSTM (reference/ablations),
+//! - [`ChildSumTreeLstm`] — the statement-AST encoder of the fusion layer,
+//! - [`AttentionScorer`] — additive attention (fusion weighting and
+//!   decoder context vectors),
+//! - [`Embedding`] — the vocabulary embedding layer for 𝒟ₛ ∪ 𝒟_d,
+//! - [`Adam`] / [`Sgd`] — optimizers (§6.1 trains with Adam).
+//!
+//! # Examples
+//!
+//! ```
+//! use nn::{Adam, Embedding, RnnCell};
+//! use rand::SeedableRng;
+//! use tensor::{Graph, ParamStore};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let emb = Embedding::new(&mut store, "emb", 10, 8, &mut rng);
+//! let rnn = RnnCell::new(&mut store, "rnn", 8, 8, &mut rng);
+//! let mut adam = Adam::new(0.01);
+//!
+//! // Train one step to map the token sequence [1, 2, 3] to class 0.
+//! let mut g = Graph::new();
+//! let xs = emb.lookup_seq(&mut g, &store, &[1, 2, 3]);
+//! let h = rnn.encode(&mut g, &store, &xs);
+//! let loss = g.cross_entropy(h, 0);
+//! g.backward(loss, &mut store);
+//! adam.step(&mut store);
+//! ```
+
+pub mod attention;
+pub mod embedding;
+pub mod gru;
+pub mod linear;
+pub mod lstm;
+pub mod optim;
+pub mod rnn;
+pub mod treelstm;
+
+pub use attention::AttentionScorer;
+pub use embedding::Embedding;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use lstm::{LstmCell, LstmState};
+pub use optim::{Adam, Sgd};
+pub use rnn::{BiRnn, RnnCell};
+pub use treelstm::ChildSumTreeLstm;

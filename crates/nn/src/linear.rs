@@ -1,0 +1,70 @@
+//! Affine (fully-connected) layers.
+
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, VarId};
+
+/// An affine map `y = W x + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    /// Weight matrix (`out × in`).
+    pub w: ParamId,
+    /// Bias vector (`out × 1`).
+    pub b: ParamId,
+}
+
+impl Linear {
+    /// Registers a fresh `in_dim → out_dim` layer in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut R,
+    ) -> Linear {
+        let w = store.add_xavier(format!("{name}.w"), out_dim, in_dim, rng);
+        let b = store.add_zeros(format!("{name}.b"), out_dim, 1);
+        Linear { w, b }
+    }
+
+    /// Applies the layer inside `g`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: VarId) -> VarId {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let h = g.matvec(w, x);
+        g.add(h, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::{assert_grads_close, Tensor};
+
+    #[test]
+    fn forward_shape_and_gradients() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut store, "l", 3, 2, &mut rng);
+
+        let loss_fn = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let x = g.input(Tensor::vector(vec![0.1, -0.4, 0.7]));
+            let y = layer.forward(&mut g, s, x);
+            let t = g.tanh(y);
+            let l = g.sum(t);
+            g.value(l).item()
+        };
+
+        let mut g = Graph::new();
+        let x = g.input(Tensor::vector(vec![0.1, -0.4, 0.7]));
+        let y = layer.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).rows(), 2);
+        let t = g.tanh(y);
+        let l = g.sum(t);
+        g.backward(l, &mut store);
+
+        assert_grads_close(&store, &[layer.w, layer.b], 1e-3, 1e-2, loss_fn);
+    }
+}

@@ -1,0 +1,168 @@
+//! A standard LSTM cell.
+//!
+//! Used by ablation benches as an alternative sequence encoder, and as the
+//! reference point for the Child-Sum TreeLSTM (a TreeLSTM over a chain
+//! degenerates to this cell — property-tested in `treelstm.rs`).
+
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+
+/// LSTM hidden/cell state pair.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state h.
+    pub h: VarId,
+    /// Cell state c.
+    pub c: VarId,
+}
+
+/// A standard LSTM cell with input, forget, output gates and candidate
+/// update.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmCell {
+    wi: ParamId,
+    ui: ParamId,
+    bi: ParamId,
+    wf: ParamId,
+    uf: ParamId,
+    bf: ParamId,
+    wo: ParamId,
+    uo: ParamId,
+    bo: ParamId,
+    wu: ParamId,
+    uu: ParamId,
+    bu: ParamId,
+    /// Hidden size.
+    pub hidden: usize,
+}
+
+impl LstmCell {
+    /// Registers a fresh cell in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> LstmCell {
+        let mut mat = |suffix: &str, rows: usize, cols: usize, rng: &mut R| {
+            store.add_xavier(format!("{name}.{suffix}"), rows, cols, rng)
+        };
+        let wi = mat("wi", hidden, input, rng);
+        let ui = mat("ui", hidden, hidden, rng);
+        let wf = mat("wf", hidden, input, rng);
+        let uf = mat("uf", hidden, hidden, rng);
+        let wo = mat("wo", hidden, input, rng);
+        let uo = mat("uo", hidden, hidden, rng);
+        let wu = mat("wu", hidden, input, rng);
+        let uu = mat("uu", hidden, hidden, rng);
+        // Forget-gate bias starts at 1 (standard trick for gradient flow).
+        let bf = store.add(format!("{name}.bf"), Tensor::full(hidden, 1, 1.0));
+        let bi = store.add_zeros(format!("{name}.bi"), hidden, 1);
+        let bo = store.add_zeros(format!("{name}.bo"), hidden, 1);
+        let bu = store.add_zeros(format!("{name}.bu"), hidden, 1);
+        LstmCell { wi, ui, bi, wf, uf, bf, wo, uo, bo, wu, uu, bu, hidden }
+    }
+
+    fn gate(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        w: ParamId,
+        u: ParamId,
+        b: ParamId,
+        x: VarId,
+        h: VarId,
+    ) -> VarId {
+        let wv = g.param(store, w);
+        let uv = g.param(store, u);
+        let bv = g.param(store, b);
+        let wx = g.matvec(wv, x);
+        let uh = g.matvec(uv, h);
+        let s = g.add(wx, uh);
+        g.add(s, bv)
+    }
+
+    /// One step of the cell.
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: VarId, state: LstmState) -> LstmState {
+        let i_pre = self.gate(g, store, self.wi, self.ui, self.bi, x, state.h);
+        let i = g.sigmoid(i_pre);
+        let f_pre = self.gate(g, store, self.wf, self.uf, self.bf, x, state.h);
+        let f = g.sigmoid(f_pre);
+        let o_pre = self.gate(g, store, self.wo, self.uo, self.bo, x, state.h);
+        let o = g.sigmoid(o_pre);
+        let u_pre = self.gate(g, store, self.wu, self.uu, self.bu, x, state.h);
+        let u = g.tanh(u_pre);
+        let iu = g.mul(i, u);
+        let fc = g.mul(f, state.c);
+        let c = g.add(iu, fc);
+        let tc = g.tanh(c);
+        let h = g.mul(o, tc);
+        LstmState { h, c }
+    }
+
+    /// A zero initial state.
+    pub fn zero_state(&self, g: &mut Graph) -> LstmState {
+        LstmState {
+            h: g.input(Tensor::zeros(self.hidden, 1)),
+            c: g.input(Tensor::zeros(self.hidden, 1)),
+        }
+    }
+
+    /// Runs over a sequence, returning the final hidden state.
+    pub fn encode(&self, g: &mut Graph, store: &ParamStore, xs: &[VarId]) -> VarId {
+        let mut state = self.zero_state(g);
+        for &x in xs {
+            state = self.step(g, store, x, state);
+        }
+        state.h
+    }
+
+    /// All parameter ids of the cell.
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![
+            self.wi, self.ui, self.bi, self.wf, self.uf, self.bf, self.wo, self.uo, self.bo,
+            self.wu, self.uu, self.bu,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::assert_grads_close;
+
+    #[test]
+    fn lstm_gradients_check_out() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = LstmCell::new(&mut store, "l", 2, 3, &mut rng);
+
+        let build = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let xs: Vec<VarId> =
+                (0..3).map(|i| g.input(tensor::pseudo_tensor(2, 1, i + 10))).collect();
+            let h = cell.encode(&mut g, s, &xs);
+            let l = g.cross_entropy(h, 1);
+            (g, l)
+        };
+        let (g, l) = build(&store);
+        g.backward(l, &mut store);
+        assert_grads_close(&store, &cell.params(), 1e-3, 2e-2, |s| {
+            let (g, l) = build(s);
+            g.value(l).item()
+        });
+    }
+
+    #[test]
+    fn empty_sequence_gives_zero_hidden() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = LstmCell::new(&mut store, "l", 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let h = cell.encode(&mut g, &store, &[]);
+        assert_eq!(g.value(h).data(), &[0.0; 3]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Optimizers: Adam (the paper's choice, §6.1 Implementation) and SGD.
+//!
+//! "All networks are trained using the Adam optimizer with learning and
+//! decay rates set to their default values (learning rate = 0.0001,
+//! beta1 = 0.9, beta2 = 0.999)".
+
+use tensor::{ParamStore, Tensor};
+
+/// The Adam optimizer.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper default 1e-4; the small-scale reproduction
+    /// typically uses 1e-2–1e-3 to converge in few epochs).
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    /// Optional global-norm gradient clipping.
+    pub clip_norm: Option<f32>,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// An Adam optimizer with the paper's default hyperparameters except
+    /// the learning rate.
+    pub fn new(lr: f32) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: Some(5.0),
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update from the gradients accumulated in `store`, then
+    /// zeroes them.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        // Lazily size the moment buffers.
+        while self.m.len() < store.len() {
+            let i = self.m.len();
+            let p = store.get(tensor::ParamId(i));
+            self.m.push(Tensor::zeros(p.value.rows(), p.value.cols()));
+            self.v.push(Tensor::zeros(p.value.rows(), p.value.cols()));
+        }
+        self.t += 1;
+
+        let scale = match self.clip_norm {
+            Some(max) => {
+                let norm = store.grad_norm();
+                if norm > max {
+                    max / norm
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in store.iter_mut().enumerate() {
+            let m = self.m[i].data_mut();
+            let v = self.v[i].data_mut();
+            let value = p.value.data_mut();
+            for ((g, (m, v)), x) in
+                p.grad.data().iter().zip(m.iter_mut().zip(v.iter_mut())).zip(value.iter_mut())
+            {
+                let g = g * scale;
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                *x -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.grad.zero_();
+        }
+    }
+}
+
+/// Plain stochastic gradient descent (used by tests and ablations).
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// A new SGD optimizer.
+    pub fn new(lr: f32) -> Sgd {
+        Sgd { lr }
+    }
+
+    /// Applies one update from the gradients accumulated in `store`, then
+    /// zeroes them.
+    pub fn step(&self, store: &mut ParamStore) {
+        for p in store.iter_mut() {
+            let lr = self.lr;
+            let grad = p.grad.data().to_vec();
+            for (x, g) in p.value.data_mut().iter_mut().zip(&grad) {
+                *x -= lr * g;
+            }
+            p.grad.zero_();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::Graph;
+
+    /// Minimises `(x - 3)²` and checks convergence.
+    fn quadratic_loss(store: &ParamStore, x: tensor::ParamId) -> (Graph, tensor::VarId) {
+        let mut g = Graph::new();
+        let xv = g.param(store, x);
+        let target = g.input(Tensor::vector(vec![3.0]));
+        let diff = g.sub(xv, target);
+        let sq = g.mul(diff, diff);
+        let l = g.sum(sq);
+        (g, l)
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::vector(vec![-5.0]));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            let (g, l) = quadratic_loss(&store, x);
+            g.backward(l, &mut store);
+            adam.step(&mut store);
+        }
+        let v = store.get(x).value.data()[0];
+        assert!((v - 3.0).abs() < 0.05, "Adam did not converge: x = {v}");
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::vector(vec![10.0]));
+        let sgd = Sgd::new(0.1);
+        for _ in 0..200 {
+            let (g, l) = quadratic_loss(&store, x);
+            g.backward(l, &mut store);
+            sgd.step(&mut store);
+        }
+        let v = store.get(x).value.data()[0];
+        assert!((v - 3.0).abs() < 1e-3, "SGD did not converge: x = {v}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::vector(vec![1.0]));
+        let (g, l) = quadratic_loss(&store, x);
+        g.backward(l, &mut store);
+        assert!(store.grad_norm() > 0.0);
+        Adam::new(0.01).step(&mut store);
+        assert_eq!(store.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::vector(vec![0.0]));
+        // Enormous gradient.
+        store.get_mut(x).grad = Tensor::vector(vec![1e9]);
+        let mut adam = Adam::new(0.1);
+        adam.clip_norm = Some(1.0);
+        adam.step(&mut store);
+        // With clipping the effective step is bounded by lr.
+        assert!(store.get(x).value.data()[0].abs() <= 0.2);
+    }
+}

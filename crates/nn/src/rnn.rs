@@ -1,0 +1,197 @@
+//! Vanilla recurrent cells (Equation 1 of the paper).
+//!
+//! All of LIGER's sequence encoders (f₁ for object values, f₂ for program
+//! states, f₃ for blended-trace flow) and its decoder RNN are single-layer
+//! vanilla RNNs with 100 hidden units in the paper: hₜ = f(W·xₜ + V·hₜ₋₁).
+
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+
+/// A vanilla tanh RNN cell: `h' = tanh(W x + V h + b)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RnnCell {
+    /// Input weights (`hidden × input`).
+    pub w: ParamId,
+    /// Recurrent weights (`hidden × hidden`).
+    pub v: ParamId,
+    /// Bias (`hidden × 1`).
+    pub b: ParamId,
+    /// Hidden size.
+    pub hidden: usize,
+}
+
+impl RnnCell {
+    /// Registers a fresh cell in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> RnnCell {
+        RnnCell {
+            w: store.add_xavier(format!("{name}.w"), hidden, input, rng),
+            v: store.add_xavier(format!("{name}.v"), hidden, hidden, rng),
+            b: store.add_zeros(format!("{name}.b"), hidden, 1),
+            hidden,
+        }
+    }
+
+    /// One step: `h' = tanh(W x + V h + b)`.
+    pub fn step(&self, g: &mut Graph, store: &ParamStore, x: VarId, h: VarId) -> VarId {
+        let w = g.param(store, self.w);
+        let v = g.param(store, self.v);
+        let b = g.param(store, self.b);
+        let wx = g.matvec(w, x);
+        let vh = g.matvec(v, h);
+        let s = g.add(wx, vh);
+        let s = g.add(s, b);
+        g.tanh(s)
+    }
+
+    /// A zero initial hidden state.
+    pub fn zero_state(&self, g: &mut Graph) -> VarId {
+        g.input(Tensor::zeros(self.hidden, 1))
+    }
+
+    /// Runs the cell over a sequence, returning every hidden state
+    /// (h₁ … hₜ). Returns an empty vector for an empty input sequence.
+    pub fn run(&self, g: &mut Graph, store: &ParamStore, xs: &[VarId]) -> Vec<VarId> {
+        let mut h = self.zero_state(g);
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            h = self.step(g, store, x, h);
+            out.push(h);
+        }
+        out
+    }
+
+    /// Runs the cell over a sequence and returns the final hidden state
+    /// (the zero state for an empty sequence).
+    pub fn encode(&self, g: &mut Graph, store: &ParamStore, xs: &[VarId]) -> VarId {
+        let states = self.run(g, store, xs);
+        states.last().copied().unwrap_or_else(|| self.zero_state(g))
+    }
+
+    /// All parameter ids of the cell.
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![self.w, self.v, self.b]
+    }
+}
+
+/// A bidirectional wrapper: concatenates forward and backward hidden
+/// states per position (used by the code2seq baseline's path encoder and
+/// described in the paper's §4.3 background).
+#[derive(Debug, Clone, Copy)]
+pub struct BiRnn {
+    /// The forward-direction cell.
+    pub fwd: RnnCell,
+    /// The backward-direction cell.
+    pub bwd: RnnCell,
+}
+
+impl BiRnn {
+    /// Registers a fresh bidirectional pair in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> BiRnn {
+        BiRnn {
+            fwd: RnnCell::new(store, &format!("{name}.fwd"), input, hidden, rng),
+            bwd: RnnCell::new(store, &format!("{name}.bwd"), input, hidden, rng),
+        }
+    }
+
+    /// Per-position annotations `[→hᵢ ; ←hᵢ]` (each `2·hidden × 1`).
+    pub fn annotations(&self, g: &mut Graph, store: &ParamStore, xs: &[VarId]) -> Vec<VarId> {
+        let fwd = self.fwd.run(g, store, xs);
+        let rev: Vec<VarId> = xs.iter().rev().copied().collect();
+        let mut bwd = self.bwd.run(g, store, &rev);
+        bwd.reverse();
+        fwd.into_iter().zip(bwd).map(|(f, b)| g.concat(&[f, b])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::assert_grads_close;
+
+    fn inputs(g: &mut Graph, n: usize, d: usize) -> Vec<VarId> {
+        (0..n).map(|i| g.input(tensor::pseudo_tensor(d, 1, i as u32 + 1))).collect()
+    }
+
+    #[test]
+    fn run_produces_one_state_per_input() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = RnnCell::new(&mut store, "r", 3, 4, &mut rng);
+        let mut g = Graph::new();
+        let xs = inputs(&mut g, 5, 3);
+        let hs = cell.run(&mut g, &store, &xs);
+        assert_eq!(hs.len(), 5);
+        assert_eq!(g.value(hs[0]).rows(), 4);
+    }
+
+    #[test]
+    fn empty_sequence_encodes_to_zero_state() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = RnnCell::new(&mut store, "r", 3, 4, &mut rng);
+        let mut g = Graph::new();
+        let h = cell.encode(&mut g, &store, &[]);
+        assert_eq!(g.value(h).data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn rnn_gradients_check_out() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cell = RnnCell::new(&mut store, "r", 2, 3, &mut rng);
+
+        let loss_fn = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let xs = inputs(&mut g, 4, 2);
+            let h = cell.encode(&mut g, s, &xs);
+            let l = g.cross_entropy(h, 0);
+            g.value(l).item()
+        };
+
+        let mut g = Graph::new();
+        let xs = inputs(&mut g, 4, 2);
+        let h = cell.encode(&mut g, &store, &xs);
+        let l = g.cross_entropy(h, 0);
+        g.backward(l, &mut store);
+
+        assert_grads_close(&store, &cell.params(), 1e-3, 2e-2, loss_fn);
+    }
+
+    #[test]
+    fn birnn_annotation_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let bi = BiRnn::new(&mut store, "bi", 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let xs = inputs(&mut g, 4, 2);
+        let anns = bi.annotations(&mut g, &store, &xs);
+        assert_eq!(anns.len(), 4);
+        assert_eq!(g.value(anns[0]).rows(), 6);
+    }
+
+    #[test]
+    fn hidden_states_are_bounded_by_tanh() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cell = RnnCell::new(&mut store, "r", 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let xs = inputs(&mut g, 10, 2);
+        for h in cell.run(&mut g, &store, &xs) {
+            assert!(g.value(h).data().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+}

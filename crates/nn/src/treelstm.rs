@@ -1,0 +1,207 @@
+//! Child-Sum TreeLSTM (Tai et al. [24]; §4.2 of the paper).
+//!
+//! LIGER's fusion layer "employs a TreeLSTM to embed a statement via its
+//! abstract syntax tree … recursively updating the hidden states of parent
+//! nodes based on those of the child nodes", finally taking the root's
+//! hidden state as the statement embedding. The Child-Sum variant computes
+//!
+//! hⱼ = oⱼ ⊙ tanh(iⱼ ⊙ c̃ⱼ + Σ_{k∈C(j)} f_{jk} ⊙ c_k)
+//!
+//! with one forget gate per child.
+
+use crate::lstm::LstmState;
+use rand::Rng;
+use tensor::{Graph, ParamId, ParamStore, VarId};
+
+/// A Child-Sum TreeLSTM cell.
+#[derive(Debug, Clone, Copy)]
+pub struct ChildSumTreeLstm {
+    wi: ParamId,
+    ui: ParamId,
+    bi: ParamId,
+    wf: ParamId,
+    uf: ParamId,
+    bf: ParamId,
+    wo: ParamId,
+    uo: ParamId,
+    bo: ParamId,
+    wu: ParamId,
+    uu: ParamId,
+    bu: ParamId,
+    /// Hidden size.
+    pub hidden: usize,
+}
+
+impl ChildSumTreeLstm {
+    /// Registers a fresh cell in `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        input: usize,
+        hidden: usize,
+        rng: &mut R,
+    ) -> ChildSumTreeLstm {
+        let mut mat = |suffix: &str, rows: usize, cols: usize, rng: &mut R| {
+            store.add_xavier(format!("{name}.{suffix}"), rows, cols, rng)
+        };
+        let wi = mat("wi", hidden, input, rng);
+        let ui = mat("ui", hidden, hidden, rng);
+        let wf = mat("wf", hidden, input, rng);
+        let uf = mat("uf", hidden, hidden, rng);
+        let wo = mat("wo", hidden, input, rng);
+        let uo = mat("uo", hidden, hidden, rng);
+        let wu = mat("wu", hidden, input, rng);
+        let uu = mat("uu", hidden, hidden, rng);
+        let bi = store.add_zeros(format!("{name}.bi"), hidden, 1);
+        let bf = store.add(format!("{name}.bf"), tensor::Tensor::full(hidden, 1, 1.0));
+        let bo = store.add_zeros(format!("{name}.bo"), hidden, 1);
+        let bu = store.add_zeros(format!("{name}.bu"), hidden, 1);
+        ChildSumTreeLstm { wi, ui, bi, wf, uf, bf, wo, uo, bo, wu, uu, bu, hidden }
+    }
+
+    /// Combines node input `x` with the states of its children. A leaf
+    /// passes an empty `children` slice.
+    pub fn node(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: VarId,
+        children: &[LstmState],
+    ) -> LstmState {
+        let h_sum = if children.is_empty() {
+            g.input(tensor::Tensor::zeros(self.hidden, 1))
+        } else {
+            let hs: Vec<VarId> = children.iter().map(|c| c.h).collect();
+            g.sum_vecs(&hs)
+        };
+
+        let affine = |g: &mut Graph, w: ParamId, u: ParamId, b: ParamId, h: VarId| {
+            let wv = g.param(store, w);
+            let uv = g.param(store, u);
+            let bv = g.param(store, b);
+            let wx = g.matvec(wv, x);
+            let uh = g.matvec(uv, h);
+            let s = g.add(wx, uh);
+            g.add(s, bv)
+        };
+
+        let i_pre = affine(g, self.wi, self.ui, self.bi, h_sum);
+        let i = g.sigmoid(i_pre);
+        let o_pre = affine(g, self.wo, self.uo, self.bo, h_sum);
+        let o = g.sigmoid(o_pre);
+        let u_pre = affine(g, self.wu, self.uu, self.bu, h_sum);
+        let u = g.tanh(u_pre);
+
+        let mut c = g.mul(i, u);
+        // One forget gate per child: f_k = σ(W_f x + U_f h_k + b_f).
+        for child in children {
+            let f_pre = affine(g, self.wf, self.uf, self.bf, child.h);
+            let f = g.sigmoid(f_pre);
+            let fc = g.mul(f, child.c);
+            c = g.add(c, fc);
+        }
+        let tc = g.tanh(c);
+        let h = g.mul(o, tc);
+        LstmState { h, c }
+    }
+
+    /// All parameter ids of the cell.
+    pub fn params(&self) -> Vec<ParamId> {
+        vec![
+            self.wi, self.ui, self.bi, self.wf, self.uf, self.bf, self.wo, self.uo, self.bo,
+            self.wu, self.uu, self.bu,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::assert_grads_close;
+
+    fn x(g: &mut Graph, seed: u32) -> VarId {
+        g.input(tensor::pseudo_tensor(2, 1, seed))
+    }
+
+    #[test]
+    fn leaf_then_parent_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let cell = ChildSumTreeLstm::new(&mut store, "t", 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let xa = x(&mut g, 1);
+        let leaf_a = cell.node(&mut g, &store, xa, &[]);
+        let xb = x(&mut g, 2);
+        let leaf_b = cell.node(&mut g, &store, xb, &[]);
+        let xr = x(&mut g, 3);
+        let root = cell.node(&mut g, &store, xr, &[leaf_a, leaf_b]);
+        assert_eq!(g.value(root.h).rows(), 3);
+        assert!(g.value(root.h).data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn tree_gradients_check_out() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cell = ChildSumTreeLstm::new(&mut store, "t", 2, 3, &mut rng);
+
+        let build = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let xa = x(&mut g, 1);
+            let a = cell.node(&mut g, s, xa, &[]);
+            let xb = x(&mut g, 2);
+            let b = cell.node(&mut g, s, xb, &[]);
+            let xr = x(&mut g, 3);
+            let root = cell.node(&mut g, s, xr, &[a, b]);
+            let l = g.cross_entropy(root.h, 0);
+            (g, l)
+        };
+        let (g, l) = build(&store);
+        g.backward(l, &mut store);
+        assert_grads_close(&store, &cell.params(), 1e-3, 2e-2, |s| {
+            let (g, l) = build(s);
+            g.value(l).item()
+        });
+    }
+
+    #[test]
+    fn chain_tree_matches_sequential_recursion() {
+        // A degenerate tree a←b←c must thread states like a 3-step
+        // recursion — i.e. the hidden state depends on all three inputs.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let cell = ChildSumTreeLstm::new(&mut store, "t", 2, 3, &mut rng);
+
+        let run = |seed_for_leaf: u32, store: &ParamStore| {
+            let mut g = Graph::new();
+            let xc = g.input(tensor::pseudo_tensor(2, 1, seed_for_leaf));
+            let c = cell.node(&mut g, store, xc, &[]);
+            let xb = x(&mut g, 20);
+            let b = cell.node(&mut g, store, xb, &[c]);
+            let xa = x(&mut g, 30);
+            let a = cell.node(&mut g, store, xa, &[b]);
+            g.value(a.h).data().to_vec()
+        };
+        // Changing the deepest leaf's input changes the root.
+        assert_ne!(run(1, &store), run(2, &store));
+    }
+
+    #[test]
+    fn wider_nodes_accept_many_children() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let cell = ChildSumTreeLstm::new(&mut store, "t", 2, 3, &mut rng);
+        let mut g = Graph::new();
+        let children: Vec<LstmState> = (0..6)
+            .map(|i| {
+                let xi = x(&mut g, i + 40);
+                cell.node(&mut g, &store, xi, &[])
+            })
+            .collect();
+        let xr = x(&mut g, 50);
+        let root = cell.node(&mut g, &store, xr, &children);
+        assert_eq!(g.value(root.h).rows(), 3);
+    }
+}

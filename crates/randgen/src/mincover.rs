@@ -1,0 +1,118 @@
+//! Line-coverage-preserving path reduction (§6.1.2).
+//!
+//! The paper's symbolic-trace down-sampling protocol: "we first identify a
+//! minimum set of symbolic traces for each method … that achieve the same
+//! line coverage as before, and then gradually remove symbolic traces that
+//! are not in the minimum set." Minimum set cover is NP-hard; like all
+//! practical coverage tooling we use the greedy approximation.
+
+use minilang::Program;
+use std::collections::BTreeSet;
+use trace::PathGroup;
+
+/// Indices (into `groups`) of a greedy minimum subset of paths whose union
+/// preserves the line coverage of the full set. Deterministic: ties are
+/// broken by lower index.
+pub fn min_line_cover(program: &Program, groups: &[PathGroup]) -> Vec<usize> {
+    let line_sets: Vec<BTreeSet<u32>> =
+        groups.iter().map(|g| g.symbolic.line_set(program)).collect();
+    let mut uncovered: BTreeSet<u32> = line_sets.iter().flatten().copied().collect();
+    let mut chosen = Vec::new();
+    let mut used = vec![false; groups.len()];
+    while !uncovered.is_empty() {
+        let (best, gain) = line_sets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(i, s)| (i, s.intersection(&uncovered).count()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("uncovered lines must come from some group");
+        debug_assert!(gain > 0, "no group can cover remaining lines");
+        used[best] = true;
+        chosen.push(best);
+        for line in &line_sets[best] {
+            uncovered.remove(line);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Orders path-group indices for §6.1.2-style reduction: the minimum
+/// line-cover set first (so any prefix of length ≥ `min_cover.len()`
+/// preserves line coverage), then the remaining paths in index order.
+/// Removing paths from the *end* of this ordering is exactly "gradually
+/// remove symbolic traces that are not in the minimum set".
+pub fn reduction_order(program: &Program, groups: &[PathGroup]) -> Vec<usize> {
+    let cover = min_line_cover(program, groups);
+    let in_cover: BTreeSet<usize> = cover.iter().copied().collect();
+    let mut order = cover;
+    order.extend((0..groups.len()).filter(|i| !in_cover.contains(i)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feedback::{generate_grouped, GenConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    fn grouped(src: &str, seed: u64) -> (minilang::Program, Vec<PathGroup>) {
+        let p = minilang::parse(src).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (groups, _) = generate_grouped(&p, &GenConfig::default(), &mut rng);
+        (p, groups)
+    }
+
+    const SIGN: &str = "fn signOf(x: int) -> int {
+        if (x > 0) { return 1; }
+        if (x < 0) { return 0 - 1; }
+        return 0;
+    }";
+
+    #[test]
+    fn cover_preserves_line_coverage() {
+        let (p, groups) = grouped(SIGN, 5);
+        let cover = min_line_cover(&p, &groups);
+        let full: BTreeSet<u32> =
+            groups.iter().flat_map(|g| g.symbolic.line_set(&p)).collect();
+        let reduced: BTreeSet<u32> =
+            cover.iter().flat_map(|&i| groups[i].symbolic.line_set(&p)).collect();
+        assert_eq!(full, reduced);
+        assert!(cover.len() <= groups.len());
+    }
+
+    #[test]
+    fn reduction_order_prefix_preserves_coverage() {
+        let (p, groups) = grouped(SIGN, 5);
+        let order = reduction_order(&p, &groups);
+        assert_eq!(order.len(), groups.len());
+        let cover_len = min_line_cover(&p, &groups).len();
+        let full: BTreeSet<u32> =
+            groups.iter().flat_map(|g| g.symbolic.line_set(&p)).collect();
+        for prefix in cover_len..=groups.len() {
+            let covered: BTreeSet<u32> = order[..prefix]
+                .iter()
+                .flat_map(|&i| groups[i].symbolic.line_set(&p))
+                .collect();
+            assert_eq!(covered, full, "prefix of {prefix} paths loses line coverage");
+        }
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (p, groups) = grouped(SIGN, 9);
+        let mut order = reduction_order(&p, &groups);
+        order.sort_unstable();
+        assert_eq!(order, (0..groups.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_path_program_covers_with_one() {
+        let (p, groups) = grouped("fn f(x: int) -> int { return x + 1; }", 2);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(min_line_cover(&p, &groups), vec![0]);
+    }
+}

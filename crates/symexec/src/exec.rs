@@ -1,0 +1,902 @@
+//! The symbolic executor: path enumeration with path conditions.
+//!
+//! Implements the §5.1 pipeline front half: "we symbolically execute P to
+//! obtain U distinct paths, where each path σᵢ is associated with a
+//! condition φᵢ". Loops are unrolled under a per-path step budget; guards
+//! fork the state; branch feasibility is pruned with the bounded solver;
+//! surviving paths are solved for a concrete witness input.
+//!
+//! Scope (documented substitution, DESIGN.md §4): parameters of type
+//! `int`, `bool` and `array<int>` are treated symbolically (array lengths
+//! are case-split over `0..=max_array_len`); `str` parameters are not
+//! supported symbolically — programs using them fall back to the
+//! feedback-directed random generator, exactly as the paper falls back to
+//! grouping Randoop executions by path.
+
+use crate::solver::{solve, SolveResult, SolverConfig};
+use crate::sym::{IntOp, PathCondition, SymBool, SymInt, SymVar};
+use interp::{EventKind, PathStep, Value};
+use minilang::{
+    AssignOp, BinOp, Block, Builtin, Expr, ExprKind, LValue, Program, Stmt, StmtKind, Type, UnOp,
+};
+use std::collections::HashMap;
+
+/// Configuration of the symbolic executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymExecConfig {
+    /// Maximum number of satisfiable paths to return (the paper's U).
+    pub max_paths: usize,
+    /// Per-path step budget (bounds loop unrolling).
+    pub max_steps: usize,
+    /// Array parameters are case-split over lengths `0..=max_array_len`.
+    pub max_array_len: usize,
+    /// Solver settings for the final witness search.
+    pub solver: SolverConfig,
+    /// Node budget for the per-guard feasibility pre-check (smaller than
+    /// the witness search; `Unknown` counts as feasible).
+    pub prune_nodes: u64,
+}
+
+impl Default for SymExecConfig {
+    fn default() -> Self {
+        SymExecConfig {
+            max_paths: 48,
+            max_steps: 300,
+            max_array_len: 4,
+            solver: SolverConfig::default(),
+            prune_nodes: 20_000,
+        }
+    }
+}
+
+/// One enumerated program path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymPath {
+    /// The path's statement steps (identical shape to a concrete run's
+    /// symbolic trace).
+    pub steps: Vec<PathStep>,
+    /// The path condition φ.
+    pub condition: PathCondition,
+    /// A concrete input witness satisfying φ.
+    pub witness: Vec<Value>,
+}
+
+/// Why symbolic execution could not fully cover a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SymExecStats {
+    /// Paths returned with witnesses.
+    pub sat_paths: usize,
+    /// Paths whose condition was unsatisfiable within the solver bound.
+    pub unsat_paths: usize,
+    /// Paths dropped for exceeding the step budget or hitting an
+    /// unsupported construct.
+    pub aborted_paths: usize,
+    /// Paths dropped because the witness search ran out of budget.
+    pub unknown_paths: usize,
+}
+
+/// Symbolically executes `program`, returning satisfiable paths with
+/// witnesses plus enumeration statistics.
+///
+/// Returns an empty path list (with `aborted_paths > 0`) for programs with
+/// `str` parameters, which this executor does not model symbolically.
+pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPath>, SymExecStats) {
+    let mut stats = SymExecStats::default();
+    if program.function.params.iter().any(|p| p.ty == Type::Str) {
+        stats.aborted_paths = 1;
+        return (Vec::new(), stats);
+    }
+
+    let mut paths: Vec<SymPath> = Vec::new();
+    let mut seen_steps: std::collections::HashSet<Vec<PathStep>> = std::collections::HashSet::new();
+
+    // Case-split over array-parameter lengths.
+    let array_params: Vec<usize> = program
+        .function
+        .params
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.ty == Type::IntArray)
+        .map(|(i, _)| i)
+        .collect();
+    let combos = length_combos(array_params.len(), config.max_array_len);
+
+    'combos: for combo in combos {
+        let mut engine = Engine { program, config, stats: &mut stats };
+        let (init, spec) = engine.initial_state(&combo);
+        let finished = engine.explore(init);
+        for (state, returned) in finished {
+            if !returned {
+                stats.aborted_paths += 1;
+                continue;
+            }
+            if seen_steps.contains(&state.steps) {
+                continue;
+            }
+            match solve(&state.pc, spec.num_vars, &config.solver) {
+                SolveResult::Sat(assignment) => {
+                    let witness = spec.realize(&assignment);
+                    seen_steps.insert(state.steps.clone());
+                    paths.push(SymPath {
+                        steps: state.steps,
+                        condition: state.pc,
+                        witness,
+                    });
+                    stats.sat_paths += 1;
+                    if paths.len() >= config.max_paths {
+                        break 'combos;
+                    }
+                }
+                SolveResult::BoundedUnsat => stats.unsat_paths += 1,
+                SolveResult::Unknown => stats.unknown_paths += 1,
+            }
+        }
+    }
+    (paths, stats)
+}
+
+fn length_combos(n_arrays: usize, max_len: usize) -> Vec<Vec<usize>> {
+    // Order lengths so mid-sized arrays come first: they exercise loops
+    // without exploding the path count.
+    let preferred: Vec<usize> = {
+        let mut v: Vec<usize> = (0..=max_len).collect();
+        v.sort_by_key(|&l| (l as i64 - 3).abs());
+        v
+    };
+    let mut combos = vec![Vec::new()];
+    for _ in 0..n_arrays {
+        let mut next = Vec::new();
+        for c in &combos {
+            for &l in &preferred {
+                let mut c2 = c.clone();
+                c2.push(l);
+                next.push(c2);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// A symbolic runtime value.
+#[derive(Debug, Clone, PartialEq)]
+enum SymValue {
+    Int(SymInt),
+    Bool(SymBool),
+    Str(String),
+    Array(Vec<SymInt>),
+}
+
+/// How solver assignments map back to typed program inputs.
+struct ParamSpec {
+    num_vars: usize,
+    params: Vec<ParamShape>,
+}
+
+enum ParamShape {
+    Int(SymVar),
+    Bool(SymVar),
+    Array(Vec<SymVar>),
+}
+
+impl ParamSpec {
+    fn realize(&self, assignment: &[i64]) -> Vec<Value> {
+        self.params
+            .iter()
+            .map(|shape| match shape {
+                ParamShape::Int(v) => Value::Int(assignment[v.0 as usize]),
+                ParamShape::Bool(v) => Value::Bool(assignment[v.0 as usize] != 0),
+                ParamShape::Array(vars) => {
+                    Value::Array(vars.iter().map(|v| assignment[v.0 as usize]).collect())
+                }
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PState {
+    scopes: Vec<HashMap<String, SymValue>>,
+    pc: PathCondition,
+    steps: Vec<PathStep>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return,
+}
+
+/// An unsupported construct on this path (symbolic index, symbolic string
+/// operation, …) — the path is aborted.
+struct Unsupported;
+
+struct Engine<'a> {
+    program: &'a Program,
+    config: &'a SymExecConfig,
+    stats: &'a mut SymExecStats,
+}
+
+impl<'a> Engine<'a> {
+    fn initial_state(&mut self, array_lens: &[usize]) -> (PState, ParamSpec) {
+        let mut next_var = 0u32;
+        let mut fresh = || {
+            let v = SymVar(next_var);
+            next_var += 1;
+            v
+        };
+        let mut scope = HashMap::new();
+        let mut shapes = Vec::new();
+        let mut pc = PathCondition::new();
+        let mut array_idx = 0usize;
+        for p in &self.program.function.params {
+            match p.ty {
+                Type::Int => {
+                    let v = fresh();
+                    scope.insert(p.name.clone(), SymValue::Int(SymInt::Var(v)));
+                    shapes.push(ParamShape::Int(v));
+                }
+                Type::Bool => {
+                    let v = fresh();
+                    // Constrain to {0, 1}; the boolean value is `v == 1`.
+                    pc.push(SymBool::Or(
+                        Box::new(SymBool::Eq(SymInt::Var(v), SymInt::Const(0))),
+                        Box::new(SymBool::Eq(SymInt::Var(v), SymInt::Const(1))),
+                    ));
+                    scope.insert(
+                        p.name.clone(),
+                        SymValue::Bool(SymBool::Eq(SymInt::Var(v), SymInt::Const(1))),
+                    );
+                    shapes.push(ParamShape::Bool(v));
+                }
+                Type::IntArray => {
+                    let len = array_lens[array_idx];
+                    array_idx += 1;
+                    let vars: Vec<SymVar> = (0..len).map(|_| fresh()).collect();
+                    scope.insert(
+                        p.name.clone(),
+                        SymValue::Array(vars.iter().map(|v| SymInt::Var(*v)).collect()),
+                    );
+                    shapes.push(ParamShape::Array(vars));
+                }
+                Type::Str => unreachable!("str params filtered before exploration"),
+            }
+        }
+        (
+            PState { scopes: vec![scope], pc, steps: Vec::new() },
+            ParamSpec { num_vars: next_var as usize, params: shapes },
+        )
+    }
+
+    /// Runs the whole function body, returning terminal states with a flag
+    /// for "terminated via return".
+    fn explore(&mut self, init: PState) -> Vec<(PState, bool)> {
+        let body = &self.program.function.body;
+        let outcomes = self.exec_block(body, init);
+        outcomes
+            .into_iter()
+            .map(|(st, flow)| (st, flow == Flow::Return))
+            .collect()
+    }
+
+    fn exec_block(&mut self, block: &Block, mut state: PState) -> Vec<(PState, Flow)> {
+        state.scopes.push(HashMap::new());
+        let mut active = vec![state];
+        let mut finished: Vec<(PState, Flow)> = Vec::new();
+        for stmt in &block.stmts {
+            let mut next_active = Vec::new();
+            for st in active {
+                for (st2, flow) in self.exec_stmt(stmt, st) {
+                    if flow == Flow::Normal {
+                        next_active.push(st2);
+                    } else {
+                        finished.push((st2, flow));
+                    }
+                }
+            }
+            active = next_active;
+            if active.is_empty() {
+                break;
+            }
+        }
+        finished.extend(active.into_iter().map(|st| (st, Flow::Normal)));
+        for (st, _) in &mut finished {
+            st.scopes.pop();
+        }
+        finished
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, mut state: PState) -> Vec<(PState, Flow)> {
+        if state.steps.len() >= self.config.max_steps {
+            self.stats.aborted_paths += 1;
+            return Vec::new();
+        }
+        match &stmt.kind {
+            StmtKind::Let { name, init, .. } => {
+                let value = match self.eval(&state, init) {
+                    Ok(v) => v,
+                    Err(Unsupported) => {
+                        self.stats.aborted_paths += 1;
+                        return Vec::new();
+                    }
+                };
+                state
+                    .scopes
+                    .last_mut()
+                    .expect("scope stack never empty")
+                    .insert(name.clone(), value);
+                state.steps.push(PathStep { stmt: stmt.id, kind: EventKind::Exec });
+                vec![(state, Flow::Normal)]
+            }
+            StmtKind::Assign { target, op, value } => {
+                let rhs = match self.eval(&state, value) {
+                    Ok(v) => v,
+                    Err(Unsupported) => {
+                        self.stats.aborted_paths += 1;
+                        return Vec::new();
+                    }
+                };
+                if self.apply_assign(&mut state, target, *op, rhs).is_err() {
+                    self.stats.aborted_paths += 1;
+                    return Vec::new();
+                }
+                state.steps.push(PathStep { stmt: stmt.id, kind: EventKind::Exec });
+                vec![(state, Flow::Normal)]
+            }
+            StmtKind::If { cond, then_block, else_block, .. } => {
+                let branches = self.fork_guard(stmt, cond, state);
+                let mut out = Vec::new();
+                for (st, taken) in branches {
+                    if taken {
+                        out.extend(self.exec_block(then_block, st));
+                    } else if let Some(e) = else_block {
+                        out.extend(self.exec_block(e, st));
+                    } else {
+                        out.push((st, Flow::Normal));
+                    }
+                }
+                out
+            }
+            StmtKind::While { cond, body } => {
+                let mut out = Vec::new();
+                let mut active = vec![state];
+                while let Some(st) = active.pop() {
+                    if st.steps.len() >= self.config.max_steps {
+                        self.stats.aborted_paths += 1;
+                        continue;
+                    }
+                    for (st2, taken) in self.fork_guard(stmt, cond, st) {
+                        if !taken {
+                            out.push((st2, Flow::Normal));
+                            continue;
+                        }
+                        for (st3, flow) in self.exec_block(body, st2) {
+                            match flow {
+                                Flow::Normal | Flow::Continue => active.push(st3),
+                                Flow::Break => out.push((st3, Flow::Normal)),
+                                Flow::Return => out.push((st3, Flow::Return)),
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            StmtKind::For { init, cond, update, body } => {
+                state.scopes.push(HashMap::new());
+                let mut out = Vec::new();
+                let mut after_init = self.exec_stmt(init, state);
+                let mut active: Vec<PState> = Vec::new();
+                for (st, flow) in after_init.drain(..) {
+                    debug_assert_eq!(flow, Flow::Normal, "for-init cannot branch");
+                    active.push(st);
+                }
+                while let Some(st) = active.pop() {
+                    if st.steps.len() >= self.config.max_steps {
+                        self.stats.aborted_paths += 1;
+                        continue;
+                    }
+                    for (st2, taken) in self.fork_guard(stmt, cond, st) {
+                        if !taken {
+                            out.push((st2, Flow::Normal));
+                            continue;
+                        }
+                        for (st3, flow) in self.exec_block(body, st2) {
+                            match flow {
+                                Flow::Normal | Flow::Continue => {
+                                    for (st4, uflow) in self.exec_stmt(update, st3) {
+                                        debug_assert_eq!(uflow, Flow::Normal);
+                                        active.push(st4);
+                                    }
+                                }
+                                Flow::Break => out.push((st3, Flow::Normal)),
+                                Flow::Return => out.push((st3, Flow::Return)),
+                            }
+                        }
+                    }
+                }
+                for (st, _) in &mut out {
+                    st.scopes.pop();
+                }
+                out
+            }
+            StmtKind::Return(_) => {
+                state.steps.push(PathStep { stmt: stmt.id, kind: EventKind::Exec });
+                vec![(state, Flow::Return)]
+            }
+            StmtKind::Break => {
+                state.steps.push(PathStep { stmt: stmt.id, kind: EventKind::Exec });
+                vec![(state, Flow::Break)]
+            }
+            StmtKind::Continue => {
+                state.steps.push(PathStep { stmt: stmt.id, kind: EventKind::Exec });
+                vec![(state, Flow::Continue)]
+            }
+        }
+    }
+
+    /// Evaluates a guard and forks the state on its polarity; concrete
+    /// guards take a single branch. The guard event is recorded on every
+    /// branch (mirroring the tracing interpreter's event stream).
+    fn fork_guard(&mut self, stmt: &Stmt, cond: &Expr, state: PState) -> Vec<(PState, bool)> {
+        let c = match self.eval(&state, cond) {
+            Ok(SymValue::Bool(c)) => c,
+            Ok(_) | Err(Unsupported) => {
+                self.stats.aborted_paths += 1;
+                return Vec::new();
+            }
+        };
+        let mut out = Vec::new();
+        let record = |mut st: PState, taken: bool| -> PState {
+            st.steps.push(PathStep { stmt: stmt.id, kind: EventKind::Guard { taken } });
+            st
+        };
+        if let SymBool::Const(b) = c {
+            out.push((record(state, b), b));
+            return out;
+        }
+        let prune = SolverConfig { max_nodes: self.config.prune_nodes, ..self.config.solver };
+        let num_vars = {
+            // All variables ever created are < num vars of the spec; use
+            // the max mentioned + 1 for the feasibility check.
+            let mut vars = state.pc.vars();
+            c.vars(&mut vars);
+            vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0)
+        };
+        for taken in [true, false] {
+            let mut st = state.clone();
+            let conjunct = if taken { c.clone() } else { c.negate() };
+            st.pc.push(conjunct);
+            let feasible = match solve(&st.pc, num_vars, &prune) {
+                SolveResult::Sat(_) | SolveResult::Unknown => true,
+                SolveResult::BoundedUnsat => false,
+            };
+            if feasible {
+                out.push((record(st, taken), taken));
+            }
+        }
+        out
+    }
+
+    fn lookup<'s>(&self, state: &'s PState, name: &str) -> Option<&'s SymValue> {
+        state.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn apply_assign(
+        &mut self,
+        state: &mut PState,
+        target: &LValue,
+        op: AssignOp,
+        rhs: SymValue,
+    ) -> Result<(), Unsupported> {
+        match target {
+            LValue::Var(name) => {
+                let new = match op {
+                    AssignOp::Set => rhs,
+                    _ => {
+                        let current =
+                            self.lookup(state, name).cloned().ok_or(Unsupported)?;
+                        compound(op, current, rhs)?
+                    }
+                };
+                for scope in state.scopes.iter_mut().rev() {
+                    if let Some(slot) = scope.get_mut(name) {
+                        *slot = new;
+                        return Ok(());
+                    }
+                }
+                Err(Unsupported)
+            }
+            LValue::Index(name, idx_expr) => {
+                let idx = match self.eval(state, idx_expr)? {
+                    SymValue::Int(SymInt::Const(i)) => i,
+                    // Symbolic write index: out of scope for the bounded
+                    // executor.
+                    _ => return Err(Unsupported),
+                };
+                let current = self.lookup(state, name).cloned().ok_or(Unsupported)?;
+                let SymValue::Array(mut arr) = current else { return Err(Unsupported) };
+                if idx < 0 || idx as usize >= arr.len() {
+                    // Out-of-bounds on this path: the concrete run would
+                    // crash, so the path is dropped.
+                    return Err(Unsupported);
+                }
+                let i = idx as usize;
+                let new_elem = match op {
+                    AssignOp::Set => rhs,
+                    _ => compound(op, SymValue::Int(arr[i].clone()), rhs)?,
+                };
+                let SymValue::Int(e) = new_elem else { return Err(Unsupported) };
+                arr[i] = e;
+                for scope in state.scopes.iter_mut().rev() {
+                    if let Some(slot) = scope.get_mut(name) {
+                        *slot = SymValue::Array(arr);
+                        return Ok(());
+                    }
+                }
+                Err(Unsupported)
+            }
+        }
+    }
+
+    fn eval(&self, state: &PState, expr: &Expr) -> Result<SymValue, Unsupported> {
+        match &expr.kind {
+            ExprKind::IntLit(v) => Ok(SymValue::Int(SymInt::Const(*v))),
+            ExprKind::BoolLit(b) => Ok(SymValue::Bool(SymBool::Const(*b))),
+            ExprKind::StrLit(s) => Ok(SymValue::Str(s.clone())),
+            ExprKind::Var(name) => self.lookup(state, name).cloned().ok_or(Unsupported),
+            ExprKind::Unary(UnOp::Neg, inner) => match self.eval(state, inner)? {
+                SymValue::Int(e) => Ok(SymValue::Int(match e {
+                    SymInt::Const(v) => SymInt::Const(v.wrapping_neg()),
+                    other => SymInt::Neg(Box::new(other)),
+                })),
+                _ => Err(Unsupported),
+            },
+            ExprKind::Unary(UnOp::Not, inner) => match self.eval(state, inner)? {
+                SymValue::Bool(c) => Ok(SymValue::Bool(c.negate())),
+                _ => Err(Unsupported),
+            },
+            ExprKind::Binary(op, lhs, rhs) => {
+                let l = self.eval(state, lhs)?;
+                let r = self.eval(state, rhs)?;
+                self.eval_binop(*op, l, r)
+            }
+            ExprKind::Index(base, idx) => {
+                let b = self.eval(state, base)?;
+                let i = match self.eval(state, idx)? {
+                    SymValue::Int(SymInt::Const(i)) => i,
+                    _ => return Err(Unsupported), // symbolic read index
+                };
+                match b {
+                    SymValue::Array(arr) => {
+                        if i < 0 || i as usize >= arr.len() {
+                            Err(Unsupported)
+                        } else {
+                            Ok(SymValue::Int(arr[i as usize].clone()))
+                        }
+                    }
+                    SymValue::Str(s) => {
+                        let bytes = s.as_bytes();
+                        if i < 0 || i as usize >= bytes.len() {
+                            Err(Unsupported)
+                        } else {
+                            Ok(SymValue::Int(SymInt::Const(i64::from(bytes[i as usize]))))
+                        }
+                    }
+                    _ => Err(Unsupported),
+                }
+            }
+            ExprKind::Call(builtin, args) => self.eval_builtin(state, *builtin, args),
+            ExprKind::ArrayLit(elems) => {
+                let mut out = Vec::with_capacity(elems.len());
+                for e in elems {
+                    match self.eval(state, e)? {
+                        SymValue::Int(v) => out.push(v),
+                        _ => return Err(Unsupported),
+                    }
+                }
+                Ok(SymValue::Array(out))
+            }
+        }
+    }
+
+    fn eval_binop(&self, op: BinOp, l: SymValue, r: SymValue) -> Result<SymValue, Unsupported> {
+        use SymValue::*;
+        match (op, l, r) {
+            (BinOp::Add, Int(a), Int(b)) => Ok(Int(SymInt::binary(IntOp::Add, a, b))),
+            (BinOp::Sub, Int(a), Int(b)) => Ok(Int(SymInt::binary(IntOp::Sub, a, b))),
+            (BinOp::Mul, Int(a), Int(b)) => Ok(Int(SymInt::binary(IntOp::Mul, a, b))),
+            (BinOp::Div, Int(a), Int(b)) => Ok(Int(SymInt::binary(IntOp::Div, a, b))),
+            (BinOp::Mod, Int(a), Int(b)) => Ok(Int(SymInt::binary(IntOp::Mod, a, b))),
+            (BinOp::Add, Str(a), Str(b)) => Ok(Str(format!("{a}{b}"))),
+            (BinOp::Lt, Int(a), Int(b)) => Ok(Bool(fold_cmp(SymBool::Lt(a, b)))),
+            (BinOp::Le, Int(a), Int(b)) => Ok(Bool(fold_cmp(SymBool::Le(a, b)))),
+            (BinOp::Gt, Int(a), Int(b)) => Ok(Bool(fold_cmp(SymBool::Lt(b, a)))),
+            (BinOp::Ge, Int(a), Int(b)) => Ok(Bool(fold_cmp(SymBool::Le(b, a)))),
+            (BinOp::Eq, Int(a), Int(b)) => Ok(Bool(fold_cmp(SymBool::Eq(a, b)))),
+            (BinOp::Ne, Int(a), Int(b)) => Ok(Bool(fold_cmp(SymBool::Ne(a, b)))),
+            (BinOp::Eq, Bool(a), Bool(b)) => Ok(Bool(bool_eq(a, b))),
+            (BinOp::Ne, Bool(a), Bool(b)) => Ok(Bool(bool_eq(a, b).negate())),
+            (BinOp::Eq, Str(a), Str(b)) => Ok(Bool(SymBool::Const(a == b))),
+            (BinOp::Ne, Str(a), Str(b)) => Ok(Bool(SymBool::Const(a != b))),
+            (BinOp::Eq, Array(a), Array(b)) => Ok(Bool(array_eq(&a, &b))),
+            (BinOp::Ne, Array(a), Array(b)) => Ok(Bool(array_eq(&a, &b).negate())),
+            (BinOp::And, Bool(a), Bool(b)) => Ok(Bool(fold_and(a, b))),
+            (BinOp::Or, Bool(a), Bool(b)) => Ok(Bool(fold_or(a, b))),
+            _ => Err(Unsupported),
+        }
+    }
+
+    fn eval_builtin(
+        &self,
+        state: &PState,
+        builtin: Builtin,
+        args: &[Expr],
+    ) -> Result<SymValue, Unsupported> {
+        let vals: Vec<SymValue> =
+            args.iter().map(|a| self.eval(state, a)).collect::<Result<_, _>>()?;
+        match builtin {
+            Builtin::Len => match &vals[0] {
+                SymValue::Array(a) => Ok(SymValue::Int(SymInt::Const(a.len() as i64))),
+                SymValue::Str(s) => Ok(SymValue::Int(SymInt::Const(s.len() as i64))),
+                _ => Err(Unsupported),
+            },
+            Builtin::Abs => match vals.into_iter().next() {
+                Some(SymValue::Int(SymInt::Const(v))) => {
+                    Ok(SymValue::Int(SymInt::Const(v.checked_abs().ok_or(Unsupported)?)))
+                }
+                Some(SymValue::Int(e)) => Ok(SymValue::Int(SymInt::Abs(Box::new(e)))),
+                _ => Err(Unsupported),
+            },
+            Builtin::Min | Builtin::Max => {
+                let op = if builtin == Builtin::Min { IntOp::Min } else { IntOp::Max };
+                match (&vals[0], &vals[1]) {
+                    (SymValue::Int(a), SymValue::Int(b)) => {
+                        Ok(SymValue::Int(SymInt::binary(op, a.clone(), b.clone())))
+                    }
+                    _ => Err(Unsupported),
+                }
+            }
+            Builtin::NewArray => match (&vals[0], &vals[1]) {
+                (SymValue::Int(SymInt::Const(n)), SymValue::Int(v)) => {
+                    if *n < 0 || *n > 64 {
+                        return Err(Unsupported);
+                    }
+                    Ok(SymValue::Array(vec![v.clone(); *n as usize]))
+                }
+                _ => Err(Unsupported), // symbolic length
+            },
+            Builtin::Push => match (&vals[0], &vals[1]) {
+                (SymValue::Array(a), SymValue::Int(v)) => {
+                    let mut a = a.clone();
+                    a.push(v.clone());
+                    Ok(SymValue::Array(a))
+                }
+                _ => Err(Unsupported),
+            },
+            Builtin::Substring => match (&vals[0], &vals[1], &vals[2]) {
+                (
+                    SymValue::Str(s),
+                    SymValue::Int(SymInt::Const(i)),
+                    SymValue::Int(SymInt::Const(j)),
+                ) => {
+                    if *i < 0 || j < i || (*j as usize) > s.len() {
+                        Err(Unsupported)
+                    } else {
+                        Ok(SymValue::Str(s[*i as usize..*j as usize].to_string()))
+                    }
+                }
+                _ => Err(Unsupported),
+            },
+            Builtin::CharToStr => match &vals[0] {
+                SymValue::Int(SymInt::Const(c)) => {
+                    let c = u8::try_from(*c & 0x7f).unwrap_or(b'?');
+                    Ok(SymValue::Str((c as char).to_string()))
+                }
+                _ => Err(Unsupported),
+            },
+        }
+    }
+}
+
+fn compound(op: AssignOp, current: SymValue, rhs: SymValue) -> Result<SymValue, Unsupported> {
+    match (op, current, rhs) {
+        (AssignOp::Add, SymValue::Int(a), SymValue::Int(b)) => {
+            Ok(SymValue::Int(SymInt::binary(IntOp::Add, a, b)))
+        }
+        (AssignOp::Add, SymValue::Str(a), SymValue::Str(b)) => {
+            Ok(SymValue::Str(format!("{a}{b}")))
+        }
+        (AssignOp::Sub, SymValue::Int(a), SymValue::Int(b)) => {
+            Ok(SymValue::Int(SymInt::binary(IntOp::Sub, a, b)))
+        }
+        (AssignOp::Mul, SymValue::Int(a), SymValue::Int(b)) => {
+            Ok(SymValue::Int(SymInt::binary(IntOp::Mul, a, b)))
+        }
+        _ => Err(Unsupported),
+    }
+}
+
+/// Folds comparisons of constants to `SymBool::Const`.
+fn fold_cmp(c: SymBool) -> SymBool {
+    let concrete = match &c {
+        SymBool::Lt(SymInt::Const(a), SymInt::Const(b)) => Some(a < b),
+        SymBool::Le(SymInt::Const(a), SymInt::Const(b)) => Some(a <= b),
+        SymBool::Eq(SymInt::Const(a), SymInt::Const(b)) => Some(a == b),
+        SymBool::Ne(SymInt::Const(a), SymInt::Const(b)) => Some(a != b),
+        _ => None,
+    };
+    match concrete {
+        Some(b) => SymBool::Const(b),
+        None => c,
+    }
+}
+
+fn fold_and(a: SymBool, b: SymBool) -> SymBool {
+    match (&a, &b) {
+        (SymBool::Const(false), _) => SymBool::Const(false),
+        (SymBool::Const(true), _) => b,
+        (_, SymBool::Const(true)) => a,
+        _ => SymBool::And(Box::new(a), Box::new(b)),
+    }
+}
+
+fn fold_or(a: SymBool, b: SymBool) -> SymBool {
+    match (&a, &b) {
+        (SymBool::Const(true), _) => SymBool::Const(true),
+        (SymBool::Const(false), _) => b,
+        (_, SymBool::Const(false)) => a,
+        _ => SymBool::Or(Box::new(a), Box::new(b)),
+    }
+}
+
+fn bool_eq(a: SymBool, b: SymBool) -> SymBool {
+    match (&a, &b) {
+        (SymBool::Const(x), SymBool::Const(y)) => SymBool::Const(x == y),
+        (SymBool::Const(true), _) => b,
+        (_, SymBool::Const(true)) => a,
+        (SymBool::Const(false), _) => b.negate(),
+        (_, SymBool::Const(false)) => a.negate(),
+        // a == b  ≡  (a && b) || (!a && !b)
+        _ => SymBool::Or(
+            Box::new(SymBool::And(Box::new(a.clone()), Box::new(b.clone()))),
+            Box::new(SymBool::And(Box::new(a.negate()), Box::new(b.negate()))),
+        ),
+    }
+}
+
+fn array_eq(a: &[SymInt], b: &[SymInt]) -> SymBool {
+    if a.len() != b.len() {
+        return SymBool::Const(false);
+    }
+    let mut acc = SymBool::Const(true);
+    for (x, y) in a.iter().zip(b) {
+        acc = fold_and(acc, fold_cmp(SymBool::Eq(x.clone(), y.clone())));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths_of(src: &str) -> (Program, Vec<SymPath>, SymExecStats) {
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let (paths, stats) = symbolic_execute(&p, &SymExecConfig::default());
+        (p, paths, stats)
+    }
+
+    #[test]
+    fn enumerates_three_sign_paths() {
+        let (_, paths, stats) = paths_of(
+            "fn signOf(x: int) -> int {
+                if (x > 0) { return 1; }
+                if (x < 0) { return 0 - 1; }
+                return 0;
+            }",
+        );
+        assert_eq!(paths.len(), 3);
+        assert_eq!(stats.sat_paths, 3);
+        // Witnesses actually satisfy their paths when executed concretely.
+        for path in &paths {
+            assert_eq!(path.witness.len(), 1);
+        }
+    }
+
+    #[test]
+    fn witnesses_reproduce_their_paths_concretely() {
+        let src = "fn classify(x: int, y: int) -> int {
+            if (x > y) { return 1; }
+            if (x == y) { return 2; }
+            return 3;
+        }";
+        let (p, paths, _) = paths_of(src);
+        assert_eq!(paths.len(), 3);
+        for path in &paths {
+            let run = interp::run(&p, &path.witness).unwrap();
+            let concrete: Vec<PathStep> = run.events.iter().map(|e| e.path_step()).collect();
+            assert_eq!(concrete, path.steps, "witness does not reproduce path");
+        }
+    }
+
+    #[test]
+    fn array_case_split_covers_loop_paths() {
+        let src = "fn sumPositive(a: array<int>) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < len(a); i += 1) {
+                if (a[i] > 0) { s += a[i]; }
+            }
+            return s;
+        }";
+        let (p, paths, _) = paths_of(src);
+        // At minimum: the empty-array path plus branchy length≥1 paths.
+        assert!(paths.len() >= 3, "got {} paths", paths.len());
+        for path in &paths {
+            let run = interp::run(&p, &path.witness).unwrap();
+            let concrete: Vec<PathStep> = run.events.iter().map(|e| e.path_step()).collect();
+            assert_eq!(concrete, path.steps);
+        }
+    }
+
+    #[test]
+    fn infeasible_branches_are_pruned() {
+        let (_, paths, _) = paths_of(
+            "fn f(x: int) -> int {
+                if (x > 0) {
+                    if (x < 0) { return 99; }
+                    return 1;
+                }
+                return 0;
+            }",
+        );
+        // The x>0 && x<0 path must not appear.
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn bool_params_split_both_ways() {
+        let (_, paths, _) = paths_of(
+            "fn f(b: bool) -> int {
+                if (b) { return 1; }
+                return 0;
+            }",
+        );
+        assert_eq!(paths.len(), 2);
+        let trues = paths
+            .iter()
+            .filter(|p| p.witness[0] == Value::Bool(true))
+            .count();
+        assert_eq!(trues, 1);
+    }
+
+    #[test]
+    fn str_params_are_unsupported() {
+        let (_, paths, stats) = paths_of("fn f(s: str) -> int { return len(s); }");
+        assert!(paths.is_empty());
+        assert!(stats.aborted_paths > 0);
+    }
+
+    #[test]
+    fn while_loop_unrolls_within_budget() {
+        let src = "fn countDown(n: int) -> int {
+            let c: int = 0;
+            while (n > 0) { n -= 1; c += 1; }
+            return c;
+        }";
+        let (p, paths, _) = paths_of(src);
+        assert!(paths.len() > 3);
+        for path in &paths {
+            let run = interp::run(&p, &path.witness).unwrap();
+            let concrete: Vec<PathStep> = run.events.iter().map(|e| e.path_step()).collect();
+            assert_eq!(concrete, path.steps);
+        }
+    }
+
+    #[test]
+    fn paths_are_deduplicated() {
+        let (_, paths, _) = paths_of("fn f(x: int) -> int { return x + 1; }");
+        assert_eq!(paths.len(), 1);
+    }
+}

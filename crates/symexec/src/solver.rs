@@ -1,0 +1,319 @@
+//! A bounded constraint solver for path conditions.
+//!
+//! The paper's pipeline solves each path condition φᵢ to seed concrete
+//! executions. Full SMT is out of scope offline (see DESIGN.md §4), so we
+//! use a *bounded model finder*: backtracking search over a small integer
+//! domain with per-variable constraint scheduling — each conjunct is
+//! checked as soon as all its variables are assigned, pruning the subtree
+//! early. MiniLang path conditions are conjunctions of (mostly linear)
+//! comparisons over a handful of variables, for which this is fast and,
+//! within the bound, complete.
+
+use crate::sym::{PathCondition, SymVar};
+use std::collections::BTreeSet;
+
+/// Result of a bounded satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A witness assignment (indexed by [`SymVar`] number).
+    Sat(Vec<i64>),
+    /// No assignment exists within the bound.
+    BoundedUnsat,
+    /// The node budget was exhausted before a decision.
+    Unknown,
+}
+
+impl SolveResult {
+    /// True when a witness was found.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Variables range over `[-bound, bound]`.
+    pub bound: i64,
+    /// Maximum number of search nodes before giving up with
+    /// [`SolveResult::Unknown`].
+    pub max_nodes: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { bound: 16, max_nodes: 2_000_000 }
+    }
+}
+
+/// Searches for an assignment of `num_vars` variables in
+/// `[-bound, bound]^num_vars` satisfying `condition`.
+///
+/// Variables not mentioned by the condition are assigned a small default
+/// immediately (they are unconstrained). The domain is enumerated from
+/// small magnitudes outward (0, 1, -1, 2, -2, …) so witnesses are "nice"
+/// values, matching how a test generator would pick inputs.
+pub fn solve(condition: &PathCondition, num_vars: usize, config: &SolverConfig) -> SolveResult {
+    // Schedule: conjunct j fires at the latest-assigned variable it
+    // mentions (variables are assigned in index order).
+    let mentioned: BTreeSet<SymVar> = condition.vars();
+    let mut fire_at: Vec<Vec<usize>> = vec![Vec::new(); num_vars + 1];
+    for (j, c) in condition.conjuncts.iter().enumerate() {
+        let mut vars = BTreeSet::new();
+        c.vars(&mut vars);
+        let latest = vars.iter().map(|v| v.0 as usize + 1).max().unwrap_or(0);
+        if latest > num_vars {
+            // Constraint mentions a variable beyond num_vars: treat as
+            // unsatisfiable input rather than panicking.
+            return SolveResult::BoundedUnsat;
+        }
+        fire_at[latest].push(j);
+    }
+
+    // Check variable-free conjuncts immediately.
+    let mut assignment = vec![0i64; num_vars];
+    for &j in &fire_at[0] {
+        match condition.conjuncts[j].eval(&assignment) {
+            Some(true) => {}
+            _ => return SolveResult::BoundedUnsat,
+        }
+    }
+
+    let domain: Vec<i64> = {
+        let mut d = vec![0];
+        for v in 1..=config.bound {
+            d.push(v);
+            d.push(-v);
+        }
+        d
+    };
+
+    let mut nodes = 0u64;
+    match search(
+        condition,
+        &fire_at,
+        &mentioned,
+        &domain,
+        &mut assignment,
+        0,
+        &mut nodes,
+        config.max_nodes,
+    ) {
+        Search::Found => SolveResult::Sat(assignment),
+        Search::Exhausted => SolveResult::BoundedUnsat,
+        Search::Budget => SolveResult::Unknown,
+    }
+}
+
+enum Search {
+    Found,
+    Exhausted,
+    Budget,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    condition: &PathCondition,
+    fire_at: &[Vec<usize>],
+    mentioned: &BTreeSet<SymVar>,
+    domain: &[i64],
+    assignment: &mut Vec<i64>,
+    var: usize,
+    nodes: &mut u64,
+    max_nodes: u64,
+) -> Search {
+    if var == assignment.len() {
+        return Search::Found;
+    }
+    // Unconstrained variable: pin to 0 and move on.
+    if !mentioned.contains(&SymVar(var as u32)) {
+        assignment[var] = 0;
+        return check_and_descend(
+            condition, fire_at, mentioned, domain, assignment, var, nodes, max_nodes,
+        );
+    }
+    for &value in domain {
+        *nodes += 1;
+        if *nodes > max_nodes {
+            return Search::Budget;
+        }
+        assignment[var] = value;
+        match check_and_descend(
+            condition, fire_at, mentioned, domain, assignment, var, nodes, max_nodes,
+        ) {
+            Search::Found => return Search::Found,
+            Search::Budget => return Search::Budget,
+            Search::Exhausted => {}
+        }
+    }
+    Search::Exhausted
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_and_descend(
+    condition: &PathCondition,
+    fire_at: &[Vec<usize>],
+    mentioned: &BTreeSet<SymVar>,
+    domain: &[i64],
+    assignment: &mut Vec<i64>,
+    var: usize,
+    nodes: &mut u64,
+    max_nodes: u64,
+) -> Search {
+    for &j in &fire_at[var + 1] {
+        match condition.conjuncts[j].eval(assignment) {
+            Some(true) => {}
+            // `None` (division by zero etc.) prunes like a violation.
+            _ => return Search::Exhausted,
+        }
+    }
+    search(condition, fire_at, mentioned, domain, assignment, var + 1, nodes, max_nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::{SymBool, SymInt};
+
+    fn var(i: u32) -> SymInt {
+        SymInt::Var(SymVar(i))
+    }
+
+    fn pc(conjuncts: Vec<SymBool>) -> PathCondition {
+        PathCondition { conjuncts }
+    }
+
+    #[test]
+    fn finds_small_witness() {
+        let c = pc(vec![SymBool::Lt(SymInt::Const(3), var(0))]);
+        match solve(&c, 1, &SolverConfig::default()) {
+            SolveResult::Sat(a) => assert_eq!(a, vec![4]), // smallest-magnitude witness
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_bounded_unsat() {
+        // x > 100 is outside the default bound of 16.
+        let c = pc(vec![SymBool::Lt(SymInt::Const(100), var(0))]);
+        assert_eq!(solve(&c, 1, &SolverConfig::default()), SolveResult::BoundedUnsat);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let c = pc(vec![
+            SymBool::Lt(var(0), SymInt::Const(0)),
+            SymBool::Lt(SymInt::Const(0), var(0)),
+        ]);
+        assert_eq!(solve(&c, 1, &SolverConfig::default()), SolveResult::BoundedUnsat);
+    }
+
+    #[test]
+    fn multi_variable_relations() {
+        // v0 == v1 + v2 and v1 > 2 and v2 > 2.
+        let c = pc(vec![
+            SymBool::Eq(
+                var(0),
+                SymInt::binary(crate::sym::IntOp::Add, var(1), var(2)),
+            ),
+            SymBool::Lt(SymInt::Const(2), var(1)),
+            SymBool::Lt(SymInt::Const(2), var(2)),
+        ]);
+        match solve(&c, 3, &SolverConfig::default()) {
+            SolveResult::Sat(a) => {
+                assert_eq!(a[0], a[1] + a[2]);
+                assert!(a[1] > 2 && a[2] > 2);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_vars_default_to_zero() {
+        let c = pc(vec![SymBool::Eq(var(1), SymInt::Const(5))]);
+        match solve(&c, 3, &SolverConfig::default()) {
+            SolveResult::Sat(a) => assert_eq!(a, vec![0, 5, 0]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_guard_respected() {
+        // 10 / v0 == 5 requires v0 == 2 (integer division also admits
+        // nothing else in-bound except exactly 2).
+        let c = pc(vec![SymBool::Eq(
+            SymInt::binary(crate::sym::IntOp::Div, SymInt::Const(10), var(0)),
+            SymInt::Const(5),
+        )]);
+        match solve(&c, 1, &SolverConfig::default()) {
+            SolveResult::Sat(a) => assert_eq!(10 / a[0], 5),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // An unsatisfiable 4-variable nonlinear constraint with a tiny node
+        // budget cannot be decided.
+        let product = SymInt::binary(
+            crate::sym::IntOp::Mul,
+            SymInt::binary(crate::sym::IntOp::Mul, var(0), var(1)),
+            SymInt::binary(crate::sym::IntOp::Mul, var(2), var(3)),
+        );
+        let c = pc(vec![SymBool::Eq(product, SymInt::Const(104_729))]); // prime
+        let config = SolverConfig { bound: 16, max_nodes: 50 };
+        assert_eq!(solve(&c, 4, &config), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn empty_condition_is_trivially_sat() {
+        match solve(&PathCondition::new(), 2, &SolverConfig::default()) {
+            SolveResult::Sat(a) => assert_eq!(a, vec![0, 0]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::sym::{IntOp, SymBool, SymInt, SymVar};
+
+    #[test]
+    fn abs_min_max_terms_are_solvable() {
+        // |v0| == 5 and min(v0, 0) == v0 forces v0 == -5.
+        let c = PathCondition {
+            conjuncts: vec![
+                SymBool::Eq(SymInt::Abs(Box::new(SymInt::Var(SymVar(0)))), SymInt::Const(5)),
+                SymBool::Eq(
+                    SymInt::binary(IntOp::Min, SymInt::Var(SymVar(0)), SymInt::Const(0)),
+                    SymInt::Var(SymVar(0)),
+                ),
+            ],
+        };
+        match solve(&c, 1, &SolverConfig::default()) {
+            SolveResult::Sat(a) => assert_eq!(a, vec![-5]),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_variables_with_true_condition() {
+        let c = PathCondition { conjuncts: vec![SymBool::Const(true)] };
+        assert!(solve(&c, 0, &SolverConfig::default()).is_sat());
+    }
+
+    #[test]
+    fn zero_variables_with_false_condition() {
+        let c = PathCondition { conjuncts: vec![SymBool::Const(false)] };
+        assert_eq!(solve(&c, 0, &SolverConfig::default()), SolveResult::BoundedUnsat);
+    }
+
+    #[test]
+    fn out_of_range_variable_mention_is_unsat_not_panic() {
+        let c = PathCondition {
+            conjuncts: vec![SymBool::Eq(SymInt::Var(SymVar(7)), SymInt::Const(1))],
+        };
+        assert_eq!(solve(&c, 2, &SolverConfig::default()), SolveResult::BoundedUnsat);
+    }
+}

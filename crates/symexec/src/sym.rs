@@ -1,0 +1,339 @@
+//! Symbolic values and path-condition constraints.
+//!
+//! §5.1 of the paper: "we symbolically execute P to obtain U distinct
+//! paths, where each path σᵢ is associated with a condition φᵢ. By solving
+//! φᵢ, we obtain concrete traces." These are the terms φ is built from:
+//! integer expressions over symbolic input variables ([`SymInt`]) and
+//! boolean formulas over them ([`SymBool`]).
+
+use std::fmt;
+
+/// Identifier of a symbolic integer variable (an input parameter or one
+/// element of an input array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymVar(pub u32);
+
+impl fmt::Display for SymVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A symbolic integer expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymInt {
+    /// A constant.
+    Const(i64),
+    /// A symbolic input variable.
+    Var(SymVar),
+    /// Addition.
+    Add(Box<SymInt>, Box<SymInt>),
+    /// Subtraction.
+    Sub(Box<SymInt>, Box<SymInt>),
+    /// Multiplication.
+    Mul(Box<SymInt>, Box<SymInt>),
+    /// Truncating division (division by zero fails evaluation).
+    Div(Box<SymInt>, Box<SymInt>),
+    /// Remainder (remainder by zero fails evaluation).
+    Mod(Box<SymInt>, Box<SymInt>),
+    /// Negation.
+    Neg(Box<SymInt>),
+    /// Absolute value.
+    Abs(Box<SymInt>),
+    /// Minimum.
+    Min(Box<SymInt>, Box<SymInt>),
+    /// Maximum.
+    Max(Box<SymInt>, Box<SymInt>),
+}
+
+impl SymInt {
+    /// Convenience constructor for a binary node, folding constants.
+    pub fn binary(op: IntOp, lhs: SymInt, rhs: SymInt) -> SymInt {
+        if let (SymInt::Const(a), SymInt::Const(b)) = (&lhs, &rhs) {
+            if let Some(v) = op.apply(*a, *b) {
+                return SymInt::Const(v);
+            }
+        }
+        match op {
+            IntOp::Add => SymInt::Add(Box::new(lhs), Box::new(rhs)),
+            IntOp::Sub => SymInt::Sub(Box::new(lhs), Box::new(rhs)),
+            IntOp::Mul => SymInt::Mul(Box::new(lhs), Box::new(rhs)),
+            IntOp::Div => SymInt::Div(Box::new(lhs), Box::new(rhs)),
+            IntOp::Mod => SymInt::Mod(Box::new(lhs), Box::new(rhs)),
+            IntOp::Min => SymInt::Min(Box::new(lhs), Box::new(rhs)),
+            IntOp::Max => SymInt::Max(Box::new(lhs), Box::new(rhs)),
+        }
+    }
+
+    /// Evaluates the expression under `assignment` (values indexed by
+    /// [`SymVar`]). Returns `None` on division/remainder by zero or
+    /// arithmetic overflow — assignments triggering those are rejected by
+    /// the solver.
+    pub fn eval(&self, assignment: &[i64]) -> Option<i64> {
+        match self {
+            SymInt::Const(v) => Some(*v),
+            SymInt::Var(v) => assignment.get(v.0 as usize).copied(),
+            SymInt::Add(a, b) => a.eval(assignment)?.checked_add(b.eval(assignment)?),
+            SymInt::Sub(a, b) => a.eval(assignment)?.checked_sub(b.eval(assignment)?),
+            SymInt::Mul(a, b) => a.eval(assignment)?.checked_mul(b.eval(assignment)?),
+            SymInt::Div(a, b) => {
+                let d = b.eval(assignment)?;
+                if d == 0 {
+                    None
+                } else {
+                    a.eval(assignment)?.checked_div(d)
+                }
+            }
+            SymInt::Mod(a, b) => {
+                let d = b.eval(assignment)?;
+                if d == 0 {
+                    None
+                } else {
+                    a.eval(assignment)?.checked_rem(d)
+                }
+            }
+            SymInt::Neg(a) => a.eval(assignment)?.checked_neg(),
+            SymInt::Abs(a) => a.eval(assignment)?.checked_abs(),
+            SymInt::Min(a, b) => Some(a.eval(assignment)?.min(b.eval(assignment)?)),
+            SymInt::Max(a, b) => Some(a.eval(assignment)?.max(b.eval(assignment)?)),
+        }
+    }
+
+    /// Collects the variables occurring in the expression.
+    pub fn vars(&self, out: &mut std::collections::BTreeSet<SymVar>) {
+        match self {
+            SymInt::Const(_) => {}
+            SymInt::Var(v) => {
+                out.insert(*v);
+            }
+            SymInt::Add(a, b)
+            | SymInt::Sub(a, b)
+            | SymInt::Mul(a, b)
+            | SymInt::Div(a, b)
+            | SymInt::Mod(a, b)
+            | SymInt::Min(a, b)
+            | SymInt::Max(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            SymInt::Neg(a) | SymInt::Abs(a) => a.vars(out),
+        }
+    }
+
+    /// True when the expression contains no variables.
+    pub fn is_concrete(&self) -> bool {
+        let mut s = std::collections::BTreeSet::new();
+        self.vars(&mut s);
+        s.is_empty()
+    }
+}
+
+/// Integer operators used by [`SymInt::binary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+}
+
+impl IntOp {
+    fn apply(self, a: i64, b: i64) -> Option<i64> {
+        match self {
+            IntOp::Add => a.checked_add(b),
+            IntOp::Sub => a.checked_sub(b),
+            IntOp::Mul => a.checked_mul(b),
+            IntOp::Div => {
+                if b == 0 {
+                    None
+                } else {
+                    a.checked_div(b)
+                }
+            }
+            IntOp::Mod => {
+                if b == 0 {
+                    None
+                } else {
+                    a.checked_rem(b)
+                }
+            }
+            IntOp::Min => Some(a.min(b)),
+            IntOp::Max => Some(a.max(b)),
+        }
+    }
+}
+
+/// A boolean constraint over symbolic integers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymBool {
+    /// Literal truth value.
+    Const(bool),
+    /// `a < b`
+    Lt(SymInt, SymInt),
+    /// `a <= b`
+    Le(SymInt, SymInt),
+    /// `a == b`
+    Eq(SymInt, SymInt),
+    /// `a != b`
+    Ne(SymInt, SymInt),
+    /// Conjunction.
+    And(Box<SymBool>, Box<SymBool>),
+    /// Disjunction.
+    Or(Box<SymBool>, Box<SymBool>),
+    /// Negation.
+    Not(Box<SymBool>),
+}
+
+impl SymBool {
+    /// Evaluates the constraint under `assignment`; `None` on evaluation
+    /// failure of a subterm (e.g. division by zero).
+    pub fn eval(&self, assignment: &[i64]) -> Option<bool> {
+        match self {
+            SymBool::Const(b) => Some(*b),
+            SymBool::Lt(a, b) => Some(a.eval(assignment)? < b.eval(assignment)?),
+            SymBool::Le(a, b) => Some(a.eval(assignment)? <= b.eval(assignment)?),
+            SymBool::Eq(a, b) => Some(a.eval(assignment)? == b.eval(assignment)?),
+            SymBool::Ne(a, b) => Some(a.eval(assignment)? != b.eval(assignment)?),
+            // Short-circuit like the language: when the left operand
+            // decides the result, a failing right operand (e.g. division
+            // by zero) must not poison the evaluation.
+            SymBool::And(a, b) => match a.eval(assignment)? {
+                false => Some(false),
+                true => b.eval(assignment),
+            },
+            SymBool::Or(a, b) => match a.eval(assignment)? {
+                true => Some(true),
+                false => b.eval(assignment),
+            },
+            SymBool::Not(a) => Some(!a.eval(assignment)?),
+        }
+    }
+
+    /// Collects the variables occurring in the constraint.
+    pub fn vars(&self, out: &mut std::collections::BTreeSet<SymVar>) {
+        match self {
+            SymBool::Const(_) => {}
+            SymBool::Lt(a, b) | SymBool::Le(a, b) | SymBool::Eq(a, b) | SymBool::Ne(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            SymBool::And(a, b) | SymBool::Or(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            SymBool::Not(a) => a.vars(out),
+        }
+    }
+
+    /// The negation of this constraint (with double negation folded).
+    pub fn negate(&self) -> SymBool {
+        match self {
+            SymBool::Const(b) => SymBool::Const(!b),
+            SymBool::Not(inner) => (**inner).clone(),
+            other => SymBool::Not(Box::new(other.clone())),
+        }
+    }
+}
+
+/// A path condition φ: a conjunction of constraints accumulated at guards.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathCondition {
+    /// The conjuncts, in the order the path accumulated them.
+    pub conjuncts: Vec<SymBool>,
+}
+
+impl PathCondition {
+    /// The empty (always-true) condition.
+    pub fn new() -> PathCondition {
+        PathCondition::default()
+    }
+
+    /// Extends the condition with one more conjunct.
+    pub fn push(&mut self, c: SymBool) {
+        self.conjuncts.push(c);
+    }
+
+    /// Evaluates the whole conjunction under `assignment`.
+    pub fn eval(&self, assignment: &[i64]) -> Option<bool> {
+        for c in &self.conjuncts {
+            if !c.eval(assignment)? {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// All variables mentioned by the condition.
+    pub fn vars(&self) -> std::collections::BTreeSet<SymVar> {
+        let mut out = std::collections::BTreeSet::new();
+        for c in &self.conjuncts {
+            c.vars(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(i: u32) -> SymInt {
+        SymInt::Var(SymVar(i))
+    }
+
+    #[test]
+    fn constant_folding_in_binary() {
+        let e = SymInt::binary(IntOp::Add, SymInt::Const(2), SymInt::Const(3));
+        assert_eq!(e, SymInt::Const(5));
+        let e = SymInt::binary(IntOp::Add, var(0), SymInt::Const(3));
+        assert!(matches!(e, SymInt::Add(_, _)));
+    }
+
+    #[test]
+    fn eval_respects_assignment() {
+        let e = SymInt::binary(IntOp::Mul, var(0), SymInt::Const(2));
+        assert_eq!(e.eval(&[21]), Some(42));
+    }
+
+    #[test]
+    fn division_by_zero_fails_eval() {
+        let e = SymInt::binary(IntOp::Div, SymInt::Const(1), var(0));
+        assert_eq!(e.eval(&[0]), None);
+        assert_eq!(e.eval(&[2]), Some(0));
+    }
+
+    #[test]
+    fn path_condition_conjunction() {
+        let mut pc = PathCondition::new();
+        pc.push(SymBool::Lt(var(0), SymInt::Const(10)));
+        pc.push(SymBool::Lt(SymInt::Const(0), var(0)));
+        assert_eq!(pc.eval(&[5]), Some(true));
+        assert_eq!(pc.eval(&[15]), Some(false));
+        assert_eq!(pc.eval(&[0]), Some(false));
+    }
+
+    #[test]
+    fn negate_folds_double_negation() {
+        let c = SymBool::Lt(var(0), SymInt::Const(1));
+        assert_eq!(c.negate().negate(), c);
+    }
+
+    #[test]
+    fn vars_collects_all_mentions() {
+        let mut pc = PathCondition::new();
+        pc.push(SymBool::Eq(var(0), var(2)));
+        pc.push(SymBool::Ne(var(1), SymInt::Const(0)));
+        let vars = pc.vars();
+        assert_eq!(vars.len(), 3);
+    }
+}

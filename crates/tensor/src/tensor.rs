@@ -1,0 +1,272 @@
+//! Dense `f32` tensors (vectors and matrices).
+//!
+//! The reproduction's models only ever need rank-1 and rank-2 tensors
+//! (hidden states, weight matrices), so [`Tensor`] is a row-major 2-D
+//! array; vectors are `n × 1`. Kernels are deliberately simple and
+//! deterministic — no BLAS, no threading — so gradient checks and paper
+//! experiments are exactly reproducible.
+
+use std::fmt;
+
+/// A row-major 2-D tensor of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Tensor {
+        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Tensor {
+        Tensor { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a tensor from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Tensor {
+        assert_eq!(data.len(), rows * cols, "shape ({rows}×{cols}) does not match data length");
+        Tensor { rows, cols, data }
+    }
+
+    /// A column vector from data.
+    pub fn vector(data: Vec<f32>) -> Tensor {
+        let rows = data.len();
+        Tensor { rows, cols: 1, data }
+    }
+
+    /// A 1×1 tensor.
+    pub fn scalar(v: f32) -> Tensor {
+        Tensor { rows: 1, cols: 1, data: vec![v] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True for `n × 1` tensors.
+    pub fn is_vector(&self) -> bool {
+        self.cols == 1
+    }
+
+    /// The underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of ({}, {})", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The single element of a 1×1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not 1×1.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() on non-scalar tensor");
+        self.data[0]
+    }
+
+    /// Matrix–vector product `self · x` (self is `m × n`, `x` is `n × 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matvec(&self, x: &Tensor) -> Tensor {
+        assert!(x.is_vector(), "matvec rhs must be a vector");
+        assert_eq!(self.cols, x.rows, "matvec shape mismatch {}×{} · {}", self.rows, self.cols, x.rows);
+        let mut out = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (w, v) in row.iter().zip(&x.data) {
+                acc += w * v;
+            }
+            out[r] = acc;
+        }
+        Tensor::vector(out)
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn matvec_t(&self, g: &Tensor) -> Tensor {
+        assert!(g.is_vector());
+        assert_eq!(self.rows, g.rows, "matvec_t shape mismatch");
+        let mut out = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            let gv = g.data[r];
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += w * gv;
+            }
+        }
+        Tensor::vector(out)
+    }
+
+    /// Accumulates `alpha * other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.rows, other.rows, "axpy shape mismatch");
+        assert_eq!(self.cols, other.cols, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Accumulates the outer product `alpha * g ⊗ x` into `self`
+    /// (`self` is `m × n`, `g` is `m × 1`, `x` is `n × 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_outer(&mut self, alpha: f32, g: &Tensor, x: &Tensor) {
+        assert_eq!(self.rows, g.rows, "add_outer shape mismatch");
+        assert_eq!(self.cols, x.rows, "add_outer shape mismatch");
+        for r in 0..self.rows {
+            let gv = alpha * g.data[r];
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (w, v) in row.iter_mut().zip(&x.data) {
+                *w += gv * v;
+            }
+        }
+    }
+
+    /// Dot product of two equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.data.len(), other.data.len(), "dot length mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Fills the tensor with zeros.
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}×{})[", self.rows, self.cols)?;
+        let n = self.data.len().min(8);
+        for (i, v) in self.data[..n].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > n {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_manual() {
+        let w = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = Tensor::vector(vec![1.0, 0.0, -1.0]);
+        let y = w.matvec(&x);
+        assert_eq!(y.data(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_product() {
+        let w = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = Tensor::vector(vec![1.0, 2.0]);
+        let y = w.matvec_t(&g);
+        assert_eq!(y.data(), &[9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut w = Tensor::zeros(2, 2);
+        let g = Tensor::vector(vec![1.0, 2.0]);
+        let x = Tensor::vector(vec![3.0, 4.0]);
+        w.add_outer(1.0, &g, &x);
+        assert_eq!(w.data(), &[3.0, 4.0, 6.0, 8.0]);
+        w.add_outer(-1.0, &g, &x);
+        assert_eq!(w.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let w = Tensor::zeros(2, 3);
+        let x = Tensor::vector(vec![1.0, 2.0]);
+        let _ = w.matvec(&x);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Tensor::zeros(1, 1)).is_empty());
+    }
+}

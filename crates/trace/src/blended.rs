@@ -1,0 +1,241 @@
+//! Blended traces (Definition 5.1) and path grouping.
+//!
+//! A blended trace λ pairs one symbolic trace σ with the program states the
+//! same statements created in several concrete executions of that path:
+//! λ = (θᵢ → θᵢ₊₁)* with θᵢ = ⟨eᵢ, Sᵢ⟩, Sᵢ = {s_{i,1} … s_{i,Nε}}.
+//!
+//! [`group_by_path`] reproduces the paper's §6.1 protocol: "we group
+//! concrete executions that traverse the same program path, and then
+//! decompose each path into a list of statements".
+
+use crate::execution::{ExecutionTrace, StateTrace, SymbolicTrace};
+use interp::State;
+use std::collections::HashMap;
+
+/// One ordered pair θᵢ = ⟨eᵢ, Sᵢ⟩ of a blended trace: a path step and the
+/// states each grouped concrete execution produced at that step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlendedStep {
+    /// Index into the owning trace's symbolic steps (always `i` for the
+    /// `i`-th step; kept for clarity when steps are sliced).
+    pub index: usize,
+    /// The states s_{i,1} … s_{i,Nε}, one per concrete trace.
+    pub states: Vec<State>,
+}
+
+/// A blended trace λ (Definition 5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlendedTrace {
+    /// The shared symbolic trace σ.
+    pub symbolic: SymbolicTrace,
+    /// The ordered pairs θ₁ … θ_{|λ|}.
+    pub steps: Vec<BlendedStep>,
+    /// How many concrete traces back this blended trace (Nε).
+    pub concrete_count: usize,
+}
+
+/// Error constructing a blended trace from mismatched inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlendError {
+    /// No concrete traces were supplied.
+    NoConcreteTraces,
+    /// A concrete trace's length differs from the symbolic trace's.
+    LengthMismatch {
+        /// Index of the offending concrete trace.
+        trace: usize,
+        /// Its length.
+        len: usize,
+        /// The symbolic trace's length.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for BlendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlendError::NoConcreteTraces => write!(f, "no concrete traces supplied"),
+            BlendError::LengthMismatch { trace, len, expected } => {
+                write!(f, "concrete trace {trace} has {len} states, path has {expected} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BlendError {}
+
+impl BlendedTrace {
+    /// Blends a symbolic trace with the state traces of concrete executions
+    /// along the same path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlendError`] when no concrete traces are given or when a
+    /// state trace's length disagrees with the path length (which would
+    /// mean it came from a different path).
+    pub fn new(
+        symbolic: SymbolicTrace,
+        concrete: Vec<StateTrace>,
+    ) -> Result<BlendedTrace, BlendError> {
+        if concrete.is_empty() {
+            return Err(BlendError::NoConcreteTraces);
+        }
+        let expected = symbolic.len();
+        for (i, c) in concrete.iter().enumerate() {
+            if c.len() != expected {
+                return Err(BlendError::LengthMismatch { trace: i, len: c.len(), expected });
+            }
+        }
+        let concrete_count = concrete.len();
+        let steps = (0..expected)
+            .map(|i| BlendedStep {
+                index: i,
+                states: concrete.iter().map(|c| c.states[i].clone()).collect(),
+            })
+            .collect();
+        Ok(BlendedTrace { symbolic, steps, concrete_count })
+    }
+
+    /// Length |λ| (number of ordered pairs).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Returns a copy keeping only the first `n` concrete traces — the
+    /// §6.1.2 concrete-trace down-sampling operation. `n` is clamped to at
+    /// least 1 and at most the available count.
+    pub fn with_concrete_limit(&self, n: usize) -> BlendedTrace {
+        let n = n.clamp(1, self.concrete_count);
+        BlendedTrace {
+            symbolic: self.symbolic.clone(),
+            steps: self
+                .steps
+                .iter()
+                .map(|s| BlendedStep { index: s.index, states: s.states[..n].to_vec() })
+                .collect(),
+            concrete_count: n,
+        }
+    }
+}
+
+/// A group of concrete executions that traverse the same program path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathGroup {
+    /// The shared path.
+    pub symbolic: SymbolicTrace,
+    /// The member executions.
+    pub traces: Vec<ExecutionTrace>,
+}
+
+impl PathGroup {
+    /// Blends this group into a [`BlendedTrace`] keeping at most
+    /// `max_concrete` members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlendError::NoConcreteTraces`] when the group is empty.
+    pub fn blend(&self, max_concrete: usize) -> Result<BlendedTrace, BlendError> {
+        let concrete: Vec<StateTrace> =
+            self.traces.iter().take(max_concrete.max(1)).map(ExecutionTrace::states).collect();
+        BlendedTrace::new(self.symbolic.clone(), concrete)
+    }
+}
+
+/// Groups executions by program path, preserving first-seen path order and
+/// within-path insertion order (so results are deterministic given a
+/// deterministic input order).
+pub fn group_by_path(traces: Vec<ExecutionTrace>) -> Vec<PathGroup> {
+    let mut order: Vec<SymbolicTrace> = Vec::new();
+    let mut groups: HashMap<SymbolicTrace, Vec<ExecutionTrace>> = HashMap::new();
+    for t in traces {
+        let key = t.symbolic();
+        let entry = groups.entry(key.clone()).or_default();
+        if entry.is_empty() {
+            order.push(key);
+        }
+        entry.push(t);
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let traces = groups.remove(&key).expect("key recorded on first insert");
+            PathGroup { symbolic: key, traces }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::{run, Value};
+
+    fn exec(src: &str, input: i64) -> ExecutionTrace {
+        let p = minilang::parse(src).unwrap();
+        let inputs = vec![Value::Int(input)];
+        let r = run(&p, &inputs).unwrap();
+        ExecutionTrace::from_run(inputs, r)
+    }
+
+    const BRANCHY: &str = "fn f(x: int) -> int { if (x > 0) { return 1; } return 0; }";
+
+    #[test]
+    fn groups_by_path() {
+        let traces = vec![exec(BRANCHY, 1), exec(BRANCHY, -1), exec(BRANCHY, 2), exec(BRANCHY, 3)];
+        let groups = group_by_path(traces);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].traces.len(), 3); // x>0 seen first
+        assert_eq!(groups[1].traces.len(), 1);
+    }
+
+    #[test]
+    fn blend_pairs_states_stepwise() {
+        let traces = vec![exec(BRANCHY, 1), exec(BRANCHY, 2)];
+        let groups = group_by_path(traces);
+        let blended = groups[0].blend(5).unwrap();
+        assert_eq!(blended.concrete_count, 2);
+        assert_eq!(blended.len(), 2); // guard + return
+        assert_eq!(blended.steps[0].states.len(), 2);
+    }
+
+    #[test]
+    fn blend_rejects_empty() {
+        let g = PathGroup {
+            symbolic: SymbolicTrace { steps: vec![] },
+            traces: vec![],
+        };
+        assert_eq!(g.blend(3).unwrap_err(), BlendError::NoConcreteTraces);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let t1 = exec(BRANCHY, 1);
+        let t2 = exec(BRANCHY, -1);
+        let err = BlendedTrace::new(t1.symbolic(), vec![t1.states(), t2.states()]);
+        // Both paths have 2 events here (guard+return), so force a mismatch
+        // differently: truncate one state trace.
+        let mut short = t1.states();
+        short.states.pop();
+        let err2 = BlendedTrace::new(t1.symbolic(), vec![short]);
+        assert!(matches!(err2.unwrap_err(), BlendError::LengthMismatch { .. }));
+        // Same-length different-path blending is (deliberately) not
+        // detectable here; grouping upstream prevents it.
+        let _ = err;
+    }
+
+    #[test]
+    fn concrete_limit_downsamples() {
+        let traces = vec![exec(BRANCHY, 1), exec(BRANCHY, 2), exec(BRANCHY, 3)];
+        let blended = group_by_path(traces)[0].blend(3).unwrap();
+        let reduced = blended.with_concrete_limit(1);
+        assert_eq!(reduced.concrete_count, 1);
+        assert!(reduced.steps.iter().all(|s| s.states.len() == 1));
+        // Clamped from below.
+        assert_eq!(blended.with_concrete_limit(0).concrete_count, 1);
+        // Clamped from above.
+        assert_eq!(blended.with_concrete_limit(99).concrete_count, 3);
+    }
+}

@@ -1,0 +1,183 @@
+//! State encoding: from runtime values to the dynamic vocabulary 𝒟_d.
+//!
+//! §5.1 of the paper: "𝒟_d refers to the set of all values any variable has
+//! ever been assigned in any concrete trace of any program in our dataset"
+//! and object values are flattened into arrays of primitives via `attr(v)`.
+//! This module maps each runtime value to its token sequence:
+//!
+//! - primitives (int, bool) become a single token; integers of large
+//!   magnitude are bucketed by sign and binary order of magnitude so the
+//!   vocabulary stays closed,
+//! - objects (arrays, strings) are flattened into bounded token sequences
+//!   (the fusion layer embeds these with an RNN, Equation 3),
+//! - ⊥ (not in scope) becomes the reserved `<BOT>` token, mirroring the
+//!   paper's "special symbol for the value of the objects whose definitions
+//!   are not accessible".
+
+use interp::{State, Value};
+
+/// Maximum number of elements kept when flattening an object value; longer
+/// values are truncated with a trailing [`MORE_TOKEN`].
+pub const MAX_FLATTEN: usize = 12;
+
+/// Token for ⊥ (variable not in scope).
+pub const BOT_TOKEN: &str = "<BOT>";
+
+/// Token marking a truncated flattening.
+pub const MORE_TOKEN: &str = "<MORE>";
+
+/// Token marking an empty object (zero-length array or string).
+pub const EMPTY_TOKEN: &str = "<EMPTY>";
+
+/// Magnitude threshold below which integers are their own token. Kept
+/// deliberately small: at reproduction scale, aggressive bucketing is what
+/// lets value embeddings repeat across programs often enough to be
+/// learnable (the paper's corpus is ~3 orders of magnitude larger).
+pub const DIRECT_INT_LIMIT: i64 = 8;
+
+/// The encoding of one variable's value in one program state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarEncoding {
+    /// A primitive value: a single vocabulary token. The fusion layer uses
+    /// the token's embedding directly (`h'ᵥ = xᵥ`).
+    Primitive(String),
+    /// An object value flattened to `attr(v)[0] … attr(v)[-1]`: the fusion
+    /// layer embeds the sequence with an RNN (Equation 3).
+    Object(Vec<String>),
+}
+
+impl VarEncoding {
+    /// All tokens of this encoding, in order.
+    pub fn tokens(&self) -> &[String] {
+        match self {
+            VarEncoding::Primitive(t) => std::slice::from_ref(t),
+            VarEncoding::Object(ts) => ts,
+        }
+    }
+}
+
+/// Encodes an integer as a vocabulary token, bucketing large magnitudes.
+pub fn encode_int(v: i64) -> String {
+    if v.abs() <= DIRECT_INT_LIMIT {
+        v.to_string()
+    } else {
+        let sign = if v < 0 { "N" } else { "P" };
+        let mag = 64 - v.unsigned_abs().leading_zeros(); // binary order of magnitude
+        format!("<INT_{sign}{mag}>")
+    }
+}
+
+/// Encodes one (possibly absent) value.
+pub fn encode_value(value: Option<&Value>) -> VarEncoding {
+    match value {
+        None => VarEncoding::Primitive(BOT_TOKEN.to_string()),
+        Some(Value::Int(v)) => VarEncoding::Primitive(encode_int(*v)),
+        Some(Value::Bool(b)) => VarEncoding::Primitive(b.to_string()),
+        Some(Value::Str(s)) => {
+            if s.is_empty() {
+                return VarEncoding::Object(vec![EMPTY_TOKEN.to_string()]);
+            }
+            let mut tokens: Vec<String> =
+                s.bytes().take(MAX_FLATTEN).map(|b| format!("'{}'", b as char)).collect();
+            if s.len() > MAX_FLATTEN {
+                tokens.push(MORE_TOKEN.to_string());
+            }
+            VarEncoding::Object(tokens)
+        }
+        Some(Value::Array(a)) => {
+            if a.is_empty() {
+                return VarEncoding::Object(vec![EMPTY_TOKEN.to_string()]);
+            }
+            let mut tokens: Vec<String> = a.iter().take(MAX_FLATTEN).map(|v| encode_int(*v)).collect();
+            if a.len() > MAX_FLATTEN {
+                tokens.push(MORE_TOKEN.to_string());
+            }
+            VarEncoding::Object(tokens)
+        }
+    }
+}
+
+/// Encodes every variable of a program state, in layout order.
+pub fn encode_state(state: &State) -> Vec<VarEncoding> {
+    state.values.iter().map(|v| encode_value(v.as_ref())).collect()
+}
+
+/// The reserved tokens every dynamic vocabulary must contain.
+pub fn reserved_tokens() -> Vec<String> {
+    vec![BOT_TOKEN.to_string(), MORE_TOKEN.to_string(), EMPTY_TOKEN.to_string()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_ints_are_direct_tokens() {
+        assert_eq!(encode_int(0), "0");
+        assert_eq!(encode_int(-8), "-8");
+        assert_eq!(encode_int(8), "8");
+    }
+
+    #[test]
+    fn large_ints_bucket_by_sign_and_magnitude() {
+        assert_eq!(encode_int(100), "<INT_P7>");
+        assert_eq!(encode_int(-100), "<INT_N7>");
+        assert_eq!(encode_int(9), "<INT_P4>");
+        assert_eq!(encode_int(1000), "<INT_P10>");
+        // Same bucket for same order of magnitude.
+        assert_eq!(encode_int(70), encode_int(127));
+        assert_ne!(encode_int(127), encode_int(128));
+    }
+
+    #[test]
+    fn bot_encodes_reserved_token() {
+        assert_eq!(encode_value(None), VarEncoding::Primitive(BOT_TOKEN.into()));
+    }
+
+    #[test]
+    fn arrays_flatten_to_element_tokens() {
+        let enc = encode_value(Some(&Value::Array(vec![8, 5, 1])));
+        assert_eq!(
+            enc,
+            VarEncoding::Object(vec!["8".into(), "5".into(), "1".into()])
+        );
+    }
+
+    #[test]
+    fn long_arrays_truncate_with_marker() {
+        let long: Vec<i64> = (0..40).collect();
+        let enc = encode_value(Some(&Value::Array(long)));
+        let tokens = enc.tokens();
+        assert_eq!(tokens.len(), MAX_FLATTEN + 1);
+        assert_eq!(tokens.last().unwrap(), MORE_TOKEN);
+    }
+
+    #[test]
+    fn strings_flatten_to_char_tokens() {
+        let enc = encode_value(Some(&Value::Str("ab".into())));
+        assert_eq!(enc, VarEncoding::Object(vec!["'a'".into(), "'b'".into()]));
+    }
+
+    #[test]
+    fn empty_objects_get_empty_token() {
+        assert_eq!(
+            encode_value(Some(&Value::Array(vec![]))),
+            VarEncoding::Object(vec![EMPTY_TOKEN.into()])
+        );
+        assert_eq!(
+            encode_value(Some(&Value::Str(String::new()))),
+            VarEncoding::Object(vec![EMPTY_TOKEN.into()])
+        );
+    }
+
+    #[test]
+    fn state_encoding_covers_all_slots() {
+        let state = State {
+            values: vec![Some(Value::Int(3)), None, Some(Value::Array(vec![1, 2]))],
+        };
+        let enc = encode_state(&state);
+        assert_eq!(enc.len(), 3);
+        assert!(matches!(enc[0], VarEncoding::Primitive(_)));
+        assert!(matches!(enc[2], VarEncoding::Object(_)));
+    }
+}

@@ -1,0 +1,219 @@
+//! Execution traces (Definition 2.1) and their projections.
+//!
+//! An execution trace π is the sequence s₀ → (eᵢ → sᵢ)*. Its projection
+//! onto statements is the *symbolic trace* σ (Definition 2.2); its
+//! projection onto states is the *state trace* ε (Definition 2.3) — see
+//! Figure 3 of the paper.
+
+use interp::{EventKind, PathStep, RunResult, State, TraceEvent, Value};
+use minilang::{Program, StmtId};
+
+/// An execution trace π (Definition 2.1): the initial state s₀ followed by
+/// the statement/state event sequence of one concrete run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    /// The initial program state s₀.
+    pub initial_state: State,
+    /// The events (eᵢ, sᵢ)* in execution order.
+    pub events: Vec<TraceEvent>,
+    /// The run's return value (used by the dataset filter and by the
+    /// COSET-style correctness check).
+    pub return_value: Value,
+    /// The concrete inputs that produced this trace.
+    pub inputs: Vec<Value>,
+}
+
+impl ExecutionTrace {
+    /// Builds an execution trace from an interpreter result.
+    pub fn from_run(inputs: Vec<Value>, run: RunResult) -> ExecutionTrace {
+        ExecutionTrace {
+            initial_state: run.initial_state,
+            events: run.events,
+            return_value: run.return_value,
+            inputs,
+        }
+    }
+
+    /// The symbolic-trace projection σ (Definition 2.2).
+    pub fn symbolic(&self) -> SymbolicTrace {
+        SymbolicTrace { steps: self.events.iter().map(TraceEvent::path_step).collect() }
+    }
+
+    /// The state-trace projection ε (Definition 2.3).
+    pub fn states(&self) -> StateTrace {
+        StateTrace { states: self.events.iter().map(|e| e.state.clone()).collect() }
+    }
+
+    /// Number of events (the trace length |π| excluding s₀).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no statement executed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A symbolic trace σ (Definition 2.2): the sequence of statements visited
+/// along one program path. Two runs traverse the same path iff their
+/// symbolic traces are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymbolicTrace {
+    /// The path steps: statement ids with guard directions.
+    pub steps: Vec<PathStep>,
+}
+
+impl SymbolicTrace {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The distinct statements on this path.
+    pub fn stmt_set(&self) -> std::collections::BTreeSet<StmtId> {
+        self.steps.iter().map(|s| s.stmt).collect()
+    }
+
+    /// The distinct source lines this path covers, resolved against the
+    /// program the trace came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a step references a statement id not present in `program`
+    /// (i.e. the trace belongs to a different program).
+    pub fn line_set(&self, program: &Program) -> std::collections::BTreeSet<u32> {
+        let stmts = program.statements();
+        self.steps
+            .iter()
+            .map(|s| {
+                stmts
+                    .iter()
+                    .find(|st| st.id == s.stmt)
+                    .unwrap_or_else(|| panic!("trace step {} not in program", s.stmt))
+                    .line
+            })
+            .collect()
+    }
+
+    /// The labelled statement trees along this path — what the fusion
+    /// layer's TreeLSTM embeds. Guards become [`minilang::guard_tree`]s of
+    /// the branching statement's condition; simple statements become their
+    /// own [`minilang::stmt_tree`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace does not belong to `program`.
+    pub fn stmt_trees(&self, program: &Program) -> Vec<minilang::AstTree> {
+        let stmts = program.statements();
+        self.steps
+            .iter()
+            .map(|step| {
+                let stmt = stmts
+                    .iter()
+                    .find(|st| st.id == step.stmt)
+                    .unwrap_or_else(|| panic!("trace step {} not in program", step.stmt));
+                match step.kind {
+                    EventKind::Exec => minilang::stmt_tree(stmt),
+                    EventKind::Guard { taken } => {
+                        let cond = match &stmt.kind {
+                            minilang::StmtKind::If { cond, .. }
+                            | minilang::StmtKind::While { cond, .. }
+                            | minilang::StmtKind::For { cond, .. } => cond,
+                            other => panic!("guard event on non-branching statement {other:?}"),
+                        };
+                        minilang::guard_tree(cond, taken)
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A state trace ε (Definition 2.3): the sequence of program states created
+/// in one execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateTrace {
+    /// The states s₁ … sₙ (excluding the initial state).
+    pub states: Vec<State>,
+}
+
+impl StateTrace {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the trace has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interp::run;
+
+    fn trace_of(src: &str, inputs: Vec<Value>) -> (Program, ExecutionTrace) {
+        let p = minilang::parse(src).unwrap();
+        let r = run(&p, &inputs).unwrap();
+        let t = ExecutionTrace::from_run(inputs, r);
+        (p, t)
+    }
+
+    #[test]
+    fn projections_partition_the_execution_trace() {
+        let (_, t) = trace_of(
+            "fn f(x: int) -> int { let y: int = x * 2; return y; }",
+            vec![Value::Int(3)],
+        );
+        let sym = t.symbolic();
+        let st = t.states();
+        assert_eq!(sym.len(), t.len());
+        assert_eq!(st.len(), t.len());
+        for (i, e) in t.events.iter().enumerate() {
+            assert_eq!(sym.steps[i], e.path_step());
+            assert_eq!(st.states[i], e.state);
+        }
+    }
+
+    #[test]
+    fn same_path_means_equal_symbolic_traces() {
+        let src = "fn f(x: int) -> int { if (x > 0) { return 1; } return 0; }";
+        let (_, t1) = trace_of(src, vec![Value::Int(5)]);
+        let (_, t2) = trace_of(src, vec![Value::Int(99)]);
+        let (_, t3) = trace_of(src, vec![Value::Int(-1)]);
+        assert_eq!(t1.symbolic(), t2.symbolic());
+        assert_ne!(t1.symbolic(), t3.symbolic());
+    }
+
+    #[test]
+    fn stmt_trees_match_symbolic_steps() {
+        let (p, t) = trace_of(
+            "fn f(x: int) -> int { if (x > 0) { x += 1; } return x; }",
+            vec![Value::Int(2)],
+        );
+        let sym = t.symbolic();
+        let trees = sym.stmt_trees(&p);
+        assert_eq!(trees.len(), sym.len());
+        // First event is the guard, taken.
+        assert_eq!(
+            trees[0].label,
+            minilang::NodeLabel::NonTerminal(minilang::AstNodeType::GuardTrue)
+        );
+    }
+
+    #[test]
+    fn line_set_resolves_against_program() {
+        let src = "fn f(x: int) -> int {\nif (x > 0) {\nreturn 1;\n}\nreturn 0;\n}";
+        let (p, t) = trace_of(src, vec![Value::Int(1)]);
+        let lines = t.symbolic().line_set(&p);
+        assert!(lines.contains(&2) && lines.contains(&3) && !lines.contains(&5));
+    }
+}

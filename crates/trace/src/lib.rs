@@ -1,0 +1,50 @@
+//! # trace — execution, symbolic, state, and blended traces
+//!
+//! Implements the formal objects of the paper's Sections 2 and 5.1:
+//!
+//! - [`ExecutionTrace`] — π = s₀ → (eᵢ → sᵢ)* (Definition 2.1),
+//! - [`SymbolicTrace`] — the statement projection σ (Definition 2.2),
+//! - [`StateTrace`] — the state projection ε (Definition 2.3),
+//! - [`BlendedTrace`] — λ = (⟨eᵢ, Sᵢ⟩ → …)* (Definition 5.1),
+//! - [`group_by_path`] — the grouping of concrete executions by program
+//!   path used to assemble blended traces (§6.1), and
+//! - [`encode`] — the state-to-token encoding that populates the dynamic
+//!   vocabulary 𝒟_d, including the `attr(v)` flattening of object values.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use interp::Value;
+//! use trace::{group_by_path, ExecutionTrace};
+//!
+//! let program = minilang::parse(
+//!     "fn signOf(x: int) -> int { if (x > 0) { return 1; } return 0; }",
+//! )?;
+//! let traces: Vec<ExecutionTrace> = [3, -3, 8]
+//!     .into_iter()
+//!     .map(|x| {
+//!         let inputs = vec![Value::Int(x)];
+//!         let run = interp::run(&program, &inputs)?;
+//!         Ok(ExecutionTrace::from_run(inputs, run))
+//!     })
+//!     .collect::<Result<_, interp::RuntimeError>>()?;
+//!
+//! let groups = group_by_path(traces);
+//! assert_eq!(groups.len(), 2); // positive path and non-positive path
+//! let blended = groups[0].blend(5)?;
+//! assert_eq!(blended.concrete_count, 2); // x = 3 and x = 8
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod blended;
+pub mod encode;
+pub mod execution;
+
+pub use blended::{group_by_path, BlendError, BlendedStep, BlendedTrace, PathGroup};
+pub use encode::{
+    encode_int, encode_state, encode_value, reserved_tokens, VarEncoding, BOT_TOKEN,
+    DIRECT_INT_LIMIT, EMPTY_TOKEN, MAX_FLATTEN, MORE_TOKEN,
+};
+pub use execution::{ExecutionTrace, StateTrace, SymbolicTrace};

@@ -1,0 +1,43 @@
+//! Data reliance (§6.1.2): how much do LIGER and DYPRO depend on the
+//! number of executions? Reduces concrete traces (path coverage constant)
+//! and symbolic traces (line coverage preserved via the greedy minimum
+//! cover), retraining both models at each level.
+//!
+//! ```text
+//! cargo run --release --example data_reliance
+//! ```
+
+use eval::{
+    build_method_dataset, concrete_markdown, fig6_concrete, fig6_symbolic, symbolic_markdown,
+    Scale,
+};
+use liger::Ablation;
+
+fn main() {
+    let scale = Scale::tiny();
+    println!("building the dataset at scale '{}'…\n", scale.name);
+    let (dataset, _) = build_method_dataset(&scale);
+
+    let avg_paths: f64 = dataset.train.iter().map(|s| s.blended.len() as f64).sum::<f64>()
+        / dataset.train.len().max(1) as f64;
+    let avg_cover: f64 = dataset.train.iter().map(|s| s.min_cover as f64).sum::<f64>()
+        / dataset.train.len().max(1) as f64;
+    println!(
+        "average paths per method: {avg_paths:.1}; average minimum line-cover: {avg_cover:.1}\n"
+    );
+
+    println!("— reducing concrete traces per blended trace (Fig. 6a/6b) —");
+    let concrete = fig6_concrete(&dataset, &scale, Ablation::Full);
+    println!("{}", concrete_markdown("concrete-reduction", &concrete));
+
+    println!("— reducing symbolic traces, line coverage preserved (Fig. 6c/6d) —");
+    let symbolic = fig6_symbolic(&dataset, &scale, Ablation::Full);
+    println!("{}", symbolic_markdown("symbolic-reduction", &symbolic));
+
+    println!(
+        "(Paper shape: LIGER's F1 stays nearly flat under both reductions until the\n\
+         single-trace extreme; DYPRO degrades with fewer executions. The attention\n\
+         column reproduces the §6.1.2 statistic — the symbolic dimension holds a\n\
+         stable majority share of the fusion weight.)"
+    );
+}

@@ -1,0 +1,40 @@
+//! Method-name prediction (the paper's §6.1 task) at example scale:
+//! generates a small corpus, trains all four models, and prints a
+//! Table 2-style comparison.
+//!
+//! ```text
+//! cargo run --release --example method_name_prediction
+//! ```
+
+use eval::{build_method_dataset, table2, table2_markdown, Scale};
+
+fn main() {
+    let scale = Scale::tiny();
+    println!("generating the method-name corpus at scale '{}'…", scale.name);
+    let (dataset, stats) = build_method_dataset(&scale);
+    println!(
+        "corpus: {} generated → {} kept ({} no-compile, {} no-exec, {} timeout, {} too-small)",
+        stats.original, stats.kept, stats.no_compile, stats.no_exec, stats.timeout, stats.too_small
+    );
+    println!(
+        "split: {} train / {} test; input vocabulary {} tokens\n",
+        dataset.train.len(),
+        dataset.test.len(),
+        dataset.vocabs.input.len()
+    );
+
+    println!("training code2vec, code2seq, DYPRO, and LIGER (this takes a minute)…\n");
+    let rows = table2(&dataset, &scale);
+    println!("{}", table2_markdown(&scale.name, &rows));
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.1.f1.partial_cmp(&b.1.f1).expect("finite"))
+        .expect("rows non-empty");
+    println!("best model by F1: {}", best.0);
+    println!(
+        "\n(Paper shape on full-scale data: LIGER > DYPRO > code2seq > code2vec.\n\
+         Run `LIGER_SCALE=med cargo bench -p bench --bench table2_method_name`\n\
+         for the bench-scale regeneration.)"
+    );
+}

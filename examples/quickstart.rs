@@ -1,0 +1,87 @@
+//! Quickstart: the whole pipeline on one method.
+//!
+//! Parse a MiniLang method, collect concrete executions with the
+//! feedback-directed generator, group them into blended traces, train
+//! LIGER for a few epochs, and predict the method's name.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use liger::{
+    encode_program, program_into_vocab, EncodeOptions, LigerConfig, LigerNamer, NameSample,
+    OutVocab, TrainConfig, Vocab,
+};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "fn maxArray(a: array<int>) -> int {
+        if (len(a) == 0) { return 0; }
+        let best: int = a[0];
+        for (let i: int = 1; i < len(a); i += 1) {
+            if (a[i] > best) { best = a[i]; }
+        }
+        return best;
+    }";
+    println!("== Source ==\n{source}\n");
+
+    // 1. Front end: parse and type-check.
+    let program = minilang::parse(source)?;
+    minilang::typecheck(&program)?;
+
+    // 2. Dynamic side: feedback-directed random executions, grouped by
+    //    program path (the Randoop role, §6.1 of the paper).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let gen_config = randgen::GenConfig {
+        target_paths: 6,
+        concrete_per_path: 3,
+        ..randgen::GenConfig::default()
+    };
+    let (groups, stats) = randgen::generate_grouped(&program, &gen_config, &mut rng);
+    println!(
+        "collected {} executions over {} paths ({} attempts, {} failures)",
+        stats.kept, stats.paths, stats.attempts, stats.failures
+    );
+
+    // 3. Blend: pair each path's symbolic trace with its concrete states
+    //    (Definition 5.1).
+    let blended: Vec<trace::BlendedTrace> =
+        groups.iter().filter_map(|g| g.blend(3).ok()).collect();
+    println!("built {} blended traces\n", blended.len());
+
+    // 4. Vocabularies and the model-ready encoding.
+    let opts = EncodeOptions::default();
+    let mut vocab = Vocab::new();
+    program_into_vocab(&program, &blended, &mut vocab, &opts);
+    let mut out_vocab = OutVocab::new();
+    for t in minilang::subtokens("maxArray") {
+        out_vocab.add(&t);
+    }
+    let encoded = encode_program(&program, &blended, &vocab, &opts);
+    println!("input vocabulary: {} tokens; encoded steps: {}", vocab.len(), encoded.total_steps());
+
+    // 5. Train LIGER to name the method.
+    let mut store = tensor::ParamStore::new();
+    let cfg = LigerConfig { hidden: 16, attn: 16, ..LigerConfig::default() };
+    let namer = LigerNamer::new(&mut store, vocab.len(), out_vocab.len(), cfg, &mut rng);
+    let samples =
+        vec![NameSample { program: encoded.clone(), target: out_vocab.encode_name("maxArray") }];
+    let tc = TrainConfig { epochs: 30, lr: 0.05, batch_size: 1 };
+    let losses = liger::train_namer(&namer, &mut store, &samples, &tc, &mut rng);
+    println!(
+        "training loss: {:.3} → {:.3} over {} epochs",
+        losses[0],
+        losses.last().unwrap(),
+        losses.len()
+    );
+
+    // 6. Predict.
+    let predicted = out_vocab.decode_name(&namer.predict(&store, &encoded));
+    println!("\npredicted name sub-tokens: {predicted:?}");
+    println!("joined: {}", minilang::join_subtokens(&predicted));
+
+    if let Some(attention) = namer.static_attention(&store, &encoded) {
+        println!("mean fusion attention on the symbolic dimension: {attention:.3}");
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Semantics classification (the paper's §6.2 COSET task) at example
+//! scale: tell apart algorithmic strategies — bubble vs. insertion vs.
+//! selection sort, Euclid-by-mod vs. Euclid-by-subtraction, … — that all
+//! produce the same outputs.
+//!
+//! ```text
+//! cargo run --release --example semantics_classification
+//! ```
+
+use eval::{build_coset_dataset, table3, table3_markdown, Scale};
+
+fn main() {
+    let scale = Scale::tiny();
+    println!("generating the COSET-like corpus at scale '{}'…", scale.name);
+    let (dataset, stats) = build_coset_dataset(&scale);
+    println!(
+        "corpus: {} generated → {} kept; {} classes; {} train / {} test\n",
+        stats.original,
+        stats.kept,
+        dataset.num_classes,
+        dataset.train.len(),
+        dataset.test.len()
+    );
+
+    // Show why this is hard: two strategies for the same problem are
+    // I/O-identical.
+    let knobs = datagen::Knobs::plain();
+    let gcd_mod = datagen::Strategy::GcdMod.render(&knobs);
+    let gcd_sub = datagen::Strategy::GcdSub.render(&knobs);
+    let pm = minilang::parse(&gcd_mod).unwrap();
+    let ps = minilang::parse(&gcd_sub).unwrap();
+    let inputs = vec![interp::Value::Int(12), interp::Value::Int(18)];
+    let out_mod = interp::run(&pm, &inputs).unwrap().return_value;
+    let out_sub = interp::run(&ps, &inputs).unwrap().return_value;
+    println!(
+        "example confusable pair: gcd-by-mod({inputs:?}) = {out_mod}, gcd-by-subtraction = {out_sub} — \
+         identical outputs, different algorithms to classify.\n"
+    );
+
+    println!("training DYPRO and LIGER classifiers…\n");
+    let rows = table3(&dataset, &scale);
+    println!("{}", table3_markdown(&rows));
+    println!(
+        "(Paper shape: LIGER beats DYPRO — 85.4%/0.85 vs 81.6%/0.81 at full scale.)"
+    );
+}

@@ -1,0 +1,4 @@
+#!/bin/bash
+# Extracts every regenerated table/figure row from bench_output.txt —
+# convenient when updating EXPERIMENTS.md after a bench run.
+grep -E "^\||^====|Figure|Table|mean static|avg paths|dataset:|corpus:" "${1:-bench_output.txt}"

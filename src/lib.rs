@@ -1,0 +1,36 @@
+//! # liger-repro — reproduction of *Blended, Precise Semantic Program
+//! Embeddings* (Wang & Su, PLDI 2020)
+//!
+//! This is the workspace façade crate: it re-exports every subsystem and
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`).
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`minilang`] | the Java-like language substrate (lexer, parser, AST, types, trees) |
+//! | [`interp`] | tracing interpreter (Definition 2.1 execution traces) |
+//! | [`trace`] | symbolic/state/blended traces, path grouping, state encoding |
+//! | [`symexec`] | symbolic executor + bounded path-condition solver |
+//! | [`randgen`] | feedback-directed random input generation (Randoop role) |
+//! | [`tensor`] | reverse-mode autodiff engine |
+//! | [`nn`] | RNN / LSTM / TreeLSTM / attention / embeddings / Adam |
+//! | [`liger`] | the blended model: encoder, decoder, classifier, training |
+//! | [`baselines`] | code2vec, code2seq, DYPRO reimplementations |
+//! | [`datagen`] | synthetic method-name and COSET-like corpora |
+//! | [`eval`] | metrics, experiment drivers for every table & figure |
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system
+//! inventory and experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use baselines;
+pub use datagen;
+pub use eval;
+pub use interp;
+pub use liger;
+pub use minilang;
+pub use nn;
+pub use randgen;
+pub use symexec;
+pub use tensor;
+pub use trace;

@@ -1,0 +1,112 @@
+//! Property-based tests over the autodiff engine: analytic gradients of
+//! randomly-shaped computation graphs match numerical differentiation,
+//! and probability-producing ops satisfy their invariants.
+
+use proptest::prelude::*;
+use tensor::{grad_check, Graph, ParamStore, Tensor};
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0f32..1.0, len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// softmax outputs a probability vector for any finite input.
+    #[test]
+    fn softmax_is_a_distribution(data in small_vec(6)) {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::vector(data));
+        let y = g.softmax(x);
+        let out = g.value(y).data();
+        let sum: f32 = out.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5);
+        prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// A random 2-layer network's gradients agree with central differences
+    /// for every parameter.
+    #[test]
+    fn random_mlp_gradients_match_numerics(
+        w1 in small_vec(12), // 4×3
+        w2 in small_vec(8),  // 2×4
+        x in small_vec(3),
+        target in 0usize..2,
+    ) {
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", Tensor::from_vec(4, 3, w1));
+        let w2 = store.add("w2", Tensor::from_vec(2, 4, w2));
+        let build = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let w1v = g.param(s, w1);
+            let w2v = g.param(s, w2);
+            let xv = g.input(Tensor::vector(x.clone()));
+            let h = g.matvec(w1v, xv);
+            let h = g.tanh(h);
+            let o = g.matvec(w2v, h);
+            let l = g.cross_entropy(o, target);
+            (g, l)
+        };
+        let (g, l) = build(&store);
+        g.backward(l, &mut store);
+        let report = grad_check(&store, &[w1, w2], 1e-3, |s| {
+            let (g, l) = build(s);
+            g.value(l).item()
+        });
+        prop_assert!(report.passes(2e-2), "max error {}", report.max_abs_error);
+    }
+
+    /// Attention-style weighted sums: analytic gradients through softmax,
+    /// stack, dot and weighted_sum agree with numerics.
+    #[test]
+    fn attention_pattern_gradients_match_numerics(
+        q in small_vec(3),
+        k1 in small_vec(3),
+        k2 in small_vec(3),
+        k3 in small_vec(3),
+    ) {
+        let mut store = ParamStore::new();
+        let qp = store.add("q", Tensor::vector(q));
+        let keys = [
+            store.add("k1", Tensor::vector(k1)),
+            store.add("k2", Tensor::vector(k2)),
+            store.add("k3", Tensor::vector(k3)),
+        ];
+        let build = |s: &ParamStore| {
+            let mut g = Graph::new();
+            let qv = g.param(s, qp);
+            let kvs: Vec<_> = keys.iter().map(|&k| g.param(s, k)).collect();
+            let scores: Vec<_> = kvs.iter().map(|&k| g.dot(k, qv)).collect();
+            let stacked = g.stack_scalars(&scores);
+            let weights = g.softmax(stacked);
+            let ctx = g.weighted_sum(&kvs, weights);
+            let l = g.cross_entropy(ctx, 1);
+            (g, l)
+        };
+        let (g, l) = build(&store);
+        g.backward(l, &mut store);
+        let mut params = vec![qp];
+        params.extend_from_slice(&keys);
+        let report = grad_check(&store, &params, 1e-3, |s| {
+            let (g, l) = build(s);
+            g.value(l).item()
+        });
+        prop_assert!(report.passes(2e-2), "max error {}", report.max_abs_error);
+    }
+
+    /// max_pool is idempotent and dominated by its inputs.
+    #[test]
+    fn max_pool_laws(a in small_vec(5), b in small_vec(5)) {
+        let mut g = Graph::new();
+        let av = g.input(Tensor::vector(a.clone()));
+        let bv = g.input(Tensor::vector(b.clone()));
+        let m = g.max_pool(&[av, bv]);
+        let out = g.value(m).data().to_vec();
+        for i in 0..5 {
+            prop_assert_eq!(out[i], a[i].max(b[i]));
+        }
+        // Idempotence: pooling the result with itself changes nothing.
+        let m2 = g.max_pool(&[m, m]);
+        prop_assert_eq!(g.value(m2).data(), &out[..]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Integration test: trained weights survive a save/load round trip with
+//! bit-identical predictions (checkpointing across the tensor and liger
+//! crates).
+
+use liger::{
+    encode_program, program_into_vocab, EncodeOptions, LigerConfig, LigerNamer, NameSample,
+    OutVocab, TrainConfig, Vocab,
+};
+use rand::SeedableRng;
+
+#[test]
+fn saved_weights_reproduce_predictions() {
+    let program = minilang::parse(
+        "fn sumArray(a: array<int>) -> int {
+            let s: int = 0;
+            for (let i: int = 0; i < len(a); i += 1) { s += a[i]; }
+            return s;
+        }",
+    )
+    .unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let (groups, _) = randgen::generate_grouped(
+        &program,
+        &randgen::GenConfig { target_paths: 4, concrete_per_path: 2, ..Default::default() },
+        &mut rng,
+    );
+    let blended: Vec<trace::BlendedTrace> =
+        groups.iter().filter_map(|g| g.blend(2).ok()).collect();
+
+    let opts = EncodeOptions::default();
+    let mut vocab = Vocab::new();
+    program_into_vocab(&program, &blended, &mut vocab, &opts);
+    let mut out_vocab = OutVocab::new();
+    out_vocab.add("sum");
+    out_vocab.add("array");
+    let encoded = encode_program(&program, &blended, &vocab, &opts);
+
+    // Train briefly.
+    let mut store = tensor::ParamStore::new();
+    let cfg = LigerConfig { hidden: 8, attn: 8, ..LigerConfig::default() };
+    let namer = LigerNamer::new(&mut store, vocab.len(), out_vocab.len(), cfg, &mut rng);
+    let samples = vec![NameSample {
+        program: encoded.clone(),
+        target: out_vocab.encode_name("sumArray"),
+    }];
+    liger::train_namer(
+        &namer,
+        &mut store,
+        &samples,
+        &TrainConfig { epochs: 15, lr: 0.05, batch_size: 1 },
+        &mut rng,
+    );
+    let before = namer.predict(&store, &encoded);
+
+    // Round-trip the weights through the text format.
+    let text = tensor::save_store(&store);
+    let loaded = tensor::load_store(&text).unwrap();
+    assert_eq!(loaded.len(), store.len());
+    assert_eq!(loaded.num_scalars(), store.num_scalars());
+
+    // The same architecture over the loaded store predicts identically.
+    let after = namer.predict(&loaded, &encoded);
+    assert_eq!(before, after, "loaded weights changed the prediction");
+
+    // Values really are bit-identical.
+    for i in 0..store.len() {
+        let id = tensor::ParamId(i);
+        assert_eq!(store.get(id).value, loaded.get(id).value, "param {i} drifted");
+        assert_eq!(store.get(id).name, loaded.get(id).name);
+    }
+}

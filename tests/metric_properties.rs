@@ -1,0 +1,100 @@
+//! Property-based tests of the evaluation metric (§6.1.1's sub-token
+//! precision/recall/F1) and of the down-sampling machinery.
+
+use eval::PrecisionRecallF1;
+use proptest::prelude::*;
+
+fn subtoken() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec![
+        "sum".to_string(),
+        "max".to_string(),
+        "array".to_string(),
+        "count".to_string(),
+        "find".to_string(),
+        "value".to_string(),
+    ])
+}
+
+fn name() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(subtoken(), 1..4)
+}
+
+proptest! {
+    /// Scores are bounded percentages.
+    #[test]
+    fn scores_are_bounded(pred in name(), truth in name()) {
+        let mut m = PrecisionRecallF1::default();
+        m.add(&pred, &truth);
+        prop_assert!((0.0..=100.0).contains(&m.precision()));
+        prop_assert!((0.0..=100.0).contains(&m.recall()));
+        prop_assert!((0.0..=100.0).contains(&m.f1()));
+    }
+
+    /// Predicting the truth exactly (any order) is a perfect score.
+    #[test]
+    fn permuted_truth_is_perfect(truth in name()) {
+        let mut reversed = truth.clone();
+        reversed.reverse();
+        let mut m = PrecisionRecallF1::default();
+        m.add(&reversed, &truth);
+        prop_assert_eq!(m.f1(), 100.0);
+    }
+
+    /// Swapping prediction and truth swaps precision and recall.
+    #[test]
+    fn precision_recall_duality(a in name(), b in name()) {
+        let mut m1 = PrecisionRecallF1::default();
+        m1.add(&a, &b);
+        let mut m2 = PrecisionRecallF1::default();
+        m2.add(&b, &a);
+        prop_assert!((m1.precision() - m2.recall()).abs() < 1e-9);
+        prop_assert!((m1.recall() - m2.precision()).abs() < 1e-9);
+        // F1 is symmetric.
+        prop_assert!((m1.f1() - m2.f1()).abs() < 1e-9);
+    }
+
+    /// A strictly-larger prediction set never increases precision and
+    /// never decreases recall.
+    #[test]
+    fn monotonicity_of_extension(pred in name(), truth in name(), extra in subtoken()) {
+        let mut base = PrecisionRecallF1::default();
+        base.add(&pred, &truth);
+        let mut extended_pred = pred.clone();
+        extended_pred.push(extra);
+        let mut ext = PrecisionRecallF1::default();
+        ext.add(&extended_pred, &truth);
+        prop_assert!(ext.recall() >= base.recall() - 1e-9);
+    }
+
+    /// Merging accumulators equals accumulating jointly.
+    #[test]
+    fn merge_is_accumulation(a in name(), b in name(), c in name(), d in name()) {
+        let mut joint = PrecisionRecallF1::default();
+        joint.add(&a, &b);
+        joint.add(&c, &d);
+
+        let mut m1 = PrecisionRecallF1::default();
+        m1.add(&a, &b);
+        let mut m2 = PrecisionRecallF1::default();
+        m2.add(&c, &d);
+        m1.merge(&m2);
+        prop_assert_eq!(joint.tp, m1.tp);
+        prop_assert_eq!(joint.fp, m1.fp);
+        prop_assert_eq!(joint.fn_, m1.fn_);
+    }
+}
+
+/// Path-level resolution respects the min-cover floor for every fraction.
+#[test]
+fn path_levels_respect_min_cover() {
+    for total in 1..10usize {
+        for cover in 1..=total {
+            for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
+                let k = eval::PathLevel::Fraction(frac).resolve(total, cover);
+                assert!(k >= cover.min(total), "fraction {frac} broke the cover floor");
+                assert!(k <= total);
+            }
+            assert_eq!(eval::PathLevel::MinCover.resolve(total, cover), cover);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests over the trace substrate, driven by the corpus
+//! generator: determinism, projection laws, blending laws, and the
+//! soundness of the symbolic executor's witnesses on real templates.
+
+use datagen::{Behavior, Knobs};
+use interp::PathStep;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn behavior_strategy() -> impl Strategy<Value = Behavior> {
+    proptest::sample::select(Behavior::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The interpreter is deterministic: same program, same input, same
+    /// trace.
+    #[test]
+    fn interpreter_is_deterministic(behavior in behavior_strategy(), seed in 0u64..1000) {
+        let program = minilang::parse(&behavior.render(&Knobs::plain())).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inputs = randgen::random_inputs(&program, &randgen::InputConfig::default(), &mut rng);
+        let a = interp::run(&program, &inputs);
+        let b = interp::run(&program, &inputs);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Symbolic and state projections partition the execution trace.
+    #[test]
+    fn projections_reconstruct_the_execution(behavior in behavior_strategy(), seed in 0u64..1000) {
+        let program = minilang::parse(&behavior.render(&Knobs::plain())).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inputs = randgen::random_inputs(&program, &randgen::InputConfig::default(), &mut rng);
+        if let Ok(run) = interp::run(&program, &inputs) {
+            let t = trace::ExecutionTrace::from_run(inputs, run);
+            let sym = t.symbolic();
+            let states = t.states();
+            prop_assert_eq!(sym.len(), t.len());
+            prop_assert_eq!(states.len(), t.len());
+            for (i, e) in t.events.iter().enumerate() {
+                prop_assert_eq!(sym.steps[i], e.path_step());
+                prop_assert_eq!(&states.states[i], &e.state);
+            }
+            // Symbolic trees resolve for every step.
+            prop_assert_eq!(sym.stmt_trees(&program).len(), sym.len());
+        }
+    }
+
+    /// Blending keeps states aligned stepwise with the shared path.
+    #[test]
+    fn blending_is_stepwise_consistent(behavior in behavior_strategy(), seed in 0u64..1000) {
+        let program = minilang::parse(&behavior.render(&Knobs::plain())).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let config = randgen::GenConfig {
+            target_paths: 4,
+            concrete_per_path: 3,
+            max_attempts: 120,
+            ..randgen::GenConfig::default()
+        };
+        let (groups, _) = randgen::generate_grouped(&program, &config, &mut rng);
+        for group in &groups {
+            let blended = group.blend(3).unwrap();
+            prop_assert_eq!(blended.len(), group.symbolic.len());
+            prop_assert!(blended.concrete_count <= 3);
+            for (step, member) in blended.steps.iter().zip(blended.steps.iter().skip(1)) {
+                prop_assert_eq!(step.states.len(), member.states.len());
+            }
+            // Reduction clamps and preserves the path.
+            let reduced = blended.with_concrete_limit(1);
+            prop_assert_eq!(reduced.symbolic, blended.symbolic);
+            prop_assert_eq!(reduced.concrete_count, 1);
+        }
+    }
+
+    /// State encoding is total and respects the layout width.
+    #[test]
+    fn state_encoding_is_total(behavior in behavior_strategy(), seed in 0u64..1000) {
+        let program = minilang::parse(&behavior.render(&Knobs::plain())).unwrap();
+        let layout = interp::VarLayout::of(&program);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let inputs = randgen::random_inputs(&program, &randgen::InputConfig::default(), &mut rng);
+        if let Ok(run) = interp::run(&program, &inputs) {
+            for event in &run.events {
+                let enc = trace::encode_state(&event.state);
+                prop_assert_eq!(enc.len(), layout.len());
+                for v in &enc {
+                    prop_assert!(!v.tokens().is_empty());
+                    prop_assert!(v.tokens().len() <= trace::MAX_FLATTEN + 1);
+                }
+            }
+        }
+    }
+}
+
+/// The symbolic executor's witnesses reproduce their paths concretely on
+/// every integer/array behaviour template.
+#[test]
+fn symexec_witnesses_are_sound_on_templates() {
+    let config = symexec::SymExecConfig {
+        max_paths: 12,
+        max_steps: 150,
+        ..symexec::SymExecConfig::default()
+    };
+    let mut checked_paths = 0;
+    for behavior in Behavior::ALL {
+        let program = minilang::parse(&behavior.render(&Knobs::plain())).unwrap();
+        let (paths, _) = symexec::symbolic_execute(&program, &config);
+        for path in &paths {
+            let run = interp::run(&program, &path.witness)
+                .unwrap_or_else(|e| panic!("{behavior:?}: witness crashed: {e}"));
+            let concrete: Vec<PathStep> = run.events.iter().map(|e| e.path_step()).collect();
+            assert_eq!(
+                concrete, path.steps,
+                "{behavior:?}: witness {:?} took a different path",
+                path.witness
+            );
+            checked_paths += 1;
+        }
+    }
+    assert!(checked_paths > 50, "too few symbolic paths exercised: {checked_paths}");
+}
