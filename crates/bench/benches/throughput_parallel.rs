@@ -1,0 +1,113 @@
+//! Throughput of the deterministic data-parallel minibatch engine.
+//!
+//! Trains the LIGER namer on the same workload at 1/2/4/8 worker threads
+//! and reports training throughput in examples/sec for each count (one
+//! `THROUGHPUT …` line per count, parsed by `scripts/bench_json.sh` into
+//! `BENCH_parallel.json`). The determinism contract means every run ends
+//! at bitwise-identical parameters — asserted here on every sweep — so
+//! the thread count is purely a throughput knob.
+//!
+//! Scaling is bounded by the host: on a single-core machine all counts
+//! collapse to serial speed (minus a little scope/spawn overhead). The
+//! printed `host_threads` records what the sweep actually had available.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liger::{LigerConfig, LigerNamer, NameSample, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::ParamStore;
+
+fn workload() -> (LigerNamer, ParamStore, Vec<NameSample>) {
+    let ds = bench::tiny_dataset();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut store = ParamStore::new();
+    let cfg = LigerConfig { hidden: 16, attn: 16, ..LigerConfig::default() };
+    let namer = LigerNamer::new(
+        &mut store,
+        ds.vocabs.input.len(),
+        ds.vocabs.output.len(),
+        cfg,
+        &mut rng,
+    );
+    let samples: Vec<NameSample> = ds
+        .train
+        .iter()
+        .map(|s| NameSample { program: s.liger.clone(), target: s.target.clone() })
+        .collect();
+    (namer, store, samples)
+}
+
+/// One full training run at a pinned thread count; returns (seconds,
+/// parameter bits) with seconds taken as the best of three repeats.
+fn timed_run(
+    namer: &LigerNamer,
+    store: &ParamStore,
+    samples: &[NameSample],
+    tc: &TrainConfig,
+    threads: usize,
+) -> (f64, Vec<u32>) {
+    par::set_threads(Some(threads));
+    let mut best = f64::INFINITY;
+    let mut bits = Vec::new();
+    for _ in 0..3 {
+        let mut s = store.clone();
+        let mut rng = StdRng::seed_from_u64(77);
+        let start = Instant::now();
+        liger::train_namer(namer, &mut s, samples, tc, &mut rng);
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        bits = s.iter().flat_map(|p| p.value.data().iter().map(|v| v.to_bits())).collect();
+    }
+    par::set_threads(None);
+    (best, bits)
+}
+
+fn throughput_sweep(namer: &LigerNamer, store: &ParamStore, samples: &[NameSample]) {
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let tc = TrainConfig { epochs: 2, lr: 0.01, batch_size: 8 };
+    let work = (samples.len() * tc.epochs) as f64;
+    println!("\nparallel minibatch training throughput (host_threads={host})");
+    let mut reference: Option<Vec<u32>> = None;
+    for &threads in &[1usize, 2, 4, 8] {
+        let (secs, bits) = timed_run(namer, store, samples, &tc, threads);
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(
+                r, &bits,
+                "determinism violated: {threads} threads diverged from serial"
+            ),
+        }
+        println!(
+            "THROUGHPUT threads={threads} examples={} secs={secs:.4} examples_per_sec={:.2} host_threads={host}",
+            samples.len() * tc.epochs,
+            work / secs,
+        );
+    }
+}
+
+fn bench_parallel_training(c: &mut Criterion) {
+    let (namer, store, samples) = workload();
+    throughput_sweep(&namer, &store, &samples);
+
+    // A Criterion-timed kernel on top of the sweep: one minibatch epoch at
+    // the environment-selected thread count.
+    let tc = TrainConfig { epochs: 1, lr: 0.01, batch_size: 8 };
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    group.bench_function("train_namer_one_epoch", |b| {
+        b.iter(|| {
+            let mut s = store.clone();
+            let mut rng = StdRng::seed_from_u64(77);
+            liger::train_namer(&namer, &mut s, &samples, &tc, &mut rng);
+            s.num_scalars()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_training);
+criterion_main!(benches);

@@ -4,6 +4,15 @@
 //! gradients are accumulated over each mini-batch of per-example graphs
 //! before one optimizer step — numerically the same thing at reproduction
 //! scale.
+//!
+//! Mini-batches are data-parallel: each example's forward/backward runs as
+//! an independent task over a shared `&ParamStore` (via
+//! [`Graph::backward_grads`], which returns a detached
+//! [`tensor::ParamGrads`] instead of mutating the store), fanned out with
+//! [`par::par_map_ordered`]. The main thread then folds losses and
+//! gradients back **in example order** before the single Adam step, so the
+//! trained parameters are bitwise identical for any `LIGER_THREADS`
+//! setting — see DESIGN.md's determinism contract.
 
 use crate::decoder::NameDecoder;
 use crate::encode::EncodedProgram;
@@ -106,17 +115,24 @@ pub fn train_namer<R: Rng + ?Sized>(
         let mut total = 0.0f32;
         let mut count = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            for &i in chunk {
-                let sample = &samples[i];
-                if sample.program.traces.is_empty() || sample.target.is_empty() {
-                    continue;
-                }
+            let batch: Vec<&NameSample> = chunk
+                .iter()
+                .map(|&i| &samples[i])
+                .filter(|s| !s.program.traces.is_empty() && !s.target.is_empty())
+                .collect();
+            let shared: &ParamStore = store;
+            let results = par::par_map_ordered(&batch, |_, sample| {
                 let mut g = Graph::new();
-                let enc = namer.model.encode(&mut g, store, &sample.program);
-                let loss = namer.decoder.loss(&mut g, store, &enc, &sample.target);
-                total += g.value(loss).item();
+                let enc = namer.model.encode(&mut g, shared, &sample.program);
+                let loss = namer.decoder.loss(&mut g, shared, &enc, &sample.target);
+                let loss_val = g.value(loss).item();
+                let (_, grads) = g.backward_grads(loss, shared);
+                (loss_val, grads)
+            });
+            for (loss_val, grads) in &results {
+                total += loss_val;
                 count += 1;
-                g.backward(loss, store);
+                store.accumulate_grads(grads);
             }
             adam.step(store);
         }
@@ -141,16 +157,23 @@ pub fn train_classifier<R: Rng + ?Sized>(
         let mut total = 0.0f32;
         let mut count = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            for &i in chunk {
-                let sample = &samples[i];
-                if sample.program.traces.is_empty() {
-                    continue;
-                }
+            let batch: Vec<&ClassSample> = chunk
+                .iter()
+                .map(|&i| &samples[i])
+                .filter(|s| !s.program.traces.is_empty())
+                .collect();
+            let shared: &ParamStore = store;
+            let results = par::par_map_ordered(&batch, |_, sample| {
                 let mut g = Graph::new();
-                let loss = cls.loss(&mut g, store, &sample.program, sample.label);
-                total += g.value(loss).item();
+                let loss = cls.loss(&mut g, shared, &sample.program, sample.label);
+                let loss_val = g.value(loss).item();
+                let (_, grads) = g.backward_grads(loss, shared);
+                (loss_val, grads)
+            });
+            for (loss_val, grads) in &results {
+                total += loss_val;
                 count += 1;
-                g.backward(loss, store);
+                store.accumulate_grads(grads);
             }
             adam.step(store);
         }

@@ -302,15 +302,20 @@ pub fn liger_method_scores(
     );
     liger::train_namer(&namer, &mut store, &samples, &scale.train_config(), &mut rng);
 
+    // Batched prediction: each test program re-encodes and decodes
+    // independently against the frozen parameters.
+    let predictions = par::par_map_ordered(&ds.test, |_, s| {
+        let prog = at(s);
+        let predicted = ds.vocabs.output.decode_name(&namer.predict(&store, &prog));
+        (predicted, namer.static_attention(&store, &prog))
+    });
     let mut metric = PrecisionRecallF1::default();
     let mut attn_sum = 0.0f64;
     let mut attn_count = 0usize;
-    for s in &ds.test {
-        let prog = at(s);
-        let predicted = ds.vocabs.output.decode_name(&namer.predict(&store, &prog));
-        metric.add(&predicted, &s.subtokens);
-        if let Some(a) = namer.static_attention(&store, &prog) {
-            attn_sum += f64::from(a);
+    for (s, (predicted, attention)) in ds.test.iter().zip(&predictions) {
+        metric.add(predicted, &s.subtokens);
+        if let Some(a) = attention {
+            attn_sum += f64::from(*a);
             attn_count += 1;
         }
     }
@@ -346,11 +351,12 @@ pub fn dypro_method_scores(
     );
     train_dypro_namer(&namer, &mut store, &samples, &scale.dypro_config(), &mut rng);
 
+    let predictions = par::par_map_ordered(&ds.test, |_, s| {
+        ds.vocabs.output.decode_name(&namer.predict(&store, &at(s), 5))
+    });
     let mut metric = PrecisionRecallF1::default();
-    for s in &ds.test {
-        let predicted =
-            ds.vocabs.output.decode_name(&namer.predict(&store, &at(s), 5));
-        metric.add(&predicted, &s.subtokens);
+    for (s, predicted) in ds.test.iter().zip(&predictions) {
+        metric.add(predicted, &s.subtokens);
     }
     metric.into()
 }
@@ -369,11 +375,13 @@ fn code2vec_scores(ds: &MethodDataset, scale: &Scale) -> NameScores {
         &mut rng,
     );
     train_code2vec(&model, &mut store, &samples, &scale.baseline_config(), &mut rng);
-    let mut metric = PrecisionRecallF1::default();
-    for s in &ds.test {
+    let predictions = par::par_map_ordered(&ds.test, |_, s| {
         let label = model.predict(&store, &s.c2v);
-        let predicted = minilang::subtokens(ds.vocabs.name_labels.token(label));
-        metric.add(&predicted, &s.subtokens);
+        minilang::subtokens(ds.vocabs.name_labels.token(label))
+    });
+    let mut metric = PrecisionRecallF1::default();
+    for (s, predicted) in ds.test.iter().zip(&predictions) {
+        metric.add(predicted, &s.subtokens);
     }
     metric.into()
 }
@@ -392,10 +400,12 @@ fn code2seq_scores(ds: &MethodDataset, scale: &Scale) -> NameScores {
         &mut rng,
     );
     train_code2seq(&model, &mut store, &samples, &scale.baseline_config(), &mut rng);
+    let predictions = par::par_map_ordered(&ds.test, |_, s| {
+        ds.vocabs.output.decode_name(&model.predict(&store, &s.c2s, 5))
+    });
     let mut metric = PrecisionRecallF1::default();
-    for s in &ds.test {
-        let predicted = ds.vocabs.output.decode_name(&model.predict(&store, &s.c2s, 5));
-        metric.add(&predicted, &s.subtokens);
+    for (s, predicted) in ds.test.iter().zip(&predictions) {
+        metric.add(predicted, &s.subtokens);
     }
     metric.into()
 }
@@ -523,10 +533,10 @@ pub fn liger_coset_scores(
     let cls = LigerClassifier::new(&mut store, model, ds.num_classes, &mut rng);
     liger::train_classifier(&cls, &mut store, &samples, &scale.train_config(), &mut rng);
 
+    let predictions = par::par_map_ordered(&ds.test, |_, s| cls.predict(&store, &at(s)));
     let mut acc = Accuracy::default();
     let mut f1 = ClassF1::default();
-    for s in &ds.test {
-        let predicted = cls.predict(&store, &at(s));
+    for (s, &predicted) in ds.test.iter().zip(&predictions) {
         acc.add(predicted, s.label);
         f1.add(predicted, s.label);
     }
@@ -553,10 +563,10 @@ pub fn dypro_coset_scores(
         DyproClassifier::new(&mut store, ds.vocab.len(), ds.num_classes, scale.hidden, &mut rng);
     train_dypro_classifier(&cls, &mut store, &samples, &scale.dypro_config(), &mut rng);
 
+    let predictions = par::par_map_ordered(&ds.test, |_, s| cls.predict(&store, &at(s)));
     let mut acc = Accuracy::default();
     let mut f1 = ClassF1::default();
-    for s in &ds.test {
-        let predicted = cls.predict(&store, &at(s));
+    for (s, &predicted) in ds.test.iter().zip(&predictions) {
         acc.add(predicted, s.label);
         f1.add(predicted, s.label);
     }

@@ -6,6 +6,11 @@
 //! the paper's setting), and with each sample's blended traces pre-ordered
 //! by the §6.1.2 line-coverage reduction order so down-sampling
 //! experiments are a prefix operation.
+//!
+//! The per-program work — blending traces and encoding each sample for
+//! all four models — is independent across programs, so both preparation
+//! passes fan out over [`par::par_map_ordered`]; results come back in
+//! corpus order, so prepared datasets are identical for any thread count.
 
 use baselines::{
     code2seq_input, code2seq_vocabs, code2vec_input, contexts_into_vocabs, dypro_input,
@@ -161,10 +166,10 @@ pub fn prepare_method_dataset<R: Rng + ?Sized>(
         nodes: Vocab::new(),
         name_labels: Vocab::new(),
     };
-    let mut blended_cache: Vec<(Vec<BlendedTrace>, usize)> = Vec::new();
-    for sample in &corpus.samples {
-        blended_cache.push(blend_ordered(&sample.program, &sample.groups, concrete_per_path));
-    }
+    let blended_cache: Vec<(Vec<BlendedTrace>, usize)> =
+        par::par_map_ordered(&corpus.samples, |_, sample| {
+            blend_ordered(&sample.program, &sample.groups, concrete_per_path)
+        });
     for &i in &split.train {
         let sample = &corpus.samples[i];
         let (blended, _) = &blended_cache[i];
@@ -205,8 +210,8 @@ pub fn prepare_method_dataset<R: Rng + ?Sized>(
             min_cover,
         }
     };
-    let train: Vec<PreparedMethod> = split.train.iter().map(|&i| prepare(i)).collect();
-    let test: Vec<PreparedMethod> = split.test.iter().map(|&i| prepare(i)).collect();
+    let train: Vec<PreparedMethod> = par::par_map_ordered(&split.train, |_, &i| prepare(i));
+    let test: Vec<PreparedMethod> = par::par_map_ordered(&split.test, |_, &i| prepare(i));
     MethodDataset { vocabs, train, test }
 }
 
@@ -219,10 +224,10 @@ pub fn prepare_coset_dataset<R: Rng + ?Sized>(
 ) -> CosetDataset {
     let split = datagen::split_indices(corpus.samples.len(), opts.train_frac, 0.0, rng);
     let mut vocab = Vocab::new();
-    let mut blended_cache: Vec<(Vec<BlendedTrace>, usize)> = Vec::new();
-    for sample in &corpus.samples {
-        blended_cache.push(blend_ordered(&sample.program, &sample.groups, concrete_per_path));
-    }
+    let blended_cache: Vec<(Vec<BlendedTrace>, usize)> =
+        par::par_map_ordered(&corpus.samples, |_, sample| {
+            blend_ordered(&sample.program, &sample.groups, concrete_per_path)
+        });
     for &i in &split.train {
         let sample = &corpus.samples[i];
         program_into_vocab(&sample.program, &blended_cache[i].0, &mut vocab, &opts.encode);
@@ -244,8 +249,8 @@ pub fn prepare_coset_dataset<R: Rng + ?Sized>(
             min_cover,
         }
     };
-    let train: Vec<PreparedCoset> = split.train.iter().map(|&i| prepare(i)).collect();
-    let test: Vec<PreparedCoset> = split.test.iter().map(|&i| prepare(i)).collect();
+    let train: Vec<PreparedCoset> = par::par_map_ordered(&split.train, |_, &i| prepare(i));
+    let test: Vec<PreparedCoset> = par::par_map_ordered(&split.test, |_, &i| prepare(i));
     CosetDataset { vocab, num_classes: datagen::Strategy::ALL.len(), train, test }
 }
 

@@ -26,12 +26,11 @@ impl Linear {
         Linear { w, b }
     }
 
-    /// Applies the layer inside `g`.
+    /// Applies the layer inside `g` as a single fused affine node.
     pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: VarId) -> VarId {
         let w = g.param(store, self.w);
         let b = g.param(store, self.b);
-        let h = g.matvec(w, x);
-        g.add(h, b)
+        g.affine(w, x, b)
     }
 }
 

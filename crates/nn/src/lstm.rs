@@ -77,10 +77,9 @@ impl LstmCell {
         let wv = g.param(store, w);
         let uv = g.param(store, u);
         let bv = g.param(store, b);
-        let wx = g.matvec(wv, x);
+        let wxb = g.affine(wv, x, bv);
         let uh = g.matvec(uv, h);
-        let s = g.add(wx, uh);
-        g.add(s, bv)
+        g.add(wxb, uh)
     }
 
     /// One step of the cell.

@@ -1,0 +1,172 @@
+//! # par — deterministic data-parallel execution
+//!
+//! The training and evaluation hot paths are embarrassingly parallel:
+//! one computation graph per example, no shared mutable state until the
+//! gradient/metric reduction. This crate provides the single primitive
+//! they need, [`par_map_ordered`], built on `std::thread::scope` — no
+//! external dependencies.
+//!
+//! ## Determinism contract (see DESIGN.md)
+//!
+//! Results are **bitwise identical for every thread count**:
+//!
+//! - work is split by *fixed index ranges* (chunk boundaries depend only
+//!   on `items.len()` and the worker count, never on scheduling),
+//! - each item is mapped independently by a pure function of the item,
+//! - the output `Vec` is assembled *in index order*, so any fold the
+//!   caller runs over it reproduces the serial reduction order exactly.
+//!
+//! `LIGER_THREADS=1` (or [`set_threads`]`(1)`) recovers the fully serial
+//! path: the closure runs inline on the calling thread with no pool at
+//! all.
+//!
+//! ## Thread-count resolution
+//!
+//! [`threads`] resolves, in order: the programmatic [`set_threads`]
+//! override (used by benches and the determinism property tests), the
+//! `LIGER_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "no override".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Programmatically pins the worker count (`Some(n)`) or clears the pin
+/// (`None`), taking precedence over `LIGER_THREADS`. Intended for tests
+/// and benches that sweep thread counts inside one process.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0).max(0), Ordering::SeqCst);
+}
+
+/// The worker count [`par_map_ordered`] will use: the [`set_threads`]
+/// override, else `LIGER_THREADS`, else available parallelism (min 1).
+pub fn threads() -> usize {
+    let pinned = OVERRIDE.load(Ordering::SeqCst);
+    if pinned > 0 {
+        return pinned;
+    }
+    if let Ok(v) = std::env::var("LIGER_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The fixed chunk boundaries for `len` items over `workers` workers:
+/// worker `w` owns `[start, end)`. The first `len % workers` chunks get
+/// one extra item, so boundaries are a pure function of `(len, workers)`.
+fn chunk_bounds(len: usize, workers: usize, w: usize) -> (usize, usize) {
+    let base = len / workers;
+    let extra = len % workers;
+    let start = w * base + w.min(extra);
+    let end = start + base + usize::from(w < extra);
+    (start, end)
+}
+
+/// Maps `f` over `items`, fanning out across the worker pool, and
+/// returns the results **in index order**. `f(i, &items[i])` must be a
+/// pure function of its arguments for the determinism contract to hold.
+///
+/// With one worker (or one item) the closure runs inline on the calling
+/// thread — exactly the serial loop it replaces.
+pub fn par_map_ordered<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = threads().min(items.len()).max(1);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let mut results: Vec<Option<U>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    // Hand each worker its fixed slice of the output buffer.
+    let mut slots: &mut [Option<U>] = &mut results;
+    let mut chunks: Vec<(usize, &mut [Option<U>])> = Vec::with_capacity(workers);
+    let mut consumed = 0;
+    for w in 0..workers {
+        let (start, end) = chunk_bounds(items.len(), workers, w);
+        let (head, tail) = slots.split_at_mut(end - consumed);
+        slots = tail;
+        consumed = end;
+        chunks.push((start, head));
+    }
+
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (start, out) in chunks {
+            scope.spawn(move || {
+                for (offset, slot) in out.iter_mut().enumerate() {
+                    let i = start + offset;
+                    *slot = Some(f(i, &items[i]));
+                }
+            });
+        }
+    });
+
+    results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the global override.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn chunks_partition_the_range() {
+        for len in 0..40 {
+            for workers in 1..9 {
+                let mut covered = Vec::new();
+                for w in 0..workers {
+                    let (s, e) = chunk_bounds(len, workers, w);
+                    covered.extend(s..e);
+                }
+                assert_eq!(covered, (0..len).collect::<Vec<_>>(), "len={len} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_is_ordered_and_thread_count_invariant() {
+        let _guard = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..101).collect();
+        let mut reference = None;
+        for n in [1usize, 2, 3, 8] {
+            set_threads(Some(n));
+            let out = par_map_ordered(&items, |i, &x| x * 3 + i as u64);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(r, &out, "thread count {n} changed results"),
+            }
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map_ordered(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map_ordered(&[7], |i, &x| x + i as i32), vec![7]);
+        set_threads(None);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(3));
+        assert_eq!(threads(), 3);
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+}

@@ -7,11 +7,17 @@
 //! interior nodes are the operators the paper's architecture needs: affine
 //! maps, pointwise nonlinearities, concatenation, softmax/attention
 //! weighting, max-pooling over path embeddings, and cross-entropy loss.
-//! [`Graph::backward`] accumulates parameter gradients into the
-//! [`ParamStore`].
+//!
+//! Differentiation comes in two flavours: [`Graph::backward_grads`]
+//! computes a detached [`ParamGrads`] against a shared `&ParamStore`
+//! (the form the data-parallel training engine needs — many graphs can
+//! run backward concurrently over one store), and [`Graph::backward`]
+//! is the convenience wrapper that immediately folds those gradients
+//! into a `&mut ParamStore`.
 
-use crate::store::{ParamId, ParamStore};
+use crate::store::{ParamGrads, ParamId, ParamStore};
 use crate::tensor::Tensor;
+use std::collections::HashMap;
 
 /// Identifier of a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,6 +29,7 @@ enum Op {
     Param(ParamId),
     ParamRow(ParamId, usize),
     MatVec(VarId, VarId),
+    Affine(VarId, VarId, VarId),
     Add(VarId, VarId),
     Sub(VarId, VarId),
     Mul(VarId, VarId),
@@ -48,6 +55,11 @@ enum Op {
 pub struct Graph {
     ops: Vec<Op>,
     values: Vec<Tensor>,
+    /// Memo for [`Graph::param_row`]: repeated lookups of the same
+    /// embedding row (ubiquitous in trace encodings — the same variable
+    /// or opcode appears many times per example) reuse one node instead
+    /// of cloning the row again.
+    row_cache: HashMap<(ParamId, usize), VarId>,
 }
 
 impl Graph {
@@ -96,17 +108,29 @@ impl Graph {
     ///
     /// Panics when `row` is out of range.
     pub fn param_row(&mut self, store: &ParamStore, id: ParamId, row: usize) -> VarId {
+        if let Some(&cached) = self.row_cache.get(&(id, row)) {
+            return cached;
+        }
         let p = &store.get(id).value;
         assert!(row < p.rows(), "param_row {row} out of {} rows", p.rows());
         let d = p.cols();
         let data = p.data()[row * d..(row + 1) * d].to_vec();
-        self.push(Op::ParamRow(id, row), Tensor::vector(data))
+        let var = self.push(Op::ParamRow(id, row), Tensor::vector(data));
+        self.row_cache.insert((id, row), var);
+        var
     }
 
     /// Matrix–vector product.
     pub fn matvec(&mut self, w: VarId, x: VarId) -> VarId {
         let value = self.values[w.0].matvec(&self.values[x.0]);
         self.push(Op::MatVec(w, x), value)
+    }
+
+    /// Fused affine map `w · x + b` (one kernel pass, no intermediate
+    /// product node) — the workhorse of every linear/GRU/LSTM layer.
+    pub fn affine(&mut self, w: VarId, x: VarId, b: VarId) -> VarId {
+        let value = self.values[w.0].affine(&self.values[x.0], &self.values[b.0]);
+        self.push(Op::Affine(w, x, b), value)
     }
 
     /// Elementwise addition.
@@ -303,8 +327,30 @@ impl Graph {
     ///
     /// Panics when `loss` is not a 1×1 node.
     pub fn backward(&self, loss: VarId, store: &mut ParamStore) -> Vec<Option<Tensor>> {
+        let (grads, param_grads) = self.backward_grads(loss, store);
+        store.accumulate_grads(&param_grads);
+        grads
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `loss` without
+    /// mutating the store: parameter gradients are returned as a detached
+    /// [`ParamGrads`], alongside the per-node gradient table.
+    ///
+    /// This is the entry point the data-parallel training engine uses —
+    /// each worker holds only `&ParamStore` and produces its own
+    /// `ParamGrads`, which the main thread folds back in example order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `loss` is not a 1×1 node.
+    pub fn backward_grads(
+        &self,
+        loss: VarId,
+        store: &ParamStore,
+    ) -> (Vec<Option<Tensor>>, ParamGrads) {
         assert_eq!(self.values[loss.0].len(), 1, "backward source must be scalar");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.ops.len()];
+        let mut param_grads = ParamGrads::new();
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
         for i in (0..self.ops.len()).rev() {
@@ -312,15 +358,19 @@ impl Graph {
             match &self.ops[i] {
                 Op::Input => {}
                 Op::Param(pid) => {
-                    store.get_mut(*pid).grad.axpy(1.0, &g);
+                    param_grads.accumulate(*pid, &g);
                 }
                 Op::ParamRow(pid, row) => {
-                    let p = store.get_mut(*pid);
-                    let d = p.value.cols();
-                    let slice = &mut p.grad.data_mut()[row * d..(row + 1) * d];
-                    for (s, gv) in slice.iter_mut().zip(g.data()) {
-                        *s += gv;
-                    }
+                    let p = &store.get(*pid).value;
+                    param_grads.accumulate_row(*pid, *row, p.rows(), p.cols(), &g);
+                }
+                Op::Affine(w, x, b) => {
+                    let xv = &self.values[x.0];
+                    let wv = &self.values[w.0];
+                    acc_with(&mut grads, *w, wv.rows(), wv.cols(), |t| t.add_outer(1.0, &g, xv));
+                    let dx = wv.matvec_t(&g);
+                    acc(&mut grads, *x, &dx);
+                    acc(&mut grads, *b, &g);
                 }
                 Op::MatVec(w, x) => {
                     let xv = &self.values[x.0];
@@ -475,7 +525,7 @@ impl Graph {
                 }
             }
         }
-        grads
+        (grads, param_grads)
     }
 }
 
@@ -591,6 +641,77 @@ mod tests {
             let expected = probs.data()[k] - if k == 2 { 1.0 } else { 0.0 };
             assert!((grad.data()[k] - expected).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn affine_matches_matvec_plus_bias_forward_and_backward() {
+        let mut store_a = ParamStore::new();
+        let w_a = store_a.add("w", Tensor::from_vec(3, 2, vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]));
+        let b_a = store_a.add("b", Tensor::vector(vec![0.05, -0.1, 0.2]));
+        let mut store_b = store_a.clone();
+        let (w_b, b_b) = (w_a, b_a);
+
+        let x_data = vec![0.7, -1.3];
+
+        let mut ga = Graph::new();
+        let wv = ga.param(&store_a, w_a);
+        let bv = ga.param(&store_a, b_a);
+        let xv = ga.input(Tensor::vector(x_data.clone()));
+        let fused = ga.affine(wv, xv, bv);
+        let la = ga.sum(fused);
+        ga.backward(la, &mut store_a);
+
+        let mut gb = Graph::new();
+        let wv = gb.param(&store_b, w_b);
+        let bv = gb.param(&store_b, b_b);
+        let xv = gb.input(Tensor::vector(x_data));
+        let mv = gb.matvec(wv, xv);
+        let unfused = gb.add(mv, bv);
+        let lb = gb.sum(unfused);
+        gb.backward(lb, &mut store_b);
+
+        for (f, u) in ga.value(fused).data().iter().zip(gb.value(unfused).data()) {
+            assert!((f - u).abs() < 1e-6, "forward mismatch: {f} vs {u}");
+        }
+        for (f, u) in store_a.get(w_a).grad.data().iter().zip(store_b.get(w_b).grad.data()) {
+            assert!((f - u).abs() < 1e-6, "dW mismatch: {f} vs {u}");
+        }
+        for (f, u) in store_a.get(b_a).grad.data().iter().zip(store_b.get(b_b).grad.data()) {
+            assert!((f - u).abs() < 1e-6, "db mismatch: {f} vs {u}");
+        }
+    }
+
+    #[test]
+    fn backward_grads_leaves_store_untouched() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut g = Graph::new();
+        let wv = g.param(&store, w);
+        let l = g.sum(wv);
+        let (node_grads, param_grads) = g.backward_grads(l, &store);
+        assert_eq!(store.get(w).grad.data(), &[0.0, 0.0], "store must stay clean");
+        assert_eq!(node_grads.len(), g.len());
+        assert_eq!(node_grads[wv.0].as_ref().map(|t| t.data().to_vec()), None,
+            "leaf grads are moved into param_grads, not left in the table");
+        store.accumulate_grads(&param_grads);
+        assert_eq!(store.get(w).grad.data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn param_row_lookups_are_cached_per_graph() {
+        let mut store = ParamStore::new();
+        let emb = store.add("emb", Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut g = Graph::new();
+        let a = g.param_row(&store, emb, 1);
+        let b = g.param_row(&store, emb, 1);
+        assert_eq!(a, b, "repeated lookup must reuse the node");
+        let c = g.param_row(&store, emb, 0);
+        assert_ne!(a, c);
+        // Gradient still accumulates once per use of the shared node.
+        let s = g.sum_vecs(&[a, b]);
+        let l = g.sum(s);
+        g.backward(l, &mut store);
+        assert_eq!(store.get(emb).grad.data(), &[0.0, 0.0, 2.0, 2.0]);
     }
 
     #[test]

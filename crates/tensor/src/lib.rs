@@ -42,5 +42,5 @@ pub mod tensor;
 pub use gradcheck::{assert_grads_close, grad_check, pseudo_tensor, GradCheckReport};
 pub use graph::{Graph, VarId};
 pub use serialize::{load_store, save_store, LoadError};
-pub use store::{Param, ParamId, ParamStore};
+pub use store::{Param, ParamGrads, ParamId, ParamStore};
 pub use tensor::Tensor;

@@ -3,8 +3,11 @@
 //! Parameters outlive any single computation graph (a fresh [`crate::Graph`]
 //! is built per training example), so they live in a [`ParamStore`]:
 //! values, accumulated gradients, and optimizer state side by side. Graph
-//! leaves reference parameters by [`ParamId`]; `Graph::backward`
-//! accumulates into the store's gradient buffers.
+//! leaves reference parameters by [`ParamId`]. `Graph::backward_grads`
+//! computes a detached [`ParamGrads`] against a shared `&ParamStore`
+//! (which is what lets the training engine fan examples out across
+//! threads), and [`ParamStore::accumulate_grads`] folds those back into
+//! the store's gradient buffers in a caller-chosen (deterministic) order.
 
 use crate::tensor::Tensor;
 use rand::{Rng, RngExt as _};
@@ -113,6 +116,89 @@ impl ParamStore {
             .sum::<f32>()
             .sqrt()
     }
+
+    /// Folds a detached gradient set into the store's gradient buffers.
+    ///
+    /// The data-parallel training engine calls this once per example, in
+    /// example order, so the floating-point accumulation order — and thus
+    /// the resulting parameters — are independent of the thread count.
+    pub fn accumulate_grads(&mut self, grads: &ParamGrads) {
+        for (id, g) in grads.iter() {
+            self.params[id.0].grad.axpy(1.0, g);
+        }
+    }
+}
+
+/// Per-parameter gradients detached from any store: the result of one
+/// example's backward pass ([`crate::Graph::backward_grads`]).
+///
+/// Workers each produce their own `ParamGrads` against a shared
+/// `&ParamStore`; the main thread then folds them back with
+/// [`ParamStore::accumulate_grads`]. Slots are lazily allocated, so an
+/// example that never touches a parameter costs nothing for it.
+#[derive(Debug, Clone, Default)]
+pub struct ParamGrads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl ParamGrads {
+    /// An empty gradient set.
+    pub fn new() -> ParamGrads {
+        ParamGrads::default()
+    }
+
+    fn slot(&mut self, id: ParamId) -> &mut Option<Tensor> {
+        if self.grads.len() <= id.0 {
+            self.grads.resize(id.0 + 1, None);
+        }
+        &mut self.grads[id.0]
+    }
+
+    /// Adds `delta` to the gradient of `id` (whole-tensor accumulation).
+    pub fn accumulate(&mut self, id: ParamId, delta: &Tensor) {
+        match self.slot(id) {
+            Some(g) => g.axpy(1.0, delta),
+            empty => *empty = Some(delta.clone()),
+        }
+    }
+
+    /// Adds the vector `g` to row `row` of the gradient of `id`, where the
+    /// full parameter has shape `rows × cols` (embedding-row updates).
+    pub fn accumulate_row(
+        &mut self,
+        id: ParamId,
+        row: usize,
+        rows: usize,
+        cols: usize,
+        g: &Tensor,
+    ) {
+        let t = self.slot(id).get_or_insert_with(|| Tensor::zeros(rows, cols));
+        let slice = &mut t.data_mut()[row * cols..(row + 1) * cols];
+        for (s, gv) in slice.iter_mut().zip(g.data()) {
+            *s += gv;
+        }
+    }
+
+    /// Folds another gradient set into this one (`self += other`).
+    pub fn merge(&mut self, other: &ParamGrads) {
+        for (id, g) in other.iter() {
+            self.accumulate(id, g);
+        }
+    }
+
+    /// Iterates over the parameters this set has gradients for, in
+    /// [`ParamId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|t| (ParamId(i), t)))
+    }
+
+    /// True when no gradients have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.grads.iter().all(Option::is_none)
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +226,39 @@ mod tests {
         assert!(store.get(id).value.data().iter().all(|v| v.abs() <= bound));
         // Not all zeros.
         assert!(store.get(id).value.norm() > 0.0);
+    }
+
+    #[test]
+    fn param_grads_accumulate_and_fold() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::from_vec(2, 2, vec![0.0; 4]));
+        let b = store.add("b", Tensor::vector(vec![0.0, 0.0]));
+
+        let mut g1 = ParamGrads::new();
+        g1.accumulate(b, &Tensor::vector(vec![1.0, 2.0]));
+        g1.accumulate_row(w, 1, 2, 2, &Tensor::vector(vec![3.0, 4.0]));
+        assert!(!g1.is_empty());
+
+        let mut g2 = ParamGrads::new();
+        g2.accumulate(b, &Tensor::vector(vec![10.0, 20.0]));
+        g1.merge(&g2);
+
+        store.accumulate_grads(&g1);
+        assert_eq!(store.get(b).grad.data(), &[11.0, 22.0]);
+        assert_eq!(store.get(w).grad.data(), &[0.0, 0.0, 3.0, 4.0]);
+
+        // A second fold adds on top, mirroring per-example accumulation.
+        store.accumulate_grads(&g2);
+        assert_eq!(store.get(b).grad.data(), &[21.0, 42.0]);
+    }
+
+    #[test]
+    fn empty_param_grads_is_a_noop() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Tensor::scalar(1.0));
+        store.accumulate_grads(&ParamGrads::new());
+        assert_eq!(store.get(id).grad.item(), 0.0);
+        assert!(ParamGrads::new().is_empty());
     }
 
     #[test]

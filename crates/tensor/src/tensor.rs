@@ -2,9 +2,13 @@
 //!
 //! The reproduction's models only ever need rank-1 and rank-2 tensors
 //! (hidden states, weight matrices), so [`Tensor`] is a row-major 2-D
-//! array; vectors are `n × 1`. Kernels are deliberately simple and
-//! deterministic — no BLAS, no threading — so gradient checks and paper
-//! experiments are exactly reproducible.
+//! array; vectors are `n × 1`. The hot kernels ([`Tensor::matvec`] and
+//! the fused [`Tensor::affine`]) are blocked and unrolled — four rows at
+//! a time, four independent column accumulators per row — but remain
+//! single-threaded and fully deterministic: for a given shape the
+//! floating-point reduction order is fixed, so repeated runs (and the
+//! data-parallel training engine in `par`, which only parallelizes
+//! *across* examples) are bitwise reproducible.
 
 use std::fmt;
 
@@ -115,6 +119,9 @@ impl Tensor {
 
     /// Matrix–vector product `self · x` (self is `m × n`, `x` is `n × 1`).
     ///
+    /// Uses the blocked kernel: rows are processed four at a time so each
+    /// load of `x[c]` feeds four independent accumulators.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
@@ -122,14 +129,24 @@ impl Tensor {
         assert!(x.is_vector(), "matvec rhs must be a vector");
         assert_eq!(self.cols, x.rows, "matvec shape mismatch {}×{} · {}", self.rows, self.cols, x.rows);
         let mut out = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = 0.0f32;
-            for (w, v) in row.iter().zip(&x.data) {
-                acc += w * v;
-            }
-            out[r] = acc;
-        }
+        matvec_blocked(&self.data, self.rows, self.cols, &x.data, None, &mut out);
+        Tensor::vector(out)
+    }
+
+    /// Fused affine map `self · x + b` in one pass (self is `m × n`, `x`
+    /// is `n × 1`, `b` is `m × 1`). Equivalent to `matvec` followed by an
+    /// add, without materialising the intermediate product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn affine(&self, x: &Tensor, b: &Tensor) -> Tensor {
+        assert!(x.is_vector(), "affine rhs must be a vector");
+        assert!(b.is_vector(), "affine bias must be a vector");
+        assert_eq!(self.cols, x.rows, "affine shape mismatch {}×{} · {}", self.rows, self.cols, x.rows);
+        assert_eq!(self.rows, b.rows, "affine bias length mismatch {} vs {}", self.rows, b.rows);
+        let mut out = vec![0.0f32; self.rows];
+        matvec_blocked(&self.data, self.rows, self.cols, &x.data, Some(&b.data), &mut out);
         Tensor::vector(out)
     }
 
@@ -204,6 +221,73 @@ impl Tensor {
     }
 }
 
+/// Shared blocked kernel behind [`Tensor::matvec`] and [`Tensor::affine`]:
+/// `out[r] = bias[r] + Σ_c w[r,c] · x[c]` (bias treated as zero when absent).
+///
+/// Rows are processed in blocks of four so each load of `x[c]` feeds four
+/// independent accumulators; leftover rows use a 4-way column-unrolled dot
+/// product. The floating-point reduction order is a pure function of the
+/// shape, so results are reproducible run-to-run and thread-count has no
+/// way to influence them (the kernel itself is single-threaded).
+fn matvec_blocked(
+    w: &[f32],
+    rows: usize,
+    cols: usize,
+    x: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    const ROW_BLOCK: usize = 4;
+    let bias_at = |r: usize| bias.map_or(0.0, |b| b[r]);
+    let mut r = 0;
+    while r + ROW_BLOCK <= rows {
+        let r0 = &w[r * cols..(r + 1) * cols];
+        let r1 = &w[(r + 1) * cols..(r + 2) * cols];
+        let r2 = &w[(r + 2) * cols..(r + 3) * cols];
+        let r3 = &w[(r + 3) * cols..(r + 4) * cols];
+        let (mut a0, mut a1, mut a2, mut a3) =
+            (bias_at(r), bias_at(r + 1), bias_at(r + 2), bias_at(r + 3));
+        for c in 0..cols {
+            let xv = x[c];
+            a0 += r0[c] * xv;
+            a1 += r1[c] * xv;
+            a2 += r2[c] * xv;
+            a3 += r3[c] * xv;
+        }
+        out[r] = a0;
+        out[r + 1] = a1;
+        out[r + 2] = a2;
+        out[r + 3] = a3;
+        r += ROW_BLOCK;
+    }
+    while r < rows {
+        out[r] = bias_at(r) + dot_unrolled(&w[r * cols..(r + 1) * cols], x);
+        r += 1;
+    }
+}
+
+/// 4-way unrolled dot product with independent accumulators and a serial
+/// tail; the reduction order depends only on the vector length.
+fn dot_unrolled(row: &[f32], x: &[f32]) -> f32 {
+    let n = row.len();
+    let quads = n / 4 * 4;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut c = 0;
+    while c < quads {
+        a0 += row[c] * x[c];
+        a1 += row[c + 1] * x[c + 1];
+        a2 += row[c + 2] * x[c + 2];
+        a3 += row[c + 3] * x[c + 3];
+        c += 4;
+    }
+    let mut tail = 0.0f32;
+    while c < n {
+        tail += row[c] * x[c];
+        c += 1;
+    }
+    (a0 + a1) + (a2 + a3) + tail
+}
+
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor({}×{})[", self.rows, self.cols)?;
@@ -250,6 +334,90 @@ mod tests {
         assert_eq!(w.data(), &[3.0, 4.0, 6.0, 8.0]);
         w.add_outer(-1.0, &g, &x);
         assert_eq!(w.data(), &[0.0; 4]);
+    }
+
+    /// Textbook row-by-row accumulation, the reference the blocked kernel
+    /// is checked against.
+    fn matvec_naive(w: &Tensor, x: &Tensor, bias: Option<&Tensor>) -> Vec<f32> {
+        (0..w.rows())
+            .map(|r| {
+                let mut acc = bias.map_or(0.0, |b| b.data()[r]);
+                for c in 0..w.cols() {
+                    acc += w.at(r, c) * x.data()[c];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn pseudo(rows: usize, cols: usize, seed: u32) -> Tensor {
+        // Small LCG so values are varied but reproducible without deps.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        let data = (0..rows * cols)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    fn assert_close(got: &[f32], want: &[f32]) {
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            let tol = 1e-5 * (1.0 + w.abs());
+            assert!((g - w).abs() <= tol, "element {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn blocked_matvec_matches_naive_on_odd_shapes() {
+        // 1×1, 1×n, n×1, and sizes straddling the 4-row / 4-col blocks.
+        for &(rows, cols) in
+            &[(1, 1), (1, 9), (9, 1), (3, 3), (4, 4), (5, 7), (7, 5), (8, 13), (13, 8), (17, 17)]
+        {
+            let w = pseudo(rows, cols, (rows * 31 + cols) as u32);
+            let x = pseudo(cols, 1, cols as u32 + 1);
+            assert_close(w.matvec(&x).data(), &matvec_naive(&w, &x, None));
+        }
+    }
+
+    #[test]
+    fn fused_affine_matches_naive_on_odd_shapes() {
+        for &(rows, cols) in &[(1, 1), (1, 6), (6, 1), (4, 4), (5, 5), (6, 10), (11, 3), (19, 7)] {
+            let w = pseudo(rows, cols, (rows * 17 + cols) as u32);
+            let x = pseudo(cols, 1, rows as u32);
+            let b = pseudo(rows, 1, cols as u32 + 99);
+            assert_close(w.affine(&x, &b).data(), &matvec_naive(&w, &x, Some(&b)));
+        }
+    }
+
+    #[test]
+    fn affine_equals_matvec_plus_bias() {
+        let w = pseudo(6, 5, 1);
+        let x = pseudo(5, 1, 2);
+        let b = pseudo(6, 1, 3);
+        let mut expect = w.matvec(&x);
+        expect.axpy(1.0, &b);
+        assert_close(w.affine(&x, &b).data(), expect.data());
+    }
+
+    #[test]
+    fn matvec_is_reproducible_bitwise() {
+        let w = pseudo(13, 11, 7);
+        let x = pseudo(11, 1, 8);
+        let a: Vec<u32> = w.matvec(&x).data().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = w.matvec(&x).data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length mismatch")]
+    fn affine_bias_mismatch_panics() {
+        let w = Tensor::zeros(3, 2);
+        let x = Tensor::vector(vec![1.0, 2.0]);
+        let b = Tensor::vector(vec![1.0, 2.0]);
+        let _ = w.affine(&x, &b);
     }
 
     #[test]

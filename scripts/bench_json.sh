@@ -1,0 +1,41 @@
+#!/bin/bash
+# Runs the parallel-throughput bench sweep (1/2/4/8 worker threads) and
+# writes the results to BENCH_parallel.json at the repo root.
+#
+# Usage: scripts/bench_json.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_file="${1:-BENCH_parallel.json}"
+bench_out=$(cargo bench -p bench --bench throughput_parallel 2>&1)
+echo "$bench_out"
+
+rows=$(echo "$bench_out" | grep '^THROUGHPUT' | awk '
+{
+    delete kv
+    for (i = 2; i <= NF; i++) { split($i, p, "="); kv[p[1]] = p[2] }
+    if (NR > 1) printf ",\n"
+    printf "    {\"threads\": %s, \"examples\": %s, \"seconds\": %s, \"examples_per_sec\": %s}",
+        kv["threads"], kv["examples"], kv["secs"], kv["examples_per_sec"]
+    host = kv["host_threads"]
+}
+END { printf "\n"; print "HOST=" host > "/dev/stderr" }' 2>/tmp/bench_json_host)
+host=$(sed -n 's/^HOST=//p' /tmp/bench_json_host)
+
+if [ -z "$rows" ]; then
+    echo "error: no THROUGHPUT lines in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput_parallel",'
+    echo '  "workload": "train_namer, tiny method-name dataset, 2 epochs, batch_size 8",'
+    echo "  \"host_threads\": ${host:-1},"
+    echo '  "results": ['
+    printf '%s\n' "$rows"
+    echo '  ]'
+    echo '}'
+} > "$out_file"
+
+echo "wrote $out_file"

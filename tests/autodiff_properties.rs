@@ -1,6 +1,7 @@
 //! Property-based tests over the autodiff engine: analytic gradients of
 //! randomly-shaped computation graphs match numerical differentiation,
-//! and probability-producing ops satisfy their invariants.
+//! probability-producing ops satisfy their invariants, and data-parallel
+//! training is bitwise independent of the thread count.
 
 use proptest::prelude::*;
 use tensor::{grad_check, Graph, ParamStore, Tensor};
@@ -108,5 +109,55 @@ proptest! {
         // Idempotence: pooling the result with itself changes nothing.
         let m2 = g.max_pool(&[m, m]);
         prop_assert_eq!(g.value(m2).data(), &out[..]);
+    }
+}
+
+/// A minimal encoded program with one blended trace step.
+fn tiny_prog(token: usize) -> liger::EncodedProgram {
+    use liger::{EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram};
+    EncodedProgram {
+        traces: vec![EncBlended {
+            steps: vec![EncStep {
+                tree: EncTree { token, children: vec![] },
+                states: vec![EncState { vars: vec![EncVar::Primitive(token + 1)] }],
+            }],
+        }],
+    }
+}
+
+/// Trains a small namer from a fixed seed at a pinned worker count and
+/// returns every parameter scalar as raw bits.
+fn train_params_bits(threads: usize, seed: u64) -> Vec<u32> {
+    use liger::{LigerConfig, LigerNamer, NameSample, TrainConfig, EOS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    par::set_threads(Some(threads));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let cfg = LigerConfig { hidden: 6, attn: 6, ..LigerConfig::default() };
+    let namer = LigerNamer::new(&mut store, 16, 8, cfg, &mut rng);
+    let samples: Vec<NameSample> = (0..6)
+        .map(|k| NameSample { program: tiny_prog(k + 1), target: vec![(k % 7) + 1, EOS] })
+        .collect();
+    let tc = TrainConfig { epochs: 2, lr: 0.02, batch_size: 4 };
+    liger::train_namer(&namer, &mut store, &samples, &tc, &mut rng);
+    par::set_threads(None);
+    store.iter().flat_map(|p| p.value.data().iter().map(|v| v.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    /// The determinism contract (DESIGN.md): two epochs of data-parallel
+    /// training produce bitwise-identical parameters at 1, 2, and 4
+    /// worker threads.
+    #[test]
+    fn parallel_training_is_bitwise_deterministic(seed in 0u64..1_000_000) {
+        let reference = train_params_bits(1, seed);
+        for threads in [2usize, 4] {
+            let got = train_params_bits(threads, seed);
+            prop_assert_eq!(&reference, &got, "thread count {} diverged", threads);
+        }
     }
 }
