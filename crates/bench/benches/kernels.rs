@@ -114,14 +114,17 @@ fn bench_model(c: &mut Criterion) {
     });
     // Ablation kernel comparison: TreeLSTM statement embedding vs. a flat
     // token-RNN alternative (DESIGN.md §4 design-choice bench).
-    let tree = {
+    let (pool, tree_id) = {
         let sym = blended[0].symbolic.stmt_trees(&program);
-        liger::encode_tree(&sym[0], &vocab)
+        let tree = liger::encode_tree(&sym[0], &vocab);
+        let mut pool = liger::EncPool::new();
+        let id = pool.intern_tree(&tree);
+        (pool, id)
     };
     group.bench_function("treelstm_statement_embedding", |b| {
         b.iter(|| {
             let mut g = Graph::new();
-            let h = model.embed_tree(&mut g, &store, &tree);
+            let h = model.embed_tree(&mut g, &store, &pool, tree_id);
             g.value(h).norm()
         })
     });

@@ -1,0 +1,176 @@
+//! Encoder throughput and allocation pressure, cold vs. steady-state.
+//!
+//! Measures the LIGER encoder forward pass over the tiny method-name
+//! dataset two ways:
+//!
+//! * **cold** — a fresh `Graph` per program, uncached `encode` (the
+//!   pre-arena behaviour: every tensor is a fresh heap allocation);
+//! * **steady** — one persistent `Workspace` per run, `reset()` between
+//!   programs, memoized `encode_memo` (arena reuse + buffer pooling +
+//!   span-replay: steady-state allocations come only from tape/bookkeeping
+//!   growth, not tensor storage).
+//!
+//! A counting `#[global_allocator]` tallies every heap allocation made
+//! inside each timed region, giving honest allocations-per-program
+//! numbers for both modes, and the two modes are asserted to produce
+//! bitwise-identical program embeddings. One `ENCODE …` line is printed
+//! per mode (parsed by `scripts/bench_json.sh` into `BENCH_encode.json`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use liger::{EncodedProgram, LigerConfig, LigerModel, Workspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{Graph, ParamStore};
+
+/// Global allocator shim that counts allocations and allocated bytes.
+/// Frees are deliberately not counted: the metric is allocation
+/// *pressure* (how often we go to the heap), which is what pooling
+/// eliminates.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn snapshot() -> (u64, u64) {
+    (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+}
+
+struct Measured {
+    secs: f64,
+    allocs_per_program: f64,
+    bytes_per_program: f64,
+    programs: usize,
+}
+
+/// Times `per_program` over `rounds` passes through `progs`, counting
+/// allocations across the whole timed region. Seconds are best-of-rounds;
+/// allocation counts are from the *last* round, where pools and arenas
+/// have reached their steady state.
+fn measure<F: FnMut(&EncodedProgram) -> u64>(
+    progs: &[EncodedProgram],
+    rounds: usize,
+    mut per_program: F,
+) -> Measured {
+    let mut best = f64::INFINITY;
+    let mut last_allocs = 0.0;
+    let mut last_bytes = 0.0;
+    let mut checksum = 0u64;
+    for _ in 0..rounds {
+        let (a0, b0) = snapshot();
+        let start = Instant::now();
+        for prog in progs {
+            checksum = checksum.wrapping_add(per_program(prog));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let (a1, b1) = snapshot();
+        if secs < best {
+            best = secs;
+        }
+        last_allocs = (a1 - a0) as f64 / progs.len() as f64;
+        last_bytes = (b1 - b0) as f64 / progs.len() as f64;
+    }
+    assert!(checksum != 0, "encoder produced all-zero embeddings");
+    Measured {
+        secs: best,
+        allocs_per_program: last_allocs,
+        bytes_per_program: last_bytes,
+        programs: progs.len(),
+    }
+}
+
+fn emit(mode: &str, m: &Measured, rounds: usize) {
+    println!(
+        "ENCODE mode={mode} programs={} rounds={rounds} secs={:.6} \
+         programs_per_sec={:.2} allocs_per_program={:.1} bytes_per_program={:.0}",
+        m.programs,
+        m.secs,
+        m.programs as f64 / m.secs,
+        m.allocs_per_program,
+        m.bytes_per_program,
+    );
+}
+
+fn main() {
+    let ds = bench::tiny_dataset();
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut store = ParamStore::new();
+    let cfg = LigerConfig { hidden: 16, attn: 16, ..LigerConfig::default() };
+    let model = LigerModel::new(&mut store, ds.vocabs.input.len(), cfg, &mut rng);
+    let progs: Vec<EncodedProgram> =
+        ds.train.iter().chain(ds.test.iter()).map(|s| s.liger.clone()).collect();
+    assert!(!progs.is_empty(), "tiny dataset produced no programs");
+
+    let rounds = 5;
+    println!("\nencoder forward throughput and allocation pressure ({} programs)", progs.len());
+
+    // Cold: fresh graph, uncached encode — every pass allocates from scratch.
+    let cold = measure(&progs, rounds, |prog| {
+        let mut g = Graph::new();
+        let out = model.encode(&mut g, &store, prog);
+        g.value(out.program).data().iter().map(|v| v.to_bits() as u64).sum()
+    });
+    emit("cold", &cold, rounds);
+
+    // Steady-state: one workspace, reset between programs. Warm one full
+    // pass first so the arena and buffer pool reach their high-water marks,
+    // then measure; also assert bitwise identity against the cold path.
+    let mut ws = Workspace::new();
+    for prog in &progs {
+        ws.reset();
+        let out = model.encode_memo(&mut ws, &store, prog);
+        let mut g = Graph::new();
+        let cold_out = model.encode(&mut g, &store, prog);
+        assert_eq!(
+            ws.graph.value(out.program).data(),
+            g.value(cold_out.program).data(),
+            "memoized embedding diverged from uncached"
+        );
+    }
+    let steady = measure(&progs, rounds, |prog| {
+        ws.reset();
+        let out = model.encode_memo(&mut ws, &store, prog);
+        ws.graph.value(out.program).data().iter().map(|v| v.to_bits() as u64).sum()
+    });
+    emit("steady", &steady, rounds);
+
+    let reduction = cold.allocs_per_program / steady.allocs_per_program.max(1.0);
+    println!(
+        "ENCODE mode=summary alloc_reduction={reduction:.1} speedup={:.2} replays={}",
+        cold.secs / steady.secs,
+        ws.replays(),
+    );
+    assert!(
+        reduction >= 10.0,
+        "steady-state allocation reduction {reduction:.1}x below the 10x target"
+    );
+}

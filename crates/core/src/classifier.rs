@@ -6,7 +6,7 @@
 //! add a one layer softmax regression to serve the prediction task."
 
 use crate::encode::EncodedProgram;
-use crate::model::LigerModel;
+use crate::model::{LigerModel, Workspace};
 use nn::Linear;
 use rand::Rng;
 use tensor::{Graph, ParamId, ParamStore, VarId};
@@ -66,9 +66,51 @@ impl LigerClassifier {
 
     /// Greedy prediction: the argmax class.
     pub fn predict(&self, store: &ParamStore, prog: &EncodedProgram) -> usize {
-        let mut g = Graph::new();
-        let logits = self.logits(&mut g, store, prog);
-        argmax(g.value(logits).data())
+        let mut ws = Workspace::new();
+        self.predict_in(&mut ws, store, prog)
+    }
+
+    /// [`LigerClassifier::logits`] with embedding memoization against a
+    /// reusable [`Workspace`] (resets the workspace first).
+    pub fn logits_memo(
+        &self,
+        ws: &mut Workspace,
+        store: &ParamStore,
+        prog: &EncodedProgram,
+    ) -> VarId {
+        let enc = self.model.encode_memo(ws, store, prog);
+        self.head.forward(&mut ws.graph, store, enc.program)
+    }
+
+    /// [`LigerClassifier::loss`] against a reusable [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `label >= num_classes`.
+    pub fn loss_memo(
+        &self,
+        ws: &mut Workspace,
+        store: &ParamStore,
+        prog: &EncodedProgram,
+        label: usize,
+    ) -> VarId {
+        assert!(label < self.num_classes, "label {label} out of {} classes", self.num_classes);
+        let logits = self.logits_memo(ws, store, prog);
+        ws.graph.cross_entropy(logits, label)
+    }
+
+    /// [`LigerClassifier::predict`] against a reusable [`Workspace`]
+    /// (resets the workspace first) — the arena-reuse path for bulk
+    /// evaluation.
+    pub fn predict_in(
+        &self,
+        ws: &mut Workspace,
+        store: &ParamStore,
+        prog: &EncodedProgram,
+    ) -> usize {
+        ws.reset();
+        let logits = self.logits_memo(ws, store, prog);
+        argmax(ws.graph.value(logits).data())
     }
 }
 
@@ -93,14 +135,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn prog(token: usize) -> EncodedProgram {
-        EncodedProgram {
-            traces: vec![EncBlended {
-                steps: vec![EncStep {
-                    tree: EncTree { token, children: vec![] },
-                    states: vec![EncState { vars: vec![EncVar::Primitive(token + 1)] }],
-                }],
+        EncodedProgram::from_traces(vec![EncBlended {
+            steps: vec![EncStep {
+                tree: EncTree { token, children: vec![] },
+                states: vec![EncState { vars: vec![EncVar::Primitive(token + 1)] }],
             }],
-        }
+        }])
     }
 
     fn setup() -> (ParamStore, LigerClassifier) {

@@ -11,7 +11,7 @@ use crate::model::EncoderOutput;
 use crate::vocab::{TokenId, EOS, SOS};
 use nn::{AttentionScorer, Embedding, Linear, RnnCell};
 use rand::Rng;
-use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+use tensor::{Graph, ParamId, ParamStore, VarId};
 
 /// The attentive sub-token decoder.
 #[derive(Debug, Clone, Copy)]
@@ -64,7 +64,7 @@ impl NameDecoder {
         let h_next = self.rnn.step(g, store, x, h);
         let ctx = if memory.is_empty() {
             let hidden = g.value(h_next).rows();
-            g.input(Tensor::zeros(hidden, 1))
+            g.zeros(hidden, 1)
         } else {
             let (ctx, _) = self.a2.attend(g, store, h_next, memory, None);
             ctx
@@ -240,14 +240,12 @@ mod tests {
         let cfg = LigerConfig { hidden: 6, attn: 6, ..LigerConfig::default() };
         let model = LigerModel::new(&mut store, 12, cfg, &mut rng);
         let dec = NameDecoder::new(&mut store, 8, 6, 6, &mut rng);
-        let prog = EncodedProgram {
-            traces: vec![EncBlended {
-                steps: vec![EncStep {
-                    tree: EncTree { token: 1, children: vec![] },
-                    states: vec![EncState { vars: vec![EncVar::Primitive(2)] }],
-                }],
+        let prog = EncodedProgram::from_traces(vec![EncBlended {
+            steps: vec![EncStep {
+                tree: EncTree { token: 1, children: vec![] },
+                states: vec![EncState { vars: vec![EncVar::Primitive(2)] }],
             }],
-        };
+        }]);
         (store, model, dec, prog)
     }
 

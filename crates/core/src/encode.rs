@@ -5,9 +5,27 @@
 //! Figure 5 — U blended traces, each a sequence of ordered pairs
 //! ⟨statement-tree, {states}⟩ with every token resolved against the shared
 //! vocabulary.
+//!
+//! ## Hash-consing
+//!
+//! By Definition 2.3 one symbolic trace is paired with several concrete
+//! traces, so the same statement tree appears in U blended traces and the
+//! same state encoding recurs across steps (loop iterations that don't
+//! touch a variable) — the encoded program is massively redundant. Instead
+//! of materialising that redundancy, trees, states and object token
+//! sequences are **interned** into a per-program [`EncPool`]: structurally
+//! identical values get the same stable id ([`TreeId`]/[`StateId`]/
+//! [`ObjId`]), so they are stored once and compared in O(1). The model
+//! layer keys its per-pass embedding memo on exactly these ids
+//! (DESIGN.md §2b).
+//!
+//! The detached builder types ([`EncTree`], [`EncState`], …) remain the
+//! construction-time representation; [`EncodedProgram::from_traces`]
+//! interns them.
 
 use crate::vocab::{TokenId, Vocab};
 use minilang::{AstTree, NodeLabel, Program};
+use std::collections::HashMap;
 use trace::{encode_state, BlendedTrace, VarEncoding};
 
 /// A statement AST with vocabulary-resolved labels, ready for the
@@ -44,7 +62,8 @@ pub struct EncState {
     pub vars: Vec<EncVar>,
 }
 
-/// One ordered pair θⱼ of an encoded blended trace.
+/// One ordered pair θⱼ of an encoded blended trace (detached builder
+/// form; interned by [`EncodedProgram::from_traces`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncStep {
     /// The statement's labelled tree (symbolic feature dimension).
@@ -54,29 +73,219 @@ pub struct EncStep {
     pub states: Vec<EncState>,
 }
 
-/// One encoded blended trace λᵢ.
+/// One encoded blended trace λᵢ (detached builder form).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncBlended {
     /// The ordered pairs θ₁ … θ_{|λ|}.
     pub steps: Vec<EncStep>,
 }
 
-/// A model-ready program: U encoded blended traces.
+/// Stable id of an interned statement tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TreeId(pub u32);
+
+/// Stable id of an interned program state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+/// Stable id of an interned object token sequence (`attr(v)`, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+/// An interned tree node: a token plus interned children. Equal subtrees
+/// share one [`TreeId`], so a node is O(width) to hash and compare.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TreeNode {
+    /// The node's token id.
+    pub token: TokenId,
+    /// Ordered children, by interned id.
+    pub children: Vec<TreeId>,
+}
+
+/// One variable of an interned program state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolVar {
+    /// A primitive value: embedded directly (`h'ᵥ = xᵥ`, §5.1).
+    Primitive(TokenId),
+    /// An object value: an interned `attr(v)` token sequence, embedded
+    /// with the f₁ RNN (Equation 3).
+    Object(ObjId),
+}
+
+/// One interned program state: one entry per variable slot.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateNode {
+    /// The variables in layout order.
+    pub vars: Vec<PoolVar>,
+}
+
+/// The hash-consing pool of one encoded program: every distinct subtree,
+/// state and object token sequence is stored exactly once, under a stable
+/// dense id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EncPool {
+    trees: Vec<TreeNode>,
+    tree_ids: HashMap<TreeNode, TreeId>,
+    states: Vec<StateNode>,
+    state_ids: HashMap<StateNode, StateId>,
+    objects: Vec<Vec<TokenId>>,
+    object_ids: HashMap<Vec<TokenId>, ObjId>,
+}
+
+impl EncPool {
+    /// An empty pool.
+    pub fn new() -> EncPool {
+        EncPool::default()
+    }
+
+    fn intern_node(&mut self, node: TreeNode) -> TreeId {
+        if let Some(&id) = self.tree_ids.get(&node) {
+            return id;
+        }
+        let id = TreeId(self.trees.len() as u32);
+        self.trees.push(node.clone());
+        self.tree_ids.insert(node, id);
+        id
+    }
+
+    /// Interns a detached tree bottom-up: children first, so an id is
+    /// assigned after (and therefore is always greater than) its
+    /// children's ids.
+    pub fn intern_tree(&mut self, tree: &EncTree) -> TreeId {
+        let children = tree.children.iter().map(|c| self.intern_tree(c)).collect();
+        self.intern_node(TreeNode { token: tree.token, children })
+    }
+
+    /// Interns an object token sequence.
+    pub fn intern_object(&mut self, tokens: &[TokenId]) -> ObjId {
+        if let Some(&id) = self.object_ids.get(tokens) {
+            return id;
+        }
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(tokens.to_vec());
+        self.object_ids.insert(tokens.to_vec(), id);
+        id
+    }
+
+    /// Interns a detached state (its object values first).
+    pub fn intern_state(&mut self, state: &EncState) -> StateId {
+        let vars = state
+            .vars
+            .iter()
+            .map(|v| match v {
+                EncVar::Primitive(t) => PoolVar::Primitive(*t),
+                EncVar::Object(ts) => PoolVar::Object(self.intern_object(ts)),
+            })
+            .collect();
+        let node = StateNode { vars };
+        if let Some(&id) = self.state_ids.get(&node) {
+            return id;
+        }
+        let id = StateId(self.states.len() as u32);
+        self.states.push(node.clone());
+        self.state_ids.insert(node, id);
+        id
+    }
+
+    /// The interned tree node behind `id`.
+    pub fn tree(&self, id: TreeId) -> &TreeNode {
+        &self.trees[id.0 as usize]
+    }
+
+    /// The interned state behind `id`.
+    pub fn state(&self, id: StateId) -> &StateNode {
+        &self.states[id.0 as usize]
+    }
+
+    /// The interned object token sequence behind `id`.
+    pub fn object(&self, id: ObjId) -> &[TokenId] {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Number of distinct interned subtrees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of distinct interned states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of distinct interned object sequences.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of nodes in the subtree behind `id` (each distinct shared
+    /// subtree counted as often as it appears).
+    pub fn tree_size(&self, id: TreeId) -> usize {
+        let node = self.tree(id);
+        1 + node.children.iter().map(|&c| self.tree_size(c)).sum::<usize>()
+    }
+}
+
+/// One ordered pair θⱼ of an interned blended trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncStepRef {
+    /// The statement's interned tree (symbolic feature dimension).
+    pub tree: TreeId,
+    /// The interned states this statement created in each concrete trace
+    /// (dynamic feature dimension) — length Nε.
+    pub states: Vec<StateId>,
+}
+
+/// One interned blended trace λᵢ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncBlendedRef {
+    /// The ordered pairs θ₁ … θ_{|λ|}, by interned id.
+    pub steps: Vec<EncStepRef>,
+}
+
+/// A model-ready program: U blended traces referencing one hash-consing
+/// pool. Structurally identical statements and states across all traces
+/// share a single pool entry.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EncodedProgram {
+    /// The hash-consing pool all trace ids resolve against.
+    pub pool: EncPool,
     /// The blended traces, one per path.
-    pub traces: Vec<EncBlended>,
+    pub traces: Vec<EncBlendedRef>,
 }
 
 impl EncodedProgram {
+    /// Interns detached blended traces into a fresh pool.
+    pub fn from_traces(traces: Vec<EncBlended>) -> EncodedProgram {
+        let mut pool = EncPool::new();
+        let traces = traces
+            .iter()
+            .map(|b| EncBlendedRef {
+                steps: b
+                    .steps
+                    .iter()
+                    .map(|s| EncStepRef {
+                        tree: pool.intern_tree(&s.tree),
+                        states: s.states.iter().map(|st| pool.intern_state(st)).collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        EncodedProgram { pool, traces }
+    }
+
     /// Total ordered pairs across all traces.
     pub fn total_steps(&self) -> usize {
         self.traces.iter().map(|t| t.steps.len()).sum()
     }
 
     /// Keeps only the first `n` traces (symbolic down-sampling helper).
+    /// The pool is carried over whole; entries referenced only by dropped
+    /// traces simply go unused.
     pub fn with_trace_limit(&self, n: usize) -> EncodedProgram {
-        EncodedProgram { traces: self.traces.iter().take(n.max(1)).cloned().collect() }
+        EncodedProgram {
+            pool: self.pool.clone(),
+            traces: self.traces.iter().take(n.max(1)).cloned().collect(),
+        }
     }
 }
 
@@ -206,7 +415,7 @@ pub fn encode_program(
             EncBlended { steps }
         })
         .collect();
-    EncodedProgram { traces }
+    EncodedProgram::from_traces(traces)
 }
 
 /// Adds every token a program's blended traces would produce to a growing
@@ -296,7 +505,92 @@ mod tests {
         let vocab = Vocab::new();
         let enc = encode_program(&p, &blended, &vocab, &EncodeOptions::default());
         let first = &enc.traces[0].steps[0];
-        assert_eq!(first.tree.token, 0);
+        assert_eq!(enc.pool.tree(first.tree).token, 0);
+    }
+
+    #[test]
+    fn identical_subtrees_are_interned_once() {
+        let leaf = |t: TokenId| EncTree { token: t, children: Vec::new() };
+        let stmt = EncTree { token: 9, children: vec![leaf(1), leaf(2)] };
+        // The same statement in two traces and twice in one trace.
+        let blended = vec![
+            EncBlended {
+                steps: vec![
+                    EncStep { tree: stmt.clone(), states: Vec::new() },
+                    EncStep { tree: stmt.clone(), states: Vec::new() },
+                ],
+            },
+            EncBlended { steps: vec![EncStep { tree: stmt.clone(), states: Vec::new() }] },
+        ];
+        let enc = EncodedProgram::from_traces(blended);
+        // 2 leaves + 1 statement node, not 9 nodes.
+        assert_eq!(enc.pool.num_trees(), 3);
+        let ids: Vec<TreeId> = enc
+            .traces
+            .iter()
+            .flat_map(|t| t.steps.iter().map(|s| s.tree))
+            .collect();
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[0], ids[2]);
+        assert_eq!(enc.pool.tree_size(ids[0]), 3);
+        // Ids resolve back to the original structure.
+        let node = enc.pool.tree(ids[0]);
+        assert_eq!(node.token, 9);
+        assert_eq!(node.children.len(), 2);
+        assert_eq!(enc.pool.tree(node.children[0]).token, 1);
+    }
+
+    #[test]
+    fn identical_states_and_objects_are_interned_once() {
+        let state = EncState {
+            vars: vec![EncVar::Primitive(4), EncVar::Object(vec![7, 8, 9])],
+        };
+        let other = EncState {
+            vars: vec![EncVar::Primitive(5), EncVar::Object(vec![7, 8, 9])],
+        };
+        let tree = EncTree { token: 1, children: Vec::new() };
+        let blended = vec![EncBlended {
+            steps: vec![
+                EncStep { tree: tree.clone(), states: vec![state.clone(), state.clone()] },
+                EncStep { tree, states: vec![state, other] },
+            ],
+        }];
+        let enc = EncodedProgram::from_traces(blended);
+        assert_eq!(enc.pool.num_states(), 2, "duplicate states must share an id");
+        assert_eq!(enc.pool.num_objects(), 1, "equal attr sequences must share an id");
+        let steps = &enc.traces[0].steps;
+        assert_eq!(steps[0].states[0], steps[0].states[1]);
+        assert_eq!(steps[0].states[0], steps[1].states[0]);
+        assert_ne!(steps[1].states[0], steps[1].states[1]);
+        assert_eq!(enc.pool.object(ObjId(0)), &[7, 8, 9]);
+        match enc.pool.state(steps[0].states[0]).vars[1] {
+            PoolVar::Object(o) => assert_eq!(enc.pool.object(o), &[7, 8, 9]),
+            PoolVar::Primitive(_) => panic!("expected object var"),
+        }
+    }
+
+    #[test]
+    fn real_traces_deduplicate_shared_statements() {
+        // Two concrete runs of the same path: every statement tree is
+        // shared, so the pool holds far fewer trees than total steps.
+        let (p, blended) =
+            blended_of(SRC, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+        let mut vocab = Vocab::new();
+        let opts = EncodeOptions::default();
+        program_into_vocab(&p, &blended, &mut vocab, &opts);
+        let enc = encode_program(&p, &blended, &vocab, &opts);
+        let total_tree_nodes: usize = enc
+            .traces
+            .iter()
+            .flat_map(|t| t.steps.iter())
+            .map(|s| enc.pool.tree_size(s.tree))
+            .sum();
+        assert!(
+            enc.pool.num_trees() < total_tree_nodes,
+            "interning must deduplicate ({} unique vs {} referenced)",
+            enc.pool.num_trees(),
+            total_tree_nodes
+        );
     }
 
     #[test]

@@ -88,11 +88,13 @@ pub use classifier::{argmax, LigerClassifier};
 pub use decoder::NameDecoder;
 pub use encode::{
     encode_program, encode_tree, encode_tree_in, program_into_vocab, tree_into_vocab,
-    tree_into_vocab_in, EncBlended, EncState, EncStep, EncTree, EncVar, EncodeOptions,
-    EncodedProgram,
+    tree_into_vocab_in, EncBlended, EncBlendedRef, EncPool, EncState, EncStep, EncStepRef,
+    EncTree, EncVar, EncodeOptions, EncodedProgram, ObjId, PoolVar, StateId, StateNode,
+    TreeId, TreeNode,
 };
-pub use model::{Ablation, EncoderOutput, LigerConfig, LigerModel};
+pub use model::{Ablation, EncoderOutput, LigerConfig, LigerModel, Workspace};
 pub use train::{
-    train_classifier, train_namer, ClassSample, LigerNamer, NameSample, TrainConfig,
+    train_classifier, train_classifier_with, train_namer, train_namer_with, ClassSample,
+    EncodeMode, LigerNamer, NameSample, TrainConfig,
 };
 pub use vocab::{OutVocab, TokenId, Vocab, EOS, SOS, UNK};

@@ -18,11 +18,27 @@
 //!
 //! The ablation switches of §6.3 (no static / no dynamic / no attention)
 //! are first-class configuration.
+//!
+//! ## Embedding memoization
+//!
+//! Within one forward pass the same interned statement tree is embedded
+//! once per blended trace (U times) and recurring states once per
+//! occurrence. [`LigerModel::encode_memo`] eliminates that recomputation:
+//! the first occurrence of an interned id runs normally, the second runs
+//! normally while its graph-node span is recorded, and every later
+//! occurrence replays the recorded span via `Graph::replay_span` — a
+//! memcpy of ops and values instead of TreeLSTM/RNN kernel evaluations.
+//! Because the replayed span is node-for-node the tape an uncached pass
+//! would have pushed, forward values, gradient flow, and parameter
+//! updates are **bitwise identical** to [`LigerModel::encode`]
+//! (DESIGN.md §2b; proven by the equivalence tests below and the training
+//! proptest in `tests/autodiff_properties.rs`).
 
-use crate::encode::{EncState, EncTree, EncVar, EncodedProgram};
+use crate::encode::{EncPool, EncodedProgram, PoolVar, StateId, TreeId};
 use nn::{AttentionScorer, ChildSumTreeLstm, Embedding, RnnCell};
 use rand::Rng;
-use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+use std::collections::HashMap;
+use tensor::{Graph, ParamId, ParamStore, VarId};
 
 /// Which fusion-layer component to ablate (§6.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,8 +155,14 @@ impl LigerModel {
 
     /// Embeds a statement AST with the TreeLSTM, returning the root's
     /// hidden state h_sta.
-    pub fn embed_tree(&self, g: &mut Graph, store: &ParamStore, tree: &EncTree) -> VarId {
-        let state = self.embed_tree_rec(g, store, tree);
+    pub fn embed_tree(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        pool: &EncPool,
+        id: TreeId,
+    ) -> VarId {
+        let state = self.embed_tree_rec(g, store, pool, id);
         state.h
     }
 
@@ -148,24 +170,33 @@ impl LigerModel {
         &self,
         g: &mut Graph,
         store: &ParamStore,
-        tree: &EncTree,
+        pool: &EncPool,
+        id: TreeId,
     ) -> nn::LstmState {
+        let node = pool.tree(id);
         let children: Vec<nn::LstmState> =
-            tree.children.iter().map(|c| self.embed_tree_rec(g, store, c)).collect();
-        let x = self.emb.lookup(g, store, tree.token);
+            node.children.iter().map(|&c| self.embed_tree_rec(g, store, pool, c)).collect();
+        let x = self.emb.lookup(g, store, node.token);
         self.tree.node(g, store, x, &children)
     }
 
     /// Embeds one program state: per-variable embeddings (f₁ for objects,
     /// direct for primitives) threaded through the state RNN f₂.
-    pub fn embed_state(&self, g: &mut Graph, store: &ParamStore, state: &EncState) -> VarId {
-        let var_vecs: Vec<VarId> = state
+    pub fn embed_state(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        pool: &EncPool,
+        id: StateId,
+    ) -> VarId {
+        let node = pool.state(id);
+        let var_vecs: Vec<VarId> = node
             .vars
             .iter()
             .map(|v| match v {
-                EncVar::Primitive(t) => self.emb.lookup(g, store, *t),
-                EncVar::Object(ts) => {
-                    let xs = self.emb.lookup_seq(g, store, ts);
+                PoolVar::Primitive(t) => self.emb.lookup(g, store, *t),
+                PoolVar::Object(o) => {
+                    let xs = self.emb.lookup_seq(g, store, pool.object(*o));
                     self.f1.encode(g, store, &xs)
                 }
             })
@@ -173,8 +204,113 @@ impl LigerModel {
         self.f2.encode(g, store, &var_vecs)
     }
 
+    /// Memoized [`LigerModel::embed_tree`]: occurrence 1 of an interned id
+    /// computes normally, occurrence 2 computes normally while recording
+    /// its node span, occurrence 3+ replays the span. Recording the
+    /// *second* occurrence guarantees the span contains no
+    /// first-occurrence `param_row` leaves (occurrence 1 filled the row
+    /// cache), which is exactly the `Graph::replay_span` precondition —
+    /// and it makes the memoized tape node-for-node identical to the
+    /// uncached one.
+    fn embed_tree_memo(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        pool: &EncPool,
+        id: TreeId,
+        memo: Option<&mut EmbedMemo>,
+    ) -> VarId {
+        let Some(memo) = memo else {
+            return self.embed_tree(g, store, pool, id);
+        };
+        match memo.trees.get(&id).copied() {
+            Some(MemoEntry::Ready { start, len, result_rel }) => {
+                memo.replays += 1;
+                let new_start = g.replay_span(start, len);
+                g.var(new_start + result_rel)
+            }
+            Some(MemoEntry::Once) => {
+                let start = g.len();
+                let h = self.embed_tree(g, store, pool, id);
+                let entry = MemoEntry::Ready {
+                    start,
+                    len: g.len() - start,
+                    result_rel: h.index() - start,
+                };
+                memo.trees.insert(id, entry);
+                h
+            }
+            None => {
+                memo.trees.insert(id, MemoEntry::Once);
+                self.embed_tree(g, store, pool, id)
+            }
+        }
+    }
+
+    /// Memoized [`LigerModel::embed_state`] (same protocol as
+    /// [`LigerModel::embed_tree_memo`]).
+    fn embed_state_memo(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        pool: &EncPool,
+        id: StateId,
+        memo: Option<&mut EmbedMemo>,
+    ) -> VarId {
+        let Some(memo) = memo else {
+            return self.embed_state(g, store, pool, id);
+        };
+        match memo.states.get(&id).copied() {
+            Some(MemoEntry::Ready { start, len, result_rel }) => {
+                memo.replays += 1;
+                let new_start = g.replay_span(start, len);
+                g.var(new_start + result_rel)
+            }
+            Some(MemoEntry::Once) => {
+                let start = g.len();
+                let h = self.embed_state(g, store, pool, id);
+                let entry = MemoEntry::Ready {
+                    start,
+                    len: g.len() - start,
+                    result_rel: h.index() - start,
+                };
+                memo.states.insert(id, entry);
+                h
+            }
+            None => {
+                memo.states.insert(id, MemoEntry::Once);
+                self.embed_state(g, store, pool, id)
+            }
+        }
+    }
+
     /// Encodes a whole program (all blended traces) per Figure 5.
     pub fn encode(&self, g: &mut Graph, store: &ParamStore, prog: &EncodedProgram) -> EncoderOutput {
+        self.encode_impl(g, store, prog, None)
+    }
+
+    /// [`LigerModel::encode`] with per-pass embedding memoization against
+    /// a reusable [`Workspace`]. Produces a bitwise-identical tape — same
+    /// values, same gradients — while skipping every repeated
+    /// statement/state embedding. Call [`Workspace::reset`] between
+    /// examples.
+    pub fn encode_memo(
+        &self,
+        ws: &mut Workspace,
+        store: &ParamStore,
+        prog: &EncodedProgram,
+    ) -> EncoderOutput {
+        let Workspace { graph, memo } = ws;
+        self.encode_impl(graph, store, prog, Some(memo))
+    }
+
+    fn encode_impl(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        prog: &EncodedProgram,
+        mut memo: Option<&mut EmbedMemo>,
+    ) -> EncoderOutput {
         let mut flow: Vec<Vec<VarId>> = Vec::new();
         let mut trace_embeddings: Vec<VarId> = Vec::new();
         let mut static_attention: Vec<f32> = Vec::new();
@@ -189,11 +325,23 @@ impl LigerModel {
                 let mut features: Vec<VarId> = Vec::new();
                 let has_static = self.cfg.ablation != Ablation::NoStatic;
                 if has_static {
-                    features.push(self.embed_tree(g, store, &step.tree));
+                    features.push(self.embed_tree_memo(
+                        g,
+                        store,
+                        &prog.pool,
+                        step.tree,
+                        memo.as_deref_mut(),
+                    ));
                 }
                 if self.cfg.ablation != Ablation::NoDynamic {
-                    for s in &step.states {
-                        features.push(self.embed_state(g, store, s));
+                    for &s in &step.states {
+                        features.push(self.embed_state_memo(
+                            g,
+                            store,
+                            &prog.pool,
+                            s,
+                            memo.as_deref_mut(),
+                        ));
                     }
                 }
                 debug_assert!(!features.is_empty(), "fusion layer needs at least one feature");
@@ -229,7 +377,7 @@ impl LigerModel {
         }
 
         let program = if trace_embeddings.is_empty() {
-            g.input(Tensor::zeros(self.cfg.hidden, 1))
+            g.zeros(self.cfg.hidden, 1)
         } else {
             g.max_pool(&trace_embeddings)
         };
@@ -237,10 +385,64 @@ impl LigerModel {
     }
 }
 
+/// One occurrence-tracking entry of an [`EmbedMemo`].
+#[derive(Debug, Clone, Copy)]
+enum MemoEntry {
+    /// Seen once; computed normally, not yet recorded.
+    Once,
+    /// Seen at least twice; the recorded graph-node span of the second
+    /// occurrence, ready for `Graph::replay_span`.
+    Ready { start: usize, len: usize, result_rel: usize },
+}
+
+/// The per-pass embedding memo: interned-id → recorded span. Valid only
+/// for the graph it was built against; [`Workspace::reset`] clears both
+/// together.
+#[derive(Debug, Default)]
+struct EmbedMemo {
+    trees: HashMap<TreeId, MemoEntry>,
+    states: HashMap<StateId, MemoEntry>,
+    replays: u64,
+}
+
+/// A reusable per-worker encoding arena: one long-lived [`Graph`] (whose
+/// buffer pool serves each example's tensors from recycled storage) plus
+/// the embedding memo keyed on interned ids. Hold one per `par` worker
+/// and [`Workspace::reset`] it between examples.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// The graph arena; exposed so callers can read values and run
+    /// backward on it.
+    pub graph: Graph,
+    memo: EmbedMemo,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Clears the graph (retaining arena capacity) and the embedding memo
+    /// — the memo's recorded spans are positions in the cleared tape, so
+    /// the two must never be reset separately.
+    pub fn reset(&mut self) {
+        self.graph.reset();
+        self.memo.trees.clear();
+        self.memo.states.clear();
+    }
+
+    /// Number of span replays served by the memo since construction (a
+    /// diagnostic: each one is a skipped statement/state re-embedding).
+    pub fn replays(&self) -> u64 {
+        self.memo.replays
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::encode::{EncBlended, EncStep};
+    use crate::encode::{EncBlended, EncState, EncStep, EncTree, EncVar};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -257,11 +459,9 @@ mod tests {
                 })
                 .collect(),
         };
-        EncodedProgram {
-            traces: (0..n_traces)
-                .map(|_| EncBlended { steps: vec![step.clone(); n_steps] })
-                .collect(),
-        }
+        EncodedProgram::from_traces(
+            (0..n_traces).map(|_| EncBlended { steps: vec![step.clone(); n_steps] }).collect(),
+        )
     }
 
     fn model(ablation: Ablation) -> (ParamStore, LigerModel) {
@@ -351,5 +551,62 @@ mod tests {
         let loss = g.cross_entropy(out.program, 0);
         g.backward(loss, &mut store);
         assert!(store.grad_norm() > 0.0, "no gradient reached the parameters");
+    }
+
+    #[test]
+    fn memoized_encode_is_bitwise_identical_to_uncached() {
+        for ablation in
+            [Ablation::Full, Ablation::NoStatic, Ablation::NoDynamic, Ablation::NoAttention]
+        {
+            let (store, m) = model(ablation);
+            // Repeated trees (3 traces of the same steps) and repeated
+            // states — the memo's whole purpose.
+            let prog = tiny_program(3, 4, 2);
+
+            let mut g = Graph::new();
+            let plain = m.encode(&mut g, &store, &prog);
+            let plain_len = g.len();
+            let (_, plain_grads) = {
+                let loss = g.cross_entropy(plain.program, 0);
+                g.backward_grads(loss, &store)
+            };
+
+            let mut ws = Workspace::new();
+            // Two passes through the same workspace: the second exercises
+            // reset() + warm arena.
+            for pass in 0..2 {
+                ws.reset();
+                let memo = m.encode_memo(&mut ws, &store, &prog);
+                assert_eq!(
+                    ws.graph.len(),
+                    plain_len,
+                    "{ablation:?} pass {pass}: memoized tape must be node-for-node identical"
+                );
+                let bits = |t: &tensor::Tensor| {
+                    t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                };
+                assert_eq!(
+                    bits(ws.graph.value(memo.program)),
+                    bits(g.value(plain.program)),
+                    "{ablation:?} pass {pass}: program embedding diverged"
+                );
+                assert_eq!(memo.static_attention, plain.static_attention);
+                assert_eq!(memo.flow.len(), plain.flow.len());
+                let loss = ws.graph.cross_entropy(memo.program, 0);
+                let memo_grads = ws.graph.backward_into(loss, &store);
+                let grad_bits = |pg: &tensor::ParamGrads| -> Vec<(usize, Vec<u32>)> {
+                    pg.iter()
+                        .map(|(id, t)| (id.0, t.data().iter().map(|v| v.to_bits()).collect()))
+                        .collect()
+                };
+                assert_eq!(
+                    grad_bits(&plain_grads),
+                    grad_bits(&memo_grads),
+                    "{ablation:?} pass {pass}: gradients diverged"
+                );
+            }
+            // Any program with this much repetition must hit the memo.
+            assert!(ws.replays() > 0, "{ablation:?}: memo never replayed");
+        }
     }
 }

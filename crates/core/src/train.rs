@@ -6,23 +6,29 @@
 //! scale.
 //!
 //! Mini-batches are data-parallel: each example's forward/backward runs as
-//! an independent task over a shared `&ParamStore` (via
-//! [`Graph::backward_grads`], which returns a detached
-//! [`tensor::ParamGrads`] instead of mutating the store), fanned out with
-//! [`par::par_map_ordered`]. The main thread then folds losses and
+//! an independent task over a shared `&ParamStore`, fanned out with
+//! [`par::par_map_ordered_with`]. The main thread then folds losses and
 //! gradients back **in example order** before the single Adam step, so the
 //! trained parameters are bitwise identical for any `LIGER_THREADS`
 //! setting — see DESIGN.md's determinism contract.
+//!
+//! Each worker owns a persistent [`Workspace`] that survives across
+//! batches and epochs: the graph arena and its buffer pool are recycled
+//! via `Workspace::reset`, and repeated statement/state embeddings are
+//! served by span replay ([`EncodeMode::Memoized`], the default). The
+//! memoized path is bitwise identical to [`EncodeMode::Uncached`] — the
+//! fresh-graph-per-example reference implementation kept for the
+//! equivalence proptests.
 
 use crate::decoder::NameDecoder;
 use crate::encode::EncodedProgram;
-use crate::model::{LigerConfig, LigerModel};
+use crate::model::{LigerConfig, LigerModel, Workspace};
 use crate::vocab::TokenId;
 use crate::LigerClassifier;
 use nn::Adam;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use tensor::{Graph, ParamStore};
+use tensor::{Graph, ParamGrads, ParamStore};
 
 /// Training hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +45,18 @@ impl Default for TrainConfig {
     fn default() -> Self {
         TrainConfig { epochs: 8, lr: 0.01, batch_size: 8 }
     }
+}
+
+/// How training encodes each example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodeMode {
+    /// Reusable per-worker arenas + embedding memoization (the fast
+    /// path; bitwise identical to `Uncached`).
+    #[default]
+    Memoized,
+    /// A fresh graph per example, no memo — the reference implementation
+    /// the equivalence tests compare against.
+    Uncached,
 }
 
 /// A labelled method-name example.
@@ -85,21 +103,78 @@ impl LigerNamer {
 
     /// Predicts a method name (sub-token ids, no `<EOS>`).
     pub fn predict(&self, store: &ParamStore, prog: &EncodedProgram) -> Vec<TokenId> {
-        let mut g = Graph::new();
-        let enc = self.model.encode(&mut g, store, prog);
-        self.decoder.greedy(&mut g, store, &enc, self.model.cfg.max_name_len)
+        let mut ws = Workspace::new();
+        self.predict_in(&mut ws, store, prog)
+    }
+
+    /// [`LigerNamer::predict`] against a reusable [`Workspace`] (resets
+    /// the workspace first) — the arena-reuse path for bulk evaluation.
+    pub fn predict_in(
+        &self,
+        ws: &mut Workspace,
+        store: &ParamStore,
+        prog: &EncodedProgram,
+    ) -> Vec<TokenId> {
+        ws.reset();
+        let enc = self.model.encode_memo(ws, store, prog);
+        self.decoder.greedy(&mut ws.graph, store, &enc, self.model.cfg.max_name_len)
     }
 
     /// Mean fusion attention on the static feature for one program, at the
     /// current parameters (§6.1.2's measurement).
     pub fn static_attention(&self, store: &ParamStore, prog: &EncodedProgram) -> Option<f32> {
-        let mut g = Graph::new();
-        let enc = self.model.encode(&mut g, store, prog);
+        let mut ws = Workspace::new();
+        self.static_attention_in(&mut ws, store, prog)
+    }
+
+    /// [`LigerNamer::static_attention`] against a reusable [`Workspace`]
+    /// (resets the workspace first).
+    pub fn static_attention_in(
+        &self,
+        ws: &mut Workspace,
+        store: &ParamStore,
+        prog: &EncodedProgram,
+    ) -> Option<f32> {
+        ws.reset();
+        let enc = self.model.encode_memo(ws, store, prog);
         enc.mean_static_attention()
     }
 }
 
-/// Trains a namer; returns mean training loss per epoch.
+/// One example's contribution: (loss value, detached gradients).
+type ExampleResult = (f32, ParamGrads);
+
+/// Forward+backward for one namer example on a reusable workspace.
+fn namer_example_memo(
+    namer: &LigerNamer,
+    ws: &mut Workspace,
+    store: &ParamStore,
+    sample: &NameSample,
+) -> ExampleResult {
+    ws.reset();
+    let enc = namer.model.encode_memo(ws, store, &sample.program);
+    let loss = namer.decoder.loss(&mut ws.graph, store, &enc, &sample.target);
+    let loss_val = ws.graph.value(loss).item();
+    let grads = ws.graph.backward_into(loss, store);
+    (loss_val, grads)
+}
+
+/// Forward+backward for one namer example on a fresh graph (reference).
+fn namer_example_uncached(
+    namer: &LigerNamer,
+    store: &ParamStore,
+    sample: &NameSample,
+) -> ExampleResult {
+    let mut g = Graph::new();
+    let enc = namer.model.encode(&mut g, store, &sample.program);
+    let loss = namer.decoder.loss(&mut g, store, &enc, &sample.target);
+    let loss_val = g.value(loss).item();
+    let (_, grads) = g.backward_grads(loss, store);
+    (loss_val, grads)
+}
+
+/// Trains a namer; returns mean training loss per epoch. Uses the
+/// memoized arena-reuse path ([`EncodeMode::Memoized`]).
 pub fn train_namer<R: Rng + ?Sized>(
     namer: &LigerNamer,
     store: &mut ParamStore,
@@ -107,9 +182,26 @@ pub fn train_namer<R: Rng + ?Sized>(
     cfg: &TrainConfig,
     rng: &mut R,
 ) -> Vec<f32> {
+    train_namer_with(namer, store, samples, cfg, rng, EncodeMode::Memoized)
+}
+
+/// [`train_namer`] with an explicit [`EncodeMode`]. Both modes produce
+/// bitwise-identical parameters (asserted by
+/// `tests/autodiff_properties.rs`); `Uncached` exists as the reference.
+pub fn train_namer_with<R: Rng + ?Sized>(
+    namer: &LigerNamer,
+    store: &mut ParamStore,
+    samples: &[NameSample],
+    cfg: &TrainConfig,
+    rng: &mut R,
+    mode: EncodeMode,
+) -> Vec<f32> {
     let mut adam = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    // One workspace per par worker, persistent across batches and epochs:
+    // after the first batch every arena take is a pool hit.
+    let mut workspaces: Vec<Workspace> = Vec::new();
     for _ in 0..cfg.epochs {
         order.shuffle(rng);
         let mut total = 0.0f32;
@@ -121,14 +213,17 @@ pub fn train_namer<R: Rng + ?Sized>(
                 .filter(|s| !s.program.traces.is_empty() && !s.target.is_empty())
                 .collect();
             let shared: &ParamStore = store;
-            let results = par::par_map_ordered(&batch, |_, sample| {
-                let mut g = Graph::new();
-                let enc = namer.model.encode(&mut g, shared, &sample.program);
-                let loss = namer.decoder.loss(&mut g, shared, &enc, &sample.target);
-                let loss_val = g.value(loss).item();
-                let (_, grads) = g.backward_grads(loss, shared);
-                (loss_val, grads)
-            });
+            let results = match mode {
+                EncodeMode::Memoized => par::par_map_ordered_with(
+                    &batch,
+                    &mut workspaces,
+                    Workspace::new,
+                    |ws, _, sample| namer_example_memo(namer, ws, shared, sample),
+                ),
+                EncodeMode::Uncached => par::par_map_ordered(&batch, |_, sample| {
+                    namer_example_uncached(namer, shared, sample)
+                }),
+            };
             for (loss_val, grads) in &results {
                 total += loss_val;
                 count += 1;
@@ -141,7 +236,22 @@ pub fn train_namer<R: Rng + ?Sized>(
     epoch_losses
 }
 
-/// Trains a classifier; returns mean training loss per epoch.
+/// Forward+backward for one classifier example on a reusable workspace.
+fn classifier_example_memo(
+    cls: &LigerClassifier,
+    ws: &mut Workspace,
+    store: &ParamStore,
+    sample: &ClassSample,
+) -> ExampleResult {
+    ws.reset();
+    let loss = cls.loss_memo(ws, store, &sample.program, sample.label);
+    let loss_val = ws.graph.value(loss).item();
+    let grads = ws.graph.backward_into(loss, store);
+    (loss_val, grads)
+}
+
+/// Trains a classifier; returns mean training loss per epoch. Uses the
+/// memoized arena-reuse path ([`EncodeMode::Memoized`]).
 pub fn train_classifier<R: Rng + ?Sized>(
     cls: &LigerClassifier,
     store: &mut ParamStore,
@@ -149,9 +259,22 @@ pub fn train_classifier<R: Rng + ?Sized>(
     cfg: &TrainConfig,
     rng: &mut R,
 ) -> Vec<f32> {
+    train_classifier_with(cls, store, samples, cfg, rng, EncodeMode::Memoized)
+}
+
+/// [`train_classifier`] with an explicit [`EncodeMode`].
+pub fn train_classifier_with<R: Rng + ?Sized>(
+    cls: &LigerClassifier,
+    store: &mut ParamStore,
+    samples: &[ClassSample],
+    cfg: &TrainConfig,
+    rng: &mut R,
+    mode: EncodeMode,
+) -> Vec<f32> {
     let mut adam = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..samples.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut workspaces: Vec<Workspace> = Vec::new();
     for _ in 0..cfg.epochs {
         order.shuffle(rng);
         let mut total = 0.0f32;
@@ -163,13 +286,21 @@ pub fn train_classifier<R: Rng + ?Sized>(
                 .filter(|s| !s.program.traces.is_empty())
                 .collect();
             let shared: &ParamStore = store;
-            let results = par::par_map_ordered(&batch, |_, sample| {
-                let mut g = Graph::new();
-                let loss = cls.loss(&mut g, shared, &sample.program, sample.label);
-                let loss_val = g.value(loss).item();
-                let (_, grads) = g.backward_grads(loss, shared);
-                (loss_val, grads)
-            });
+            let results = match mode {
+                EncodeMode::Memoized => par::par_map_ordered_with(
+                    &batch,
+                    &mut workspaces,
+                    Workspace::new,
+                    |ws, _, sample| classifier_example_memo(cls, ws, shared, sample),
+                ),
+                EncodeMode::Uncached => par::par_map_ordered(&batch, |_, sample| {
+                    let mut g = Graph::new();
+                    let loss = cls.loss(&mut g, shared, &sample.program, sample.label);
+                    let loss_val = g.value(loss).item();
+                    let (_, grads) = g.backward_grads(loss, shared);
+                    (loss_val, grads)
+                }),
+            };
             for (loss_val, grads) in &results {
                 total += loss_val;
                 count += 1;
@@ -191,14 +322,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn prog(token: usize) -> EncodedProgram {
-        EncodedProgram {
-            traces: vec![EncBlended {
-                steps: vec![EncStep {
-                    tree: EncTree { token, children: vec![] },
-                    states: vec![EncState { vars: vec![EncVar::Primitive(token + 1)] }],
-                }],
+        EncodedProgram::from_traces(vec![EncBlended {
+            steps: vec![EncStep {
+                tree: EncTree { token, children: vec![] },
+                states: vec![EncState { vars: vec![EncVar::Primitive(token + 1)] }],
             }],
-        }
+        }])
     }
 
     #[test]
@@ -235,6 +364,42 @@ mod tests {
         assert!(losses.last().unwrap() < &losses[0]);
         assert_eq!(cls.predict(&store, &samples[0].program), 0);
         assert_eq!(cls.predict(&store, &samples[1].program), 1);
+    }
+
+    #[test]
+    fn memoized_and_uncached_training_are_bitwise_identical() {
+        let build = || {
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(31);
+            let cfg = LigerConfig { hidden: 6, attn: 6, ..LigerConfig::default() };
+            let namer = LigerNamer::new(&mut store, 12, 8, cfg, &mut rng);
+            (store, namer)
+        };
+        let samples = vec![
+            NameSample { program: prog(1), target: vec![4, EOS] },
+            NameSample { program: prog(5), target: vec![5, EOS] },
+            NameSample { program: prog(2), target: vec![6, EOS] },
+        ];
+        let tc = TrainConfig { epochs: 3, lr: 0.02, batch_size: 2 };
+        let bits = |store: &ParamStore| -> Vec<u32> {
+            store.iter().flat_map(|p| p.value.data().iter().map(|v| v.to_bits())).collect()
+        };
+
+        let (mut store_m, namer) = build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let losses_m =
+            train_namer_with(&namer, &mut store_m, &samples, &tc, &mut rng, EncodeMode::Memoized);
+
+        let (mut store_u, _) = build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let losses_u =
+            train_namer_with(&namer, &mut store_u, &samples, &tc, &mut rng, EncodeMode::Uncached);
+
+        assert_eq!(
+            losses_m.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            losses_u.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+        );
+        assert_eq!(bits(&store_m), bits(&store_u), "memoized training diverged");
     }
 
     #[test]

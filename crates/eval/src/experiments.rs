@@ -303,12 +303,15 @@ pub fn liger_method_scores(
     liger::train_namer(&namer, &mut store, &samples, &scale.train_config(), &mut rng);
 
     // Batched prediction: each test program re-encodes and decodes
-    // independently against the frozen parameters.
-    let predictions = par::par_map_ordered(&ds.test, |_, s| {
-        let prog = at(s);
-        let predicted = ds.vocabs.output.decode_name(&namer.predict(&store, &prog));
-        (predicted, namer.static_attention(&store, &prog))
-    });
+    // independently against the frozen parameters, on a persistent
+    // per-worker workspace (graph arena + embedding memo).
+    let mut workspaces: Vec<liger::Workspace> = Vec::new();
+    let predictions =
+        par::par_map_ordered_with(&ds.test, &mut workspaces, liger::Workspace::new, |ws, _, s| {
+            let prog = at(s);
+            let predicted = ds.vocabs.output.decode_name(&namer.predict_in(ws, &store, &prog));
+            (predicted, namer.static_attention_in(ws, &store, &prog))
+        });
     let mut metric = PrecisionRecallF1::default();
     let mut attn_sum = 0.0f64;
     let mut attn_count = 0usize;
@@ -533,7 +536,13 @@ pub fn liger_coset_scores(
     let cls = LigerClassifier::new(&mut store, model, ds.num_classes, &mut rng);
     liger::train_classifier(&cls, &mut store, &samples, &scale.train_config(), &mut rng);
 
-    let predictions = par::par_map_ordered(&ds.test, |_, s| cls.predict(&store, &at(s)));
+    let mut workspaces: Vec<liger::Workspace> = Vec::new();
+    let predictions = par::par_map_ordered_with(
+        &ds.test,
+        &mut workspaces,
+        liger::Workspace::new,
+        |ws, _, s| cls.predict_in(ws, &store, &at(s)),
+    );
     let mut acc = Accuracy::default();
     let mut f1 = ClassF1::default();
     for (s, &predicted) in ds.test.iter().zip(&predictions) {

@@ -68,7 +68,9 @@ pub enum Keyword {
 }
 
 impl Keyword {
-    /// Returns the keyword for `s` if `s` is reserved.
+    /// Returns the keyword for `s` if `s` is reserved. Not the `FromStr`
+    /// trait: lookup is infallible-by-`Option`, not error-producing.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "fn" => Keyword::Fn,

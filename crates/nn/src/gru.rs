@@ -6,7 +6,7 @@
 //! reproduction's short traces.
 
 use rand::Rng;
-use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+use tensor::{Graph, ParamId, ParamStore, VarId};
 
 /// A gated recurrent unit: `h' = (1−z)⊙h + z⊙h̃` with update gate `z`,
 /// reset gate `r`, and candidate `h̃ = tanh(W x + U (r⊙h) + b)`.
@@ -53,9 +53,7 @@ impl GruCell {
         &self,
         g: &mut Graph,
         store: &ParamStore,
-        w: ParamId,
-        u: ParamId,
-        b: ParamId,
+        (w, u, b): (ParamId, ParamId, ParamId),
         x: VarId,
         h: VarId,
     ) -> VarId {
@@ -69,12 +67,12 @@ impl GruCell {
 
     /// One step of the cell.
     pub fn step(&self, g: &mut Graph, store: &ParamStore, x: VarId, h: VarId) -> VarId {
-        let z_pre = self.affine(g, store, self.wz, self.uz, self.bz, x, h);
+        let z_pre = self.affine(g, store, (self.wz, self.uz, self.bz), x, h);
         let z = g.sigmoid(z_pre);
-        let r_pre = self.affine(g, store, self.wr, self.ur, self.br, x, h);
+        let r_pre = self.affine(g, store, (self.wr, self.ur, self.br), x, h);
         let r = g.sigmoid(r_pre);
         let rh = g.mul(r, h);
-        let cand_pre = self.affine(g, store, self.wh, self.uh, self.bh, x, rh);
+        let cand_pre = self.affine(g, store, (self.wh, self.uh, self.bh), x, rh);
         let cand = g.tanh(cand_pre);
         // h' = h + z ⊙ (h̃ − h)
         let delta = g.sub(cand, h);
@@ -84,7 +82,7 @@ impl GruCell {
 
     /// A zero initial hidden state.
     pub fn zero_state(&self, g: &mut Graph) -> VarId {
-        g.input(Tensor::zeros(self.hidden, 1))
+        g.zeros(self.hidden, 1)
     }
 
     /// Runs over a sequence, returning the final hidden state.
@@ -109,7 +107,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use tensor::assert_grads_close;
+    use tensor::{assert_grads_close, Tensor};
 
     #[test]
     fn gru_gradients_check_out() {

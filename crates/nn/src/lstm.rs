@@ -68,9 +68,7 @@ impl LstmCell {
         &self,
         g: &mut Graph,
         store: &ParamStore,
-        w: ParamId,
-        u: ParamId,
-        b: ParamId,
+        (w, u, b): (ParamId, ParamId, ParamId),
         x: VarId,
         h: VarId,
     ) -> VarId {
@@ -84,13 +82,13 @@ impl LstmCell {
 
     /// One step of the cell.
     pub fn step(&self, g: &mut Graph, store: &ParamStore, x: VarId, state: LstmState) -> LstmState {
-        let i_pre = self.gate(g, store, self.wi, self.ui, self.bi, x, state.h);
+        let i_pre = self.gate(g, store, (self.wi, self.ui, self.bi), x, state.h);
         let i = g.sigmoid(i_pre);
-        let f_pre = self.gate(g, store, self.wf, self.uf, self.bf, x, state.h);
+        let f_pre = self.gate(g, store, (self.wf, self.uf, self.bf), x, state.h);
         let f = g.sigmoid(f_pre);
-        let o_pre = self.gate(g, store, self.wo, self.uo, self.bo, x, state.h);
+        let o_pre = self.gate(g, store, (self.wo, self.uo, self.bo), x, state.h);
         let o = g.sigmoid(o_pre);
-        let u_pre = self.gate(g, store, self.wu, self.uu, self.bu, x, state.h);
+        let u_pre = self.gate(g, store, (self.wu, self.uu, self.bu), x, state.h);
         let u = g.tanh(u_pre);
         let iu = g.mul(i, u);
         let fc = g.mul(f, state.c);
@@ -103,8 +101,8 @@ impl LstmCell {
     /// A zero initial state.
     pub fn zero_state(&self, g: &mut Graph) -> LstmState {
         LstmState {
-            h: g.input(Tensor::zeros(self.hidden, 1)),
-            c: g.input(Tensor::zeros(self.hidden, 1)),
+            h: g.zeros(self.hidden, 1),
+            c: g.zeros(self.hidden, 1),
         }
     }
 

@@ -5,7 +5,7 @@
 //! vanilla RNNs with 100 hidden units in the paper: hₜ = f(W·xₜ + V·hₜ₋₁).
 
 use rand::Rng;
-use tensor::{Graph, ParamId, ParamStore, Tensor, VarId};
+use tensor::{Graph, ParamId, ParamStore, VarId};
 
 /// A vanilla tanh RNN cell: `h' = tanh(W x + V h + b)`.
 #[derive(Debug, Clone, Copy)]
@@ -51,7 +51,7 @@ impl RnnCell {
 
     /// A zero initial hidden state.
     pub fn zero_state(&self, g: &mut Graph) -> VarId {
-        g.input(Tensor::zeros(self.hidden, 1))
+        g.zeros(self.hidden, 1)
     }
 
     /// Runs the cell over a sequence, returning every hidden state

@@ -69,7 +69,7 @@ impl ChildSumTreeLstm {
         children: &[LstmState],
     ) -> LstmState {
         let h_sum = if children.is_empty() {
-            g.input(tensor::Tensor::zeros(self.hidden, 1))
+            g.zeros(self.hidden, 1)
         } else {
             let hs: Vec<VarId> = children.iter().map(|c| c.h).collect();
             g.sum_vecs(&hs)

@@ -36,7 +36,7 @@ static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// (`None`), taking precedence over `LIGER_THREADS`. Intended for tests
 /// and benches that sweep thread counts inside one process.
 pub fn set_threads(n: Option<usize>) {
-    OVERRIDE.store(n.unwrap_or(0).max(0), Ordering::SeqCst);
+    OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
 }
 
 /// The worker count [`par_map_ordered`] will use: the [`set_threads`]
@@ -79,9 +79,44 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    let mut scratch: Vec<()> = Vec::new();
+    par_map_ordered_with(items, &mut scratch, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map_ordered`] with **persistent per-worker scratch state**: worker
+/// `w` receives `&mut scratches[w]` for every item in its chunk, and the
+/// scratch vector outlives the call, so state built up in one batch (arena
+/// capacity, buffer pools, memo tables) carries over to the next.
+///
+/// `scratches` is grown with `init` to the resolved worker count; extra
+/// entries from an earlier, wider batch are kept but idle. Callers must
+/// keep the determinism contract in mind: `f(scratch, i, &items[i])` must
+/// return a value that is a pure function of `(i, items[i])` — scratch may
+/// only affect *how* the result is computed (allocation reuse), never
+/// *what* it is.
+///
+/// With one worker (or one item) the closure runs inline on the calling
+/// thread against `scratches[0]`.
+pub fn par_map_ordered_with<T, U, S, F, I>(
+    items: &[T],
+    scratches: &mut Vec<S>,
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    S: Send,
+    I: FnMut() -> S,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
     let workers = threads().min(items.len()).max(1);
+    if scratches.len() < workers {
+        scratches.resize_with(workers, init);
+    }
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let scratch = &mut scratches[0];
+        return items.iter().enumerate().map(|(i, t)| f(scratch, i, t)).collect();
     }
 
     let mut results: Vec<Option<U>> = Vec::with_capacity(items.len());
@@ -101,11 +136,11 @@ where
 
     let f = &f;
     std::thread::scope(|scope| {
-        for (start, out) in chunks {
+        for ((start, out), scratch) in chunks.into_iter().zip(scratches.iter_mut()) {
             scope.spawn(move || {
                 for (offset, slot) in out.iter_mut().enumerate() {
                     let i = start + offset;
-                    *slot = Some(f(i, &items[i]));
+                    *slot = Some(f(scratch, i, &items[i]));
                 }
             });
         }
@@ -158,6 +193,37 @@ mod tests {
         let empty: Vec<i32> = Vec::new();
         assert!(par_map_ordered(&empty, |_, &x| x).is_empty());
         assert_eq!(par_map_ordered(&[7], |i, &x| x + i as i32), vec![7]);
+        set_threads(None);
+    }
+
+    #[test]
+    fn scratch_state_persists_across_batches() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(3));
+        let items: Vec<u32> = (0..30).collect();
+        let mut scratches: Vec<u64> = Vec::new();
+        // Each worker counts the items it processed; counts must survive
+        // into the second batch and the result stay order-correct.
+        let out = par_map_ordered_with(&items, &mut scratches, || 0, |seen, i, &x| {
+            *seen += 1;
+            x * 2 + i as u32
+        });
+        assert_eq!(out, items.iter().enumerate().map(|(i, x)| x * 2 + i as u32).collect::<Vec<_>>());
+        assert_eq!(scratches.len(), 3);
+        assert_eq!(scratches.iter().sum::<u64>(), 30);
+        let _ = par_map_ordered_with(&items, &mut scratches, || 0, |seen, _, &x| {
+            *seen += 1;
+            x
+        });
+        assert_eq!(scratches.iter().sum::<u64>(), 60, "scratch reset between batches");
+        // A narrower batch keeps the extra scratch idle but intact.
+        set_threads(Some(1));
+        let _ = par_map_ordered_with(&items[..4], &mut scratches, || 0, |seen, _, &x| {
+            *seen += 1;
+            x
+        });
+        assert_eq!(scratches.len(), 3);
+        assert_eq!(scratches.iter().sum::<u64>(), 64);
         set_threads(None);
     }
 

@@ -36,11 +36,13 @@
 pub mod gradcheck;
 pub mod serialize;
 pub mod graph;
+pub mod pool;
 pub mod store;
 pub mod tensor;
 
 pub use gradcheck::{assert_grads_close, grad_check, pseudo_tensor, GradCheckReport};
 pub use graph::{Graph, VarId};
+pub use pool::BufferPool;
 pub use serialize::{load_store, save_store, LoadError};
 pub use store::{Param, ParamGrads, ParamId, ParamStore};
 pub use tensor::Tensor;

@@ -1,0 +1,132 @@
+//! Recycled tensor storage.
+//!
+//! Training builds and tears down one computation graph per example; every
+//! node value and every backward temporary is an `f32` buffer whose shape
+//! is a pure function of the model configuration. Instead of returning
+//! those buffers to the heap after each example, a [`BufferPool`] keeps
+//! them bucketed by length so the next example's graph can be built with
+//! near-zero allocation: in steady state every `take` is served from a
+//! bucket filled by the previous `Graph::reset`.
+//!
+//! ## Invariants
+//!
+//! - `take(len)` returns a buffer of exactly `len` elements with
+//!   **unspecified contents** — callers must overwrite every element (all
+//!   kernel `*_into` entry points do). Use [`BufferPool::take_zeroed`]
+//!   when the computation accumulates into the buffer.
+//! - `put` accepts buffers of any length and files them under their exact
+//!   length; a buffer is only ever handed back out at that same length,
+//!   so `rows × cols == data.len()` always holds for pooled tensors.
+//! - The pool never shrinks on its own: its footprint is bounded by the
+//!   high-water mark of live buffers between two `reset`s (one graph's
+//!   values plus one backward pass's temporaries), which is exactly the
+//!   working set the allocator would otherwise churn through per example.
+
+use std::collections::HashMap;
+
+/// A free-list of `f32` buffers bucketed by exact length.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> BufferPool {
+        BufferPool::default()
+    }
+
+    /// A buffer of exactly `len` elements with **unspecified contents**;
+    /// the caller must overwrite every element before reading any.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        if len == 0 {
+            return Vec::new();
+        }
+        match self.buckets.get_mut(&len).and_then(Vec::pop) {
+            Some(buf) => {
+                self.hits += 1;
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// A buffer of exactly `len` zeros.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take(len);
+        buf.iter_mut().for_each(|v| *v = 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse. Empty buffers are dropped.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        if !buf.is_empty() {
+            self.buckets.entry(buf.len()).or_default().push(buf);
+        }
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn buffers(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// Takes served from a bucket since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Takes that had to fall back to a fresh heap allocation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_roundtrip_reuses_storage() {
+        let mut pool = BufferPool::new();
+        let a = pool.take(4);
+        assert_eq!(a.len(), 4);
+        assert_eq!(pool.misses(), 1);
+        pool.put(a);
+        assert_eq!(pool.buffers(), 1);
+        let b = pool.take(4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.buffers(), 0);
+    }
+
+    #[test]
+    fn lengths_are_bucketed_exactly() {
+        let mut pool = BufferPool::new();
+        pool.put(vec![1.0; 3]);
+        let b = pool.take(4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(pool.misses(), 1, "a 3-buffer must not serve a 4-take");
+        assert_eq!(pool.buffers(), 1);
+    }
+
+    #[test]
+    fn take_zeroed_scrubs_stale_contents() {
+        let mut pool = BufferPool::new();
+        pool.put(vec![7.0; 2]);
+        assert_eq!(pool.take_zeroed(2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_length_takes_do_not_touch_the_pool() {
+        let mut pool = BufferPool::new();
+        assert!(pool.take(0).is_empty());
+        pool.put(Vec::new());
+        assert_eq!(pool.buffers(), 0);
+        assert_eq!(pool.misses(), 0);
+    }
+}

@@ -87,6 +87,12 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, yielding its backing buffer (so the storage
+    /// can be recycled through a [`crate::BufferPool`]).
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Element at `(r, c)`.
     ///
     /// # Panics
@@ -133,6 +139,19 @@ impl Tensor {
         Tensor::vector(out)
     }
 
+    /// [`Tensor::matvec`] writing into a caller-provided buffer (which may
+    /// hold stale contents — every element is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or when `out.len() != rows`.
+    pub fn matvec_into(&self, x: &Tensor, out: &mut [f32]) {
+        assert!(x.is_vector(), "matvec rhs must be a vector");
+        assert_eq!(self.cols, x.rows, "matvec shape mismatch {}×{} · {}", self.rows, self.cols, x.rows);
+        assert_eq!(out.len(), self.rows, "matvec output length mismatch");
+        matvec_blocked(&self.data, self.rows, self.cols, &x.data, None, out);
+    }
+
     /// Fused affine map `self · x + b` in one pass (self is `m × n`, `x`
     /// is `n × 1`, `b` is `m × 1`). Equivalent to `matvec` followed by an
     /// add, without materialising the intermediate product.
@@ -150,6 +169,21 @@ impl Tensor {
         Tensor::vector(out)
     }
 
+    /// [`Tensor::affine`] writing into a caller-provided buffer (which may
+    /// hold stale contents — every element is overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or when `out.len() != rows`.
+    pub fn affine_into(&self, x: &Tensor, b: &Tensor, out: &mut [f32]) {
+        assert!(x.is_vector(), "affine rhs must be a vector");
+        assert!(b.is_vector(), "affine bias must be a vector");
+        assert_eq!(self.cols, x.rows, "affine shape mismatch {}×{} · {}", self.rows, self.cols, x.rows);
+        assert_eq!(self.rows, b.rows, "affine bias length mismatch {} vs {}", self.rows, b.rows);
+        assert_eq!(out.len(), self.rows, "affine output length mismatch");
+        matvec_blocked(&self.data, self.rows, self.cols, &x.data, Some(&b.data), out);
+    }
+
     /// Transposed matrix–vector product `selfᵀ · g`.
     ///
     /// # Panics
@@ -159,6 +193,26 @@ impl Tensor {
         assert!(g.is_vector());
         assert_eq!(self.rows, g.rows, "matvec_t shape mismatch");
         let mut out = vec![0.0f32; self.cols];
+        self.matvec_t_accumulate(g, &mut out);
+        Tensor::vector(out)
+    }
+
+    /// [`Tensor::matvec_t`] writing into a caller-provided buffer (which
+    /// may hold stale contents — it is zeroed first, preserving the exact
+    /// accumulation order of the allocating variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or when `out.len() != cols`.
+    pub fn matvec_t_into(&self, g: &Tensor, out: &mut [f32]) {
+        assert!(g.is_vector());
+        assert_eq!(self.rows, g.rows, "matvec_t shape mismatch");
+        assert_eq!(out.len(), self.cols, "matvec_t output length mismatch");
+        out.iter_mut().for_each(|v| *v = 0.0);
+        self.matvec_t_accumulate(g, out);
+    }
+
+    fn matvec_t_accumulate(&self, g: &Tensor, out: &mut [f32]) {
         for r in 0..self.rows {
             let gv = g.data[r];
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
@@ -166,7 +220,6 @@ impl Tensor {
                 *o += w * gv;
             }
         }
-        Tensor::vector(out)
     }
 
     /// Accumulates `alpha * other` into `self`.

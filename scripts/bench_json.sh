@@ -1,12 +1,17 @@
 #!/bin/bash
-# Runs the parallel-throughput bench sweep (1/2/4/8 worker threads) and
-# writes the results to BENCH_parallel.json at the repo root.
+# Runs the throughput bench suite and writes machine-readable results to
+# the repo root:
+#   * throughput_parallel (1/2/4/8 worker threads) -> BENCH_parallel.json
+#   * throughput_encode (cold vs steady-state allocations) -> BENCH_encode.json
 #
-# Usage: scripts/bench_json.sh [output.json]
+# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out_file="${1:-BENCH_parallel.json}"
+par_out="${1:-BENCH_parallel.json}"
+enc_out="${2:-BENCH_encode.json}"
+
+# ---- parallel minibatch throughput --------------------------------------
 bench_out=$(cargo bench -p bench --bench throughput_parallel 2>&1)
 echo "$bench_out"
 
@@ -36,6 +41,47 @@ fi
     printf '%s\n' "$rows"
     echo '  ]'
     echo '}'
-} > "$out_file"
+} > "$par_out"
 
-echo "wrote $out_file"
+echo "wrote $par_out"
+
+# ---- encoder allocation pressure (cold vs steady-state) -----------------
+enc_bench_out=$(cargo bench -p bench --bench throughput_encode 2>&1)
+echo "$enc_bench_out"
+
+enc_json=$(echo "$enc_bench_out" | grep '^ENCODE' | awk '
+{
+    delete kv
+    for (i = 2; i <= NF; i++) { split($i, p, "="); kv[p[1]] = p[2] }
+    if (kv["mode"] == "summary") {
+        summary = sprintf("  \"alloc_reduction\": %s,\n  \"speedup\": %s,\n  \"memo_replays\": %s",
+            kv["alloc_reduction"], kv["speedup"], kv["replays"])
+        next
+    }
+    if (nmodes++ > 0) modes = modes ",\n"
+    modes = modes sprintf("    {\"mode\": \"%s\", \"programs\": %s, \"rounds\": %s, \"seconds\": %s, \"programs_per_sec\": %s, \"allocs_per_program\": %s, \"bytes_per_program\": %s}",
+        kv["mode"], kv["programs"], kv["rounds"], kv["secs"],
+        kv["programs_per_sec"], kv["allocs_per_program"], kv["bytes_per_program"])
+}
+END {
+    if (nmodes == 0) exit 1
+    print "  \"results\": ["
+    print modes
+    print "  ],"
+    print summary
+}')
+
+if [ -z "$enc_json" ]; then
+    echo "error: no ENCODE lines in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput_encode",'
+    echo '  "workload": "LIGER encoder forward, tiny method-name dataset, cold (fresh graph, uncached) vs steady-state (reused workspace, memoized)",'
+    printf '%s\n' "$enc_json"
+    echo '}'
+} > "$enc_out"
+
+echo "wrote $enc_out"

@@ -1,10 +1,13 @@
 #!/bin/bash
-# Tier-1 gate: release build, full test suite, and the thread-count
-# determinism property test re-run with a 2-worker pool forced via the
-# environment (exercising the LIGER_THREADS resolution path end to end).
+# Tier-1 gate: release build, lint wall, full test suite, and the
+# thread-count determinism + memoization equivalence property tests
+# re-run with a 2-worker pool forced via the environment (exercising the
+# LIGER_THREADS resolution path end to end).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 LIGER_THREADS=2 cargo test -q --test autodiff_properties parallel_training_is_bitwise_deterministic
+LIGER_THREADS=2 cargo test -q --test autodiff_properties cached_training_is_bitwise_identical

@@ -115,14 +115,31 @@ proptest! {
 /// A minimal encoded program with one blended trace step.
 fn tiny_prog(token: usize) -> liger::EncodedProgram {
     use liger::{EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram};
-    EncodedProgram {
-        traces: vec![EncBlended {
-            steps: vec![EncStep {
-                tree: EncTree { token, children: vec![] },
-                states: vec![EncState { vars: vec![EncVar::Primitive(token + 1)] }],
-            }],
+    EncodedProgram::from_traces(vec![EncBlended {
+        steps: vec![EncStep {
+            tree: EncTree { token, children: vec![] },
+            states: vec![EncState { vars: vec![EncVar::Primitive(token + 1)] }],
         }],
-    }
+    }])
+}
+
+/// An encoded program with real repetition — the same statement tree in
+/// every trace and recurring states — so the embedding memo actually
+/// replays spans during training.
+fn shared_prog(token: usize) -> liger::EncodedProgram {
+    use liger::{EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram};
+    let leaf = |t: usize| EncTree { token: t, children: vec![] };
+    let step = |t: usize| EncStep {
+        tree: EncTree { token: t, children: vec![leaf(t + 1), leaf(2)] },
+        states: vec![
+            EncState { vars: vec![EncVar::Primitive(3), EncVar::Object(vec![4, 5])] },
+            EncState { vars: vec![EncVar::Primitive(3), EncVar::Object(vec![4, 5])] },
+        ],
+    };
+    EncodedProgram::from_traces(vec![
+        EncBlended { steps: vec![step(token), step(token + 1), step(token)] },
+        EncBlended { steps: vec![step(token), step(token + 1)] },
+    ])
 }
 
 /// Trains a small namer from a fixed seed at a pinned worker count and
@@ -159,5 +176,86 @@ proptest! {
             let got = train_params_bits(threads, seed);
             prop_assert_eq!(&reference, &got, "thread count {} diverged", threads);
         }
+    }
+}
+
+/// Trains a small namer under one fusion ablation and encode mode for two
+/// epochs; returns every parameter scalar as raw bits.
+fn train_ablation_bits(ablation: liger::Ablation, mode: liger::EncodeMode, seed: u64) -> Vec<u32> {
+    use liger::{LigerConfig, LigerNamer, NameSample, TrainConfig, EOS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = ParamStore::new();
+    let cfg = LigerConfig { hidden: 6, attn: 6, ablation, ..LigerConfig::default() };
+    let namer = LigerNamer::new(&mut store, 16, 8, cfg, &mut rng);
+    let samples: Vec<NameSample> = (0..5)
+        .map(|k| NameSample {
+            program: shared_prog(2 * k + 1),
+            target: vec![(k % 7) + 1, EOS],
+        })
+        .collect();
+    let tc = TrainConfig { epochs: 2, lr: 0.02, batch_size: 2 };
+    liger::train_namer_with(&namer, &mut store, &samples, &tc, &mut rng, mode);
+    store.iter().flat_map(|p| p.value.data().iter().map(|v| v.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2, ..ProptestConfig::default() })]
+
+    /// Embedding memoization + arena reuse is a pure performance
+    /// transform: two epochs of cached training end at bitwise-identical
+    /// parameters to the fresh-graph-per-example reference, under every
+    /// fusion ablation (Equation 3's gradients are preserved — see
+    /// DESIGN.md §2b).
+    #[test]
+    fn cached_training_is_bitwise_identical(seed in 0u64..1_000_000) {
+        use liger::{Ablation, EncodeMode};
+        for ablation in
+            [Ablation::Full, Ablation::NoStatic, Ablation::NoDynamic, Ablation::NoAttention]
+        {
+            let cached = train_ablation_bits(ablation, EncodeMode::Memoized, seed);
+            let uncached = train_ablation_bits(ablation, EncodeMode::Uncached, seed);
+            prop_assert_eq!(&cached, &uncached, "{:?} diverged under memoization", ablation);
+        }
+    }
+}
+
+/// Gradcheck on a *reused* graph arena: one workspace encodes three
+/// different programs back to back (reset between examples), and each
+/// example's analytic gradients — computed on the recycled tape with
+/// pooled buffers — must agree with numerical differentiation.
+#[test]
+fn reused_graph_gradients_match_numerics_across_examples() {
+    use liger::{LigerConfig, LigerModel, Workspace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut store = ParamStore::new();
+    let cfg = LigerConfig { hidden: 4, attn: 4, ..LigerConfig::default() };
+    let model = LigerModel::new(&mut store, 12, cfg, &mut rng);
+    let params = model.params();
+
+    let mut ws = Workspace::new();
+    for (k, prog) in [shared_prog(1), shared_prog(3), tiny_prog(5)].iter().enumerate() {
+        ws.reset();
+        let enc = model.encode_memo(&mut ws, &store, prog);
+        let loss = ws.graph.cross_entropy(enc.program, k % 2);
+        let grads = ws.graph.backward_into(loss, &store);
+        let mut probe = store.clone();
+        probe.accumulate_grads(&grads);
+        let report = grad_check(&probe, &params, 1e-3, |s| {
+            let mut g = Graph::new();
+            let enc = model.encode(&mut g, s, prog);
+            let loss = g.cross_entropy(enc.program, k % 2);
+            g.value(loss).item()
+        });
+        assert!(
+            report.passes(2e-2),
+            "example {k}: reused-graph gradients off by {}",
+            report.max_abs_error
+        );
     }
 }
