@@ -1,0 +1,172 @@
+//! Serving throughput: a real `liger-serve` TCP server on an ephemeral
+//! port under concurrent pipelining clients, at several client counts.
+//!
+//! Prints one parseable `SERVE …` line per client count (consumed by
+//! `scripts/bench_json.sh` into `BENCH_serve.json`), showing how the
+//! micro-batcher coalesces requests as concurrency grows: the batch
+//! factor (requests per forward-pass batch) should rise with clients
+//! while per-request latency stays bounded.
+
+use std::time::Instant;
+
+use liger::{
+    train_namer, EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram, LigerConfig,
+    LigerNamer, ModelBundle, NameSample, OutVocab, TrainConfig, Vocab,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::json::Json;
+use serve::protocol::{infer_request, InferInput, InferKind};
+use serve::server::{serve, Client, ServerConfig};
+
+/// A small synthetic program parameterized by `t` (same shape as the
+/// loopback tests — two blended steps, one object state).
+fn prog(t: usize) -> EncodedProgram {
+    EncodedProgram::from_traces(vec![EncBlended {
+        steps: vec![
+            EncStep {
+                tree: EncTree {
+                    token: t,
+                    children: vec![EncTree { token: t + 1, children: vec![] }],
+                },
+                states: vec![
+                    EncState { vars: vec![EncVar::Primitive(t + 2)] },
+                    EncState { vars: vec![EncVar::Object(vec![t, t + 1])] },
+                ],
+            },
+            EncStep {
+                tree: EncTree { token: t + 1, children: vec![] },
+                states: vec![EncState { vars: vec![EncVar::Primitive(t)] }],
+            },
+        ],
+    }])
+}
+
+/// A briefly-trained namer bundle over the synthetic programs.
+fn trained_bundle() -> ModelBundle {
+    let mut vocab = Vocab::new();
+    for i in 0..12 {
+        vocab.add(&format!("tok{i}"));
+    }
+    let mut out = OutVocab::new();
+    for name in ["find", "max", "sum", "item"] {
+        out.add(name);
+    }
+    let cfg = LigerConfig { hidden: 16, attn: 16, ..LigerConfig::default() };
+    let mut store = tensor::ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(33);
+    let namer = LigerNamer::new(&mut store, vocab.len(), out.len(), cfg, &mut rng);
+    let samples: Vec<NameSample> = (1..4)
+        .map(|t| NameSample { program: prog(t), target: vec![3 + (t - 1), liger::EOS] })
+        .collect();
+    train_namer(
+        &namer,
+        &mut store,
+        &samples,
+        &TrainConfig { epochs: 3, lr: 0.02, batch_size: 2 },
+        &mut rng,
+    );
+    ModelBundle::for_namer(cfg, vocab, out, store)
+}
+
+struct Run {
+    clients: usize,
+    requests: u64,
+    batches: u64,
+    rejected: u64,
+    secs: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// Starts a fresh server, drives `clients` fully-pipelined connections of
+/// `per_client` embed requests each, and collects the final stats.
+fn run(bundle: &ModelBundle, clients: usize, per_client: usize) -> Run {
+    let handle = serve(
+        bundle,
+        ServerConfig {
+            batch_max: 16,
+            batch_timeout_ms: 2,
+            queue_cap: 2 * clients.max(1),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = handle.local_addr();
+    let programs: Vec<EncodedProgram> = (1..6).map(prog).collect();
+    let requests: Vec<Json> = programs
+        .iter()
+        .map(|p| infer_request(InferKind::Embed, &InferInput::Encoded(Box::new(p.clone()))))
+        .collect();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let requests = &requests;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Pipeline everything before reading any reply so the
+                // queue fills and batches actually form.
+                for i in 0..per_client {
+                    client.send(&requests[(c + i) % requests.len()]).expect("send");
+                }
+                for i in 0..per_client {
+                    let reply = client.recv().expect("recv");
+                    assert_eq!(
+                        reply.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "client {c} reply {i} failed: {}",
+                        reply
+                    );
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+
+    let stats = handle.stats();
+    handle.shutdown();
+    handle.join();
+    Run {
+        clients,
+        requests: stats.requests,
+        batches: stats.batches,
+        rejected: stats.rejected,
+        secs,
+        p50_us: stats.p50_us,
+        p99_us: stats.p99_us,
+    }
+}
+
+fn emit(r: &Run) {
+    let batch_factor = r.requests as f64 / (r.batches.max(1)) as f64;
+    println!(
+        "SERVE clients={} requests={} batches={} batch_factor={:.2} rejected={} \
+         secs={:.6} req_per_sec={:.2} p50_us={} p99_us={}",
+        r.clients,
+        r.requests,
+        r.batches,
+        batch_factor,
+        r.rejected,
+        r.secs,
+        r.requests as f64 / r.secs,
+        r.p50_us,
+        r.p99_us,
+    );
+}
+
+fn main() {
+    let bundle = trained_bundle();
+    let per_client = 64;
+    println!(
+        "\nliger-serve loopback throughput ({per_client} pipelined embed requests per client)"
+    );
+    for clients in [1, 2, 4, 8] {
+        // Warm run to populate thread pools and the statement cache,
+        // then the measured run on a fresh server.
+        run(&bundle, clients, per_client.min(8));
+        let r = run(&bundle, clients, per_client);
+        assert_eq!(r.requests, (clients * per_client) as u64, "lost requests");
+        emit(&r);
+    }
+}

@@ -77,13 +77,16 @@
 //! # }
 //! ```
 
+pub mod bundle;
 pub mod classifier;
 pub mod decoder;
 pub mod encode;
+pub mod infer;
 pub mod model;
 pub mod train;
 pub mod vocab;
 
+pub use bundle::{BundleError, BundleHead, ModelBundle};
 pub use classifier::{argmax, LigerClassifier};
 pub use decoder::NameDecoder;
 pub use encode::{
@@ -91,6 +94,9 @@ pub use encode::{
     tree_into_vocab_in, EncBlended, EncBlendedRef, EncPool, EncState, EncStep, EncStepRef,
     EncTree, EncVar, EncodeOptions, EncodedProgram, ObjId, PoolVar, StateId, StateNode,
     TreeId, TreeNode,
+};
+pub use infer::{
+    extract_encoded, vocab_from_sources, ExtractError, ExtractOptions, Inferencer, LigerTask,
 };
 pub use model::{Ablation, EncoderOutput, LigerConfig, LigerModel, Workspace};
 pub use train::{

@@ -54,6 +54,29 @@ pub enum Ablation {
     NoAttention,
 }
 
+impl Ablation {
+    /// Stable serialization name (used by checkpoint bundles).
+    pub fn name(self) -> &'static str {
+        match self {
+            Ablation::Full => "full",
+            Ablation::NoStatic => "no-static",
+            Ablation::NoDynamic => "no-dynamic",
+            Ablation::NoAttention => "no-attention",
+        }
+    }
+
+    /// Inverse of [`Ablation::name`].
+    pub fn from_name(name: &str) -> Option<Ablation> {
+        match name {
+            "full" => Some(Ablation::Full),
+            "no-static" => Some(Ablation::NoStatic),
+            "no-dynamic" => Some(Ablation::NoDynamic),
+            "no-attention" => Some(Ablation::NoAttention),
+            _ => None,
+        }
+    }
+}
+
 /// Model hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LigerConfig {

@@ -270,16 +270,17 @@ impl PathLevel {
     }
 }
 
-/// Trains and evaluates LIGER on the method-name task at the given
-/// reduction levels; returns scores and the mean static-feature attention
-/// at convergence (the §6.1.2 measurement).
-pub fn liger_method_scores(
+/// Trains LIGER's namer on `ds.train` at the given reduction levels and
+/// returns the trained model with its parameters — checkpoint them with
+/// [`tensor::ParamStore::save_to_path`] and restore with
+/// [`load_method_namer`].
+pub fn train_method_namer(
     ds: &MethodDataset,
     scale: &Scale,
     ablation: Ablation,
     paths: PathLevel,
     concrete: usize,
-) -> (NameScores, Option<f64>) {
+) -> (LigerNamer, ParamStore) {
     let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(42));
     let opts = scale.prepare_options().encode;
     let at = |s: &crate::pipeline::PreparedMethod| {
@@ -301,7 +302,51 @@ pub fn liger_method_scores(
         &mut rng,
     );
     liger::train_namer(&namer, &mut store, &samples, &scale.train_config(), &mut rng);
+    (namer, store)
+}
 
+/// Restores a namer checkpoint saved from [`train_method_namer`]:
+/// re-registers the parameter layout for `ds`+`scale`+`ablation` and
+/// validates the loaded values against it name-by-name, shape-by-shape.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or format failure, or of the first
+/// parameter that does not fit the architecture.
+pub fn load_method_namer(
+    ds: &MethodDataset,
+    scale: &Scale,
+    ablation: Ablation,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(LigerNamer, ParamStore), String> {
+    let mut rng = StdRng::seed_from_u64(0); // layout only; values are replaced
+    let mut skeleton = ParamStore::new();
+    let namer = LigerNamer::new(
+        &mut skeleton,
+        ds.vocabs.input.len(),
+        ds.vocabs.output.len(),
+        scale.liger_config(ablation),
+        &mut rng,
+    );
+    let store = checked_load(&skeleton, path)?;
+    Ok((namer, store))
+}
+
+/// Evaluates a trained namer on `ds.test`; returns scores and the mean
+/// static-feature attention (the §6.1.2 measurement).
+pub fn eval_method_namer(
+    namer: &LigerNamer,
+    store: &ParamStore,
+    ds: &MethodDataset,
+    scale: &Scale,
+    paths: PathLevel,
+    concrete: usize,
+) -> (NameScores, Option<f64>) {
+    let opts = scale.prepare_options().encode;
+    let at = |s: &crate::pipeline::PreparedMethod| {
+        let keep = paths.resolve(s.blended.len(), s.min_cover);
+        method_at_paths(s, &ds.vocabs.input, &opts, keep, concrete).0
+    };
     // Batched prediction: each test program re-encodes and decodes
     // independently against the frozen parameters, on a persistent
     // per-worker workspace (graph arena + embedding memo).
@@ -309,8 +354,8 @@ pub fn liger_method_scores(
     let predictions =
         par::par_map_ordered_with(&ds.test, &mut workspaces, liger::Workspace::new, |ws, _, s| {
             let prog = at(s);
-            let predicted = ds.vocabs.output.decode_name(&namer.predict_in(ws, &store, &prog));
-            (predicted, namer.static_attention_in(ws, &store, &prog))
+            let predicted = ds.vocabs.output.decode_name(&namer.predict_in(ws, store, &prog));
+            (predicted, namer.static_attention_in(ws, store, &prog))
         });
     let mut metric = PrecisionRecallF1::default();
     let mut attn_sum = 0.0f64;
@@ -324,6 +369,59 @@ pub fn liger_method_scores(
     }
     let attn = if attn_count == 0 { None } else { Some(attn_sum / attn_count as f64) };
     (metric.into(), attn)
+}
+
+/// Trains and evaluates LIGER on the method-name task at the given
+/// reduction levels; returns scores and the mean static-feature attention
+/// at convergence (the §6.1.2 measurement).
+pub fn liger_method_scores(
+    ds: &MethodDataset,
+    scale: &Scale,
+    ablation: Ablation,
+    paths: PathLevel,
+    concrete: usize,
+) -> (NameScores, Option<f64>) {
+    let (namer, store) = train_method_namer(ds, scale, ablation, paths, concrete);
+    eval_method_namer(&namer, &store, ds, scale, paths, concrete)
+}
+
+/// Loads a checkpoint and verifies it fits the layout `skeleton`
+/// registered (same parameters, names, and shapes, in order).
+fn checked_load(
+    skeleton: &ParamStore,
+    path: impl AsRef<std::path::Path>,
+) -> Result<ParamStore, String> {
+    let path = path.as_ref();
+    let store =
+        ParamStore::load_from_path(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if store.len() != skeleton.len() {
+        return Err(format!(
+            "{}: checkpoint holds {} parameters, architecture registers {}",
+            path.display(),
+            store.len(),
+            skeleton.len()
+        ));
+    }
+    for i in 0..skeleton.len() {
+        let id = tensor::ParamId(i);
+        let (want, got) = (skeleton.get(id), store.get(id));
+        if want.name != got.name
+            || want.value.rows() != got.value.rows()
+            || want.value.cols() != got.value.cols()
+        {
+            return Err(format!(
+                "{}: parameter {i} is {} [{}×{}], architecture expects {} [{}×{}]",
+                path.display(),
+                got.name,
+                got.value.rows(),
+                got.value.cols(),
+                want.name,
+                want.value.rows(),
+                want.value.cols()
+            ));
+        }
+    }
+    Ok(store)
 }
 
 /// Trains and evaluates DYPRO on the method-name task at the given
@@ -518,6 +616,21 @@ pub fn liger_coset_scores(
     paths: PathLevel,
     concrete: usize,
 ) -> ClassScores {
+    let (cls, store) = train_coset_classifier(ds, scale, ablation, paths, concrete);
+    eval_coset_classifier(&cls, &store, ds, scale, paths, concrete)
+}
+
+/// Trains LIGER's classifier on `ds.train` at the given reduction levels
+/// and returns the trained model with its parameters — checkpoint them
+/// with [`tensor::ParamStore::save_to_path`] and restore with
+/// [`load_coset_classifier`].
+pub fn train_coset_classifier(
+    ds: &CosetDataset,
+    scale: &Scale,
+    ablation: Ablation,
+    paths: PathLevel,
+    concrete: usize,
+) -> (LigerClassifier, ParamStore) {
     let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(46));
     let opts = scale.prepare_options().encode;
     let at = |s: &crate::pipeline::PreparedCoset| {
@@ -535,13 +648,51 @@ pub fn liger_coset_scores(
     );
     let cls = LigerClassifier::new(&mut store, model, ds.num_classes, &mut rng);
     liger::train_classifier(&cls, &mut store, &samples, &scale.train_config(), &mut rng);
+    (cls, store)
+}
 
+/// Restores a classifier checkpoint saved from [`train_coset_classifier`],
+/// validating the loaded parameters against the architecture layout.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or format failure, or of the first
+/// parameter that does not fit the architecture.
+pub fn load_coset_classifier(
+    ds: &CosetDataset,
+    scale: &Scale,
+    ablation: Ablation,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(LigerClassifier, ParamStore), String> {
+    let mut rng = StdRng::seed_from_u64(0); // layout only; values are replaced
+    let mut skeleton = ParamStore::new();
+    let model =
+        LigerModel::new(&mut skeleton, ds.vocab.len(), scale.liger_config(ablation), &mut rng);
+    let cls = LigerClassifier::new(&mut skeleton, model, ds.num_classes, &mut rng);
+    let store = checked_load(&skeleton, path)?;
+    Ok((cls, store))
+}
+
+/// Evaluates a trained classifier on `ds.test`.
+pub fn eval_coset_classifier(
+    cls: &LigerClassifier,
+    store: &ParamStore,
+    ds: &CosetDataset,
+    scale: &Scale,
+    paths: PathLevel,
+    concrete: usize,
+) -> ClassScores {
+    let opts = scale.prepare_options().encode;
+    let at = |s: &crate::pipeline::PreparedCoset| {
+        let keep = paths.resolve(s.blended.len(), s.min_cover);
+        coset_at(s, &ds.vocab, &opts, keep, concrete).0
+    };
     let mut workspaces: Vec<liger::Workspace> = Vec::new();
     let predictions = par::par_map_ordered_with(
         &ds.test,
         &mut workspaces,
         liger::Workspace::new,
-        |ws, _, s| cls.predict_in(ws, &store, &at(s)),
+        |ws, _, s| cls.predict_in(ws, store, &at(s)),
     );
     let mut acc = Accuracy::default();
     let mut f1 = ClassF1::default();

@@ -38,9 +38,11 @@ pub use baseline_train::{
 };
 pub use experiments::{
     build_coset_dataset, build_method_dataset, dypro_coset_scores, dypro_method_scores,
-    fig11, fig6_concrete, fig6_symbolic, fig7, liger_coset_scores, liger_method_scores,
-    symbolic_levels, table1, table2, table3, AblationRow, ClassScores, ConcreteRow,
-    CosetReductionRow, NameScores, PathLevel, Scale, SymbolicRow,
+    eval_coset_classifier, eval_method_namer, fig11, fig6_concrete, fig6_symbolic, fig7,
+    liger_coset_scores, liger_method_scores, load_coset_classifier, load_method_namer,
+    symbolic_levels, table1, table2, table3, train_coset_classifier, train_method_namer,
+    AblationRow, ClassScores, ConcreteRow, CosetReductionRow, NameScores, PathLevel, Scale,
+    SymbolicRow,
 };
 pub use metrics::{Accuracy, ClassF1, PrecisionRecallF1};
 pub use pipeline::{

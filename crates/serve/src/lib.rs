@@ -1,0 +1,44 @@
+//! # serve — the liger-serve batched inference service
+//!
+//! ROADMAP item "production-scale serving": load a trained
+//! [`liger::ModelBundle`] checkpoint and answer embedding / method-name /
+//! classification queries over TCP, micro-batching concurrent requests
+//! into shared forward passes (DESIGN.md §2c).
+//!
+//! - [`json`] — a minimal JSON value/parser/writer (the workspace is
+//!   offline; no serde),
+//! - [`protocol`] — length-prefixed JSON frames and the request grammar,
+//! - [`stats`] — lock-free counters + latency percentiles for STATS,
+//! - [`server`] — the bounded queue, batcher, and connection handlers.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use serve::server::{serve, Client, ServerConfig};
+//! use serve::json::Json;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let bundle = liger::ModelBundle::load_from_path("model.lgrb")
+//!     .map_err(|e| std::io::Error::other(e.to_string()))?;
+//! let handle = serve(&bundle, ServerConfig::default())?;
+//! let mut client = Client::connect(handle.local_addr())?;
+//! let reply = client.call(&Json::obj(vec![("op", Json::str("ping"))]))?;
+//! assert_eq!(reply.get("pong").and_then(Json::as_bool), Some(true));
+//! handle.shutdown();
+//! handle.join();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use json::Json;
+pub use protocol::{
+    embedding_from_json, embedding_to_json, infer_request, program_from_json, program_to_json,
+    read_frame, write_frame, InferInput, InferKind, Request, MAX_FRAME,
+};
+pub use server::{serve, Client, ServerConfig, ServerHandle};
+pub use stats::{ServeStats, StatsSnapshot};

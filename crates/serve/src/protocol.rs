@@ -1,0 +1,451 @@
+//! The liger-serve wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! frame   := length "\n" payload
+//! length  := ASCII decimal byte count of payload (no sign, no padding)
+//! payload := one JSON value, UTF-8
+//! ```
+//!
+//! The explicit length makes the stream self-delimiting without
+//! requiring a streaming JSON parser, keeps payloads free to contain
+//! newlines, and lets the server reject oversized requests before
+//! buffering them. Requests are objects with an `"op"` discriminator;
+//! see DESIGN.md §2c for the full grammar and examples.
+//!
+//! Inference inputs come in two forms: `"source"` (MiniLang text, traced
+//! and encoded server-side with the deterministic extractor) or
+//! `"program"` (a pre-extracted [`EncodedProgram`], for clients that run
+//! their own tracing). The program encoding is positional and mirrors
+//! the builder types in `liger::encode`:
+//!
+//! ```text
+//! program := {"traces":[trace…]}
+//! trace   := [step…]
+//! step    := {"tree":tree, "states":[state…]}
+//! tree    := [token, [tree…]]
+//! state   := [var…]
+//! var     := token            (primitive value)
+//!          | [token…]         (object: flattened attribute tokens)
+//! ```
+
+use crate::json::{parse, Json};
+use liger::{EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram};
+use std::io::{Read, Write};
+
+/// Frames larger than this are rejected before buffering.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn write_frame(w: &mut impl Write, value: &Json) -> std::io::Result<()> {
+    let payload = value.to_string();
+    let mut frame = payload.len().to_string().into_bytes();
+    frame.push(b'\n');
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly at a frame boundary.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed lengths, oversized frames, or
+/// unparseable payloads; timeouts and disconnects surface as the
+/// underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Json>> {
+    // Read the length line byte-by-byte (it is ≤ ~8 bytes; the payload
+    // read below is the bulk transfer).
+    let mut len: usize = 0;
+    let mut digits = 0;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) if digits == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(_) => match byte[0] {
+                b'\n' if digits > 0 => break,
+                d @ b'0'..=b'9' if digits < 9 => {
+                    len = len * 10 + usize::from(d - b'0');
+                    digits += 1;
+                }
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad frame length byte {other:#04x}"),
+                    ))
+                }
+            },
+            Err(e) => return Err(e),
+        }
+    }
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 payload"))?;
+    parse(&text)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Which inference result the client wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferKind {
+    /// The program embedding 𝓗_P.
+    Embed,
+    /// Predicted method-name sub-tokens (namer bundles).
+    Name,
+    /// Predicted class id + label (classifier bundles).
+    Classify,
+}
+
+/// The inference input: MiniLang source or a pre-extracted program.
+#[derive(Debug, Clone)]
+pub enum InferInput {
+    /// MiniLang source text; the server traces and encodes it.
+    Source(String),
+    /// A client-side-extracted encoded program (boxed: the pool tables
+    /// make it the dominant variant, and requests move through
+    /// channels).
+    Encoded(Box<EncodedProgram>),
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server counters + latency percentiles.
+    Stats,
+    /// Begin graceful shutdown (admin verb; also triggered by SIGTERM).
+    Shutdown,
+    /// Run the model.
+    Infer(InferKind, InferInput),
+}
+
+impl Request {
+    /// Parses a request object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing description of what is malformed.
+    pub fn from_json(value: &Json) -> Result<Request, String> {
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request must be an object with a string \"op\" field")?;
+        let kind = match op {
+            "ping" => return Ok(Request::Ping),
+            "stats" => return Ok(Request::Stats),
+            "shutdown" => return Ok(Request::Shutdown),
+            "embed" => InferKind::Embed,
+            "name" => InferKind::Name,
+            "classify" => InferKind::Classify,
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        let input = match (value.get("source"), value.get("program")) {
+            (Some(src), None) => InferInput::Source(
+                src.as_str().ok_or("\"source\" must be a string")?.to_string(),
+            ),
+            (None, Some(prog)) => InferInput::Encoded(Box::new(program_from_json(prog)?)),
+            _ => return Err(format!("op {op:?} needs exactly one of \"source\"/\"program\"")),
+        };
+        Ok(Request::Infer(kind, input))
+    }
+}
+
+/// Builds the JSON form of an inference request (client side).
+pub fn infer_request(kind: InferKind, input: &InferInput) -> Json {
+    let op = match kind {
+        InferKind::Embed => "embed",
+        InferKind::Name => "name",
+        InferKind::Classify => "classify",
+    };
+    let (key, value) = match input {
+        InferInput::Source(src) => ("source", Json::str(src.clone())),
+        InferInput::Encoded(prog) => ("program", program_to_json(prog)),
+    };
+    Json::obj(vec![("op", Json::str(op)), (key, value)])
+}
+
+/// Standard success / error / busy response builders.
+pub fn ok_response(mut fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.append(&mut fields);
+    Json::obj(all)
+}
+
+/// An error reply: `{"ok":false,"error":...}`.
+pub fn error_response(message: impl Into<String>) -> Json {
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(message.into()))])
+}
+
+/// The backpressure reply: `{"ok":false,"busy":true,...}`. Clients should
+/// back off and retry.
+pub fn busy_response() -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("busy", Json::Bool(true)),
+        ("error", Json::str("server queue is full, retry later")),
+    ])
+}
+
+/// Serializes an embedding losslessly (each `f32` widened to `f64`,
+/// which shortest-roundtrip formatting preserves bitwise).
+pub fn embedding_to_json(embedding: &[f32]) -> Json {
+    Json::Arr(embedding.iter().map(|&v| Json::Num(f64::from(v))).collect())
+}
+
+/// Parses an embedding written by [`embedding_to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first non-numeric element.
+pub fn embedding_from_json(value: &Json) -> Result<Vec<f32>, String> {
+    value
+        .as_arr()
+        .ok_or("embedding must be an array")?
+        .iter()
+        .map(|v| v.as_f64().map(|n| n as f32).ok_or_else(|| "non-numeric embedding".into()))
+        .collect()
+}
+
+/// Serializes an [`EncodedProgram`] (see the module docs for the shape).
+pub fn program_to_json(prog: &EncodedProgram) -> Json {
+    fn tree(t: &liger::TreeId, prog: &EncodedProgram) -> Json {
+        let node = prog.pool.tree(*t);
+        Json::Arr(vec![
+            Json::num(node.token),
+            Json::Arr(node.children.iter().map(|c| tree(c, prog)).collect()),
+        ])
+    }
+    fn state(s: &liger::StateId, prog: &EncodedProgram) -> Json {
+        Json::Arr(
+            prog.pool
+                .state(*s)
+                .vars
+                .iter()
+                .map(|v| match v {
+                    liger::PoolVar::Primitive(tok) => Json::num(*tok),
+                    liger::PoolVar::Object(obj) => Json::Arr(
+                        prog.pool.object(*obj).iter().map(|&t| Json::num(t)).collect(),
+                    ),
+                })
+                .collect(),
+        )
+    }
+    let traces = prog
+        .traces
+        .iter()
+        .map(|t| {
+            Json::Arr(
+                t.steps
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("tree", tree(&s.tree, prog)),
+                            (
+                                "states",
+                                Json::Arr(s.states.iter().map(|st| state(st, prog)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::obj(vec![("traces", Json::Arr(traces))])
+}
+
+/// Parses a program written by [`program_to_json`], re-interning it into
+/// a fresh pool.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed component.
+pub fn program_from_json(value: &Json) -> Result<EncodedProgram, String> {
+    fn tree(value: &Json) -> Result<EncTree, String> {
+        let pair = value.as_arr().ok_or("tree must be [token,[children]]")?;
+        let [token, children] = pair else {
+            return Err("tree must be [token,[children]]".into());
+        };
+        Ok(EncTree {
+            token: token.as_usize().ok_or("tree token must be an integer")?,
+            children: children
+                .as_arr()
+                .ok_or("tree children must be an array")?
+                .iter()
+                .map(tree)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+    fn var(value: &Json) -> Result<EncVar, String> {
+        match value {
+            Json::Num(_) => Ok(EncVar::Primitive(
+                value.as_usize().ok_or("variable token must be an integer")?,
+            )),
+            Json::Arr(tokens) => Ok(EncVar::Object(
+                tokens
+                    .iter()
+                    .map(|t| t.as_usize().ok_or_else(|| "object token must be an integer".into()))
+                    .collect::<Result<_, String>>()?,
+            )),
+            _ => Err("variable must be a token or a token array".into()),
+        }
+    }
+    let traces = value
+        .get("traces")
+        .and_then(Json::as_arr)
+        .ok_or("program must have a \"traces\" array")?
+        .iter()
+        .map(|t| {
+            let steps = t
+                .as_arr()
+                .ok_or("trace must be an array of steps")?
+                .iter()
+                .map(|s| {
+                    let states = s
+                        .get("states")
+                        .and_then(Json::as_arr)
+                        .ok_or("step must have a \"states\" array")?
+                        .iter()
+                        .map(|st| {
+                            Ok(EncState {
+                                vars: st
+                                    .as_arr()
+                                    .ok_or("state must be an array")?
+                                    .iter()
+                                    .map(var)
+                                    .collect::<Result<_, String>>()?,
+                            })
+                        })
+                        .collect::<Result<_, String>>()?;
+                    Ok(EncStep {
+                        tree: tree(s.get("tree").ok_or("step must have a \"tree\"")?)?,
+                        states,
+                    })
+                })
+                .collect::<Result<_, String>>()?;
+            Ok(EncBlended { steps })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(EncodedProgram::from_traces(traces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> EncodedProgram {
+        EncodedProgram::from_traces(vec![
+            EncBlended {
+                steps: vec![
+                    EncStep {
+                        tree: EncTree {
+                            token: 3,
+                            children: vec![
+                                EncTree { token: 4, children: vec![] },
+                                EncTree { token: 5, children: vec![] },
+                            ],
+                        },
+                        states: vec![
+                            EncState {
+                                vars: vec![EncVar::Primitive(6), EncVar::Object(vec![7, 8])],
+                            },
+                            EncState { vars: vec![EncVar::Primitive(9), EncVar::Object(vec![])] },
+                        ],
+                    },
+                    EncStep {
+                        tree: EncTree { token: 4, children: vec![] },
+                        states: vec![EncState { vars: vec![] }],
+                    },
+                ],
+            },
+            EncBlended {
+                steps: vec![EncStep {
+                    tree: EncTree { token: 3, children: vec![] },
+                    states: vec![EncState { vars: vec![EncVar::Object(vec![7])] }],
+                }],
+            },
+        ])
+    }
+
+    #[test]
+    fn program_roundtrips_through_json() {
+        let prog = sample_program();
+        let back = program_from_json(&program_to_json(&prog)).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let value = infer_request(InferKind::Embed, &InferInput::Source("fn f() {}".into()));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &value).unwrap();
+        write_frame(&mut buf, &Json::obj(vec![("op", Json::str("ping"))])).unwrap();
+
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), value);
+        assert!(matches!(
+            Request::from_json(&read_frame(&mut cursor).unwrap().unwrap()).unwrap(),
+            Request::Ping
+        ));
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        // No digits before the newline.
+        assert!(read_frame(&mut &b"\n{}"[..]).is_err());
+        // Non-digit length byte.
+        assert!(read_frame(&mut &b"2x\n{}"[..]).is_err());
+        // Truncated payload.
+        assert!(read_frame(&mut &b"10\n{}"[..]).is_err());
+        // Unparseable payload.
+        assert!(read_frame(&mut &b"2\n{]"[..]).is_err());
+    }
+
+    #[test]
+    fn requests_validate_their_inputs() {
+        let bad = parse("{\"op\":\"embed\"}").unwrap();
+        assert!(Request::from_json(&bad).is_err());
+        let both = parse("{\"op\":\"embed\",\"source\":\"x\",\"program\":{}}").unwrap();
+        assert!(Request::from_json(&both).is_err());
+        let unknown = parse("{\"op\":\"dance\"}").unwrap();
+        assert!(Request::from_json(&unknown).is_err());
+
+        let good = infer_request(
+            InferKind::Classify,
+            &InferInput::Encoded(Box::new(sample_program())),
+        );
+        assert!(matches!(
+            Request::from_json(&good).unwrap(),
+            Request::Infer(InferKind::Classify, InferInput::Encoded(_))
+        ));
+    }
+
+    #[test]
+    fn embeddings_roundtrip_bitwise() {
+        let embedding = vec![0.1f32, -2.5e-20, 3.0e30, f32::MIN_POSITIVE, -0.0];
+        let back = embedding_from_json(&embedding_to_json(&embedding)).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back), bits(&embedding));
+    }
+}

@@ -1,0 +1,434 @@
+//! The liger-serve TCP server: micro-batched inference over a bounded
+//! queue.
+//!
+//! ```text
+//!  clients ──► handler threads ──► bounded queue ──► batcher thread
+//!  (frames)    (parse, extract,    (sync_channel,    (coalesce ≤ batch_max
+//!               backpressure)       queue_cap)        or batch_timeout_ms,
+//!                                                     par fan-out over
+//!                                                     persistent Workspaces)
+//! ```
+//!
+//! - **Batching.** The batcher blocks on the queue; once a request
+//!   arrives it keeps collecting until `batch_max` requests are in hand
+//!   or `batch_timeout_ms` has elapsed since the first, whichever comes
+//!   first, then runs the whole batch through one
+//!   [`par::par_map_ordered_with`] fan-out. Each worker keeps a
+//!   persistent [`Workspace`] across batches (DESIGN.md §2b), so arena
+//!   capacity and memo tables amortize.
+//! - **Backpressure.** Handlers `try_send` into the bounded queue; a
+//!   full queue yields an immediate BUSY reply instead of unbounded
+//!   buffering.
+//! - **Shutdown.** SIGTERM/ctrl-c (wired in the binary) or the admin
+//!   `shutdown` verb sets a flag: the listener stops accepting,
+//!   connections are served until idle, and the batcher drains every
+//!   accepted request before exiting — accepted work is never dropped.
+//! - **Determinism.** Inference uses the memoized encoder on a reset
+//!   workspace, so served embeddings are bitwise identical to the
+//!   offline `EncodeMode::Memoized` path regardless of batch shape.
+
+use crate::json::Json;
+use crate::protocol::{
+    busy_response, embedding_to_json, error_response, ok_response, read_frame, write_frame,
+    InferInput, InferKind, Request,
+};
+use crate::stats::{ServeStats, StatsSnapshot};
+use liger::{
+    extract_encoded, EncodedProgram, ExtractOptions, LigerTask, ModelBundle, Vocab, Workspace,
+};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Maximum requests coalesced into one forward-pass batch.
+    pub batch_max: usize,
+    /// How long the batcher waits for more requests after the first.
+    pub batch_timeout_ms: u64,
+    /// Bounded queue capacity; beyond it, requests get BUSY.
+    pub queue_cap: usize,
+    /// How MiniLang sources are traced and encoded server-side.
+    pub extract: ExtractOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch_max: 16,
+            batch_timeout_ms: 5,
+            queue_cap: 64,
+            extract: ExtractOptions::default(),
+        }
+    }
+}
+
+/// Model state shared by every thread (read-only after startup, except
+/// the shutdown flag).
+struct Shared {
+    task: LigerTask,
+    store: tensor::ParamStore,
+    vocab: Vocab,
+    extract: ExtractOptions,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+}
+
+/// One queued inference request.
+struct Job {
+    kind: InferKind,
+    prog: EncodedProgram,
+    reply: std::sync::mpsc::Sender<Json>,
+    queued: Instant,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether both server threads have exited.
+    pub fn is_finished(&self) -> bool {
+        self.listener.as_ref().is_none_or(JoinHandle::is_finished)
+            && self.batcher.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// Waits for the listener and batcher (and through them, every
+    /// connection handler) to finish.
+    pub fn join(mut self) {
+        if let Some(t) = self.listener.take() {
+            t.join().expect("listener thread panicked");
+        }
+        if let Some(t) = self.batcher.take() {
+            t.join().expect("batcher thread panicked");
+        }
+    }
+}
+
+/// Instantiates `bundle` and starts serving it.
+///
+/// # Errors
+///
+/// Returns `InvalidData` when the bundle's parameters do not match its
+/// declared architecture, or the bind error.
+pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHandle> {
+    let (task, store) = bundle
+        .instantiate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        task,
+        store,
+        vocab: bundle.vocab.clone(),
+        extract: config.extract.clone(),
+        stats: ServeStats::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let (queue, jobs) = std::sync::mpsc::sync_channel::<Job>(config.queue_cap.max(1));
+
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        let batch_max = config.batch_max.max(1);
+        let timeout = Duration::from_millis(config.batch_timeout_ms);
+        std::thread::Builder::new()
+            .name("liger-serve-batcher".to_string())
+            .spawn(move || batcher_loop(&shared, &jobs, batch_max, timeout))?
+    };
+
+    let listener_thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("liger-serve-listener".to_string())
+            .spawn(move || listener_loop(&shared, &listener, &queue))?
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shared,
+        listener: Some(listener_thread),
+        batcher: Some(batcher),
+    })
+}
+
+/// Accepts connections until shutdown, then joins every handler. The
+/// queue sender is dropped on exit — once all handlers are gone too, the
+/// batcher sees the channel disconnect and finishes draining.
+fn listener_loop(shared: &Arc<Shared>, listener: &TcpListener, queue: &SyncSender<Job>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let queue = queue.clone();
+                let handler = std::thread::Builder::new()
+                    .name("liger-serve-conn".to_string())
+                    .spawn(move || handle_connection(&shared, stream, &queue));
+                match handler {
+                    Ok(h) => handlers.push(h),
+                    Err(_) => continue, // thread spawn failed; drop the connection
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(_) => break,
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Serves one connection: reads frames, answers admin verbs inline, and
+/// routes inference through the batch queue. After shutdown is
+/// requested, frames already in flight keep being served; the
+/// connection closes once it goes idle.
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, queue: &SyncSender<Job>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    loop {
+        // Idle-wait with peek so a timeout never splits a frame: the
+        // frame reader only runs once at least one byte is buffered.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let request = match read_frame(&mut stream) {
+            Ok(Some(value)) => value,
+            Ok(None) => return,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Framing is broken; report and drop the connection.
+                let _ = write_frame(&mut stream, &error_response(e.to_string()));
+                return;
+            }
+            Err(_) => return,
+        };
+        let reply = match Request::from_json(&request) {
+            Ok(req) => handle_request(shared, queue, req),
+            Err(msg) => error_response(msg),
+        };
+        if write_frame(&mut stream, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, queue: &SyncSender<Job>, request: Request) -> Json {
+    match request {
+        Request::Ping => ok_response(vec![("pong", Json::Bool(true))]),
+        Request::Stats => stats_response(&shared.stats.snapshot()),
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            ok_response(vec![("shutting_down", Json::Bool(true))])
+        }
+        Request::Infer(kind, input) => {
+            let prog = match input {
+                InferInput::Encoded(prog) => *prog,
+                InferInput::Source(src) => {
+                    match extract_encoded(&src, &shared.vocab, &shared.extract) {
+                        Ok(prog) => prog,
+                        Err(e) => return error_response(e.to_string()),
+                    }
+                }
+            };
+            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+            let job = Job { kind, prog, reply: reply_tx, queued: Instant::now() };
+            shared.stats.record_enqueued();
+            match queue.try_send(job) {
+                Ok(()) => reply_rx
+                    .recv()
+                    .unwrap_or_else(|_| error_response("server stopped before replying")),
+                Err(TrySendError::Full(_)) => {
+                    shared.stats.record_enqueue_reverted();
+                    shared.stats.record_rejected();
+                    busy_response()
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shared.stats.record_enqueue_reverted();
+                    error_response("server is shutting down")
+                }
+            }
+        }
+    }
+}
+
+/// Renders a stats snapshot as the STATS reply payload.
+pub fn stats_response(snap: &StatsSnapshot) -> Json {
+    ok_response(vec![
+        ("requests", Json::num(snap.requests as usize)),
+        ("batches", Json::num(snap.batches as usize)),
+        ("rejected", Json::num(snap.rejected as usize)),
+        ("queue_depth", Json::num(snap.queue_depth as usize)),
+        ("p50_us", Json::num(snap.p50_us as usize)),
+        ("p99_us", Json::num(snap.p99_us as usize)),
+    ])
+}
+
+/// Coalesces queued jobs into batches and fans each batch out across the
+/// worker pool. Exits when every queue sender is gone **and** the queue
+/// is drained — `Receiver::recv` keeps returning buffered jobs after the
+/// senders disconnect, so accepted requests always get replies.
+fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, timeout: Duration) {
+    let mut workspaces: Vec<Workspace> = Vec::new();
+    loop {
+        let first = match jobs.recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone, queue drained
+        };
+        shared.stats.record_dequeued();
+        let mut batch = vec![first];
+        let deadline = Instant::now() + timeout;
+        while batch.len() < batch_max {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match jobs.recv_timeout(remaining) {
+                Ok(job) => {
+                    shared.stats.record_dequeued();
+                    batch.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let mut inputs = Vec::with_capacity(batch.len());
+        let mut sinks = Vec::with_capacity(batch.len());
+        for job in batch {
+            inputs.push((job.kind, job.prog));
+            sinks.push((job.reply, job.queued));
+        }
+        let results = par::par_map_ordered_with(
+            &inputs,
+            &mut workspaces,
+            Workspace::new,
+            |ws, _i, (kind, prog)| run_inference(shared, ws, *kind, prog),
+        );
+        shared.stats.record_batch();
+        for ((reply, queued), result) in sinks.into_iter().zip(results) {
+            shared.stats.record_latency(queued.elapsed());
+            let _ = reply.send(result); // receiver may have hung up
+        }
+    }
+}
+
+/// One forward pass. Resets the workspace first, so the result is a pure
+/// function of the program — bitwise identical to the offline memoized
+/// encoder no matter which worker or batch runs it.
+fn run_inference(shared: &Shared, ws: &mut Workspace, kind: InferKind, prog: &EncodedProgram) -> Json {
+    match kind {
+        InferKind::Embed => {
+            let embedding = shared.task.embed_in(ws, &shared.store, prog);
+            ok_response(vec![("embedding", embedding_to_json(&embedding))])
+        }
+        InferKind::Name => match shared.task.name_in(ws, &shared.store, prog) {
+            Some(tokens) => ok_response(vec![(
+                "name",
+                Json::Arr(tokens.into_iter().map(Json::Str).collect()),
+            )]),
+            None => error_response("this bundle is a classifier; it cannot predict names"),
+        },
+        InferKind::Classify => match shared.task.classify_in(ws, &shared.store, prog) {
+            Some((class, label)) => ok_response(vec![
+                ("class", Json::num(class)),
+                ("label", Json::str(label)),
+            ]),
+            None => error_response("this bundle is a namer; it cannot classify"),
+        },
+    }
+}
+
+/// A blocking client for the frame protocol. Supports pipelining:
+/// [`Client::send`] several requests, then [`Client::recv`] the replies
+/// in order.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Writes one request frame without waiting for the reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns the write error.
+    pub fn send(&mut self, request: &Json) -> io::Result<()> {
+        write_frame(&mut self.stream, request)
+    }
+
+    /// Reads the next reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns `UnexpectedEof` if the server closed the connection.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })
+    }
+
+    /// One request/reply round trip.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error on either leg.
+    pub fn call(&mut self, request: &Json) -> io::Result<Json> {
+        self.send(request)?;
+        self.recv()
+    }
+}

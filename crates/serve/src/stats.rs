@@ -1,0 +1,176 @@
+//! Lock-free server counters and a log-bucketed latency histogram.
+//!
+//! Handlers and the batcher record into shared atomics; the STATS verb
+//! snapshots them without stopping the world. Latency percentiles come
+//! from a power-of-two-bucketed histogram (bucket *i* holds samples with
+//! ⌊log₂ µs⌋ = *i*), so p50/p99 are upper bounds accurate to 2× — enough
+//! to see batching and queueing effects without a mutex on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 40; // 2⁴⁰ µs ≈ 12 days: effectively unbounded.
+
+/// Shared server counters. All methods are safe to call concurrently.
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Inference requests accepted into the queue.
+    requests: AtomicU64,
+    /// Forward-pass batches executed.
+    batches: AtomicU64,
+    /// Requests rejected with BUSY (queue full).
+    rejected: AtomicU64,
+    /// Current queue depth (enqueued, not yet batched).
+    queue_depth: AtomicU64,
+    /// Latency histogram: enqueue → reply, microseconds, log₂ buckets.
+    latency: [AtomicU64; BUCKETS],
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Inference requests accepted into the queue.
+    pub requests: u64,
+    /// Forward-pass batches executed.
+    pub batches: u64,
+    /// Requests rejected with BUSY.
+    pub rejected: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Median request latency upper bound, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency upper bound, microseconds.
+    pub p99_us: u64,
+}
+
+impl Default for ServeStats {
+    fn default() -> ServeStats {
+        ServeStats::new()
+    }
+}
+
+impl ServeStats {
+    /// A fresh zeroed counter set.
+    pub fn new() -> ServeStats {
+        ServeStats {
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records a request entering the queue.
+    pub fn record_enqueued(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request leaving the queue (pulled into a batch).
+    pub fn record_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Undoes [`ServeStats::record_enqueued`] for a request the queue
+    /// refused (recorded optimistically to keep the depth gauge from
+    /// racing below zero).
+    pub fn record_enqueue_reverted(&self) {
+        self.requests.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a BUSY rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed batch.
+    pub fn record_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's enqueue→reply latency.
+    pub fn record_latency(&self, elapsed: std::time::Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Bucket = position of the highest set bit; 0 µs lands in bucket 0.
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let counts: Vec<u64> =
+            self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            p50_us: percentile(&counts, 0.50),
+            p99_us: percentile(&counts, 0.99),
+        }
+    }
+}
+
+/// The upper bound of the bucket where the cumulative count crosses `q`.
+fn percentile(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (bucket, &count) in counts.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            // Bucket i holds [2^i, 2^(i+1)) µs; report the upper bound.
+            return 1u64 << (bucket + 1);
+        }
+    }
+    1u64 << BUCKETS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = ServeStats::new();
+        for _ in 0..5 {
+            stats.record_enqueued();
+        }
+        for _ in 0..3 {
+            stats.record_dequeued();
+        }
+        stats.record_batch();
+        stats.record_rejected();
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 5);
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.rejected, 1);
+    }
+
+    #[test]
+    fn percentiles_bound_the_samples() {
+        let stats = ServeStats::new();
+        // 90 fast samples (~100 µs) and ten slow (~100 ms).
+        for _ in 0..90 {
+            stats.record_latency(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            stats.record_latency(Duration::from_millis(100));
+        }
+        let snap = stats.snapshot();
+        assert!(snap.p50_us >= 100 && snap.p50_us <= 256, "p50={}", snap.p50_us);
+        assert!(snap.p99_us >= 100_000 / 2, "p99={}", snap.p99_us);
+        assert!(snap.p50_us <= snap.p99_us);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        assert_eq!(ServeStats::new().snapshot().p50_us, 0);
+    }
+}

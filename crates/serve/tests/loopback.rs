@@ -1,0 +1,221 @@
+//! End-to-end loopback tests: a real TCP server on an ephemeral port,
+//! concurrent pipelining clients, and the two contracts the service
+//! promises — served embeddings are **bitwise identical** to the offline
+//! memoized path, and graceful shutdown drains every accepted request.
+
+use liger::{
+    train_namer, EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram, LigerConfig,
+    LigerNamer, LigerTask, ModelBundle, NameSample, OutVocab, TrainConfig, Vocab, Workspace,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::json::Json;
+use serve::protocol::{embedding_from_json, infer_request, InferInput, InferKind};
+use serve::server::{serve, Client, ServerConfig};
+
+/// A small synthetic program whose content is parameterized by `t`.
+fn prog(t: usize) -> EncodedProgram {
+    EncodedProgram::from_traces(vec![EncBlended {
+        steps: vec![
+            EncStep {
+                tree: EncTree {
+                    token: t,
+                    children: vec![EncTree { token: t + 1, children: vec![] }],
+                },
+                states: vec![
+                    EncState { vars: vec![EncVar::Primitive(t + 2)] },
+                    EncState { vars: vec![EncVar::Object(vec![t, t + 1])] },
+                ],
+            },
+            EncStep {
+                tree: EncTree { token: t + 1, children: vec![] },
+                states: vec![EncState { vars: vec![EncVar::Primitive(t)] }],
+            },
+        ],
+    }])
+}
+
+/// Trains a tiny namer over the synthetic programs and packs it.
+fn trained_bundle() -> ModelBundle {
+    let mut vocab = Vocab::new();
+    for i in 0..12 {
+        vocab.add(&format!("tok{i}"));
+    }
+    let mut out = OutVocab::new();
+    for name in ["find", "max", "sum", "item"] {
+        out.add(name);
+    }
+    let cfg = LigerConfig { hidden: 8, attn: 8, ..LigerConfig::default() };
+    let mut store = tensor::ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(21);
+    let namer = LigerNamer::new(&mut store, vocab.len(), out.len(), cfg, &mut rng);
+    let samples: Vec<NameSample> = (1..4)
+        .map(|t| NameSample { program: prog(t), target: vec![3 + (t - 1), liger::EOS] })
+        .collect();
+    train_namer(
+        &namer,
+        &mut store,
+        &samples,
+        &TrainConfig { epochs: 4, lr: 0.02, batch_size: 2 },
+        &mut rng,
+    );
+    ModelBundle::for_namer(cfg, vocab, out, store)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_embeddings_and_batching_kicks_in() {
+    let bundle = trained_bundle();
+
+    // Offline reference: the memoized encoder on a reset workspace.
+    let (task, store) = bundle.instantiate().unwrap();
+    let mut ws = Workspace::new();
+    let programs: Vec<EncodedProgram> = (1..6).map(prog).collect();
+    let reference: Vec<Vec<u32>> = programs
+        .iter()
+        .map(|p| bits(&task.embed_in(&mut ws, &store, p)))
+        .collect();
+    let LigerTask::Namer { .. } = &task else { panic!("expected a namer bundle") };
+
+    let handle = serve(
+        &bundle,
+        ServerConfig { batch_max: 8, batch_timeout_ms: 20, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 12;
+    let served: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let programs = &programs;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    // Pipeline every request before reading any reply so
+                    // the queue actually fills and batches form.
+                    for i in 0..PER_CLIENT {
+                        let p = &programs[(c + i) % programs.len()];
+                        client
+                            .send(&infer_request(
+                                InferKind::Embed,
+                                &InferInput::Encoded(Box::new(p.clone())),
+                            ))
+                            .unwrap();
+                    }
+                    (0..PER_CLIENT)
+                        .map(|_| {
+                            let reply = client.recv().unwrap();
+                            assert_eq!(
+                                reply.get("ok").and_then(Json::as_bool),
+                                Some(true),
+                                "reply: {}",
+                                reply
+                            );
+                            bits(&embedding_from_json(reply.get("embedding").unwrap()).unwrap())
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    for (c, embeddings) in served.iter().enumerate() {
+        for (i, embedding) in embeddings.iter().enumerate() {
+            let expected = &reference[(c + i) % programs.len()];
+            assert_eq!(embedding, expected, "client {c} request {i} diverged");
+        }
+    }
+
+    // Under concurrent load the batcher must have coalesced: strictly
+    // fewer batches than requests, and nothing rejected or stuck.
+    let mut admin = Client::connect(addr).unwrap();
+    let stats = admin.call(&Json::obj(vec![("op", Json::str("stats"))])).unwrap();
+    let requests = stats.get("requests").and_then(Json::as_usize).unwrap();
+    let batches = stats.get("batches").and_then(Json::as_usize).unwrap();
+    assert_eq!(requests, CLIENTS * PER_CLIENT);
+    assert!(batches >= 1, "at least one batch must have run");
+    assert!(batches < requests, "batching never coalesced: {batches} batches for {requests}");
+    assert_eq!(stats.get("queue_depth").and_then(Json::as_usize), Some(0));
+
+    // Name prediction is served too, and agrees with the offline task.
+    let mut ws2 = Workspace::new();
+    let offline_name = task.name_in(&mut ws2, &store, &programs[0]).unwrap();
+    let reply = admin
+        .call(&infer_request(InferKind::Name, &InferInput::Encoded(Box::new(programs[0].clone()))))
+        .unwrap();
+    let served_name: Vec<String> = reply
+        .get("name")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|t| t.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(served_name, offline_name);
+
+    // Classify on a namer bundle is a clean error, not a crash.
+    let reply = admin
+        .call(&infer_request(InferKind::Classify, &InferInput::Encoded(Box::new(programs[0].clone()))))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_drains_pipelined_in_flight_requests() {
+    let bundle = trained_bundle();
+    let handle = serve(
+        &bundle,
+        ServerConfig { batch_max: 4, batch_timeout_ms: 10, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Pipeline a burst of work, then trigger shutdown from a second
+    // connection *before* reading any replies.
+    const IN_FLIGHT: usize = 6;
+    let mut worker = Client::connect(addr).unwrap();
+    for t in 0..IN_FLIGHT {
+        worker
+            .send(&infer_request(
+                InferKind::Embed,
+                &InferInput::Encoded(Box::new(prog(1 + t % 4))),
+            ))
+            .unwrap();
+    }
+
+    let mut admin = Client::connect(addr).unwrap();
+    let ack = admin.call(&Json::obj(vec![("op", Json::str("shutdown"))])).unwrap();
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+
+    // Every accepted request still gets a real reply.
+    for i in 0..IN_FLIGHT {
+        let reply = worker.recv().unwrap_or_else(|e| panic!("reply {i} lost: {e}"));
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "reply {i}: {}",
+            reply
+        );
+        assert!(reply.get("embedding").is_some());
+    }
+    drop(worker);
+    drop(admin);
+
+    // And the server actually stops: both threads exit and join returns.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !handle.is_finished() {
+        assert!(std::time::Instant::now() < deadline, "server failed to stop");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.requests as usize, IN_FLIGHT);
+    assert_eq!(stats.queue_depth, 0, "shutdown dropped queued work");
+    handle.join();
+}

@@ -43,6 +43,9 @@ pub mod tensor;
 pub use gradcheck::{assert_grads_close, grad_check, pseudo_tensor, GradCheckReport};
 pub use graph::{Graph, VarId};
 pub use pool::BufferPool;
-pub use serialize::{load_store, save_store, LoadError};
+pub use serialize::{
+    binary_to_text, load_store, load_store_binary, save_store, save_store_binary,
+    text_to_binary, CheckpointError, LoadError,
+};
 pub use store::{Param, ParamGrads, ParamId, ParamStore};
 pub use tensor::Tensor;

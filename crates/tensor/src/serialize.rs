@@ -1,18 +1,45 @@
-//! Plain-text serialization of parameter stores.
+//! Checkpoint serialization of parameter stores: a legacy line-oriented
+//! text format and the versioned binary `LGR1` format.
 //!
 //! Trained weights can be saved and reloaded so experiments can be
-//! checkpointed and predictions reproduced without retraining. The format
-//! is a deliberately simple line-oriented text format (no external
-//! dependencies): one header line per parameter
-//! (`name rows cols`, with the name percent-escaped) followed by one line
-//! of whitespace-separated float values in Rust's roundtrip-exact `{:?}`
-//! rendering.
+//! checkpointed, predictions reproduced without retraining, and the
+//! `liger-serve` inference service fed from offline training runs. Two
+//! on-disk formats exist:
+//!
+//! * **Text** ([`save_store`]/[`load_store`]) — one header line per
+//!   parameter (`name rows cols`, with the name percent-escaped) followed
+//!   by one line of whitespace-separated float values in Rust's
+//!   roundtrip-exact `{:?}` rendering. Human-greppable, ~10× larger than
+//!   the weights it stores.
+//! * **Binary** ([`save_store_binary`]/[`load_store_binary`]) — magic
+//!   `LGR` + one version byte (`1`), a little-endian `u32` parameter
+//!   count, then per parameter: `u32` name length + UTF-8 name bytes,
+//!   `u32` rows, `u32` cols, and `rows × cols` little-endian `f64`
+//!   values. `f32 → f64` widening is exact, so the round trip is bitwise
+//!   lossless while the payload layout stays stable if the tensor element
+//!   type ever widens.
+//!
+//! The two formats convert losslessly into each other
+//! ([`text_to_binary`]/[`binary_to_text`]), and both loaders reject
+//! duplicate parameter names — a checkpoint that binds one name twice is
+//! corrupt, not "last one wins".
+//!
+//! [`ParamStore::save_to_path`] / [`ParamStore::load_from_path`] are the
+//! file-level helpers: saving writes the binary format, loading sniffs
+//! the magic bytes and accepts either format.
 
-use crate::store::{ParamStore};
+use crate::store::ParamStore;
 use crate::tensor::Tensor;
+use std::collections::HashSet;
 use std::fmt::Write as _;
+use std::path::Path;
 
-/// Errors from [`load_store`].
+/// The checkpoint magic prefix (followed by one ASCII version byte).
+pub const MAGIC: &[u8; 3] = b"LGR";
+/// The current binary checkpoint version byte.
+pub const VERSION: u8 = b'1';
+
+/// Errors from [`load_store`] / [`load_store_binary`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LoadError {
     /// A header line was malformed.
@@ -25,8 +52,26 @@ pub enum LoadError {
         /// The 1-based line number.
         line: usize,
     },
-    /// The file ended in the middle of a record.
+    /// The input ended in the middle of a record.
     UnexpectedEof,
+    /// The input does not start with the `LGR` magic bytes.
+    BadMagic,
+    /// The magic matched but the version byte is not [`VERSION`].
+    VersionMismatch {
+        /// The version byte found in the input.
+        found: u8,
+    },
+    /// A parameter name was bound twice in one checkpoint.
+    DuplicateParam {
+        /// The repeated name.
+        name: String,
+    },
+    /// A binary record carried a non-UTF-8 or oversized name, or a shape
+    /// whose element count overflows.
+    BadRecord {
+        /// The 0-based parameter index.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -35,11 +80,52 @@ impl std::fmt::Display for LoadError {
             LoadError::BadHeader { line } => write!(f, "malformed header at line {line}"),
             LoadError::BadValues { line } => write!(f, "malformed values at line {line}"),
             LoadError::UnexpectedEof => write!(f, "unexpected end of input"),
+            LoadError::BadMagic => write!(f, "not a LIGER checkpoint (bad magic)"),
+            LoadError::VersionMismatch { found } => {
+                write!(f, "unsupported checkpoint version {:?}", char::from(*found))
+            }
+            LoadError::DuplicateParam { name } => {
+                write!(f, "parameter {name:?} bound twice in checkpoint")
+            }
+            LoadError::BadRecord { index } => write!(f, "malformed record for parameter {index}"),
         }
     }
 }
 
 impl std::error::Error for LoadError {}
+
+/// Errors from the path-level checkpoint helpers: either the file could
+/// not be read/written or its contents failed to parse.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file's contents are not a valid checkpoint.
+    Load(LoadError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Load(e) => write!(f, "checkpoint parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> CheckpointError {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<LoadError> for CheckpointError {
+    fn from(e: LoadError) -> CheckpointError {
+        CheckpointError::Load(e)
+    }
+}
 
 fn escape(name: &str) -> String {
     let mut out = String::new();
@@ -58,8 +144,8 @@ fn unescape(name: &str) -> String {
     name.replace("%20", " ").replace("%0A", "\n").replace("%25", "%")
 }
 
-/// Serializes every parameter's *value* (gradients and optimizer state are
-/// transient and not saved).
+/// Serializes every parameter's *value* in the text format (gradients and
+/// optimizer state are transient and not saved).
 pub fn save_store(store: &ParamStore) -> String {
     let mut out = String::new();
     for p in store.iter() {
@@ -81,9 +167,10 @@ pub fn save_store(store: &ParamStore) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`LoadError`] on malformed input.
+/// Returns [`LoadError`] on malformed input or duplicate parameter names.
 pub fn load_store(text: &str) -> Result<ParamStore, LoadError> {
     let mut store = ParamStore::new();
+    let mut seen: HashSet<String> = HashSet::new();
     let mut lines = text.lines().enumerate();
     while let Some((header_idx, header)) = lines.next() {
         if header.trim().is_empty() {
@@ -100,6 +187,9 @@ pub fn load_store(text: &str) -> Result<ParamStore, LoadError> {
             Some((name, rows, cols))
         })()
         .ok_or(LoadError::BadHeader { line: header_idx + 1 })?;
+        if !seen.insert(name.clone()) {
+            return Err(LoadError::DuplicateParam { name });
+        }
 
         let (value_idx, value_line) = lines.next().ok_or(LoadError::UnexpectedEof)?;
         let values: Vec<f32> = value_line
@@ -115,26 +205,201 @@ pub fn load_store(text: &str) -> Result<ParamStore, LoadError> {
     Ok(store)
 }
 
+/// Serializes every parameter's value in the binary `LGR1` format.
+pub fn save_store_binary(store: &ParamStore) -> Vec<u8> {
+    // Header + per-param records; payload dominates, so reserve for it.
+    let payload: usize = store.iter().map(|p| p.value.len() * 8 + 16).sum();
+    let mut out = Vec::with_capacity(8 + payload);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&(store.len() as u32).to_le_bytes());
+    for p in store.iter() {
+        out.extend_from_slice(&(p.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(p.name.as_bytes());
+        out.extend_from_slice(&(p.value.rows() as u32).to_le_bytes());
+        out.extend_from_slice(&(p.value.cols() as u32).to_le_bytes());
+        for &v in p.value.data() {
+            out.extend_from_slice(&f64::from(v).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// A cursor over the binary checkpoint body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+        let end = self.pos.checked_add(n).ok_or(LoadError::UnexpectedEof)?;
+        if end > self.bytes.len() {
+            return Err(LoadError::UnexpectedEof);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, LoadError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, LoadError> {
+        let b = self.take(8)?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+}
+
+/// Reconstructs a parameter store from [`save_store_binary`] output.
+///
+/// # Errors
+///
+/// Returns [`LoadError::BadMagic`] / [`LoadError::VersionMismatch`] for
+/// foreign or future inputs, [`LoadError::DuplicateParam`] when a name is
+/// bound twice, and [`LoadError::UnexpectedEof`] / [`LoadError::BadRecord`]
+/// on truncation or malformed records.
+pub fn load_store_binary(bytes: &[u8]) -> Result<ParamStore, LoadError> {
+    if bytes.len() < 4 || &bytes[..3] != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    if bytes[3] != VERSION {
+        return Err(LoadError::VersionMismatch { found: bytes[3] });
+    }
+    let mut r = Reader { bytes, pos: 4 };
+    let count = r.u32()? as usize;
+    let mut store = ParamStore::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    for index in 0..count {
+        let name_len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| LoadError::BadRecord { index })?
+            .to_string();
+        if !seen.insert(name.clone()) {
+            return Err(LoadError::DuplicateParam { name });
+        }
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        let len = rows.checked_mul(cols).ok_or(LoadError::BadRecord { index })?;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(r.f64()? as f32);
+        }
+        store.add(name, Tensor::from_vec(rows, cols, values));
+    }
+    if r.pos != bytes.len() {
+        // Trailing garbage means the writer and reader disagree about the
+        // record layout; refuse rather than silently ignore.
+        return Err(LoadError::BadRecord { index: count });
+    }
+    Ok(store)
+}
+
+/// Converts a text checkpoint to the binary format (lossless).
+pub fn text_to_binary(text: &str) -> Result<Vec<u8>, LoadError> {
+    Ok(save_store_binary(&load_store(text)?))
+}
+
+/// Converts a binary checkpoint to the text format (lossless).
+pub fn binary_to_text(bytes: &[u8]) -> Result<String, LoadError> {
+    Ok(save_store(&load_store_binary(bytes)?))
+}
+
+impl ParamStore {
+    /// Writes this store to `path` in the binary `LGR1` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying filesystem error.
+    pub fn save_to_path(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, save_store_binary(self))
+    }
+
+    /// Reads a checkpoint from `path`, accepting either format: files
+    /// starting with the `LGR` magic parse as binary, anything else as
+    /// the text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on I/O failure or malformed contents.
+    pub fn load_from_path(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.len() >= 3 && &bytes[..3] == MAGIC {
+            return Ok(load_store_binary(&bytes)?);
+        }
+        let text = String::from_utf8(bytes)
+            .map_err(|_| CheckpointError::Load(LoadError::BadMagic))?;
+        Ok(load_store(&text)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn roundtrip_preserves_values_exactly() {
+    fn bits(store: &ParamStore) -> Vec<(String, usize, usize, Vec<u32>)> {
+        store
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    p.value.rows(),
+                    p.value.cols(),
+                    p.value.data().iter().map(|v| v.to_bits()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn sample_store() -> ParamStore {
         let mut store = ParamStore::new();
         store.add("layer.w", Tensor::from_vec(2, 2, vec![0.1, -2.5e-7, f32::MIN_POSITIVE, 3.0]));
         store.add("odd name %x", Tensor::vector(vec![1.5]));
+        store.add("empty", Tensor::from_vec(0, 7, Vec::new()));
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_exactly() {
+        let store = sample_store();
         let text = save_store(&store);
         let loaded = load_store(&text).unwrap();
-        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.len(), 3);
         assert_eq!(loaded.get(crate::ParamId(0)).value, store.get(crate::ParamId(0)).value);
         assert_eq!(loaded.get(crate::ParamId(1)).name, "odd name %x");
         assert_eq!(loaded.get(crate::ParamId(1)).value.item(), 1.5);
     }
 
     #[test]
+    fn binary_roundtrip_is_bitwise_lossless() {
+        let store = sample_store();
+        let blob = save_store_binary(&store);
+        assert_eq!(&blob[..3], MAGIC);
+        assert_eq!(blob[3], VERSION);
+        let loaded = load_store_binary(&blob).unwrap();
+        assert_eq!(bits(&store), bits(&loaded));
+        // Zero-element tensors keep their shape.
+        assert_eq!(loaded.get(crate::ParamId(2)).value.rows(), 0);
+        assert_eq!(loaded.get(crate::ParamId(2)).value.cols(), 7);
+    }
+
+    #[test]
+    fn text_binary_conversion_is_lossless_both_ways() {
+        let store = sample_store();
+        let text = save_store(&store);
+        let blob = text_to_binary(&text).unwrap();
+        assert_eq!(bits(&load_store_binary(&blob).unwrap()), bits(&store));
+        let text2 = binary_to_text(&blob).unwrap();
+        assert_eq!(text, text2, "text → binary → text must be the identity");
+    }
+
+    #[test]
     fn empty_store_roundtrips() {
         let loaded = load_store(&save_store(&ParamStore::new())).unwrap();
+        assert!(loaded.is_empty());
+        let loaded = load_store_binary(&save_store_binary(&ParamStore::new())).unwrap();
         assert!(loaded.is_empty());
     }
 
@@ -151,5 +416,65 @@ mod tests {
     #[test]
     fn truncated_record_is_rejected() {
         assert_eq!(load_store("w 1 1\n").unwrap_err(), LoadError::UnexpectedEof);
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_in_both_formats() {
+        let text = "w 1 1\n1.0\nw 1 1\n2.0\n";
+        assert_eq!(
+            load_store(text).unwrap_err(),
+            LoadError::DuplicateParam { name: "w".into() }
+        );
+        let mut store = ParamStore::new();
+        store.add("dup", Tensor::scalar(1.0));
+        store.add("dup", Tensor::scalar(2.0));
+        assert_eq!(
+            load_store_binary(&save_store_binary(&store)).unwrap_err(),
+            LoadError::DuplicateParam { name: "dup".into() }
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert_eq!(load_store_binary(b"NOPE").unwrap_err(), LoadError::BadMagic);
+        assert_eq!(load_store_binary(b"LG").unwrap_err(), LoadError::BadMagic);
+        let mut blob = save_store_binary(&ParamStore::new());
+        blob[3] = b'9';
+        assert_eq!(load_store_binary(&blob).unwrap_err(), LoadError::VersionMismatch { found: b'9' });
+    }
+
+    #[test]
+    fn truncated_binary_is_rejected() {
+        let blob = save_store_binary(&sample_store());
+        for cut in [4, 8, 10, blob.len() - 1] {
+            assert_eq!(
+                load_store_binary(&blob[..cut]).unwrap_err(),
+                LoadError::UnexpectedEof,
+                "cut at {cut}"
+            );
+        }
+        let mut padded = blob.clone();
+        padded.push(0);
+        assert!(matches!(load_store_binary(&padded).unwrap_err(), LoadError::BadRecord { .. }));
+    }
+
+    #[test]
+    fn path_helpers_roundtrip_and_sniff_formats() {
+        let store = sample_store();
+        let dir = std::env::temp_dir();
+        let bin_path = dir.join(format!("liger_ckpt_test_{}.lgr", std::process::id()));
+        let text_path = dir.join(format!("liger_ckpt_test_{}.txt", std::process::id()));
+
+        store.save_to_path(&bin_path).unwrap();
+        let loaded = ParamStore::load_from_path(&bin_path).unwrap();
+        assert_eq!(bits(&store), bits(&loaded));
+
+        std::fs::write(&text_path, save_store(&store)).unwrap();
+        let loaded = ParamStore::load_from_path(&text_path).unwrap();
+        assert_eq!(bits(&store), bits(&loaded));
+
+        assert!(ParamStore::load_from_path(dir.join("liger_ckpt_missing")).is_err());
+        std::fs::remove_file(&bin_path).ok();
+        std::fs::remove_file(&text_path).ok();
     }
 }

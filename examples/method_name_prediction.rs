@@ -4,11 +4,32 @@
 //!
 //! ```text
 //! cargo run --release --example method_name_prediction
+//! cargo run --release --example method_name_prediction -- --save liger.ckpt
+//! cargo run --release --example method_name_prediction -- --load liger.ckpt
 //! ```
+//!
+//! `--save` trains only LIGER and writes a binary checkpoint;
+//! `--load` evaluates a saved checkpoint without retraining.
 
-use eval::{build_method_dataset, table2, table2_markdown, Scale};
+use eval::{
+    build_method_dataset, eval_method_namer, load_method_namer, table2, table2_markdown,
+    train_method_namer, PathLevel, Scale,
+};
+use liger::Ablation;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a path argument");
+                std::process::exit(2);
+            })
+        })
+    };
+    let save = flag_value("--save");
+    let load = flag_value("--load");
+
     let scale = Scale::tiny();
     println!("generating the method-name corpus at scale '{}'…", scale.name);
     let (dataset, stats) = build_method_dataset(&scale);
@@ -22,6 +43,37 @@ fn main() {
         dataset.test.len(),
         dataset.vocabs.input.len()
     );
+
+    let (paths, concrete) = (PathLevel::Full, scale.concrete_per_path);
+    if let Some(path) = load {
+        println!("loading LIGER checkpoint from {path}…");
+        let (namer, store) = load_method_namer(&dataset, &scale, Ablation::Full, &path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot load checkpoint: {e}");
+                std::process::exit(2);
+            });
+        let (scores, _) = eval_method_namer(&namer, &store, &dataset, &scale, paths, concrete);
+        println!(
+            "LIGER (from checkpoint): precision {:.1}%, recall {:.1}%, F1 {:.1}%",
+            scores.precision, scores.recall, scores.f1
+        );
+        return;
+    }
+    if let Some(path) = save {
+        println!("training LIGER only (skipping baselines for --save)…");
+        let (namer, store) = train_method_namer(&dataset, &scale, Ablation::Full, paths, concrete);
+        let (scores, _) = eval_method_namer(&namer, &store, &dataset, &scale, paths, concrete);
+        println!(
+            "LIGER: precision {:.1}%, recall {:.1}%, F1 {:.1}%",
+            scores.precision, scores.recall, scores.f1
+        );
+        if let Err(e) = store.save_to_path(&path) {
+            eprintln!("cannot save checkpoint to {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("saved binary checkpoint to {path} (reload with --load {path})");
+        return;
+    }
 
     println!("training code2vec, code2seq, DYPRO, and LIGER (this takes a minute)…\n");
     let rows = table2(&dataset, &scale);

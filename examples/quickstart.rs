@@ -2,19 +2,26 @@
 //!
 //! Parse a MiniLang method, collect concrete executions with the
 //! feedback-directed generator, group them into blended traces, train
-//! LIGER for a few epochs, and predict the method's name.
+//! LIGER for a few epochs, and predict the method's name. The trained
+//! model is checkpointed to `quickstart.lgrb`; later runs load it and
+//! skip training (pass `--retrain` to force a fresh run).
 //!
 //! ```text
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart              # first run: trains + saves
+//! cargo run --release --example quickstart              # later runs: loads
+//! cargo run --release --example quickstart -- --retrain # force retraining
 //! ```
 
 use liger::{
-    encode_program, program_into_vocab, EncodeOptions, LigerConfig, LigerNamer, NameSample,
-    OutVocab, TrainConfig, Vocab,
+    encode_program, program_into_vocab, EncodeOptions, LigerConfig, LigerNamer, ModelBundle,
+    NameSample, OutVocab, TrainConfig, Vocab,
 };
 use rand::SeedableRng;
 
+const CKPT_PATH: &str = "quickstart.lgrb";
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let retrain = std::env::args().any(|a| a == "--retrain");
     let source = "fn maxArray(a: array<int>) -> int {
         if (len(a) == 0) { return 0; }
         let best: int = a[0];
@@ -49,39 +56,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         groups.iter().filter_map(|g| g.blend(3).ok()).collect();
     println!("built {} blended traces\n", blended.len());
 
-    // 4. Vocabularies and the model-ready encoding.
+    // 4. The model-ready encoding. The checkpoint carries the trained
+    //    vocabulary, so only the training path builds one from scratch.
     let opts = EncodeOptions::default();
-    let mut vocab = Vocab::new();
-    program_into_vocab(&program, &blended, &mut vocab, &opts);
-    let mut out_vocab = OutVocab::new();
-    for t in minilang::subtokens("maxArray") {
-        out_vocab.add(&t);
-    }
-    let encoded = encode_program(&program, &blended, &vocab, &opts);
-    println!("input vocabulary: {} tokens; encoded steps: {}", vocab.len(), encoded.total_steps());
-
-    // 5. Train LIGER to name the method.
-    let mut store = tensor::ParamStore::new();
     let cfg = LigerConfig { hidden: 16, attn: 16, ..LigerConfig::default() };
-    let namer = LigerNamer::new(&mut store, vocab.len(), out_vocab.len(), cfg, &mut rng);
-    let samples =
-        vec![NameSample { program: encoded.clone(), target: out_vocab.encode_name("maxArray") }];
-    let tc = TrainConfig { epochs: 30, lr: 0.05, batch_size: 1 };
-    let losses = liger::train_namer(&namer, &mut store, &samples, &tc, &mut rng);
-    println!(
-        "training loss: {:.3} → {:.3} over {} epochs",
-        losses[0],
-        losses.last().unwrap(),
-        losses.len()
-    );
 
-    // 6. Predict.
-    let predicted = out_vocab.decode_name(&namer.predict(&store, &encoded));
+    // 5. Load the checkpoint if one exists; otherwise train and save it.
+    let bundle = match (retrain, ModelBundle::load_from_path(CKPT_PATH)) {
+        (false, Ok(bundle)) => {
+            println!("loaded checkpoint {CKPT_PATH} — skipping training");
+            bundle
+        }
+        (retrain, load_result) => {
+            if let (false, Err(e)) = (retrain, &load_result) {
+                println!("no usable checkpoint ({e}); training from scratch");
+            } else {
+                println!("--retrain: training from scratch");
+            }
+            let mut vocab = Vocab::new();
+            program_into_vocab(&program, &blended, &mut vocab, &opts);
+            let mut out_vocab = OutVocab::new();
+            for t in minilang::subtokens("maxArray") {
+                out_vocab.add(&t);
+            }
+            let encoded = encode_program(&program, &blended, &vocab, &opts);
+            println!(
+                "input vocabulary: {} tokens; encoded steps: {}",
+                vocab.len(),
+                encoded.total_steps()
+            );
+
+            let mut store = tensor::ParamStore::new();
+            let namer =
+                LigerNamer::new(&mut store, vocab.len(), out_vocab.len(), cfg, &mut rng);
+            let samples = vec![NameSample {
+                program: encoded.clone(),
+                target: out_vocab.encode_name("maxArray"),
+            }];
+            let tc = TrainConfig { epochs: 30, lr: 0.05, batch_size: 1 };
+            let losses = liger::train_namer(&namer, &mut store, &samples, &tc, &mut rng);
+            println!(
+                "training loss: {:.3} → {:.3} over {} epochs",
+                losses[0],
+                losses.last().unwrap(),
+                losses.len()
+            );
+
+            let bundle = ModelBundle::for_namer(cfg, vocab, out_vocab, store);
+            bundle.save_to_path(CKPT_PATH)?;
+            println!("saved checkpoint to {CKPT_PATH} — the next run will load it\n(serve it with: cargo run --bin liger-serve -- --ckpt {CKPT_PATH})");
+            bundle
+        }
+    };
+
+    // 6. Predict from the (possibly reloaded) checkpoint.
+    let mut inferencer = liger::Inferencer::from_bundle(&bundle)?;
+    let encoded = encode_program(&program, &blended, &inferencer.vocab, &opts);
+    let predicted = inferencer.name(&encoded).expect("quickstart bundle is a namer");
     println!("\npredicted name sub-tokens: {predicted:?}");
     println!("joined: {}", minilang::join_subtokens(&predicted));
-
-    if let Some(attention) = namer.static_attention(&store, &encoded) {
-        println!("mean fusion attention on the symbolic dimension: {attention:.3}");
-    }
     Ok(())
 }

@@ -5,11 +5,32 @@
 //!
 //! ```text
 //! cargo run --release --example semantics_classification
+//! cargo run --release --example semantics_classification -- --save liger-cls.ckpt
+//! cargo run --release --example semantics_classification -- --load liger-cls.ckpt
 //! ```
+//!
+//! `--save` trains only LIGER's classifier and writes a binary
+//! checkpoint; `--load` evaluates a saved checkpoint without retraining.
 
-use eval::{build_coset_dataset, table3, table3_markdown, Scale};
+use eval::{
+    build_coset_dataset, eval_coset_classifier, load_coset_classifier, table3, table3_markdown,
+    train_coset_classifier, PathLevel, Scale,
+};
+use liger::Ablation;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a path argument");
+                std::process::exit(2);
+            })
+        })
+    };
+    let save = flag_value("--save");
+    let load = flag_value("--load");
+
     let scale = Scale::tiny();
     println!("generating the COSET-like corpus at scale '{}'…", scale.name);
     let (dataset, stats) = build_coset_dataset(&scale);
@@ -36,6 +57,35 @@ fn main() {
         "example confusable pair: gcd-by-mod({inputs:?}) = {out_mod}, gcd-by-subtraction = {out_sub} — \
          identical outputs, different algorithms to classify.\n"
     );
+
+    let (paths, concrete) = (PathLevel::Full, scale.concrete_per_path);
+    if let Some(path) = load {
+        println!("loading LIGER classifier checkpoint from {path}…");
+        let (cls, store) = load_coset_classifier(&dataset, &scale, Ablation::Full, &path)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot load checkpoint: {e}");
+                std::process::exit(2);
+            });
+        let scores = eval_coset_classifier(&cls, &store, &dataset, &scale, paths, concrete);
+        println!(
+            "LIGER (from checkpoint): accuracy {:.1}%, macro-F1 {:.2}",
+            scores.accuracy, scores.f1
+        );
+        return;
+    }
+    if let Some(path) = save {
+        println!("training LIGER only (skipping DYPRO for --save)…");
+        let (cls, store) =
+            train_coset_classifier(&dataset, &scale, Ablation::Full, paths, concrete);
+        let scores = eval_coset_classifier(&cls, &store, &dataset, &scale, paths, concrete);
+        println!("LIGER: accuracy {:.1}%, macro-F1 {:.2}", scores.accuracy, scores.f1);
+        if let Err(e) = store.save_to_path(&path) {
+            eprintln!("cannot save checkpoint to {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("saved binary checkpoint to {path} (reload with --load {path})");
+        return;
+    }
 
     println!("training DYPRO and LIGER classifiers…\n");
     let rows = table3(&dataset, &scale);

@@ -3,13 +3,15 @@
 # the repo root:
 #   * throughput_parallel (1/2/4/8 worker threads) -> BENCH_parallel.json
 #   * throughput_encode (cold vs steady-state allocations) -> BENCH_encode.json
+#   * throughput_serve (1/2/4/8 pipelining clients) -> BENCH_serve.json
 #
-# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json]
+# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 par_out="${1:-BENCH_parallel.json}"
 enc_out="${2:-BENCH_encode.json}"
+srv_out="${3:-BENCH_serve.json}"
 
 # ---- parallel minibatch throughput --------------------------------------
 bench_out=$(cargo bench -p bench --bench throughput_parallel 2>&1)
@@ -85,3 +87,34 @@ fi
 } > "$enc_out"
 
 echo "wrote $enc_out"
+
+# ---- serving throughput (micro-batched TCP loopback) --------------------
+srv_bench_out=$(cargo bench -p bench --bench throughput_serve 2>&1)
+echo "$srv_bench_out"
+
+srv_rows=$(echo "$srv_bench_out" | grep '^SERVE' | awk '
+{
+    delete kv
+    for (i = 2; i <= NF; i++) { split($i, p, "="); kv[p[1]] = p[2] }
+    if (NR > 1) printf ",\n"
+    printf "    {\"clients\": %s, \"requests\": %s, \"batches\": %s, \"batch_factor\": %s, \"rejected\": %s, \"seconds\": %s, \"requests_per_sec\": %s, \"p50_us\": %s, \"p99_us\": %s}",
+        kv["clients"], kv["requests"], kv["batches"], kv["batch_factor"],
+        kv["rejected"], kv["secs"], kv["req_per_sec"], kv["p50_us"], kv["p99_us"]
+}')
+
+if [ -z "$srv_rows" ]; then
+    echo "error: no SERVE lines in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput_serve",'
+    echo '  "workload": "liger-serve TCP loopback, 64 pipelined embed requests per client, batch_max 16, batch_timeout 2ms",'
+    echo '  "results": ['
+    printf '%s\n' "$srv_rows"
+    echo '  ]'
+    echo '}'
+} > "$srv_out"
+
+echo "wrote $srv_out"

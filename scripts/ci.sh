@@ -1,8 +1,10 @@
 #!/bin/bash
-# Tier-1 gate: release build, lint wall, full test suite, and the
+# Tier-1 gate: release build, lint wall, full test suite, the
 # thread-count determinism + memoization equivalence property tests
 # re-run with a 2-worker pool forced via the environment (exercising the
-# LIGER_THREADS resolution path end to end).
+# LIGER_THREADS resolution path end to end), and a liger-serve smoke
+# test (demo server start, ping + inference + stats over TCP, graceful
+# shutdown via the admin verb).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,3 +13,46 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 LIGER_THREADS=2 cargo test -q --test autodiff_properties parallel_training_is_bitwise_deterministic
 LIGER_THREADS=2 cargo test -q --test autodiff_properties cached_training_is_bitwise_identical
+
+# ---- liger-serve smoke test ---------------------------------------------
+serve_bin=target/release/liger-serve
+serve_log=$(mktemp)
+"$serve_bin" --demo --addr 127.0.0.1:0 --threads 2 > "$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+
+# The demo trains a small model first; wait for the listening line.
+addr=""
+for _ in $(seq 1 600); do
+    addr=$(sed -n 's/^liger-serve listening on //p' "$serve_log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "error: liger-serve exited before listening" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "error: liger-serve never started listening" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+echo "liger-serve smoke test on $addr"
+
+"$serve_bin" query "$addr" '{"op":"ping"}'
+"$serve_bin" query "$addr" \
+    '{"op":"name","source":"fn addOne(x: int) -> int { return x + 1; }"}'
+stats=$("$serve_bin" query "$addr" '{"op":"stats"}')
+echo "$stats"
+# Admin verbs (ping/stats) bypass the queue; only the inference counts.
+case "$stats" in
+    *'"requests":1'*) ;;
+    *) echo "error: STATS did not count the inference request: $stats" >&2; exit 1 ;;
+esac
+
+"$serve_bin" query "$addr" '{"op":"shutdown"}'
+wait "$serve_pid"
+trap 'rm -f "$serve_log"' EXIT
+grep -q 'stopped after' "$serve_log"
+echo "liger-serve smoke test passed"

@@ -68,4 +68,44 @@ fn saved_weights_reproduce_predictions() {
         assert_eq!(store.get(id).value, loaded.get(id).value, "param {i} drifted");
         assert_eq!(store.get(id).name, loaded.get(id).name);
     }
+
+    // The binary format agrees with the text format bit-for-bit, both
+    // directly and through the format converters.
+    let blob = tensor::save_store_binary(&store);
+    let from_binary = tensor::load_store_binary(&blob).unwrap();
+    let from_converted_text = tensor::load_store(&tensor::binary_to_text(&blob).unwrap()).unwrap();
+    let from_converted_blob =
+        tensor::load_store_binary(&tensor::text_to_binary(&text).unwrap()).unwrap();
+    for candidate in [&from_binary, &from_converted_text, &from_converted_blob] {
+        assert_eq!(candidate.len(), store.len());
+        assert_eq!(namer.predict(candidate, &encoded), before);
+        for i in 0..store.len() {
+            let id = tensor::ParamId(i);
+            assert_eq!(candidate.get(id).value, store.get(id).value, "param {i} drifted");
+        }
+    }
+
+    // And the file-level helpers (binary on disk, format sniffed on
+    // load) preserve predictions too.
+    let path = std::env::temp_dir().join(format!("liger_ckpt_test_{}.lgr", std::process::id()));
+    store.save_to_path(&path).unwrap();
+    let from_file = tensor::ParamStore::load_from_path(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(namer.predict(&from_file, &encoded), before);
+
+    // A full model bundle (config + vocabularies + parameters in one
+    // file) reinstantiates to the same predictions — the checkpoint
+    // format `liger-serve` consumes.
+    let bundle = liger::ModelBundle::for_namer(cfg, vocab, out_vocab, store);
+    let reparsed = liger::ModelBundle::from_bytes(&bundle.to_bytes()).unwrap();
+    let (task, task_store) = reparsed.instantiate().unwrap();
+    let liger::LigerTask::Namer { namer: rebuilt, out } = &task else {
+        panic!("bundle must reinstantiate as a namer");
+    };
+    assert_eq!(rebuilt.predict(&task_store, &encoded), before);
+    assert_eq!(
+        out.decode_name(&before),
+        vec!["sum".to_string(), "array".to_string()],
+        "trained quickstart-style namer should emit the target name"
+    );
 }
