@@ -1,0 +1,125 @@
+//! `liger-lint` — static diagnostics for MiniLang sources.
+//!
+//! Reads one or more `.ml`/`.txt` sources (or stdin when no file is
+//! given), runs the full analysis stack, and prints one diagnostic per
+//! line as `file:line N: [severity] kind: message`.
+//!
+//! Exit status: 0 when no fatal diagnostics were found, 1 when a fatal
+//! diagnostic (or, under `--deny-warnings`, any diagnostic) was found,
+//! 2 when a source failed to parse or typecheck.
+
+use analysis::lint;
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: liger-lint [options] [FILE...]
+
+Lints MiniLang sources; reads stdin when no FILE is given.
+
+options:
+  --deny-warnings   exit non-zero on any diagnostic, not just fatal ones
+  --fatal-only      print only fatal diagnostics
+  --quiet           suppress the per-run summary line
+  -h, --help        show this help";
+
+struct Options {
+    deny_warnings: bool,
+    fatal_only: bool,
+    quiet: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny_warnings: false,
+        fatal_only: false,
+        quiet: false,
+        files: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--fatal-only" => opts.fatal_only = true,
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Lints one source; returns (diagnostics printed, fatal seen) or an
+/// error message for parse/typecheck failures.
+fn lint_source(label: &str, src: &str, opts: &Options) -> Result<(usize, bool), String> {
+    let program = minilang::parse(src).map_err(|e| format!("{label}: parse error: {e}"))?;
+    minilang::typecheck(&program).map_err(|e| format!("{label}: type error: {e}"))?;
+    let report = lint::run(&program);
+    let mut printed = 0;
+    for d in &report.diagnostics {
+        if opts.fatal_only && d.severity != lint::Severity::Fatal {
+            continue;
+        }
+        println!("{label}:{}", d.render());
+        printed += 1;
+    }
+    Ok((printed, report.has_fatal()))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if opts.files.is_empty() {
+        let mut src = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut src) {
+            eprintln!("liger-lint: failed to read stdin: {e}");
+            return ExitCode::from(2);
+        }
+        sources.push(("<stdin>".to_string(), src));
+    } else {
+        for f in &opts.files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => sources.push((f.clone(), src)),
+                Err(e) => {
+                    eprintln!("liger-lint: cannot read {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let mut total = 0usize;
+    let mut any_fatal = false;
+    let mut any_error = false;
+    let n_sources = sources.len();
+    for (label, src) in &sources {
+        match lint_source(label, src, &opts) {
+            Ok((printed, fatal)) => {
+                total += printed;
+                any_fatal |= fatal;
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                any_error = true;
+            }
+        }
+    }
+
+    if !opts.quiet {
+        eprintln!("liger-lint: {n_sources} source(s), {total} diagnostic(s)");
+    }
+    if any_error {
+        ExitCode::from(2)
+    } else if any_fatal || (opts.deny_warnings && total > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

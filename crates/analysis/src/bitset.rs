@@ -1,0 +1,128 @@
+//! A fixed-width bitset used as the fact type of the set-based analyses
+//! (reaching definitions, liveness). Word-parallel union keeps the worklist
+//! solver cheap even on programs with many definition sites.
+
+/// A set over `0..len` backed by 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> BitSet {
+        BitSet { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Number of elements in the universe (not the population count).
+    pub fn universe_len(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`; returns true if it was not already present.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | *b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    /// `self \= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// True if `self ∩ other` is empty.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// True if no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Iterates set elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut bits = *w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        b.insert(65);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.contains(65));
+    }
+
+    #[test]
+    fn subtract_and_disjoint() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(3);
+        a.insert(4);
+        b.insert(4);
+        a.subtract(&b);
+        assert!(a.contains(3) && !a.contains(4));
+        assert!(a.is_disjoint(&b));
+    }
+}

@@ -1,0 +1,530 @@
+//! Control-flow graphs over the typed MiniLang AST.
+//!
+//! Structured control flow lowers to basic blocks of straight-line
+//! statement "atoms" (let/assign/return/break/continue) linked by
+//! [`Terminator`]s. Guards (`if`/`while`/`for` conditions) evaluate at the
+//! end of the block that branches on them; the guard's [`StmtId`] is the
+//! id of the owning `if`/`while`/`for` statement, matching the id the
+//! interpreter records for its `Guard` trace events.
+//!
+//! Dominators use the iterative algorithm of Cooper–Harvey–Kennedy over a
+//! reverse-postorder numbering; natural loops are recovered from back
+//! edges (an edge `b → h` with `h` dominating `b`), not from syntax, so
+//! the divergence screen works on the same graph the dataflow solver sees.
+
+use minilang::{Block as AstBlock, Expr, Program, Stmt, StmtId, StmtKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// Index of a basic block within its [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional edge.
+    Jump(BlockId),
+    /// Two-way branch on the guard of statement `guard` (an
+    /// `if`/`while`/`for`), evaluated at the end of this block.
+    Branch {
+        /// The owning `if`/`while`/`for` statement.
+        guard: StmtId,
+        /// Successor when the guard is true.
+        then_to: BlockId,
+        /// Successor when the guard is false.
+        else_to: BlockId,
+    },
+    /// Function exit (only the dedicated exit block carries this).
+    Exit,
+}
+
+impl Terminator {
+    /// The successor blocks, in then-before-else order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_to, else_to, .. } => vec![*then_to, *else_to],
+            Terminator::Exit => Vec::new(),
+        }
+    }
+}
+
+/// A basic block: straight-line atoms plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Statement ids executed in order (no `if`/`while`/`for` ids — those
+    /// appear only as [`Terminator::Branch`] guards).
+    pub stmts: Vec<StmtId>,
+    /// The block's terminator.
+    pub term: Terminator,
+}
+
+/// A natural loop discovered from a back edge.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge; dominates the body).
+    pub header: BlockId,
+    /// All blocks of the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+    /// The guard statement branching at the header, if the header ends in
+    /// a branch (always the case for loops lowered from `while`/`for`).
+    pub guard: Option<StmtId>,
+}
+
+/// The control-flow graph of one program.
+#[derive(Debug)]
+pub struct Cfg<'p> {
+    /// The program the graph was built from.
+    pub program: &'p Program,
+    /// All basic blocks; [`BlockId`] indexes into this.
+    pub blocks: Vec<BasicBlock>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// The unique exit block (empty, [`Terminator::Exit`]).
+    pub exit: BlockId,
+    stmts: HashMap<StmtId, &'p Stmt>,
+    stmt_block: HashMap<StmtId, BlockId>,
+}
+
+impl<'p> Cfg<'p> {
+    /// Lowers `program` (ids must be assigned) to a CFG.
+    pub fn build(program: &'p Program) -> Cfg<'p> {
+        let mut b = Builder {
+            blocks: Vec::new(),
+            sealed: Vec::new(),
+            current: 0,
+            exit: 0,
+            loops: Vec::new(),
+            stmts: HashMap::new(),
+            stmt_block: HashMap::new(),
+        };
+        let entry = b.new_block();
+        let exit = b.new_block();
+        b.exit = exit;
+        b.sealed[exit] = true; // keeps Terminator::Exit
+        b.current = entry;
+        b.lower_block(&program.function.body);
+        // Falling off the end (a missing-return error at runtime) still
+        // flows to the exit block.
+        b.seal(Terminator::Jump(BlockId(exit)));
+        Cfg {
+            program,
+            blocks: b.blocks,
+            entry: BlockId(entry),
+            exit: BlockId(exit),
+            stmts: b.stmts,
+            stmt_block: b.stmt_block.into_iter().map(|(k, v)| (k, BlockId(v))).collect(),
+        }
+    }
+
+    /// The statement with id `id`.
+    pub fn stmt(&self, id: StmtId) -> &'p Stmt {
+        self.stmts[&id]
+    }
+
+    /// The block a statement executes in (guards map to the block whose
+    /// terminator branches on them).
+    pub fn block_of(&self, id: StmtId) -> Option<BlockId> {
+        self.stmt_block.get(&id).copied()
+    }
+
+    /// The guard condition of an `if`/`while`/`for` statement.
+    pub fn guard_cond(&self, id: StmtId) -> Option<&'p Expr> {
+        match &self.stmts.get(&id)?.kind {
+            StmtKind::If { cond, .. }
+            | StmtKind::While { cond, .. }
+            | StmtKind::For { cond, .. } => Some(cond),
+            _ => None,
+        }
+    }
+
+    /// Predecessor lists for every block.
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, block) in self.blocks.iter().enumerate() {
+            for succ in block.term.successors() {
+                preds[succ.0].push(BlockId(i));
+            }
+        }
+        preds
+    }
+
+    /// Reverse postorder over blocks reachable from the entry.
+    pub fn rpo(&self) -> Vec<BlockId> {
+        let mut post = Vec::new();
+        let mut seen = vec![false; self.blocks.len()];
+        // Iterative DFS: (block, next successor index).
+        let mut stack = vec![(self.entry, 0usize)];
+        seen[self.entry.0] = true;
+        while let Some(&(b, next)) = stack.last() {
+            let succs = self.blocks[b.0].term.successors();
+            if next < succs.len() {
+                stack.last_mut().expect("stack non-empty").1 += 1;
+                let s = succs[next];
+                if !seen[s.0] {
+                    seen[s.0] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Immediate dominators for reachable blocks (`idom[entry] = entry`;
+    /// `None` for blocks unreachable from the entry).
+    pub fn dominators(&self) -> Vec<Option<BlockId>> {
+        let rpo = self.rpo();
+        let mut rpo_index = vec![usize::MAX; self.blocks.len()];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0] = i;
+        }
+        let preds = self.preds();
+        let mut idom: Vec<Option<BlockId>> = vec![None; self.blocks.len()];
+        idom[self.entry.0] = Some(self.entry);
+        let intersect = |idom: &Vec<Option<BlockId>>, mut a: BlockId, mut b: BlockId| {
+            while a != b {
+                while rpo_index[a.0] > rpo_index[b.0] {
+                    a = idom[a.0].expect("processed block has idom");
+                }
+                while rpo_index[b.0] > rpo_index[a.0] {
+                    b = idom[b.0].expect("processed block has idom");
+                }
+            }
+            a
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0] {
+                    if idom[p.0].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.0] != new_idom {
+                    idom[b.0] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// True if `a` dominates `b` (reflexive) under `idom` from
+    /// [`Cfg::dominators`].
+    pub fn dominates(&self, idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom[cur.0] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Natural loops: one per header, bodies of same-header back edges
+    /// merged.
+    pub fn natural_loops(&self) -> Vec<NaturalLoop> {
+        let idom = self.dominators();
+        let preds = self.preds();
+        let mut by_header: HashMap<BlockId, BTreeSet<BlockId>> = HashMap::new();
+        for b in self.rpo() {
+            for h in self.blocks[b.0].term.successors() {
+                if !self.dominates(&idom, h, b) {
+                    continue;
+                }
+                // Back edge b → h: the body is everything reaching b
+                // without passing through h.
+                let body = by_header.entry(h).or_default();
+                body.insert(h);
+                let mut stack = vec![b];
+                while let Some(p) = stack.pop() {
+                    if idom[p.0].is_some() && body.insert(p) {
+                        stack.extend(preds[p.0].iter().copied());
+                    }
+                }
+            }
+        }
+        let mut loops: Vec<NaturalLoop> = by_header
+            .into_iter()
+            .map(|(header, body)| {
+                let guard = match self.blocks[header.0].term {
+                    Terminator::Branch { guard, .. } => Some(guard),
+                    _ => None,
+                };
+                NaturalLoop { header, body, guard }
+            })
+            .collect();
+        loops.sort_by_key(|l| l.header);
+        loops
+    }
+}
+
+struct Builder<'p> {
+    blocks: Vec<BasicBlock>,
+    sealed: Vec<bool>,
+    current: usize,
+    exit: usize,
+    /// (continue target, break target) per enclosing loop.
+    loops: Vec<(usize, usize)>,
+    stmts: HashMap<StmtId, &'p Stmt>,
+    stmt_block: HashMap<StmtId, usize>,
+}
+
+impl<'p> Builder<'p> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock { stmts: Vec::new(), term: Terminator::Exit });
+        self.sealed.push(false);
+        self.blocks.len() - 1
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        debug_assert!(!self.sealed[self.current], "block sealed twice");
+        self.blocks[self.current].term = term;
+        self.sealed[self.current] = true;
+    }
+
+    fn atom(&mut self, stmt: &'p Stmt) {
+        self.blocks[self.current].stmts.push(stmt.id);
+        self.stmt_block.insert(stmt.id, self.current);
+    }
+
+    fn lower_block(&mut self, block: &'p AstBlock) {
+        for stmt in &block.stmts {
+            self.lower_stmt(stmt);
+        }
+    }
+
+    fn lower_stmt(&mut self, stmt: &'p Stmt) {
+        self.stmts.insert(stmt.id, stmt);
+        match &stmt.kind {
+            StmtKind::Let { .. } | StmtKind::Assign { .. } => self.atom(stmt),
+            StmtKind::Return(_) => {
+                self.atom(stmt);
+                self.seal(Terminator::Jump(BlockId(self.exit)));
+                self.current = self.new_block();
+            }
+            StmtKind::Break => {
+                self.atom(stmt);
+                let target = self.loops.last().map_or(self.exit, |&(_, brk)| brk);
+                self.seal(Terminator::Jump(BlockId(target)));
+                self.current = self.new_block();
+            }
+            StmtKind::Continue => {
+                self.atom(stmt);
+                let target = self.loops.last().map_or(self.exit, |&(cont, _)| cont);
+                self.seal(Terminator::Jump(BlockId(target)));
+                self.current = self.new_block();
+            }
+            StmtKind::If { then_block, else_block, .. } => {
+                self.stmt_block.insert(stmt.id, self.current);
+                let then_b = self.new_block();
+                let join = self.new_block();
+                let else_to = if else_block.is_some() { self.new_block() } else { join };
+                self.seal(Terminator::Branch {
+                    guard: stmt.id,
+                    then_to: BlockId(then_b),
+                    else_to: BlockId(else_to),
+                });
+                self.current = then_b;
+                self.lower_block(then_block);
+                self.seal(Terminator::Jump(BlockId(join)));
+                if let Some(e) = else_block {
+                    self.current = else_to;
+                    self.lower_block(e);
+                    self.seal(Terminator::Jump(BlockId(join)));
+                }
+                self.current = join;
+            }
+            StmtKind::While { body, .. } => {
+                let header = self.new_block();
+                let body_b = self.new_block();
+                let exit_b = self.new_block();
+                self.seal(Terminator::Jump(BlockId(header)));
+                self.current = header;
+                self.stmt_block.insert(stmt.id, header);
+                self.seal(Terminator::Branch {
+                    guard: stmt.id,
+                    then_to: BlockId(body_b),
+                    else_to: BlockId(exit_b),
+                });
+                self.loops.push((header, exit_b));
+                self.current = body_b;
+                self.lower_block(body);
+                self.seal(Terminator::Jump(BlockId(header)));
+                self.loops.pop();
+                self.current = exit_b;
+            }
+            StmtKind::For { init, update, body, .. } => {
+                self.lower_stmt(init);
+                let header = self.new_block();
+                let body_b = self.new_block();
+                let update_b = self.new_block();
+                let exit_b = self.new_block();
+                self.seal(Terminator::Jump(BlockId(header)));
+                self.current = header;
+                self.stmt_block.insert(stmt.id, header);
+                self.seal(Terminator::Branch {
+                    guard: stmt.id,
+                    then_to: BlockId(body_b),
+                    else_to: BlockId(exit_b),
+                });
+                // `continue` re-enters through the update, not the header.
+                self.loops.push((update_b, exit_b));
+                self.current = body_b;
+                self.lower_block(body);
+                self.seal(Terminator::Jump(BlockId(update_b)));
+                self.loops.pop();
+                self.current = update_b;
+                self.lower_stmt(update);
+                self.seal(Terminator::Jump(BlockId(header)));
+                self.current = exit_b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_of(src: &str) -> (minilang::Program, ()) {
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        (p, ())
+    }
+
+    #[test]
+    fn straight_line_is_two_blocks() {
+        let (p, _) = cfg_of("fn f(x: int) -> int { let y: int = x; return y; }");
+        let cfg = Cfg::build(&p);
+        let rpo = cfg.rpo();
+        // entry (both stmts) + exit.
+        assert_eq!(rpo.len(), 2);
+        assert_eq!(cfg.blocks[cfg.entry.0].stmts.len(), 2);
+        assert_eq!(cfg.blocks[cfg.entry.0].term, Terminator::Jump(cfg.exit));
+    }
+
+    #[test]
+    fn if_produces_diamond_and_dominators() {
+        let (p, _) = cfg_of(
+            "fn f(x: int) -> int {
+                let y: int = 0;
+                if (x > 0) { y = 1; } else { y = 2; }
+                return y;
+            }",
+        );
+        let cfg = Cfg::build(&p);
+        let Terminator::Branch { then_to, else_to, guard } = cfg.blocks[cfg.entry.0].term.clone()
+        else {
+            panic!("entry must branch");
+        };
+        assert_ne!(then_to, else_to);
+        assert!(cfg.guard_cond(guard).is_some());
+        let idom = cfg.dominators();
+        // Entry dominates both arms and the join.
+        assert!(cfg.dominates(&idom, cfg.entry, then_to));
+        assert!(cfg.dominates(&idom, cfg.entry, else_to));
+        assert!(!cfg.dominates(&idom, then_to, else_to));
+        assert!(cfg.natural_loops().is_empty());
+    }
+
+    #[test]
+    fn while_loop_is_a_natural_loop() {
+        let (p, _) = cfg_of(
+            "fn f(n: int) -> int {
+                let i: int = 0;
+                while (i < n) { i += 1; }
+                return i;
+            }",
+        );
+        let cfg = Cfg::build(&p);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert!(l.guard.is_some());
+        assert!(l.body.contains(&l.header));
+        assert_eq!(l.body.len(), 2, "header + body block");
+    }
+
+    #[test]
+    fn for_loop_has_update_block_in_body() {
+        let (p, _) = cfg_of(
+            "fn f(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i += 1) { s += i; }
+                return s;
+            }",
+        );
+        let cfg = Cfg::build(&p);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        // header + body + update.
+        assert_eq!(loops[0].body.len(), 3);
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let (p, _) = cfg_of("fn f() -> int { return 1; let x: int = 2; return x; }");
+        let cfg = Cfg::build(&p);
+        let reachable: std::collections::BTreeSet<BlockId> = cfg.rpo().into_iter().collect();
+        let dead_stmt = p.statements()[1].id;
+        let dead_block = cfg.block_of(dead_stmt).unwrap();
+        assert!(!reachable.contains(&dead_block));
+    }
+
+    #[test]
+    fn break_leaves_the_loop_body() {
+        let (p, _) = cfg_of(
+            "fn f(n: int) -> int {
+                while (true) { if (n > 0) { break; } n += 1; }
+                return n;
+            }",
+        );
+        let cfg = Cfg::build(&p);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        // The break block jumps outside the natural loop: there is an exit
+        // edge from a body block to a non-body block.
+        let l = &loops[0];
+        let has_exit_edge = l.body.iter().any(|b| {
+            cfg.blocks[b.0]
+                .term
+                .successors()
+                .iter()
+                .any(|s| !l.body.contains(s) && *s != l.header)
+        });
+        assert!(has_exit_edge);
+    }
+
+    #[test]
+    fn nested_loops_have_two_headers() {
+        let (p, _) = cfg_of(
+            "fn f(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i += 1) {
+                    for (let j: int = 0; j < i; j += 1) { s += j; }
+                }
+                return s;
+            }",
+        );
+        let cfg = Cfg::build(&p);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2);
+        let (outer, inner) =
+            if loops[0].body.len() > loops[1].body.len() { (0, 1) } else { (1, 0) };
+        assert!(loops[outer].body.is_superset(&loops[inner].body));
+    }
+}

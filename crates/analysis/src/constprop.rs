@@ -1,0 +1,573 @@
+//! Constant propagation over the flat lattice ⊥ ⊑ Const(v) ⊑ ⊤ per slot.
+//!
+//! Expression evaluation mirrors the tracing interpreter's *checked*
+//! semantics: any operation the interpreter would fault on (overflow,
+//! division by zero, out-of-bounds, type confusion) evaluates to ⊤ —
+//! a faulting execution records no further events, so every claim about
+//! the unreached result is vacuous. Two sound non-constant folds are kept
+//! because the symbolic executor cannot see them: multiplication by a
+//! constant zero absorbs an unknown operand, and short-circuit operators
+//! fold on a deciding constant side.
+//!
+//! Shadowed slots (see [`VarUniverse::is_shadowed`]) are pinned to ⊤.
+
+use crate::dataflow::{Dataflow, Direction};
+use crate::vars::VarUniverse;
+use interp::Value;
+use minilang::{AssignOp, BinOp, Builtin, Expr, ExprKind, LValue, Stmt, StmtKind, UnOp};
+
+/// Largest array/string a constant fold is allowed to materialize.
+const MAX_CONST_LEN: usize = 64;
+
+/// One slot's abstract constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsConst {
+    /// No value reaches this point (unreachable / never defined).
+    Bot,
+    /// Every execution reaching this point observes exactly this value.
+    Const(Value),
+    /// Unknown.
+    Top,
+}
+
+impl AbsConst {
+    /// Least upper bound.
+    pub fn join(&mut self, other: &AbsConst) -> bool {
+        let merged = match (&*self, other) {
+            (AbsConst::Bot, x) => x.clone(),
+            (x, AbsConst::Bot) => x.clone(),
+            (AbsConst::Const(a), AbsConst::Const(b)) if a == b => return false,
+            _ => AbsConst::Top,
+        };
+        let changed = *self != merged;
+        *self = merged;
+        changed
+    }
+
+    /// The constant value, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            AbsConst::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A constant environment: one [`AbsConst`] per slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstEnv {
+    /// Slot-indexed abstract constants.
+    pub vals: Vec<AbsConst>,
+}
+
+impl ConstEnv {
+    fn bottom(n: usize) -> ConstEnv {
+        ConstEnv { vals: vec![AbsConst::Bot; n] }
+    }
+
+    /// The abstract constant of `name` under `universe`.
+    pub fn of(&self, universe: &VarUniverse, name: &str) -> AbsConst {
+        universe.slot(name).map_or(AbsConst::Top, |s| self.vals[s].clone())
+    }
+}
+
+/// The constant-propagation problem.
+pub struct ConstProp<'a> {
+    universe: &'a VarUniverse,
+}
+
+impl<'a> ConstProp<'a> {
+    /// A constant-propagation instance over `universe`.
+    pub fn new(universe: &'a VarUniverse) -> ConstProp<'a> {
+        ConstProp { universe }
+    }
+
+    fn set(&self, env: &mut ConstEnv, name: &str, v: AbsConst) {
+        if let Some(slot) = self.universe.slot(name) {
+            env.vals[slot] =
+                if self.universe.is_shadowed(slot) { AbsConst::Top } else { v };
+        }
+    }
+
+    /// Evaluates `expr` in `env`.
+    pub fn eval(&self, expr: &Expr, env: &ConstEnv) -> AbsConst {
+        eval(expr, env, self.universe)
+    }
+}
+
+impl Dataflow for ConstProp<'_> {
+    type Fact = ConstEnv;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> ConstEnv {
+        let mut env = ConstEnv::bottom(self.universe.len());
+        for slot in 0..self.universe.len() {
+            if self.universe.is_param(slot) || self.universe.is_shadowed(slot) {
+                env.vals[slot] = AbsConst::Top;
+            }
+        }
+        env
+    }
+
+    fn init(&self) -> ConstEnv {
+        ConstEnv::bottom(self.universe.len())
+    }
+
+    fn join(&self, into: &mut ConstEnv, from: &ConstEnv) -> bool {
+        let mut changed = false;
+        for (a, b) in into.vals.iter_mut().zip(&from.vals) {
+            changed |= a.join(b);
+        }
+        changed
+    }
+
+    fn transfer_stmt(&self, stmt: &Stmt, env: &mut ConstEnv) {
+        match &stmt.kind {
+            StmtKind::Let { name, init, .. } => {
+                let v = self.eval(init, env);
+                self.set(env, name, v);
+            }
+            StmtKind::Assign { target: LValue::Var(name), op, value } => {
+                let rhs = self.eval(value, env);
+                let v = match op {
+                    AssignOp::Set => rhs,
+                    _ => {
+                        let cur = env.of(self.universe, name);
+                        apply_binop(compound_op(*op), &cur, &rhs)
+                    }
+                };
+                self.set(env, name, v);
+            }
+            StmtKind::Assign { target: LValue::Index(name, idx), op, value } => {
+                let cur = env.of(self.universe, name);
+                let idx_v = self.eval(idx, env);
+                let rhs = self.eval(value, env);
+                let folded = match (&cur, &idx_v, &rhs) {
+                    (
+                        AbsConst::Const(Value::Array(arr)),
+                        AbsConst::Const(Value::Int(i)),
+                        AbsConst::Const(Value::Int(v)),
+                    ) if *i >= 0 && (*i as usize) < arr.len() => {
+                        let mut arr = arr.clone();
+                        let elem = match op {
+                            AssignOp::Set => Some(*v),
+                            AssignOp::Add => arr[*i as usize].checked_add(*v),
+                            AssignOp::Sub => arr[*i as usize].checked_sub(*v),
+                            AssignOp::Mul => arr[*i as usize].checked_mul(*v),
+                        };
+                        match elem {
+                            Some(e) => {
+                                arr[*i as usize] = e;
+                                AbsConst::Const(Value::Array(arr))
+                            }
+                            None => AbsConst::Top,
+                        }
+                    }
+                    _ => AbsConst::Top,
+                };
+                self.set(env, name, folded);
+            }
+            StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue => {}
+            // Guards carry no state change; control statements never appear
+            // as block atoms.
+            StmtKind::If { .. } | StmtKind::While { .. } | StmtKind::For { .. } => {}
+        }
+    }
+
+    fn refine_edge(&self, cond: &Expr, taken: bool, env: &mut ConstEnv) {
+        refine(self, cond, taken, env);
+    }
+}
+
+fn compound_op(op: AssignOp) -> BinOp {
+    match op {
+        AssignOp::Set => unreachable!("Set handled by caller"),
+        AssignOp::Add => BinOp::Add,
+        AssignOp::Sub => BinOp::Sub,
+        AssignOp::Mul => BinOp::Mul,
+    }
+}
+
+/// Narrows `env` with the knowledge `cond == taken`.
+fn refine(cp: &ConstProp<'_>, cond: &Expr, taken: bool, env: &mut ConstEnv) {
+    match &cond.kind {
+        ExprKind::Var(name) => cp.set(env, name, AbsConst::Const(Value::Bool(taken))),
+        ExprKind::Unary(UnOp::Not, inner) => refine(cp, inner, !taken, env),
+        // `a && b` true means both evaluated to true; `a || b` false means
+        // both evaluated to false (short-circuit reached b).
+        ExprKind::Binary(BinOp::And, a, b) if taken => {
+            refine(cp, a, true, env);
+            refine(cp, b, true, env);
+        }
+        ExprKind::Binary(BinOp::Or, a, b) if !taken => {
+            refine(cp, a, false, env);
+            refine(cp, b, false, env);
+        }
+        ExprKind::Binary(op @ (BinOp::Eq | BinOp::Ne), a, b) => {
+            // x == e (taken) or x != e (not taken) pins x to e's constant.
+            let equal = (*op == BinOp::Eq) == taken;
+            if equal {
+                for (var_side, other) in [(a, b), (b, a)] {
+                    if let ExprKind::Var(name) = &var_side.kind {
+                        if let AbsConst::Const(v) = cp.eval(other, env) {
+                            cp.set(env, name, AbsConst::Const(v));
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Abstract expression evaluation. ⊥ operands propagate (unreachable);
+/// anything the interpreter would fault on yields ⊤.
+fn eval(expr: &Expr, env: &ConstEnv, universe: &VarUniverse) -> AbsConst {
+    match &expr.kind {
+        ExprKind::IntLit(v) => AbsConst::Const(Value::Int(*v)),
+        ExprKind::BoolLit(b) => AbsConst::Const(Value::Bool(*b)),
+        ExprKind::StrLit(s) => AbsConst::Const(Value::Str(s.clone())),
+        ExprKind::Var(name) => env.of(universe, name),
+        ExprKind::Unary(UnOp::Neg, inner) => match eval(inner, env, universe) {
+            AbsConst::Const(Value::Int(v)) => {
+                v.checked_neg().map_or(AbsConst::Top, |n| AbsConst::Const(Value::Int(n)))
+            }
+            AbsConst::Bot => AbsConst::Bot,
+            _ => AbsConst::Top,
+        },
+        ExprKind::Unary(UnOp::Not, inner) => match eval(inner, env, universe) {
+            AbsConst::Const(Value::Bool(b)) => AbsConst::Const(Value::Bool(!b)),
+            AbsConst::Bot => AbsConst::Bot,
+            _ => AbsConst::Top,
+        },
+        ExprKind::Binary(BinOp::And, l, r) => match eval(l, env, universe) {
+            AbsConst::Const(Value::Bool(false)) => AbsConst::Const(Value::Bool(false)),
+            AbsConst::Const(Value::Bool(true)) => eval_bool_operand(r, env, universe),
+            AbsConst::Bot => AbsConst::Bot,
+            _ => match eval(r, env, universe) {
+                // Unknown && false is false on every non-faulting path.
+                AbsConst::Const(Value::Bool(false)) => AbsConst::Const(Value::Bool(false)),
+                AbsConst::Bot => AbsConst::Bot,
+                _ => AbsConst::Top,
+            },
+        },
+        ExprKind::Binary(BinOp::Or, l, r) => match eval(l, env, universe) {
+            AbsConst::Const(Value::Bool(true)) => AbsConst::Const(Value::Bool(true)),
+            AbsConst::Const(Value::Bool(false)) => eval_bool_operand(r, env, universe),
+            AbsConst::Bot => AbsConst::Bot,
+            _ => match eval(r, env, universe) {
+                AbsConst::Const(Value::Bool(true)) => AbsConst::Const(Value::Bool(true)),
+                AbsConst::Bot => AbsConst::Bot,
+                _ => AbsConst::Top,
+            },
+        },
+        ExprKind::Binary(op, l, r) => {
+            let a = eval(l, env, universe);
+            let b = eval(r, env, universe);
+            apply_binop(*op, &a, &b)
+        }
+        ExprKind::Index(base, idx) => {
+            match (eval(base, env, universe), eval(idx, env, universe)) {
+                (AbsConst::Bot, _) | (_, AbsConst::Bot) => AbsConst::Bot,
+                (AbsConst::Const(Value::Array(arr)), AbsConst::Const(Value::Int(i)))
+                    if i >= 0 && (i as usize) < arr.len() =>
+                {
+                    AbsConst::Const(Value::Int(arr[i as usize]))
+                }
+                (AbsConst::Const(Value::Str(s)), AbsConst::Const(Value::Int(i)))
+                    if i >= 0 && (i as usize) < s.len() =>
+                {
+                    AbsConst::Const(Value::Int(i64::from(s.as_bytes()[i as usize])))
+                }
+                _ => AbsConst::Top,
+            }
+        }
+        ExprKind::Call(builtin, args) => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                match eval(a, env, universe) {
+                    AbsConst::Const(v) => values.push(v),
+                    AbsConst::Bot => return AbsConst::Bot,
+                    AbsConst::Top => return AbsConst::Top,
+                }
+            }
+            apply_builtin(*builtin, &values)
+        }
+        ExprKind::ArrayLit(elems) => {
+            let mut out = Vec::with_capacity(elems.len());
+            for e in elems {
+                match eval(e, env, universe) {
+                    AbsConst::Const(Value::Int(v)) => out.push(v),
+                    AbsConst::Bot => return AbsConst::Bot,
+                    _ => return AbsConst::Top,
+                }
+            }
+            AbsConst::Const(Value::Array(out))
+        }
+    }
+}
+
+/// Evaluates the second operand of a short-circuit operator, coercing
+/// non-bool constants (a type fault at runtime) to ⊤.
+fn eval_bool_operand(expr: &Expr, env: &ConstEnv, universe: &VarUniverse) -> AbsConst {
+    match eval(expr, env, universe) {
+        v @ (AbsConst::Const(Value::Bool(_)) | AbsConst::Bot) => v,
+        _ => AbsConst::Top,
+    }
+}
+
+/// Non-short-circuit binary operators, mirroring `interp::eval_binop`.
+fn apply_binop(op: BinOp, a: &AbsConst, b: &AbsConst) -> AbsConst {
+    use AbsConst::{Bot, Const, Top};
+    // Multiplication by a constant zero absorbs an unknown int operand:
+    // every non-faulting evaluation of the other side is an int (else the
+    // statement faults), and 0 * x never overflows.
+    if op == BinOp::Mul {
+        if let (Const(Value::Int(0)), _) | (_, Const(Value::Int(0))) = (a, b) {
+            if !matches!((a, b), (Bot, _) | (_, Bot)) {
+                return Const(Value::Int(0));
+            }
+        }
+    }
+    match (a, b) {
+        (Bot, _) | (_, Bot) => Bot,
+        (Const(x), Const(y)) => fold_binop(op, x, y).map_or(Top, Const),
+        _ => Top,
+    }
+}
+
+/// Concrete fold; `None` on anything the interpreter faults on.
+fn fold_binop(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
+    use Value::{Bool, Int, Str};
+    match op {
+        BinOp::Add => match (l, r) {
+            (Int(a), Int(b)) => a.checked_add(*b).map(Int),
+            (Str(a), Str(b)) => {
+                (a.len() + b.len() <= MAX_CONST_LEN * 16).then(|| Str(format!("{a}{b}")))
+            }
+            _ => None,
+        },
+        BinOp::Sub => match (l, r) {
+            (Int(a), Int(b)) => a.checked_sub(*b).map(Int),
+            _ => None,
+        },
+        BinOp::Mul => match (l, r) {
+            (Int(a), Int(b)) => a.checked_mul(*b).map(Int),
+            _ => None,
+        },
+        BinOp::Div => match (l, r) {
+            (Int(_), Int(0)) => None,
+            (Int(a), Int(b)) => a.checked_div(*b).map(Int),
+            _ => None,
+        },
+        BinOp::Mod => match (l, r) {
+            (Int(_), Int(0)) => None,
+            (Int(a), Int(b)) => a.checked_rem(*b).map(Int),
+            _ => None,
+        },
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (l, r) {
+            (Int(a), Int(b)) => Some(Bool(match op {
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                _ => a >= b,
+            })),
+            _ => None,
+        },
+        BinOp::Eq => Some(Bool(l == r)),
+        BinOp::Ne => Some(Bool(l != r)),
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops handled by caller"),
+    }
+}
+
+/// Builtin folds mirroring `interp::eval_builtin`; `None`-like faults → ⊤.
+fn apply_builtin(builtin: Builtin, args: &[Value]) -> AbsConst {
+    use Value::{Int, Str};
+    let folded: Option<Value> = match builtin {
+        Builtin::Len => match &args[0] {
+            Value::Array(a) => Some(Int(a.len() as i64)),
+            Str(s) => Some(Int(s.len() as i64)),
+            _ => None,
+        },
+        Builtin::Substring => match (&args[0], &args[1], &args[2]) {
+            (Str(s), Int(i), Int(j)) if *i >= 0 && j >= i && (*j as usize) <= s.len() => {
+                Some(Str(s[*i as usize..*j as usize].to_string()))
+            }
+            _ => None,
+        },
+        Builtin::Abs => match &args[0] {
+            Int(v) => v.checked_abs().map(Int),
+            _ => None,
+        },
+        Builtin::Min | Builtin::Max => match (&args[0], &args[1]) {
+            (Int(a), Int(b)) => {
+                Some(Int(if builtin == Builtin::Min { *a.min(b) } else { *a.max(b) }))
+            }
+            _ => None,
+        },
+        Builtin::NewArray => match (&args[0], &args[1]) {
+            (Int(n), Int(v)) if *n >= 0 && (*n as usize) <= MAX_CONST_LEN => {
+                Some(Value::Array(vec![*v; *n as usize]))
+            }
+            _ => None,
+        },
+        Builtin::Push => match (&args[0], &args[1]) {
+            (Value::Array(a), Int(v)) if a.len() < MAX_CONST_LEN => {
+                let mut a = a.clone();
+                a.push(*v);
+                Some(Value::Array(a))
+            }
+            _ => None,
+        },
+        Builtin::CharToStr => match &args[0] {
+            Int(c) => {
+                let c = u8::try_from(*c & 0x7f).unwrap_or(b'?');
+                Some(Str((c as char).to_string()))
+            }
+            _ => None,
+        },
+    };
+    folded.map_or(AbsConst::Top, AbsConst::Const)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dataflow::{solve, stmt_facts};
+    use minilang::Program;
+
+    fn analyzed(src: &str) -> (Program, VarUniverse) {
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let u = VarUniverse::of(&p);
+        (p, u)
+    }
+
+    fn const_at_return(src: &str, name: &str) -> AbsConst {
+        let (p, u) = analyzed(src);
+        let cfg = Cfg::build(&p);
+        let cp = ConstProp::new(&u);
+        let sol = solve(&cfg, &cp);
+        let facts = stmt_facts(&cfg, &cp, &sol);
+        let ret = p
+            .statements()
+            .into_iter()
+            .find(|s| matches!(s.kind, StmtKind::Return(_)))
+            .expect("program has a return");
+        facts[&ret.id].0.of(&u, name)
+    }
+
+    #[test]
+    fn straight_line_folding() {
+        let v = const_at_return(
+            "fn f() -> int { let x: int = 2 * 3 + 1; let y: int = x - 2; return y; }",
+            "y",
+        );
+        assert_eq!(v, AbsConst::Const(Value::Int(5)));
+    }
+
+    #[test]
+    fn join_of_different_branch_values_is_top() {
+        let v = const_at_return(
+            "fn f(b: bool) -> int {
+                let y: int = 0;
+                if (b) { y = 1; } else { y = 2; }
+                return y;
+            }",
+            "y",
+        );
+        assert_eq!(v, AbsConst::Top);
+    }
+
+    #[test]
+    fn same_value_on_both_branches_stays_const() {
+        let v = const_at_return(
+            "fn f(b: bool) -> int {
+                let y: int = 0;
+                if (b) { y = 3; } else { y = 3; }
+                return y;
+            }",
+            "y",
+        );
+        assert_eq!(v, AbsConst::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn loop_invariant_constant_survives_the_loop() {
+        let v = const_at_return(
+            "fn f(n: int) -> int {
+                let z: int = 0;
+                let i: int = 0;
+                while (i < n) { z *= 1; i += 1; }
+                return z;
+            }",
+            "z",
+        );
+        // z = 0, and 0 * 1 = 0 on the back edge: still constant.
+        assert_eq!(v, AbsConst::Const(Value::Int(0)));
+    }
+
+    #[test]
+    fn multiply_by_zero_absorbs_unknowns() {
+        let v = const_at_return("fn f(x: int) -> int { let y: int = x * 0; return y; }", "y");
+        assert_eq!(v, AbsConst::Const(Value::Int(0)));
+    }
+
+    #[test]
+    fn shadowed_slot_is_pinned_to_top() {
+        let v = const_at_return(
+            "fn f(b: bool) -> int {
+                let y: int = 2;
+                if (b) { let y: int = 3; } else { let y: int = 3; }
+                return y;
+            }",
+            "y",
+        );
+        // Both inner lets write 3 but the returned y is the outer 2: the
+        // shared slot must not claim Const(3).
+        assert_eq!(v, AbsConst::Top);
+    }
+
+    #[test]
+    fn overflow_does_not_fold() {
+        let v = const_at_return(
+            &format!("fn f() -> int {{ let y: int = {} + 1; return y; }}", i64::MAX),
+            "y",
+        );
+        assert_eq!(v, AbsConst::Top);
+    }
+
+    #[test]
+    fn refinement_learns_equality_on_taken_edge() {
+        let (p, u) = analyzed(
+            "fn f(x: int) -> int {
+                if (x == 7) { return x; }
+                return 0;
+            }",
+        );
+        let cfg = Cfg::build(&p);
+        let cp = ConstProp::new(&u);
+        let sol = solve(&cfg, &cp);
+        let facts = stmt_facts(&cfg, &cp, &sol);
+        // First return sits in the then-branch: x is pinned to 7 there.
+        let then_ret = p.statements()[1].id;
+        assert_eq!(facts[&then_ret].0.of(&u, "x"), AbsConst::Const(Value::Int(7)));
+    }
+
+    #[test]
+    fn builtin_folds() {
+        let v = const_at_return(
+            "fn f() -> int {
+                let a: array<int> = newArray(3, 9);
+                let s: str = \"ab\" + \"c\";
+                return len(a) + len(s) + abs(0 - 2) + min(4, 1);
+            }",
+            "a",
+        );
+        assert_eq!(v, AbsConst::Const(Value::Array(vec![9, 9, 9])));
+    }
+}

@@ -1,0 +1,269 @@
+//! The generic monotone dataflow framework.
+//!
+//! A [`Dataflow`] instance describes a join-semilattice of facts and
+//! monotone transfer functions; [`solve`] runs a worklist to the least
+//! fixed point. Contracts every instance must uphold:
+//!
+//! - `init()` is the lattice bottom ⊥ and the identity of `join`;
+//! - `join` computes the least upper bound in place and reports change;
+//! - `transfer_*` are monotone in the fact argument;
+//! - `refine_edge` may only *narrow* a fact using the branch polarity
+//!   (it is applied to a copy of the predecessor's out-fact on branch
+//!   edges, forward direction only);
+//! - `widen(prev, next)` must return an upper bound of both arguments and
+//!   guarantee stabilization of every ascending chain (applied once a
+//!   block has been re-joined more than [`WIDEN_AFTER`] times).
+//!
+//! Under these contracts the solver terminates and the fixpoint
+//! over-approximates every concrete execution — the property the
+//! differential soundness proptest exercises end to end.
+
+use crate::cfg::{BlockId, Cfg, Terminator};
+use minilang::{Expr, Stmt, StmtId};
+use std::collections::{HashMap, VecDeque};
+
+/// Direction a dataflow problem propagates facts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry along control-flow edges.
+    Forward,
+    /// Facts flow from the exit against control-flow edges.
+    Backward,
+}
+
+/// Number of worklist re-joins of one block before [`Dataflow::widen`]
+/// kicks in.
+pub const WIDEN_AFTER: usize = 4;
+
+/// A monotone dataflow problem over a join-semilattice of facts.
+pub trait Dataflow {
+    /// The lattice element attached to every program point.
+    type Fact: Clone + PartialEq;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// The fact at the boundary: entry block (forward) or exit block
+    /// (backward).
+    fn boundary(&self) -> Self::Fact;
+
+    /// The lattice bottom ⊥ (identity of [`Dataflow::join`]).
+    fn init(&self) -> Self::Fact;
+
+    /// `into ⊔= from`; returns true if `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Transfer through one straight-line statement.
+    fn transfer_stmt(&self, stmt: &Stmt, fact: &mut Self::Fact);
+
+    /// Transfer through a guard evaluation (no state change by default).
+    fn transfer_guard(&self, _guard: &Stmt, _cond: &Expr, _fact: &mut Self::Fact) {}
+
+    /// Narrows `fact` with the knowledge that `cond` evaluated to `taken`
+    /// (forward branch edges only).
+    fn refine_edge(&self, _cond: &Expr, _taken: bool, _fact: &mut Self::Fact) {}
+
+    /// Widening operator; default is no acceleration (finite lattices).
+    fn widen(&self, _prev: &Self::Fact, _next: &mut Self::Fact) {}
+}
+
+/// Fixpoint facts per block, in *execution* order: `before` holds at the
+/// start of the block, `after` at its end (post guard evaluation), for
+/// both directions.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at block start.
+    pub before: Vec<F>,
+    /// Fact at block end.
+    pub after: Vec<F>,
+}
+
+/// Runs the worklist solver to the least fixed point.
+pub fn solve<D: Dataflow>(cfg: &Cfg<'_>, d: &D) -> Solution<D::Fact> {
+    match d.direction() {
+        Direction::Forward => solve_forward(cfg, d),
+        Direction::Backward => solve_backward(cfg, d),
+    }
+}
+
+fn transfer_block<D: Dataflow>(
+    cfg: &Cfg<'_>,
+    d: &D,
+    block: BlockId,
+    before: &D::Fact,
+) -> D::Fact {
+    let mut fact = before.clone();
+    let b = &cfg.blocks[block.0];
+    for &sid in &b.stmts {
+        d.transfer_stmt(cfg.stmt(sid), &mut fact);
+    }
+    if let Terminator::Branch { guard, .. } = b.term {
+        let cond = cfg.guard_cond(guard).expect("branch guard has a condition");
+        d.transfer_guard(cfg.stmt(guard), cond, &mut fact);
+    }
+    fact
+}
+
+fn solve_forward<D: Dataflow>(cfg: &Cfg<'_>, d: &D) -> Solution<D::Fact> {
+    let n = cfg.blocks.len();
+    let preds = cfg.preds();
+    let rpo = cfg.rpo();
+    let mut before: Vec<D::Fact> = (0..n).map(|_| d.init()).collect();
+    let mut after: Vec<D::Fact> = (0..n).map(|_| d.init()).collect();
+    let mut visits = vec![0usize; n];
+    let mut queued = vec![false; n];
+    let mut work: VecDeque<BlockId> = rpo.iter().copied().collect();
+    for b in &rpo {
+        queued[b.0] = true;
+    }
+    while let Some(b) = work.pop_front() {
+        queued[b.0] = false;
+        // Fresh join over incoming edges (boundary for the entry).
+        let mut new_before = if b == cfg.entry { d.boundary() } else { d.init() };
+        for &p in &preds[b.0] {
+            match &cfg.blocks[p.0].term {
+                Terminator::Branch { guard, then_to, else_to } => {
+                    let cond = cfg.guard_cond(*guard).expect("branch guard has a condition");
+                    // The same block can be both arms' target only if the
+                    // AST were degenerate; handle each arm independently.
+                    for (target, taken) in [(then_to, true), (else_to, false)] {
+                        if *target == b {
+                            let mut refined = after[p.0].clone();
+                            d.refine_edge(cond, taken, &mut refined);
+                            d.join(&mut new_before, &refined);
+                        }
+                    }
+                }
+                _ => {
+                    d.join(&mut new_before, &after[p.0]);
+                }
+            }
+        }
+        visits[b.0] += 1;
+        if visits[b.0] > WIDEN_AFTER {
+            d.widen(&before[b.0], &mut new_before);
+        }
+        let first = visits[b.0] == 1;
+        if !first && new_before == before[b.0] {
+            continue;
+        }
+        before[b.0] = new_before;
+        let new_after = transfer_block(cfg, d, b, &before[b.0]);
+        if first || new_after != after[b.0] {
+            after[b.0] = new_after;
+            for s in cfg.blocks[b.0].term.successors() {
+                if !queued[s.0] {
+                    queued[s.0] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    Solution { before, after }
+}
+
+fn transfer_block_backward<D: Dataflow>(
+    cfg: &Cfg<'_>,
+    d: &D,
+    block: BlockId,
+    after: &D::Fact,
+) -> D::Fact {
+    let mut fact = after.clone();
+    let b = &cfg.blocks[block.0];
+    if let Terminator::Branch { guard, .. } = b.term {
+        let cond = cfg.guard_cond(guard).expect("branch guard has a condition");
+        d.transfer_guard(cfg.stmt(guard), cond, &mut fact);
+    }
+    for &sid in b.stmts.iter().rev() {
+        d.transfer_stmt(cfg.stmt(sid), &mut fact);
+    }
+    fact
+}
+
+fn solve_backward<D: Dataflow>(cfg: &Cfg<'_>, d: &D) -> Solution<D::Fact> {
+    let n = cfg.blocks.len();
+    let rpo = cfg.rpo();
+    let mut before: Vec<D::Fact> = (0..n).map(|_| d.init()).collect();
+    let mut after: Vec<D::Fact> = (0..n).map(|_| d.init()).collect();
+    let mut visits = vec![0usize; n];
+    let mut queued = vec![false; n];
+    // Post-order (reverse RPO) converges fastest for backward problems.
+    let mut work: VecDeque<BlockId> = rpo.iter().rev().copied().collect();
+    for b in &rpo {
+        queued[b.0] = true;
+    }
+    let preds = cfg.preds();
+    while let Some(b) = work.pop_front() {
+        queued[b.0] = false;
+        let mut new_after = if b == cfg.exit { d.boundary() } else { d.init() };
+        for s in cfg.blocks[b.0].term.successors() {
+            d.join(&mut new_after, &before[s.0]);
+        }
+        visits[b.0] += 1;
+        if visits[b.0] > WIDEN_AFTER {
+            d.widen(&after[b.0], &mut new_after);
+        }
+        let first = visits[b.0] == 1;
+        if !first && new_after == after[b.0] {
+            continue;
+        }
+        after[b.0] = new_after;
+        let new_before = transfer_block_backward(cfg, d, b, &after[b.0]);
+        if first || new_before != before[b.0] {
+            before[b.0] = new_before;
+            for &p in &preds[b.0] {
+                if !queued[p.0] {
+                    queued[p.0] = true;
+                    work.push_back(p);
+                }
+            }
+        }
+    }
+    Solution { before, after }
+}
+
+/// Replays the fixpoint through each reachable block to produce per-
+/// statement `(before, after)` facts in execution order. Guard statements
+/// (`if`/`while`/`for`) get the fact at guard evaluation time.
+/// Statements in unreachable blocks are absent.
+pub fn stmt_facts<D: Dataflow>(
+    cfg: &Cfg<'_>,
+    d: &D,
+    sol: &Solution<D::Fact>,
+) -> HashMap<StmtId, (D::Fact, D::Fact)> {
+    let mut out = HashMap::new();
+    for b in cfg.rpo() {
+        let block = &cfg.blocks[b.0];
+        match d.direction() {
+            Direction::Forward => {
+                let mut fact = sol.before[b.0].clone();
+                for &sid in &block.stmts {
+                    let pre = fact.clone();
+                    d.transfer_stmt(cfg.stmt(sid), &mut fact);
+                    out.insert(sid, (pre, fact.clone()));
+                }
+                if let Terminator::Branch { guard, .. } = block.term {
+                    let cond = cfg.guard_cond(guard).expect("branch guard has a condition");
+                    let pre = fact.clone();
+                    d.transfer_guard(cfg.stmt(guard), cond, &mut fact);
+                    out.insert(guard, (pre, fact));
+                }
+            }
+            Direction::Backward => {
+                let mut fact = sol.after[b.0].clone();
+                if let Terminator::Branch { guard, .. } = block.term {
+                    let cond = cfg.guard_cond(guard).expect("branch guard has a condition");
+                    let post = fact.clone();
+                    d.transfer_guard(cfg.stmt(guard), cond, &mut fact);
+                    out.insert(guard, (fact.clone(), post));
+                }
+                for &sid in block.stmts.iter().rev() {
+                    let post = fact.clone();
+                    d.transfer_stmt(cfg.stmt(sid), &mut fact);
+                    out.insert(sid, (fact.clone(), post));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,253 @@
+//! Whole-program analysis results and the distilled summary consumed by
+//! the symbolic executor.
+//!
+//! [`Analyzed`] bundles the CFG with the fixpoints of all four dataflow
+//! instances; [`ProgramFacts`] boils that down to owned data — which
+//! guards are statically decided and which statements are reachable once
+//! decided guards prune their untaken edges. Pruning with these facts
+//! preserves the feasible-path set: a decided guard's untaken side is
+//! unsatisfiable under every input, so no concrete or symbolic path ever
+//! entered it.
+
+use crate::bitset::BitSet;
+use crate::cfg::{BlockId, Cfg, NaturalLoop, Terminator};
+use crate::constprop::{ConstEnv, ConstProp};
+use crate::dataflow::{solve, stmt_facts};
+use crate::interval::{AbsEnv, IntervalAnalysis};
+use crate::liveness::Liveness;
+use crate::reaching::ReachingDefs;
+use crate::vars::VarUniverse;
+use interp::Value;
+use minilang::{Program, StmtId};
+use std::collections::{HashMap, HashSet};
+
+/// Everything the analyses know about one program, borrowing the AST.
+pub struct Analyzed<'p> {
+    /// The analyzed program.
+    pub program: &'p Program,
+    /// Name-to-slot mapping shared by all instances.
+    pub universe: VarUniverse,
+    /// The control-flow graph.
+    pub cfg: Cfg<'p>,
+    /// Natural loops of the CFG.
+    pub loops: Vec<NaturalLoop>,
+    /// Constant-propagation facts per statement, execution order.
+    pub const_facts: HashMap<StmtId, (ConstEnv, ConstEnv)>,
+    /// Interval facts per statement, execution order.
+    pub interval_facts: HashMap<StmtId, (AbsEnv, AbsEnv)>,
+    /// The reaching-definitions instance (site numbering).
+    pub reaching: ReachingDefs,
+    /// Reaching-definition facts per statement.
+    pub reaching_facts: HashMap<StmtId, (BitSet, BitSet)>,
+    /// Liveness facts per statement.
+    pub live_facts: HashMap<StmtId, (BitSet, BitSet)>,
+    /// Guards whose outcome is statically decided (guard stmt → value);
+    /// only guards in refined-reachable blocks are retained.
+    pub decided: HashMap<StmtId, bool>,
+    /// Blocks reachable from the entry once decided guards prune their
+    /// untaken edges.
+    pub reachable_blocks: Vec<bool>,
+}
+
+impl<'p> Analyzed<'p> {
+    /// Runs every analysis on `program` (ids assigned, typechecked).
+    pub fn of(program: &'p Program) -> Analyzed<'p> {
+        let universe = VarUniverse::of(program);
+        let cfg = Cfg::build(program);
+        let loops = cfg.natural_loops();
+
+        let cp = ConstProp::new(&universe);
+        let cp_sol = solve(&cfg, &cp);
+        let const_facts = stmt_facts(&cfg, &cp, &cp_sol);
+
+        let ia = IntervalAnalysis::new(&universe);
+        let ia_sol = solve(&cfg, &ia);
+        let interval_facts = stmt_facts(&cfg, &ia, &ia_sol);
+
+        let reaching = ReachingDefs::new(program, &universe);
+        let rd_sol = solve(&cfg, &reaching);
+        let reaching_facts = stmt_facts(&cfg, &reaching, &rd_sol);
+
+        let lv = Liveness::new(&universe);
+        let lv_sol = solve(&cfg, &lv);
+        let live_facts = stmt_facts(&cfg, &lv, &lv_sol);
+
+        let mut decided = HashMap::new();
+        for block in &cfg.blocks {
+            let Terminator::Branch { guard, .. } = block.term else { continue };
+            let cond = cfg.guard_cond(guard).expect("branch guard has a condition");
+            // Constant propagation decides exact values; intervals decide
+            // range-separated comparisons. Either suffices.
+            let by_const = const_facts.get(&guard).and_then(|(before, _)| {
+                match cp.eval(cond, before).as_const() {
+                    Some(Value::Bool(b)) => Some(*b),
+                    _ => None,
+                }
+            });
+            let by_interval = interval_facts.get(&guard).and_then(|(before, _)| {
+                ia.eval(cond, before).as_bool().and_then(|b| b.as_const())
+            });
+            if let Some(b) = by_const.or(by_interval) {
+                decided.insert(guard, b);
+            }
+        }
+
+        let reachable_blocks = refined_reachability(&cfg, &decided);
+        decided.retain(|&g, _| {
+            cfg.block_of(g).is_some_and(|b| reachable_blocks[b.0])
+        });
+
+        Analyzed {
+            program,
+            universe,
+            cfg,
+            loops,
+            const_facts,
+            interval_facts,
+            reaching,
+            reaching_facts,
+            live_facts,
+            decided,
+            reachable_blocks,
+        }
+    }
+
+    /// True if the statement's block survives refined reachability.
+    pub fn is_reachable(&self, stmt: StmtId) -> bool {
+        self.cfg.block_of(stmt).is_some_and(|b| self.reachable_blocks[b.0])
+    }
+}
+
+/// BFS from the entry, taking only the decided edge of decided guards.
+fn refined_reachability(cfg: &Cfg<'_>, decided: &HashMap<StmtId, bool>) -> Vec<bool> {
+    let mut reach = vec![false; cfg.blocks.len()];
+    let mut stack = vec![cfg.entry];
+    reach[cfg.entry.0] = true;
+    while let Some(b) = stack.pop() {
+        let succs: Vec<BlockId> = match &cfg.blocks[b.0].term {
+            Terminator::Branch { guard, then_to, else_to } => match decided.get(guard) {
+                Some(true) => vec![*then_to],
+                Some(false) => vec![*else_to],
+                None => vec![*then_to, *else_to],
+            },
+            t => t.successors(),
+        };
+        for s in succs {
+            if !reach[s.0] {
+                reach[s.0] = true;
+                stack.push(s);
+            }
+        }
+    }
+    reach
+}
+
+/// The owned, lifetime-free summary handed to the symbolic executor.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramFacts {
+    /// Guard statement → statically decided outcome.
+    pub decided: HashMap<StmtId, bool>,
+    /// Statements whose block is reachable under refined reachability
+    /// (guards included).
+    pub reachable: HashSet<StmtId>,
+    /// Number of basic blocks in the CFG.
+    pub num_blocks: usize,
+    /// Number of natural loops.
+    pub num_loops: usize,
+}
+
+impl ProgramFacts {
+    /// The decided outcome of `guard`, if the analyses settled it.
+    pub fn decided_guard(&self, guard: StmtId) -> Option<bool> {
+        self.decided.get(&guard).copied()
+    }
+}
+
+/// Runs the full analysis stack and distills [`ProgramFacts`].
+pub fn program_facts(program: &Program) -> ProgramFacts {
+    let a = Analyzed::of(program);
+    let reachable = program
+        .statements()
+        .into_iter()
+        .filter(|s| a.is_reachable(s.id))
+        .map(|s| s.id)
+        .collect();
+    ProgramFacts {
+        decided: a.decided,
+        reachable,
+        num_blocks: a.cfg.blocks.len(),
+        num_loops: a.loops.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts_of(src: &str) -> (Program, ProgramFacts) {
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let f = program_facts(&p);
+        (p, f)
+    }
+
+    #[test]
+    fn undecidable_guard_stays_open() {
+        let (p, f) = facts_of("fn f(x: int) -> int { if (x > 0) { return 1; } return 0; }");
+        assert!(f.decided.is_empty());
+        for s in p.statements() {
+            assert!(f.reachable.contains(&s.id));
+        }
+    }
+
+    #[test]
+    fn constant_guard_is_decided_and_prunes() {
+        let (p, f) = facts_of(
+            "fn f(x: int) -> int {
+                let t: bool = true;
+                if (t) { return 1; }
+                return x;
+            }",
+        );
+        let guard = p
+            .statements()
+            .into_iter()
+            .find(|s| matches!(s.kind, minilang::StmtKind::If { .. }))
+            .unwrap();
+        assert_eq!(f.decided_guard(guard.id), Some(true));
+        // `return x` sits behind the pruned false edge.
+        let last = p.statements().into_iter().last().unwrap();
+        assert!(!f.reachable.contains(&last.id));
+    }
+
+    #[test]
+    fn interval_decides_range_separated_guard() {
+        let (p, f) = facts_of(
+            "fn f(x: int) -> int {
+                let a: int = abs(x);
+                if (a >= 0) { return 1; }
+                return 0;
+            }",
+        );
+        let guard = p
+            .statements()
+            .into_iter()
+            .find(|s| matches!(s.kind, minilang::StmtKind::If { .. }))
+            .unwrap();
+        assert_eq!(f.decided_guard(guard.id), Some(true));
+    }
+
+    #[test]
+    fn decided_guard_in_pruned_region_is_dropped() {
+        let (_, f) = facts_of(
+            "fn f(x: int) -> int {
+                if (false) {
+                    if (true) { return 1; }
+                }
+                return x;
+            }",
+        );
+        // Only the outer guard survives; the inner one is unreachable.
+        assert_eq!(f.decided.len(), 1);
+    }
+}

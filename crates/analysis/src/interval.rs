@@ -1,0 +1,844 @@
+//! Interval analysis with widening.
+//!
+//! Integers carry `[lo, hi]` ranges where `i64::MIN`/`i64::MAX` act as
+//! ∓∞ sentinels; booleans carry a may-true/may-false pair; strings and
+//! arrays carry length ranges (arrays also a hull of their elements).
+//! Soundness is conditioned on the execution not faulting: the
+//! interpreter's checked arithmetic turns every overflow into a runtime
+//! error, so bound arithmetic may saturate toward the sentinels without
+//! missing a live value. Widening (after [`crate::dataflow::WIDEN_AFTER`]
+//! re-joins) jumps unstable bounds to ±∞, guaranteeing termination on
+//! loops; stable bounds — like a loop counter's `0` lower bound — survive,
+//! which is what lets the divergence screen and the symbolic executor's
+//! pruning decide loop guards.
+
+use crate::dataflow::{Dataflow, Direction};
+use crate::vars::VarUniverse;
+use minilang::{AssignOp, BinOp, Builtin, Expr, ExprKind, LValue, Stmt, StmtKind, Type, UnOp};
+
+/// −∞ sentinel.
+pub const NEG_INF: i64 = i64::MIN;
+/// +∞ sentinel.
+pub const POS_INF: i64 = i64::MAX;
+
+/// A non-empty integer range; sentinel bounds mean unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (`NEG_INF` = unbounded below).
+    pub lo: i64,
+    /// Upper bound (`POS_INF` = unbounded above).
+    pub hi: i64,
+}
+
+fn clamp(v: i128) -> i64 {
+    if v <= NEG_INF as i128 {
+        NEG_INF
+    } else if v >= POS_INF as i128 {
+        POS_INF
+    } else {
+        v as i64
+    }
+}
+
+impl Interval {
+    /// The full range (no information).
+    pub const FULL: Interval = Interval { lo: NEG_INF, hi: POS_INF };
+    /// All non-negative values — lengths, loop counters from zero.
+    pub const NON_NEG: Interval = Interval { lo: 0, hi: POS_INF };
+
+    /// The singleton `[v, v]`.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`; callers must keep `lo <= hi`.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        debug_assert!(lo <= hi);
+        Interval { lo, hi }
+    }
+
+    /// True if the (sentinel-aware) range contains `v`.
+    pub fn contains(&self, v: i64) -> bool {
+        (self.lo == NEG_INF || self.lo <= v) && (self.hi == POS_INF || v <= self.hi)
+    }
+
+    /// The single value, if the range is a non-sentinel point.
+    pub fn as_point(&self) -> Option<i64> {
+        (self.lo == self.hi && self.lo != NEG_INF && self.lo != POS_INF).then_some(self.lo)
+    }
+
+    /// Least upper bound (hull).
+    pub fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Intersection; `None` if empty.
+    pub fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Standard widening: unstable bounds jump to ±∞.
+    pub fn widen(prev: Interval, next: Interval) -> Interval {
+        Interval {
+            lo: if next.lo < prev.lo { NEG_INF } else { next.lo },
+            hi: if next.hi > prev.hi { POS_INF } else { next.hi },
+        }
+    }
+
+    fn add(self, o: Interval) -> Interval {
+        Interval {
+            lo: if self.lo == NEG_INF || o.lo == NEG_INF {
+                NEG_INF
+            } else {
+                clamp(self.lo as i128 + o.lo as i128)
+            },
+            hi: if self.hi == POS_INF || o.hi == POS_INF {
+                POS_INF
+            } else {
+                clamp(self.hi as i128 + o.hi as i128)
+            },
+        }
+    }
+
+    fn neg(self) -> Interval {
+        Interval {
+            lo: if self.hi == POS_INF { NEG_INF } else { clamp(-(self.hi as i128)) },
+            hi: if self.lo == NEG_INF { POS_INF } else { clamp(-(self.lo as i128)) },
+        }
+    }
+
+    fn sub(self, o: Interval) -> Interval {
+        self.add(o.neg())
+    }
+
+    fn mul(self, o: Interval) -> Interval {
+        // Corner products in i128: sentinel magnitudes are large enough
+        // that any ∞ × (|x| ≥ 1) lands beyond the clamp thresholds, and
+        // ∞ × 0 correctly collapses to 0.
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for &x in &[self.lo, self.hi] {
+            for &y in &[o.lo, o.hi] {
+                let p = (x as i128).saturating_mul(y as i128);
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        Interval { lo: clamp(lo), hi: clamp(hi) }
+    }
+
+    fn div(self, o: Interval) -> Interval {
+        // Precise only for finite numerators and sign-pure divisors;
+        // everything else over-approximates to FULL. Executions dividing
+        // by zero fault and are vacuous.
+        let sign_pure = o.lo > 0 || o.hi < 0;
+        let finite = self.lo != NEG_INF && self.hi != POS_INF;
+        if !sign_pure || !finite {
+            return Interval::FULL;
+        }
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for &n in &[self.lo, self.hi] {
+            for &d in &[o.lo, o.hi] {
+                let q = (n as i128) / (d as i128);
+                lo = lo.min(q);
+                hi = hi.max(q);
+            }
+        }
+        Interval { lo: clamp(lo), hi: clamp(hi) }
+    }
+
+    fn rem(self, o: Interval) -> Interval {
+        // |a % b| < |b| and the result takes the numerator's sign.
+        let max_abs = if o.lo == NEG_INF || o.hi == POS_INF {
+            POS_INF
+        } else {
+            clamp((o.lo as i128).abs().max((o.hi as i128).abs()) - 1)
+        };
+        let bound = Interval { lo: clamp(-(max_abs as i128)), hi: max_abs };
+        let sign = if self.lo >= 0 {
+            Interval::NON_NEG
+        } else if self.hi <= 0 {
+            Interval { lo: NEG_INF, hi: 0 }
+        } else {
+            Interval::FULL
+        };
+        bound.meet(sign).unwrap_or(Interval::point(0))
+    }
+
+    fn abs(self) -> Interval {
+        let lo = if self.lo <= 0 && self.hi >= 0 {
+            0
+        } else if self.lo > 0 {
+            self.lo
+        } else {
+            // All negative: smallest magnitude is |hi|.
+            clamp(-(self.hi as i128))
+        };
+        let hi = if self.lo == NEG_INF || self.hi == POS_INF {
+            POS_INF
+        } else {
+            clamp((self.lo as i128).abs().max((self.hi as i128).abs()))
+        };
+        Interval { lo, hi }
+    }
+
+    fn min_op(self, o: Interval) -> Interval {
+        Interval { lo: self.lo.min(o.lo), hi: self.hi.min(o.hi) }
+    }
+
+    fn max_op(self, o: Interval) -> Interval {
+        Interval { lo: self.lo.max(o.lo), hi: self.hi.max(o.hi) }
+    }
+}
+
+/// May-true / may-false abstraction of a boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsBool {
+    /// Some execution may observe `true`.
+    pub maybe_t: bool,
+    /// Some execution may observe `false`.
+    pub maybe_f: bool,
+}
+
+impl AbsBool {
+    /// Both outcomes possible.
+    pub const BOTH: AbsBool = AbsBool { maybe_t: true, maybe_f: true };
+
+    /// The abstraction of a known boolean.
+    pub fn of(b: bool) -> AbsBool {
+        AbsBool { maybe_t: b, maybe_f: !b }
+    }
+
+    /// The definite value, if only one outcome is possible.
+    pub fn as_const(self) -> Option<bool> {
+        match (self.maybe_t, self.maybe_f) {
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            _ => None,
+        }
+    }
+
+    fn join(self, o: AbsBool) -> AbsBool {
+        AbsBool { maybe_t: self.maybe_t || o.maybe_t, maybe_f: self.maybe_f || o.maybe_f }
+    }
+
+    fn not(self) -> AbsBool {
+        AbsBool { maybe_t: self.maybe_f, maybe_f: self.maybe_t }
+    }
+}
+
+/// One slot's abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unreachable / never defined.
+    Bot,
+    /// An integer in the range.
+    Int(Interval),
+    /// A boolean.
+    Bool(AbsBool),
+    /// A string with byte length in the range.
+    Str {
+        /// Length range.
+        len: Interval,
+    },
+    /// An integer array: length range plus a hull of the elements.
+    Arr {
+        /// Length range.
+        len: Interval,
+        /// Hull of every element.
+        elems: Interval,
+    },
+    /// Unknown type or value.
+    Top,
+}
+
+impl AbsVal {
+    /// The abstraction of a parameter of declared type `ty`.
+    pub fn top_of(ty: Type) -> AbsVal {
+        match ty {
+            Type::Int => AbsVal::Int(Interval::FULL),
+            Type::Bool => AbsVal::Bool(AbsBool::BOTH),
+            Type::Str => AbsVal::Str { len: Interval::NON_NEG },
+            Type::IntArray => AbsVal::Arr { len: Interval::NON_NEG, elems: Interval::FULL },
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(&mut self, other: &AbsVal) -> bool {
+        let merged = match (*self, *other) {
+            (AbsVal::Bot, x) => x,
+            (x, AbsVal::Bot) => x,
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.join(b)),
+            (AbsVal::Bool(a), AbsVal::Bool(b)) => AbsVal::Bool(a.join(b)),
+            (AbsVal::Str { len: a }, AbsVal::Str { len: b }) => AbsVal::Str { len: a.join(b) },
+            (AbsVal::Arr { len: a, elems: x }, AbsVal::Arr { len: b, elems: y }) => {
+                AbsVal::Arr { len: a.join(b), elems: x.join(y) }
+            }
+            _ => AbsVal::Top,
+        };
+        let changed = *self != merged;
+        *self = merged;
+        changed
+    }
+
+    fn widen(prev: AbsVal, next: AbsVal) -> AbsVal {
+        match (prev, next) {
+            (AbsVal::Int(p), AbsVal::Int(n)) => AbsVal::Int(Interval::widen(p, n)),
+            (AbsVal::Str { len: p }, AbsVal::Str { len: n }) => {
+                AbsVal::Str { len: Interval::widen(p, n) }
+            }
+            (AbsVal::Arr { len: p, elems: pe }, AbsVal::Arr { len: n, elems: ne }) => {
+                AbsVal::Arr { len: Interval::widen(p, n), elems: Interval::widen(pe, ne) }
+            }
+            (_, n) => n,
+        }
+    }
+
+    /// The integer range, if this is an int.
+    pub fn as_int(&self) -> Option<Interval> {
+        match self {
+            AbsVal::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean abstraction, if this is a bool.
+    pub fn as_bool(&self) -> Option<AbsBool> {
+        match self {
+            AbsVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// An interval environment: one [`AbsVal`] per slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsEnv {
+    /// Slot-indexed abstract values.
+    pub vals: Vec<AbsVal>,
+}
+
+impl AbsEnv {
+    /// The abstract value of `name` under `universe`.
+    pub fn of(&self, universe: &VarUniverse, name: &str) -> AbsVal {
+        universe.slot(name).map_or(AbsVal::Top, |s| self.vals[s])
+    }
+}
+
+/// The interval-analysis problem.
+pub struct IntervalAnalysis<'a> {
+    universe: &'a VarUniverse,
+}
+
+impl<'a> IntervalAnalysis<'a> {
+    /// An interval analysis over `universe`.
+    pub fn new(universe: &'a VarUniverse) -> IntervalAnalysis<'a> {
+        IntervalAnalysis { universe }
+    }
+
+    fn set(&self, env: &mut AbsEnv, name: &str, v: AbsVal) {
+        if let Some(slot) = self.universe.slot(name) {
+            env.vals[slot] = if self.universe.is_shadowed(slot) { AbsVal::Top } else { v };
+        }
+    }
+
+    /// Evaluates `expr` in `env`.
+    pub fn eval(&self, expr: &Expr, env: &AbsEnv) -> AbsVal {
+        eval(expr, env, self.universe)
+    }
+}
+
+impl Dataflow for IntervalAnalysis<'_> {
+    type Fact = AbsEnv;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> AbsEnv {
+        let vals = (0..self.universe.len())
+            .map(|slot| {
+                if self.universe.is_shadowed(slot) {
+                    AbsVal::Top
+                } else if self.universe.is_param(slot) {
+                    AbsVal::top_of(self.universe.ty(slot))
+                } else {
+                    AbsVal::Bot
+                }
+            })
+            .collect();
+        AbsEnv { vals }
+    }
+
+    fn init(&self) -> AbsEnv {
+        AbsEnv { vals: vec![AbsVal::Bot; self.universe.len()] }
+    }
+
+    fn join(&self, into: &mut AbsEnv, from: &AbsEnv) -> bool {
+        let mut changed = false;
+        for (a, b) in into.vals.iter_mut().zip(&from.vals) {
+            changed |= a.join(b);
+        }
+        changed
+    }
+
+    fn transfer_stmt(&self, stmt: &Stmt, env: &mut AbsEnv) {
+        match &stmt.kind {
+            StmtKind::Let { name, init, .. } => {
+                let v = self.eval(init, env);
+                self.set(env, name, v);
+            }
+            StmtKind::Assign { target: LValue::Var(name), op, value } => {
+                let rhs = self.eval(value, env);
+                let v = match op {
+                    AssignOp::Set => rhs,
+                    _ => {
+                        let cur = env.of(self.universe, name);
+                        binop_abs(compound_op(*op), cur, rhs)
+                    }
+                };
+                self.set(env, name, v);
+            }
+            StmtKind::Assign { target: LValue::Index(name, _), op: _, value } => {
+                // Weak update: the length is unchanged, the element hull
+                // grows by the stored value. Compound element updates
+                // over-approximate to FULL elements.
+                let rhs = self.eval(value, env);
+                let stored = rhs.as_int().unwrap_or(Interval::FULL);
+                let cur = env.of(self.universe, name);
+                let v = match cur {
+                    AbsVal::Arr { len, elems } => {
+                        let elems = match &stmt.kind {
+                            StmtKind::Assign { op: AssignOp::Set, .. } => elems.join(stored),
+                            _ => Interval::FULL,
+                        };
+                        AbsVal::Arr { len, elems }
+                    }
+                    other => other,
+                };
+                self.set(env, name, v);
+            }
+            StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::If { .. } | StmtKind::While { .. } | StmtKind::For { .. } => {}
+        }
+    }
+
+    fn refine_edge(&self, cond: &Expr, taken: bool, env: &mut AbsEnv) {
+        refine(self, cond, taken, env);
+    }
+
+    fn widen(&self, prev: &AbsEnv, next: &mut AbsEnv) {
+        for (p, n) in prev.vals.iter().zip(next.vals.iter_mut()) {
+            *n = AbsVal::widen(*p, *n);
+        }
+    }
+}
+
+fn compound_op(op: AssignOp) -> BinOp {
+    match op {
+        AssignOp::Set => unreachable!("Set handled by caller"),
+        AssignOp::Add => BinOp::Add,
+        AssignOp::Sub => BinOp::Sub,
+        AssignOp::Mul => BinOp::Mul,
+    }
+}
+
+/// Narrows `env` with the knowledge `cond == taken`.
+fn refine(ia: &IntervalAnalysis<'_>, cond: &Expr, taken: bool, env: &mut AbsEnv) {
+    match &cond.kind {
+        ExprKind::Var(name) => ia.set(env, name, AbsVal::Bool(AbsBool::of(taken))),
+        ExprKind::Unary(UnOp::Not, inner) => refine(ia, inner, !taken, env),
+        ExprKind::Binary(BinOp::And, a, b) if taken => {
+            refine(ia, a, true, env);
+            refine(ia, b, true, env);
+        }
+        ExprKind::Binary(BinOp::Or, a, b) if !taken => {
+            refine(ia, a, false, env);
+            refine(ia, b, false, env);
+        }
+        ExprKind::Binary(op, a, b) if op.is_comparison() => {
+            // Effective comparison once the branch polarity is applied.
+            let eff = if taken { *op } else { negate_cmp(*op) };
+            refine_cmp(ia, eff, a, b, env);
+            refine_cmp(ia, flip_cmp(eff), b, a, env);
+        }
+        _ => {}
+    }
+}
+
+/// `!(a op b)` as a comparison on the same operand order.
+fn negate_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Le => BinOp::Gt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Ge => BinOp::Lt,
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        _ => op,
+    }
+}
+
+/// `a op b  ⇔  b (flip op) a`.
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        _ => op,
+    }
+}
+
+/// Narrows the left operand of `lhs op rhs` when `lhs` is a variable.
+fn refine_cmp(ia: &IntervalAnalysis<'_>, op: BinOp, lhs: &Expr, rhs: &Expr, env: &mut AbsEnv) {
+    let ExprKind::Var(name) = &lhs.kind else { return };
+    let Some(cur) = env.of(ia.universe, name).as_int() else { return };
+    let Some(bound) = eval(rhs, env, ia.universe).as_int() else { return };
+    let constraint = match op {
+        // x < [lo,hi] ⇒ x ≤ hi − 1.
+        BinOp::Lt if bound.hi != POS_INF => Interval { lo: NEG_INF, hi: bound.hi - 1 },
+        BinOp::Le => Interval { lo: NEG_INF, hi: bound.hi },
+        BinOp::Gt if bound.lo != NEG_INF => Interval { lo: bound.lo + 1, hi: POS_INF },
+        BinOp::Ge => Interval { lo: bound.lo, hi: POS_INF },
+        BinOp::Eq => bound,
+        _ => return,
+    };
+    match cur.meet(constraint) {
+        Some(narrowed) => ia.set(env, name, AbsVal::Int(narrowed)),
+        // Statically infeasible edge: poison the whole environment.
+        None => env.vals.iter_mut().for_each(|v| *v = AbsVal::Bot),
+    }
+}
+
+/// Abstract expression evaluation.
+pub fn eval(expr: &Expr, env: &AbsEnv, universe: &VarUniverse) -> AbsVal {
+    match &expr.kind {
+        ExprKind::IntLit(v) => AbsVal::Int(Interval::point(*v)),
+        ExprKind::BoolLit(b) => AbsVal::Bool(AbsBool::of(*b)),
+        ExprKind::StrLit(s) => AbsVal::Str { len: Interval::point(s.len() as i64) },
+        ExprKind::Var(name) => env.of(universe, name),
+        ExprKind::Unary(UnOp::Neg, inner) => match eval(inner, env, universe) {
+            AbsVal::Int(i) => AbsVal::Int(i.neg()),
+            AbsVal::Bot => AbsVal::Bot,
+            _ => AbsVal::Top,
+        },
+        ExprKind::Unary(UnOp::Not, inner) => match eval(inner, env, universe) {
+            AbsVal::Bool(b) => AbsVal::Bool(b.not()),
+            AbsVal::Bot => AbsVal::Bot,
+            _ => AbsVal::Top,
+        },
+        ExprKind::Binary(BinOp::And, l, r) => {
+            match (eval(l, env, universe).as_bool(), eval(r, env, universe).as_bool()) {
+                (Some(a), _) if a.as_const() == Some(false) => AbsVal::Bool(AbsBool::of(false)),
+                (Some(a), Some(b)) if a.as_const() == Some(true) => AbsVal::Bool(b),
+                (_, Some(b)) if b.as_const() == Some(false) => AbsVal::Bool(AbsBool::of(false)),
+                (Some(_), Some(_)) => AbsVal::Bool(AbsBool::BOTH),
+                _ => AbsVal::Top,
+            }
+        }
+        ExprKind::Binary(BinOp::Or, l, r) => {
+            match (eval(l, env, universe).as_bool(), eval(r, env, universe).as_bool()) {
+                (Some(a), _) if a.as_const() == Some(true) => AbsVal::Bool(AbsBool::of(true)),
+                (Some(a), Some(b)) if a.as_const() == Some(false) => AbsVal::Bool(b),
+                (_, Some(b)) if b.as_const() == Some(true) => AbsVal::Bool(AbsBool::of(true)),
+                (Some(_), Some(_)) => AbsVal::Bool(AbsBool::BOTH),
+                _ => AbsVal::Top,
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            binop_abs(*op, eval(l, env, universe), eval(r, env, universe))
+        }
+        ExprKind::Index(base, idx) => {
+            match (eval(base, env, universe), eval(idx, env, universe)) {
+                (AbsVal::Bot, _) | (_, AbsVal::Bot) => AbsVal::Bot,
+                (AbsVal::Arr { elems, .. }, _) => AbsVal::Int(elems),
+                // Byte of a string.
+                (AbsVal::Str { .. }, _) => AbsVal::Int(Interval::new(0, 255)),
+                _ => AbsVal::Top,
+            }
+        }
+        ExprKind::Call(builtin, args) => {
+            let vals: Vec<AbsVal> = args.iter().map(|a| eval(a, env, universe)).collect();
+            if vals.contains(&AbsVal::Bot) {
+                return AbsVal::Bot;
+            }
+            builtin_abs(*builtin, &vals)
+        }
+        ExprKind::ArrayLit(elems) => {
+            let mut hull: Option<Interval> = None;
+            for e in elems {
+                match eval(e, env, universe) {
+                    AbsVal::Bot => return AbsVal::Bot,
+                    AbsVal::Int(i) => hull = Some(hull.map_or(i, |h| h.join(i))),
+                    _ => hull = Some(Interval::FULL),
+                }
+            }
+            AbsVal::Arr {
+                len: Interval::point(elems.len() as i64),
+                elems: hull.unwrap_or(Interval::FULL),
+            }
+        }
+    }
+}
+
+fn binop_abs(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    if a == AbsVal::Bot || b == AbsVal::Bot {
+        return AbsVal::Bot;
+    }
+    match op {
+        BinOp::Add => match (a, b) {
+            (AbsVal::Int(x), AbsVal::Int(y)) => AbsVal::Int(x.add(y)),
+            // String concatenation adds lengths.
+            (AbsVal::Str { len: x }, AbsVal::Str { len: y }) => {
+                AbsVal::Str { len: x.add(y).meet(Interval::NON_NEG).unwrap_or(Interval::NON_NEG) }
+            }
+            _ => AbsVal::Top,
+        },
+        BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => match (a, b) {
+            (AbsVal::Int(x), AbsVal::Int(y)) => AbsVal::Int(match op {
+                BinOp::Sub => x.sub(y),
+                BinOp::Mul => x.mul(y),
+                BinOp::Div => x.div(y),
+                _ => x.rem(y),
+            }),
+            _ => AbsVal::Top,
+        },
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match (a, b) {
+            (AbsVal::Int(x), AbsVal::Int(y)) => AbsVal::Bool(compare(op, x, y)),
+            _ => AbsVal::Top,
+        },
+        BinOp::Eq | BinOp::Ne => {
+            let eq = abstract_eq(a, b);
+            AbsVal::Bool(if op == BinOp::Eq { eq } else { eq.not() })
+        }
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops handled by caller"),
+    }
+}
+
+fn compare(op: BinOp, x: Interval, y: Interval) -> AbsBool {
+    // Evaluate `x op y` over ranges; sentinel bounds stay conservative
+    // because they only widen the ranges.
+    let (definitely, impossible) = match op {
+        BinOp::Lt => (x.hi < y.lo, x.lo >= y.hi),
+        BinOp::Le => (x.hi <= y.lo, x.lo > y.hi),
+        BinOp::Gt => (x.lo > y.hi, x.hi <= y.lo),
+        BinOp::Ge => (x.lo >= y.hi, x.hi < y.lo),
+        _ => (false, false),
+    };
+    if definitely {
+        AbsBool::of(true)
+    } else if impossible {
+        AbsBool::of(false)
+    } else {
+        AbsBool::BOTH
+    }
+}
+
+fn abstract_eq(a: AbsVal, b: AbsVal) -> AbsBool {
+    match (a, b) {
+        (AbsVal::Int(x), AbsVal::Int(y)) => {
+            if x.meet(y).is_none() {
+                AbsBool::of(false)
+            } else if let (Some(p), Some(q)) = (x.as_point(), y.as_point()) {
+                AbsBool::of(p == q)
+            } else {
+                AbsBool::BOTH
+            }
+        }
+        (AbsVal::Bool(x), AbsVal::Bool(y)) => match (x.as_const(), y.as_const()) {
+            (Some(p), Some(q)) => AbsBool::of(p == q),
+            _ => AbsBool::BOTH,
+        },
+        // Containers of provably different lengths cannot be equal.
+        (AbsVal::Str { len: x }, AbsVal::Str { len: y })
+        | (AbsVal::Arr { len: x, .. }, AbsVal::Arr { len: y, .. }) => {
+            if x.meet(y).is_none() {
+                AbsBool::of(false)
+            } else {
+                AbsBool::BOTH
+            }
+        }
+        _ => AbsBool::BOTH,
+    }
+}
+
+fn builtin_abs(builtin: Builtin, args: &[AbsVal]) -> AbsVal {
+    match builtin {
+        Builtin::Len => match args[0] {
+            AbsVal::Arr { len, .. } | AbsVal::Str { len } => {
+                AbsVal::Int(len.meet(Interval::NON_NEG).unwrap_or(Interval::NON_NEG))
+            }
+            _ => AbsVal::Top,
+        },
+        Builtin::Substring => match (args[0], args[1], args[2]) {
+            (AbsVal::Str { .. }, AbsVal::Int(i), AbsVal::Int(j)) => {
+                // On success the result length is exactly j − i ≥ 0.
+                let len = j.sub(i).meet(Interval::NON_NEG).unwrap_or(Interval::NON_NEG);
+                AbsVal::Str { len }
+            }
+            _ => AbsVal::Top,
+        },
+        Builtin::Abs => match args[0] {
+            AbsVal::Int(i) => AbsVal::Int(i.abs()),
+            _ => AbsVal::Top,
+        },
+        Builtin::Min => match (args[0], args[1]) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.min_op(b)),
+            _ => AbsVal::Top,
+        },
+        Builtin::Max => match (args[0], args[1]) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.max_op(b)),
+            _ => AbsVal::Top,
+        },
+        Builtin::NewArray => match (args[0], args[1]) {
+            (AbsVal::Int(n), v) => AbsVal::Arr {
+                // On success 0 ≤ len ≤ 1_000_000 and len ∈ n.
+                len: n.meet(Interval::new(0, 1_000_000)).unwrap_or(Interval::new(0, 1_000_000)),
+                elems: v.as_int().unwrap_or(Interval::FULL),
+            },
+            _ => AbsVal::Top,
+        },
+        Builtin::Push => match (args[0], args[1]) {
+            (AbsVal::Arr { len, elems }, v) => AbsVal::Arr {
+                len: len.add(Interval::point(1)).meet(Interval::NON_NEG).unwrap_or(Interval::NON_NEG),
+                elems: elems.join(v.as_int().unwrap_or(Interval::FULL)),
+            },
+            _ => AbsVal::Top,
+        },
+        Builtin::CharToStr => AbsVal::Str { len: Interval::point(1) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dataflow::{solve, stmt_facts};
+    use minilang::Program;
+
+    fn at_return(src: &str, name: &str) -> AbsVal {
+        let p: Program = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let u = VarUniverse::of(&p);
+        let cfg = Cfg::build(&p);
+        let ia = IntervalAnalysis::new(&u);
+        let sol = solve(&cfg, &ia);
+        let facts = stmt_facts(&cfg, &ia, &sol);
+        let ret = p
+            .statements()
+            .into_iter()
+            .rfind(|s| matches!(s.kind, StmtKind::Return(_)))
+            .expect("program has a return");
+        facts[&ret.id].0.of(&u, name)
+    }
+
+    #[test]
+    fn loop_counter_keeps_stable_lower_bound() {
+        let v = at_return(
+            "fn f(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i += 1) { s += 1; }
+                return s;
+            }",
+            "s",
+        );
+        // Widening kills the upper bound but the 0 lower bound is stable.
+        assert_eq!(v, AbsVal::Int(Interval { lo: 0, hi: POS_INF }));
+    }
+
+    #[test]
+    fn abs_is_non_negative() {
+        let v = at_return("fn f(x: int) -> int { let y: int = abs(x); return y; }", "y");
+        assert_eq!(v.as_int().unwrap().lo, 0);
+    }
+
+    #[test]
+    fn mod_is_bounded_by_divisor() {
+        let v = at_return("fn f(x: int) -> int { let y: int = x % 10; return y; }", "y");
+        let i = v.as_int().unwrap();
+        assert_eq!(i, Interval { lo: -9, hi: 9 });
+    }
+
+    #[test]
+    fn non_negative_mod_has_zero_lower_bound() {
+        let v = at_return(
+            "fn f(x: int) -> int { let y: int = abs(x) % 4; return y; }",
+            "y",
+        );
+        assert_eq!(v.as_int().unwrap(), Interval { lo: 0, hi: 3 });
+    }
+
+    #[test]
+    fn len_is_non_negative() {
+        let v = at_return(
+            "fn f(a: array<int>) -> int { let n: int = len(a); return n; }",
+            "n",
+        );
+        assert_eq!(v.as_int().unwrap().lo, 0);
+    }
+
+    #[test]
+    fn guard_refinement_narrows_on_both_edges() {
+        let src = "fn f(x: int) -> int {
+            if (x < 10) { return x; }
+            return 0 - x;
+        }";
+        let p: Program = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let u = VarUniverse::of(&p);
+        let cfg = Cfg::build(&p);
+        let ia = IntervalAnalysis::new(&u);
+        let sol = solve(&cfg, &ia);
+        let facts = stmt_facts(&cfg, &ia, &sol);
+        let stmts = p.statements();
+        let then_ret = stmts[1].id;
+        let else_ret = stmts[2].id;
+        assert_eq!(facts[&then_ret].0.of(&u, "x").as_int().unwrap().hi, 9);
+        assert_eq!(facts[&else_ret].0.of(&u, "x").as_int().unwrap().lo, 10);
+    }
+
+    #[test]
+    fn always_true_loop_guard_is_decided() {
+        let src = "fn f() -> int {
+            let z: int = 0;
+            while (z < 1) { z *= 1; }
+            return z;
+        }";
+        let p: Program = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let u = VarUniverse::of(&p);
+        let cfg = Cfg::build(&p);
+        let ia = IntervalAnalysis::new(&u);
+        let sol = solve(&cfg, &ia);
+        let facts = stmt_facts(&cfg, &ia, &sol);
+        let guard = p
+            .statements()
+            .into_iter()
+            .find(|s| matches!(s.kind, StmtKind::While { .. }))
+            .unwrap();
+        let env = &facts[&guard.id].0;
+        let cond = match &guard.kind {
+            StmtKind::While { cond, .. } => cond,
+            _ => unreachable!(),
+        };
+        let b = ia.eval(cond, env).as_bool().unwrap();
+        assert_eq!(b.as_const(), Some(true));
+    }
+
+    #[test]
+    fn interval_arithmetic_handles_sentinels() {
+        let full = Interval::FULL;
+        assert_eq!(full.add(Interval::point(3)), Interval::FULL);
+        assert_eq!(Interval::new(NEG_INF, -5).neg(), Interval::new(5, POS_INF));
+        assert_eq!(
+            Interval::new(NEG_INF, -5).mul(Interval::point(0)),
+            Interval::point(0).join(Interval::point(0))
+        );
+        let half = Interval::new(0, POS_INF);
+        assert_eq!(half.add(Interval::point(1)).lo, 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Static analysis for MiniLang.
+//!
+//! This crate is the static counterpart of the tracing interpreter: where
+//! `interp` observes one concrete execution at a time, `analysis` computes
+//! facts that hold over *every* execution. It provides
+//!
+//! - [`cfg`]: control-flow graphs built from the typed AST — basic blocks,
+//!   dominators, and natural-loop detection;
+//! - [`dataflow`]: a generic monotone framework (worklist solver over a
+//!   join-semilattice of facts) with optional branch-edge refinement and
+//!   widening;
+//! - four instances: [`reaching`] definitions, [`liveness`], constant
+//!   propagation ([`constprop`]) and interval analysis ([`interval`]) with a
+//!   divergence screen;
+//! - [`facts`]: the distilled per-program summary (`decided` guards +
+//!   refined reachability) consumed by `symexec` to prune statically
+//!   infeasible branches; and
+//! - [`lint`]: structured diagnostics (dead code, unused definitions,
+//!   constant guards, possibly-uninitialized reads, divergent loops)
+//!   surfaced by the `liger-lint` binary and the serving layer.
+//!
+//! Soundness contract: every fact is an over-approximation of the set of
+//! concrete executions, conditioned on the execution reaching the program
+//! point and the evaluated expression producing a value (a run that stops
+//! early with a runtime error vacuously satisfies all facts about the
+//! unreached suffix). The differential proptest in
+//! `tests/analysis_properties.rs` checks exactly this contract against the
+//! interpreter.
+
+pub mod bitset;
+pub mod cfg;
+pub mod constprop;
+pub mod dataflow;
+pub mod facts;
+pub mod interval;
+pub mod lint;
+pub mod liveness;
+pub mod reaching;
+pub mod vars;
+
+pub use cfg::{BasicBlock, BlockId, Cfg, NaturalLoop, Terminator};
+pub use dataflow::{solve, Dataflow, Direction, Solution};
+pub use facts::{program_facts, Analyzed, ProgramFacts};
+pub use lint::{Diagnostic, LintKind, LintReport, Severity};
+pub use vars::VarUniverse;

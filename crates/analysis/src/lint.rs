@@ -1,0 +1,594 @@
+//! Structured diagnostics derived from the dataflow fixpoints.
+//!
+//! Every lint runs on always-terminating analyses (widening bounds the
+//! interval fixpoint), so `run` is safe to call on arbitrary submitted
+//! sources. Severities split the report in two:
+//!
+//! - [`Severity::Fatal`] diagnostics prove the program faults or diverges
+//!   on every execution that reaches the flagged point — the data
+//!   pipeline rejects such programs before tracing;
+//! - [`Severity::Warning`] diagnostics flag suspicious-but-runnable code
+//!   (dead statements, unused definitions, constant guards). The distractor
+//!   engine injects exactly this kind of code on purpose, so warnings must
+//!   never gate generation — only surfaced to users.
+
+use crate::cfg::Terminator;
+use crate::constprop::ConstProp;
+use crate::facts::Analyzed;
+use crate::interval::IntervalAnalysis;
+use crate::vars::{expr_vars, stmt_def, stmt_uses, DefKind};
+use interp::Value;
+use minilang::{BinOp, Expr, ExprKind, Program, Stmt, StmtId, StmtKind};
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but runnable.
+    Warning,
+    /// Provably faults or diverges when reached.
+    Fatal,
+}
+
+/// The kind of defect a diagnostic reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// Statements no execution can reach.
+    DeadCode,
+    /// A definition whose value is never read.
+    UnusedDef,
+    /// A guard that is true on every execution reaching it.
+    GuardAlwaysTrue,
+    /// A guard that is false on every execution reaching it.
+    GuardAlwaysFalse,
+    /// A read no definition reaches.
+    PossiblyUninitRead,
+    /// A loop that provably never terminates once entered — and is
+    /// provably entered.
+    DivergentLoop,
+    /// A loop with an invariant, undecided guard and no other exit: it
+    /// never terminates if entered.
+    MaybeDivergentLoop,
+    /// A division or modulus whose divisor is provably zero.
+    DivisionByZero,
+}
+
+impl LintKind {
+    /// Kebab-case name used in rendered diagnostics and wire formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::DeadCode => "dead-code",
+            LintKind::UnusedDef => "unused-def",
+            LintKind::GuardAlwaysTrue => "guard-always-true",
+            LintKind::GuardAlwaysFalse => "guard-always-false",
+            LintKind::PossiblyUninitRead => "possibly-uninit-read",
+            LintKind::DivergentLoop => "divergent-loop",
+            LintKind::MaybeDivergentLoop => "maybe-divergent-loop",
+            LintKind::DivisionByZero => "division-by-zero",
+        }
+    }
+
+    /// The severity class of this kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::PossiblyUninitRead
+            | LintKind::DivergentLoop
+            | LintKind::DivisionByZero => Severity::Fatal,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+/// One diagnostic, anchored to a statement and source line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// What was found.
+    pub kind: LintKind,
+    /// Severity class (derived from `kind`).
+    pub severity: Severity,
+    /// The anchoring statement.
+    pub stmt: StmtId,
+    /// 1-based source line of that statement.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(kind: LintKind, stmt: &Stmt, message: String) -> Diagnostic {
+        Diagnostic { kind, severity: kind.severity(), stmt: stmt.id, line: stmt.line, message }
+    }
+
+    /// `line N: [severity] kind: message`.
+    pub fn render(&self) -> String {
+        let sev = match self.severity {
+            Severity::Fatal => "fatal",
+            Severity::Warning => "warning",
+        };
+        format!("line {}: [{}] {}: {}", self.line, sev, self.kind.name(), self.message)
+    }
+}
+
+/// All diagnostics for one program.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Diagnostics sorted by line, then kind.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True if nothing was flagged.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True if any diagnostic is [`Severity::Fatal`].
+    pub fn has_fatal(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Fatal)
+    }
+
+    /// The fatal subset.
+    pub fn fatal(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Fatal)
+    }
+
+    /// One rendered line per diagnostic.
+    pub fn render(&self) -> String {
+        self.diagnostics.iter().map(Diagnostic::render).collect::<Vec<_>>().join("\n")
+    }
+}
+
+/// Runs every lint on `program` (ids assigned, typechecked).
+pub fn run(program: &Program) -> LintReport {
+    run_analyzed(&Analyzed::of(program))
+}
+
+/// Runs every lint on an existing analysis result.
+pub fn run_analyzed(a: &Analyzed<'_>) -> LintReport {
+    let mut out = Vec::new();
+    dead_code(a, &mut out);
+    unused_defs(a, &mut out);
+    guard_lints(a, &mut out);
+    uninit_reads(a, &mut out);
+    loop_lints(a, &mut out);
+    division_by_zero(a, &mut out);
+    out.sort_by_key(|d| (d.line, d.kind, d.stmt));
+    LintReport { diagnostics: out }
+}
+
+/// Dead statements, collapsed: one diagnostic per run of consecutive
+/// preorder ids, anchored at the run's first statement.
+fn dead_code(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
+    let mut dead: Vec<&Stmt> = a
+        .program
+        .statements()
+        .into_iter()
+        .filter(|s| !a.is_reachable(s.id))
+        .collect();
+    dead.sort_by_key(|s| s.id.0);
+    let mut i = 0;
+    while i < dead.len() {
+        let mut j = i;
+        while j + 1 < dead.len() && dead[j + 1].id.0 == dead[j].id.0 + 1 {
+            j += 1;
+        }
+        let count = j - i + 1;
+        let message = if count == 1 {
+            "statement is unreachable".to_string()
+        } else {
+            format!("{} statements are unreachable (lines {}-{})", count, dead[i].line, dead[j].line)
+        };
+        out.push(Diagnostic::new(LintKind::DeadCode, dead[i], message));
+        i = j + 1;
+    }
+}
+
+/// Strong definitions whose slot is dead immediately after them.
+fn unused_defs(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
+    for stmt in a.program.statements() {
+        if !a.is_reachable(stmt.id) {
+            continue;
+        }
+        let Some((name, DefKind::Strong)) = stmt_def(stmt) else { continue };
+        let Some(slot) = a.universe.slot(name) else { continue };
+        let Some((_, after)) = a.live_facts.get(&stmt.id) else { continue };
+        if !after.contains(slot) {
+            let what = match stmt.kind {
+                StmtKind::Let { .. } => "declared",
+                _ => "assigned",
+            };
+            out.push(Diagnostic::new(
+                LintKind::UnusedDef,
+                stmt,
+                format!("value {what} to `{name}` is never read"),
+            ));
+        }
+    }
+}
+
+/// Constant `if` guards, and always-false loop guards.
+fn guard_lints(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
+    for (&guard, &value) in &a.decided {
+        let stmt = a.cfg.stmt(guard);
+        match (&stmt.kind, value) {
+            (StmtKind::If { .. }, true) => out.push(Diagnostic::new(
+                LintKind::GuardAlwaysTrue,
+                stmt,
+                "condition is true on every execution reaching it".to_string(),
+            )),
+            (_, false) => out.push(Diagnostic::new(
+                LintKind::GuardAlwaysFalse,
+                stmt,
+                "condition is false on every execution reaching it".to_string(),
+            )),
+            // Always-true loop guards are handled by the divergence
+            // screen; `while (true) { ... break; }` is idiomatic.
+            (_, true) => {}
+        }
+    }
+}
+
+/// Reads no definition site reaches.
+fn uninit_reads(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
+    for stmt in a.program.statements() {
+        if !a.is_reachable(stmt.id) {
+            continue;
+        }
+        let Some((before, _)) = a.reaching_facts.get(&stmt.id) else { continue };
+        let mut uses = Vec::new();
+        stmt_uses(stmt, &mut uses);
+        uses.sort_unstable();
+        uses.dedup();
+        for name in uses {
+            let Some(slot) = a.universe.slot(name) else { continue };
+            if before.is_disjoint(a.reaching.slot_mask(slot)) {
+                out.push(Diagnostic::new(
+                    LintKind::PossiblyUninitRead,
+                    stmt,
+                    format!("`{name}` may be read before any definition reaches it"),
+                ));
+            }
+        }
+    }
+}
+
+/// The divergence screen over natural loops.
+fn loop_lints(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
+    for l in &a.loops {
+        if !a.reachable_blocks[l.header.0] {
+            continue;
+        }
+        let Some(guard) = l.guard else { continue };
+        // An exit edge is any body→non-body edge other than the header's
+        // own guard-false edge (break blocks and return blocks sit outside
+        // the natural loop body, so breaks/returns show up here).
+        let has_exit = l.body.iter().any(|b| {
+            let succs = a.cfg.blocks[b.0].term.successors();
+            if *b == l.header {
+                if let Terminator::Branch { then_to, .. } = a.cfg.blocks[b.0].term {
+                    return !l.body.contains(&then_to);
+                }
+            }
+            succs.iter().any(|s| !l.body.contains(s))
+        });
+        if has_exit {
+            continue;
+        }
+        let stmt = a.cfg.stmt(guard);
+        match a.decided.get(&guard) {
+            Some(true) => out.push(Diagnostic::new(
+                LintKind::DivergentLoop,
+                stmt,
+                "loop guard is always true and the body has no break or return: \
+                 the loop never terminates"
+                    .to_string(),
+            )),
+            Some(false) => {}
+            None => {
+                // Invariant guard + no exits: diverges whenever entered.
+                let Some(cond) = a.cfg.guard_cond(guard) else { continue };
+                let mut cond_vars = Vec::new();
+                expr_vars(cond, &mut cond_vars);
+                let modified = l.body.iter().any(|b| {
+                    a.cfg.blocks[b.0].stmts.iter().any(|&sid| {
+                        stmt_def(a.cfg.stmt(sid))
+                            .is_some_and(|(name, _)| cond_vars.contains(&name))
+                    })
+                });
+                if !modified {
+                    out.push(Diagnostic::new(
+                        LintKind::MaybeDivergentLoop,
+                        stmt,
+                        "loop guard never changes inside the body and the body has no \
+                         break or return: the loop never terminates if entered"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Provably-zero divisors, short-circuit-aware.
+fn division_by_zero(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
+    let cp = ConstProp::new(&a.universe);
+    let ia = IntervalAnalysis::new(&a.universe);
+    let ctx = DivCtx { cp, ia };
+    for stmt in a.program.statements() {
+        if !a.is_reachable(stmt.id) {
+            continue;
+        }
+        // Both fact maps share keys (same reachable blocks); envs at the
+        // point each expression evaluates.
+        let (Some((cenv, _)), Some((ienv, _))) =
+            (a.const_facts.get(&stmt.id), a.interval_facts.get(&stmt.id))
+        else {
+            continue;
+        };
+        let mut exprs: Vec<&Expr> = Vec::new();
+        match &stmt.kind {
+            StmtKind::Let { init, .. } => exprs.push(init),
+            StmtKind::Assign { target, value, .. } => {
+                if let minilang::LValue::Index(_, idx) = target {
+                    exprs.push(idx);
+                }
+                exprs.push(value);
+            }
+            StmtKind::Return(Some(e)) => exprs.push(e),
+            StmtKind::If { cond, .. }
+            | StmtKind::While { cond, .. }
+            | StmtKind::For { cond, .. } => exprs.push(cond),
+            _ => {}
+        }
+        for e in exprs {
+            ctx.walk(stmt, e, cenv, ienv, out);
+        }
+    }
+}
+
+struct DivCtx<'a> {
+    cp: ConstProp<'a>,
+    ia: IntervalAnalysis<'a>,
+}
+
+impl DivCtx<'_> {
+    fn const_bool(&self, e: &Expr, cenv: &crate::constprop::ConstEnv) -> Option<bool> {
+        match self.cp.eval(e, cenv).as_const() {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn provably_zero(
+        &self,
+        e: &Expr,
+        cenv: &crate::constprop::ConstEnv,
+        ienv: &crate::interval::AbsEnv,
+    ) -> bool {
+        if let Some(Value::Int(0)) = self.cp.eval(e, cenv).as_const() {
+            return true;
+        }
+        self.ia
+            .eval(e, ienv)
+            .as_int()
+            .and_then(|i| i.as_point())
+            .is_some_and(|v| v == 0)
+    }
+
+    fn walk(
+        &self,
+        stmt: &Stmt,
+        e: &Expr,
+        cenv: &crate::constprop::ConstEnv,
+        ienv: &crate::interval::AbsEnv,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        match &e.kind {
+            ExprKind::Binary(BinOp::And, l, r) => {
+                self.walk(stmt, l, cenv, ienv, out);
+                // The right side only evaluates when the left is true.
+                if self.const_bool(l, cenv) != Some(false) {
+                    self.walk(stmt, r, cenv, ienv, out);
+                }
+            }
+            ExprKind::Binary(BinOp::Or, l, r) => {
+                self.walk(stmt, l, cenv, ienv, out);
+                if self.const_bool(l, cenv) != Some(true) {
+                    self.walk(stmt, r, cenv, ienv, out);
+                }
+            }
+            ExprKind::Binary(op @ (BinOp::Div | BinOp::Mod), l, r) => {
+                self.walk(stmt, l, cenv, ienv, out);
+                self.walk(stmt, r, cenv, ienv, out);
+                if self.provably_zero(r, cenv, ienv) {
+                    let what = if *op == BinOp::Div { "division" } else { "modulus" };
+                    out.push(Diagnostic::new(
+                        LintKind::DivisionByZero,
+                        stmt,
+                        format!("{what} by a divisor that is always zero"),
+                    ));
+                }
+            }
+            ExprKind::Binary(_, l, r) => {
+                self.walk(stmt, l, cenv, ienv, out);
+                self.walk(stmt, r, cenv, ienv, out);
+            }
+            ExprKind::Unary(_, inner) => self.walk(stmt, inner, cenv, ienv, out),
+            ExprKind::Index(b, i) => {
+                self.walk(stmt, b, cenv, ienv, out);
+                self.walk(stmt, i, cenv, ienv, out);
+            }
+            ExprKind::Call(_, args) => {
+                for arg in args {
+                    self.walk(stmt, arg, cenv, ienv, out);
+                }
+            }
+            ExprKind::ArrayLit(elems) => {
+                for el in elems {
+                    self.walk(stmt, el, cenv, ienv, out);
+                }
+            }
+            ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) | ExprKind::Var(_) => {
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> LintReport {
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        run(&p)
+    }
+
+    fn kinds(report: &LintReport) -> Vec<LintKind> {
+        report.diagnostics.iter().map(|d| d.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let r = lint(
+            "fn f(n: int) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < n; i += 1) { s += i; }
+                return s;
+            }",
+        );
+        assert!(r.is_clean(), "unexpected diagnostics:\n{}", r.render());
+    }
+
+    #[test]
+    fn code_after_return_is_dead_and_collapsed() {
+        let r = lint(
+            "fn f() -> int {
+                return 1;
+                let x: int = 2;
+                let y: int = 3;
+                return x + y;
+            }",
+        );
+        let dead: Vec<_> =
+            r.diagnostics.iter().filter(|d| d.kind == LintKind::DeadCode).collect();
+        assert_eq!(dead.len(), 1, "consecutive dead statements collapse:\n{}", r.render());
+        assert_eq!(dead[0].severity, Severity::Warning);
+        assert!(!r.has_fatal());
+    }
+
+    #[test]
+    fn unused_definition_is_flagged() {
+        let r = lint(
+            "fn f(x: int) -> int {
+                let unused: int = x * 2;
+                return x;
+            }",
+        );
+        assert_eq!(kinds(&r), vec![LintKind::UnusedDef]);
+        assert!(r.diagnostics[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn constant_if_guard_is_flagged_and_dead_arm_reported() {
+        let r = lint(
+            "fn f(x: int) -> int {
+                if (1 > 2) { return 0; }
+                return x;
+            }",
+        );
+        let ks = kinds(&r);
+        assert!(ks.contains(&LintKind::GuardAlwaysFalse), "{}", r.render());
+        assert!(ks.contains(&LintKind::DeadCode), "{}", r.render());
+        assert!(!r.has_fatal());
+    }
+
+    #[test]
+    fn divergent_loop_is_fatal() {
+        let r = lint(
+            "fn f() -> int {
+                let z: int = 0;
+                while (z < 1) { z *= 1; }
+                return z;
+            }",
+        );
+        assert!(
+            kinds(&r).contains(&LintKind::DivergentLoop),
+            "constprop proves z stays 0:\n{}",
+            r.render()
+        );
+        assert!(r.has_fatal());
+    }
+
+    #[test]
+    fn invariant_guard_without_exit_is_maybe_divergent() {
+        let r = lint(
+            "fn f(n: int) -> int {
+                let s: int = 0;
+                while (n > 0) { s += 1; }
+                return s;
+            }",
+        );
+        assert!(kinds(&r).contains(&LintKind::MaybeDivergentLoop), "{}", r.render());
+        assert!(!r.has_fatal(), "may terminate when n <= 0");
+    }
+
+    #[test]
+    fn while_true_with_break_is_not_flagged() {
+        let r = lint(
+            "fn f(n: int) -> int {
+                let i: int = 0;
+                while (true) {
+                    i += 1;
+                    if (i >= n) { break; }
+                }
+                return i;
+            }",
+        );
+        assert!(r.is_clean(), "idiomatic while(true)+break:\n{}", r.render());
+    }
+
+    #[test]
+    fn division_by_constant_zero_is_fatal() {
+        let r = lint("fn f(x: int) -> int { let y: int = x / (0 * 1); return y; }");
+        assert!(kinds(&r).contains(&LintKind::DivisionByZero), "{}", r.render());
+        assert!(r.has_fatal());
+    }
+
+    #[test]
+    fn short_circuit_guards_division() {
+        // The right side of `||` never evaluates when x == 0 is undecided;
+        // the divisor x is not provably zero, so nothing fires.
+        let r = lint(
+            "fn f(x: int) -> bool {
+                let ok: bool = x == 0 || 1 / x > 0;
+                return ok;
+            }",
+        );
+        assert!(!r.has_fatal(), "{}", r.render());
+        // And a divisor behind a false short-circuit is skipped entirely.
+        let r2 = lint(
+            "fn f(x: int) -> bool {
+                let ok: bool = false && 1 / 0 > 0;
+                return ok;
+            }",
+        );
+        assert!(
+            !kinds(&r2).contains(&LintKind::DivisionByZero),
+            "dead rhs must be skipped:\n{}",
+            r2.render()
+        );
+    }
+
+    #[test]
+    fn divergent_loop_in_dead_code_is_not_fatal() {
+        let r = lint(
+            "fn f(x: int) -> int {
+                if (false) {
+                    while (true) { x += 1; }
+                }
+                return x;
+            }",
+        );
+        assert!(!r.has_fatal(), "unreachable loops cannot diverge:\n{}", r.render());
+    }
+}

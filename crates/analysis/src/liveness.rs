@@ -1,0 +1,124 @@
+//! Live-variable analysis (backward) over [`BitSet`] facts per slot.
+//!
+//! `live_in(s) = uses(s) ∪ (live_out(s) \ strong_defs(s))`. Weak
+//! (array-element) definitions do not kill: the rest of the array flows
+//! through. Shadowed names share a slot, which can only *over*-report
+//! liveness — safe for the unused-definition lint, which needs dead-ness
+//! to be certain.
+
+use crate::bitset::BitSet;
+use crate::dataflow::{Dataflow, Direction};
+use crate::vars::{expr_vars, stmt_def, stmt_uses, DefKind, VarUniverse};
+use minilang::{Expr, Stmt};
+
+/// The liveness problem for one program.
+pub struct Liveness<'a> {
+    universe: &'a VarUniverse,
+}
+
+impl<'a> Liveness<'a> {
+    /// A liveness instance over `universe`.
+    pub fn new(universe: &'a VarUniverse) -> Liveness<'a> {
+        Liveness { universe }
+    }
+}
+
+impl Dataflow for Liveness<'_> {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> BitSet {
+        // Nothing is live after the function returns.
+        BitSet::new(self.universe.len())
+    }
+
+    fn init(&self) -> BitSet {
+        BitSet::new(self.universe.len())
+    }
+
+    fn join(&self, into: &mut BitSet, from: &BitSet) -> bool {
+        into.union_with(from)
+    }
+
+    fn transfer_stmt(&self, stmt: &Stmt, fact: &mut BitSet) {
+        if let Some((name, DefKind::Strong)) = stmt_def(stmt) {
+            if let Some(slot) = self.universe.slot(name) {
+                fact.remove(slot);
+            }
+        }
+        let mut uses = Vec::new();
+        stmt_uses(stmt, &mut uses);
+        for name in uses {
+            if let Some(slot) = self.universe.slot(name) {
+                fact.insert(slot);
+            }
+        }
+    }
+
+    fn transfer_guard(&self, _guard: &Stmt, cond: &Expr, fact: &mut BitSet) {
+        let mut uses = Vec::new();
+        expr_vars(cond, &mut uses);
+        for name in uses {
+            if let Some(slot) = self.universe.slot(name) {
+                fact.insert(slot);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dataflow::{solve, stmt_facts};
+
+    fn live_after(src: &str, stmt_idx: usize, name: &str) -> bool {
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let u = VarUniverse::of(&p);
+        let cfg = Cfg::build(&p);
+        let lv = Liveness::new(&u);
+        let sol = solve(&cfg, &lv);
+        let facts = stmt_facts(&cfg, &lv, &sol);
+        let id = p.statements()[stmt_idx].id;
+        facts[&id].1.contains(u.slot(name).unwrap())
+    }
+
+    #[test]
+    fn dead_store_is_not_live() {
+        let src = "fn f(x: int) -> int {
+            let y: int = 1;
+            y = 2;
+            return y;
+        }";
+        // After `let y = 1`, y is overwritten before any use: dead.
+        assert!(!live_after(src, 0, "y"));
+        // After `y = 2`, y is returned: live.
+        assert!(live_after(src, 1, "y"));
+    }
+
+    #[test]
+    fn loop_guard_keeps_induction_variable_live() {
+        let src = "fn f(n: int) -> int {
+            let i: int = 0;
+            while (i < n) { i += 1; }
+            return i;
+        }";
+        assert!(live_after(src, 0, "i"));
+        assert!(live_after(src, 0, "n"));
+        assert!(live_after(src, 2, "i"), "i += 1 feeds the next guard check");
+    }
+
+    #[test]
+    fn weak_def_keeps_array_live_through_element_update() {
+        let src = "fn f(i: int) -> int {
+            let a: array<int> = [1, 2, 3];
+            a[0] = i;
+            return a[1];
+        }";
+        assert!(live_after(src, 0, "a"), "element update reads the array");
+    }
+}

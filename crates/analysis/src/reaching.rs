@@ -1,0 +1,188 @@
+//! Reaching definitions over [`BitSet`] facts.
+//!
+//! Definition sites are parameters plus every defining statement
+//! (`let`, `x = e`, `a[i] = e`). A strong definition kills all other
+//! sites of its slot; a weak (array-element) definition only generates —
+//! the previous contents still contribute to the value. The lint layer
+//! uses the before-facts to flag reads no definition reaches.
+
+use crate::bitset::BitSet;
+use crate::dataflow::{Dataflow, Direction};
+use crate::vars::{stmt_def, DefKind, VarUniverse};
+use minilang::{Program, Stmt, StmtId};
+use std::collections::HashMap;
+
+/// One definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSite {
+    /// The implicit definition of parameter `i` at entry.
+    Param(usize),
+    /// A defining statement.
+    Stmt(StmtId),
+}
+
+/// The reaching-definitions problem for one program.
+pub struct ReachingDefs {
+    /// site index → (slot, site, kind).
+    sites: Vec<(usize, DefSite, DefKind)>,
+    site_of_stmt: HashMap<StmtId, usize>,
+    /// slot → mask of its definition sites.
+    slot_mask: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// Enumerates the definition sites of `program`.
+    pub fn new(program: &Program, universe: &VarUniverse) -> ReachingDefs {
+        let mut sites = Vec::new();
+        for slot in 0..universe.len() {
+            if universe.is_param(slot) {
+                sites.push((slot, DefSite::Param(slot), DefKind::Strong));
+            }
+        }
+        let mut site_of_stmt = HashMap::new();
+        for stmt in program.statements() {
+            if let Some((name, kind)) = stmt_def(stmt) {
+                let slot = universe.slot(name).expect("defined name is declared");
+                site_of_stmt.insert(stmt.id, sites.len());
+                sites.push((slot, DefSite::Stmt(stmt.id), kind));
+            }
+        }
+        let mut slot_mask = vec![BitSet::new(sites.len()); universe.len()];
+        for (i, (slot, _, _)) in sites.iter().enumerate() {
+            slot_mask[*slot].insert(i);
+        }
+        ReachingDefs { sites, site_of_stmt, slot_mask }
+    }
+
+    /// The sites defining `slot`.
+    pub fn slot_mask(&self, slot: usize) -> &BitSet {
+        &self.slot_mask[slot]
+    }
+
+    /// The site index of a defining statement.
+    pub fn site_of(&self, stmt: StmtId) -> Option<usize> {
+        self.site_of_stmt.get(&stmt).copied()
+    }
+
+    /// Total number of definition sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+}
+
+impl Dataflow for ReachingDefs {
+    type Fact = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> BitSet {
+        let mut f = BitSet::new(self.sites.len());
+        for (i, (_, site, _)) in self.sites.iter().enumerate() {
+            if matches!(site, DefSite::Param(_)) {
+                f.insert(i);
+            }
+        }
+        f
+    }
+
+    fn init(&self) -> BitSet {
+        BitSet::new(self.sites.len())
+    }
+
+    fn join(&self, into: &mut BitSet, from: &BitSet) -> bool {
+        into.union_with(from)
+    }
+
+    fn transfer_stmt(&self, stmt: &Stmt, fact: &mut BitSet) {
+        if let Some(site) = self.site_of(stmt.id) {
+            let (slot, _, kind) = self.sites[site];
+            if kind == DefKind::Strong {
+                fact.subtract(&self.slot_mask[slot]);
+            }
+            fact.insert(site);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dataflow::{solve, stmt_facts};
+
+    #[test]
+    fn redefinition_kills_previous_site() {
+        let p = minilang::parse(
+            "fn f(x: int) -> int {
+                let y: int = 1;
+                y = 2;
+                return y;
+            }",
+        )
+        .unwrap();
+        minilang::typecheck(&p).unwrap();
+        let u = VarUniverse::of(&p);
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::new(&p, &u);
+        let sol = solve(&cfg, &rd);
+        let facts = stmt_facts(&cfg, &rd, &sol);
+        let stmts = p.statements();
+        // At `return y`, only the `y = 2` definition reaches.
+        let (before_ret, _) = &facts[&stmts[2].id];
+        let y_slot = u.slot("y").unwrap();
+        let reaching: Vec<usize> =
+            before_ret.iter().filter(|i| rd.slot_mask(y_slot).contains(*i)).collect();
+        assert_eq!(reaching, vec![rd.site_of(stmts[1].id).unwrap()]);
+    }
+
+    #[test]
+    fn both_branch_defs_reach_the_join() {
+        let p = minilang::parse(
+            "fn f(b: bool) -> int {
+                let y: int = 0;
+                if (b) { y = 1; } else { y = 2; }
+                return y;
+            }",
+        )
+        .unwrap();
+        minilang::typecheck(&p).unwrap();
+        let u = VarUniverse::of(&p);
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::new(&p, &u);
+        let sol = solve(&cfg, &rd);
+        let facts = stmt_facts(&cfg, &rd, &sol);
+        let stmts = p.statements();
+        let ret = stmts.iter().find(|s| matches!(s.kind, minilang::StmtKind::Return(_))).unwrap();
+        let (before_ret, _) = &facts[&ret.id];
+        let y_slot = u.slot("y").unwrap();
+        let reaching: Vec<usize> =
+            before_ret.iter().filter(|i| rd.slot_mask(y_slot).contains(*i)).collect();
+        assert_eq!(reaching.len(), 2, "then- and else-defs both reach");
+    }
+
+    #[test]
+    fn weak_array_def_does_not_kill() {
+        let p = minilang::parse(
+            "fn f(i: int) -> array<int> {
+                let a: array<int> = [1, 2];
+                a[i] = 9;
+                return a;
+            }",
+        )
+        .unwrap();
+        minilang::typecheck(&p).unwrap();
+        let u = VarUniverse::of(&p);
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::new(&p, &u);
+        let sol = solve(&cfg, &rd);
+        let facts = stmt_facts(&cfg, &rd, &sol);
+        let stmts = p.statements();
+        let (before_ret, _) = &facts[&stmts[2].id];
+        let a_slot = u.slot("a").unwrap();
+        let reaching: Vec<usize> =
+            before_ret.iter().filter(|i| rd.slot_mask(a_slot).contains(*i)).collect();
+        assert_eq!(reaching.len(), 2, "let and element-update both reach");
+    }
+}

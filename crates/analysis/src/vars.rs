@@ -1,0 +1,211 @@
+//! The variable universe of a program and syntactic def/use extraction.
+//!
+//! Variables are keyed by name, params first, then `let`s in statement
+//! order — the same slotting as `interp::VarLayout`, where shadowed names
+//! share a slot. Because a shared slot conflates distinct variables, the
+//! value analyses (`constprop`, `interval`) pin every *shadowed* slot to ⊤:
+//! a claim about a merged slot could otherwise survive a scope exit that
+//! concretely restores the outer variable's value.
+
+use minilang::{Expr, ExprKind, LValue, Program, Stmt, StmtKind};
+use std::collections::HashMap;
+
+/// The variables of one program, each with a stable slot.
+#[derive(Debug, Clone)]
+pub struct VarUniverse {
+    names: Vec<String>,
+    types: Vec<minilang::Type>,
+    decls: Vec<u32>,
+    slot_of: HashMap<String, usize>,
+    params: usize,
+}
+
+impl VarUniverse {
+    /// Builds the universe of `program`: params, then `let`s in pre-order.
+    pub fn of(program: &Program) -> VarUniverse {
+        let mut u = VarUniverse {
+            names: Vec::new(),
+            types: Vec::new(),
+            decls: Vec::new(),
+            slot_of: HashMap::new(),
+            params: 0,
+        };
+        for p in &program.function.params {
+            u.declare(&p.name, p.ty);
+        }
+        u.params = u.names.len();
+        for stmt in program.statements() {
+            if let StmtKind::Let { name, ty, .. } = &stmt.kind {
+                u.declare(name, *ty);
+            }
+        }
+        u
+    }
+
+    fn declare(&mut self, name: &str, ty: minilang::Type) {
+        if let Some(&slot) = self.slot_of.get(name) {
+            self.decls[slot] += 1;
+        } else {
+            self.slot_of.insert(name.to_string(), self.names.len());
+            self.names.push(name.to_string());
+            self.types.push(ty);
+            self.decls.push(1);
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the program has no variables at all.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The slot of `name`, if declared anywhere.
+    pub fn slot(&self, name: &str) -> Option<usize> {
+        self.slot_of.get(name).copied()
+    }
+
+    /// The name occupying `slot`.
+    pub fn name(&self, slot: usize) -> &str {
+        &self.names[slot]
+    }
+
+    /// Declared type of the slot's (first) declaration.
+    pub fn ty(&self, slot: usize) -> minilang::Type {
+        self.types[slot]
+    }
+
+    /// True if the slot is a function parameter.
+    pub fn is_param(&self, slot: usize) -> bool {
+        slot < self.params
+    }
+
+    /// True if more than one declaration maps to this slot (shadowing).
+    /// Value analyses must keep such slots at ⊤.
+    pub fn is_shadowed(&self, slot: usize) -> bool {
+        self.decls[slot] > 1
+    }
+}
+
+/// How a statement writes its target variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefKind {
+    /// The whole value is replaced (`let`, `x = e`, `x += e`).
+    Strong,
+    /// Only part is replaced (`a[i] = e`): earlier definitions still
+    /// contribute to the value.
+    Weak,
+}
+
+/// The variable a statement defines, if any.
+pub fn stmt_def(stmt: &Stmt) -> Option<(&str, DefKind)> {
+    match &stmt.kind {
+        StmtKind::Let { name, .. } => Some((name, DefKind::Strong)),
+        StmtKind::Assign { target: LValue::Var(name), .. } => Some((name, DefKind::Strong)),
+        StmtKind::Assign { target: LValue::Index(name, _), .. } => Some((name, DefKind::Weak)),
+        _ => None,
+    }
+}
+
+/// Collects every variable `expr` reads into `out`.
+pub fn expr_vars<'e>(expr: &'e Expr, out: &mut Vec<&'e str>) {
+    match &expr.kind {
+        ExprKind::Var(name) => out.push(name),
+        ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) => {}
+        ExprKind::Unary(_, inner) => expr_vars(inner, out),
+        ExprKind::Binary(_, l, r) => {
+            expr_vars(l, out);
+            expr_vars(r, out);
+        }
+        ExprKind::Index(base, idx) => {
+            expr_vars(base, out);
+            expr_vars(idx, out);
+        }
+        ExprKind::Call(_, args) | ExprKind::ArrayLit(args) => {
+            for a in args {
+                expr_vars(a, out);
+            }
+        }
+    }
+}
+
+/// Collects every variable the statement itself reads (excluding nested
+/// blocks; for `if`/`while`/`for` this is the guard condition).
+pub fn stmt_uses<'s>(stmt: &'s Stmt, out: &mut Vec<&'s str>) {
+    match &stmt.kind {
+        StmtKind::Let { init, .. } => expr_vars(init, out),
+        StmtKind::Assign { target, op, value } => {
+            expr_vars(value, out);
+            match target {
+                LValue::Var(name) => {
+                    // Compound assignment reads the previous value.
+                    if *op != minilang::AssignOp::Set {
+                        out.push(name);
+                    }
+                }
+                LValue::Index(name, idx) => {
+                    // Element update reads the array and the index.
+                    out.push(name);
+                    expr_vars(idx, out);
+                }
+            }
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } | StmtKind::For { cond, .. } => {
+            expr_vars(cond, out)
+        }
+        StmtKind::Return(Some(e)) => expr_vars(e, out),
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_orders_params_then_lets_and_detects_shadowing() {
+        let p = minilang::parse(
+            "fn f(x: int, b: bool) -> int {
+                let y: int = 0;
+                if (b) { let y: int = 1; y += x; }
+                return y;
+            }",
+        )
+        .unwrap();
+        let u = VarUniverse::of(&p);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.slot("x"), Some(0));
+        assert_eq!(u.slot("b"), Some(1));
+        assert_eq!(u.slot("y"), Some(2));
+        assert!(u.is_param(0) && !u.is_param(2));
+        assert!(u.is_shadowed(2), "y is declared twice");
+        assert!(!u.is_shadowed(0));
+    }
+
+    #[test]
+    fn uses_and_defs_of_assignments() {
+        let p = minilang::parse(
+            "fn f(a: array<int>, i: int) -> int {
+                a[i] = a[i + 1];
+                let s: int = 0;
+                s += i;
+                return s;
+            }",
+        )
+        .unwrap();
+        let stmts = p.statements();
+        // a[i] = a[i+1]: weak def of a; uses a (rhs), a (target), i.
+        assert_eq!(stmt_def(stmts[0]), Some(("a", DefKind::Weak)));
+        let mut uses = Vec::new();
+        stmt_uses(stmts[0], &mut uses);
+        assert!(uses.contains(&"a") && uses.contains(&"i"));
+        // s += i: strong def of s; uses s and i.
+        assert_eq!(stmt_def(stmts[2]), Some(("s", DefKind::Strong)));
+        uses.clear();
+        stmt_uses(stmts[2], &mut uses);
+        assert!(uses.contains(&"s") && uses.contains(&"i"));
+    }
+}

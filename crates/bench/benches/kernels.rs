@@ -115,7 +115,7 @@ fn bench_model(c: &mut Criterion) {
     // Ablation kernel comparison: TreeLSTM statement embedding vs. a flat
     // token-RNN alternative (DESIGN.md §4 design-choice bench).
     let (pool, tree_id) = {
-        let sym = blended[0].symbolic.stmt_trees(&program);
+        let sym = blended[0].symbolic.stmt_trees(&program).unwrap();
         let tree = liger::encode_tree(&sym[0], &vocab);
         let mut pool = liger::EncPool::new();
         let id = pool.intern_tree(&tree);

@@ -1,0 +1,131 @@
+//! Static-analysis throughput and symexec pruning effect on the datagen
+//! corpus.
+//!
+//! Prints parseable `ANALYSIS …` lines (consumed by
+//! `scripts/bench_json.sh` into `BENCH_analysis.json`):
+//!
+//! - `ANALYSIS mode=lint …` — full lint pipeline (CFG + four dataflow
+//!   fixpoints + diagnostic passes) in programs analyzed per second;
+//! - `ANALYSIS mode=facts …` — the distilled `program_facts` summary the
+//!   symbolic executor consumes;
+//! - `ANALYSIS mode=symexec …` — one row per pruning setting over the
+//!   whole corpus, verifying the enumerated path multiset is identical
+//!   and reporting the solver-call reduction.
+
+use datagen::{with_distractors, with_opaque_distractor, Behavior, Knobs, Strategy};
+use minilang::Program;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Every shipped template with plain knobs — the corpus `liger-lint`
+/// gates in CI, and a realistic mix of loops, branches, and arrays.
+fn corpus() -> Vec<Program> {
+    let knobs = Knobs::plain();
+    Behavior::ALL
+        .iter()
+        .map(|b| b.render(&knobs))
+        .chain(Strategy::ALL.iter().map(|s| s.render(&knobs)))
+        .map(|src| minilang::parse(&src).expect("template parses"))
+        .collect()
+}
+
+/// The corpus as datagen's distractor engine emits it (deterministic
+/// seed): constant-initialized dead branches plus one *opaque* dead
+/// branch per program whose guard mentions an input. The opaque guards
+/// stay symbolic under constant folding, so this is where
+/// analysis-guided pruning pays off.
+fn corpus_with_distractors() -> Vec<Program> {
+    let knobs = Knobs::plain();
+    let mut rng = StdRng::seed_from_u64(17);
+    Behavior::ALL
+        .iter()
+        .map(|b| b.render(&knobs))
+        .chain(Strategy::ALL.iter().map(|s| s.render(&knobs)))
+        .map(|src| {
+            let noisy = with_opaque_distractor(&with_distractors(&src, 2, &mut rng), &mut rng);
+            minilang::parse(&noisy).expect("distractor template parses")
+        })
+        .collect()
+}
+
+fn bench_analyses(programs: &[Program]) {
+    for (mode, work) in [
+        ("lint", (|p| analysis::lint::run(p).diagnostics.len()) as fn(&Program) -> usize),
+        ("facts", |p| analysis::program_facts(p).reachable.len()),
+    ] {
+        // Warm up, then measure enough rounds to dominate timer noise.
+        let rounds = 20usize;
+        let mut sink = 0usize;
+        for p in programs {
+            sink = sink.wrapping_add(work(p));
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            for p in programs {
+                sink = sink.wrapping_add(work(p));
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let analyzed = rounds * programs.len();
+        println!(
+            "ANALYSIS mode={mode} programs={} rounds={rounds} secs={secs:.6} \
+             programs_per_sec={:.2} sink={sink}",
+            programs.len(),
+            analyzed as f64 / secs,
+        );
+    }
+}
+
+fn bench_symexec(programs: &[Program]) {
+    let base = symexec::SymExecConfig {
+        max_paths: 16,
+        max_steps: 200,
+        ..symexec::SymExecConfig::default()
+    };
+    let mut rows = Vec::new();
+    let mut paths_unpruned = Vec::new();
+    for use_analysis in [false, true] {
+        let config = symexec::SymExecConfig { use_analysis, ..base.clone() };
+        let mut solver_calls = 0usize;
+        let mut pruned_guards = 0usize;
+        let mut paths_total = 0usize;
+        let start = Instant::now();
+        for (i, p) in programs.iter().enumerate() {
+            let (paths, stats) = symexec::symbolic_execute(p, &config);
+            solver_calls += stats.solver_calls;
+            pruned_guards += stats.pruned_guards;
+            paths_total += paths.len();
+            let mut key: Vec<_> = paths.into_iter().map(|p| p.steps).collect();
+            key.sort();
+            if use_analysis {
+                assert_eq!(paths_unpruned[i], key, "pruning changed the path set");
+            } else {
+                paths_unpruned.push(key);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        rows.push((use_analysis, paths_total, solver_calls, pruned_guards, secs));
+    }
+    let (_, _, calls_off, _, _) = rows[0];
+    for (use_analysis, paths, calls, pruned, secs) in rows {
+        let reduction = if use_analysis && calls_off > 0 {
+            1.0 - calls as f64 / calls_off as f64
+        } else {
+            0.0
+        };
+        println!(
+            "ANALYSIS mode=symexec use_analysis={use_analysis} programs={} paths={paths} \
+             solver_calls={calls} pruned_guards={pruned} call_reduction={reduction:.4} \
+             secs={secs:.6}",
+            programs.len(),
+        );
+    }
+}
+
+fn main() {
+    let programs = corpus();
+    println!("\nstatic-analysis throughput over the {}-template corpus", programs.len());
+    bench_analyses(&programs);
+    bench_symexec(&corpus_with_distractors());
+}

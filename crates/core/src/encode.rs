@@ -380,7 +380,8 @@ impl Default for EncodeOptions {
     }
 }
 
-/// Encodes blended traces against a frozen vocabulary.
+/// Encodes blended traces against a frozen vocabulary. Traces that do not
+/// resolve against `program` (see [`trace::TraceError`]) are skipped.
 pub fn encode_program(
     program: &Program,
     blended: &[BlendedTrace],
@@ -391,8 +392,8 @@ pub fn encode_program(
     let traces = blended
         .iter()
         .take(opts.max_traces)
-        .map(|b| {
-            let trees = b.symbolic.stmt_trees(program);
+        .filter_map(|b| {
+            let trees = b.symbolic.stmt_trees(program).ok()?;
             let skip = trees.len().saturating_sub(opts.max_steps);
             let steps = trees
                 .iter()
@@ -412,7 +413,7 @@ pub fn encode_program(
                         .collect(),
                 })
                 .collect();
-            EncBlended { steps }
+            Some(EncBlended { steps })
         })
         .collect();
     EncodedProgram::from_traces(traces)
@@ -435,7 +436,8 @@ pub fn program_into_vocab(
     let layout = interp::VarLayout::of(program);
     for b in blended.iter().take(opts.max_traces) {
         let skip = b.len().saturating_sub(opts.max_steps);
-        for tree in b.symbolic.stmt_trees(program).iter().skip(skip) {
+        let Ok(trees) = b.symbolic.stmt_trees(program) else { continue };
+        for tree in trees.iter().skip(skip) {
             tree_into_vocab_in(tree, vocab, &layout);
         }
         for step in b.steps.iter().skip(skip) {

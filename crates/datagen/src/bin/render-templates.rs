@@ -1,0 +1,42 @@
+//! `render-templates` — writes every shipped program template to disk.
+//!
+//! Renders the 27 method-name behaviours and the 26 COSET strategies with
+//! plain knobs (no renaming, no distractors) into the given directory, one
+//! `.ml` file each. CI pipes the result through `liger-lint
+//! --deny-warnings` to guarantee the shipped corpus is diagnostic-free.
+
+use datagen::{Behavior, Knobs, Strategy};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [out_dir] = args.as_slice() else {
+        eprintln!("usage: render-templates OUT_DIR");
+        return ExitCode::from(2);
+    };
+    let out = Path::new(out_dir);
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("render-templates: cannot create {out_dir}: {e}");
+        return ExitCode::from(2);
+    }
+    let knobs = Knobs::plain();
+    let mut written = 0usize;
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for b in Behavior::ALL {
+        sources.push((format!("behavior_{b:?}"), b.render(&knobs)));
+    }
+    for s in Strategy::ALL {
+        sources.push((format!("strategy_{s:?}"), s.render(&knobs)));
+    }
+    for (name, src) in sources {
+        let path = out.join(format!("{}.ml", name.to_lowercase()));
+        if let Err(e) = std::fs::write(&path, src) {
+            eprintln!("render-templates: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        written += 1;
+    }
+    eprintln!("render-templates: wrote {written} template(s) to {out_dir}");
+    ExitCode::SUCCESS
+}

@@ -165,6 +165,17 @@ fn filter_one<R: Rng + ?Sized>(
     if program.statements().len() < config.min_statements {
         return Err(FilterReason::TooSmall);
     }
+    // Fatal lints prove the program crashes or diverges on every input, so
+    // classify it without spending a single execution (provably-divergent
+    // loops land in the paper's "take too long" bucket, everything else in
+    // "no executions"). Warnings — dead code, unused defs — never gate:
+    // the distractor engine injects those on purpose.
+    let report = analysis::lint::run(&program);
+    if report.has_fatal() {
+        let divergent =
+            report.fatal().any(|d| d.kind == analysis::LintKind::DivergentLoop);
+        return Err(if divergent { FilterReason::Timeout } else { FilterReason::NoExecutions });
+    }
     let (groups, stats) = generate_grouped(&program, &config.gen, rng);
     if groups.is_empty() {
         // Distinguish "everything timed out" from "everything crashed" by
@@ -337,6 +348,46 @@ mod tests {
         let corpus = generate_coset_corpus(&small_config(), &mut rng);
         assert!(corpus.samples.iter().all(|s| s.label < Strategy::ALL.len()));
         assert!(corpus.stats.kept > 0);
+    }
+
+    #[test]
+    fn statically_fatal_defects_classify_without_executing() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = small_config();
+        let base = Behavior::SumArray.render(&Knobs::plain());
+        // Corrupt case 1: unconditional division by zero → NoExecutions.
+        let crash = base.replacen('{', "{\nlet zz0: int = 1 / (0 * 1);\n", 1);
+        assert_eq!(
+            filter_one(&crash, &config, &mut rng).unwrap_err(),
+            FilterReason::NoExecutions
+        );
+        // Corrupt case 2: provably divergent loop → Timeout, decided by
+        // the lint (constprop proves the guard stays true), not by fuel.
+        let diverge =
+            base.replacen('{', "{\nlet zz1: int = 0;\nwhile (zz1 < 1) {\nzz1 *= 1;\n}\n", 1);
+        assert_eq!(
+            filter_one(&diverge, &config, &mut rng).unwrap_err(),
+            FilterReason::Timeout
+        );
+    }
+
+    #[test]
+    fn shipped_templates_are_lint_clean() {
+        let knobs = Knobs::plain();
+        for b in Behavior::ALL {
+            let src = b.render(&knobs);
+            let p = minilang::parse(&src).unwrap();
+            minilang::typecheck(&p).unwrap();
+            let report = analysis::lint::run(&p);
+            assert!(report.is_clean(), "{b:?}:\n{}", report.render());
+        }
+        for s in Strategy::ALL {
+            let src = s.render(&knobs);
+            let p = minilang::parse(&src).unwrap();
+            minilang::typecheck(&p).unwrap();
+            let report = analysis::lint::run(&p);
+            assert!(report.is_clean(), "{s:?}:\n{}", report.render());
+        }
     }
 
     #[test]

@@ -37,5 +37,6 @@ pub use corpus::{
 pub use coset::Strategy;
 pub use templates::Behavior;
 pub use variation::{
-    distractor_preamble, with_distractors, CmpStyle, IncrStyle, Knobs, LoopStyle, NameAssignment,
+    distractor_preamble, with_distractors, with_opaque_distractor, CmpStyle, IncrStyle, Knobs,
+    LoopStyle, NameAssignment,
 };

@@ -226,6 +226,44 @@ pub fn distractor_preamble<R: Rng + ?Sized>(count: usize, rng: &mut R) -> String
     out
 }
 
+/// Injects an *opaque* dead branch guarded by an input-derived condition
+/// that is false on every execution — `min(x, 0) > 0` for an int
+/// parameter, `len(a) < 0` for an array or string parameter. Unlike the
+/// constant-initialized [`distractor_preamble`] branches, these guards
+/// stay symbolic under naive constant folding (they mention an input), so
+/// pruning them requires genuine range reasoning (`analysis::interval`).
+/// Returns `src` unchanged when no parameter has a suitable type. The
+/// chosen builtins (`min`, `len`) are total, so behaviour is preserved on
+/// every input.
+pub fn with_opaque_distractor<R: Rng + ?Sized>(src: &str, rng: &mut R) -> String {
+    let Ok(program) = minilang::parse(src) else { return src.to_string() };
+    let candidates: Vec<String> = program
+        .function
+        .params
+        .iter()
+        .filter_map(|p| match p.ty {
+            minilang::Type::Int => Some(format!("min({}, 0) > 0", p.name)),
+            minilang::Type::IntArray | minilang::Type::Str => {
+                Some(format!("len({}) < 0", p.name))
+            }
+            minilang::Type::Bool => None,
+        })
+        .collect();
+    let Some(guard) = candidates.choose(rng) else { return src.to_string() };
+    let preamble = format!("let zzOpaque: int = 0;\nif ({guard}) {{\nzzOpaque = 1;\n}}\n");
+    match src.find('{') {
+        Some(pos) => {
+            let mut out = String::with_capacity(src.len() + preamble.len() + 1);
+            out.push_str(&src[..=pos]);
+            out.push('\n');
+            out.push_str(&preamble);
+            out.push_str(&src[pos + 1..]);
+            out
+        }
+        None => src.to_string(),
+    }
+}
+
 /// Inserts a distractor preamble at the top of a rendered function body.
 pub fn with_distractors<R: Rng + ?Sized>(src: &str, count: usize, rng: &mut R) -> String {
     if count == 0 {
@@ -264,6 +302,31 @@ mod tests {
             let b = interp::run(&p1, &[interp::Value::Int(7)]).unwrap().return_value;
             assert_eq!(a, b, "distractors changed behaviour:\n{noisy}");
         }
+    }
+
+    #[test]
+    fn opaque_distractor_is_dead_but_needs_range_reasoning() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = "fn f(a: array<int>, x: int) -> int {\nlet s: int = 0;\ns += x;\nreturn s;\n}";
+        let noisy = with_opaque_distractor(base, &mut rng);
+        assert_ne!(noisy, base);
+        let p0 = minilang::parse(base).unwrap();
+        let p1 = minilang::parse(&noisy).unwrap();
+        minilang::typecheck(&p1).unwrap();
+        // The injected guard is statically decided (false): the branch is
+        // provably dead even though its condition mentions an input.
+        let facts = analysis::program_facts(&p1);
+        assert!(facts.decided.values().any(|&b| !b), "guard not decided:\n{noisy}");
+        // Behaviour is preserved.
+        for x in [-3i64, 0, 7] {
+            let inputs = [interp::Value::Array(vec![1, 2]), interp::Value::Int(x)];
+            let a = interp::run(&p0, &inputs).unwrap().return_value;
+            let b = interp::run(&p1, &inputs).unwrap().return_value;
+            assert_eq!(a, b, "opaque distractor changed behaviour:\n{noisy}");
+        }
+        // A program with only bool parameters is returned unchanged.
+        let boolsrc = "fn g(b: bool) -> int { return 0; }";
+        assert_eq!(with_opaque_distractor(boolsrc, &mut rng), boolsrc);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! stops once the path and concrete-trace targets are met (≈20 symbolic
 //! traces × 5 concrete executions in §6.1) or the attempt budget runs out.
 
-use crate::inputs::{random_inputs, InputConfig};
+use crate::inputs::{check_inputs, random_inputs, InputConfig};
 use interp::run_with_fuel;
 use minilang::Program;
 use rand::Rng;
@@ -27,6 +27,11 @@ pub struct GenConfig {
     pub fuel: u64,
     /// Input value bounds.
     pub inputs: InputConfig,
+    /// Reject programs with fatal static diagnostics (provable crash or
+    /// divergence) before attempting any execution. The screen only fires
+    /// on programs that could never contribute a trace, so it changes
+    /// which programs are *attempted*, never which traces are produced.
+    pub static_screen: bool,
 }
 
 impl Default for GenConfig {
@@ -37,6 +42,7 @@ impl Default for GenConfig {
             max_attempts: 2000,
             fuel: 20_000,
             inputs: InputConfig::default(),
+            static_screen: true,
         }
     }
 }
@@ -52,6 +58,9 @@ pub struct GenStats {
     pub kept: usize,
     /// Distinct paths discovered.
     pub paths: usize,
+    /// True when the static screen rejected the program without running
+    /// anything.
+    pub screened: bool,
 }
 
 /// Generates traces for `program` with coverage feedback; returns them
@@ -66,12 +75,24 @@ pub fn generate_grouped<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> (Vec<PathGroup>, GenStats) {
     let mut stats = GenStats::default();
+    if config.static_screen && analysis::lint::run(program).has_fatal() {
+        // Provably crashes or diverges on every input: no execution could
+        // ever be kept, so skip the attempt loop entirely.
+        stats.screened = true;
+        return (Vec::new(), stats);
+    }
     let mut kept: Vec<ExecutionTrace> = Vec::new();
     let mut per_path: HashMap<SymbolicTrace, usize> = HashMap::new();
 
     while stats.attempts < config.max_attempts {
         stats.attempts += 1;
         let inputs = random_inputs(program, &config.inputs, rng);
+        if check_inputs(program, &inputs).is_err() {
+            // A type-confused vector can never produce a trace; skip it
+            // instead of letting the interpreter abort the session.
+            stats.failures += 1;
+            continue;
+        }
         let run = match run_with_fuel(program, &inputs, config.fuel) {
             Ok(r) => r,
             Err(_) => {
@@ -137,13 +158,30 @@ mod tests {
 
     #[test]
     fn crashing_program_yields_no_groups() {
-        // Every execution divides by zero.
-        let p = minilang::parse("fn f(x: int) -> int { return x / 0; }").unwrap();
+        // Every execution divides by zero, but `x - x` is opaque to the
+        // static screen, so the generator finds out the hard way.
+        let p = minilang::parse("fn f(x: int) -> int { return 1 / (x - x); }").unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let config = GenConfig { max_attempts: 50, ..GenConfig::default() };
         let (groups, stats) = generate_grouped(&p, &config, &mut rng);
         assert!(groups.is_empty());
+        assert!(!stats.screened);
         assert_eq!(stats.failures, 50);
+    }
+
+    #[test]
+    fn statically_fatal_program_is_screened_without_running() {
+        let p = minilang::parse("fn f(x: int) -> int { return x / 0; }").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (groups, stats) = generate_grouped(&p, &GenConfig::default(), &mut rng);
+        assert!(groups.is_empty());
+        assert!(stats.screened);
+        assert_eq!(stats.attempts, 0, "screen must fire before any execution");
+        // Opting out restores the old behaviour.
+        let config = GenConfig { static_screen: false, max_attempts: 10, ..GenConfig::default() };
+        let (_, stats2) = generate_grouped(&p, &config, &mut rng);
+        assert!(!stats2.screened);
+        assert_eq!(stats2.failures, 10);
     }
 
     #[test]

@@ -8,6 +8,69 @@
 use interp::Value;
 use minilang::{Program, Type};
 use rand::{Rng, RngExt as _};
+use std::fmt;
+
+/// Why a candidate input vector cannot drive a program.
+///
+/// Surfaced as a value so the feedback loop (and any embedding client that
+/// supplies its own inputs) can skip the offending vector instead of
+/// aborting the whole generation session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputError {
+    /// The vector's length does not match the parameter list.
+    Arity {
+        /// Number of declared parameters.
+        expected: usize,
+        /// Number of supplied values.
+        got: usize,
+    },
+    /// A value's runtime type differs from the parameter's declared type.
+    TypeMismatch {
+        /// Zero-based parameter position.
+        index: usize,
+        /// Parameter name.
+        param: String,
+        /// Declared type.
+        expected: Type,
+        /// Supplied type.
+        got: Type,
+    },
+}
+
+impl fmt::Display for InputError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputError::Arity { expected, got } => {
+                write!(f, "expected {expected} input(s), got {got}")
+            }
+            InputError::TypeMismatch { index, param, expected, got } => {
+                write!(f, "input {index} (parameter `{param}`) must be {expected:?}, got {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InputError {}
+
+/// Checks that `inputs` matches `program`'s parameter list in arity and
+/// type, reporting the first mismatch as a typed [`InputError`].
+pub fn check_inputs(program: &Program, inputs: &[Value]) -> Result<(), InputError> {
+    let params = &program.function.params;
+    if params.len() != inputs.len() {
+        return Err(InputError::Arity { expected: params.len(), got: inputs.len() });
+    }
+    for (index, (p, v)) in params.iter().zip(inputs).enumerate() {
+        if v.ty() != p.ty {
+            return Err(InputError::TypeMismatch {
+                index,
+                param: p.name.clone(),
+                expected: p.ty,
+                got: v.ty(),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Bounds for random input generation.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,24 +145,53 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let config = InputConfig::default();
         for _ in 0..200 {
-            match random_value(Type::Int, &config, &mut rng) {
-                Value::Int(v) => assert!(v.abs() <= config.int_bound),
-                other => panic!("expected int, got {other:?}"),
+            // Drawn values must carry their requested type …
+            let int = random_value(Type::Int, &config, &mut rng);
+            let arr = random_value(Type::IntArray, &config, &mut rng);
+            let s = random_value(Type::Str, &config, &mut rng);
+            assert_eq!(int.ty(), Type::Int);
+            assert_eq!(arr.ty(), Type::IntArray);
+            assert_eq!(s.ty(), Type::Str);
+            // … and stay within the configured bounds.
+            if let Value::Int(v) = int {
+                assert!(v.abs() <= config.int_bound);
             }
-            match random_value(Type::IntArray, &config, &mut rng) {
-                Value::Array(a) => {
-                    assert!(a.len() <= config.max_array_len);
-                    assert!(a.iter().all(|v| v.abs() <= config.int_bound));
-                }
-                other => panic!("expected array, got {other:?}"),
+            if let Value::Array(a) = arr {
+                assert!(a.len() <= config.max_array_len);
+                assert!(a.iter().all(|v| v.abs() <= config.int_bound));
             }
-            match random_value(Type::Str, &config, &mut rng) {
-                Value::Str(s) => {
-                    assert!(s.len() <= config.max_str_len);
-                    assert!(s.chars().all(|c| config.alphabet.contains(&c)));
-                }
-                other => panic!("expected str, got {other:?}"),
+            if let Value::Str(s) = s {
+                assert!(s.len() <= config.max_str_len);
+                assert!(s.chars().all(|c| config.alphabet.contains(&c)));
             }
+        }
+    }
+
+    #[test]
+    fn type_confused_inputs_are_typed_errors() {
+        let p = minilang::parse("fn f(a: array<int>, n: int) -> int { return n; }").unwrap();
+        assert_eq!(check_inputs(&p, &[Value::Array(vec![1]), Value::Int(2)]), Ok(()));
+        assert_eq!(
+            check_inputs(&p, &[Value::Int(2)]),
+            Err(InputError::Arity { expected: 2, got: 1 })
+        );
+        let err = check_inputs(&p, &[Value::Array(vec![]), Value::Bool(true)]).unwrap_err();
+        assert_eq!(
+            err,
+            InputError::TypeMismatch {
+                index: 1,
+                param: "n".to_string(),
+                expected: Type::Int,
+                got: Type::Bool,
+            }
+        );
+        // The error renders enough context to act on.
+        assert!(err.to_string().contains("`n`"));
+        // And every vector the generator draws passes its own check.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let inputs = random_inputs(&p, &InputConfig::default(), &mut rng);
+            assert_eq!(check_inputs(&p, &inputs), Ok(()));
         }
     }
 

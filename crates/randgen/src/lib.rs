@@ -37,5 +37,5 @@ pub mod inputs;
 pub mod mincover;
 
 pub use feedback::{generate_grouped, GenConfig, GenStats};
-pub use inputs::{random_inputs, random_value, InputConfig};
+pub use inputs::{check_inputs, random_inputs, random_value, InputConfig, InputError};
 pub use mincover::{min_line_cover, reduction_order};

@@ -12,10 +12,11 @@ use trace::PathGroup;
 
 /// Indices (into `groups`) of a greedy minimum subset of paths whose union
 /// preserves the line coverage of the full set. Deterministic: ties are
-/// broken by lower index.
+/// broken by lower index. A trace that does not resolve against `program`
+/// covers no lines (and is therefore never chosen).
 pub fn min_line_cover(program: &Program, groups: &[PathGroup]) -> Vec<usize> {
     let line_sets: Vec<BTreeSet<u32>> =
-        groups.iter().map(|g| g.symbolic.line_set(program)).collect();
+        groups.iter().map(|g| g.symbolic.line_set(program).unwrap_or_default()).collect();
     let mut uncovered: BTreeSet<u32> = line_sets.iter().flatten().copied().collect();
     let mut chosen = Vec::new();
     let mut used = vec![false; groups.len()];
@@ -77,9 +78,9 @@ mod tests {
         let (p, groups) = grouped(SIGN, 5);
         let cover = min_line_cover(&p, &groups);
         let full: BTreeSet<u32> =
-            groups.iter().flat_map(|g| g.symbolic.line_set(&p)).collect();
+            groups.iter().flat_map(|g| g.symbolic.line_set(&p).unwrap()).collect();
         let reduced: BTreeSet<u32> =
-            cover.iter().flat_map(|&i| groups[i].symbolic.line_set(&p)).collect();
+            cover.iter().flat_map(|&i| groups[i].symbolic.line_set(&p).unwrap()).collect();
         assert_eq!(full, reduced);
         assert!(cover.len() <= groups.len());
     }
@@ -91,11 +92,11 @@ mod tests {
         assert_eq!(order.len(), groups.len());
         let cover_len = min_line_cover(&p, &groups).len();
         let full: BTreeSet<u32> =
-            groups.iter().flat_map(|g| g.symbolic.line_set(&p)).collect();
+            groups.iter().flat_map(|g| g.symbolic.line_set(&p).unwrap()).collect();
         for prefix in cover_len..=groups.len() {
             let covered: BTreeSet<u32> = order[..prefix]
                 .iter()
-                .flat_map(|&i| groups[i].symbolic.line_set(&p))
+                .flat_map(|&i| groups[i].symbolic.line_set(&p).unwrap())
                 .collect();
             assert_eq!(covered, full, "prefix of {prefix} paths loses line coverage");
         }

@@ -136,6 +136,9 @@ pub enum Request {
     Stats,
     /// Begin graceful shutdown (admin verb; also triggered by SIGTERM).
     Shutdown,
+    /// Run the static analyses on a MiniLang source and return structured
+    /// diagnostics (always terminates; never touches the model).
+    Lint(String),
     /// Run the model.
     Infer(InferKind, InferInput),
 }
@@ -155,6 +158,13 @@ impl Request {
             "ping" => return Ok(Request::Ping),
             "stats" => return Ok(Request::Stats),
             "shutdown" => return Ok(Request::Shutdown),
+            "lint" => {
+                let src = value
+                    .get("source")
+                    .and_then(Json::as_str)
+                    .ok_or("op \"lint\" needs a string \"source\" field")?;
+                return Ok(Request::Lint(src.to_string()));
+            }
             "embed" => InferKind::Embed,
             "name" => InferKind::Name,
             "classify" => InferKind::Classify,
@@ -183,6 +193,39 @@ pub fn infer_request(kind: InferKind, input: &InferInput) -> Json {
         InferInput::Encoded(prog) => ("program", program_to_json(prog)),
     };
     Json::obj(vec![("op", Json::str(op)), (key, value)])
+}
+
+/// Builds the JSON form of a lint request (client side).
+pub fn lint_request(source: &str) -> Json {
+    Json::obj(vec![("op", Json::str("lint")), ("source", Json::str(source))])
+}
+
+/// Serializes a lint report as the LINT reply payload:
+/// `{"ok":true,"clean":…,"fatal":…,"diagnostics":[{kind,severity,line,message}…]}`.
+pub fn lint_response(report: &analysis::LintReport) -> Json {
+    let diagnostics = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            Json::obj(vec![
+                ("kind", Json::str(d.kind.name())),
+                (
+                    "severity",
+                    Json::str(match d.severity {
+                        analysis::Severity::Fatal => "fatal",
+                        analysis::Severity::Warning => "warning",
+                    }),
+                ),
+                ("line", Json::num(d.line as usize)),
+                ("message", Json::str(d.message.clone())),
+            ])
+        })
+        .collect();
+    ok_response(vec![
+        ("clean", Json::Bool(report.is_clean())),
+        ("fatal", Json::Bool(report.has_fatal())),
+        ("diagnostics", Json::Arr(diagnostics)),
+    ])
 }
 
 /// Standard success / error / busy response builders.
@@ -439,6 +482,30 @@ mod tests {
             Request::from_json(&good).unwrap(),
             Request::Infer(InferKind::Classify, InferInput::Encoded(_))
         ));
+    }
+
+    #[test]
+    fn lint_requests_parse_and_render() {
+        let req = lint_request("fn f(x: int) -> int { return x / 0; }");
+        let Request::Lint(src) = Request::from_json(&req).unwrap() else {
+            panic!("expected a lint request");
+        };
+        assert!(src.contains("x / 0"));
+        // `source` is mandatory.
+        let bad = parse("{\"op\":\"lint\"}").unwrap();
+        assert!(Request::from_json(&bad).is_err());
+
+        let program = minilang::parse(&src).unwrap();
+        let reply = lint_response(&analysis::lint::run(&program));
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(reply.get("fatal").and_then(Json::as_bool), Some(true));
+        assert_eq!(reply.get("clean").and_then(Json::as_bool), Some(false));
+        let diags = reply.get("diagnostics").and_then(Json::as_arr).unwrap();
+        assert!(!diags.is_empty());
+        let first = &diags[0];
+        assert_eq!(first.get("kind").and_then(Json::as_str), Some("division-by-zero"));
+        assert_eq!(first.get("severity").and_then(Json::as_str), Some("fatal"));
+        assert_eq!(first.get("line").and_then(Json::as_usize), Some(1));
     }
 
     #[test]

@@ -29,8 +29,8 @@
 
 use crate::json::Json;
 use crate::protocol::{
-    busy_response, embedding_to_json, error_response, ok_response, read_frame, write_frame,
-    InferInput, InferKind, Request,
+    busy_response, embedding_to_json, error_response, lint_response, ok_response, read_frame,
+    write_frame, InferInput, InferKind, Request,
 };
 use crate::stats::{ServeStats, StatsSnapshot};
 use liger::{
@@ -265,6 +265,7 @@ fn handle_request(shared: &Arc<Shared>, queue: &SyncSender<Job>, request: Reques
             shared.shutdown.store(true, Ordering::SeqCst);
             ok_response(vec![("shutting_down", Json::Bool(true))])
         }
+        Request::Lint(src) => lint_source(&src),
         Request::Infer(kind, input) => {
             let prog = match input {
                 InferInput::Encoded(prog) => *prog,
@@ -294,6 +295,20 @@ fn handle_request(shared: &Arc<Shared>, queue: &SyncSender<Job>, request: Reques
             }
         }
     }
+}
+
+/// Runs the always-terminating static analyses on a submitted source and
+/// renders the diagnostics. Never touches the model or the batch queue,
+/// so it is answered inline like the other admin verbs.
+fn lint_source(src: &str) -> Json {
+    let program = match minilang::parse(src) {
+        Ok(p) => p,
+        Err(e) => return error_response(format!("parse error: {e}")),
+    };
+    if let Err(e) = minilang::typecheck(&program) {
+        return error_response(format!("type error: {e}"));
+    }
+    lint_response(&analysis::lint::run(&program))
 }
 
 /// Renders a stats snapshot as the STATS reply payload.

@@ -10,7 +10,7 @@ use liger::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serve::json::Json;
-use serve::protocol::{embedding_from_json, infer_request, InferInput, InferKind};
+use serve::protocol::{embedding_from_json, infer_request, lint_request, InferInput, InferKind};
 use serve::server::{serve, Client, ServerConfig};
 
 /// A small synthetic program whose content is parameterized by `t`.
@@ -162,6 +162,41 @@ fn concurrent_clients_get_bitwise_identical_embeddings_and_batching_kicks_in() {
         .call(&infer_request(InferKind::Classify, &InferInput::Encoded(Box::new(programs[0].clone()))))
         .unwrap();
     assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn lint_op_is_served_inline_with_structured_diagnostics() {
+    let bundle = trained_bundle();
+    let handle = serve(&bundle, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // A clean program: ok, clean, no diagnostics.
+    let reply = client.call(&lint_request("fn f(x: int) -> int { return x + 1; }")).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+    assert_eq!(reply.get("clean").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("fatal").and_then(Json::as_bool), Some(false));
+    assert_eq!(reply.get("diagnostics").and_then(Json::as_arr).map(<[_]>::len), Some(0));
+
+    // A provably crashing program: structured fatal diagnostics with spans.
+    let reply = client
+        .call(&lint_request("fn f(x: int) -> int {\n    return x / 0;\n}"))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("fatal").and_then(Json::as_bool), Some(true));
+    let diags = reply.get("diagnostics").and_then(Json::as_arr).unwrap();
+    assert!(diags
+        .iter()
+        .any(|d| d.get("kind").and_then(Json::as_str) == Some("division-by-zero")
+            && d.get("severity").and_then(Json::as_str) == Some("fatal")
+            && d.get("line").and_then(Json::as_usize) == Some(2)));
+
+    // Malformed sources get a clean protocol error, not a crash.
+    let reply = client.call(&lint_request("fn f( {")).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(reply.get("error").and_then(Json::as_str).unwrap().contains("parse error"));
 
     handle.shutdown();
     handle.join();

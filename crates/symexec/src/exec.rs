@@ -35,6 +35,12 @@ pub struct SymExecConfig {
     /// Node budget for the per-guard feasibility pre-check (smaller than
     /// the witness search; `Unknown` counts as feasible).
     pub prune_nodes: u64,
+    /// Consult the static analyses (`analysis::program_facts`) to take
+    /// statically decided branches without solver calls. Pruning preserves
+    /// the feasible-path set: a decided guard's untaken side is
+    /// unsatisfiable under every input, so the solver would reject it
+    /// anyway (see DESIGN.md §2d).
+    pub use_analysis: bool,
 }
 
 impl Default for SymExecConfig {
@@ -45,6 +51,7 @@ impl Default for SymExecConfig {
             max_array_len: 4,
             solver: SolverConfig::default(),
             prune_nodes: 20_000,
+            use_analysis: true,
         }
     }
 }
@@ -73,6 +80,11 @@ pub struct SymExecStats {
     pub aborted_paths: usize,
     /// Paths dropped because the witness search ran out of budget.
     pub unknown_paths: usize,
+    /// Total solver invocations (feasibility pre-checks + witness
+    /// searches).
+    pub solver_calls: usize,
+    /// Guard forks resolved by static analysis without any solver call.
+    pub pruned_guards: usize,
 }
 
 /// Symbolically executes `program`, returning satisfiable paths with
@@ -101,8 +113,12 @@ pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPa
         .collect();
     let combos = length_combos(array_params.len(), config.max_array_len);
 
+    // Static facts are computed once per program; decided guards let the
+    // engine skip both per-polarity feasibility solves at a fork.
+    let facts = config.use_analysis.then(|| analysis::program_facts(program));
+
     'combos: for combo in combos {
-        let mut engine = Engine { program, config, stats: &mut stats };
+        let mut engine = Engine { program, config, stats: &mut stats, facts: facts.as_ref() };
         let (init, spec) = engine.initial_state(&combo);
         let finished = engine.explore(init);
         for (state, returned) in finished {
@@ -113,6 +129,7 @@ pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPa
             if seen_steps.contains(&state.steps) {
                 continue;
             }
+            stats.solver_calls += 1;
             match solve(&state.pc, spec.num_vars, &config.solver) {
                 SolveResult::Sat(assignment) => {
                     let witness = spec.realize(&assignment);
@@ -217,6 +234,7 @@ struct Engine<'a> {
     program: &'a Program,
     config: &'a SymExecConfig,
     stats: &'a mut SymExecStats,
+    facts: Option<&'a analysis::ProgramFacts>,
 }
 
 impl<'a> Engine<'a> {
@@ -456,6 +474,17 @@ impl<'a> Engine<'a> {
             out.push((record(state, b), b));
             return out;
         }
+        // A statically decided guard holds the same way on every execution
+        // reaching it, so only the decided branch is feasible. The conjunct
+        // is still pushed so path conditions (and witnesses) match the
+        // unpruned enumeration exactly.
+        if let Some(b) = self.facts.and_then(|f| f.decided_guard(stmt.id)) {
+            self.stats.pruned_guards += 1;
+            let mut st = state;
+            st.pc.push(if b { c } else { c.negate() });
+            out.push((record(st, b), b));
+            return out;
+        }
         let prune = SolverConfig { max_nodes: self.config.prune_nodes, ..self.config.solver };
         let num_vars = {
             // All variables ever created are < num vars of the spec; use
@@ -468,6 +497,7 @@ impl<'a> Engine<'a> {
             let mut st = state.clone();
             let conjunct = if taken { c.clone() } else { c.negate() };
             st.pc.push(conjunct);
+            self.stats.solver_calls += 1;
             let feasible = match solve(&st.pc, num_vars, &prune) {
                 SolveResult::Sat(_) | SolveResult::Unknown => true,
                 SolveResult::BoundedUnsat => false,
@@ -898,5 +928,38 @@ mod tests {
     fn paths_are_deduplicated() {
         let (_, paths, _) = paths_of("fn f(x: int) -> int { return x + 1; }");
         assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn analysis_pruning_preserves_paths_with_fewer_solver_calls() {
+        // `abs(x) >= 0` is symbolic to the engine but decided by the
+        // interval analysis, so the fork is pruned statically.
+        let src = "fn f(x: int, y: int) -> int {
+            let lim: int = abs(x);
+            if (lim >= 0) {
+                if (y > 0) { return lim + y; }
+                return lim;
+            }
+            return 0 - 1;
+        }";
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let with = SymExecConfig::default();
+        let without = SymExecConfig { use_analysis: false, ..SymExecConfig::default() };
+        let (paths_with, stats_with) = symbolic_execute(&p, &with);
+        let (paths_without, stats_without) = symbolic_execute(&p, &without);
+        let steps = |ps: &[SymPath]| {
+            let mut v: Vec<Vec<PathStep>> = ps.iter().map(|p| p.steps.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(steps(&paths_with), steps(&paths_without), "path set must be identical");
+        assert!(stats_with.pruned_guards > 0);
+        assert!(
+            stats_with.solver_calls < stats_without.solver_calls,
+            "pruning must save solver calls ({} vs {})",
+            stats_with.solver_calls,
+            stats_without.solver_calls
+        );
     }
 }

@@ -7,6 +7,35 @@
 
 use interp::{EventKind, PathStep, RunResult, State, TraceEvent, Value};
 use minilang::{Program, StmtId};
+use std::fmt;
+
+/// Why a symbolic trace cannot be resolved against a program.
+///
+/// The generation pipeline lints programs before tracing, so these only
+/// arise when a trace is replayed against the *wrong* program — which a
+/// library API should report, not abort on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// A path step references a statement id the program does not contain.
+    UnknownStmt(StmtId),
+    /// A guard event landed on a statement that is not a branch.
+    GuardOnNonBranch(StmtId),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownStmt(id) => {
+                write!(f, "trace step {id} not in program (trace from a different program?)")
+            }
+            TraceError::GuardOnNonBranch(id) => {
+                write!(f, "guard event on non-branching statement {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// An execution trace π (Definition 2.1): the initial state s₀ followed by
 /// the statement/state event sequence of one concrete run.
@@ -83,11 +112,12 @@ impl SymbolicTrace {
     /// The distinct source lines this path covers, resolved against the
     /// program the trace came from.
     ///
-    /// # Panics
-    ///
-    /// Panics if a step references a statement id not present in `program`
+    /// Errors if a step references a statement id not present in `program`
     /// (i.e. the trace belongs to a different program).
-    pub fn line_set(&self, program: &Program) -> std::collections::BTreeSet<u32> {
+    pub fn line_set(
+        &self,
+        program: &Program,
+    ) -> Result<std::collections::BTreeSet<u32>, TraceError> {
         let stmts = program.statements();
         self.steps
             .iter()
@@ -95,8 +125,8 @@ impl SymbolicTrace {
                 stmts
                     .iter()
                     .find(|st| st.id == s.stmt)
-                    .unwrap_or_else(|| panic!("trace step {} not in program", s.stmt))
-                    .line
+                    .map(|st| st.line)
+                    .ok_or(TraceError::UnknownStmt(s.stmt))
             })
             .collect()
     }
@@ -106,10 +136,8 @@ impl SymbolicTrace {
     /// the branching statement's condition; simple statements become their
     /// own [`minilang::stmt_tree`]s.
     ///
-    /// # Panics
-    ///
-    /// Panics if the trace does not belong to `program`.
-    pub fn stmt_trees(&self, program: &Program) -> Vec<minilang::AstTree> {
+    /// Errors if the trace does not belong to `program`.
+    pub fn stmt_trees(&self, program: &Program) -> Result<Vec<minilang::AstTree>, TraceError> {
         let stmts = program.statements();
         self.steps
             .iter()
@@ -117,19 +145,19 @@ impl SymbolicTrace {
                 let stmt = stmts
                     .iter()
                     .find(|st| st.id == step.stmt)
-                    .unwrap_or_else(|| panic!("trace step {} not in program", step.stmt));
-                match step.kind {
+                    .ok_or(TraceError::UnknownStmt(step.stmt))?;
+                Ok(match step.kind {
                     EventKind::Exec => minilang::stmt_tree(stmt),
                     EventKind::Guard { taken } => {
                         let cond = match &stmt.kind {
                             minilang::StmtKind::If { cond, .. }
                             | minilang::StmtKind::While { cond, .. }
                             | minilang::StmtKind::For { cond, .. } => cond,
-                            other => panic!("guard event on non-branching statement {other:?}"),
+                            _ => return Err(TraceError::GuardOnNonBranch(step.stmt)),
                         };
                         minilang::guard_tree(cond, taken)
                     }
-                }
+                })
             })
             .collect()
     }
@@ -200,7 +228,7 @@ mod tests {
             vec![Value::Int(2)],
         );
         let sym = t.symbolic();
-        let trees = sym.stmt_trees(&p);
+        let trees = sym.stmt_trees(&p).unwrap();
         assert_eq!(trees.len(), sym.len());
         // First event is the guard, taken.
         assert_eq!(
@@ -213,7 +241,23 @@ mod tests {
     fn line_set_resolves_against_program() {
         let src = "fn f(x: int) -> int {\nif (x > 0) {\nreturn 1;\n}\nreturn 0;\n}";
         let (p, t) = trace_of(src, vec![Value::Int(1)]);
-        let lines = t.symbolic().line_set(&p);
+        let lines = t.symbolic().line_set(&p).unwrap();
         assert!(lines.contains(&2) && lines.contains(&3) && !lines.contains(&5));
+    }
+
+    #[test]
+    fn foreign_traces_are_errors_not_aborts() {
+        // Resolve a trace against a program it did not come from: the
+        // larger program's statement ids are absent from the smaller one.
+        let (_, t) = trace_of(
+            "fn f(x: int) -> int { let y: int = x * 2; let z: int = y + 1; return z; }",
+            vec![Value::Int(3)],
+        );
+        let other = minilang::parse("fn g() -> int { return 0; }").unwrap();
+        let sym = t.symbolic();
+        let line_err = sym.line_set(&other).unwrap_err();
+        assert!(matches!(line_err, TraceError::UnknownStmt(_)), "{line_err}");
+        assert_eq!(sym.stmt_trees(&other).unwrap_err(), line_err);
+        assert!(line_err.to_string().contains("not in program"));
     }
 }

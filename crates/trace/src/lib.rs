@@ -47,4 +47,4 @@ pub use encode::{
     encode_int, encode_state, encode_value, reserved_tokens, VarEncoding, BOT_TOKEN,
     DIRECT_INT_LIMIT, EMPTY_TOKEN, MAX_FLATTEN, MORE_TOKEN,
 };
-pub use execution::{ExecutionTrace, StateTrace, SymbolicTrace};
+pub use execution::{ExecutionTrace, StateTrace, SymbolicTrace, TraceError};

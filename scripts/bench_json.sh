@@ -4,14 +4,16 @@
 #   * throughput_parallel (1/2/4/8 worker threads) -> BENCH_parallel.json
 #   * throughput_encode (cold vs steady-state allocations) -> BENCH_encode.json
 #   * throughput_serve (1/2/4/8 pipelining clients) -> BENCH_serve.json
+#   * throughput_analysis (lint/facts throughput + symexec pruning) -> BENCH_analysis.json
 #
-# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json]
+# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 par_out="${1:-BENCH_parallel.json}"
 enc_out="${2:-BENCH_encode.json}"
 srv_out="${3:-BENCH_serve.json}"
+ana_out="${4:-BENCH_analysis.json}"
 
 # ---- parallel minibatch throughput --------------------------------------
 bench_out=$(cargo bench -p bench --bench throughput_parallel 2>&1)
@@ -118,3 +120,47 @@ fi
 } > "$srv_out"
 
 echo "wrote $srv_out"
+
+# ---- static-analysis throughput & symexec pruning -----------------------
+ana_bench_out=$(cargo bench -p bench --bench throughput_analysis 2>&1)
+echo "$ana_bench_out"
+
+ana_json=$(echo "$ana_bench_out" | grep '^ANALYSIS' | awk '
+{
+    delete kv
+    for (i = 2; i <= NF; i++) { split($i, p, "="); kv[p[1]] = p[2] }
+    if (kv["mode"] == "symexec") {
+        if (nsym++ > 0) sym = sym ",\n"
+        sym = sym sprintf("    {\"use_analysis\": %s, \"programs\": %s, \"paths\": %s, \"solver_calls\": %s, \"pruned_guards\": %s, \"solver_call_reduction\": %s, \"seconds\": %s}",
+            kv["use_analysis"], kv["programs"], kv["paths"], kv["solver_calls"],
+            kv["pruned_guards"], kv["call_reduction"], kv["secs"])
+        next
+    }
+    if (nthr++ > 0) thr = thr ",\n"
+    thr = thr sprintf("    {\"mode\": \"%s\", \"programs\": %s, \"rounds\": %s, \"seconds\": %s, \"programs_per_sec\": %s}",
+        kv["mode"], kv["programs"], kv["rounds"], kv["secs"], kv["programs_per_sec"])
+}
+END {
+    if (nthr == 0 || nsym == 0) exit 1
+    print "  \"throughput\": ["
+    print thr
+    print "  ],"
+    print "  \"symexec_pruning\": ["
+    print sym
+    print "  ]"
+}')
+
+if [ -z "$ana_json" ]; then
+    echo "error: no ANALYSIS lines in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput_analysis",'
+    echo '  "workload": "53 datagen templates: lint + program_facts throughput; symexec path enumeration with/without analysis pruning on the distractor-augmented corpus (identical path sets asserted in-bench)",'
+    printf '%s\n' "$ana_json"
+    echo '}'
+} > "$ana_out"
+
+echo "wrote $ana_out"

@@ -2,17 +2,32 @@
 # Tier-1 gate: release build, lint wall, full test suite, the
 # thread-count determinism + memoization equivalence property tests
 # re-run with a 2-worker pool forced via the environment (exercising the
-# LIGER_THREADS resolution path end to end), and a liger-serve smoke
-# test (demo server start, ping + inference + stats over TCP, graceful
-# shutdown via the admin verb).
+# LIGER_THREADS resolution path end to end), a liger-lint sweep over the
+# rendered datagen corpus (shipped templates must be diagnostic-free,
+# even of warnings), and a liger-serve smoke test (demo server start,
+# ping + inference + lint + stats over TCP, graceful shutdown via the
+# admin verb).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+# --workspace matters: a bare root build skips member binaries, and the
+# lint gate and smoke test below invoke liger-lint / render-templates /
+# liger-serve straight from target/release.
+cargo build --release --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 LIGER_THREADS=2 cargo test -q --test autodiff_properties parallel_training_is_bitwise_deterministic
 LIGER_THREADS=2 cargo test -q --test autodiff_properties cached_training_is_bitwise_identical
+
+# ---- liger-lint over the shipped datagen corpus -------------------------
+# Every shipped template must be free of diagnostics — warnings included.
+lint_dir=$(mktemp -d)
+trap 'rm -rf "$lint_dir"' EXIT
+target/release/render-templates "$lint_dir"
+target/release/liger-lint --deny-warnings "$lint_dir"/*.ml
+echo "liger-lint: shipped datagen corpus is diagnostic-free"
+rm -rf "$lint_dir"
+trap - EXIT
 
 # ---- liger-serve smoke test ---------------------------------------------
 serve_bin=target/release/liger-serve
@@ -43,6 +58,13 @@ echo "liger-serve smoke test on $addr"
 "$serve_bin" query "$addr" '{"op":"ping"}'
 "$serve_bin" query "$addr" \
     '{"op":"name","source":"fn addOne(x: int) -> int { return x + 1; }"}'
+lint=$("$serve_bin" query "$addr" \
+    '{"op":"lint","source":"fn half(x: int) -> int { return x / 0; }"}')
+echo "$lint"
+case "$lint" in
+    *'"fatal":true'*'division-by-zero'*) ;;
+    *) echo "error: lint op missed the division by zero: $lint" >&2; exit 1 ;;
+esac
 stats=$("$serve_bin" query "$addr" '{"op":"stats"}')
 echo "$stats"
 # Admin verbs (ping/stats) bypass the queue; only the inference counts.

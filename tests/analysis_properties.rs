@@ -1,0 +1,193 @@
+//! Differential soundness of the static analyses, checked against the
+//! concrete interpreter, plus the symexec pruning-equivalence property.
+//!
+//! The contract under test (crates/analysis/src/lib.rs): every fact the
+//! analyzer claims is an over-approximation of all concrete executions,
+//! conditioned on the execution reaching the program point and the
+//! variable holding a value there. Any concrete trace that contradicts a
+//! fact is an analyzer bug — these tests drive the corpus templates with
+//! random inputs and look for exactly that contradiction.
+
+use analysis::constprop::AbsConst;
+use analysis::interval::AbsVal;
+use analysis::Analyzed;
+use datagen::{Behavior, Knobs};
+use interp::{EventKind, Value};
+use minilang::{Stmt, StmtId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn behavior_strategy() -> impl Strategy<Value = Behavior> {
+    proptest::sample::select(Behavior::ALL.to_vec())
+}
+
+/// Maps each universe slot to its `VarLayout` slot (by name), skipping
+/// shadowed names — the interpreter shares one layout slot among all
+/// declarations of a name, so per-declaration claims cannot be compared.
+fn comparable_slots(a: &Analyzed<'_>, layout: &interp::VarLayout) -> Vec<(usize, usize)> {
+    (0..a.universe.len())
+        .filter(|&s| !a.universe.is_shadowed(s))
+        .filter_map(|s| {
+            layout.names.iter().position(|n| n == a.universe.name(s)).map(|ls| (s, ls))
+        })
+        .collect()
+}
+
+/// Checks one concrete pre-state of `stmt` against the analyzer's
+/// before-facts. Returns a description of the first contradiction.
+fn contradiction_at(
+    a: &Analyzed<'_>,
+    slots: &[(usize, usize)],
+    stmt: StmtId,
+    pre: &interp::State,
+) -> Option<String> {
+    let cp = a.const_facts.get(&stmt)?;
+    let ia = a.interval_facts.get(&stmt)?;
+    for &(slot, layout_slot) in slots {
+        let Some(concrete) = &pre.values[layout_slot] else { continue };
+        let name = a.universe.name(slot);
+        match &cp.0.vals[slot] {
+            AbsConst::Const(claimed) if claimed != concrete => {
+                return Some(format!(
+                    "constprop claims {name} = {claimed:?} before {stmt}, saw {concrete:?}"
+                ));
+            }
+            _ => {}
+        }
+        let abs = ia.0.vals[slot];
+        let ok = match (abs, concrete) {
+            (AbsVal::Top, _) => true,
+            (AbsVal::Int(iv), Value::Int(n)) => iv.contains(*n),
+            (AbsVal::Bool(ab), Value::Bool(b)) => {
+                if *b {
+                    ab.maybe_t
+                } else {
+                    ab.maybe_f
+                }
+            }
+            (AbsVal::Str { len }, Value::Str(s)) => len.contains(s.len() as i64),
+            (AbsVal::Arr { len, elems }, Value::Array(xs)) => {
+                len.contains(xs.len() as i64) && xs.iter().all(|&x| elems.contains(x))
+            }
+            // Bot (or a type-confused shape) contradicted by any concrete
+            // value that reached this point.
+            _ => false,
+        };
+        if !ok {
+            return Some(format!(
+                "interval claims {name} : {abs:?} before {stmt}, saw {concrete:?}"
+            ));
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every analyzer fact holds on every concrete trace: constants match
+    /// observed values, intervals contain them, executed statements are
+    /// reachable, and decided guards go the decided way.
+    #[test]
+    fn analysis_facts_hold_on_concrete_traces(
+        behavior in behavior_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let program = minilang::parse(&behavior.render(&Knobs::plain())).unwrap();
+        minilang::typecheck(&program).unwrap();
+        let a = Analyzed::of(&program);
+        let layout = interp::VarLayout::of(&program);
+        let slots = comparable_slots(&a, &layout);
+        let facts = analysis::program_facts(&program);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let inputs = randgen::random_inputs(&program, &randgen::InputConfig::default(), &mut rng);
+            let Ok(run) = interp::run_with_fuel(&program, &inputs, 20_000) else { continue };
+            let mut pre = &run.initial_state;
+            for event in &run.events {
+                // Reachability: the executed statement's block survives
+                // refined reachability.
+                prop_assert!(
+                    facts.reachable.contains(&event.stmt),
+                    "{behavior:?}: executed {} but analysis calls it unreachable",
+                    event.stmt
+                );
+                // Decided guards: the concrete branch agrees.
+                if let EventKind::Guard { taken } = event.kind {
+                    if let Some(decided) = facts.decided_guard(event.stmt) {
+                        prop_assert_eq!(
+                            taken, decided,
+                            "{:?}: guard {} decided {} but ran {}",
+                            behavior, event.stmt, decided, taken
+                        );
+                    }
+                }
+                // Value facts: checked against the state *before* the event.
+                if let Some(why) = contradiction_at(&a, &slots, event.stmt, pre) {
+                    prop_assert!(false, "{behavior:?}: {why} (inputs {inputs:?})");
+                }
+                pre = &event.state;
+            }
+        }
+    }
+
+    /// Pruning with analysis facts preserves the feasible-path set exactly
+    /// while never issuing more solver queries.
+    #[test]
+    fn pruning_preserves_the_feasible_path_set(behavior in behavior_strategy()) {
+        let program = minilang::parse(&behavior.render(&Knobs::plain())).unwrap();
+        let base = symexec::SymExecConfig {
+            max_paths: 16,
+            max_steps: 200,
+            use_analysis: false,
+            ..symexec::SymExecConfig::default()
+        };
+        let pruned_cfg = symexec::SymExecConfig { use_analysis: true, ..base.clone() };
+        let (paths_off, stats_off) = symexec::symbolic_execute(&program, &base);
+        let (paths_on, stats_on) = symexec::symbolic_execute(&program, &pruned_cfg);
+
+        let key = |paths: &[symexec::SymPath]| {
+            let mut k: Vec<_> = paths.iter().map(|p| p.steps.clone()).collect();
+            k.sort();
+            k
+        };
+        prop_assert_eq!(key(&paths_off), key(&paths_on), "{:?}: path sets differ", behavior);
+        prop_assert!(
+            stats_on.solver_calls <= stats_off.solver_calls,
+            "{behavior:?}: pruning issued more solver calls ({} > {})",
+            stats_on.solver_calls,
+            stats_off.solver_calls
+        );
+        if stats_on.pruned_guards > 0 {
+            prop_assert!(
+                stats_on.solver_calls < stats_off.solver_calls,
+                "{behavior:?}: pruned {} guards without saving a solver call",
+                stats_on.pruned_guards
+            );
+        }
+    }
+}
+
+/// Structural liveness soundness: a statement's uses are live before it.
+#[test]
+fn uses_are_live_before_every_statement() {
+    for behavior in Behavior::ALL {
+        let program = minilang::parse(&behavior.render(&Knobs::plain())).unwrap();
+        let a = Analyzed::of(&program);
+        let by_id: HashMap<StmtId, &Stmt> =
+            program.statements().into_iter().map(|s| (s.id, s)).collect();
+        for (&stmt, (before, _)) in &a.live_facts {
+            let mut uses = Vec::new();
+            analysis::vars::stmt_uses(by_id[&stmt], &mut uses);
+            for name in uses {
+                let slot = a.universe.slot(name).expect("used variable has a slot");
+                assert!(
+                    before.contains(slot),
+                    "{behavior:?}: {name} used by {stmt} but not live before it"
+                );
+            }
+        }
+    }
+}

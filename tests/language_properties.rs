@@ -66,9 +66,9 @@ proptest! {
         prop_assert!(!cover.is_empty());
         prop_assert!(cover.len() <= groups.len());
         let full: std::collections::BTreeSet<u32> =
-            groups.iter().flat_map(|g| g.symbolic.line_set(&program)).collect();
+            groups.iter().flat_map(|g| g.symbolic.line_set(&program).unwrap()).collect();
         let covered: std::collections::BTreeSet<u32> =
-            cover.iter().flat_map(|&i| groups[i].symbolic.line_set(&program)).collect();
+            cover.iter().flat_map(|&i| groups[i].symbolic.line_set(&program).unwrap()).collect();
         prop_assert_eq!(full, covered);
     }
 }
@@ -103,8 +103,8 @@ fn blended_view_of_the_motivating_pair() {
         assert_eq!(ta.states(), tb.states());
         // …while symbolic views differ.
         assert_ne!(
-            ta.symbolic().stmt_trees(&pa),
-            tb.symbolic().stmt_trees(&pb)
+            ta.symbolic().stmt_trees(&pa).unwrap(),
+            tb.symbolic().stmt_trees(&pb).unwrap()
         );
     }
 }

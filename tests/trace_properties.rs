@@ -43,7 +43,7 @@ proptest! {
                 prop_assert_eq!(&states.states[i], &e.state);
             }
             // Symbolic trees resolve for every step.
-            prop_assert_eq!(sym.stmt_trees(&program).len(), sym.len());
+            prop_assert_eq!(sym.stmt_trees(&program).unwrap().len(), sym.len());
         }
     }
 
