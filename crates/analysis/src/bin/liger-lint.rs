@@ -20,12 +20,15 @@ options:
   --deny-warnings   exit non-zero on any diagnostic, not just fatal ones
   --fatal-only      print only fatal diagnostics
   --quiet           suppress the per-run summary line
+  --metrics         print the global metrics table (lint.* counters) to
+                    stderr after the run
   -h, --help        show this help";
 
 struct Options {
     deny_warnings: bool,
     fatal_only: bool,
     quiet: bool,
+    metrics: bool,
     files: Vec<String>,
 }
 
@@ -34,6 +37,7 @@ fn parse_args() -> Result<Options, String> {
         deny_warnings: false,
         fatal_only: false,
         quiet: false,
+        metrics: false,
         files: Vec::new(),
     };
     for arg in std::env::args().skip(1) {
@@ -41,6 +45,7 @@ fn parse_args() -> Result<Options, String> {
             "--deny-warnings" => opts.deny_warnings = true,
             "--fatal-only" => opts.fatal_only = true,
             "--quiet" => opts.quiet = true,
+            "--metrics" => opts.metrics = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
             f if !f.starts_with('-') => opts.files.push(f.to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
@@ -114,6 +119,9 @@ fn main() -> ExitCode {
 
     if !opts.quiet {
         eprintln!("liger-lint: {n_sources} source(s), {total} diagnostic(s)");
+    }
+    if opts.metrics {
+        eprint!("{}", obs::metrics::registry().snapshot().render_table());
     }
     if any_error {
         ExitCode::from(2)

@@ -144,6 +144,7 @@ pub fn run(program: &Program) -> LintReport {
 
 /// Runs every lint on an existing analysis result.
 pub fn run_analyzed(a: &Analyzed<'_>) -> LintReport {
+    let _span = obs::span!("lint.run");
     let mut out = Vec::new();
     dead_code(a, &mut out);
     unused_defs(a, &mut out);
@@ -152,7 +153,13 @@ pub fn run_analyzed(a: &Analyzed<'_>) -> LintReport {
     loop_lints(a, &mut out);
     division_by_zero(a, &mut out);
     out.sort_by_key(|d| (d.line, d.kind, d.stmt));
-    LintReport { diagnostics: out }
+    let report = LintReport { diagnostics: out };
+    obs::counter!("lint.programs").inc();
+    obs::counter!("lint.diagnostics").add(report.diagnostics.len() as u64);
+    if report.has_fatal() {
+        obs::counter!("lint.fatal").inc();
+    }
+    report
 }
 
 /// Dead statements, collapsed: one diagnostic per run of consecutive

@@ -243,16 +243,19 @@ impl LigerModel {
         id: TreeId,
         memo: Option<&mut EmbedMemo>,
     ) -> VarId {
+        let _span = obs::span!("encode.tree");
         let Some(memo) = memo else {
             return self.embed_tree(g, store, pool, id);
         };
         match memo.trees.get(&id).copied() {
             Some(MemoEntry::Ready { start, len, result_rel }) => {
+                obs::counter!("encode.tree_hits").inc();
                 memo.replays += 1;
                 let new_start = g.replay_span(start, len);
                 g.var(new_start + result_rel)
             }
             Some(MemoEntry::Once) => {
+                obs::counter!("encode.tree_misses").inc();
                 let start = g.len();
                 let h = self.embed_tree(g, store, pool, id);
                 let entry = MemoEntry::Ready {
@@ -264,6 +267,7 @@ impl LigerModel {
                 h
             }
             None => {
+                obs::counter!("encode.tree_misses").inc();
                 memo.trees.insert(id, MemoEntry::Once);
                 self.embed_tree(g, store, pool, id)
             }
@@ -280,16 +284,19 @@ impl LigerModel {
         id: StateId,
         memo: Option<&mut EmbedMemo>,
     ) -> VarId {
+        let _span = obs::span!("encode.state");
         let Some(memo) = memo else {
             return self.embed_state(g, store, pool, id);
         };
         match memo.states.get(&id).copied() {
             Some(MemoEntry::Ready { start, len, result_rel }) => {
+                obs::counter!("encode.state_hits").inc();
                 memo.replays += 1;
                 let new_start = g.replay_span(start, len);
                 g.var(new_start + result_rel)
             }
             Some(MemoEntry::Once) => {
+                obs::counter!("encode.state_misses").inc();
                 let start = g.len();
                 let h = self.embed_state(g, store, pool, id);
                 let entry = MemoEntry::Ready {
@@ -301,6 +308,7 @@ impl LigerModel {
                 h
             }
             None => {
+                obs::counter!("encode.state_misses").inc();
                 memo.states.insert(id, MemoEntry::Once);
                 self.embed_state(g, store, pool, id)
             }
@@ -334,6 +342,8 @@ impl LigerModel {
         prog: &EncodedProgram,
         mut memo: Option<&mut EmbedMemo>,
     ) -> EncoderOutput {
+        let _span = obs::span!("encode.program");
+        obs::counter!("encode.programs").inc();
         let mut flow: Vec<Vec<VarId>> = Vec::new();
         let mut trace_embeddings: Vec<VarId> = Vec::new();
         let mut static_attention: Vec<f32> = Vec::new();

@@ -203,10 +203,12 @@ pub fn train_namer_with<R: Rng + ?Sized>(
     // after the first batch every arena take is a pool hit.
     let mut workspaces: Vec<Workspace> = Vec::new();
     for _ in 0..cfg.epochs {
+        let _epoch_span = obs::span!("train.epoch");
         order.shuffle(rng);
         let mut total = 0.0f32;
         let mut count = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let _batch_span = obs::span!("train.batch");
             let batch: Vec<&NameSample> = chunk
                 .iter()
                 .map(|&i| &samples[i])
@@ -276,10 +278,12 @@ pub fn train_classifier_with<R: Rng + ?Sized>(
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut workspaces: Vec<Workspace> = Vec::new();
     for _ in 0..cfg.epochs {
+        let _epoch_span = obs::span!("train.epoch");
         order.shuffle(rng);
         let mut total = 0.0f32;
         let mut count = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let _batch_span = obs::span!("train.batch");
             let batch: Vec<&ClassSample> = chunk
                 .iter()
                 .map(|&i| &samples[i])

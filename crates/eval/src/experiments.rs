@@ -351,6 +351,7 @@ pub fn eval_method_namer(
     // independently against the frozen parameters, on a persistent
     // per-worker workspace (graph arena + embedding memo).
     let mut workspaces: Vec<liger::Workspace> = Vec::new();
+    let _span = obs::span!("eval.predict");
     let predictions =
         par::par_map_ordered_with(&ds.test, &mut workspaces, liger::Workspace::new, |ws, _, s| {
             let prog = at(s);
@@ -452,6 +453,7 @@ pub fn dypro_method_scores(
     );
     train_dypro_namer(&namer, &mut store, &samples, &scale.dypro_config(), &mut rng);
 
+    let _span = obs::span!("eval.predict");
     let predictions = par::par_map_ordered(&ds.test, |_, s| {
         ds.vocabs.output.decode_name(&namer.predict(&store, &at(s), 5))
     });
@@ -476,6 +478,7 @@ fn code2vec_scores(ds: &MethodDataset, scale: &Scale) -> NameScores {
         &mut rng,
     );
     train_code2vec(&model, &mut store, &samples, &scale.baseline_config(), &mut rng);
+    let _span = obs::span!("eval.predict");
     let predictions = par::par_map_ordered(&ds.test, |_, s| {
         let label = model.predict(&store, &s.c2v);
         minilang::subtokens(ds.vocabs.name_labels.token(label))
@@ -501,6 +504,7 @@ fn code2seq_scores(ds: &MethodDataset, scale: &Scale) -> NameScores {
         &mut rng,
     );
     train_code2seq(&model, &mut store, &samples, &scale.baseline_config(), &mut rng);
+    let _span = obs::span!("eval.predict");
     let predictions = par::par_map_ordered(&ds.test, |_, s| {
         ds.vocabs.output.decode_name(&model.predict(&store, &s.c2s, 5))
     });
@@ -688,6 +692,7 @@ pub fn eval_coset_classifier(
         coset_at(s, &ds.vocab, &opts, keep, concrete).0
     };
     let mut workspaces: Vec<liger::Workspace> = Vec::new();
+    let _span = obs::span!("eval.predict");
     let predictions = par::par_map_ordered_with(
         &ds.test,
         &mut workspaces,
@@ -723,6 +728,7 @@ pub fn dypro_coset_scores(
         DyproClassifier::new(&mut store, ds.vocab.len(), ds.num_classes, scale.hidden, &mut rng);
     train_dypro_classifier(&cls, &mut store, &samples, &scale.dypro_config(), &mut rng);
 
+    let _span = obs::span!("eval.predict");
     let predictions = par::par_map_ordered(&ds.test, |_, s| cls.predict(&store, &at(s)));
     let mut acc = Accuracy::default();
     let mut f1 = ClassF1::default();

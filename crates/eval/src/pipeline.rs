@@ -154,6 +154,7 @@ pub fn prepare_method_dataset<R: Rng + ?Sized>(
     concrete_per_path: usize,
     rng: &mut R,
 ) -> MethodDataset {
+    let _span = obs::span!("eval.prepare");
     let split = datagen::split_indices(corpus.samples.len(), opts.train_frac, 0.0, rng);
 
     // Pass 1: vocabularies from the training split.
@@ -222,6 +223,7 @@ pub fn prepare_coset_dataset<R: Rng + ?Sized>(
     concrete_per_path: usize,
     rng: &mut R,
 ) -> CosetDataset {
+    let _span = obs::span!("eval.prepare");
     let split = datagen::split_indices(corpus.samples.len(), opts.train_frac, 0.0, rng);
     let mut vocab = Vocab::new();
     let blended_cache: Vec<(Vec<BlendedTrace>, usize)> =

@@ -66,6 +66,8 @@ pub fn run_with_fuel(
     inputs: &[Value],
     fuel: u64,
 ) -> Result<RunResult, RuntimeError> {
+    let _span = obs::span!("interp.run");
+    obs::counter!("interp.runs").inc();
     let f = &program.function;
     if inputs.len() != f.params.len() {
         return Err(RuntimeError::ArityMismatch {

@@ -1,0 +1,120 @@
+//! `trace-validate` — checks that an emitted chrome-trace file is
+//! well-formed and that its spans actually cover the profiled run.
+//!
+//! CI runs a profiled quickstart, then this tool over the emitted
+//! `quickstart.trace.json`:
+//!
+//! - the file must parse with the in-tree JSON codec,
+//! - `traceEvents` must be a non-empty array of complete events
+//!   (`"ph":"X"`) with `name`/`ts`/`dur`/`pid`/`tid` fields,
+//! - the longest top-level span must cover at least `--min-coverage`
+//!   (default 0.9) of the recorded wall time (`otherData.wall_us`, or
+//!   the event extent when absent) — i.e. the instrumentation actually
+//!   brackets the run instead of sampling slivers of it.
+//!
+//! Exit status: 0 valid, 1 validation failure, 2 usage/IO error.
+
+use obs::json::{parse, Json};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace-validate [--min-coverage F] FILE.trace.json";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace-validate: {msg}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut min_coverage = 0.9f64;
+    let mut file = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-coverage" => {
+                min_coverage = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(f) => f,
+                    None => {
+                        eprintln!("--min-coverage needs a number\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => file = Some(f.to_string()),
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-validate: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{file} is not valid JSON: {e}")),
+    };
+
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        return fail("missing traceEvents array");
+    };
+    if events.is_empty() {
+        return fail("traceEvents is empty — nothing was profiled");
+    }
+
+    let mut max_end = 0f64;
+    let mut min_start = f64::INFINITY;
+    let mut longest = 0f64;
+    for (i, e) in events.iter().enumerate() {
+        let name = e.get("name").and_then(Json::as_str);
+        let ph = e.get("ph").and_then(Json::as_str);
+        let ts = e.get("ts").and_then(Json::as_f64);
+        let dur = e.get("dur").and_then(Json::as_f64);
+        let has_ids = e.get("pid").is_some() && e.get("tid").is_some();
+        let (Some(_), Some("X"), Some(ts), Some(dur), true) = (name, ph, ts, dur, has_ids)
+        else {
+            return fail(&format!("event {i} is not a complete span event: {e}"));
+        };
+        if ts < 0.0 || dur < 0.0 {
+            return fail(&format!("event {i} has a negative ts/dur: {e}"));
+        }
+        min_start = min_start.min(ts);
+        max_end = max_end.max(ts + dur);
+        longest = longest.max(dur);
+    }
+
+    let wall_us = doc
+        .get("otherData")
+        .and_then(|o| o.get("wall_us"))
+        .and_then(Json::as_f64)
+        .unwrap_or(max_end - min_start)
+        .max(1.0);
+    let coverage = longest / wall_us;
+    println!(
+        "trace-validate: {file}: {} events, wall {:.1}ms, longest span {:.1}ms ({:.1}% coverage)",
+        events.len(),
+        wall_us / 1_000.0,
+        longest / 1_000.0,
+        coverage * 100.0
+    );
+    if coverage < min_coverage {
+        return fail(&format!(
+            "longest span covers {:.1}% of wall time, need ≥ {:.1}%",
+            coverage * 100.0,
+            min_coverage * 100.0
+        ));
+    }
+    ExitCode::SUCCESS
+}

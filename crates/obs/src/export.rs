@@ -1,0 +1,361 @@
+//! Exporters: aggregate recorded spans into a [`Profile`] and render it
+//! as a human-readable tree, machine-readable JSON, or a
+//! chrome://tracing "Trace Event Format" file.
+//!
+//! The chrome-trace output is plain JSON built with the in-tree
+//! [`crate::json`] codec — open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev> for a flamegraph of a whole training run or
+//! serve session. Every complete event (`"ph":"X"`) carries
+//! microsecond `ts`/`dur` relative to the profile epoch, and the file's
+//! `otherData` block embeds the metrics-registry snapshot plus the wall
+//! time, so one artifact answers both "where did the time go" and "how
+//! many cache hits / solver calls / batches happened".
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{self, PathId, TraceData, ROOT_PATH};
+use std::collections::HashMap;
+
+/// One aggregated span chain.
+#[derive(Debug, Clone)]
+pub struct ProfNode {
+    /// The interned chain id.
+    pub path: PathId,
+    /// Parent chain ([`ROOT_PATH`] for top-level spans).
+    pub parent: PathId,
+    /// The span name (last segment of the chain).
+    pub name: &'static str,
+    /// Occurrences.
+    pub count: u64,
+    /// Total inclusive time, nanoseconds.
+    pub total_ns: u64,
+    /// Total inclusive time of direct children, nanoseconds.
+    pub child_ns: u64,
+}
+
+impl ProfNode {
+    /// Inclusive time minus direct children's inclusive time.
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+}
+
+/// Aggregated spans plus the raw events they came from.
+#[derive(Debug, Default, Clone)]
+pub struct Profile {
+    /// The drained trace data (raw events feed the chrome exporter).
+    pub data: TraceData,
+    /// Aggregated nodes, one per distinct span chain, in path-id order.
+    pub nodes: Vec<ProfNode>,
+    index: HashMap<PathId, usize>,
+}
+
+impl Profile {
+    /// Drains everything recorded so far and aggregates it.
+    pub fn collect() -> Profile {
+        Profile::from_data(trace::drain())
+    }
+
+    /// Aggregates already-drained trace data.
+    pub fn from_data(data: TraceData) -> Profile {
+        let mut agg: HashMap<PathId, (u64, u64)> = HashMap::new();
+        for e in &data.events {
+            let slot = agg.entry(e.path).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += e.dur_ns;
+        }
+        for &(path, count, ns) in &data.overflow {
+            let slot = agg.entry(path).or_insert((0, 0));
+            slot.0 += count;
+            slot.1 += ns;
+        }
+        let mut child_ns: HashMap<PathId, u64> = HashMap::new();
+        for (&path, &(_, ns)) in &agg {
+            let (parent, _) = data.paths[path as usize];
+            if parent != ROOT_PATH {
+                *child_ns.entry(parent).or_insert(0) += ns;
+            }
+        }
+        let mut nodes: Vec<ProfNode> = agg
+            .into_iter()
+            .map(|(path, (count, total_ns))| {
+                let (parent, name) = data.paths[path as usize];
+                ProfNode {
+                    path,
+                    parent,
+                    name,
+                    count,
+                    total_ns,
+                    child_ns: child_ns.get(&path).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        nodes.sort_by_key(|n| n.path);
+        let index = nodes.iter().enumerate().map(|(i, n)| (n.path, i)).collect();
+        Profile { data, nodes, index }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The aggregated node of one chain id.
+    pub fn node(&self, path: PathId) -> Option<&ProfNode> {
+        self.index.get(&path).map(|&i| &self.nodes[i])
+    }
+
+    /// Resolves a name chain (`["train.epoch", "train.batch"]`, rooted at
+    /// the top) to its aggregated node.
+    pub fn node_by_names(&self, chain: &[&str]) -> Option<&ProfNode> {
+        let mut parent = ROOT_PATH;
+        let mut found: Option<&ProfNode> = None;
+        for name in chain {
+            found = self.nodes.iter().find(|n| n.parent == parent && n.name == *name);
+            parent = found?.path;
+        }
+        found
+    }
+
+    /// Direct children of `path`, by descending inclusive time.
+    pub fn children(&self, path: PathId) -> Vec<&ProfNode> {
+        let mut out: Vec<&ProfNode> =
+            self.nodes.iter().filter(|n| n.parent == path).collect();
+        out.sort_by_key(|n| std::cmp::Reverse(n.total_ns));
+        out
+    }
+
+    /// Top-level aggregated spans, by descending inclusive time.
+    pub fn roots(&self) -> Vec<&ProfNode> {
+        self.children(ROOT_PATH)
+    }
+
+    /// Renders the aggregation as an indented tree:
+    ///
+    /// ```text
+    /// train.epoch                 count 2    incl 812.4ms  self 1.3ms
+    ///   train.batch               count 6    incl 811.1ms  self 2.0ms
+    ///     encode.program          count 36   incl 790.2ms  self 12.9ms
+    /// ```
+    pub fn summary_tree(&self) -> String {
+        let mut out = String::new();
+        for root in self.roots() {
+            self.render_node(root, 0, &mut out);
+        }
+        if self.data.dropped > 0 {
+            out.push_str(&format!(
+                "({} events beyond the retention cap were folded into the totals)\n",
+                self.data.dropped
+            ));
+        }
+        out
+    }
+
+    fn render_node(&self, node: &ProfNode, depth: usize, out: &mut String) {
+        let label = format!("{:indent$}{}", "", node.name, indent = 2 * depth);
+        out.push_str(&format!(
+            "{label:<40} count {:<8} incl {:>10} self {:>10}\n",
+            node.count,
+            fmt_ns(node.total_ns),
+            fmt_ns(node.self_ns()),
+        ));
+        for child in self.children(node.path) {
+            self.render_node(child, depth + 1, out);
+        }
+    }
+
+    /// The aggregation as a JSON array of
+    /// `{chain, count, incl_ns, self_ns}` rows (machine-readable form of
+    /// [`Profile::summary_tree`]).
+    pub fn summary_json(&self) -> Json {
+        let mut rows = Vec::new();
+        for root in self.roots() {
+            self.summary_rows(root, &mut Vec::new(), &mut rows);
+        }
+        Json::Arr(rows)
+    }
+
+    fn summary_rows<'a>(
+        &'a self,
+        node: &'a ProfNode,
+        chain: &mut Vec<&'a str>,
+        rows: &mut Vec<Json>,
+    ) {
+        chain.push(node.name);
+        rows.push(Json::obj(vec![
+            ("chain", Json::str(chain.join("/"))),
+            ("count", Json::Num(node.count as f64)),
+            ("incl_ns", Json::Num(node.total_ns as f64)),
+            ("self_ns", Json::Num(node.self_ns() as f64)),
+        ]));
+        for child in self.children(node.path) {
+            self.summary_rows(child, chain, rows);
+        }
+        chain.pop();
+    }
+
+    /// The raw events as a chrome://tracing "Trace Event Format"
+    /// document. `metrics`, when given, is embedded under
+    /// `otherData.metrics`.
+    pub fn chrome_trace(&self, metrics: Option<&MetricsSnapshot>) -> Json {
+        let events: Vec<Json> = self
+            .data
+            .events
+            .iter()
+            .map(|e| {
+                let (_, name) = self.data.paths[e.path as usize];
+                Json::obj(vec![
+                    ("name", Json::str(name)),
+                    ("cat", Json::str("liger")),
+                    ("ph", Json::str("X")),
+                    ("ts", Json::Num(e.start_ns as f64 / 1_000.0)),
+                    ("dur", Json::Num(e.dur_ns as f64 / 1_000.0)),
+                    ("pid", Json::Num(1.0)),
+                    ("tid", Json::Num(f64::from(e.tid))),
+                ])
+            })
+            .collect();
+        let mut other = vec![
+            ("wall_us", Json::Num(trace::now_ns() as f64 / 1_000.0)),
+            ("dropped_events", Json::Num(self.data.dropped as f64)),
+            ("summary", self.summary_json()),
+        ];
+        if let Some(m) = metrics {
+            other.push(("metrics", m.to_json()));
+        }
+        Json::obj(vec![
+            ("traceEvents", Json::Arr(events)),
+            ("displayTimeUnit", Json::str("ms")),
+            ("otherData", Json::obj(other)),
+        ])
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Collects the profile, embeds the current metrics snapshot, and writes
+/// a chrome-trace JSON file. Returns the profile for callers that also
+/// want the stderr tree.
+///
+/// # Errors
+///
+/// Returns the file-write error.
+pub fn write_chrome_trace(path: impl AsRef<std::path::Path>) -> std::io::Result<Profile> {
+    let profile = Profile::collect();
+    let doc = profile.chrome_trace(Some(&crate::metrics::registry().snapshot()));
+    std::fs::write(path, doc.to_string())?;
+    Ok(profile)
+}
+
+/// Prints the span tree and the metrics table to stderr under a header —
+/// the uniform end-of-run report the drivers share. Call after workers
+/// have joined; does nothing when tracing never recorded anything and no
+/// metric was touched.
+///
+/// Draining note: this *consumes* the recorded events. A driver that also
+/// wants a trace file should collect once — e.g. via
+/// [`write_chrome_trace`], which returns the [`Profile`] — and print with
+/// [`report_profile`].
+pub fn report(label: &str) {
+    report_profile(label, &Profile::collect());
+}
+
+/// [`report`] on an already-collected profile (non-draining).
+pub fn report_profile(label: &str, profile: &Profile) {
+    let metrics = crate::metrics::registry().snapshot();
+    if profile.is_empty() && metrics.0.is_empty() {
+        return;
+    }
+    eprintln!("== {label}: spans ==");
+    eprint!("{}", profile.summary_tree());
+    if !metrics.0.is_empty() {
+        eprintln!("== {label}: metrics ==");
+        eprint!("{}", metrics.render_table());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{set_enabled, TRACE_TEST_LOCK};
+
+    fn spin_for(us: u64) {
+        let start = std::time::Instant::now();
+        while start.elapsed().as_micros() < u128::from(us) {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn profile_aggregates_and_exports() {
+        let _guard = TRACE_TEST_LOCK.lock().unwrap();
+        set_enabled(Some(true));
+        trace::reset();
+        for _ in 0..3 {
+            let _a = crate::span!("test.export.outer");
+            spin_for(40);
+            let _b = crate::span!("test.export.inner");
+            spin_for(40);
+        }
+        let profile = Profile::collect();
+        set_enabled(None);
+
+        let outer = profile.node_by_names(&["test.export.outer"]).expect("outer node");
+        let inner = profile
+            .node_by_names(&["test.export.outer", "test.export.inner"])
+            .expect("inner node");
+        assert_eq!(outer.count, 3);
+        assert_eq!(inner.count, 3);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns() <= outer.total_ns);
+        assert_eq!(outer.child_ns, inner.total_ns);
+
+        let tree = profile.summary_tree();
+        assert!(tree.contains("test.export.outer"));
+        assert!(tree.contains("  test.export.inner"), "children are indented: {tree}");
+
+        // The chrome trace parses back through the same codec and keeps
+        // every event.
+        let doc = profile.chrome_trace(Some(&crate::metrics::registry().snapshot()));
+        let text = doc.to_string();
+        let back = crate::json::parse(&text).expect("chrome trace is valid JSON");
+        let events = back.get("traceEvents").and_then(Json::as_arr).expect("traceEvents");
+        assert_eq!(events.len(), 6);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(e.get("ts").and_then(Json::as_f64).is_some());
+            assert!(e.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+        }
+        assert!(back.get("otherData").and_then(|o| o.get("wall_us")).is_some());
+    }
+
+    #[test]
+    fn write_chrome_trace_roundtrips_through_a_file() {
+        let _guard = TRACE_TEST_LOCK.lock().unwrap();
+        set_enabled(Some(true));
+        trace::reset();
+        {
+            let _s = crate::span!("test.export.file");
+            spin_for(10);
+        }
+        let path = std::env::temp_dir().join("obs_export_test.trace.json");
+        let profile = write_chrome_trace(&path).expect("write");
+        set_enabled(None);
+        assert!(profile.node_by_names(&["test.export.file"]).is_some());
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let doc = crate::json::parse(&text).expect("parses");
+        assert!(!doc.get("traceEvents").and_then(Json::as_arr).unwrap().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

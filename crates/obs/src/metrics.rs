@@ -1,0 +1,538 @@
+//! The global metrics registry: named counters, gauges, and log₂
+//! histograms.
+//!
+//! ## Design
+//!
+//! Recording must be cheap enough for hot paths (the `par` dispatch loop,
+//! the serve batcher, per-guard solver calls), so every metric is a fixed
+//! set of atomics and every record is one or two relaxed RMW operations —
+//! no locks, no allocation. The only mutex in the subsystem guards the
+//! *name → metric* map, and it is touched once per call site: the
+//! [`counter!`](crate::counter)/[`gauge!`](crate::gauge)/
+//! [`histogram!`](crate::histogram) macros cache the resolved [`Arc`] in a
+//! per-call-site `OnceLock`.
+//!
+//! ## Histograms
+//!
+//! A [`Histogram`] buckets samples by ⌊log₂ v⌋ (bucket *i* holds
+//! `[2^i, 2^(i+1))`; bucket 0 holds `[0, 2)`) and additionally tracks the
+//! exact count and sum. Quantiles interpolate linearly *within* the
+//! bucket where the requested rank falls, assuming samples spread
+//! uniformly across it — so a histogram with every sample in one bucket
+//! reports quantiles inside that bucket instead of pessimistically
+//! returning its upper bound (the bug the serve STATS block shipped
+//! with; see the pinned-distribution tests below).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of log₂ buckets: 2⁴⁰ µs ≈ 12 days, effectively unbounded for
+/// every duration this system measures.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonically increasing named count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts `n` (for optimistic bookkeeping that must be reverted).
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (benches and tests).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named value that can go up and down (queue depths, pool sizes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts 1.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log₂-bucketed histogram with exact count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The bucket index of sample `v`: position of its highest set bit
+/// (0 for values 0 and 1), clamped to the last bucket.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize - 1).min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn record_duration_us(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The interpolated `q`-quantile of the recorded samples (0 when
+    /// empty). See [`quantile_from_counts`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of the buckets, count, and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (log₂ buckets).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The interpolated `q`-quantile (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_counts(&self.buckets, q)
+    }
+
+    /// The mean of the recorded samples (exact, from count and sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The `q`-quantile of a log₂-bucketed count vector, linearly
+/// interpolated within the bucket where the rank falls.
+///
+/// Bucket *i* spans `[lo, hi)` = `[2^i, 2^(i+1))` (bucket 0 spans
+/// `[0, 2)`). If the ⌈q·total⌉-th sample is the *k*-th of *c* samples in
+/// its bucket, the estimate is `lo + (k / c) · (hi − lo)` — samples are
+/// assumed to spread uniformly across the bucket, and `k = c` recovers
+/// the bucket upper bound, so the estimate never leaves the bucket and
+/// `q = 1.0` degrades to the old conservative bound.
+pub fn quantile_from_counts(counts: &[u64], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q * total as f64).ceil().clamp(1.0, total as f64) as u64;
+    let mut seen = 0u64;
+    for (bucket, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        if seen + count >= rank {
+            let lo = if bucket == 0 { 0 } else { 1u64 << bucket };
+            let hi = 1u64 << (bucket + 1);
+            let into = (rank - seen) as f64 / count as f64; // (0, 1]
+            return lo + ((hi - lo) as f64 * into).round() as u64;
+        }
+        seen += count;
+    }
+    1u64 << counts.len().min(63)
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Arc<Counter>),
+    /// A [`Gauge`].
+    Gauge(Arc<Gauge>),
+    /// A [`Histogram`].
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// The process-wide name → metric map. Obtain it via [`registry`]; hot
+/// paths should resolve metrics through the
+/// [`counter!`](crate::counter)-family macros, which hit this map once
+/// per call site.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// The counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind — metric
+    /// names are a process-wide namespace, so a kind clash is a bug at
+    /// the call site.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a counter"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a gauge"),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("metric {name:?} already registered as {other:?}, wanted a histogram"),
+        }
+    }
+
+    /// Registers (or replaces) `metric` under `name`. Components that own
+    /// per-instance metrics (one [`crate::metrics::Histogram`] per server,
+    /// say) register them here so exporters see the live instance; the
+    /// newest registration wins.
+    pub fn register(&self, name: &str, metric: Metric) {
+        self.metrics.lock().unwrap().insert(name.to_string(), metric);
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.lock().unwrap();
+        MetricsSnapshot(
+            map.iter()
+                .map(|(name, m)| {
+                    let value = match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.get()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot(pub BTreeMap<String, MetricValue>);
+
+impl MetricsSnapshot {
+    /// The counter value under `name`, if registered as one.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.0.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Renders one aligned `name value` line per metric (histograms show
+    /// count, mean, p50, p99) — the uniform stats block drivers print.
+    pub fn render_table(&self) -> String {
+        let width = self.0.keys().map(String::len).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.0 {
+            let rendered = match value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Gauge(v) => format!("{v}"),
+                MetricValue::Histogram(h) => format!(
+                    "count {} mean {:.1} p50 {} p99 {}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.99)
+                ),
+            };
+            out.push_str(&format!("{name:width$}  {rendered}\n"));
+        }
+        out
+    }
+
+    /// The snapshot as a JSON object (histograms become
+    /// `{count, sum, mean, p50, p90, p99}`).
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::Obj(
+            self.0
+                .iter()
+                .map(|(name, value)| {
+                    let v = match value {
+                        MetricValue::Counter(v) => Json::Num(*v as f64),
+                        MetricValue::Gauge(v) => Json::Num(*v as f64),
+                        MetricValue::Histogram(h) => Json::obj(vec![
+                            ("count", Json::Num(h.count as f64)),
+                            ("sum", Json::Num(h.sum as f64)),
+                            ("mean", Json::Num(h.mean())),
+                            ("p50", Json::Num(h.quantile(0.50) as f64)),
+                            ("p90", Json::Num(h.quantile(0.90) as f64)),
+                            ("p99", Json::Num(h.quantile(0.99) as f64)),
+                        ]),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let c = Counter::new();
+        c.add(5);
+        c.inc();
+        c.sub(2);
+        assert_eq!(c.get(), 4);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.add(3);
+        g.dec();
+        assert_eq!(g.get(), 2);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    /// The satellite fix, pinned: a point mass in one bucket interpolates
+    /// to positions inside the bucket instead of its upper bound.
+    #[test]
+    fn quantiles_interpolate_within_the_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100); // bucket 6 = [64, 128)
+        }
+        // Rank 50 of 100 → half-way through the bucket: 64 + 0.5·64 = 96.
+        assert_eq!(h.quantile(0.50), 96);
+        // Rank 99 → 64 + 0.99·64 ≈ 127, still inside the bucket (the old
+        // code reported 128, the upper bound, for every quantile).
+        assert_eq!(h.quantile(0.99), 127);
+        assert_eq!(h.quantile(1.0), 128); // full rank degrades to the bound
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 10_000);
+        assert!((h.snapshot().mean() - 100.0).abs() < f64::EPSILON);
+    }
+
+    /// A known bimodal distribution: 90 fast + 10 slow samples.
+    #[test]
+    fn quantiles_pin_a_bimodal_distribution() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 6 = [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(100_000); // bucket 16 = [65536, 131072)
+        }
+        // p50: rank 50 of 100, the 50th of 90 samples in bucket 6:
+        // 64 + (50/90)·64 ≈ 99.6 → 100.
+        assert_eq!(h.quantile(0.50), 100);
+        // p90: rank 90 — the last fast sample: 64 + (90/90)·64 = 128.
+        assert_eq!(h.quantile(0.90), 128);
+        // p99: rank 99, the 9th of 10 slow samples:
+        // 65536 + 0.9·65536 ≈ 124518.
+        assert_eq!(h.quantile(0.99), 124_518);
+    }
+
+    /// Uniformly spread samples: interpolation lands within one bucket
+    /// width of the exact quantile everywhere.
+    #[test]
+    fn quantiles_track_a_uniform_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        for q in [0.10f64, 0.25, 0.50, 0.75, 0.90, 0.99] {
+            let exact = (q * 1024.0).ceil();
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - exact).abs() <= exact,
+                "q={q}: interpolated {got} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+        assert_eq!(HistogramSnapshot { buckets: vec![], count: 0, sum: 0 }.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_resolves_and_snapshots() {
+        let r = registry();
+        let c = r.counter("test.metrics.hits");
+        c.add(3);
+        assert!(Arc::ptr_eq(&c, &r.counter("test.metrics.hits")));
+        let g = r.gauge("test.metrics.depth");
+        g.set(2);
+        let h = r.histogram("test.metrics.lat");
+        h.record(10);
+
+        let snap = r.snapshot();
+        assert!(snap.counter("test.metrics.hits").unwrap() >= 3);
+        assert_eq!(snap.0.get("test.metrics.depth"), Some(&MetricValue::Gauge(2)));
+        let table = snap.render_table();
+        assert!(table.contains("test.metrics.hits"));
+        assert!(table.contains("test.metrics.lat"));
+        let json = snap.to_json().to_string();
+        assert!(json.contains("\"test.metrics.depth\":2"));
+        assert!(crate::json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn register_replaces_the_live_instance() {
+        let r = registry();
+        let first = Arc::new(Counter::new());
+        first.add(1);
+        r.register("test.metrics.replace", Metric::Counter(Arc::clone(&first)));
+        let second = Arc::new(Counter::new());
+        second.add(7);
+        r.register("test.metrics.replace", Metric::Counter(Arc::clone(&second)));
+        assert_eq!(r.snapshot().counter("test.metrics.replace"), Some(7));
+    }
+}

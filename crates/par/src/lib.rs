@@ -114,6 +114,7 @@ where
     if scratches.len() < workers {
         scratches.resize_with(workers, init);
     }
+    let _span = obs::span!("par.batch");
     if workers <= 1 {
         let scratch = &mut scratches[0];
         return items.iter().enumerate().map(|(i, t)| f(scratch, i, t)).collect();
@@ -138,6 +139,9 @@ where
     std::thread::scope(|scope| {
         for ((start, out), scratch) in chunks.into_iter().zip(scratches.iter_mut()) {
             scope.spawn(move || {
+                // Worker threads have their own span stack, so this
+                // shows up as a per-thread root in the trace timeline.
+                let _span = obs::span!("par.worker");
                 for (offset, slot) in out.iter_mut().enumerate() {
                     let i = start + offset;
                     *slot = Some(f(scratch, i, &items[i]));

@@ -74,11 +74,14 @@ pub fn generate_grouped<R: Rng + ?Sized>(
     config: &GenConfig,
     rng: &mut R,
 ) -> (Vec<PathGroup>, GenStats) {
+    let _span = obs::span!("randgen.generate");
+    obs::counter!("randgen.programs").inc();
     let mut stats = GenStats::default();
     if config.static_screen && analysis::lint::run(program).has_fatal() {
         // Provably crashes or diverges on every input: no execution could
         // ever be kept, so skip the attempt loop entirely.
         stats.screened = true;
+        obs::counter!("randgen.screened").inc();
         return (Vec::new(), stats);
     }
     let mut kept: Vec<ExecutionTrace> = Vec::new();
@@ -122,6 +125,8 @@ pub fn generate_grouped<R: Rng + ?Sized>(
 
     let groups = group_by_path(kept);
     stats.paths = groups.len();
+    obs::counter!("randgen.attempts").add(stats.attempts as u64);
+    obs::counter!("randgen.kept").add(stats.kept as u64);
     (groups, stats)
 }
 

@@ -5,10 +5,11 @@
 //! classification queries over TCP, micro-batching concurrent requests
 //! into shared forward passes (DESIGN.md §2c).
 //!
-//! - [`json`] — a minimal JSON value/parser/writer (the workspace is
-//!   offline; no serde),
+//! - [`json`] — the minimal JSON value/parser/writer, re-exported from
+//!   [`obs`] where it now lives (the workspace is offline; no serde),
 //! - [`protocol`] — length-prefixed JSON frames and the request grammar,
-//! - [`stats`] — lock-free counters + latency percentiles for STATS,
+//! - [`stats`] — `obs`-backed counters + interpolated latency
+//!   percentiles for STATS,
 //! - [`server`] — the bounded queue, batcher, and connection handlers.
 //!
 //! # Examples
@@ -30,7 +31,7 @@
 //! # }
 //! ```
 
-pub mod json;
+pub use obs::json;
 pub mod protocol;
 pub mod server;
 pub mod stats;

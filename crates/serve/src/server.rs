@@ -352,11 +352,14 @@ fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, ti
             }
         }
 
+        // Span opens after the blocking recv: it times coalescing,
+        // fan-out, and replies, not idle queue waits.
+        let _span = obs::span!("serve.batch");
         let mut inputs = Vec::with_capacity(batch.len());
         let mut sinks = Vec::with_capacity(batch.len());
         for job in batch {
             inputs.push((job.kind, job.prog));
-            sinks.push((job.reply, job.queued));
+            sinks.push((job.reply, job.queued, job.kind));
         }
         let results = par::par_map_ordered_with(
             &inputs,
@@ -364,9 +367,9 @@ fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, ti
             Workspace::new,
             |ws, _i, (kind, prog)| run_inference(shared, ws, *kind, prog),
         );
-        shared.stats.record_batch();
-        for ((reply, queued), result) in sinks.into_iter().zip(results) {
-            shared.stats.record_latency(queued.elapsed());
+        shared.stats.record_batch(inputs.len());
+        for ((reply, queued, kind), result) in sinks.into_iter().zip(results) {
+            shared.stats.record_latency(kind, queued.elapsed());
             let _ = reply.send(result); // receiver may have hung up
         }
     }
@@ -376,6 +379,7 @@ fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, ti
 /// function of the program — bitwise identical to the offline memoized
 /// encoder no matter which worker or batch runs it.
 fn run_inference(shared: &Shared, ws: &mut Workspace, kind: InferKind, prog: &EncodedProgram) -> Json {
+    let _span = obs::span!("serve.infer");
     match kind {
         InferKind::Embed => {
             let embedding = shared.task.embed_in(ws, &shared.store, prog);

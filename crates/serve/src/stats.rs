@@ -1,28 +1,38 @@
-//! Lock-free server counters and a log-bucketed latency histogram.
+//! Server counters on the shared `obs` metrics types.
 //!
-//! Handlers and the batcher record into shared atomics; the STATS verb
-//! snapshots them without stopping the world. Latency percentiles come
-//! from a power-of-two-bucketed histogram (bucket *i* holds samples with
-//! ⌊log₂ µs⌋ = *i*), so p50/p99 are upper bounds accurate to 2× — enough
-//! to see batching and queueing effects without a mutex on the hot path.
+//! The bespoke atomics this module used to hand-roll now live in
+//! [`obs::metrics`]: counters, a queue-depth gauge, and log₂ latency
+//! histograms whose p50/p99 *interpolate within the bucket* instead of
+//! reporting its upper bound (the old STATS behaviour over-reported
+//! percentiles by up to 2×). Each server instance owns its metrics — the
+//! STATS verb snapshots exactly this server — and registers them in the
+//! process-wide [`obs::metrics::registry`] under `serve.*` names, so the
+//! chrome-trace exporter and any driver-level metrics table see the live
+//! server alongside encoder/symexec/datagen counters. The STATS protocol
+//! reply itself is unchanged: same keys, same integer rendering.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use obs::metrics::{registry, Counter, Gauge, Histogram, Metric};
+use std::sync::Arc;
 
-const BUCKETS: usize = 40; // 2⁴⁰ µs ≈ 12 days: effectively unbounded.
+use crate::protocol::InferKind;
 
 /// Shared server counters. All methods are safe to call concurrently.
 #[derive(Debug)]
 pub struct ServeStats {
     /// Inference requests accepted into the queue.
-    requests: AtomicU64,
+    requests: Arc<Counter>,
     /// Forward-pass batches executed.
-    batches: AtomicU64,
+    batches: Arc<Counter>,
     /// Requests rejected with BUSY (queue full).
-    rejected: AtomicU64,
+    rejected: Arc<Counter>,
     /// Current queue depth (enqueued, not yet batched).
-    queue_depth: AtomicU64,
-    /// Latency histogram: enqueue → reply, microseconds, log₂ buckets.
-    latency: [AtomicU64; BUCKETS],
+    queue_depth: Arc<Gauge>,
+    /// Latency histogram: enqueue → reply, microseconds.
+    latency: Arc<Histogram>,
+    /// Requests per executed batch.
+    batch_size: Arc<Histogram>,
+    /// Per-op latency histograms, indexed embed/name/classify.
+    per_op: [Arc<Histogram>; 3],
 }
 
 /// A point-in-time copy of the counters.
@@ -36,9 +46,9 @@ pub struct StatsSnapshot {
     pub rejected: u64,
     /// Queue depth at snapshot time.
     pub queue_depth: u64,
-    /// Median request latency upper bound, microseconds.
+    /// Median request latency (interpolated), microseconds.
     pub p50_us: u64,
-    /// 99th-percentile request latency upper bound, microseconds.
+    /// 99th-percentile request latency (interpolated), microseconds.
     pub p99_us: u64,
 }
 
@@ -48,86 +58,88 @@ impl Default for ServeStats {
     }
 }
 
+fn op_index(kind: InferKind) -> usize {
+    match kind {
+        InferKind::Embed => 0,
+        InferKind::Name => 1,
+        InferKind::Classify => 2,
+    }
+}
+
 impl ServeStats {
-    /// A fresh zeroed counter set.
+    /// A fresh zeroed counter set, registered (replacing any previous
+    /// server's) under `serve.*` in the global metrics registry.
     pub fn new() -> ServeStats {
-        ServeStats {
-            requests: AtomicU64::new(0),
-            batches: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            queue_depth: AtomicU64::new(0),
-            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        let stats = ServeStats {
+            requests: Arc::new(Counter::new()),
+            batches: Arc::new(Counter::new()),
+            rejected: Arc::new(Counter::new()),
+            queue_depth: Arc::new(Gauge::new()),
+            latency: Arc::new(Histogram::new()),
+            batch_size: Arc::new(Histogram::new()),
+            per_op: std::array::from_fn(|_| Arc::new(Histogram::new())),
+        };
+        let r = registry();
+        r.register("serve.requests", Metric::Counter(Arc::clone(&stats.requests)));
+        r.register("serve.batches", Metric::Counter(Arc::clone(&stats.batches)));
+        r.register("serve.rejected", Metric::Counter(Arc::clone(&stats.rejected)));
+        r.register("serve.queue_depth", Metric::Gauge(Arc::clone(&stats.queue_depth)));
+        r.register("serve.latency_us", Metric::Histogram(Arc::clone(&stats.latency)));
+        r.register("serve.batch_size", Metric::Histogram(Arc::clone(&stats.batch_size)));
+        for (kind, h) in ["embed", "name", "classify"].iter().zip(&stats.per_op) {
+            r.register(&format!("serve.latency_us.{kind}"), Metric::Histogram(Arc::clone(h)));
         }
+        stats
     }
 
     /// Records a request entering the queue.
     pub fn record_enqueued(&self) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
+        self.queue_depth.inc();
     }
 
     /// Records a request leaving the queue (pulled into a batch).
     pub fn record_dequeued(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.dec();
     }
 
     /// Undoes [`ServeStats::record_enqueued`] for a request the queue
     /// refused (recorded optimistically to keep the depth gauge from
     /// racing below zero).
     pub fn record_enqueue_reverted(&self) {
-        self.requests.fetch_sub(1, Ordering::Relaxed);
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.requests.sub(1);
+        self.queue_depth.dec();
     }
 
     /// Records a BUSY rejection.
     pub fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
-    /// Records one executed batch.
-    pub fn record_batch(&self) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
+    /// Records one executed batch of `size` coalesced requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.inc();
+        self.batch_size.record(size as u64);
     }
 
-    /// Records one request's enqueue→reply latency.
-    pub fn record_latency(&self, elapsed: std::time::Duration) {
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        // Bucket = position of the highest set bit; 0 µs lands in bucket 0.
-        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    /// Records one request's enqueue→reply latency under its op.
+    pub fn record_latency(&self, kind: InferKind, elapsed: std::time::Duration) {
+        self.latency.record_duration_us(elapsed);
+        self.per_op[op_index(kind)].record_duration_us(elapsed);
     }
 
     /// Snapshots every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let counts: Vec<u64> =
-            self.latency.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let latency = self.latency.snapshot();
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            p50_us: percentile(&counts, 0.50),
-            p99_us: percentile(&counts, 0.99),
+            requests: self.requests.get(),
+            batches: self.batches.get(),
+            rejected: self.rejected.get(),
+            queue_depth: self.queue_depth.get().max(0) as u64,
+            p50_us: latency.quantile(0.50),
+            p99_us: latency.quantile(0.99),
         }
     }
-}
-
-/// The upper bound of the bucket where the cumulative count crosses `q`.
-fn percentile(counts: &[u64], q: f64) -> u64 {
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return 0;
-    }
-    let rank = (q * total as f64).ceil().max(1.0) as u64;
-    let mut seen = 0;
-    for (bucket, &count) in counts.iter().enumerate() {
-        seen += count;
-        if seen >= rank {
-            // Bucket i holds [2^i, 2^(i+1)) µs; report the upper bound.
-            return 1u64 << (bucket + 1);
-        }
-    }
-    1u64 << BUCKETS
 }
 
 #[cfg(test)]
@@ -144,7 +156,7 @@ mod tests {
         for _ in 0..3 {
             stats.record_dequeued();
         }
-        stats.record_batch();
+        stats.record_batch(3);
         stats.record_rejected();
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 5);
@@ -153,24 +165,50 @@ mod tests {
         assert_eq!(snap.rejected, 1);
     }
 
+    /// Percentiles interpolate inside the bucket: 90 fast samples
+    /// (~100 µs, bucket [64, 128)) and ten slow (~100 ms).
     #[test]
-    fn percentiles_bound_the_samples() {
+    fn percentiles_interpolate_within_buckets() {
         let stats = ServeStats::new();
-        // 90 fast samples (~100 µs) and ten slow (~100 ms).
         for _ in 0..90 {
-            stats.record_latency(Duration::from_micros(100));
+            stats.record_latency(InferKind::Embed, Duration::from_micros(100));
         }
         for _ in 0..10 {
-            stats.record_latency(Duration::from_millis(100));
+            stats.record_latency(InferKind::Name, Duration::from_millis(100));
         }
         let snap = stats.snapshot();
-        assert!(snap.p50_us >= 100 && snap.p50_us <= 256, "p50={}", snap.p50_us);
-        assert!(snap.p99_us >= 100_000 / 2, "p99={}", snap.p99_us);
+        // Rank 50 of 100 is the 50th of 90 samples in [64, 128):
+        // 64 + (50/90)·64 ≈ 100 — the old code reported 256 here.
+        assert_eq!(snap.p50_us, 100);
+        // Rank 99 is the 9th of 10 samples in [65536, 131072).
+        assert_eq!(snap.p99_us, 124_518);
         assert!(snap.p50_us <= snap.p99_us);
+    }
+
+    #[test]
+    fn latency_is_recorded_per_op_too() {
+        let stats = ServeStats::new();
+        stats.record_latency(InferKind::Classify, Duration::from_micros(40));
+        assert_eq!(stats.per_op[op_index(InferKind::Classify)].count(), 1);
+        assert_eq!(stats.per_op[op_index(InferKind::Embed)].count(), 0);
+        assert_eq!(stats.latency.count(), 1);
     }
 
     #[test]
     fn empty_histogram_reports_zero() {
         assert_eq!(ServeStats::new().snapshot().p50_us, 0);
+    }
+
+    #[test]
+    fn stats_register_globally_and_newest_wins() {
+        let first = ServeStats::new();
+        first.record_enqueued();
+        let second = ServeStats::new();
+        second.record_enqueued();
+        second.record_enqueued();
+        let snap = obs::metrics::registry().snapshot();
+        assert_eq!(snap.counter("serve.requests"), Some(2));
+        // The first instance still snapshots its own counts.
+        assert_eq!(first.snapshot().requests, 1);
     }
 }

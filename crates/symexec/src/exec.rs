@@ -93,9 +93,12 @@ pub struct SymExecStats {
 /// Returns an empty path list (with `aborted_paths > 0`) for programs with
 /// `str` parameters, which this executor does not model symbolically.
 pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPath>, SymExecStats) {
+    let _span = obs::span!("symexec.execute");
+    obs::counter!("symexec.programs").inc();
     let mut stats = SymExecStats::default();
     if program.function.params.iter().any(|p| p.ty == Type::Str) {
         stats.aborted_paths = 1;
+        record_stats(&stats);
         return (Vec::new(), stats);
     }
 
@@ -130,6 +133,7 @@ pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPa
                 continue;
             }
             stats.solver_calls += 1;
+            let _solve_span = obs::span!("symexec.solve");
             match solve(&state.pc, spec.num_vars, &config.solver) {
                 SolveResult::Sat(assignment) => {
                     let witness = spec.realize(&assignment);
@@ -149,7 +153,20 @@ pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPa
             }
         }
     }
+    record_stats(&stats);
     (paths, stats)
+}
+
+/// Mirrors one program's enumeration totals into the global metrics
+/// registry so liger-lint/datagen drivers print them uniformly alongside
+/// encoder and serving counters. Purely additive — the per-call
+/// [`SymExecStats`] return value is unchanged.
+fn record_stats(stats: &SymExecStats) {
+    obs::counter!("symexec.sat_paths").add(stats.sat_paths as u64);
+    obs::counter!("symexec.unsat_paths").add(stats.unsat_paths as u64);
+    obs::counter!("symexec.aborted_paths").add(stats.aborted_paths as u64);
+    obs::counter!("symexec.solver_calls").add(stats.solver_calls as u64);
+    obs::counter!("symexec.pruned_guards").add(stats.pruned_guards as u64);
 }
 
 fn length_combos(n_arrays: usize, max_len: usize) -> Vec<Vec<usize>> {
@@ -498,6 +515,7 @@ impl<'a> Engine<'a> {
             let conjunct = if taken { c.clone() } else { c.negate() };
             st.pc.push(conjunct);
             self.stats.solver_calls += 1;
+            let _solve_span = obs::span!("symexec.solve");
             let feasible = match solve(&st.pc, num_vars, &prune) {
                 SolveResult::Sat(_) | SolveResult::Unknown => true,
                 SolveResult::BoundedUnsat => false,

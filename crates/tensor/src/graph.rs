@@ -696,6 +696,7 @@ fn backward_sweep(
     loss: VarId,
 ) -> ParamGrads {
     assert_eq!(values[loss.0].len(), 1, "backward source must be scalar");
+    let _span = obs::span!("graph.backward");
     let mut param_grads = ParamGrads::new();
     let seed = table.fresh_scalar(1.0);
     table.grads[loss.0] = Some(seed);

@@ -6,10 +6,13 @@
 //! cargo run --release --example method_name_prediction
 //! cargo run --release --example method_name_prediction -- --save liger.ckpt
 //! cargo run --release --example method_name_prediction -- --load liger.ckpt
+//! cargo run --release --example method_name_prediction -- --profile
 //! ```
 //!
 //! `--save` trains only LIGER and writes a binary checkpoint;
 //! `--load` evaluates a saved checkpoint without retraining.
+//! `--profile` (or `LIGER_PROFILE=1`) records span timings and writes
+//! `method_name_prediction.trace.json` (chrome://tracing format).
 
 use eval::{
     build_method_dataset, eval_method_namer, load_method_namer, table2, table2_markdown,
@@ -17,8 +20,34 @@ use eval::{
 };
 use liger::Ablation;
 
+const TRACE_PATH: &str = "method_name_prediction.trace.json";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profiling = std::env::args().any(|a| a == "--profile");
+    if profiling {
+        obs::trace::set_enabled(Some(true));
+    }
+    {
+        let _root = obs::span!("method_name_prediction");
+        run();
+    }
+    if profiling || obs::trace::enabled() {
+        match obs::write_chrome_trace(TRACE_PATH) {
+            Ok(profile) => {
+                obs::export::report_profile("method_name_prediction", &profile);
+                eprintln!(
+                    "method_name_prediction: wrote {} span event(s) to {TRACE_PATH}",
+                    profile.data.events.len()
+                );
+            }
+            Err(e) => eprintln!("cannot write {TRACE_PATH}: {e}"),
+        }
+    }
+}
+
+fn run() {
+    let args: Vec<String> =
+        std::env::args().skip(1).filter(|a| a != "--profile").collect();
     let flag_value = |name: &str| {
         args.iter().position(|a| a == name).map(|i| {
             args.get(i + 1).cloned().unwrap_or_else(|| {

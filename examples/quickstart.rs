@@ -10,7 +10,12 @@
 //! cargo run --release --example quickstart              # first run: trains + saves
 //! cargo run --release --example quickstart              # later runs: loads
 //! cargo run --release --example quickstart -- --retrain # force retraining
+//! cargo run --release --example quickstart -- --profile # + quickstart.trace.json
 //! ```
+//!
+//! `--profile` (or `LIGER_PROFILE=1`) turns on span tracing: a summary
+//! tree and metrics table go to stderr, and the full timeline is written
+//! to `quickstart.trace.json` in chrome://tracing "Trace Event" format.
 
 use liger::{
     encode_program, program_into_vocab, EncodeOptions, LigerConfig, LigerNamer, ModelBundle,
@@ -20,8 +25,34 @@ use rand::SeedableRng;
 
 const CKPT_PATH: &str = "quickstart.lgrb";
 
+const TRACE_PATH: &str = "quickstart.trace.json";
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let retrain = std::env::args().any(|a| a == "--retrain");
+    let profile = std::env::args().any(|a| a == "--profile");
+    if profile {
+        obs::trace::set_enabled(Some(true));
+    }
+    let result = {
+        // Root span around the whole pipeline, so the emitted trace has a
+        // single top-level event covering ~all wall time.
+        let _root = obs::span!("quickstart");
+        run(retrain)
+    };
+    if profile || obs::trace::enabled() {
+        // Collect once: the write drains the recorded events, then the
+        // same profile feeds the stderr report.
+        let profile = obs::write_chrome_trace(TRACE_PATH)?;
+        obs::export::report_profile("quickstart", &profile);
+        eprintln!(
+            "quickstart: wrote {} span event(s) to {TRACE_PATH}",
+            profile.data.events.len()
+        );
+    }
+    result
+}
+
+fn run(retrain: bool) -> Result<(), Box<dyn std::error::Error>> {
     let source = "fn maxArray(a: array<int>) -> int {
         if (len(a) == 0) { return 0; }
         let best: int = a[0];

@@ -7,10 +7,13 @@
 //! cargo run --release --example semantics_classification
 //! cargo run --release --example semantics_classification -- --save liger-cls.ckpt
 //! cargo run --release --example semantics_classification -- --load liger-cls.ckpt
+//! cargo run --release --example semantics_classification -- --profile
 //! ```
 //!
 //! `--save` trains only LIGER's classifier and writes a binary
 //! checkpoint; `--load` evaluates a saved checkpoint without retraining.
+//! `--profile` (or `LIGER_PROFILE=1`) records span timings and writes
+//! `semantics_classification.trace.json` (chrome://tracing format).
 
 use eval::{
     build_coset_dataset, eval_coset_classifier, load_coset_classifier, table3, table3_markdown,
@@ -18,8 +21,34 @@ use eval::{
 };
 use liger::Ablation;
 
+const TRACE_PATH: &str = "semantics_classification.trace.json";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profiling = std::env::args().any(|a| a == "--profile");
+    if profiling {
+        obs::trace::set_enabled(Some(true));
+    }
+    {
+        let _root = obs::span!("semantics_classification");
+        run();
+    }
+    if profiling || obs::trace::enabled() {
+        match obs::write_chrome_trace(TRACE_PATH) {
+            Ok(profile) => {
+                obs::export::report_profile("semantics_classification", &profile);
+                eprintln!(
+                    "semantics_classification: wrote {} span event(s) to {TRACE_PATH}",
+                    profile.data.events.len()
+                );
+            }
+            Err(e) => eprintln!("cannot write {TRACE_PATH}: {e}"),
+        }
+    }
+}
+
+fn run() {
+    let args: Vec<String> =
+        std::env::args().skip(1).filter(|a| a != "--profile").collect();
     let flag_value = |name: &str| {
         args.iter().position(|a| a == name).map(|i| {
             args.get(i + 1).cloned().unwrap_or_else(|| {

@@ -5,8 +5,9 @@
 #   * throughput_encode (cold vs steady-state allocations) -> BENCH_encode.json
 #   * throughput_serve (1/2/4/8 pipelining clients) -> BENCH_serve.json
 #   * throughput_analysis (lint/facts throughput + symexec pruning) -> BENCH_analysis.json
+#   * throughput_obs (disabled/enabled span-tracing overhead) -> BENCH_obs.json
 #
-# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json]
+# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json] [obs_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +15,7 @@ par_out="${1:-BENCH_parallel.json}"
 enc_out="${2:-BENCH_encode.json}"
 srv_out="${3:-BENCH_serve.json}"
 ana_out="${4:-BENCH_analysis.json}"
+obs_out="${5:-BENCH_obs.json}"
 
 # ---- parallel minibatch throughput --------------------------------------
 bench_out=$(cargo bench -p bench --bench throughput_parallel 2>&1)
@@ -164,3 +166,48 @@ fi
 } > "$ana_out"
 
 echo "wrote $ana_out"
+
+# ---- observability overhead (disabled/enabled span tracing) -------------
+obs_bench_out=$(cargo bench -p bench --bench throughput_obs 2>&1)
+echo "$obs_bench_out"
+
+obs_json=$(echo "$obs_bench_out" | grep '^OBS' | awk '
+{
+    delete kv
+    for (i = 2; i <= NF; i++) { split($i, p, "="); kv[p[1]] = p[2] }
+    if (kv["mode"] == "spancost") {
+        spancost = sprintf("  \"ns_per_disabled_span\": %s,\n  \"spans_per_program\": %s,\n  \"disabled_overhead_frac\": %s",
+            kv["ns_per_span"], kv["spans_per_program"], kv["overhead_frac"])
+        next
+    }
+    if (kv["mode"] == "summary") {
+        summary = sprintf("  \"overhead_budget\": %s,\n  \"pass\": %s", kv["overhead_budget"], kv["pass"])
+        next
+    }
+    if (nmodes++ > 0) modes = modes ",\n"
+    modes = modes sprintf("    {\"mode\": \"%s\", \"programs\": %s, \"rounds\": %s, \"seconds\": %s, \"programs_per_sec\": %s}",
+        kv["mode"], kv["programs"], kv["rounds"], kv["secs"], kv["programs_per_sec"])
+}
+END {
+    if (nmodes == 0 || spancost == "" || summary == "") exit 1
+    print "  \"results\": ["
+    print modes
+    print "  ],"
+    print spancost ","
+    print summary
+}')
+
+if [ -z "$obs_json" ]; then
+    echo "error: no OBS lines in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput_obs",'
+    echo '  "workload": "memoized LIGER encoder over the tiny method-name dataset, span tracing off vs on; disabled-mode overhead modeled as ns_per_disabled_span x spans_per_program and asserted < 2% in-bench",'
+    printf '%s\n' "$obs_json"
+    echo '}'
+} > "$obs_out"
+
+echo "wrote $obs_out"

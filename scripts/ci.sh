@@ -6,7 +6,9 @@
 # rendered datagen corpus (shipped templates must be diagnostic-free,
 # even of warnings), and a liger-serve smoke test (demo server start,
 # ping + inference + lint + stats over TCP, graceful shutdown via the
-# admin verb).
+# admin verb), and a profiled-quickstart gate (LIGER_PROFILE=1 run must
+# emit a chrome-trace JSON that trace-validate accepts with >=90% of wall
+# time under the root span, plus the <2% disabled-overhead bench).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,3 +80,15 @@ wait "$serve_pid"
 trap 'rm -f "$serve_log"' EXIT
 grep -q 'stopped after' "$serve_log"
 echo "liger-serve smoke test passed"
+
+# ---- profiled quickstart + trace validation -----------------------------
+# A profiled run must produce a chrome-trace file the in-tree JSON codec
+# accepts, with the root span covering >=90% of the recorded wall time.
+rm -f quickstart.trace.json
+LIGER_PROFILE=1 cargo run --release --example quickstart -- --retrain
+target/release/trace-validate --min-coverage 0.9 quickstart.trace.json
+echo "profiled quickstart trace validated"
+
+# ---- observability overhead budget --------------------------------------
+# Asserts in-bench that disabled span tracing costs <2% of encoder time.
+cargo bench -p bench --bench throughput_obs

@@ -1,0 +1,118 @@
+//! Property tests over the `obs` span tracer, plus the profiling
+//! determinism contract: turning `LIGER_PROFILE` on must never change
+//! what the model computes — training ends at bitwise-identical
+//! parameters with tracing enabled and disabled.
+
+use proptest::prelude::*;
+
+/// Serializes tests that flip the process-global tracer state.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Enters a three-level span tree on the calling thread: one root, one
+/// mid-level span per entry of `shape`, and `shape[i]` leaves under mid
+/// span `i`.
+fn build_span_tree(shape: &[usize]) {
+    let _root = obs::span!("obsprop.root");
+    for &leaves in shape {
+        let _mid = obs::span!("obsprop.mid");
+        for k in 0..leaves {
+            let _leaf = obs::span!("obsprop.leaf");
+            std::hint::black_box(k);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// For any single-threaded span tree: every chain is counted exactly
+    /// once per entry, children's inclusive times sum to at most their
+    /// parent's inclusive time (strict nesting), and self time never
+    /// exceeds inclusive time.
+    #[test]
+    fn span_tree_times_nest(shape in proptest::collection::vec(0usize..5, 1..6)) {
+        let _guard = OBS_LOCK.lock().unwrap();
+        obs::trace::set_enabled(Some(true));
+        obs::trace::reset();
+        build_span_tree(&shape);
+        let profile = obs::Profile::collect();
+        obs::trace::set_enabled(Some(false));
+
+        let root = profile.node_by_names(&["obsprop.root"]).expect("root recorded");
+        prop_assert_eq!(root.count, 1);
+        let mid = profile.node_by_names(&["obsprop.root", "obsprop.mid"]).expect("mid");
+        prop_assert_eq!(mid.count, shape.len() as u64);
+        let leaves: u64 = shape.iter().map(|&n| n as u64).sum();
+        let leaf = profile.node_by_names(&["obsprop.root", "obsprop.mid", "obsprop.leaf"]);
+        match leaf {
+            Some(leaf) => prop_assert_eq!(leaf.count, leaves),
+            None => prop_assert_eq!(leaves, 0),
+        }
+
+        // Nesting invariants hold for every aggregated chain.
+        for node in &profile.nodes {
+            prop_assert!(
+                node.child_ns <= node.total_ns,
+                "{}: children sum {}ns > inclusive {}ns",
+                node.name, node.child_ns, node.total_ns
+            );
+            prop_assert!(node.self_ns() <= node.total_ns);
+        }
+        // And the whole tree's self times fold back into the root.
+        let self_sum: u64 = profile.nodes.iter().map(|n| n.self_ns()).sum();
+        prop_assert!(self_sum <= root.total_ns);
+    }
+}
+
+/// An encoded program with repetition, so the embedding memo replays
+/// spans during training (mirrors the PR-2 identity-harness programs).
+fn shared_prog(token: usize) -> liger::EncodedProgram {
+    use liger::{EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram};
+    let leaf = |t: usize| EncTree { token: t, children: vec![] };
+    let step = |t: usize| EncStep {
+        tree: EncTree { token: t, children: vec![leaf(t + 1), leaf(2)] },
+        states: vec![EncState { vars: vec![EncVar::Primitive(3), EncVar::Object(vec![4, 5])] }],
+    };
+    EncodedProgram::from_traces(vec![
+        EncBlended { steps: vec![step(token), step(token + 1), step(token)] },
+        EncBlended { steps: vec![step(token), step(token + 1)] },
+    ])
+}
+
+/// Trains a small namer for two epochs with tracing pinned on or off;
+/// returns every parameter scalar as raw bits.
+fn train_traced_bits(traced: bool, seed: u64) -> Vec<u32> {
+    use liger::{LigerConfig, LigerNamer, NameSample, TrainConfig, EOS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    obs::trace::set_enabled(Some(traced));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = tensor::ParamStore::new();
+    let cfg = LigerConfig { hidden: 6, attn: 6, ..LigerConfig::default() };
+    let namer = LigerNamer::new(&mut store, 16, 8, cfg, &mut rng);
+    let samples: Vec<NameSample> = (0..5)
+        .map(|k| NameSample { program: shared_prog(2 * k + 1), target: vec![(k % 7) + 1, EOS] })
+        .collect();
+    let tc = TrainConfig { epochs: 2, lr: 0.02, batch_size: 2 };
+    liger::train_namer(&namer, &mut store, &samples, &tc, &mut rng);
+    obs::trace::set_enabled(Some(false));
+    obs::trace::reset();
+    store.iter().flat_map(|p| p.value.data().iter().map(|v| v.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 2, ..ProptestConfig::default() })]
+
+    /// The observability determinism contract (DESIGN.md §2e): span
+    /// recording is a pure observer. Training with `LIGER_PROFILE`-style
+    /// tracing enabled ends at bitwise-identical parameters to the
+    /// untraced run.
+    #[test]
+    fn profiled_training_is_bitwise_identical(seed in 0u64..1_000_000) {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let traced = train_traced_bits(true, seed);
+        let untraced = train_traced_bits(false, seed);
+        prop_assert_eq!(&traced, &untraced, "tracing changed trained parameters");
+    }
+}
