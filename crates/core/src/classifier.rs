@@ -16,7 +16,7 @@ use tensor::{Graph, ParamId, ParamStore, VarId};
 pub struct LigerClassifier {
     /// The shared encoder.
     pub model: LigerModel,
-    head: Linear,
+    pub(crate) head: Linear,
     /// Number of classes.
     pub num_classes: usize,
 }

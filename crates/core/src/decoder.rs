@@ -16,10 +16,10 @@ use tensor::{Graph, ParamId, ParamStore, VarId};
 /// The attentive sub-token decoder.
 #[derive(Debug, Clone, Copy)]
 pub struct NameDecoder {
-    out_emb: Embedding,
-    rnn: RnnCell,
-    a2: AttentionScorer,
-    out: Linear,
+    pub(crate) out_emb: Embedding,
+    pub(crate) rnn: RnnCell,
+    pub(crate) a2: AttentionScorer,
+    pub(crate) out: Linear,
     /// Output vocabulary size.
     pub out_vocab: usize,
 }

@@ -177,7 +177,10 @@ impl EncPool {
                 EncVar::Object(ts) => PoolVar::Object(self.intern_object(ts)),
             })
             .collect();
-        let node = StateNode { vars };
+        self.intern_state_node(StateNode { vars })
+    }
+
+    fn intern_state_node(&mut self, node: StateNode) -> StateId {
         if let Some(&id) = self.state_ids.get(&node) {
             return id;
         }
@@ -185,6 +188,37 @@ impl EncPool {
         self.states.push(node.clone());
         self.state_ids.insert(node, id);
         id
+    }
+
+    /// Merges another pool into this one, returning dense remap tables
+    /// (`other`'s id index → the id in `self`). Structurally identical
+    /// entries collapse onto one id, so a statement or state shared by
+    /// two programs lands on a single pool entry — the key that lets the
+    /// batch encoder memoize embeddings *across* programs, not just
+    /// within one.
+    pub fn absorb(&mut self, other: &EncPool) -> (Vec<TreeId>, Vec<StateId>) {
+        // Tree ids are assigned bottom-up (children strictly smaller), so
+        // a single increasing pass can resolve children through the map.
+        let mut tree_map: Vec<TreeId> = Vec::with_capacity(other.trees.len());
+        for node in &other.trees {
+            let children = node.children.iter().map(|c| tree_map[c.0 as usize]).collect();
+            tree_map.push(self.intern_node(TreeNode { token: node.token, children }));
+        }
+        let mut state_map: Vec<StateId> = Vec::with_capacity(other.states.len());
+        for node in &other.states {
+            let vars = node
+                .vars
+                .iter()
+                .map(|v| match v {
+                    PoolVar::Primitive(t) => PoolVar::Primitive(*t),
+                    PoolVar::Object(o) => {
+                        PoolVar::Object(self.intern_object(other.object(*o)))
+                    }
+                })
+                .collect();
+            state_map.push(self.intern_state_node(StateNode { vars }));
+        }
+        (tree_map, state_map)
     }
 
     /// The interned tree node behind `id`.

@@ -25,6 +25,7 @@
 use crate::bundle::{BundleError, ModelBundle};
 use crate::encode::{encode_program, EncodeOptions, EncodedProgram};
 use crate::model::{LigerModel, Workspace};
+use crate::qencode::QuantEngine;
 use crate::train::LigerNamer;
 use crate::vocab::{OutVocab, Vocab};
 use crate::LigerClassifier;
@@ -185,6 +186,22 @@ impl LigerTask {
         ws.graph.value(enc.program).data().to_vec()
     }
 
+    /// Program embeddings for a whole minibatch in one graph, through the
+    /// batch-major fused-GEMM encoder (resets `ws` first). Each embedding
+    /// is bitwise identical to its [`LigerTask::embed_in`] result; the
+    /// batched tape just reaches them with panel matmuls instead of
+    /// per-program matvecs.
+    pub fn embed_batch_in(
+        &self,
+        ws: &mut Workspace,
+        store: &ParamStore,
+        progs: &[&EncodedProgram],
+    ) -> Vec<Vec<f32>> {
+        ws.reset();
+        let outs = self.model().encode_batch(ws, store, progs);
+        outs.iter().map(|o| ws.graph.value(o.program).data().to_vec()).collect()
+    }
+
     /// Predicted method-name sub-tokens; `None` for classifier bundles.
     pub fn name_in(
         &self,
@@ -230,8 +247,11 @@ pub struct Inferencer {
     pub task: LigerTask,
     /// The input vocabulary the model was trained against.
     pub vocab: Vocab,
-    /// The trained parameter values.
+    /// The trained parameter values (dequantized for quantized bundles).
     pub store: ParamStore,
+    /// The int8 engine, present when built from a quantized (`qparams`)
+    /// bundle: embed/name/classify then run dequantize-free.
+    pub engine: Option<QuantEngine>,
     ws: Workspace,
 }
 
@@ -244,7 +264,8 @@ impl Inferencer {
     /// its declared architecture.
     pub fn from_bundle(bundle: &ModelBundle) -> Result<Inferencer, BundleError> {
         let (task, store) = bundle.instantiate()?;
-        Ok(Inferencer { task, vocab: bundle.vocab.clone(), store, ws: Workspace::new() })
+        let engine = bundle.qstore.clone().map(QuantEngine::from_store);
+        Ok(Inferencer { task, vocab: bundle.vocab.clone(), store, engine, ws: Workspace::new() })
     }
 
     /// Encodes MiniLang source against this model's vocabulary.
@@ -260,18 +281,54 @@ impl Inferencer {
         extract_encoded(source, &self.vocab, opts)
     }
 
-    /// The program embedding 𝓗_P.
+    /// The program embedding 𝓗_P (int8 path when quantized).
     pub fn embed(&mut self, prog: &EncodedProgram) -> Vec<f32> {
-        self.task.embed_in(&mut self.ws, &self.store, prog)
+        match &mut self.engine {
+            Some(engine) => engine.embed(self.task.model(), prog),
+            None => self.task.embed_in(&mut self.ws, &self.store, prog),
+        }
+    }
+
+    /// Program embeddings for a minibatch: the fused batch-major encoder
+    /// for f32 models, the int8 engine per program when quantized.
+    pub fn embed_batch(&mut self, progs: &[&EncodedProgram]) -> Vec<Vec<f32>> {
+        match &mut self.engine {
+            Some(engine) => {
+                let model = self.task.model();
+                progs.iter().map(|p| engine.embed(model, p)).collect()
+            }
+            None => self.task.embed_batch_in(&mut self.ws, &self.store, progs),
+        }
     }
 
     /// Predicted method-name sub-tokens; `None` for classifier bundles.
     pub fn name(&mut self, prog: &EncodedProgram) -> Option<Vec<String>> {
+        if let Some(engine) = &mut self.engine {
+            return match &self.task {
+                LigerTask::Namer { namer, out } => {
+                    Some(out.decode_name(&engine.name(namer, prog)))
+                }
+                LigerTask::Classifier { .. } => None,
+            };
+        }
         self.task.name_in(&mut self.ws, &self.store, prog)
     }
 
     /// Predicted class id and label; `None` for namer bundles.
     pub fn classify(&mut self, prog: &EncodedProgram) -> Option<(usize, String)> {
+        if let Some(engine) = &mut self.engine {
+            return match &self.task {
+                LigerTask::Namer { .. } => None,
+                LigerTask::Classifier { cls, labels } => {
+                    let class = engine.classify(cls, prog);
+                    let label = labels
+                        .get(class)
+                        .cloned()
+                        .unwrap_or_else(|| format!("class{class}"));
+                    Some((class, label))
+                }
+            };
+        }
         self.task.classify_in(&mut self.ws, &self.store, prog)
     }
 }

@@ -1,0 +1,825 @@
+//! Tape-free inference engines: the f32 batch-major fast path and the
+//! int8 runtime behind `--quantize` checkpoints (DESIGN.md §2f).
+//!
+//! Training needs the autodiff tape; inference does not. This module
+//! mirrors the Figure 5 forward pass — TreeLSTM statement embeddings,
+//! f₁/f₂ state embeddings, a₁ fusion attention, the f₃ flow recurrence,
+//! max-pooling, plus the decoder/classifier heads — over plain `Vec<f32>`
+//! activations. The pass is written once, generic over how weights are
+//! read ([`EngineWeights`]), and instantiated twice:
+//!
+//! * [`FloatEngine`] reads f32 parameters and dispatches every weight
+//!   product to the same blocked kernel as the tape
+//!   ([`tensor::Tensor::matvec_slice`]), with the same per-element
+//!   combine order at every step — so its outputs are **bitwise
+//!   identical** to `LigerModel::encode` on the tape, with none of the
+//!   tape's node/arena bookkeeping. [`FloatEngine::encode_batch`] runs
+//!   the f₃ flow recurrence batch-major: one [`tensor::gemm_batch`]
+//!   panel per weight matrix per lockstep across every live trace in
+//!   the minibatch (each output row bitwise identical to the
+//!   per-program matvec — the `gemm_batch` reduction-order contract).
+//!
+//! * [`QuantEngine`] dispatches every weight-matrix product to
+//!   [`QuantMat::matvec_quant`]: the int8 codes are consumed directly
+//!   (per-row absmax scales, exact i32 accumulation), never dequantized
+//!   to a f32 matrix. Biases and probe vectors are f16-stored f32. Its
+//!   arithmetic is *not* bitwise-equal to the f32 path — quantization is
+//!   lossy by design. The contract, enforced by tests here and the
+//!   quickstart accuracy gate in `scripts/ci.sh`, is behavioural: served
+//!   embeddings stay within a cosine-similarity bound of f32 and task
+//!   accuracy stays within one point.
+//!
+//! [`QuantMat::matvec_quant`]: tensor::tensor::QuantMat::matvec_quant
+
+use crate::classifier::{argmax, LigerClassifier};
+use crate::encode::{EncPool, EncStepRef, EncodedProgram, PoolVar, StateId, TreeId};
+use crate::model::{Ablation, LigerModel};
+use crate::train::LigerNamer;
+use crate::vocab::{TokenId, EOS, SOS};
+use nn::{AttentionScorer, RnnCell};
+use std::collections::HashMap;
+use tensor::{ParamId, ParamStore, QuantStore};
+
+/// The encoder outputs of a tape-free engine (plain activations instead
+/// of tape [`tensor::VarId`]s).
+#[derive(Debug, Clone)]
+pub struct QuantEncoding {
+    /// The program embedding 𝓗_P.
+    pub program: Vec<f32>,
+    /// The flow states Hᵉ_{i,j} per trace and step (decoder memory).
+    pub flow: Vec<Vec<Vec<f32>>>,
+}
+
+impl QuantEncoding {
+    /// All flow states flattened, in trace order.
+    pub fn all_flow_states(&self) -> Vec<Vec<f32>> {
+        self.flow.iter().flatten().cloned().collect()
+    }
+}
+
+/// Memo of statement/state embeddings keyed by interned pool ids. Spans
+/// one engine call (or one merged minibatch pool in
+/// [`FloatEngine::encode_batch`], where structurally identical trees
+/// across *different* programs intern to the same id and hit).
+#[derive(Default)]
+struct EngineMemo {
+    trees: HashMap<TreeId, (Vec<f32>, Vec<f32>)>,
+    states: HashMap<StateId, Vec<f32>>,
+}
+
+/// How an engine reads model weights: the only seam between the f32 and
+/// int8 instantiations of the shared forward pass.
+pub trait EngineWeights {
+    /// One weight product `W·x (+ b)` with this representation's kernel.
+    fn matvec(&mut self, w: ParamId, x: &[f32], bias: Option<ParamId>) -> Vec<f32>;
+
+    /// A stored vector parameter (bias or attention probe) as f32.
+    fn vecf(&self, id: ParamId) -> &[f32];
+
+    /// One embedding-table row into `out`.
+    fn row(&self, table: ParamId, token: usize, out: &mut [f32]);
+
+    /// Bumps this engine's per-program dispatch counter.
+    fn count_program(&self);
+}
+
+/// f32 weights read straight from the training [`ParamStore`]; every
+/// product runs the tape's blocked kernel, so the engine is bitwise
+/// identical to the tape forward pass.
+#[derive(Debug, Clone, Copy)]
+pub struct FloatWeights<'a> {
+    store: &'a ParamStore,
+}
+
+impl EngineWeights for FloatWeights<'_> {
+    fn matvec(&mut self, w: ParamId, x: &[f32], bias: Option<ParamId>) -> Vec<f32> {
+        obs::counter!("tensor.gemm.dispatch_f32").inc();
+        let m = &self.store.get(w).value;
+        let mut out = vec![0.0; m.rows()];
+        m.matvec_slice(x, bias.map(|id| self.store.get(id).value.data()), &mut out);
+        out
+    }
+
+    fn vecf(&self, id: ParamId) -> &[f32] {
+        self.store.get(id).value.data()
+    }
+
+    fn row(&self, table: ParamId, token: usize, out: &mut [f32]) {
+        let t = &self.store.get(table).value;
+        let cols = t.cols();
+        out.copy_from_slice(&t.data()[token * cols..(token + 1) * cols]);
+    }
+
+    fn count_program(&self) {
+        obs::counter!("encode.f32_programs").inc();
+    }
+}
+
+/// Quantized parameters (int8 matrices + f16-stored vectors) plus the
+/// reusable input-quantization scratch.
+#[derive(Debug, Clone)]
+pub struct QuantWeights {
+    /// Quantized parameters, indexed by the source store's [`ParamId`]s.
+    pub qs: QuantStore,
+    xq: Vec<i8>,
+}
+
+impl EngineWeights for QuantWeights {
+    fn matvec(&mut self, w: ParamId, x: &[f32], bias: Option<ParamId>) -> Vec<f32> {
+        obs::counter!("tensor.gemm.dispatch_int8").inc();
+        let m = self.qs.mat(w);
+        let mut out = vec![0.0; m.rows()];
+        let b = bias.map(|id| self.qs.vecf(id));
+        m.matvec_quant(x, &mut self.xq, b, &mut out);
+        out
+    }
+
+    fn vecf(&self, id: ParamId) -> &[f32] {
+        self.qs.vecf(id)
+    }
+
+    fn row(&self, table: ParamId, token: usize, out: &mut [f32]) {
+        self.qs.row(table, token, out);
+    }
+
+    fn count_program(&self) {
+        obs::counter!("encode.quant_programs").inc();
+    }
+}
+
+/// A tape-free inference engine over some weight representation.
+#[derive(Debug, Clone)]
+pub struct Engine<W> {
+    weights: W,
+}
+
+/// The int8 inference engine (see module docs).
+pub type QuantEngine = Engine<QuantWeights>;
+
+/// The bitwise-exact f32 inference engine (see module docs).
+pub type FloatEngine<'a> = Engine<FloatWeights<'a>>;
+
+impl QuantEngine {
+    /// Quantizes a trained f32 store (quantize-at-save; the on-disk form
+    /// is [`tensor::save_store_quantized`]).
+    pub fn new(store: &ParamStore) -> QuantEngine {
+        QuantEngine::from_store(QuantStore::quantize(store))
+    }
+
+    /// Wraps an already-loaded quantized store.
+    pub fn from_store(qs: QuantStore) -> QuantEngine {
+        Engine { weights: QuantWeights { qs, xq: Vec::new() } }
+    }
+
+    /// The quantized parameters this engine runs on.
+    pub fn qs(&self) -> &QuantStore {
+        &self.weights.qs
+    }
+}
+
+impl<'a> FloatEngine<'a> {
+    /// Wraps a borrowed f32 parameter store (no copies are made).
+    pub fn new(store: &'a ParamStore) -> FloatEngine<'a> {
+        Engine { weights: FloatWeights { store } }
+    }
+
+    /// Batch-major [`Engine::encode`] over a whole minibatch: every
+    /// program's pool is merged into one (so structurally identical
+    /// statements/states memoize *across* programs), every blended trace
+    /// becomes a lane, and the f₃ flow recurrence advances all live lanes
+    /// in lockstep — two [`tensor::gemm_batch`] panels (`W·X` and `V·H`)
+    /// per step instead of per-lane matvecs. Each panel row is bitwise
+    /// identical to the per-program matvec, and the combine
+    /// `tanh((wx + vh) + b)` matches the fused gate's per-element order,
+    /// so every returned encoding is bitwise identical to a sequence of
+    /// [`Engine::encode`] (and therefore tape `encode`) calls.
+    pub fn encode_batch(
+        &mut self,
+        model: &LigerModel,
+        progs: &[&EncodedProgram],
+    ) -> Vec<QuantEncoding> {
+        let _span = obs::span!("encode.f32_batch");
+        let hidden = model.cfg.hidden;
+
+        struct Lane {
+            prog: usize,
+            steps: Vec<EncStepRef>,
+            h: Vec<f32>,
+            states: Vec<Vec<f32>>,
+        }
+
+        let mut pool = EncPool::new();
+        let mut memo = EngineMemo::default();
+        let mut lanes: Vec<Lane> = Vec::new();
+        for (pi, prog) in progs.iter().enumerate() {
+            self.weights.count_program();
+            let (tree_map, state_map) = pool.absorb(&prog.pool);
+            for trace in &prog.traces {
+                if trace.steps.is_empty() {
+                    continue;
+                }
+                let steps = trace
+                    .steps
+                    .iter()
+                    .map(|s| EncStepRef {
+                        tree: tree_map[s.tree.0 as usize],
+                        states: s.states.iter().map(|st| state_map[st.0 as usize]).collect(),
+                    })
+                    .collect();
+                lanes.push(Lane { prog: pi, steps, h: vec![0.0; hidden], states: Vec::new() });
+            }
+        }
+
+        let max_len = lanes.iter().map(|l| l.steps.len()).max().unwrap_or(0);
+        // Cloned out of the store so the panels below don't hold a borrow
+        // of `self` across the `&mut self` fusion calls (hidden² floats).
+        let w = self.weights.store.get(model.f3.w).value.clone();
+        let v = self.weights.store.get(model.f3.v).value.clone();
+        let b = self.weights.store.get(model.f3.b).value.data().to_vec();
+        let (mut xs, mut hs) = (Vec::new(), Vec::new());
+        let (mut wx, mut vh) = (Vec::new(), Vec::new());
+        for j in 0..max_len {
+            let live: Vec<usize> =
+                (0..lanes.len()).filter(|&li| j < lanes[li].steps.len()).collect();
+            // Fusion layer per lane (memoized against the merged pool),
+            // packed as the rows of the step's input panel.
+            xs.clear();
+            hs.clear();
+            for &li in &live {
+                let step = lanes[li].steps[j].clone();
+                let h_prev = lanes[li].h.clone();
+                let h_j = self.fuse_step(model, &pool, &step, &h_prev, j, &mut memo);
+                xs.extend_from_slice(&h_j);
+                hs.extend_from_slice(&h_prev);
+            }
+            // The batched f₃ step: one fused GEMM per weight matrix for
+            // every live lane at once.
+            let k = live.len();
+            let _gspan = obs::span!("tensor.gemm");
+            obs::counter!("tensor.gemm.dispatch_f32").add(2);
+            obs::counter!("tensor.gemm.batched_rows").add(2 * k as u64);
+            wx.resize(k * hidden, 0.0);
+            vh.resize(k * hidden, 0.0);
+            tensor::gemm_batch(w.data(), hidden, hidden, &xs, k, None, &mut wx);
+            tensor::gemm_batch(v.data(), hidden, hidden, &hs, k, None, &mut vh);
+            for (r, &li) in live.iter().enumerate() {
+                let lane = &mut lanes[li];
+                for (i, hv) in lane.h.iter_mut().enumerate() {
+                    *hv = ((wx[r * hidden + i] + vh[r * hidden + i]) + b[i]).tanh();
+                }
+                lane.states.push(lane.h.clone());
+            }
+        }
+
+        // Reassemble per program: flow states per trace, program embedding
+        // as the elementwise max over its traces' final states (the same
+        // fold as the tape's max_pool).
+        let mut out: Vec<QuantEncoding> = progs
+            .iter()
+            .map(|_| QuantEncoding { program: Vec::new(), flow: Vec::new() })
+            .collect();
+        for lane in lanes {
+            let enc = &mut out[lane.prog];
+            let h_final = lane.states.last().expect("non-empty lane has a final state");
+            if enc.program.is_empty() {
+                enc.program = h_final.clone();
+            } else {
+                for (o, &x) in enc.program.iter_mut().zip(h_final) {
+                    if x > *o {
+                        *o = x;
+                    }
+                }
+            }
+            enc.flow.push(lane.states);
+        }
+        for enc in &mut out {
+            if enc.program.is_empty() {
+                enc.program = vec![0.0; hidden];
+            }
+        }
+        out
+    }
+}
+
+impl<W: EngineWeights> Engine<W> {
+    /// One weight product `W·x (+ b)`; the only way weights are read on
+    /// the per-program path.
+    fn matvec(&mut self, w: ParamId, x: &[f32], bias: Option<ParamId>) -> Vec<f32> {
+        self.weights.matvec(w, x, bias)
+    }
+
+    /// `act(W·x + V·h + b)` — the tape-free analogue of the fused gate
+    /// node, with the same per-element combine order `(wx + vh) + b`.
+    fn gate(&mut self, w: ParamId, x: &[f32], v: ParamId, h: &[f32], b: ParamId, act: Act) -> Vec<f32> {
+        let mut wx = self.matvec(w, x, None);
+        let vh = self.matvec(v, h, None);
+        let bias = self.weights.vecf(b);
+        for ((o, &vhv), &bv) in wx.iter_mut().zip(&vh).zip(bias) {
+            *o = act.apply((*o + vhv) + bv);
+        }
+        wx
+    }
+
+    /// Runs `cell` over `xs`, returning the final hidden state (zeros for
+    /// an empty sequence).
+    fn rnn_encode(&mut self, cell: &RnnCell, xs: &[Vec<f32>]) -> Vec<f32> {
+        let mut h = vec![0.0; cell.hidden];
+        for x in xs {
+            h = self.gate(cell.w, x, cell.v, &h, cell.b, Act::Tanh);
+        }
+        h
+    }
+
+    /// Additive attention: softmax-normalised scores of `keys` against
+    /// `query`, returning (context, weights). Mirrors the tape's batched
+    /// `attend` kernel-for-kernel: per-key affine (bias folded into the
+    /// accumulator like `gemm_batch`), tanh·probe reduction in index
+    /// order, max-subtracted softmax with a division, and the weighted
+    /// sum accumulated key-ascending from zeros.
+    fn attend(&mut self, attn: &AttentionScorer, query: &[f32], keys: &[Vec<f32>]) -> (Vec<f32>, Vec<f32>) {
+        let mut scores = Vec::with_capacity(keys.len());
+        let mut cat = Vec::with_capacity(keys[0].len() + query.len());
+        for k in keys {
+            cat.clear();
+            cat.extend_from_slice(k);
+            cat.extend_from_slice(query);
+            let t = self.matvec(attn.proj.w, &cat, Some(attn.proj.b));
+            let probe = self.weights.vecf(attn.v);
+            scores.push(t.iter().zip(probe).map(|(a, b)| a.tanh() * b).sum::<f32>());
+        }
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let mut weights: Vec<f32> = scores
+            .iter()
+            .map(|&s| {
+                let e = (s - max).exp();
+                sum += e;
+                e
+            })
+            .collect();
+        weights.iter_mut().for_each(|w| *w /= sum);
+        let mut ctx = vec![0.0; keys[0].len()];
+        for (w, k) in weights.iter().zip(keys) {
+            for (c, &kv) in ctx.iter_mut().zip(k) {
+                *c += w * kv;
+            }
+        }
+        (ctx, weights)
+    }
+
+    /// One embedding-table row.
+    fn emb_row(&self, table: ParamId, token: usize, hidden: usize) -> Vec<f32> {
+        let mut x = vec![0.0; hidden];
+        self.weights.row(table, token, &mut x);
+        x
+    }
+
+    /// Child-Sum TreeLSTM over one interned statement AST. The child-h
+    /// sum starts from the first child (like the tape's `sum_vecs`) and
+    /// the cell update accumulates `c += f_k ⊙ c_k` child-ascending (like
+    /// `fma_rows`), keeping the fold order bitwise-aligned with the tape.
+    fn tree_rec(
+        &mut self,
+        model: &LigerModel,
+        pool: &EncPool,
+        id: TreeId,
+        memo: &mut EngineMemo,
+    ) -> (Vec<f32>, Vec<f32>) {
+        if let Some(hc) = memo.trees.get(&id) {
+            return hc.clone();
+        }
+        let node = pool.tree(id);
+        let children: Vec<(Vec<f32>, Vec<f32>)> =
+            node.children.iter().map(|&c| self.tree_rec(model, pool, c, memo)).collect();
+        let x = self.emb_row(model.emb.param(), node.token, model.cfg.hidden);
+        let h_sum = match children.split_first() {
+            None => vec![0.0; model.cfg.hidden],
+            Some(((h0, _), rest)) => {
+                let mut s = h0.clone();
+                for (hk, _) in rest {
+                    for (sv, &v) in s.iter_mut().zip(hk) {
+                        *sv += v;
+                    }
+                }
+                s
+            }
+        };
+        let t = &model.tree;
+        let i = self.gate(t.wi, &x, t.ui, &h_sum, t.bi, Act::Sigmoid);
+        let o = self.gate(t.wo, &x, t.uo, &h_sum, t.bo, Act::Sigmoid);
+        let u = self.gate(t.wu, &x, t.uu, &h_sum, t.bu, Act::Tanh);
+        let mut c: Vec<f32> = i.iter().zip(&u).map(|(a, b)| a * b).collect();
+        for (hk, ck) in &children {
+            let f = self.gate(t.wf, &x, t.uf, hk, t.bf, Act::Sigmoid);
+            for ((cv, fv), &ckv) in c.iter_mut().zip(&f).zip(ck) {
+                *cv += fv * ckv;
+            }
+        }
+        let h: Vec<f32> = o.iter().zip(&c).map(|(ov, cv)| ov * cv.tanh()).collect();
+        memo.trees.insert(id, (h.clone(), c.clone()));
+        (h, c)
+    }
+
+    /// One interned program state: f₁ per object variable, f₂ across the
+    /// variable embeddings.
+    fn embed_state(
+        &mut self,
+        model: &LigerModel,
+        pool: &EncPool,
+        id: StateId,
+        memo: &mut EngineMemo,
+    ) -> Vec<f32> {
+        if let Some(h) = memo.states.get(&id) {
+            return h.clone();
+        }
+        let vars: Vec<Vec<f32>> = pool
+            .state(id)
+            .vars
+            .iter()
+            .map(|v| match v {
+                PoolVar::Primitive(t) => self.emb_row(model.emb.param(), *t, model.cfg.hidden),
+                PoolVar::Object(o) => {
+                    let xs: Vec<Vec<f32>> = pool
+                        .object(*o)
+                        .iter()
+                        .map(|&t| self.emb_row(model.emb.param(), t, model.cfg.hidden))
+                        .collect();
+                    self.rnn_encode(&model.f1, &xs)
+                }
+            })
+            .collect();
+        let h = self.rnn_encode(&model.f2, &vars);
+        memo.states.insert(id, h.clone());
+        h
+    }
+
+    /// The fusion layer for one ordered pair (mirrors
+    /// `LigerModel::fuse_step`, including the even-weight rules; the even
+    /// sum folds feature-ascending from the first like `sum_vecs`).
+    fn fuse_step(
+        &mut self,
+        model: &LigerModel,
+        pool: &EncPool,
+        step: &EncStepRef,
+        h_prev: &[f32],
+        j: usize,
+        memo: &mut EngineMemo,
+    ) -> Vec<f32> {
+        let mut features: Vec<Vec<f32>> = Vec::new();
+        if model.cfg.ablation != Ablation::NoStatic {
+            features.push(self.tree_rec(model, pool, step.tree, memo).0);
+        }
+        if model.cfg.ablation != Ablation::NoDynamic {
+            for &s in &step.states {
+                features.push(self.embed_state(model, pool, s, memo));
+            }
+        }
+        if features.len() == 1 {
+            features.pop().expect("one feature")
+        } else if j == 0 || model.cfg.ablation == Ablation::NoAttention {
+            let w = 1.0 / features.len() as f32;
+            let (first, rest) = features.split_first().expect("at least one feature");
+            let mut sum = first.clone();
+            for f in rest {
+                for (s, &v) in sum.iter_mut().zip(f) {
+                    *s += v;
+                }
+            }
+            sum.iter_mut().for_each(|v| *v *= w);
+            sum
+        } else {
+            self.attend(&model.a1, h_prev, &features).0
+        }
+    }
+
+    /// Encodes one program (all blended traces) through the tape-free
+    /// Figure 5 pipeline.
+    pub fn encode(&mut self, model: &LigerModel, prog: &EncodedProgram) -> QuantEncoding {
+        let _span = obs::span!("encode.engine");
+        self.weights.count_program();
+        let mut memo = EngineMemo::default();
+        let mut flow: Vec<Vec<Vec<f32>>> = Vec::new();
+        let mut finals: Vec<Vec<f32>> = Vec::new();
+        for blended in &prog.traces {
+            if blended.steps.is_empty() {
+                continue;
+            }
+            let mut h = vec![0.0; model.cfg.hidden];
+            let mut states = Vec::with_capacity(blended.steps.len());
+            for (j, step) in blended.steps.iter().enumerate() {
+                let h_j = self.fuse_step(model, &prog.pool, step, &h, j, &mut memo);
+                h = self.gate(model.f3.w, &h_j, model.f3.v, &h, model.f3.b, Act::Tanh);
+                states.push(h.clone());
+            }
+            finals.push(h);
+            flow.push(states);
+        }
+        let program = match finals.first() {
+            None => vec![0.0; model.cfg.hidden],
+            Some(first) => {
+                // Same fold as the tape's max_pool: keep the incumbent on
+                // ties, take the challenger only when strictly greater.
+                let mut out = first.clone();
+                for f in &finals[1..] {
+                    for (o, &v) in out.iter_mut().zip(f) {
+                        if v > *o {
+                            *o = v;
+                        }
+                    }
+                }
+                out
+            }
+        };
+        QuantEncoding { program, flow }
+    }
+
+    /// The program embedding 𝓗_P alone.
+    pub fn embed(&mut self, model: &LigerModel, prog: &EncodedProgram) -> Vec<f32> {
+        self.encode(model, prog).program
+    }
+
+    /// Greedy method-name prediction (tape-free analogue of
+    /// `NameDecoder::greedy`).
+    pub fn name(&mut self, namer: &LigerNamer, prog: &EncodedProgram) -> Vec<TokenId> {
+        let enc = self.encode(&namer.model, prog);
+        let dec = &namer.decoder;
+        let memory = enc.all_flow_states();
+        let hidden = namer.model.cfg.hidden;
+        let mut h = enc.program;
+        let mut prev = SOS;
+        let mut out = Vec::new();
+        for _ in 0..namer.model.cfg.max_name_len {
+            let x = self.emb_row(dec.out_emb.param(), prev, hidden);
+            let h_next = self.gate(dec.rnn.w, &x, dec.rnn.v, &h, dec.rnn.b, Act::Tanh);
+            let ctx = if memory.is_empty() {
+                vec![0.0; hidden]
+            } else {
+                self.attend(&dec.a2, &h_next, &memory).0
+            };
+            let mut cat = h_next.clone();
+            cat.extend_from_slice(&ctx);
+            let logits = self.matvec(dec.out.w, &cat, Some(dec.out.b));
+            let (best, _) = logits
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 0 && *i != SOS)
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits are finite"))
+                .expect("output vocabulary is non-empty");
+            if best == EOS {
+                break;
+            }
+            out.push(best);
+            h = h_next;
+            prev = best;
+        }
+        out
+    }
+
+    /// Argmax class prediction (tape-free analogue of
+    /// `LigerClassifier::predict`).
+    pub fn classify(&mut self, cls: &LigerClassifier, prog: &EncodedProgram) -> usize {
+        let enc = self.encode(&cls.model, prog);
+        let logits = self.matvec(cls.head.w, &enc.program, Some(cls.head.b));
+        argmax(&logits)
+    }
+}
+
+/// Activation selector for the tape-free gate (same formulas as the f32
+/// tape's `Act`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Act {
+    Tanh,
+    Sigmoid,
+}
+
+impl Act {
+    fn apply(self, v: f32) -> f32 {
+        match self {
+            Act::Tanh => v.tanh(),
+            Act::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        }
+    }
+}
+
+/// Cosine similarity between two embeddings (the served-embedding drift
+/// metric; 1.0 = parallel). Returns 1.0 when both are all-zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine of different dims");
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{EncBlended, EncState, EncStep, EncTree, EncVar};
+    use crate::model::{LigerConfig, Workspace};
+    use crate::train::{train_namer, NameSample, TrainConfig};
+    use crate::vocab::EOS;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::Graph;
+
+    fn prog(token: usize) -> EncodedProgram {
+        EncodedProgram::from_traces(vec![EncBlended {
+            steps: vec![
+                EncStep {
+                    tree: EncTree {
+                        token,
+                        children: vec![EncTree { token: token + 1, children: vec![] }],
+                    },
+                    states: vec![EncState {
+                        vars: vec![EncVar::Primitive(token + 2), EncVar::Object(vec![1, 2, 3])],
+                    }],
+                },
+                EncStep {
+                    tree: EncTree { token: token + 3, children: vec![] },
+                    states: vec![EncState { vars: vec![EncVar::Primitive(token)] }],
+                },
+            ],
+        }])
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn f32_engine_is_bitwise_identical_to_tape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = LigerConfig { hidden: 12, attn: 12, ..LigerConfig::default() };
+        let model = LigerModel::new(&mut store, 16, cfg, &mut rng);
+        let mut engine = FloatEngine::new(&store);
+        for t in [1usize, 4, 7] {
+            let p = prog(t);
+            let mut g = Graph::new();
+            let tape = model.encode(&mut g, &store, &p);
+            let enc = engine.encode(&model, &p);
+            assert_eq!(
+                bits(g.value(tape.program).data()),
+                bits(&enc.program),
+                "program embedding diverged for program {t}"
+            );
+            for (trace_t, trace_e) in tape.flow.iter().zip(&enc.flow) {
+                for (s_t, s_e) in trace_t.iter().zip(trace_e) {
+                    assert_eq!(bits(g.value(*s_t).data()), bits(s_e), "flow state diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_engine_batch_matches_per_program_bitwise() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(32);
+        let cfg = LigerConfig { hidden: 12, attn: 12, ..LigerConfig::default() };
+        let model = LigerModel::new(&mut store, 24, cfg, &mut rng);
+        // Ragged batch: different step counts, a shared-structure repeat,
+        // and an empty program in the middle.
+        let progs = [prog(1), prog(9), EncodedProgram::default(), prog(1), prog(14)];
+        let refs: Vec<&EncodedProgram> = progs.iter().collect();
+        let mut engine = FloatEngine::new(&store);
+        let batched = engine.encode_batch(&model, &refs);
+        assert_eq!(batched.len(), progs.len());
+        for (p, enc_b) in progs.iter().zip(&batched) {
+            let enc_p = engine.encode(&model, p);
+            assert_eq!(bits(&enc_p.program), bits(&enc_b.program), "program embedding");
+            assert_eq!(enc_p.flow.len(), enc_b.flow.len(), "trace count");
+            for (trace_p, trace_b) in enc_p.flow.iter().zip(&enc_b.flow) {
+                for (s_p, s_b) in trace_p.iter().zip(trace_b) {
+                    assert_eq!(bits(s_p), bits(s_b), "flow state");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_engine_namer_and_classifier_match_tape_predictions() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        let cfg = LigerConfig { hidden: 10, attn: 10, ..LigerConfig::default() };
+        let namer = LigerNamer::new(&mut store, 16, 8, cfg, &mut rng);
+        let samples = vec![
+            NameSample { program: prog(1), target: vec![4, 5, EOS] },
+            NameSample { program: prog(6), target: vec![6, EOS] },
+        ];
+        train_namer(
+            &namer,
+            &mut store,
+            &samples,
+            &TrainConfig { epochs: 40, lr: 0.03, batch_size: 2 },
+            &mut rng,
+        );
+        let mut ws = Workspace::new();
+        let mut engine = FloatEngine::new(&store);
+        for s in &samples {
+            let f32_name = namer.predict_in(&mut ws, &store, &s.program);
+            assert_eq!(engine.name(&namer, &s.program), f32_name);
+        }
+    }
+
+    #[test]
+    fn quantized_embedding_tracks_f32_embedding() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = LigerConfig { hidden: 12, attn: 12, ..LigerConfig::default() };
+        let model = LigerModel::new(&mut store, 16, cfg, &mut rng);
+        let mut engine = QuantEngine::new(&store);
+        for t in [1usize, 4, 7] {
+            let p = prog(t);
+            let mut g = Graph::new();
+            let f32_emb = model.encode(&mut g, &store, &p);
+            let f32_vec = g.value(f32_emb.program).data().to_vec();
+            let q_vec = engine.embed(&model, &p);
+            let cos = cosine(&f32_vec, &q_vec);
+            assert!(cos >= 0.99, "cosine {cos} below bound for program {t}");
+        }
+    }
+
+    #[test]
+    fn empty_program_embeds_to_zeros() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        let cfg = LigerConfig { hidden: 6, attn: 6, ..LigerConfig::default() };
+        let model = LigerModel::new(&mut store, 8, cfg, &mut rng);
+        let mut engine = QuantEngine::new(&store);
+        assert_eq!(engine.embed(&model, &EncodedProgram::default()), vec![0.0; 6]);
+    }
+
+    #[test]
+    fn quantized_namer_matches_f32_on_trained_model() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = LigerConfig { hidden: 10, attn: 10, ..LigerConfig::default() };
+        let namer = LigerNamer::new(&mut store, 16, 8, cfg, &mut rng);
+        let samples = vec![
+            NameSample { program: prog(1), target: vec![4, 5, EOS] },
+            NameSample { program: prog(6), target: vec![6, EOS] },
+        ];
+        train_namer(
+            &namer,
+            &mut store,
+            &samples,
+            &TrainConfig { epochs: 40, lr: 0.03, batch_size: 2 },
+            &mut rng,
+        );
+        let mut engine = QuantEngine::new(&store);
+        let mut ws = Workspace::new();
+        for s in &samples {
+            let f32_name = namer.predict_in(&mut ws, &store, &s.program);
+            assert_eq!(engine.name(&namer, &s.program), f32_name);
+        }
+    }
+
+    #[test]
+    fn quantized_classifier_matches_f32_on_trained_model() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(24);
+        let cfg = LigerConfig { hidden: 8, attn: 8, ..LigerConfig::default() };
+        let model = LigerModel::new(&mut store, 16, cfg, &mut rng);
+        let cls = LigerClassifier::new(&mut store, model, 3, &mut rng);
+        let (a, b) = (prog(1), prog(6));
+        let mut adam = nn::Adam::new(0.05);
+        for _ in 0..40 {
+            for (p, label) in [(&a, 0usize), (&b, 2usize)] {
+                let mut g = Graph::new();
+                let loss = cls.loss(&mut g, &store, p, label);
+                g.backward(loss, &mut store);
+                adam.step(&mut store);
+            }
+        }
+        let mut engine = QuantEngine::new(&store);
+        assert_eq!(engine.classify(&cls, &a), cls.predict(&store, &a));
+        assert_eq!(engine.classify(&cls, &b), cls.predict(&store, &b));
+    }
+
+    #[test]
+    fn engine_roundtrips_through_quantized_checkpoint() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(25);
+        let cfg = LigerConfig { hidden: 8, attn: 8, ..LigerConfig::default() };
+        let model = LigerModel::new(&mut store, 12, cfg, &mut rng);
+        let mut engine = QuantEngine::new(&store);
+        let bytes = tensor::save_store_quantized(engine.qs());
+        let mut reloaded =
+            QuantEngine::from_store(tensor::load_store_quantized(&bytes).unwrap());
+        let p = prog(2);
+        assert_eq!(engine.embed(&model, &p), reloaded.embed(&model, &p));
+    }
+
+    #[test]
+    fn cosine_handles_edge_cases() {
+        assert_eq!(cosine(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert!((cosine(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-6);
+    }
+}

@@ -13,8 +13,10 @@ use tensor::{Graph, ParamId, ParamStore, VarId};
 /// An additive attention scorer.
 #[derive(Debug, Clone, Copy)]
 pub struct AttentionScorer {
-    proj: Linear,
-    v: ParamId,
+    /// The `[k ⊕ q] → attn` projection.
+    pub proj: Linear,
+    /// The scoring probe vector (`attn × 1`).
+    pub v: ParamId,
 }
 
 impl AttentionScorer {
@@ -62,9 +64,18 @@ impl AttentionScorer {
         assert!(!keys.is_empty(), "attention over zero keys");
         let values = values.unwrap_or(keys);
         assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
-        let scores: Vec<VarId> =
-            keys.iter().map(|&k| self.score(g, store, k, query)).collect();
-        let stacked = g.stack_scalars(&scores);
+        // Batch-major scoring: pack every [k ⊕ q] into a panel and run the
+        // projection as one fused GEMM, then reduce all scores in one
+        // row-dots node. Each score is bitwise identical to the
+        // per-key `score()` chain.
+        let cats: Vec<VarId> = keys.iter().map(|&k| g.concat(&[k, query])).collect();
+        let packed = g.pack(&cats);
+        let w = g.param(store, self.proj.w);
+        let b = g.param(store, self.proj.b);
+        let panel = g.affine_batch(w, packed, Some(b));
+        let t = g.tanh(panel);
+        let v = g.param(store, self.v);
+        let stacked = g.row_dots(t, v);
         let weights = g.softmax(stacked);
         let context = g.weighted_sum(values, weights);
         (context, weights)
@@ -134,6 +145,45 @@ mod tests {
             let (g, l) = build(s);
             g.value(l).item()
         });
+    }
+
+    #[test]
+    fn batched_attend_is_bitwise_identical_to_per_key_scores() {
+        let mut store_a = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(14);
+        let attn = AttentionScorer::new(&mut store_a, "a", 3, 2, 4, &mut rng);
+        let mut store_b = store_a.clone();
+
+        let mut ga = Graph::new();
+        let q = ga.input(tensor::pseudo_tensor(2, 1, 1));
+        let keys: Vec<VarId> =
+            (0..5).map(|i| ga.input(tensor::pseudo_tensor(3, 1, i + 2))).collect();
+        let (ctx_a, w_a) = attn.attend(&mut ga, &store_a, q, &keys, None);
+        let la = ga.cross_entropy(ctx_a, 0);
+        ga.backward(la, &mut store_a);
+
+        let mut gb = Graph::new();
+        let q = gb.input(tensor::pseudo_tensor(2, 1, 1));
+        let keys_b: Vec<VarId> =
+            (0..5).map(|i| gb.input(tensor::pseudo_tensor(3, 1, i + 2))).collect();
+        let scores: Vec<VarId> =
+            keys_b.iter().map(|&k| attn.score(&mut gb, &store_b, k, q)).collect();
+        let stacked = gb.stack_scalars(&scores);
+        let w_b = gb.softmax(stacked);
+        let ctx_b = gb.weighted_sum(&keys_b, w_b);
+        let lb = gb.cross_entropy(ctx_b, 0);
+        gb.backward(lb, &mut store_b);
+
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(ga.value(w_a)), bits(gb.value(w_b)), "weights");
+        assert_eq!(bits(ga.value(ctx_a)), bits(gb.value(ctx_b)), "context");
+        for p in attn.params() {
+            assert_eq!(
+                bits(&store_a.get(p).grad),
+                bits(&store_b.get(p).grad),
+                "param grad"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! vanilla RNNs with 100 hidden units in the paper: hₜ = f(W·xₜ + V·hₜ₋₁).
 
 use rand::Rng;
-use tensor::{Graph, ParamId, ParamStore, VarId};
+use tensor::{Act, Graph, ParamId, ParamStore, VarId};
 
 /// A vanilla tanh RNN cell: `h' = tanh(W x + V h + b)`.
 #[derive(Debug, Clone, Copy)]
@@ -37,16 +37,13 @@ impl RnnCell {
         }
     }
 
-    /// One step: `h' = tanh(W x + V h + b)`.
+    /// One step: `h' = tanh(W x + V h + b)`, as a single fused gate node
+    /// (bitwise identical to the matvec/matvec/add/add/tanh chain).
     pub fn step(&self, g: &mut Graph, store: &ParamStore, x: VarId, h: VarId) -> VarId {
         let w = g.param(store, self.w);
         let v = g.param(store, self.v);
         let b = g.param(store, self.b);
-        let wx = g.matvec(w, x);
-        let vh = g.matvec(v, h);
-        let s = g.add(wx, vh);
-        let s = g.add(s, b);
-        g.tanh(s)
+        g.gate(w, x, v, h, b, Act::Tanh)
     }
 
     /// A zero initial hidden state.

@@ -11,23 +11,35 @@
 
 use crate::lstm::LstmState;
 use rand::Rng;
-use tensor::{Graph, ParamId, ParamStore, VarId};
+use tensor::{Act, Graph, ParamId, ParamStore, VarId};
 
 /// A Child-Sum TreeLSTM cell.
 #[derive(Debug, Clone, Copy)]
 pub struct ChildSumTreeLstm {
-    wi: ParamId,
-    ui: ParamId,
-    bi: ParamId,
-    wf: ParamId,
-    uf: ParamId,
-    bf: ParamId,
-    wo: ParamId,
-    uo: ParamId,
-    bo: ParamId,
-    wu: ParamId,
-    uu: ParamId,
-    bu: ParamId,
+    /// Input/recurrent/bias parameters of the input gate.
+    pub wi: ParamId,
+    /// Recurrent weights of the input gate.
+    pub ui: ParamId,
+    /// Bias of the input gate.
+    pub bi: ParamId,
+    /// Input weights of the per-child forget gates.
+    pub wf: ParamId,
+    /// Recurrent weights of the per-child forget gates.
+    pub uf: ParamId,
+    /// Bias of the per-child forget gates.
+    pub bf: ParamId,
+    /// Input weights of the output gate.
+    pub wo: ParamId,
+    /// Recurrent weights of the output gate.
+    pub uo: ParamId,
+    /// Bias of the output gate.
+    pub bo: ParamId,
+    /// Input weights of the candidate update.
+    pub wu: ParamId,
+    /// Recurrent weights of the candidate update.
+    pub uu: ParamId,
+    /// Bias of the candidate update.
+    pub bu: ParamId,
     /// Hidden size.
     pub hidden: usize,
 }
@@ -75,30 +87,31 @@ impl ChildSumTreeLstm {
             g.sum_vecs(&hs)
         };
 
-        let affine = |g: &mut Graph, w: ParamId, u: ParamId, b: ParamId, h: VarId| {
+        // Each gate is one fused node, bitwise identical to the
+        // matvec/matvec/add/add/activation chain it replaces.
+        let gate = |g: &mut Graph, w: ParamId, u: ParamId, b: ParamId, h: VarId, act: Act| {
             let wv = g.param(store, w);
             let uv = g.param(store, u);
             let bv = g.param(store, b);
-            let wx = g.matvec(wv, x);
-            let uh = g.matvec(uv, h);
-            let s = g.add(wx, uh);
-            g.add(s, bv)
+            g.gate(wv, x, uv, h, bv, act)
         };
 
-        let i_pre = affine(g, self.wi, self.ui, self.bi, h_sum);
-        let i = g.sigmoid(i_pre);
-        let o_pre = affine(g, self.wo, self.uo, self.bo, h_sum);
-        let o = g.sigmoid(o_pre);
-        let u_pre = affine(g, self.wu, self.uu, self.bu, h_sum);
-        let u = g.tanh(u_pre);
+        let i = gate(g, self.wi, self.ui, self.bi, h_sum, Act::Sigmoid);
+        let o = gate(g, self.wo, self.uo, self.bo, h_sum, Act::Sigmoid);
+        let u = gate(g, self.wu, self.uu, self.bu, h_sum, Act::Tanh);
 
         let mut c = g.mul(i, u);
-        // One forget gate per child: f_k = σ(W_f x + U_f h_k + b_f).
-        for child in children {
-            let f_pre = affine(g, self.wf, self.uf, self.bf, child.h);
-            let f = g.sigmoid(f_pre);
-            let fc = g.mul(f, child.c);
-            c = g.add(c, fc);
+        // One forget gate per child, f_k = σ(W_f x + U_f h_k + b_f),
+        // batched into a single panel node (W_f·x computed once), with the
+        // cell update c = i⊙u + Σ f_k⊙c_k as one fused accumulation.
+        if !children.is_empty() {
+            let hs: Vec<VarId> = children.iter().map(|ch| ch.h).collect();
+            let cs: Vec<VarId> = children.iter().map(|ch| ch.c).collect();
+            let wf = g.param(store, self.wf);
+            let uf = g.param(store, self.uf);
+            let bf = g.param(store, self.bf);
+            let f_panel = g.gate_batch(wf, x, uf, &hs, bf, Act::Sigmoid);
+            c = g.fma_rows(c, f_panel, &cs);
         }
         let tc = g.tanh(c);
         let h = g.mul(o, tc);

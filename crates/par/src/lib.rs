@@ -123,7 +123,10 @@ where
     let mut results: Vec<Option<U>> = Vec::with_capacity(items.len());
     results.resize_with(items.len(), || None);
 
-    // Hand each worker its fixed slice of the output buffer.
+    // Hand each logical worker its fixed slice of the output buffer.
+    // Chunk boundaries (and scratch assignment) depend only on the
+    // *configured* worker count — never on how many OS threads run them —
+    // so the determinism contract is untouched by the scheduling below.
     let mut slots: &mut [Option<U>] = &mut results;
     let mut chunks: Vec<(usize, &mut [Option<U>])> = Vec::with_capacity(workers);
     let mut consumed = 0;
@@ -135,20 +138,53 @@ where
         chunks.push((start, head));
     }
 
+    // Cap OS threads at the hardware parallelism: spawning more threads
+    // than cores buys nothing and the per-thread setup (stack allocation,
+    // scheduler churn) used to make throughput *drop* as the configured
+    // worker count rose on small hosts (the BENCH_parallel regression).
+    // Chunks are dealt round-robin so every chunk keeps its own scratch.
+    let os_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(workers);
+
     let f = &f;
-    std::thread::scope(|scope| {
-        for ((start, out), scratch) in chunks.into_iter().zip(scratches.iter_mut()) {
-            scope.spawn(move || {
-                // Worker threads have their own span stack, so this
-                // shows up as a per-thread root in the trace timeline.
-                let _span = obs::span!("par.worker");
-                for (offset, slot) in out.iter_mut().enumerate() {
-                    let i = start + offset;
-                    *slot = Some(f(scratch, i, &items[i]));
-                }
-            });
+    let run_chunk = |scratch: &mut S, start: usize, out: &mut [Option<U>]| {
+        for (offset, slot) in out.iter_mut().enumerate() {
+            let i = start + offset;
+            *slot = Some(f(scratch, i, &items[i]));
         }
-    });
+    };
+
+    if os_threads <= 1 {
+        // One core: run every chunk inline, in chunk order, against its
+        // own scratch — identical results without a single spawn.
+        for ((start, out), scratch) in chunks.into_iter().zip(scratches.iter_mut()) {
+            run_chunk(scratch, start, out);
+        }
+    } else {
+        type ChunkTask<'t, U, S> = (usize, &'t mut [Option<U>], &'t mut S);
+        let mut buckets: Vec<Vec<ChunkTask<'_, U, S>>> =
+            (0..os_threads).map(|_| Vec::new()).collect();
+        for (w, ((start, out), scratch)) in
+            chunks.into_iter().zip(scratches.iter_mut()).enumerate()
+        {
+            buckets[w % os_threads].push((start, out, scratch));
+        }
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    // One span per OS thread (not per chunk): it shows up
+                    // as a per-thread root in the trace timeline and the
+                    // setup is amortized over all chunks the thread owns.
+                    let _span = obs::span!("par.worker");
+                    for (start, out, scratch) in bucket {
+                        run_chunk(scratch, start, out);
+                    }
+                });
+            }
+        });
+    }
 
     results.into_iter().map(|r| r.expect("worker filled every slot")).collect()
 }

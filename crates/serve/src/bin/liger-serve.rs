@@ -125,6 +125,7 @@ fn serve_main(args: &[String]) -> i32 {
     let mut ckpt: Option<String> = None;
     let mut save: Option<String> = None;
     let mut demo = false;
+    let mut metrics = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -136,6 +137,10 @@ fn serve_main(args: &[String]) -> i32 {
             "--save" => value("--save").map(|v| save = Some(v)),
             "--demo" => {
                 demo = true;
+                Ok(())
+            }
+            "--metrics" => {
+                metrics = true;
                 Ok(())
             }
             "--addr" => value("--addr").map(|v| config.addr = v),
@@ -208,6 +213,13 @@ fn serve_main(args: &[String]) -> i32 {
         "liger-serve: stopped after {} requests in {} batches ({} rejected)",
         snap.requests, snap.batches, snap.rejected
     );
+    if metrics {
+        // The full process-wide registry: serve.* counters plus the
+        // kernel-level ones (tensor.gemm.dispatch_f32 / dispatch_int8,
+        // tensor.gemm.batched_rows, serve.fused_embed_batch) that show
+        // how batches were executed.
+        print!("{}", obs::metrics::registry().snapshot().render_table());
+    }
     0
 }
 
@@ -223,7 +235,7 @@ fn print_usage() {
     eprintln!(
         "usage:\n  \
          liger-serve --ckpt model.lgrb [--addr HOST:PORT] [--batch-max N]\n              \
-         [--batch-timeout-ms N] [--queue-cap N] [--threads N]\n  \
+         [--batch-timeout-ms N] [--queue-cap N] [--threads N] [--metrics]\n  \
          liger-serve --demo [--save model.lgrb] [flags...]\n  \
          liger-serve query ADDR JSON [JSON...]"
     );

@@ -34,7 +34,8 @@ use crate::protocol::{
 };
 use crate::stats::{ServeStats, StatsSnapshot};
 use liger::{
-    extract_encoded, EncodedProgram, ExtractOptions, LigerTask, ModelBundle, Vocab, Workspace,
+    extract_encoded, EncodedProgram, ExtractOptions, LigerTask, ModelBundle, QuantEngine, Vocab,
+    Workspace,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -76,10 +77,21 @@ impl Default for ServerConfig {
 struct Shared {
     task: LigerTask,
     store: tensor::ParamStore,
+    /// Present for quantized (`qparams`) bundles: each batcher worker
+    /// clones it into a private [`QuantEngine`] and serves the int8 path.
+    qstore: Option<tensor::QuantStore>,
     vocab: Vocab,
     extract: ExtractOptions,
     stats: ServeStats,
     shutdown: AtomicBool,
+}
+
+/// Persistent per-worker inference state: the f32 workspace (arena +
+/// memo reuse across batches) and, for quantized bundles, the int8
+/// engine with its quantization scratch.
+struct WorkerCtx {
+    ws: Workspace,
+    engine: Option<QuantEngine>,
 }
 
 /// One queued inference request.
@@ -150,6 +162,7 @@ pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHan
     let shared = Arc::new(Shared {
         task,
         store,
+        qstore: bundle.qstore.clone(),
         vocab: bundle.vocab.clone(),
         extract: config.extract.clone(),
         stats: ServeStats::new(),
@@ -328,7 +341,11 @@ pub fn stats_response(snap: &StatsSnapshot) -> Json {
 /// is drained — `Receiver::recv` keeps returning buffered jobs after the
 /// senders disconnect, so accepted requests always get replies.
 fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, timeout: Duration) {
-    let mut workspaces: Vec<Workspace> = Vec::new();
+    let mut workers: Vec<WorkerCtx> = Vec::new();
+    let new_ctx = || WorkerCtx {
+        ws: Workspace::new(),
+        engine: shared.qstore.clone().map(QuantEngine::from_store),
+    };
     loop {
         let first = match jobs.recv() {
             Ok(job) => job,
@@ -355,31 +372,72 @@ fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, ti
         // Span opens after the blocking recv: it times coalescing,
         // fan-out, and replies, not idle queue waits.
         let _span = obs::span!("serve.batch");
-        let mut inputs = Vec::with_capacity(batch.len());
-        let mut sinks = Vec::with_capacity(batch.len());
-        for job in batch {
-            inputs.push((job.kind, job.prog));
-            sinks.push((job.reply, job.queued, job.kind));
+        let total = batch.len();
+
+        // Embed requests take the fused batch-major path: all programs
+        // in the batch share one tape, so each layer runs a packed panel
+        // matmul (`Op::AffineBatch`) instead of per-program matvecs.
+        // Results stay bitwise identical to the per-program encoder, so
+        // the determinism contract above is unchanged. Name/Classify
+        // requests keep the per-program fan-out (decode is sequential
+        // per program anyway).
+        let (embeds, rest): (Vec<Job>, Vec<Job>) =
+            batch.into_iter().partition(|job| matches!(job.kind, InferKind::Embed));
+
+        if !embeds.is_empty() {
+            if workers.is_empty() {
+                workers.push(new_ctx());
+            }
+            obs::counter!("serve.fused_embed_batch").add(embeds.len() as u64);
+            let ctx = &mut workers[0];
+            let progs: Vec<&EncodedProgram> = embeds.iter().map(|job| &job.prog).collect();
+            let embeddings: Vec<Vec<f32>> = match &mut ctx.engine {
+                Some(engine) => {
+                    let model = shared.task.model();
+                    progs.iter().map(|prog| engine.embed(model, prog)).collect()
+                }
+                None => shared.task.embed_batch_in(&mut ctx.ws, &shared.store, &progs),
+            };
+            for (job, embedding) in embeds.into_iter().zip(embeddings) {
+                shared.stats.record_latency(InferKind::Embed, job.queued.elapsed());
+                let reply = ok_response(vec![("embedding", embedding_to_json(&embedding))]);
+                let _ = job.reply.send(reply); // receiver may have hung up
+            }
         }
-        let results = par::par_map_ordered_with(
-            &inputs,
-            &mut workspaces,
-            Workspace::new,
-            |ws, _i, (kind, prog)| run_inference(shared, ws, *kind, prog),
-        );
-        shared.stats.record_batch(inputs.len());
-        for ((reply, queued, kind), result) in sinks.into_iter().zip(results) {
-            shared.stats.record_latency(kind, queued.elapsed());
-            let _ = reply.send(result); // receiver may have hung up
+
+        if !rest.is_empty() {
+            let mut inputs = Vec::with_capacity(rest.len());
+            let mut sinks = Vec::with_capacity(rest.len());
+            for job in rest {
+                inputs.push((job.kind, job.prog));
+                sinks.push((job.reply, job.queued, job.kind));
+            }
+            let results = par::par_map_ordered_with(
+                &inputs,
+                &mut workers,
+                new_ctx,
+                |ctx, _i, (kind, prog)| run_inference(shared, ctx, *kind, prog),
+            );
+            for ((reply, queued, kind), result) in sinks.into_iter().zip(results) {
+                shared.stats.record_latency(kind, queued.elapsed());
+                let _ = reply.send(result); // receiver may have hung up
+            }
         }
+        shared.stats.record_batch(total);
     }
 }
 
 /// One forward pass. Resets the workspace first, so the result is a pure
 /// function of the program — bitwise identical to the offline memoized
-/// encoder no matter which worker or batch runs it.
-fn run_inference(shared: &Shared, ws: &mut Workspace, kind: InferKind, prog: &EncodedProgram) -> Json {
+/// encoder no matter which worker or batch runs it. Quantized bundles
+/// dispatch to the worker's int8 engine instead (deterministic too: the
+/// integer accumulation is exact).
+fn run_inference(shared: &Shared, ctx: &mut WorkerCtx, kind: InferKind, prog: &EncodedProgram) -> Json {
     let _span = obs::span!("serve.infer");
+    if let Some(engine) = &mut ctx.engine {
+        return run_inference_quant(shared, engine, kind, prog);
+    }
+    let ws = &mut ctx.ws;
     match kind {
         InferKind::Embed => {
             let embedding = shared.task.embed_in(ws, &shared.store, prog);
@@ -398,6 +456,44 @@ fn run_inference(shared: &Shared, ws: &mut Workspace, kind: InferKind, prog: &En
                 ("label", Json::str(label)),
             ]),
             None => error_response("this bundle is a namer; it cannot classify"),
+        },
+    }
+}
+
+/// [`run_inference`] through the dequantize-free int8 engine.
+fn run_inference_quant(
+    shared: &Shared,
+    engine: &mut QuantEngine,
+    kind: InferKind,
+    prog: &EncodedProgram,
+) -> Json {
+    match kind {
+        InferKind::Embed => {
+            let embedding = engine.embed(shared.task.model(), prog);
+            ok_response(vec![("embedding", embedding_to_json(&embedding))])
+        }
+        InferKind::Name => match &shared.task {
+            LigerTask::Namer { namer, out } => {
+                let tokens = out.decode_name(&engine.name(namer, prog));
+                ok_response(vec![(
+                    "name",
+                    Json::Arr(tokens.into_iter().map(Json::Str).collect()),
+                )])
+            }
+            LigerTask::Classifier { .. } => {
+                error_response("this bundle is a classifier; it cannot predict names")
+            }
+        },
+        InferKind::Classify => match &shared.task {
+            LigerTask::Namer { .. } => {
+                error_response("this bundle is a namer; it cannot classify")
+            }
+            LigerTask::Classifier { cls, labels } => {
+                let class = engine.classify(cls, prog);
+                let label =
+                    labels.get(class).cloned().unwrap_or_else(|| format!("class{class}"));
+                ok_response(vec![("class", Json::num(class)), ("label", Json::str(label))])
+            }
         },
     }
 }

@@ -45,6 +45,37 @@ impl VarId {
     }
 }
 
+/// The pointwise nonlinearity a fused gate applies, chosen so the fused
+/// kernels compute exactly the same scalar expressions as the standalone
+/// [`Graph::tanh`] / [`Graph::sigmoid`] nodes they replace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Act {
+    #[inline]
+    fn apply(self, v: f32) -> f32 {
+        match self {
+            Act::Tanh => v.tanh(),
+            Act::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+        }
+    }
+
+    /// Derivative expressed through the activation's own output `y`, the
+    /// same expressions the standalone Tanh/Sigmoid backward arms use.
+    #[inline]
+    fn dfdy(self, gv: f32, yv: f32) -> f32 {
+        match self {
+            Act::Tanh => gv * (1.0 - yv * yv),
+            Act::Sigmoid => gv * yv * (1.0 - yv),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Op {
     Input,
@@ -70,6 +101,28 @@ enum Op {
     MaxPool(Vec<VarId>),
     WeightedSum { items: Vec<VarId>, weights: VarId },
     CrossEntropy { logits: VarId, target: usize },
+    /// Fused recurrent gate `act((w·x + u·h) + b)` — one node for the
+    /// five-node matvec/matvec/add/add/activation chain every RNN step and
+    /// TreeLSTM gate used to push.
+    Gate { w: VarId, x: VarId, u: VarId, h: VarId, b: VarId, act: Act },
+    /// [`Op::Gate`] over a shared `w·x` and one hidden vector per row:
+    /// row `j` is `act((w·x + u·hs[j]) + b)` (TreeLSTM child forget gates).
+    GateBatch { w: VarId, x: VarId, u: VarId, hs: Vec<VarId>, b: VarId, act: Act },
+    /// `base + Σⱼ scales[j,·] ⊙ items[j]` in ascending-`j` order — the
+    /// TreeLSTM cell-state accumulation, fused across children.
+    FmaRows { base: VarId, scales: VarId, items: Vec<VarId> },
+    /// `k` equal-length vectors packed as the rows of a `k × n` panel.
+    Pack(Vec<VarId>),
+    /// Batch-major fused GEMM: row `j` of the `k × m` result is
+    /// `w · xs[j,·] (+ b)`, all computed in one packed kernel call
+    /// ([`crate::tensor::gemm_batch`]).
+    AffineBatch { w: VarId, xs: VarId, b: Option<VarId> },
+    /// Adds a vector to every row of a panel.
+    AddRows(VarId, VarId),
+    /// Per-row dot products of a `k × n` panel with an `n`-vector.
+    RowDots(VarId, VarId),
+    /// Extracts row `j` of a panel as a column vector.
+    BatchItem(VarId, usize),
 }
 
 /// A define-by-run computation graph.
@@ -83,6 +136,16 @@ pub struct Graph {
     /// of cloning the row again. Invalidated by [`Graph::reset`], since
     /// parameter values change between examples (optimizer steps).
     row_cache: HashMap<(ParamId, usize), VarId>,
+    /// Memo for [`Graph::param`]: the same weight matrix is used by every
+    /// gate of every step, so caching the leaf node removes both the
+    /// duplicate nodes and the per-use whole-matrix copy (historically the
+    /// single largest memcpy source on the tape). Invalidated by
+    /// [`Graph::reset`] for the same reason as `row_cache`. Caching is
+    /// gradient-exact: each use's contribution accumulates into the shared
+    /// node's slot in the same reverse-tape order the per-use nodes would
+    /// have been visited, so the final parameter gradient is bitwise
+    /// unchanged.
+    param_cache: HashMap<ParamId, VarId>,
     /// Recycled storage for node values and backward temporaries.
     pool: BufferPool,
     /// Reusable per-node gradient table for [`Graph::backward_into`].
@@ -105,6 +168,7 @@ impl Graph {
         }
         self.ops.clear();
         self.row_cache.clear();
+        self.param_cache.clear();
         for g in self.grads.drain(..).flatten() {
             self.pool.put(g.into_data());
         }
@@ -172,13 +236,20 @@ impl Graph {
     }
 
     /// A leaf bound to a whole parameter; its gradient accumulates into
-    /// the store on [`Graph::backward`].
+    /// the store on [`Graph::backward`]. Repeated lookups within one graph
+    /// return the same node (parameters are constant within a forward
+    /// pass; the cache is invalidated by [`Graph::reset`]).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> VarId {
+        if let Some(&cached) = self.param_cache.get(&id) {
+            return cached;
+        }
         let p = &store.get(id).value;
         let (rows, cols) = (p.rows(), p.cols());
         let mut data = self.buf(p.len());
         data.copy_from_slice(p.data());
-        self.push(Op::Param(id), Tensor::from_vec(rows, cols, data))
+        let var = self.push(Op::Param(id), Tensor::from_vec(rows, cols, data));
+        self.param_cache.insert(id, var);
+        var
     }
 
     /// A leaf bound to one row of a parameter matrix, as a column vector —
@@ -462,6 +533,200 @@ impl Graph {
         self.push(Op::CrossEntropy { logits, target }, Tensor::from_vec(1, 1, data))
     }
 
+    /// Fused recurrent gate `act((w·x + u·h) + b)`: one node (and one
+    /// value buffer) for the matvec/matvec/add/add/activation chain that
+    /// every RNN step and TreeLSTM gate is made of. The two products use
+    /// the same blocked kernel as [`Graph::matvec`] and the combine runs
+    /// `(wx + uh) + b` per element, so the result is bitwise identical to
+    /// the composed five-node form — the tape just carries 5× fewer nodes
+    /// through it.
+    pub fn gate(&mut self, w: VarId, x: VarId, u: VarId, h: VarId, b: VarId, act: Act) -> VarId {
+        let m = self.values[w.0].rows();
+        let mut wx = self.buf(m);
+        self.values[w.0].matvec_into(&self.values[x.0], &mut wx);
+        let mut uh = self.buf(m);
+        self.values[u.0].matvec_into(&self.values[h.0], &mut uh);
+        let mut out = self.buf(m);
+        {
+            let bv = self.values[b.0].data();
+            assert_eq!(bv.len(), m, "gate bias length mismatch");
+            for (o, ((a, c), bb)) in out.iter_mut().zip(wx.iter().zip(&uh).zip(bv)) {
+                *o = act.apply((a + c) + bb);
+            }
+        }
+        self.pool.put(wx);
+        self.pool.put(uh);
+        self.push(Op::Gate { w, x, u, h, b, act }, Tensor::vector(out))
+    }
+
+    /// [`Graph::gate`] batched over hidden vectors: row `j` of the
+    /// `hs.len() × m` result is `act((w·x + u·hs[j]) + b)`, with `w·x`
+    /// computed once. Each row is bitwise identical to the corresponding
+    /// single [`Graph::gate`] node (same kernels, same combine order).
+    /// This is the TreeLSTM child-forget-gate layer in one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `hs` is empty.
+    pub fn gate_batch(
+        &mut self,
+        w: VarId,
+        x: VarId,
+        u: VarId,
+        hs: &[VarId],
+        b: VarId,
+        act: Act,
+    ) -> VarId {
+        assert!(!hs.is_empty(), "gate_batch over zero hidden vectors");
+        let (k, m) = (hs.len(), self.values[w.0].rows());
+        let mut wx = self.buf(m);
+        self.values[w.0].matvec_into(&self.values[x.0], &mut wx);
+        let mut uh = self.buf(m);
+        let mut out = self.buf(k * m);
+        for (j, hj) in hs.iter().enumerate() {
+            self.values[u.0].matvec_into(&self.values[hj.0], &mut uh);
+            let bv = self.values[b.0].data();
+            for (o, ((a, c), bb)) in
+                out[j * m..(j + 1) * m].iter_mut().zip(wx.iter().zip(&uh).zip(bv))
+            {
+                *o = act.apply((a + c) + bb);
+            }
+        }
+        self.pool.put(wx);
+        self.pool.put(uh);
+        self.push(
+            Op::GateBatch { w, x, u, hs: hs.to_vec(), b, act },
+            Tensor::from_vec(k, m, out),
+        )
+    }
+
+    /// `base + Σⱼ scales[j,·] ⊙ items[j]`, accumulating in ascending `j` —
+    /// the TreeLSTM cell state `c = i⊙u + Σₖ fₖ⊙cₖ` in one node, with the
+    /// forget activations taken from a [`Graph::gate_batch`] panel. The
+    /// per-element operation sequence (`acc = acc + s·v`, one rounded
+    /// product then one add per child) matches the mul/add chain it
+    /// replaces bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scales` is not an `items.len() × base.len()` panel.
+    pub fn fma_rows(&mut self, base: VarId, scales: VarId, items: &[VarId]) -> VarId {
+        let m = self.values[base.0].len();
+        let sv = &self.values[scales.0];
+        assert_eq!(sv.rows(), items.len(), "fma_rows scale rows mismatch");
+        assert_eq!(sv.cols(), m, "fma_rows scale cols mismatch");
+        let mut out = self.buf(m);
+        out.copy_from_slice(self.values[base.0].data());
+        for (j, item) in items.iter().enumerate() {
+            let iv = &self.values[item.0];
+            assert_eq!(iv.len(), m, "fma_rows item shape mismatch");
+            let srow = &self.values[scales.0].data()[j * m..(j + 1) * m];
+            for ((o, s), v) in out.iter_mut().zip(srow).zip(iv.data()) {
+                *o += s * v;
+            }
+        }
+        let (rows, cols) = (self.values[base.0].rows(), self.values[base.0].cols());
+        self.push(
+            Op::FmaRows { base, scales, items: items.to_vec() },
+            Tensor::from_vec(rows, cols, out),
+        )
+    }
+
+    /// Packs `k` equal-length vectors as the rows of a `k × n` panel —
+    /// the input-marshalling step in front of [`Graph::affine_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parts` is empty or shapes differ.
+    pub fn pack(&mut self, parts: &[VarId]) -> VarId {
+        assert!(!parts.is_empty(), "pack of zero vectors");
+        let n = self.values[parts[0].0].len();
+        let mut data = self.buf(parts.len() * n);
+        for (j, p) in parts.iter().enumerate() {
+            let v = &self.values[p.0];
+            assert_eq!(v.len(), n, "pack shape mismatch");
+            data[j * n..(j + 1) * n].copy_from_slice(v.data());
+        }
+        self.push(Op::Pack(parts.to_vec()), Tensor::from_vec(parts.len(), n, data))
+    }
+
+    /// Batch-major fused GEMM node: one packed kernel call computes
+    /// `w · xs[j,·] (+ b)` for every row `j` of the `xs` panel. Each output
+    /// row is bitwise identical to the per-program [`Graph::affine`] /
+    /// [`Graph::matvec`] it replaces (see [`crate::tensor::gemm_batch`]).
+    pub fn affine_batch(&mut self, w: VarId, xs: VarId, b: Option<VarId>) -> VarId {
+        let _span = obs::span!("tensor.gemm");
+        let (m, k) = (self.values[w.0].rows(), self.values[xs.0].rows());
+        obs::counter!("tensor.gemm.dispatch_f32").inc();
+        obs::counter!("tensor.gemm.batched_rows").add(k as u64);
+        let mut out = self.buf(k * m);
+        {
+            let wv = &self.values[w.0];
+            let xsv = &self.values[xs.0];
+            let bias = b.map(|bv| self.values[bv.0].data());
+            crate::tensor::gemm_batch(
+                wv.data(),
+                wv.rows(),
+                wv.cols(),
+                xsv.data(),
+                k,
+                bias,
+                &mut out,
+            );
+        }
+        self.push(Op::AffineBatch { w, xs, b }, Tensor::from_vec(k, m, out))
+    }
+
+    /// Adds a vector to every row of a panel (bias broadcast for the
+    /// batched step: per row the combine is `row + b`, elementwise, like
+    /// the per-program [`Graph::add`]).
+    pub fn add_rows(&mut self, m: VarId, b: VarId) -> VarId {
+        let (rows, cols) = (self.values[m.0].rows(), self.values[m.0].cols());
+        assert_eq!(self.values[b.0].len(), cols, "add_rows bias length mismatch");
+        let mut data = self.buf(rows * cols);
+        {
+            let mv = self.values[m.0].data();
+            let bv = self.values[b.0].data();
+            for j in 0..rows {
+                for ((d, x), y) in data[j * cols..(j + 1) * cols].iter_mut().zip(&mv[j * cols..(j + 1) * cols]).zip(bv) {
+                    *d = x + y;
+                }
+            }
+        }
+        self.push(Op::AddRows(m, b), Tensor::from_vec(rows, cols, data))
+    }
+
+    /// Per-row dot products of a panel with a vector, as a `k × 1`
+    /// column — the batched attention-score reduction. Each row uses the
+    /// same serial reduction as [`Graph::dot`].
+    pub fn row_dots(&mut self, m: VarId, v: VarId) -> VarId {
+        let (rows, cols) = (self.values[m.0].rows(), self.values[m.0].cols());
+        assert_eq!(self.values[v.0].len(), cols, "row_dots vector length mismatch");
+        let mut data = self.buf(rows);
+        {
+            let mv = self.values[m.0].data();
+            let vv = self.values[v.0].data();
+            for (j, d) in data.iter_mut().enumerate() {
+                *d = mv[j * cols..(j + 1) * cols].iter().zip(vv).map(|(a, b)| a * b).sum();
+            }
+        }
+        self.push(Op::RowDots(m, v), Tensor::vector(data))
+    }
+
+    /// Extracts row `row` of a panel as a column vector (the per-program
+    /// view back out of a batched step).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    pub fn batch_item(&mut self, src: VarId, row: usize) -> VarId {
+        let (rows, cols) = (self.values[src.0].rows(), self.values[src.0].cols());
+        assert!(row < rows, "batch_item row {row} out of {rows}");
+        let mut data = self.buf(cols);
+        data.copy_from_slice(&self.values[src.0].data()[row * cols..(row + 1) * cols]);
+        self.push(Op::BatchItem(src, row), Tensor::vector(data))
+    }
+
     /// Re-appends a bitwise copy of the recorded node span
     /// `[start, start + len)` at the end of the graph and returns the new
     /// span's starting index. Operands inside the span are shifted to
@@ -530,6 +795,36 @@ impl Graph {
                 Op::CrossEntropy { logits, target } => {
                     Op::CrossEntropy { logits: shift(*logits), target: *target }
                 }
+                Op::Gate { w, x, u, h, b, act } => Op::Gate {
+                    w: shift(*w),
+                    x: shift(*x),
+                    u: shift(*u),
+                    h: shift(*h),
+                    b: shift(*b),
+                    act: *act,
+                },
+                Op::GateBatch { w, x, u, hs, b, act } => Op::GateBatch {
+                    w: shift(*w),
+                    x: shift(*x),
+                    u: shift(*u),
+                    hs: hs.iter().map(|&v| shift(v)).collect(),
+                    b: shift(*b),
+                    act: *act,
+                },
+                Op::FmaRows { base, scales, items } => Op::FmaRows {
+                    base: shift(*base),
+                    scales: shift(*scales),
+                    items: items.iter().map(|&v| shift(v)).collect(),
+                },
+                Op::Pack(parts) => Op::Pack(parts.iter().map(|&v| shift(v)).collect()),
+                Op::AffineBatch { w, xs, b } => Op::AffineBatch {
+                    w: shift(*w),
+                    xs: shift(*xs),
+                    b: b.map(shift),
+                },
+                Op::AddRows(m, b) => Op::AddRows(shift(*m), shift(*b)),
+                Op::RowDots(m, v) => Op::RowDots(shift(*m), shift(*v)),
+                Op::BatchItem(src, row) => Op::BatchItem(shift(*src), *row),
             };
             let (rows, cols, n) = {
                 let src = &self.values[i];
@@ -872,6 +1167,169 @@ fn backward_sweep(
                     data.iter_mut().for_each(|v| *v *= g0);
                 }
                 table.acc_owned(*logits, d);
+            }
+            Op::Gate { w, x, u, h, b, act } => {
+                // d_pre = g ⊙ act'(y), then the four linear pullbacks in
+                // the same order the composed chain's reverse sweep ran
+                // them: b, then u/h (the later matvec), then w/x.
+                let y = &values[i];
+                let mut d = table.fresh(g.rows(), g.cols());
+                for ((dv, gv), yv) in d.data_mut().iter_mut().zip(g.data()).zip(y.data()) {
+                    *dv = act.dfdy(*gv, *yv);
+                }
+                table.acc(*b, &d);
+                let uv = &values[u.0];
+                let hv = &values[h.0];
+                table.acc_with(*u, uv.rows(), uv.cols(), |t| t.add_outer(1.0, &d, hv));
+                let mut dh = table.fresh(uv.cols(), 1);
+                uv.matvec_t_into(&d, dh.data_mut());
+                table.acc_owned(*h, dh);
+                let wv = &values[w.0];
+                let xv = &values[x.0];
+                table.acc_with(*w, wv.rows(), wv.cols(), |t| t.add_outer(1.0, &d, xv));
+                let mut dx = table.fresh(wv.cols(), 1);
+                wv.matvec_t_into(&d, dx.data_mut());
+                table.acc_owned(*x, dx);
+                table.recycle(d);
+            }
+            Op::GateBatch { w, x, u, hs, b, act } => {
+                // One row at a time, in descending j — the reverse-tape
+                // order of the per-child gate nodes this op fuses — so
+                // every shared accumulation (b, u, w, x) sees the same
+                // floating-point addition sequence.
+                let y = &values[i];
+                let m = y.cols();
+                let uv = &values[u.0];
+                let wv = &values[w.0];
+                let xv = &values[x.0];
+                for j in (0..hs.len()).rev() {
+                    let mut d = table.fresh(m, 1);
+                    for ((dv, gv), yv) in d
+                        .data_mut()
+                        .iter_mut()
+                        .zip(&g.data()[j * m..(j + 1) * m])
+                        .zip(&y.data()[j * m..(j + 1) * m])
+                    {
+                        *dv = act.dfdy(*gv, *yv);
+                    }
+                    table.acc(*b, &d);
+                    let hv = &values[hs[j].0];
+                    table.acc_with(*u, uv.rows(), uv.cols(), |t| t.add_outer(1.0, &d, hv));
+                    let mut dh = table.fresh(uv.cols(), 1);
+                    uv.matvec_t_into(&d, dh.data_mut());
+                    table.acc_owned(hs[j], dh);
+                    table.acc_with(*w, wv.rows(), wv.cols(), |t| t.add_outer(1.0, &d, xv));
+                    let mut dx = table.fresh(wv.cols(), 1);
+                    wv.matvec_t_into(&d, dx.data_mut());
+                    table.acc_owned(*x, dx);
+                    table.recycle(d);
+                }
+            }
+            Op::FmaRows { base, scales, items } => {
+                // d_scales[j,·] = g ⊙ items[j]; d_items[j] = g ⊙ scales[j,·]
+                // — the Mul backward expressions, rows written directly so
+                // the panel gradient equals the moved per-node tensors of
+                // the chain it replaces.
+                let m = g.len();
+                let mut ds = table.fresh(items.len(), m);
+                for (j, item) in items.iter().enumerate() {
+                    for ((dv, gv), cv) in ds.data_mut()[j * m..(j + 1) * m]
+                        .iter_mut()
+                        .zip(g.data())
+                        .zip(values[item.0].data())
+                    {
+                        *dv = gv * cv;
+                    }
+                }
+                for j in (0..items.len()).rev() {
+                    let mut di = table.fresh(m, 1);
+                    for ((dv, gv), sv) in di
+                        .data_mut()
+                        .iter_mut()
+                        .zip(g.data())
+                        .zip(&values[scales.0].data()[j * m..(j + 1) * m])
+                    {
+                        *dv = gv * sv;
+                    }
+                    table.acc_owned(items[j], di);
+                }
+                table.acc(*base, &g);
+                table.acc_owned(*scales, ds);
+            }
+            Op::Pack(parts) => {
+                let n = values[i].cols();
+                for (j, p) in parts.iter().enumerate() {
+                    let mut slice = table.fresh(n, 1);
+                    slice.data_mut().copy_from_slice(&g.data()[j * n..(j + 1) * n]);
+                    table.acc_owned(*p, slice);
+                }
+            }
+            Op::AffineBatch { w, xs, b } => {
+                let wv = &values[w.0];
+                let xsv = &values[xs.0];
+                let (k, m, n) = (xsv.rows(), wv.rows(), wv.cols());
+                let mut dxs = table.fresh(k, n);
+                // Descending item order: the reverse-tape order of the k
+                // per-program affine nodes this GEMM fuses, so dW/db see
+                // the same accumulation sequence.
+                for j in (0..k).rev() {
+                    let mut gj = table.fresh(m, 1);
+                    gj.data_mut().copy_from_slice(&g.data()[j * m..(j + 1) * m]);
+                    let mut xj = table.fresh(n, 1);
+                    xj.data_mut().copy_from_slice(&xsv.data()[j * n..(j + 1) * n]);
+                    table.acc_with(*w, m, n, |t| t.add_outer(1.0, &gj, &xj));
+                    wv.matvec_t_into(&gj, &mut dxs.data_mut()[j * n..(j + 1) * n]);
+                    if let Some(bv) = b {
+                        table.acc(*bv, &gj);
+                    }
+                    table.recycle(xj);
+                    table.recycle(gj);
+                }
+                table.acc_owned(*xs, dxs);
+            }
+            Op::AddRows(mv, b) => {
+                table.acc(*mv, &g);
+                let cols = values[i].cols();
+                for j in (0..values[i].rows()).rev() {
+                    let mut gj = table.fresh(cols, 1);
+                    gj.data_mut().copy_from_slice(&g.data()[j * cols..(j + 1) * cols]);
+                    table.acc(*b, &gj);
+                    table.recycle(gj);
+                }
+            }
+            Op::RowDots(mv, v) => {
+                let vv = &values[v.0];
+                let (k, n) = (values[mv.0].rows(), values[mv.0].cols());
+                let mut dm = table.fresh(k, n);
+                for j in 0..k {
+                    let gj = g.data()[j];
+                    // `0.0 +` mirrors the zero-init-then-axpy path of the
+                    // per-feature Dot backward this op replaces bitwise.
+                    for (dv, xv) in
+                        dm.data_mut()[j * n..(j + 1) * n].iter_mut().zip(vv.data())
+                    {
+                        *dv = 0.0 + gj * xv;
+                    }
+                }
+                for j in (0..k).rev() {
+                    let mut row = table.fresh(n, 1);
+                    row.data_mut()
+                        .copy_from_slice(&values[mv.0].data()[j * n..(j + 1) * n]);
+                    table.acc_scaled(*v, g.data()[j], &row);
+                    table.recycle(row);
+                }
+                table.acc_owned(*mv, dm);
+            }
+            Op::BatchItem(src, row) => {
+                let cols = values[src.0].cols();
+                let (r, k) = (*row, values[src.0].rows());
+                table.acc_with(*src, k, cols, |t| {
+                    for (dv, gv) in
+                        t.data_mut()[r * cols..(r + 1) * cols].iter_mut().zip(g.data())
+                    {
+                        *dv += gv;
+                    }
+                });
             }
         }
         table.recycle(g);
@@ -1315,5 +1773,339 @@ mod tests {
         let mut g = Graph::new();
         let x = g.input(Tensor::vector(vec![1.0, 2.0]));
         g.backward(x, &mut store);
+    }
+
+    /// Deterministic pseudo-random fill for the kernel-equivalence tests.
+    fn lcg(seed: &mut u64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((*seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn param_cache_dedupes_repeated_param_nodes() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut g = Graph::new();
+        let a = g.param(&store, w);
+        let len_after_first = g.len();
+        let b = g.param(&store, w);
+        assert_eq!(a, b, "second use must hit the cache");
+        assert_eq!(g.len(), len_after_first, "cache hit must not push a node");
+        g.reset();
+        let c = g.param(&store, w);
+        assert_eq!(c.0, 0, "reset must clear the param cache");
+        // Gradients through a cached (shared) node still accumulate per use:
+        // loss = sum(w) + dot(w, w) ⇒ dL/dw = 1 + 2w.
+        let s = g.sum(c);
+        let d = g.dot(c, c);
+        let loss = g.add(s, d);
+        g.backward(loss, &mut store);
+        assert_eq!(store.get(w).grad.data(), &[3.0, 5.0]);
+    }
+
+    /// Builds the five-node chain `act((w·x + u·h) + b)` the fused gate
+    /// replaces.
+    fn composed_gate(
+        g: &mut Graph,
+        w: VarId,
+        x: VarId,
+        u: VarId,
+        h: VarId,
+        b: VarId,
+        act: Act,
+    ) -> VarId {
+        let wx = g.matvec(w, x);
+        let uh = g.matvec(u, h);
+        let s = g.add(wx, uh);
+        let sb = g.add(s, b);
+        match act {
+            Act::Tanh => g.tanh(sb),
+            Act::Sigmoid => g.sigmoid(sb),
+        }
+    }
+
+    #[test]
+    fn gate_is_bitwise_identical_to_composed_chain() {
+        // m=5 is deliberately not a multiple of the kernel row block.
+        let (m, nx, nh) = (5, 3, 4);
+        let mut seed = 0x5eed;
+        for act in [Act::Tanh, Act::Sigmoid] {
+            let mut store_f = ParamStore::new();
+            let w = store_f.add("w", Tensor::from_vec(m, nx, lcg(&mut seed, m * nx)));
+            let u = store_f.add("u", Tensor::from_vec(m, nh, lcg(&mut seed, m * nh)));
+            let b = store_f.add("b", Tensor::vector(lcg(&mut seed, m)));
+            let x = store_f.add("x", Tensor::vector(lcg(&mut seed, nx)));
+            let h = store_f.add("h", Tensor::vector(lcg(&mut seed, nh)));
+            let mut store_c = store_f.clone();
+            let probe = lcg(&mut seed, m);
+
+            let mut gf = Graph::new();
+            let (wv, uv) = (gf.param(&store_f, w), gf.param(&store_f, u));
+            let (bv, xv, hv) = (gf.param(&store_f, b), gf.param(&store_f, x), gf.param(&store_f, h));
+            let yf = gf.gate(wv, xv, uv, hv, bv, act);
+            let pf = gf.input(Tensor::vector(probe.clone()));
+            let lf = gf.dot(yf, pf);
+            gf.backward(lf, &mut store_f);
+
+            let mut gc = Graph::new();
+            let (wv, uv) = (gc.param(&store_c, w), gc.param(&store_c, u));
+            let (bv, xv, hv) = (gc.param(&store_c, b), gc.param(&store_c, x), gc.param(&store_c, h));
+            let yc = composed_gate(&mut gc, wv, xv, uv, hv, bv, act);
+            let pc = gc.input(Tensor::vector(probe));
+            let lc = gc.dot(yc, pc);
+            gc.backward(lc, &mut store_c);
+
+            assert_eq!(bits(gf.value(yf)), bits(gc.value(yc)), "forward ({act:?})");
+            for p in [w, u, b, x, h] {
+                assert_eq!(
+                    bits(&store_f.get(p).grad),
+                    bits(&store_c.get(p).grad),
+                    "grad mismatch ({act:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_batch_rows_are_bitwise_identical_to_individual_gates() {
+        let (k, m, nx) = (3, 5, 3);
+        let mut seed = 0xbeef;
+        let mut store_f = ParamStore::new();
+        let w = store_f.add("w", Tensor::from_vec(m, nx, lcg(&mut seed, m * nx)));
+        let u = store_f.add("u", Tensor::from_vec(m, m, lcg(&mut seed, m * m)));
+        let b = store_f.add("b", Tensor::vector(lcg(&mut seed, m)));
+        let x = store_f.add("x", Tensor::vector(lcg(&mut seed, nx)));
+        let hs_ids: Vec<_> = (0..k)
+            .map(|j| store_f.add(format!("h{j}"), Tensor::vector(lcg(&mut seed, m))))
+            .collect();
+        let mut store_c = store_f.clone();
+
+        let mut gf = Graph::new();
+        let (wv, uv) = (gf.param(&store_f, w), gf.param(&store_f, u));
+        let (bv, xv) = (gf.param(&store_f, b), gf.param(&store_f, x));
+        let hs: Vec<_> = hs_ids.iter().map(|&h| gf.param(&store_f, h)).collect();
+        let panel = gf.gate_batch(wv, xv, uv, &hs, bv, Act::Sigmoid);
+        let lf = gf.sum(panel);
+        gf.backward(lf, &mut store_f);
+
+        let mut gc = Graph::new();
+        let (wv, uv) = (gc.param(&store_c, w), gc.param(&store_c, u));
+        let (bv, xv) = (gc.param(&store_c, b), gc.param(&store_c, x));
+        let mut rows = Vec::new();
+        let mut loss = None;
+        for &h in &hs_ids {
+            let hv = gc.param(&store_c, h);
+            let y = gc.gate(wv, xv, uv, hv, bv, Act::Sigmoid);
+            rows.push(y);
+            let s = gc.sum(y);
+            loss = Some(match loss {
+                None => s,
+                Some(acc) => gc.add(acc, s),
+            });
+        }
+        gc.backward(loss.unwrap(), &mut store_c);
+
+        for (j, y) in rows.iter().enumerate() {
+            assert_eq!(
+                gf.value(panel).data()[j * m..(j + 1) * m]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                bits(gc.value(*y)),
+                "row {j} forward"
+            );
+        }
+        for p in [w, u, b, x].into_iter().chain(hs_ids) {
+            assert_eq!(bits(&store_f.get(p).grad), bits(&store_c.get(p).grad));
+        }
+    }
+
+    #[test]
+    fn fma_rows_is_bitwise_identical_to_mul_add_chain() {
+        let (k, m) = (3, 5);
+        let mut seed = 0xfa15e;
+        let scale_rows: Vec<Vec<f32>> = (0..k).map(|_| lcg(&mut seed, m)).collect();
+        let base_data = lcg(&mut seed, m);
+        let item_data: Vec<Vec<f32>> = (0..k).map(|_| lcg(&mut seed, m)).collect();
+        let probe = lcg(&mut seed, m);
+
+        let mut store_f = ParamStore::new();
+        let base = store_f.add("base", Tensor::vector(base_data.clone()));
+        let scales =
+            store_f.add("scales", Tensor::from_vec(k, m, scale_rows.concat()));
+        let items_f: Vec<_> = (0..k)
+            .map(|j| store_f.add(format!("c{j}"), Tensor::vector(item_data[j].clone())))
+            .collect();
+
+        let mut store_c = ParamStore::new();
+        let base_c = store_c.add("base", Tensor::vector(base_data));
+        let srow_ids: Vec<_> = (0..k)
+            .map(|j| store_c.add(format!("s{j}"), Tensor::vector(scale_rows[j].clone())))
+            .collect();
+        let items_c: Vec<_> = (0..k)
+            .map(|j| store_c.add(format!("c{j}"), Tensor::vector(item_data[j].clone())))
+            .collect();
+
+        let mut gf = Graph::new();
+        let bv = gf.param(&store_f, base);
+        let sv = gf.param(&store_f, scales);
+        let iv: Vec<_> = items_f.iter().map(|&p| gf.param(&store_f, p)).collect();
+        let yf = gf.fma_rows(bv, sv, &iv);
+        let pf = gf.input(Tensor::vector(probe.clone()));
+        let lf = gf.dot(yf, pf);
+        gf.backward(lf, &mut store_f);
+
+        let mut gc = Graph::new();
+        let mut acc = gc.param(&store_c, base_c);
+        let yc = {
+            for j in 0..k {
+                let s = gc.param(&store_c, srow_ids[j]);
+                let c = gc.param(&store_c, items_c[j]);
+                let t = gc.mul(s, c);
+                acc = gc.add(acc, t);
+            }
+            acc
+        };
+        let pc = gc.input(Tensor::vector(probe));
+        let lc = gc.dot(yc, pc);
+        gc.backward(lc, &mut store_c);
+
+        assert_eq!(bits(gf.value(yf)), bits(gc.value(yc)), "forward");
+        assert_eq!(bits(&store_f.get(base).grad), bits(&store_c.get(base_c).grad));
+        for j in 0..k {
+            assert_eq!(
+                store_f.get(scales).grad.data()[j * m..(j + 1) * m]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                bits(&store_c.get(srow_ids[j]).grad),
+                "d_scales row {j}"
+            );
+            assert_eq!(
+                bits(&store_f.get(items_f[j]).grad),
+                bits(&store_c.get(items_c[j]).grad),
+                "d_item {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_batch_is_bitwise_identical_to_per_item_affine() {
+        // Odd shapes on purpose: 5 output rows (not a block multiple),
+        // including the k=1 and n=1 edge panels.
+        for (k, m, n) in [(3, 5, 3), (1, 5, 3), (3, 5, 1), (4, 1, 3)] {
+            let mut seed = 0xabcd ^ (k * 100 + m * 10 + n) as u64;
+            let mut store_f = ParamStore::new();
+            let w = store_f.add("w", Tensor::from_vec(m, n, lcg(&mut seed, m * n)));
+            let b = store_f.add("b", Tensor::vector(lcg(&mut seed, m)));
+            let xs_ids: Vec<_> = (0..k)
+                .map(|j| store_f.add(format!("x{j}"), Tensor::vector(lcg(&mut seed, n))))
+                .collect();
+            let mut store_c = store_f.clone();
+
+            let mut gf = Graph::new();
+            let (wv, bv) = (gf.param(&store_f, w), gf.param(&store_f, b));
+            let xs: Vec<_> = xs_ids.iter().map(|&x| gf.param(&store_f, x)).collect();
+            let packed = gf.pack(&xs);
+            let panel = gf.affine_batch(wv, packed, Some(bv));
+            // Route the loss through batch_item so its backward runs too.
+            let mut loss = None;
+            let mut items_f = Vec::new();
+            for j in 0..k {
+                let row = gf.batch_item(panel, j);
+                items_f.push(row);
+                let s = gf.sum(row);
+                loss = Some(match loss {
+                    None => s,
+                    Some(acc) => gf.add(acc, s),
+                });
+            }
+            gf.backward(loss.unwrap(), &mut store_f);
+
+            let mut gc = Graph::new();
+            let (wv, bv) = (gc.param(&store_c, w), gc.param(&store_c, b));
+            let mut loss = None;
+            let mut items_c = Vec::new();
+            for &x in &xs_ids {
+                let xv = gc.param(&store_c, x);
+                let y = gc.affine(wv, xv, bv);
+                items_c.push(y);
+                let s = gc.sum(y);
+                loss = Some(match loss {
+                    None => s,
+                    Some(acc) => gc.add(acc, s),
+                });
+            }
+            gc.backward(loss.unwrap(), &mut store_c);
+
+            for j in 0..k {
+                assert_eq!(
+                    bits(gf.value(items_f[j])),
+                    bits(gc.value(items_c[j])),
+                    "row {j} forward (k={k} m={m} n={n})"
+                );
+            }
+            for p in [w, b].into_iter().chain(xs_ids) {
+                assert_eq!(
+                    bits(&store_f.get(p).grad),
+                    bits(&store_c.get(p).grad),
+                    "grad (k={k} m={m} n={n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_attention_panel_matches_per_key_chain_bitwise() {
+        // add_rows + tanh-on-panel + row_dots vs the per-key
+        // add/tanh/dot/stack_scalars chain.
+        let (k, n) = (3, 5);
+        let mut seed = 0xa77e;
+        let mut store_f = ParamStore::new();
+        let b = store_f.add("b", Tensor::vector(lcg(&mut seed, n)));
+        let v = store_f.add("v", Tensor::vector(lcg(&mut seed, n)));
+        let key_ids: Vec<_> = (0..k)
+            .map(|j| store_f.add(format!("k{j}"), Tensor::vector(lcg(&mut seed, n))))
+            .collect();
+        let mut store_c = store_f.clone();
+        let probe = lcg(&mut seed, k);
+
+        let mut gf = Graph::new();
+        let (bv, vv) = (gf.param(&store_f, b), gf.param(&store_f, v));
+        let keys: Vec<_> = key_ids.iter().map(|&p| gf.param(&store_f, p)).collect();
+        let packed = gf.pack(&keys);
+        let shifted = gf.add_rows(packed, bv);
+        let panel = gf.tanh(shifted);
+        let scores_f = gf.row_dots(panel, vv);
+        let pf = gf.input(Tensor::vector(probe.clone()));
+        let lf = gf.dot(scores_f, pf);
+        gf.backward(lf, &mut store_f);
+
+        let mut gc = Graph::new();
+        let (bv, vv) = (gc.param(&store_c, b), gc.param(&store_c, v));
+        let mut dots = Vec::new();
+        for &p in &key_ids {
+            let kv = gc.param(&store_c, p);
+            let s = gc.add(kv, bv);
+            let t = gc.tanh(s);
+            dots.push(gc.dot(t, vv));
+        }
+        let scores_c = gc.stack_scalars(&dots);
+        let pc = gc.input(Tensor::vector(probe));
+        let lc = gc.dot(scores_c, pc);
+        gc.backward(lc, &mut store_c);
+
+        assert_eq!(bits(gf.value(scores_f)), bits(gc.value(scores_c)), "scores");
+        for p in [b, v].into_iter().chain(key_ids) {
+            assert_eq!(bits(&store_f.get(p).grad), bits(&store_c.get(p).grad));
+        }
     }
 }

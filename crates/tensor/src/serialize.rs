@@ -225,14 +225,15 @@ pub fn save_store_binary(store: &ParamStore) -> Vec<u8> {
     out
 }
 
-/// A cursor over the binary checkpoint body.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// A cursor over the binary checkpoint body (shared with the quantized
+/// `LGRq` loader in [`crate::quant`]).
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
         let end = self.pos.checked_add(n).ok_or(LoadError::UnexpectedEof)?;
         if end > self.bytes.len() {
             return Err(LoadError::UnexpectedEof);
@@ -242,9 +243,19 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u32(&mut self) -> Result<u32, LoadError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, LoadError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, LoadError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, LoadError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes(b.try_into().expect("4-byte slice")))
     }
 
     fn f64(&mut self) -> Result<f64, LoadError> {

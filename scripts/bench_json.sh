@@ -3,11 +3,12 @@
 # the repo root:
 #   * throughput_parallel (1/2/4/8 worker threads) -> BENCH_parallel.json
 #   * throughput_encode (cold vs steady-state allocations) -> BENCH_encode.json
+#   * throughput_kernels (GEMM GFLOP/s, f32 vs int8 encode) -> BENCH_kernels.json
 #   * throughput_serve (1/2/4/8 pipelining clients) -> BENCH_serve.json
 #   * throughput_analysis (lint/facts throughput + symexec pruning) -> BENCH_analysis.json
 #   * throughput_obs (disabled/enabled span-tracing overhead) -> BENCH_obs.json
 #
-# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json] [obs_out.json]
+# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json] [obs_out.json] [kernels_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +17,7 @@ enc_out="${2:-BENCH_encode.json}"
 srv_out="${3:-BENCH_serve.json}"
 ana_out="${4:-BENCH_analysis.json}"
 obs_out="${5:-BENCH_obs.json}"
+ker_out="${6:-BENCH_kernels.json}"
 
 # ---- parallel minibatch throughput --------------------------------------
 bench_out=$(cargo bench -p bench --bench throughput_parallel 2>&1)
@@ -91,6 +93,56 @@ fi
 } > "$enc_out"
 
 echo "wrote $enc_out"
+
+# ---- fused kernel throughput (GEMM GFLOP/s, f32 vs int8 encode) ---------
+ker_bench_out=$(cargo bench -p bench --bench throughput_kernels 2>&1)
+echo "$ker_bench_out"
+
+ker_json=$(echo "$ker_bench_out" | grep '^KERNEL' | awk '
+{
+    delete kv
+    for (i = 2; i <= NF; i++) { split($i, p, "="); kv[p[1]] = p[2] }
+    if (kv["mode"] == "summary") {
+        summary = sprintf("  \"gemm_gflops\": %s,\n  \"f32_programs_per_sec\": %s,\n  \"int8_programs_per_sec\": %s,\n  \"baseline_programs_per_sec\": %s,\n  \"f32_speedup_vs_baseline\": %s,\n  \"int8_speedup_vs_baseline\": %s",
+            kv["gemm_gflops"], kv["f32_programs_per_sec"], kv["int8_programs_per_sec"],
+            kv["baseline_programs_per_sec"], kv["f32_speedup_vs_baseline"], kv["int8_speedup_vs_baseline"])
+        next
+    }
+    if (kv["mode"] == "gemm") {
+        if (ngemm++ > 0) gemm = gemm ",\n"
+        gemm = gemm sprintf("    {\"rows\": %s, \"cols\": %s, \"batch\": %s, \"reps\": %s, \"seconds\": %s, \"gflops\": %s}",
+            kv["rows"], kv["cols"], kv["batch"], kv["reps"], kv["secs"], kv["gflops"])
+        next
+    }
+    if (nenc++ > 0) enc = enc ",\n"
+    enc = enc sprintf("    {\"mode\": \"%s\", \"programs\": %s, \"seconds\": %s, \"programs_per_sec\": %s}",
+        kv["mode"], kv["programs"], kv["secs"], kv["programs_per_sec"])
+}
+END {
+    if (ngemm == 0 || nenc == 0 || summary == "") exit 1
+    print "  \"gemm\": ["
+    print gemm
+    print "  ],"
+    print "  \"encode\": ["
+    print enc
+    print "  ],"
+    print summary
+}')
+
+if [ -z "$ker_json" ]; then
+    echo "error: no KERNEL lines in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput_kernels",'
+    echo '  "workload": "gemm_batch on representative encoder shapes (GFLOP/s, autovectorization floor asserted in-bench); tape-free f32 batch-major vs int8 quantized encode over the tiny method-name dataset",'
+    printf '%s\n' "$ker_json"
+    echo '}'
+} > "$ker_out"
+
+echo "wrote $ker_out"
 
 # ---- serving throughput (micro-batched TCP loopback) --------------------
 srv_bench_out=$(cargo bench -p bench --bench throughput_serve 2>&1)

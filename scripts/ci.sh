@@ -9,6 +9,11 @@
 # admin verb), and a profiled-quickstart gate (LIGER_PROFILE=1 run must
 # emit a chrome-trace JSON that trace-validate accepts with >=90% of wall
 # time under the root span, plus the <2% disabled-overhead bench).
+# PR 6 adds: the batch-major kernel-equivalence proptests under a forced
+# 2-worker pool, the quantized-accuracy gate on the quickstart checkpoint
+# (--quantize: int8 prediction must match f32, cosine >= 0.99), and the
+# kernel bench whose in-bench GFLOP/s floor fails on a SIMD/
+# autovectorization regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +25,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q
 LIGER_THREADS=2 cargo test -q --test autodiff_properties parallel_training_is_bitwise_deterministic
 LIGER_THREADS=2 cargo test -q --test autodiff_properties cached_training_is_bitwise_identical
+# Batch-major fused-GEMM equivalence + int8 roundtrip proptests, with the
+# worker pool forced to 2 so the batched path runs under the same thread
+# configuration the determinism contract is stated for.
+LIGER_THREADS=2 cargo test -q --test kernel_properties
 
 # ---- liger-lint over the shipped datagen corpus -------------------------
 # Every shipped template must be free of diagnostics — warnings included.
@@ -89,6 +98,18 @@ LIGER_PROFILE=1 cargo run --release --example quickstart -- --retrain
 target/release/trace-validate --min-coverage 0.9 quickstart.trace.json
 echo "profiled quickstart trace validated"
 
+# ---- quantized-accuracy gate on the quickstart checkpoint ---------------
+# --quantize rewrites the checkpoint as int8 qparams and asserts in-process
+# that the dequantize-free engine reproduces the f32 prediction and keeps
+# the embedding cosine >= 0.99.
+cargo run --release --example quickstart -- --quantize
+echo "quantized quickstart checkpoint gate passed"
+
 # ---- observability overhead budget --------------------------------------
 # Asserts in-bench that disabled span tracing costs <2% of encoder time.
 cargo bench -p bench --bench throughput_obs
+
+# ---- fused kernel throughput + SIMD floor -------------------------------
+# Asserts in-bench that gemm_batch clears the autovectorization GFLOP/s
+# floor and the f32 batch-major encoder clears 5x the PR 2 baseline.
+cargo bench -p bench --bench throughput_kernels
