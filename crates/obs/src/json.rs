@@ -94,16 +94,27 @@ impl Json {
         Json::Num(n as f64)
     }
 
-    fn write_into(&self, out: &mut String) {
+    /// Serializes compactly into `out` without any heap allocation of
+    /// its own (strings and numbers render in place): the hot-path form
+    /// of `to_string()` used by the serve framing layer's reusable
+    /// buffers.
+    pub fn write_to(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => {
                 if n.is_finite() {
                     // `{:?}` is shortest-roundtrip; strip the trailing
-                    // `.0` Rust adds to integral floats.
-                    let text = format!("{n:?}");
-                    out.push_str(text.strip_suffix(".0").unwrap_or(&text));
+                    // `.0` Rust adds to integral floats. Rendered into a
+                    // stack buffer: serialization must not heap-allocate
+                    // (the serve framing hot path asserts zero allocs).
+                    let mut buf = StackBuf { bytes: [0u8; 32], len: 0 };
+                    use std::fmt::Write as _;
+                    let text = match write!(buf, "{n:?}") {
+                        Ok(()) => buf.as_str(),
+                        Err(_) => unreachable!("f64 shortest repr fits 32 bytes"),
+                    };
+                    out.push_str(text.strip_suffix(".0").unwrap_or(text));
                 } else {
                     out.push_str("null"); // JSON has no Inf/NaN.
                 }
@@ -115,7 +126,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write_into(out);
+                    item.write_to(out);
                 }
                 out.push(']');
             }
@@ -127,7 +138,7 @@ impl Json {
                     }
                     write_escaped(k, out);
                     out.push(':');
-                    v.write_into(out);
+                    v.write_to(out);
                 }
                 out.push('}');
             }
@@ -135,11 +146,38 @@ impl Json {
     }
 }
 
+/// Fixed-capacity `fmt::Write` sink for number rendering: f64's
+/// shortest-roundtrip `{:?}` form is at most 24 bytes, so 32 never
+/// overflows in practice (overflow surfaces as a `fmt::Error`).
+struct StackBuf {
+    bytes: [u8; 32],
+    len: usize,
+}
+
+impl StackBuf {
+    fn as_str(&self) -> &str {
+        // Only ever filled through `write_str` with valid UTF-8.
+        std::str::from_utf8(&self.bytes[..self.len]).expect("StackBuf holds UTF-8")
+    }
+}
+
+impl std::fmt::Write for StackBuf {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let bytes = s.as_bytes();
+        if self.len + bytes.len() > self.bytes.len() {
+            return Err(std::fmt::Error);
+        }
+        self.bytes[self.len..self.len + bytes.len()].copy_from_slice(bytes);
+        self.len += bytes.len();
+        Ok(())
+    }
+}
+
 /// Compact JSON text (`value.to_string()` serializes).
 impl std::fmt::Display for Json {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut out = String::new();
-        self.write_into(&mut out);
+        self.write_to(&mut out);
         f.write_str(&out)
     }
 }

@@ -56,6 +56,14 @@ pub fn threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The machine's actual parallelism (min 1), ignoring both the
+/// [`set_threads`] override and `LIGER_THREADS`. Used for sizing things
+/// that scale with physical cores rather than the configured pool —
+/// e.g. the serve front end's default inference shard count.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
 /// The fixed chunk boundaries for `len` items over `workers` workers:
 /// worker `w` owns `[start, end)`. The first `len % workers` chunks get
 /// one extra item, so boundaries are a pure function of `(len, workers)`.
@@ -110,7 +118,34 @@ where
     I: FnMut() -> S,
     F: Fn(&mut S, usize, &T) -> U + Sync,
 {
-    let workers = threads().min(items.len()).max(1);
+    par_map_ordered_with_cap(items, scratches, init, f, usize::MAX)
+}
+
+/// [`par_map_ordered_with`] with an additional **worker cap**: at most
+/// `cap` logical workers regardless of the configured thread count.
+/// Callers that run several pools side by side (the serve front end's
+/// inference shards) use it to hand each pool only its slice of the
+/// machine, so N shards together never oversubscribe [`threads`].
+///
+/// The cap participates in chunking, so it is part of the determinism
+/// input: a given `(len, min(threads, cap))` always produces the same
+/// chunk boundaries. Results remain bitwise identical for every cap
+/// because `f` must already be a pure function of `(i, items[i])`.
+pub fn par_map_ordered_with_cap<T, U, S, F, I>(
+    items: &[T],
+    scratches: &mut Vec<S>,
+    init: I,
+    f: F,
+    cap: usize,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    S: Send,
+    I: FnMut() -> S,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let workers = threads().min(cap).min(items.len()).max(1);
     if scratches.len() < workers {
         scratches.resize_with(workers, init);
     }
@@ -264,6 +299,37 @@ mod tests {
         });
         assert_eq!(scratches.len(), 3);
         assert_eq!(scratches.iter().sum::<u64>(), 64);
+        set_threads(None);
+    }
+
+    #[test]
+    fn cap_limits_workers_without_changing_results() {
+        let _guard = LOCK.lock().unwrap();
+        set_threads(Some(8));
+        let items: Vec<u64> = (0..53).collect();
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 7 + i as u64).collect();
+        for cap in [1usize, 2, 3, usize::MAX] {
+            let mut scratches: Vec<()> = Vec::new();
+            let out = par_map_ordered_with_cap(
+                &items,
+                &mut scratches,
+                || (),
+                |(), i, &x| x * 7 + i as u64,
+                cap,
+            );
+            assert_eq!(out, expect, "cap {cap} changed results");
+            assert_eq!(scratches.len(), cap.min(8), "cap {cap} grew too many scratches");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn hardware_threads_ignores_overrides() {
+        let _guard = LOCK.lock().unwrap();
+        let actual = hardware_threads();
+        assert!(actual >= 1);
+        set_threads(Some(99));
+        assert_eq!(hardware_threads(), actual);
         set_threads(None);
     }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! liger-serve --ckpt model.lgrb [--addr 127.0.0.1:7878] [--batch-max 16]
 //!             [--batch-timeout-ms 5] [--queue-cap 64] [--threads N]
+//!             [--shards N] [--max-conns N] [--max-inflight N]
 //! liger-serve --demo [--save model.lgrb] [flags…]   # train a toy model, then serve it
 //! liger-serve query ADDR JSON [JSON…]               # one-shot client (pipelined)
 //! ```
@@ -148,6 +149,11 @@ fn serve_main(args: &[String]) -> i32 {
             "--batch-timeout-ms" => parse_num(&mut value, "--batch-timeout-ms")
                 .map(|n| config.batch_timeout_ms = n as u64),
             "--queue-cap" => parse_num(&mut value, "--queue-cap").map(|n| config.queue_cap = n),
+            "--shards" => parse_num(&mut value, "--shards").map(|n| config.shards = n),
+            "--max-conns" => parse_num(&mut value, "--max-conns").map(|n| config.max_conns = n),
+            "--max-inflight" => {
+                parse_num(&mut value, "--max-inflight").map(|n| config.max_inflight = n)
+            }
             "--threads" => {
                 parse_num(&mut value, "--threads").map(|n| par::set_threads(Some(n)))
             }
@@ -235,7 +241,8 @@ fn print_usage() {
     eprintln!(
         "usage:\n  \
          liger-serve --ckpt model.lgrb [--addr HOST:PORT] [--batch-max N]\n              \
-         [--batch-timeout-ms N] [--queue-cap N] [--threads N] [--metrics]\n  \
+         [--batch-timeout-ms N] [--queue-cap N] [--threads N] [--shards N]\n              \
+         [--max-conns N] [--max-inflight N] [--metrics]\n  \
          liger-serve --demo [--save model.lgrb] [flags...]\n  \
          liger-serve query ADDR JSON [JSON...]"
     );

@@ -1,0 +1,225 @@
+//! Per-connection state for the event-loop front end.
+//!
+//! Each accepted socket owns exactly one [`Conn`]: a reusable
+//! [`FrameReader`] on the read side, a reusable write buffer + payload
+//! scratch on the write side, and the **reply-ordering ledger** in
+//! between. The event loop parses pipelined requests as fast as they
+//! arrive and fans them out to inference shards, so replies can complete
+//! out of order — but the wire contract (and every pipelining client
+//! since PR 3) is *replies in request order*. [`Conn::complete`]
+//! enforces it: each parsed request takes the next sequence number, and
+//! a completed reply is released into the write buffer only when every
+//! earlier sequence has been; later completions wait in a small held
+//! list. Admin verbs answered inline go through the same ledger, so a
+//! `ping` pipelined behind an `embed` never overtakes its reply.
+//!
+//! All four buffers (read, write, payload scratch, held list) keep their
+//! capacity across requests: the steady-state framing path allocates
+//! nothing (DESIGN.md §2g; asserted by the serve bench).
+
+use crate::json::Json;
+use crate::protocol::{write_frame_into, FrameReader};
+use std::io::{self, Write};
+use std::net::TcpStream;
+
+/// Flush the write buffer eagerly once it crosses this size even while
+/// more completions are pending — bounds memory per slow client.
+const FLUSH_COMPACT: usize = 64 * 1024;
+
+/// One live connection's state machine.
+#[derive(Debug)]
+pub struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Guards completions against slot reuse: a completion whose
+    /// generation mismatches belongs to a previous connection.
+    pub generation: u64,
+    /// Incremental frame decoder with its reusable buffer.
+    pub reader: FrameReader,
+    /// Inference requests in flight in the shards.
+    pub inflight: usize,
+    /// The peer closed its write side (read returned 0); flush what we
+    /// owe, then drop.
+    pub peer_closed: bool,
+    /// A fatal protocol error was replied; close once flushed.
+    pub fatal: bool,
+    /// Whether the poller currently has write interest armed.
+    pub write_armed: bool,
+    /// Encoded-but-unsent reply bytes.
+    wbuf: Vec<u8>,
+    /// Consumed prefix of `wbuf`.
+    wpos: usize,
+    /// Reusable JSON payload scratch for frame encoding.
+    wscratch: String,
+    /// Sequence number the next parsed request will take.
+    next_seq: u64,
+    /// Sequence number the next released reply must carry.
+    next_release: u64,
+    /// Completed replies waiting for an earlier sequence (tiny in
+    /// practice: only out-of-order completions land here).
+    held: Vec<(u64, Json)>,
+}
+
+impl Conn {
+    /// Wraps a freshly accepted nonblocking stream.
+    pub fn new(stream: TcpStream, generation: u64) -> Conn {
+        Conn {
+            stream,
+            generation,
+            reader: FrameReader::new(),
+            inflight: 0,
+            peer_closed: false,
+            fatal: false,
+            write_armed: false,
+            wbuf: Vec::new(),
+            wpos: 0,
+            wscratch: String::new(),
+            next_seq: 0,
+            next_release: 0,
+            held: Vec::new(),
+        }
+    }
+
+    /// Assigns the arrival sequence number for a newly parsed request.
+    pub fn assign_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Queues `reply` for request `seq`, releasing it (and any held
+    /// successors) into the write buffer once all predecessors are out.
+    pub fn complete(&mut self, seq: u64, reply: Json) {
+        if seq != self.next_release {
+            self.held.push((seq, reply));
+            return;
+        }
+        write_frame_into(&mut self.wbuf, &mut self.wscratch, &reply);
+        self.next_release += 1;
+        while let Some(at) = self.held.iter().position(|(s, _)| *s == self.next_release) {
+            let (_, next) = self.held.swap_remove(at);
+            write_frame_into(&mut self.wbuf, &mut self.wscratch, &next);
+            self.next_release += 1;
+        }
+    }
+
+    /// Whether reply bytes are waiting to reach the socket.
+    pub fn has_pending_writes(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Whether replies are owed but not yet completed or flushed.
+    pub fn owes_replies(&self) -> bool {
+        self.inflight > 0 || !self.held.is_empty() || self.has_pending_writes()
+    }
+
+    /// Whether the connection holds no buffered work in either
+    /// direction — the safe point to close on shutdown or peer EOF.
+    pub fn is_idle(&self) -> bool {
+        !self.owes_replies() && !self.reader.has_buffered()
+    }
+
+    /// Writes as much buffered reply data as the socket accepts.
+    /// Returns `Ok(true)` when the buffer fully drained, `Ok(false)`
+    /// when the socket blocked first (caller arms write interest).
+    ///
+    /// # Errors
+    ///
+    /// Returns fatal socket errors (the caller drops the connection).
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.compact();
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.wbuf.clear();
+        self.wpos = 0;
+        Ok(true)
+    }
+
+    /// Reclaims the consumed prefix once it dominates the buffer, so a
+    /// slow client cannot pin unbounded memory behind `wpos`.
+    fn compact(&mut self) {
+        if self.wpos >= FLUSH_COMPACT && self.wpos * 2 >= self.wbuf.len() {
+            self.wbuf.copy_within(self.wpos.., 0);
+            self.wbuf.truncate(self.wbuf.len() - self.wpos);
+            self.wpos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ok_response;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (server, client)
+    }
+
+    fn reply(n: usize) -> Json {
+        ok_response(vec![("n", Json::num(n))])
+    }
+
+    #[test]
+    fn replies_release_in_request_order() {
+        let (server, client) = pair();
+        let mut conn = Conn::new(server, 1);
+        let s0 = conn.assign_seq();
+        let s1 = conn.assign_seq();
+        let s2 = conn.assign_seq();
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+
+        // Replies 2 and 1 land before 0: nothing may be written yet.
+        conn.complete(s2, reply(2));
+        conn.complete(s1, reply(1));
+        assert!(!conn.has_pending_writes());
+        assert!(conn.owes_replies());
+
+        // Reply 0 releases the whole chain, in order.
+        conn.complete(s0, reply(0));
+        assert!(conn.flush().unwrap());
+        assert!(!conn.owes_replies());
+
+        drop(conn);
+        let mut reader = FrameReader::new();
+        let mut from = client;
+        for expect in 0..3 {
+            let frame = loop {
+                if let Some(f) = reader.next_frame().unwrap() {
+                    break f;
+                }
+                assert!(reader.fill_from(&mut from).unwrap() > 0);
+            };
+            assert_eq!(frame.get("n").and_then(Json::as_usize), Some(expect));
+        }
+    }
+
+    #[test]
+    fn idle_tracks_all_buffers() {
+        let (server, _client) = pair();
+        let mut conn = Conn::new(server, 1);
+        assert!(conn.is_idle());
+        let seq = conn.assign_seq();
+        conn.inflight += 1;
+        assert!(!conn.is_idle());
+        conn.inflight -= 1;
+        conn.complete(seq, reply(0));
+        assert!(!conn.is_idle(), "unflushed replies are not idle");
+        assert!(conn.flush().unwrap());
+        assert!(conn.is_idle());
+    }
+}

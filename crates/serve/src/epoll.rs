@@ -1,0 +1,561 @@
+//! Raw readiness polling over a thin `libc`-style FFI shim.
+//!
+//! The event-loop front end (DESIGN.md §2g) needs exactly four kernel
+//! facilities: an interest set, edge-style readiness notification, a
+//! cross-thread wakeup, and nonblocking sockets. The workspace is
+//! offline and std-only, so instead of a runtime crate this module
+//! declares the handful of syscalls directly:
+//!
+//! * **Linux** — `epoll` in edge-triggered mode (`EPOLLET`): one
+//!   `epoll_wait` per loop iteration, `O(ready)` not `O(registered)`,
+//!   which is what lets one thread front thousands of connections. The
+//!   waker is an `eventfd` — shard workers write an 8-byte counter to
+//!   nudge the loop when completions land.
+//! * **other unix** — `poll(2)` (POSIX, level-triggered) with an
+//!   interest table kept in userspace and a nonblocking
+//!   `UnixStream` pair as the waker. Level vs. edge is invisible to
+//!   callers because every handler drains its fd until `WouldBlock`
+//!   anyway.
+//! * **elsewhere** — [`Poller::new`] returns `Unsupported`; the blocking
+//!   [`crate::server::Client`] and the protocol codec still compile.
+//!
+//! Tokens are caller-chosen `u64`s (the server uses connection slot
+//! indices plus two reserved values for the listener and the waker); the
+//! poller never interprets them.
+
+/// Which readiness a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake on readable (and peer hangup).
+    pub readable: bool,
+    /// Wake on writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+    /// Read + write interest — armed while a write buffer is non-empty.
+    pub const READ_WRITE: Interest = Interest { readable: true, writable: true };
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd has bytes to read (or a hangup to observe via `read → 0`).
+    pub readable: bool,
+    /// The fd can accept writes.
+    pub writable: bool,
+}
+
+pub use sys::{Poller, Waker};
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EFD_NONBLOCK: i32 = 0o4000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    /// Mirror of the kernel's `struct epoll_event`. Packed: on x86-64
+    /// the kernel ABI has no padding between the 32-bit event mask and
+    /// the 64-bit payload.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    fn cvt(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLET | EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// An `epoll` instance plus its reusable event buffer.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: i32,
+        /// Scratch for `epoll_wait` — allocated once, reused per wait.
+        buf: Vec<u64>, // bit-cast EpollEvent pairs; see `wait`
+    }
+
+    // EpollEvent is 12 bytes packed; keep a raw byte buffer instead of
+    // fighting alignment. 256 events per wait is plenty: readiness is
+    // re-reported next iteration for anything left over.
+    const MAX_EVENTS: usize = 256;
+    const EVENT_BYTES: usize = 12;
+
+    impl Poller {
+        /// Creates the epoll instance.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_create1` error.
+        pub fn new() -> io::Result<Poller> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Poller { epfd, buf: vec![0u64; (MAX_EVENTS * EVENT_BYTES).div_ceil(8)] })
+        }
+
+        /// Adds `fd` to the interest set under `token` (edge-triggered).
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` error.
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Changes the interest of an already-registered fd.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` error.
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Removes `fd` from the interest set.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_ctl` error.
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            cvt(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+        }
+
+        fn ctl(&mut self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent { events: mask(interest), data: token };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        /// Blocks up to `timeout_ms` (−1 = forever) and appends ready
+        /// events to `out` (cleared first). `EINTR` returns empty.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_wait` error.
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr().cast::<EpollEvent>(),
+                    MAX_EVENTS as i32,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            let base = self.buf.as_ptr().cast::<u8>();
+            for i in 0..n as usize {
+                // Unaligned copy out of the packed kernel buffer.
+                let ev: EpollEvent =
+                    unsafe { base.add(i * EVENT_BYTES).cast::<EpollEvent>().read_unaligned() };
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    // ERR/HUP surface as readable so the handler reads
+                    // to EOF/error and tears the connection down.
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// A cross-thread wakeup: an `eventfd` registered in the poller.
+    /// Cloneable-by-Arc; `wake` is safe from any thread.
+    #[derive(Debug)]
+    pub struct Waker {
+        fd: i32,
+    }
+
+    impl Waker {
+        /// Creates the nonblocking eventfd.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `eventfd` error.
+        pub fn new() -> io::Result<Waker> {
+            let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+            Ok(Waker { fd })
+        }
+
+        /// The fd to register (readable) in the poller.
+        pub fn raw_fd(&self) -> RawFd {
+            self.fd
+        }
+
+        /// Nudges the event loop. Best-effort: a full counter means a
+        /// wake is already pending, which is all we need.
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            unsafe { write(self.fd, std::ptr::addr_of!(one).cast::<u8>(), 8) };
+        }
+
+        /// Consumes pending wakes so edge-triggered polling re-arms.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io::{self, Read, Write};
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::os::unix::net::UnixStream;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// `poll(2)`-backed fallback: the interest table lives in userspace.
+    #[derive(Debug)]
+    pub struct Poller {
+        fds: Vec<(RawFd, u64, Interest)>,
+    }
+
+    impl Poller {
+        /// Creates an empty interest table (infallible here; the
+        /// signature matches the epoll backend).
+        ///
+        /// # Errors
+        ///
+        /// Never on this backend.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { fds: Vec::new() })
+        }
+
+        /// Adds `fd` under `token`.
+        ///
+        /// # Errors
+        ///
+        /// `AlreadyExists` if the fd is registered.
+        pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.fds.iter().any(|(f, _, _)| *f == fd) {
+                return Err(io::ErrorKind::AlreadyExists.into());
+            }
+            self.fds.push((fd, token, interest));
+            Ok(())
+        }
+
+        /// Updates `fd`'s token and interest.
+        ///
+        /// # Errors
+        ///
+        /// `NotFound` if the fd is not registered.
+        pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            for slot in &mut self.fds {
+                if slot.0 == fd {
+                    *slot = (fd, token, interest);
+                    return Ok(());
+                }
+            }
+            Err(io::ErrorKind::NotFound.into())
+        }
+
+        /// Drops `fd` from the table.
+        ///
+        /// # Errors
+        ///
+        /// `NotFound` if the fd is not registered.
+        pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let before = self.fds.len();
+            self.fds.retain(|(f, _, _)| *f != fd);
+            if self.fds.len() == before {
+                return Err(io::ErrorKind::NotFound.into());
+            }
+            Ok(())
+        }
+
+        /// Polls the whole table once.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `poll` error (except `EINTR`, which is empty-ok).
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            out.clear();
+            let mut pfds: Vec<PollFd> = self
+                .fds
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.writable { POLLIN | POLLOUT } else { POLLIN },
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(pfds.as_mut_ptr(), pfds.len() as u64, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (pfd, &(_, token, _)) in pfds.iter().zip(&self.fds) {
+                let r = pfd.revents;
+                if r != 0 {
+                    out.push(Event {
+                        token,
+                        readable: r & (POLLIN | POLLERR | POLLHUP) != 0,
+                        writable: r & POLLOUT != 0,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Socketpair-backed waker for the `poll` fallback.
+    #[derive(Debug)]
+    pub struct Waker {
+        tx: UnixStream,
+        rx: UnixStream,
+    }
+
+    impl Waker {
+        /// Creates the nonblocking pair.
+        ///
+        /// # Errors
+        ///
+        /// Returns the socketpair error.
+        pub fn new() -> io::Result<Waker> {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            Ok(Waker { tx, rx })
+        }
+
+        /// The readable end to register in the poller.
+        pub fn raw_fd(&self) -> RawFd {
+            self.rx.as_raw_fd()
+        }
+
+        /// Nudges the event loop (best-effort; a full pipe already
+        /// guarantees a pending wake).
+        pub fn wake(&self) {
+            let _ = (&self.tx).write(&[1u8]);
+        }
+
+        /// Consumes pending wake bytes.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+    use std::os::raw::c_int as RawFd;
+
+    /// Stub backend: the event-loop server is unix-only; everything else
+    /// in the crate (protocol codec, blocking client) still compiles.
+    #[derive(Debug)]
+    pub struct Poller;
+
+    impl Poller {
+        /// Always fails on this platform.
+        ///
+        /// # Errors
+        ///
+        /// `Unsupported`, unconditionally.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "event loop requires unix"))
+        }
+
+        /// Unreachable (no instance can exist).
+        ///
+        /// # Errors
+        ///
+        /// Never returns.
+        pub fn register(&mut self, _: RawFd, _: u64, _: Interest) -> io::Result<()> {
+            unreachable!("no Poller instance on this platform")
+        }
+
+        /// Unreachable (no instance can exist).
+        ///
+        /// # Errors
+        ///
+        /// Never returns.
+        pub fn modify(&mut self, _: RawFd, _: u64, _: Interest) -> io::Result<()> {
+            unreachable!("no Poller instance on this platform")
+        }
+
+        /// Unreachable (no instance can exist).
+        ///
+        /// # Errors
+        ///
+        /// Never returns.
+        pub fn deregister(&mut self, _: RawFd) -> io::Result<()> {
+            unreachable!("no Poller instance on this platform")
+        }
+
+        /// Unreachable (no instance can exist).
+        ///
+        /// # Errors
+        ///
+        /// Never returns.
+        pub fn wait(&mut self, _: &mut Vec<Event>, _: i32) -> io::Result<()> {
+            unreachable!("no Poller instance on this platform")
+        }
+    }
+
+    /// Stub waker.
+    #[derive(Debug)]
+    pub struct Waker;
+
+    impl Waker {
+        /// Always fails on this platform.
+        ///
+        /// # Errors
+        ///
+        /// `Unsupported`, unconditionally.
+        pub fn new() -> io::Result<Waker> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "event loop requires unix"))
+        }
+
+        /// Stub (no poller to register in).
+        pub fn raw_fd(&self) -> RawFd {
+            -1
+        }
+
+        /// No-op.
+        pub fn wake(&self) {}
+
+        /// No-op.
+        pub fn drain(&self) {}
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.register(waker.raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no wake requested yet");
+
+        waker.wake();
+        poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+
+        waker.drain();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "drained waker must re-arm");
+    }
+
+    #[test]
+    fn socket_readiness_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new().unwrap();
+        poller.register(server.as_raw_fd(), 42, Interest::READ).unwrap();
+
+        client.write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        let mut buf = [0u8; 16];
+        let n = (&server).read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+
+        // Write interest reports immediately on an idle socket.
+        poller.modify(server.as_raw_fd(), 42, Interest::READ_WRITE).unwrap();
+        poller.wait(&mut events, 2000).unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.writable));
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+}

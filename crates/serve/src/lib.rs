@@ -7,10 +7,17 @@
 //!
 //! - [`json`] — the minimal JSON value/parser/writer, re-exported from
 //!   [`obs`] where it now lives (the workspace is offline; no serde),
-//! - [`protocol`] — length-prefixed JSON frames and the request grammar,
+//! - [`protocol`] — length-prefixed JSON frames (incremental
+//!   [`FrameReader`] + allocation-free [`write_frame_into`]) and the
+//!   request grammar,
+//! - [`epoll`] — the raw-`epoll` readiness poller and eventfd waker the
+//!   event loop runs on (`poll(2)` fallback off-Linux),
+//! - [`conn`] — per-connection state machines with the reply-ordering
+//!   ledger,
 //! - [`stats`] — `obs`-backed counters + interpolated latency
-//!   percentiles for STATS,
-//! - [`server`] — the bounded queue, batcher, and connection handlers.
+//!   percentiles for STATS, broken down per inference shard,
+//! - [`server`] — the epoll event loop, admission control, and the
+//!   sharded micro-batching workers (DESIGN.md §2g).
 //!
 //! # Examples
 //!
@@ -32,6 +39,8 @@
 //! ```
 
 pub use obs::json;
+pub mod conn;
+pub mod epoll;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -39,7 +48,8 @@ pub mod stats;
 pub use json::Json;
 pub use protocol::{
     embedding_from_json, embedding_to_json, infer_request, program_from_json, program_to_json,
-    read_frame, write_frame, InferInput, InferKind, Request, MAX_FRAME,
+    read_frame, shed_response, write_frame, write_frame_into, FrameReader, InferInput, InferKind,
+    Request, MAX_FRAME,
 };
-pub use server::{serve, Client, ServerConfig, ServerHandle};
-pub use stats::{ServeStats, StatsSnapshot};
+pub use server::{content_hash, serve, Client, ServerConfig, ServerHandle};
+pub use stats::{ServeStats, ShardSnapshot, StatsSnapshot};

@@ -37,6 +37,143 @@ use std::io::{Read, Write};
 /// Frames larger than this are rejected before buffering.
 pub const MAX_FRAME: usize = 64 << 20;
 
+/// How much spare space [`FrameReader::fill_from`] asks the socket for.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// An incremental frame decoder over one reusable buffer — the
+/// per-connection replacement for [`read_frame`], which allocates a
+/// fresh payload `Vec` per request. Bytes land in the buffer via
+/// [`FrameReader::fill_from`] (one `read` per call, so nonblocking
+/// callers can drain until `WouldBlock`); [`FrameReader::next_payload`]
+/// carves complete frames out in place. The buffer grows to the largest
+/// frame seen and is then reused forever: the framing hot path performs
+/// **zero allocations** in steady state (asserted by the serve bench).
+///
+/// The decoder handles every adversarial split the proptests throw at
+/// it: partial length lines, payloads arriving a byte at a time,
+/// several frames coalesced into one read, and oversized lengths —
+/// rejected as soon as the header is complete, before any payload is
+/// buffered.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Parse cursor: `buf[start..end]` is unconsumed input.
+    start: usize,
+    end: usize,
+}
+
+impl FrameReader {
+    /// An empty reader (no buffer until the first fill).
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Whether any unconsumed bytes are buffered — after EOF, `true`
+    /// means the peer disconnected mid-frame.
+    pub fn has_buffered(&self) -> bool {
+        self.start < self.end
+    }
+
+    /// Performs one `read` into the buffer tail and returns its byte
+    /// count (0 = EOF).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (including `WouldBlock` on
+    /// nonblocking sources).
+    pub fn fill_from(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        // Reclaim the consumed prefix before growing: the buffer only
+        // ever holds in-progress frames, so capacity stabilizes at the
+        // largest frame plus one read chunk.
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.start > 0 && self.end + READ_CHUNK > self.buf.len() {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < self.end + READ_CHUNK {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Pops the next complete frame's payload bytes, or `Ok(None)` if
+    /// more input is needed. The returned slice borrows the internal
+    /// buffer and is valid until the next call.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for malformed length lines and oversized frames
+    /// (detected from the header alone, before the payload arrives).
+    pub fn next_payload(&mut self) -> std::io::Result<Option<&[u8]>> {
+        let pending = &self.buf[self.start..self.end];
+        let mut len: usize = 0;
+        let mut digits = 0usize;
+        let mut header = 0usize;
+        for &b in pending {
+            header += 1;
+            match b {
+                b'\n' if digits > 0 => {
+                    if len > MAX_FRAME {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+                        ));
+                    }
+                    if pending.len() - header < len {
+                        return Ok(None); // payload still in flight
+                    }
+                    let at = self.start + header;
+                    self.start = at + len;
+                    return Ok(Some(&self.buf[at..at + len]));
+                }
+                d @ b'0'..=b'9' if digits < 9 => {
+                    len = len * 10 + usize::from(d - b'0');
+                    digits += 1;
+                }
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad frame length byte {other:#04x}"),
+                    ))
+                }
+            }
+        }
+        Ok(None) // length line still in flight
+    }
+
+    /// [`FrameReader::next_payload`] plus JSON parsing.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for framing errors, non-UTF-8, or unparseable JSON.
+    pub fn next_frame(&mut self) -> std::io::Result<Option<Json>> {
+        let Some(payload) = self.next_payload()? else { return Ok(None) };
+        let text = std::str::from_utf8(payload).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 payload")
+        })?;
+        parse(text)
+            .map(Some)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Appends one frame to `out`, rendering the payload through `scratch` —
+/// the zero-steady-state-allocation sibling of [`write_frame`] used by
+/// the event loop's per-connection write buffers (both buffers keep
+/// their capacity across requests).
+pub fn write_frame_into(out: &mut Vec<u8>, scratch: &mut String, value: &Json) {
+    use std::io::Write as _;
+    scratch.clear();
+    value.write_to(scratch);
+    let _ = writeln!(out, "{}", scratch.len()); // Vec<u8> writes are infallible
+    out.extend_from_slice(scratch.as_bytes());
+}
+
 /// Writes one frame.
 ///
 /// # Errors
@@ -247,6 +384,20 @@ pub fn busy_response() -> Json {
         ("ok", Json::Bool(false)),
         ("busy", Json::Bool(true)),
         ("error", Json::str("server queue is full, retry later")),
+    ])
+}
+
+/// The load-shed reply: `{"ok":false,"shed":true,...}`. Distinct from
+/// [`busy_response`]: BUSY means one shard's queue momentarily filled
+/// (retry immediately, another batch is about to drain it); SHED means
+/// admission control turned the work away before it touched any queue —
+/// the server is over its connection or in-flight budget and clients
+/// should back off hard or try another replica.
+pub fn shed_response(reason: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("shed", Json::Bool(true)),
+        ("error", Json::str(reason)),
     ])
 }
 

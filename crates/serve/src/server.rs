@@ -1,35 +1,51 @@
-//! The liger-serve TCP server: micro-batched inference over a bounded
-//! queue.
+//! The liger-serve front end: a nonblocking epoll event loop fanning
+//! requests out to sharded micro-batching inference workers.
 //!
 //! ```text
-//!  clients ──► handler threads ──► bounded queue ──► batcher thread
-//!  (frames)    (parse, extract,    (sync_channel,    (coalesce ≤ batch_max
-//!               backpressure)       queue_cap)        or batch_timeout_ms,
-//!                                                     par fan-out over
-//!                                                     persistent Workspaces)
+//!  clients ──► event-loop thread ──► shard queues ──► shard batchers
+//!  (frames)    (epoll, edge-style    (bounded          (one per shard:
+//!               readiness; per-conn   sync_channel      coalesce ≤ batch_max
+//!               state machines,       per shard,        or batch_timeout_ms,
+//!               admission control)    hash-routed)      persistent Workspaces)
+//!                      ▲                                      │
+//!                      └────── completions + eventfd wake ────┘
 //! ```
 //!
-//! - **Batching.** The batcher blocks on the queue; once a request
-//!   arrives it keeps collecting until `batch_max` requests are in hand
-//!   or `batch_timeout_ms` has elapsed since the first, whichever comes
-//!   first, then runs the whole batch through one
-//!   [`par::par_map_ordered_with`] fan-out. Each worker keeps a
-//!   persistent [`Workspace`] across batches (DESIGN.md §2b), so arena
-//!   capacity and memo tables amortize.
-//! - **Backpressure.** Handlers `try_send` into the bounded queue; a
-//!   full queue yields an immediate BUSY reply instead of unbounded
-//!   buffering.
-//! - **Shutdown.** SIGTERM/ctrl-c (wired in the binary) or the admin
-//!   `shutdown` verb sets a flag: the listener stops accepting,
-//!   connections are served until idle, and the batcher drains every
-//!   accepted request before exiting — accepted work is never dropped.
+//! - **Event loop.** One thread fronts every connection through raw
+//!   `epoll` (edge-triggered; `poll(2)` off-Linux — see [`crate::epoll`]).
+//!   Per-connection state machines reuse their read/write buffers, so
+//!   the framing hot path allocates nothing in steady state. Replies are
+//!   released strictly in request-arrival order per connection
+//!   ([`crate::conn`]), preserving the PR 3 pipelining contract.
+//! - **Sharding.** Inference requests route to one of N shards by a
+//!   stable content hash of the encoded program ([`content_hash`]):
+//!   routing depends only on the request, never on load or timing, so
+//!   batch *composition* is workload-determined while results stay
+//!   bitwise identical to the offline memoized encoder regardless of
+//!   shard count (workspaces reset per program). Each shard owns a
+//!   bounded queue, a persistent [`Workspace`] pool, and its own
+//!   `serve.shard{i}.*` instruments.
+//! - **Backpressure & admission control.** A full shard queue yields the
+//!   BUSY reply (retry soon). *Before* any queue is touched, admission
+//!   control sheds work with the distinct SHED reply: connections over
+//!   `max_conns` are answered-and-closed at accept, and requests beyond
+//!   the global in-flight budget are refused (back off hard).
+//! - **Shutdown & drain.** SIGTERM/ctrl-c (wired in the binary) or the
+//!   admin `shutdown` verb sets a flag; the listener closes, and every
+//!   connection drains: requests already parsed-and-enqueued are
+//!   answered across all shards before their connection closes, and the
+//!   loop exits only when no connection owes a reply. Accepted work is
+//!   never dropped.
 //! - **Determinism.** Inference uses the memoized encoder on a reset
 //!   workspace, so served embeddings are bitwise identical to the
-//!   offline `EncodeMode::Memoized` path regardless of batch shape.
+//!   offline `EncodeMode::Memoized` path for every shard count and
+//!   batch shape (proptest-gated in `tests/serve_properties.rs`).
 
+use crate::conn::Conn;
+use crate::epoll::{Event, Interest, Poller, Waker};
 use crate::json::Json;
 use crate::protocol::{
-    busy_response, embedding_to_json, error_response, lint_response, ok_response, read_frame,
+    busy_response, embedding_to_json, error_response, lint_response, ok_response, shed_response,
     write_frame, InferInput, InferKind, Request,
 };
 use crate::stats::{ServeStats, StatsSnapshot};
@@ -39,9 +55,10 @@ use liger::{
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -50,12 +67,19 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Maximum requests coalesced into one forward-pass batch.
+    /// Maximum requests coalesced into one forward-pass batch (per shard).
     pub batch_max: usize,
-    /// How long the batcher waits for more requests after the first.
+    /// How long a shard batcher waits for more requests after the first.
     pub batch_timeout_ms: u64,
-    /// Bounded queue capacity; beyond it, requests get BUSY.
+    /// Bounded queue capacity *per shard*; beyond it, requests get BUSY.
     pub queue_cap: usize,
+    /// Inference shard count; 0 = one per hardware thread.
+    pub shards: usize,
+    /// Open-connection cap; excess sockets get a SHED frame and close.
+    pub max_conns: usize,
+    /// Global in-flight request budget (admission control); 0 derives
+    /// `2 × shards × (queue_cap + batch_max)`.
+    pub max_inflight: usize,
     /// How MiniLang sources are traced and encoded server-side.
     pub extract: ExtractOptions,
 }
@@ -67,23 +91,30 @@ impl Default for ServerConfig {
             batch_max: 16,
             batch_timeout_ms: 5,
             queue_cap: 64,
+            shards: 0,
+            max_conns: 1024,
+            max_inflight: 0,
             extract: ExtractOptions::default(),
         }
     }
 }
 
 /// Model state shared by every thread (read-only after startup, except
-/// the shutdown flag).
+/// the shutdown flag and the completion queue).
 struct Shared {
     task: LigerTask,
     store: tensor::ParamStore,
-    /// Present for quantized (`qparams`) bundles: each batcher worker
+    /// Present for quantized (`qparams`) bundles: each shard worker
     /// clones it into a private [`QuantEngine`] and serves the int8 path.
     qstore: Option<tensor::QuantStore>,
     vocab: Vocab,
     extract: ExtractOptions,
     stats: ServeStats,
     shutdown: AtomicBool,
+    /// Shard → event-loop reply channel, drained on eventfd wake.
+    completions: Mutex<Vec<Completion>>,
+    /// Nudges the event loop when completions land (or on shutdown).
+    waker: Waker,
 }
 
 /// Persistent per-worker inference state: the f32 workspace (arena +
@@ -94,12 +125,25 @@ struct WorkerCtx {
     engine: Option<QuantEngine>,
 }
 
-/// One queued inference request.
+/// One queued inference request, addressed back to its connection.
 struct Job {
     kind: InferKind,
     prog: EncodedProgram,
-    reply: std::sync::mpsc::Sender<Json>,
+    /// Connection slot in the event loop.
+    slot: usize,
+    /// Slot-reuse guard (see [`Conn::generation`]).
+    generation: u64,
+    /// Per-connection reply-ordering sequence number.
+    seq: u64,
     queued: Instant,
+}
+
+/// A finished job's reply, travelling shard → event loop.
+struct Completion {
+    slot: usize,
+    generation: u64,
+    seq: u64,
+    reply: Json,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -107,8 +151,8 @@ struct Job {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    listener: Option<JoinHandle<()>>,
-    batcher: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -125,24 +169,82 @@ impl ServerHandle {
     /// Requests graceful shutdown (idempotent, non-blocking).
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
     }
 
-    /// Whether both server threads have exited.
+    /// Whether every server thread has exited.
     pub fn is_finished(&self) -> bool {
-        self.listener.as_ref().is_none_or(JoinHandle::is_finished)
-            && self.batcher.as_ref().is_none_or(JoinHandle::is_finished)
+        self.event_loop.as_ref().is_none_or(JoinHandle::is_finished)
+            && self.shard_threads.iter().all(JoinHandle::is_finished)
     }
 
-    /// Waits for the listener and batcher (and through them, every
-    /// connection handler) to finish.
+    /// Waits for the event loop and every shard batcher to finish.
     pub fn join(mut self) {
-        if let Some(t) = self.listener.take() {
-            t.join().expect("listener thread panicked");
+        if let Some(t) = self.event_loop.take() {
+            t.join().expect("event-loop thread panicked");
         }
-        if let Some(t) = self.batcher.take() {
-            t.join().expect("batcher thread panicked");
+        for t in self.shard_threads.drain(..) {
+            t.join().expect("shard thread panicked");
         }
     }
+}
+
+/// Stable FNV-1a hash of a program's *structure* — the shard routing
+/// key. It walks the same shape `protocol::program_to_json` serializes
+/// (trace/step/tree/state tokens plus arity delimiters), so it depends
+/// only on the program content, never on pool-id assignment, process
+/// layout, or arrival order: one program always routes to one shard,
+/// which is what keeps `stats` aggregation and drain accounting
+/// deterministic under resharding.
+pub fn content_hash(prog: &EncodedProgram) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn num(&mut self, n: u64) {
+            for b in n.to_le_bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    fn tree(h: &mut Fnv, t: liger::TreeId, prog: &EncodedProgram) {
+        let node = prog.pool.tree(t);
+        h.num(1);
+        h.num(node.token as u64);
+        h.num(node.children.len() as u64);
+        for &c in &node.children {
+            tree(h, c, prog);
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    h.num(prog.traces.len() as u64);
+    for tr in &prog.traces {
+        h.num(2);
+        h.num(tr.steps.len() as u64);
+        for step in &tr.steps {
+            tree(&mut h, step.tree, prog);
+            h.num(3);
+            h.num(step.states.len() as u64);
+            for &s in &step.states {
+                let state = prog.pool.state(s);
+                h.num(4);
+                for v in &state.vars {
+                    match v {
+                        liger::PoolVar::Primitive(tok) => {
+                            h.num(5);
+                            h.num(*tok as u64);
+                        }
+                        liger::PoolVar::Object(obj) => {
+                            h.num(6);
+                            for &t in prog.pool.object(*obj) {
+                                h.num(t as u64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    h.0
 }
 
 /// Instantiates `bundle` and starts serving it.
@@ -150,7 +252,7 @@ impl ServerHandle {
 /// # Errors
 ///
 /// Returns `InvalidData` when the bundle's parameters do not match its
-/// declared architecture, or the bind error.
+/// declared architecture, the bind error, or the poller setup error.
 pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHandle> {
     let (task, store) = bundle
         .instantiate()
@@ -159,160 +261,445 @@ pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHan
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
 
+    let shards = if config.shards == 0 { par::hardware_threads() } else { config.shards };
+    let queue_cap = config.queue_cap.max(1);
+    let batch_max = config.batch_max.max(1);
+    let max_inflight = if config.max_inflight == 0 {
+        2 * shards * (queue_cap + batch_max)
+    } else {
+        config.max_inflight
+    };
+    // Each shard's inner fan-out takes only its slice of the pool, so N
+    // shards together never oversubscribe the configured thread count.
+    let inner_cap = (par::threads() / shards).max(1);
+
     let shared = Arc::new(Shared {
         task,
         store,
         qstore: bundle.qstore.clone(),
         vocab: bundle.vocab.clone(),
         extract: config.extract.clone(),
-        stats: ServeStats::new(),
+        stats: ServeStats::new(shards),
         shutdown: AtomicBool::new(false),
+        completions: Mutex::new(Vec::new()),
+        waker: Waker::new()?,
     });
 
-    let (queue, jobs) = std::sync::mpsc::sync_channel::<Job>(config.queue_cap.max(1));
-
-    let batcher = {
+    let mut senders = Vec::with_capacity(shards);
+    let mut shard_threads = Vec::with_capacity(shards);
+    let timeout = Duration::from_millis(config.batch_timeout_ms);
+    for shard in 0..shards {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue_cap);
+        senders.push(tx);
         let shared = Arc::clone(&shared);
-        let batch_max = config.batch_max.max(1);
-        let timeout = Duration::from_millis(config.batch_timeout_ms);
-        std::thread::Builder::new()
-            .name("liger-serve-batcher".to_string())
-            .spawn(move || batcher_loop(&shared, &jobs, batch_max, timeout))?
-    };
+        shard_threads.push(
+            std::thread::Builder::new()
+                .name(format!("liger-serve-shard{shard}"))
+                .spawn(move || shard_loop(&shared, shard, &rx, batch_max, timeout, inner_cap))?,
+        );
+    }
 
-    let listener_thread = {
+    let event_loop = {
         let shared = Arc::clone(&shared);
+        let max_conns = config.max_conns.max(1);
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(shared.waker.raw_fd(), TOKEN_WAKER, Interest::READ)?;
+        let state = EventLoop {
+            shared,
+            poller,
+            listener: Some(listener),
+            senders,
+            conns: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            inflight: 0,
+            next_gen: 0,
+            max_conns,
+            max_inflight,
+            frame_scratch: Vec::new(),
+            completion_scratch: Vec::new(),
+            touched: Vec::new(),
+        };
         std::thread::Builder::new()
-            .name("liger-serve-listener".to_string())
-            .spawn(move || listener_loop(&shared, &listener, &queue))?
+            .name("liger-serve-loop".to_string())
+            .spawn(move || state.run())?
     };
 
     Ok(ServerHandle {
         local_addr,
         shared,
-        listener: Some(listener_thread),
-        batcher: Some(batcher),
+        event_loop: Some(event_loop),
+        shard_threads,
     })
 }
 
-/// Accepts connections until shutdown, then joins every handler. The
-/// queue sender is dropped on exit — once all handlers are gone too, the
-/// batcher sees the channel disconnect and finishes draining.
-fn listener_loop(shared: &Arc<Shared>, listener: &TcpListener, queue: &SyncSender<Job>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let shared = Arc::clone(shared);
-                let queue = queue.clone();
-                let handler = std::thread::Builder::new()
-                    .name("liger-serve-conn".to_string())
-                    .spawn(move || handle_connection(&shared, stream, &queue));
-                match handler {
-                    Ok(h) => handlers.push(h),
-                    Err(_) => continue, // thread spawn failed; drop the connection
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-                handlers.retain(|h| !h.is_finished());
-            }
-            Err(_) => break,
-        }
-    }
-    for h in handlers {
-        let _ = h.join();
-    }
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// How long `epoll_wait` may sleep: the fallback cadence for noticing a
+/// shutdown requested without a wake (e.g. from a signal handler).
+const WAIT_MS: i32 = 25;
+
+/// The event-loop thread's whole world. Single-threaded by design:
+/// shards talk to it only through the completion queue + waker.
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    /// `None` once shutdown closed it.
+    listener: Option<TcpListener>,
+    senders: Vec<SyncSender<Job>>,
+    /// Connection slab indexed by slot (= poll token).
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    open: usize,
+    /// Jobs accepted into shard queues and not yet completed. Only this
+    /// thread touches it: enqueue and completion both happen here.
+    inflight: usize,
+    next_gen: u64,
+    max_conns: usize,
+    max_inflight: usize,
+    /// Reused between events: parsed-but-undispatched frames.
+    frame_scratch: Vec<Json>,
+    /// Reused double-buffer for draining the completion queue.
+    completion_scratch: Vec<Completion>,
+    /// Slots touched by the last completion drain (need flushing).
+    touched: Vec<usize>,
 }
 
-/// Serves one connection: reads frames, answers admin verbs inline, and
-/// routes inference through the batch queue. After shutdown is
-/// requested, frames already in flight keep being served; the
-/// connection closes once it goes idle.
-fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, queue: &SyncSender<Job>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    loop {
-        // Idle-wait with peek so a timeout never splits a frame: the
-        // frame reader only runs once at least one byte is buffered.
-        let mut probe = [0u8; 1];
-        match stream.peek(&mut probe) {
-            Ok(0) => return, // clean EOF
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.poller.wait(&mut events, WAIT_MS).is_err() {
+                // Poller died (fd exhaustion at registration is handled
+                // per-connection; this is unrecoverable).
+                break;
             }
-            Err(_) => return,
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.shared.waker.drain(),
+                    slot => self.conn_ready(slot as usize, ev),
+                }
+            }
+            self.process_completions();
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                self.drain_step();
+                if self.open == 0 && self.inflight == 0 {
+                    break;
+                }
+            }
         }
-        let request = match read_frame(&mut stream) {
-            Ok(Some(value)) => value,
-            Ok(None) => return,
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Framing is broken; report and drop the connection.
-                let _ = write_frame(&mut stream, &error_response(e.to_string()));
+        // Dropping `senders` disconnects every shard queue; the shard
+        // loops finish whatever is buffered (nothing, by the loop-exit
+        // condition) and exit.
+    }
+
+    /// Accepts until the listener would block, shedding over-cap sockets.
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => {
+                    if self.open >= self.max_conns {
+                        self.shed_conn(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let slot = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    self.next_gen += 1;
+                    if self.poller.register(stream.as_raw_fd(), slot as u64, Interest::READ).is_err()
+                    {
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.conns[slot] = Some(Conn::new(stream, self.next_gen));
+                    self.open += 1;
+                    self.shared.stats.record_conn_opened();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Best-effort SHED reply to a connection refused at the door.
+    fn shed_conn(&mut self, stream: TcpStream) {
+        self.shared.stats.record_shed();
+        let _ = stream.set_nonblocking(true);
+        let mut stream = stream;
+        let _ = write_frame(
+            &mut stream,
+            &shed_response("connection limit reached, try another replica"),
+        );
+        // Dropping the stream closes it; the frame either made the
+        // socket buffer in one write or the client sees a plain reset.
+    }
+
+    /// One connection's readiness: flush writes, then drain reads.
+    fn conn_ready(&mut self, slot: usize, ev: Event) {
+        if self.conns.get(slot).is_none_or(Option::is_none) {
+            return; // already closed this iteration
+        }
+        if ev.writable && !self.flush_slot(slot) {
+            return; // connection died on flush
+        }
+        if ev.readable {
+            self.read_ready(slot);
+        }
+        self.settle(slot);
+    }
+
+    /// Drains the socket (edge-triggered: until `WouldBlock`), parsing
+    /// and dispatching every complete frame.
+    fn read_ready(&mut self, slot: usize) {
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        let mut framing_error: Option<io::Error> = None;
+        let mut dead = false;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                self.frame_scratch = frames;
+                return;
+            };
+            if conn.fatal {
+                // Already replied with a protocol error; ignore the rest.
+                self.frame_scratch = frames;
                 return;
             }
-            Err(_) => return,
-        };
-        let reply = match Request::from_json(&request) {
-            Ok(req) => handle_request(shared, queue, req),
-            Err(msg) => error_response(msg),
-        };
-        if write_frame(&mut stream, &reply).is_err() {
-            return;
-        }
-    }
-}
-
-fn handle_request(shared: &Arc<Shared>, queue: &SyncSender<Job>, request: Request) -> Json {
-    match request {
-        Request::Ping => ok_response(vec![("pong", Json::Bool(true))]),
-        Request::Stats => stats_response(&shared.stats.snapshot()),
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            ok_response(vec![("shutting_down", Json::Bool(true))])
-        }
-        Request::Lint(src) => lint_source(&src),
-        Request::Infer(kind, input) => {
-            let prog = match input {
-                InferInput::Encoded(prog) => *prog,
-                InferInput::Source(src) => {
-                    match extract_encoded(&src, &shared.vocab, &shared.extract) {
-                        Ok(prog) => prog,
-                        Err(e) => return error_response(e.to_string()),
+            'fill: loop {
+                match conn.reader.fill_from(&mut conn.stream) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break 'fill;
+                    }
+                    Ok(_) => loop {
+                        match conn.reader.next_frame() {
+                            Ok(Some(frame)) => frames.push(frame),
+                            Ok(None) => break,
+                            Err(e) => {
+                                framing_error = Some(e);
+                                break 'fill;
+                            }
+                        }
+                    },
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break 'fill,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break 'fill;
                     }
                 }
-            };
-            let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-            let job = Job { kind, prog, reply: reply_tx, queued: Instant::now() };
-            shared.stats.record_enqueued();
-            match queue.try_send(job) {
-                Ok(()) => reply_rx
-                    .recv()
-                    .unwrap_or_else(|_| error_response("server stopped before replying")),
-                Err(TrySendError::Full(_)) => {
-                    shared.stats.record_enqueue_reverted();
-                    shared.stats.record_rejected();
-                    busy_response()
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    shared.stats.record_enqueue_reverted();
-                    error_response("server is shutting down")
+            }
+        }
+        if dead {
+            frames.clear();
+            self.frame_scratch = frames;
+            self.close_conn(slot);
+            return;
+        }
+        for frame in frames.drain(..) {
+            self.dispatch(slot, frame);
+        }
+        self.frame_scratch = frames;
+        if let Some(e) = framing_error {
+            // Frames already parsed keep their replies; the error reply
+            // takes the next sequence slot, then the connection closes
+            // once everything has flushed.
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.fatal = true;
+                let seq = conn.assign_seq();
+                conn.complete(seq, error_response(e.to_string()));
+            }
+        }
+    }
+
+    /// Routes one parsed request: admin verbs answer inline (through the
+    /// ordering ledger), inference hashes to a shard queue.
+    fn dispatch(&mut self, slot: usize, frame: Json) {
+        let Some(conn) = self.conns[slot].as_mut() else { return };
+        let seq = conn.assign_seq();
+        let generation = conn.generation;
+        let request = match Request::from_json(&frame) {
+            Ok(request) => request,
+            Err(msg) => return self.complete_inline(slot, seq, error_response(msg)),
+        };
+        let (kind, input) = match request {
+            Request::Ping => {
+                return self.complete_inline(slot, seq, ok_response(vec![("pong", Json::Bool(true))]))
+            }
+            Request::Stats => {
+                let reply = stats_response(&self.shared.stats.snapshot());
+                return self.complete_inline(slot, seq, reply);
+            }
+            Request::Shutdown => {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                return self
+                    .complete_inline(slot, seq, ok_response(vec![("shutting_down", Json::Bool(true))]));
+            }
+            Request::Lint(src) => return self.complete_inline(slot, seq, lint_source(&src)),
+            Request::Infer(kind, input) => (kind, input),
+        };
+        let prog = match input {
+            InferInput::Encoded(prog) => *prog,
+            InferInput::Source(src) => {
+                match extract_encoded(&src, &self.shared.vocab, &self.shared.extract) {
+                    Ok(prog) => prog,
+                    Err(e) => return self.complete_inline(slot, seq, error_response(e.to_string())),
                 }
             }
+        };
+        if self.inflight >= self.max_inflight {
+            self.shared.stats.record_shed();
+            let reply = shed_response("server over its in-flight budget, back off");
+            return self.complete_inline(slot, seq, reply);
+        }
+        let shard = (content_hash(&prog) % self.senders.len() as u64) as usize;
+        self.shared.stats.record_enqueued(shard);
+        let job = Job { kind, prog, slot, generation, seq, queued: Instant::now() };
+        match self.senders[shard].try_send(job) {
+            Ok(()) => {
+                self.inflight += 1;
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    conn.inflight += 1;
+                }
+            }
+            Err(TrySendError::Full(_)) => {
+                self.shared.stats.record_enqueue_reverted(shard);
+                self.shared.stats.record_rejected();
+                self.complete_inline(slot, seq, busy_response());
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.stats.record_enqueue_reverted(shard);
+                self.complete_inline(slot, seq, error_response("server is shutting down"));
+            }
+        }
+    }
+
+    /// Completes a reply produced on the event-loop thread itself.
+    fn complete_inline(&mut self, slot: usize, seq: u64, reply: Json) {
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.complete(seq, reply);
+        }
+    }
+
+    /// Drains the shard→loop completion queue and flushes the slots it
+    /// touched.
+    fn process_completions(&mut self) {
+        let mut batch = std::mem::take(&mut self.completion_scratch);
+        {
+            let mut queue = self.shared.completions.lock().expect("completion queue poisoned");
+            std::mem::swap(&mut *queue, &mut batch);
+        }
+        if batch.is_empty() {
+            self.completion_scratch = batch;
+            return;
+        }
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+        for done in batch.drain(..) {
+            self.inflight -= 1;
+            if let Some(conn) = self.conns.get_mut(done.slot).and_then(Option::as_mut) {
+                if conn.generation == done.generation {
+                    conn.inflight -= 1;
+                    conn.complete(done.seq, done.reply);
+                    if !touched.contains(&done.slot) {
+                        touched.push(done.slot);
+                    }
+                }
+                // A mismatched generation is a completion for a
+                // connection that died mid-flight: the global in-flight
+                // budget is released, the reply has nowhere to go.
+            }
+        }
+        self.completion_scratch = batch;
+        for &slot in &touched {
+            if self.flush_slot(slot) {
+                self.settle(slot);
+            }
+        }
+        self.touched = touched;
+    }
+
+    /// Flushes a connection's write buffer and keeps poller write
+    /// interest in sync. Returns `false` if the connection was closed.
+    fn flush_slot(&mut self, slot: usize) -> bool {
+        let Some(conn) = self.conns[slot].as_mut() else { return false };
+        match conn.flush() {
+            Ok(drained) => {
+                let fd = conn.stream.as_raw_fd();
+                if drained && conn.write_armed {
+                    conn.write_armed = false;
+                    let _ = self.poller.modify(fd, slot as u64, Interest::READ);
+                } else if !drained && !conn.write_armed {
+                    conn.write_armed = true;
+                    let _ = self.poller.modify(fd, slot as u64, Interest::READ_WRITE);
+                }
+                true
+            }
+            Err(_) => {
+                self.close_conn(slot);
+                false
+            }
+        }
+    }
+
+    /// Applies the close rules after I/O or completions changed a
+    /// connection's state.
+    fn settle(&mut self, slot: usize) {
+        if !self.flush_slot(slot) {
+            return;
+        }
+        let Some(conn) = self.conns[slot].as_ref() else { return };
+        let close = (conn.fatal && !conn.has_pending_writes() && conn.inflight == 0)
+            || (conn.peer_closed && !conn.owes_replies());
+        if close {
+            self.close_conn(slot);
+        }
+    }
+
+    /// Shutdown housekeeping, run once per loop iteration while the
+    /// flag is set: close the listener, then retire every connection
+    /// that owes nothing. Connections still owed replies stay until
+    /// their shards complete them — accepted work is never dropped.
+    fn drain_step(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        for slot in 0..self.conns.len() {
+            let closable = match &self.conns[slot] {
+                Some(conn) => !conn.owes_replies(),
+                None => false,
+            };
+            if closable {
+                self.close_conn(slot);
+            }
+        }
+    }
+
+    fn close_conn(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.shared.stats.record_conn_closed();
+            self.open -= 1;
+            self.free.push(slot);
         }
     }
 }
 
 /// Runs the always-terminating static analyses on a submitted source and
-/// renders the diagnostics. Never touches the model or the batch queue,
-/// so it is answered inline like the other admin verbs.
+/// renders the diagnostics. Never touches the model or the shard
+/// queues, so it is answered inline like the other admin verbs.
 fn lint_source(src: &str) -> Json {
     let program = match minilang::parse(src) {
         Ok(p) => p,
@@ -324,8 +711,26 @@ fn lint_source(src: &str) -> Json {
     lint_response(&analysis::lint::run(&program))
 }
 
-/// Renders a stats snapshot as the STATS reply payload.
+/// Renders a stats snapshot as the STATS reply payload. The pre-shard
+/// top-level fields keep their exact keys and meanings; `shed`, `conns`,
+/// and the per-shard breakdown are appended after them.
 pub fn stats_response(snap: &StatsSnapshot) -> Json {
+    let shards = snap
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Json::obj(vec![
+                ("shard", Json::num(i)),
+                ("requests", Json::num(s.requests as usize)),
+                ("batches", Json::num(s.batches as usize)),
+                ("batch_factor", Json::Num((s.batch_factor() * 100.0).round() / 100.0)),
+                ("queue_depth", Json::num(s.queue_depth as usize)),
+                ("p50_us", Json::num(s.p50_us as usize)),
+                ("p99_us", Json::num(s.p99_us as usize)),
+            ])
+        })
+        .collect();
     ok_response(vec![
         ("requests", Json::num(snap.requests as usize)),
         ("batches", Json::num(snap.batches as usize)),
@@ -333,25 +738,38 @@ pub fn stats_response(snap: &StatsSnapshot) -> Json {
         ("queue_depth", Json::num(snap.queue_depth as usize)),
         ("p50_us", Json::num(snap.p50_us as usize)),
         ("p99_us", Json::num(snap.p99_us as usize)),
+        ("shed", Json::num(snap.shed as usize)),
+        ("conns", Json::num(snap.conns as usize)),
+        ("shards", Json::Arr(shards)),
     ])
 }
 
-/// Coalesces queued jobs into batches and fans each batch out across the
-/// worker pool. Exits when every queue sender is gone **and** the queue
-/// is drained — `Receiver::recv` keeps returning buffered jobs after the
-/// senders disconnect, so accepted requests always get replies.
-fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, timeout: Duration) {
+/// One shard's batcher: coalesces its queue into batches, fans each
+/// batch out across the shard's persistent worker pool, and posts the
+/// replies to the event loop. Exits when the queue sender is gone
+/// **and** the queue is drained — `Receiver::recv` keeps returning
+/// buffered jobs after the sender disconnects, so accepted requests
+/// always get replies.
+fn shard_loop(
+    shared: &Arc<Shared>,
+    shard: usize,
+    jobs: &Receiver<Job>,
+    batch_max: usize,
+    timeout: Duration,
+    inner_cap: usize,
+) {
     let mut workers: Vec<WorkerCtx> = Vec::new();
     let new_ctx = || WorkerCtx {
         ws: Workspace::new(),
         engine: shared.qstore.clone().map(QuantEngine::from_store),
     };
+    let mut out: Vec<Completion> = Vec::new();
     loop {
         let first = match jobs.recv() {
             Ok(job) => job,
-            Err(_) => return, // all senders gone, queue drained
+            Err(_) => return, // sender gone, queue drained
         };
-        shared.stats.record_dequeued();
+        shared.stats.record_dequeued(shard);
         let mut batch = vec![first];
         let deadline = Instant::now() + timeout;
         while batch.len() < batch_max {
@@ -361,7 +779,7 @@ fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, ti
             }
             match jobs.recv_timeout(remaining) {
                 Ok(job) => {
-                    shared.stats.record_dequeued();
+                    shared.stats.record_dequeued(shard);
                     batch.push(job);
                 }
                 Err(RecvTimeoutError::Timeout) => break,
@@ -399,9 +817,14 @@ fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, ti
                 None => shared.task.embed_batch_in(&mut ctx.ws, &shared.store, &progs),
             };
             for (job, embedding) in embeds.into_iter().zip(embeddings) {
-                shared.stats.record_latency(InferKind::Embed, job.queued.elapsed());
+                shared.stats.record_latency(shard, InferKind::Embed, job.queued.elapsed());
                 let reply = ok_response(vec![("embedding", embedding_to_json(&embedding))]);
-                let _ = job.reply.send(reply); // receiver may have hung up
+                out.push(Completion {
+                    slot: job.slot,
+                    generation: job.generation,
+                    seq: job.seq,
+                    reply,
+                });
             }
         }
 
@@ -410,28 +833,33 @@ fn batcher_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>, batch_max: usize, ti
             let mut sinks = Vec::with_capacity(rest.len());
             for job in rest {
                 inputs.push((job.kind, job.prog));
-                sinks.push((job.reply, job.queued, job.kind));
+                sinks.push((job.slot, job.generation, job.seq, job.queued, job.kind));
             }
-            let results = par::par_map_ordered_with(
+            let results = par::par_map_ordered_with_cap(
                 &inputs,
                 &mut workers,
                 new_ctx,
                 |ctx, _i, (kind, prog)| run_inference(shared, ctx, *kind, prog),
+                inner_cap,
             );
-            for ((reply, queued, kind), result) in sinks.into_iter().zip(results) {
-                shared.stats.record_latency(kind, queued.elapsed());
-                let _ = reply.send(result); // receiver may have hung up
+            for ((slot, generation, seq, queued, kind), reply) in sinks.into_iter().zip(results) {
+                shared.stats.record_latency(shard, kind, queued.elapsed());
+                out.push(Completion { slot, generation, seq, reply });
             }
         }
-        shared.stats.record_batch(total);
+        shared.stats.record_batch(shard, total);
+
+        // One lock + one wake per batch, not per reply.
+        shared.completions.lock().expect("completion queue poisoned").append(&mut out);
+        shared.waker.wake();
     }
 }
 
 /// One forward pass. Resets the workspace first, so the result is a pure
 /// function of the program — bitwise identical to the offline memoized
-/// encoder no matter which worker or batch runs it. Quantized bundles
-/// dispatch to the worker's int8 engine instead (deterministic too: the
-/// integer accumulation is exact).
+/// encoder no matter which shard, worker, or batch runs it. Quantized
+/// bundles dispatch to the worker's int8 engine instead (deterministic
+/// too: the integer accumulation is exact).
 fn run_inference(shared: &Shared, ctx: &mut WorkerCtx, kind: InferKind, prog: &EncodedProgram) -> Json {
     let _span = obs::span!("serve.infer");
     if let Some(engine) = &mut ctx.engine {
@@ -500,9 +928,16 @@ fn run_inference_quant(
 
 /// A blocking client for the frame protocol. Supports pipelining:
 /// [`Client::send`] several requests, then [`Client::recv`] the replies
-/// in order.
+/// in order. Both directions reuse per-client buffers (a [`FrameReader`]
+/// and a write buffer), so a long-lived client allocates nothing for
+/// framing in steady state.
+///
+/// [`FrameReader`]: crate::protocol::FrameReader
 pub struct Client {
     stream: TcpStream,
+    reader: crate::protocol::FrameReader,
+    wbuf: Vec<u8>,
+    wscratch: String,
 }
 
 impl Client {
@@ -514,7 +949,12 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            reader: crate::protocol::FrameReader::new(),
+            wbuf: Vec::new(),
+            wscratch: String::new(),
+        })
     }
 
     /// Writes one request frame without waiting for the reply.
@@ -523,18 +963,33 @@ impl Client {
     ///
     /// Returns the write error.
     pub fn send(&mut self, request: &Json) -> io::Result<()> {
-        write_frame(&mut self.stream, request)
+        use std::io::Write;
+        self.wbuf.clear();
+        crate::protocol::write_frame_into(&mut self.wbuf, &mut self.wscratch, request);
+        self.stream.write_all(&self.wbuf)?;
+        self.stream.flush()
     }
 
     /// Reads the next reply frame.
     ///
     /// # Errors
     ///
-    /// Returns `UnexpectedEof` if the server closed the connection.
+    /// Returns `UnexpectedEof` if the server closed the connection (mid-
+    /// frame or between frames).
     pub fn recv(&mut self) -> io::Result<Json> {
-        read_frame(&mut self.stream)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
-        })
+        loop {
+            if let Some(frame) = self.reader.next_frame()? {
+                return Ok(frame);
+            }
+            if self.reader.fill_from(&mut self.stream)? == 0 {
+                let detail = if self.reader.has_buffered() {
+                    "server closed the connection mid-frame"
+                } else {
+                    "server closed the connection"
+                };
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, detail));
+            }
+        }
     }
 
     /// One request/reply round trip.

@@ -1,60 +1,120 @@
-//! Server counters on the shared `obs` metrics types.
+//! Server counters on the shared `obs` metrics types, now sharded.
 //!
-//! The bespoke atomics this module used to hand-roll now live in
-//! [`obs::metrics`]: counters, a queue-depth gauge, and log₂ latency
-//! histograms whose p50/p99 *interpolate within the bucket* instead of
-//! reporting its upper bound (the old STATS behaviour over-reported
-//! percentiles by up to 2×). Each server instance owns its metrics — the
-//! STATS verb snapshots exactly this server — and registers them in the
-//! process-wide [`obs::metrics::registry`] under `serve.*` names, so the
-//! chrome-trace exporter and any driver-level metrics table see the live
-//! server alongside encoder/symexec/datagen counters. The STATS protocol
-//! reply itself is unchanged: same keys, same integer rendering.
+//! The bespoke atomics this module used to hand-roll live in
+//! [`obs::metrics`]: counters, queue-depth gauges, and log₂ latency
+//! histograms whose p50/p99 *interpolate within the bucket*. Each server
+//! instance owns its metrics — the STATS verb snapshots exactly this
+//! server — and registers them in the process-wide
+//! [`obs::metrics::registry`] under `serve.*` names.
+//!
+//! PR 7 shards the batcher, so the stats shard too: every inference
+//! shard gets its own requests/batches/queue-depth/latency instruments
+//! (registered as `serve.shard{i}.*`), while the top-level counters keep
+//! their exact pre-shard meaning — `requests` is the total accepted
+//! across all shards, `queue_depth` the sum of shard queues, `p50_us`/
+//! `p99_us` the percentiles of the *merged* latency stream (recorded
+//! into both the global and the shard histogram, so merging is exact,
+//! not an approximation over shard percentiles). The STATS reply keeps
+//! the original fields byte-compatible and appends `shed`, `conns`, and
+//! the per-shard breakdown.
 
 use obs::metrics::{registry, Counter, Gauge, Histogram, Metric};
 use std::sync::Arc;
 
 use crate::protocol::InferKind;
 
+/// Per-shard instruments: everything the routing invariant makes
+/// shard-local (DESIGN.md §2g).
+#[derive(Debug)]
+struct ShardStats {
+    /// Requests routed to (and accepted by) this shard's queue.
+    requests: Arc<Counter>,
+    /// Forward-pass batches this shard executed.
+    batches: Arc<Counter>,
+    /// Current depth of this shard's queue.
+    queue_depth: Arc<Gauge>,
+    /// Enqueue → reply latency of this shard's requests, microseconds.
+    latency: Arc<Histogram>,
+}
+
 /// Shared server counters. All methods are safe to call concurrently.
 #[derive(Debug)]
 pub struct ServeStats {
-    /// Inference requests accepted into the queue.
+    /// Inference requests accepted into any shard queue.
     requests: Arc<Counter>,
-    /// Forward-pass batches executed.
+    /// Forward-pass batches executed, all shards.
     batches: Arc<Counter>,
-    /// Requests rejected with BUSY (queue full).
+    /// Requests rejected with BUSY (a shard queue was full).
     rejected: Arc<Counter>,
-    /// Current queue depth (enqueued, not yet batched).
+    /// Work turned away by admission control (SHED): connections over
+    /// `max_conns`, requests over the in-flight budget.
+    shed: Arc<Counter>,
+    /// Currently open connections.
+    conns: Arc<Gauge>,
+    /// Current total queue depth (enqueued, not yet batched).
     queue_depth: Arc<Gauge>,
-    /// Latency histogram: enqueue → reply, microseconds.
+    /// Latency histogram: enqueue → reply, microseconds, merged stream.
     latency: Arc<Histogram>,
     /// Requests per executed batch.
     batch_size: Arc<Histogram>,
     /// Per-op latency histograms, indexed embed/name/classify.
     per_op: [Arc<Histogram>; 3],
+    /// One instrument set per inference shard.
+    shards: Vec<ShardStats>,
+}
+
+/// A point-in-time copy of one shard's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Requests routed to this shard.
+    pub requests: u64,
+    /// Batches this shard executed.
+    pub batches: u64,
+    /// This shard's queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Median latency of this shard's requests (interpolated), µs.
+    pub p50_us: u64,
+    /// 99th-percentile latency of this shard's requests, µs.
+    pub p99_us: u64,
+}
+
+impl ShardSnapshot {
+    /// Requests per batch on this shard (0 when no batch ran).
+    pub fn batch_factor(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
 }
 
 /// A point-in-time copy of the counters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Inference requests accepted into the queue.
+    /// Inference requests accepted into the queues.
     pub requests: u64,
     /// Forward-pass batches executed.
     pub batches: u64,
     /// Requests rejected with BUSY.
     pub rejected: u64,
-    /// Queue depth at snapshot time.
+    /// Connections/requests turned away by admission control.
+    pub shed: u64,
+    /// Open connections at snapshot time.
+    pub conns: u64,
+    /// Total queue depth at snapshot time.
     pub queue_depth: u64,
     /// Median request latency (interpolated), microseconds.
     pub p50_us: u64,
     /// 99th-percentile request latency (interpolated), microseconds.
     pub p99_us: u64,
+    /// Per-shard breakdown, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
 }
 
 impl Default for ServeStats {
     fn default() -> ServeStats {
-        ServeStats::new()
+        ServeStats::new(1)
     }
 }
 
@@ -67,77 +127,145 @@ fn op_index(kind: InferKind) -> usize {
 }
 
 impl ServeStats {
-    /// A fresh zeroed counter set, registered (replacing any previous
-    /// server's) under `serve.*` in the global metrics registry.
-    pub fn new() -> ServeStats {
+    /// A fresh zeroed counter set for `shards` inference shards,
+    /// registered (replacing any previous server's) under `serve.*` in
+    /// the global metrics registry.
+    pub fn new(shards: usize) -> ServeStats {
         let stats = ServeStats {
             requests: Arc::new(Counter::new()),
             batches: Arc::new(Counter::new()),
             rejected: Arc::new(Counter::new()),
+            shed: Arc::new(Counter::new()),
+            conns: Arc::new(Gauge::new()),
             queue_depth: Arc::new(Gauge::new()),
             latency: Arc::new(Histogram::new()),
             batch_size: Arc::new(Histogram::new()),
             per_op: std::array::from_fn(|_| Arc::new(Histogram::new())),
+            shards: (0..shards.max(1))
+                .map(|_| ShardStats {
+                    requests: Arc::new(Counter::new()),
+                    batches: Arc::new(Counter::new()),
+                    queue_depth: Arc::new(Gauge::new()),
+                    latency: Arc::new(Histogram::new()),
+                })
+                .collect(),
         };
         let r = registry();
         r.register("serve.requests", Metric::Counter(Arc::clone(&stats.requests)));
         r.register("serve.batches", Metric::Counter(Arc::clone(&stats.batches)));
         r.register("serve.rejected", Metric::Counter(Arc::clone(&stats.rejected)));
+        r.register("serve.shed", Metric::Counter(Arc::clone(&stats.shed)));
+        r.register("serve.connections", Metric::Gauge(Arc::clone(&stats.conns)));
         r.register("serve.queue_depth", Metric::Gauge(Arc::clone(&stats.queue_depth)));
         r.register("serve.latency_us", Metric::Histogram(Arc::clone(&stats.latency)));
         r.register("serve.batch_size", Metric::Histogram(Arc::clone(&stats.batch_size)));
         for (kind, h) in ["embed", "name", "classify"].iter().zip(&stats.per_op) {
             r.register(&format!("serve.latency_us.{kind}"), Metric::Histogram(Arc::clone(h)));
         }
+        for (i, shard) in stats.shards.iter().enumerate() {
+            r.register(&format!("serve.shard{i}.requests"), Metric::Counter(Arc::clone(&shard.requests)));
+            r.register(&format!("serve.shard{i}.batches"), Metric::Counter(Arc::clone(&shard.batches)));
+            r.register(
+                &format!("serve.shard{i}.queue_depth"),
+                Metric::Gauge(Arc::clone(&shard.queue_depth)),
+            );
+            r.register(
+                &format!("serve.shard{i}.latency_us"),
+                Metric::Histogram(Arc::clone(&shard.latency)),
+            );
+        }
         stats
     }
 
-    /// Records a request entering the queue.
-    pub fn record_enqueued(&self) {
-        self.requests.inc();
-        self.queue_depth.inc();
+    /// How many shards this instrument set covers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Records a request leaving the queue (pulled into a batch).
-    pub fn record_dequeued(&self) {
+    /// Records a request entering `shard`'s queue.
+    pub fn record_enqueued(&self, shard: usize) {
+        self.requests.inc();
+        self.queue_depth.inc();
+        self.shards[shard].requests.inc();
+        self.shards[shard].queue_depth.inc();
+    }
+
+    /// Records a request leaving `shard`'s queue (pulled into a batch).
+    pub fn record_dequeued(&self, shard: usize) {
         self.queue_depth.dec();
+        self.shards[shard].queue_depth.dec();
     }
 
     /// Undoes [`ServeStats::record_enqueued`] for a request the queue
-    /// refused (recorded optimistically to keep the depth gauge from
+    /// refused (recorded optimistically to keep the depth gauges from
     /// racing below zero).
-    pub fn record_enqueue_reverted(&self) {
+    pub fn record_enqueue_reverted(&self, shard: usize) {
         self.requests.sub(1);
         self.queue_depth.dec();
+        self.shards[shard].requests.sub(1);
+        self.shards[shard].queue_depth.dec();
     }
 
-    /// Records a BUSY rejection.
+    /// Records a BUSY rejection (a shard queue was full).
     pub fn record_rejected(&self) {
         self.rejected.inc();
     }
 
-    /// Records one executed batch of `size` coalesced requests.
-    pub fn record_batch(&self, size: usize) {
+    /// Records a SHED (admission control turned work away).
+    pub fn record_shed(&self) {
+        self.shed.inc();
+    }
+
+    /// Records a connection opening.
+    pub fn record_conn_opened(&self) {
+        self.conns.inc();
+    }
+
+    /// Records a connection closing.
+    pub fn record_conn_closed(&self) {
+        self.conns.dec();
+    }
+
+    /// Records one executed batch of `size` coalesced requests on `shard`.
+    pub fn record_batch(&self, shard: usize, size: usize) {
         self.batches.inc();
         self.batch_size.record(size as u64);
+        self.shards[shard].batches.inc();
     }
 
-    /// Records one request's enqueue→reply latency under its op.
-    pub fn record_latency(&self, kind: InferKind, elapsed: std::time::Duration) {
+    /// Records one request's enqueue→reply latency under its op and shard.
+    pub fn record_latency(&self, shard: usize, kind: InferKind, elapsed: std::time::Duration) {
         self.latency.record_duration_us(elapsed);
         self.per_op[op_index(kind)].record_duration_us(elapsed);
+        self.shards[shard].latency.record_duration_us(elapsed);
     }
 
-    /// Snapshots every counter.
+    /// Snapshots every counter, including the per-shard breakdown.
     pub fn snapshot(&self) -> StatsSnapshot {
         let latency = self.latency.snapshot();
         StatsSnapshot {
             requests: self.requests.get(),
             batches: self.batches.get(),
             rejected: self.rejected.get(),
+            shed: self.shed.get(),
+            conns: self.conns.get().max(0) as u64,
             queue_depth: self.queue_depth.get().max(0) as u64,
             p50_us: latency.quantile(0.50),
             p99_us: latency.quantile(0.99),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let lat = s.latency.snapshot();
+                    ShardSnapshot {
+                        requests: s.requests.get(),
+                        batches: s.batches.get(),
+                        queue_depth: s.queue_depth.get().max(0) as u64,
+                        p50_us: lat.quantile(0.50),
+                        p99_us: lat.quantile(0.99),
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -149,14 +277,14 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let stats = ServeStats::new();
+        let stats = ServeStats::new(1);
         for _ in 0..5 {
-            stats.record_enqueued();
+            stats.record_enqueued(0);
         }
         for _ in 0..3 {
-            stats.record_dequeued();
+            stats.record_dequeued(0);
         }
-        stats.record_batch(3);
+        stats.record_batch(0, 3);
         stats.record_rejected();
         let snap = stats.snapshot();
         assert_eq!(snap.requests, 5);
@@ -169,12 +297,12 @@ mod tests {
     /// (~100 µs, bucket [64, 128)) and ten slow (~100 ms).
     #[test]
     fn percentiles_interpolate_within_buckets() {
-        let stats = ServeStats::new();
+        let stats = ServeStats::new(1);
         for _ in 0..90 {
-            stats.record_latency(InferKind::Embed, Duration::from_micros(100));
+            stats.record_latency(0, InferKind::Embed, Duration::from_micros(100));
         }
         for _ in 0..10 {
-            stats.record_latency(InferKind::Name, Duration::from_millis(100));
+            stats.record_latency(0, InferKind::Name, Duration::from_millis(100));
         }
         let snap = stats.snapshot();
         // Rank 50 of 100 is the 50th of 90 samples in [64, 128):
@@ -187,8 +315,8 @@ mod tests {
 
     #[test]
     fn latency_is_recorded_per_op_too() {
-        let stats = ServeStats::new();
-        stats.record_latency(InferKind::Classify, Duration::from_micros(40));
+        let stats = ServeStats::new(1);
+        stats.record_latency(0, InferKind::Classify, Duration::from_micros(40));
         assert_eq!(stats.per_op[op_index(InferKind::Classify)].count(), 1);
         assert_eq!(stats.per_op[op_index(InferKind::Embed)].count(), 0);
         assert_eq!(stats.latency.count(), 1);
@@ -196,18 +324,76 @@ mod tests {
 
     #[test]
     fn empty_histogram_reports_zero() {
-        assert_eq!(ServeStats::new().snapshot().p50_us, 0);
+        assert_eq!(ServeStats::new(1).snapshot().p50_us, 0);
+    }
+
+    /// The sharded breakdown must aggregate exactly: shard counters sum
+    /// to the top-level ones (which keep their pre-shard meaning), and
+    /// the global percentiles come from the merged latency stream, not
+    /// from averaging shard percentiles.
+    #[test]
+    fn shard_breakdown_aggregates_to_the_top_level() {
+        let stats = ServeStats::new(3);
+        assert_eq!(stats.shard_count(), 3);
+        // Shard 0: 4 fast requests in 2 batches; shard 2: 2 slow in 1.
+        for _ in 0..4 {
+            stats.record_enqueued(0);
+            stats.record_dequeued(0);
+            stats.record_latency(0, InferKind::Embed, Duration::from_micros(100));
+        }
+        stats.record_batch(0, 2);
+        stats.record_batch(0, 2);
+        for _ in 0..2 {
+            stats.record_enqueued(2);
+            stats.record_latency(2, InferKind::Embed, Duration::from_millis(50));
+        }
+        stats.record_batch(2, 2);
+
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 6);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.shards.len(), 3);
+        assert_eq!(snap.shards.iter().map(|s| s.requests).sum::<u64>(), snap.requests);
+        assert_eq!(snap.shards.iter().map(|s| s.batches).sum::<u64>(), snap.batches);
+        // Shard 2 never dequeued: its queue depth (and the total) show it.
+        assert_eq!(snap.shards[2].queue_depth, 2);
+        assert_eq!(snap.queue_depth, 2);
+        assert!((snap.shards[0].batch_factor() - 2.0).abs() < 1e-9);
+        assert_eq!(snap.shards[1].batches, 0);
+        assert!((snap.shards[1].batch_factor() - 0.0).abs() < 1e-9);
+        // Merged stream: global p50 sits in the fast bucket (4 of 6
+        // samples), while shard 2's own p50 is in the slow bucket.
+        assert!(snap.p50_us < 1000, "global p50 {} should be fast", snap.p50_us);
+        assert!(snap.shards[2].p50_us > 10_000);
+        // And the global p99 reflects the slow tail shard 0 alone lacks.
+        assert!(snap.p99_us > 10_000);
+        assert!(snap.shards[0].p99_us < 1000);
+    }
+
+    #[test]
+    fn shed_and_conn_instruments_track() {
+        let stats = ServeStats::new(2);
+        stats.record_shed();
+        stats.record_shed();
+        stats.record_conn_opened();
+        stats.record_conn_opened();
+        stats.record_conn_closed();
+        let snap = stats.snapshot();
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.conns, 1);
+        assert_eq!(snap.rejected, 0, "shed is not busy");
     }
 
     #[test]
     fn stats_register_globally_and_newest_wins() {
-        let first = ServeStats::new();
-        first.record_enqueued();
-        let second = ServeStats::new();
-        second.record_enqueued();
-        second.record_enqueued();
+        let first = ServeStats::new(2);
+        first.record_enqueued(0);
+        let second = ServeStats::new(2);
+        second.record_enqueued(1);
+        second.record_enqueued(1);
         let snap = obs::metrics::registry().snapshot();
         assert_eq!(snap.counter("serve.requests"), Some(2));
+        assert_eq!(snap.counter("serve.shard1.requests"), Some(2));
         // The first instance still snapshots its own counts.
         assert_eq!(first.snapshot().requests, 1);
     }

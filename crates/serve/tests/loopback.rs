@@ -254,6 +254,189 @@ fn lint_op_is_served_inline_with_structured_diagnostics() {
 }
 
 #[test]
+fn sharded_serving_is_bitwise_identical_to_single_shard_and_offline() {
+    let bundle = trained_bundle();
+
+    // Offline reference: the memoized encoder on a reset workspace.
+    let (task, store) = bundle.instantiate().unwrap();
+    let mut ws = Workspace::new();
+    let programs: Vec<EncodedProgram> = (1..9).map(prog).collect();
+    let reference: Vec<Vec<u32>> = programs
+        .iter()
+        .map(|p| bits(&task.embed_in(&mut ws, &store, p)))
+        .collect();
+
+    // Serve the same programs under 1 shard and 4 shards; all three
+    // views must agree bitwise (the determinism contract: results are a
+    // pure function of the program, independent of routing and batch
+    // composition).
+    for shards in [1usize, 4] {
+        let handle = serve(
+            &bundle,
+            ServerConfig {
+                shards,
+                batch_max: 4,
+                batch_timeout_ms: 5,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        for p in &programs {
+            client
+                .send(&infer_request(InferKind::Embed, &InferInput::Encoded(Box::new(p.clone()))))
+                .unwrap();
+        }
+        for (i, expected) in reference.iter().enumerate() {
+            let reply = client.recv().unwrap();
+            assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+            let served = bits(&embedding_from_json(reply.get("embedding").unwrap()).unwrap());
+            assert_eq!(&served, expected, "shards={shards} program {i} diverged from offline");
+        }
+
+        // The per-shard STATS breakdown must aggregate exactly to the
+        // (byte-compatible) top-level fields.
+        let stats = client.call(&Json::obj(vec![("op", Json::str("stats"))])).unwrap();
+        assert_eq!(stats.get("requests").and_then(Json::as_usize), Some(programs.len()));
+        let breakdown = stats.get("shards").and_then(Json::as_arr).unwrap();
+        assert_eq!(breakdown.len(), shards);
+        let per_shard_requests: usize = breakdown
+            .iter()
+            .map(|s| s.get("requests").and_then(Json::as_usize).unwrap())
+            .sum();
+        let per_shard_batches: usize = breakdown
+            .iter()
+            .map(|s| s.get("batches").and_then(Json::as_usize).unwrap())
+            .sum();
+        assert_eq!(per_shard_requests, programs.len());
+        assert_eq!(Some(per_shard_batches), stats.get("batches").and_then(Json::as_usize));
+        if shards == 4 {
+            // The synthetic programs differ in content, so the hash
+            // router must actually spread them (no shard hogs all).
+            let busiest = breakdown
+                .iter()
+                .map(|s| s.get("requests").and_then(Json::as_usize).unwrap())
+                .max()
+                .unwrap();
+            assert!(busiest < programs.len(), "hash routing sent every program to one shard");
+        }
+
+        handle.shutdown();
+        handle.join();
+    }
+}
+
+#[test]
+fn over_capacity_connections_get_a_shed_frame_and_close() {
+    let bundle = trained_bundle();
+    let handle = serve(
+        &bundle,
+        ServerConfig { max_conns: 2, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Two connections fill the admission budget (ping proves each is
+    // fully accepted before the next connects)…
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    let ping = Json::obj(vec![("op", Json::str("ping"))]);
+    assert_eq!(a.call(&ping).unwrap().get("pong").and_then(Json::as_bool), Some(true));
+    assert_eq!(b.call(&ping).unwrap().get("pong").and_then(Json::as_bool), Some(true));
+
+    // …so the third is shed at the door: one SHED frame, then close —
+    // distinct from the queue-full BUSY reply.
+    let mut c = Client::connect(addr).unwrap();
+    let reply = c.recv().unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false), "reply: {reply}");
+    assert_eq!(reply.get("shed").and_then(Json::as_bool), Some(true));
+    assert!(reply.get("busy").is_none());
+    assert!(c.recv().is_err(), "shed connection must be closed");
+
+    // Closing an accepted connection frees its admission slot.
+    drop(a);
+    let stats_op = Json::obj(vec![("op", Json::str("stats"))]);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let stats = b.call(&stats_op).unwrap();
+        if stats.get("conns").and_then(Json::as_usize) == Some(1) {
+            assert!(stats.get("shed").and_then(Json::as_usize).unwrap() >= 1);
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "closed connection never reaped");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut d = Client::connect(addr).unwrap();
+    assert_eq!(d.call(&ping).unwrap().get("pong").and_then(Json::as_bool), Some(true));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn multi_shard_shutdown_drains_every_shard() {
+    let bundle = trained_bundle();
+    let handle = serve(
+        &bundle,
+        ServerConfig {
+            shards: 4,
+            batch_max: 2,
+            batch_timeout_ms: 10,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Two pipelining connections spray work across all four shards,
+    // then shutdown lands before any reply is read.
+    const PER_CONN: usize = 8;
+    let mut workers: Vec<Client> = (0..2).map(|_| Client::connect(addr).unwrap()).collect();
+    for (c, worker) in workers.iter_mut().enumerate() {
+        for t in 0..PER_CONN {
+            worker
+                .send(&infer_request(
+                    InferKind::Embed,
+                    &InferInput::Encoded(Box::new(prog(1 + (c * PER_CONN + t) % 8))),
+                ))
+                .unwrap();
+        }
+    }
+    let mut admin = Client::connect(addr).unwrap();
+    let ack = admin.call(&Json::obj(vec![("op", Json::str("shutdown"))])).unwrap();
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+
+    // Every accepted request on every connection still gets its reply,
+    // in order, from whichever shard it hashed to.
+    for (c, worker) in workers.iter_mut().enumerate() {
+        for i in 0..PER_CONN {
+            let reply = worker.recv().unwrap_or_else(|e| panic!("conn {c} reply {i} lost: {e}"));
+            assert_eq!(
+                reply.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "conn {c} reply {i}: {reply}"
+            );
+            assert!(reply.get("embedding").is_some());
+        }
+    }
+    drop(workers);
+    drop(admin);
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !handle.is_finished() {
+        assert!(std::time::Instant::now() < deadline, "server failed to stop");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.requests as usize, 2 * PER_CONN);
+    assert_eq!(stats.queue_depth, 0, "shutdown dropped queued work");
+    assert_eq!(stats.shards.len(), 4);
+    let drained: u64 = stats.shards.iter().map(|s| s.requests).sum();
+    assert_eq!(drained as usize, 2 * PER_CONN);
+    handle.join();
+}
+
+#[test]
 fn graceful_shutdown_drains_pipelined_in_flight_requests() {
     let bundle = trained_bundle();
     let handle = serve(

@@ -105,6 +105,14 @@ echo "profiled quickstart trace validated"
 cargo run --release --example quickstart -- --quantize
 echo "quantized quickstart checkpoint gate passed"
 
+# ---- serve load-generator smoke gate ------------------------------------
+# A short high-concurrency run of the epoll front end: 2 load-generator
+# processes x 128 connections against a sharded server, asserting
+# in-bench that every connection is accepted, no in-flight request is
+# dropped, every BUSY/SHED reply reconciles against the server's own
+# rejected/shed counters, and steady-state framing allocates nothing.
+LIGER_THREADS=2 cargo bench -p bench --bench throughput_serve -- --smoke
+
 # ---- observability overhead budget --------------------------------------
 # Asserts in-bench that disabled span tracing costs <2% of encoder time.
 cargo bench -p bench --bench throughput_obs
