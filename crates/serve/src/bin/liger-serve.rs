@@ -4,6 +4,7 @@
 //! liger-serve --ckpt model.lgrb [--addr 127.0.0.1:7878] [--batch-max 16]
 //!             [--batch-timeout-ms 5] [--queue-cap 64] [--threads N]
 //!             [--shards N] [--max-conns N] [--max-inflight N]
+//!             [--drain-deadline-ms 5000]
 //! liger-serve --demo [--save model.lgrb] [flags…]   # train a toy model, then serve it
 //! liger-serve query ADDR JSON [JSON…]               # one-shot client (pipelined)
 //! ```
@@ -154,6 +155,8 @@ fn serve_main(args: &[String]) -> i32 {
             "--max-inflight" => {
                 parse_num(&mut value, "--max-inflight").map(|n| config.max_inflight = n)
             }
+            "--drain-deadline-ms" => parse_num(&mut value, "--drain-deadline-ms")
+                .map(|n| config.drain_deadline_ms = n as u64),
             "--threads" => {
                 parse_num(&mut value, "--threads").map(|n| par::set_threads(Some(n)))
             }
@@ -242,7 +245,7 @@ fn print_usage() {
         "usage:\n  \
          liger-serve --ckpt model.lgrb [--addr HOST:PORT] [--batch-max N]\n              \
          [--batch-timeout-ms N] [--queue-cap N] [--threads N] [--shards N]\n              \
-         [--max-conns N] [--max-inflight N] [--metrics]\n  \
+         [--max-conns N] [--max-inflight N] [--drain-deadline-ms N] [--metrics]\n  \
          liger-serve --demo [--save model.lgrb] [flags...]\n  \
          liger-serve query ADDR JSON [JSON...]"
     );

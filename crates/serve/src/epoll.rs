@@ -71,11 +71,14 @@ mod sys {
     const EFD_CLOEXEC: i32 = 0o2000000;
     const EPOLL_CLOEXEC: i32 = 0o2000000;
 
-    /// Mirror of the kernel's `struct epoll_event`. Packed: on x86-64
-    /// the kernel ABI has no padding between the 32-bit event mask and
-    /// the 64-bit payload.
-    #[repr(C, packed)]
-    #[derive(Clone, Copy)]
+    /// Mirror of the kernel's `struct epoll_event`. The layout is
+    /// arch-dependent: only x86-64 packs it (12 bytes, no padding
+    /// between the 32-bit event mask and the 64-bit payload); every
+    /// other Linux architecture uses the natural 16-byte layout with
+    /// `data` at offset 8.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Debug, Clone, Copy)]
     struct EpollEvent {
         events: u32,
         data: u64,
@@ -115,14 +118,14 @@ mod sys {
     pub struct Poller {
         epfd: i32,
         /// Scratch for `epoll_wait` — allocated once, reused per wait.
-        buf: Vec<u64>, // bit-cast EpollEvent pairs; see `wait`
+        /// Sized and strided by `size_of::<EpollEvent>()`, whichever
+        /// layout this architecture uses.
+        buf: Vec<EpollEvent>,
     }
 
-    // EpollEvent is 12 bytes packed; keep a raw byte buffer instead of
-    // fighting alignment. 256 events per wait is plenty: readiness is
-    // re-reported next iteration for anything left over.
+    // 256 events per wait is plenty: readiness is re-reported next
+    // iteration for anything left over.
     const MAX_EVENTS: usize = 256;
-    const EVENT_BYTES: usize = 12;
 
     impl Poller {
         /// Creates the epoll instance.
@@ -132,7 +135,7 @@ mod sys {
         /// Returns the `epoll_create1` error.
         pub fn new() -> io::Result<Poller> {
             let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
-            Ok(Poller { epfd, buf: vec![0u64; (MAX_EVENTS * EVENT_BYTES).div_ceil(8)] })
+            Ok(Poller { epfd, buf: vec![EpollEvent { events: 0, data: 0 }; MAX_EVENTS] })
         }
 
         /// Adds `fd` to the interest set under `token` (edge-triggered).
@@ -177,12 +180,7 @@ mod sys {
         pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
             out.clear();
             let n = unsafe {
-                epoll_wait(
-                    self.epfd,
-                    self.buf.as_mut_ptr().cast::<EpollEvent>(),
-                    MAX_EVENTS as i32,
-                    timeout_ms,
-                )
+                epoll_wait(self.epfd, self.buf.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms)
             };
             if n < 0 {
                 let err = io::Error::last_os_error();
@@ -191,11 +189,10 @@ mod sys {
                 }
                 return Err(err);
             }
-            let base = self.buf.as_ptr().cast::<u8>();
             for i in 0..n as usize {
-                // Unaligned copy out of the packed kernel buffer.
-                let ev: EpollEvent =
-                    unsafe { base.add(i * EVENT_BYTES).cast::<EpollEvent>().read_unaligned() };
+                // Copy the element out by value: field reads on the
+                // (possibly packed) copy need no references.
+                let ev = self.buf[i];
                 let bits = ev.events;
                 out.push(Event {
                     token: ev.data,
@@ -255,6 +252,25 @@ mod sys {
     impl Drop for Waker {
         fn drop(&mut self) {
             unsafe { close(self.fd) };
+        }
+    }
+
+    #[cfg(test)]
+    mod abi {
+        use super::EpollEvent;
+
+        /// The kernel writes `size_of::<epoll_event>()`-strided records:
+        /// 12 bytes (packed) on x86-64, 16 bytes with `data` at offset 8
+        /// everywhere else. Getting this wrong corrupts tokens and
+        /// overruns the wait buffer, so pin the layout per-arch.
+        #[test]
+        fn epoll_event_matches_the_kernel_layout() {
+            if cfg!(target_arch = "x86_64") {
+                assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+            } else {
+                assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+                assert_eq!(std::mem::offset_of!(EpollEvent, data), 8);
+            }
         }
     }
 }

@@ -17,14 +17,16 @@
 //!   the framing hot path allocates nothing in steady state. Replies are
 //!   released strictly in request-arrival order per connection
 //!   ([`crate::conn`]), preserving the PR 3 pipelining contract.
-//! - **Sharding.** Inference requests route to one of N shards by a
-//!   stable content hash of the encoded program ([`content_hash`]):
-//!   routing depends only on the request, never on load or timing, so
-//!   batch *composition* is workload-determined while results stay
-//!   bitwise identical to the offline memoized encoder regardless of
-//!   shard count (workspaces reset per program). Each shard owns a
-//!   bounded queue, a persistent [`Workspace`] pool, and its own
-//!   `serve.shard{i}.*` instruments.
+//! - **Sharding.** CPU-bound requests route to one of N shards by a
+//!   stable content hash — [`content_hash`] over pre-extracted program
+//!   structure, [`source_hash`] over raw source bytes for `source`
+//!   inputs and `lint` (both extraction and the lint analyses run on
+//!   the shard, keeping the loop thread I/O-only): routing depends only
+//!   on the request, never on load or timing, so batch *composition* is
+//!   workload-determined while results stay bitwise identical to the
+//!   offline memoized encoder regardless of shard count (workspaces
+//!   reset per program). Each shard owns a bounded queue, a persistent
+//!   [`Workspace`] pool, and its own `serve.shard{i}.*` instruments.
 //! - **Backpressure & admission control.** A full shard queue yields the
 //!   BUSY reply (retry soon). *Before* any queue is touched, admission
 //!   control sheds work with the distinct SHED reply: connections over
@@ -35,7 +37,10 @@
 //!   connection drains: requests already parsed-and-enqueued are
 //!   answered across all shards before their connection closes, and the
 //!   loop exits only when no connection owes a reply. Accepted work is
-//!   never dropped.
+//!   never dropped — but delivery is bounded: a peer that refuses to
+//!   read its replies is force-closed once the drain deadline
+//!   (`drain_deadline_ms`) passes, so one stalled client cannot hang
+//!   [`ServerHandle::join`] forever.
 //! - **Determinism.** Inference uses the memoized encoder on a reset
 //!   workspace, so served embeddings are bitwise identical to the
 //!   offline `EncodeMode::Memoized` path for every shard count and
@@ -80,6 +85,11 @@ pub struct ServerConfig {
     /// Global in-flight request budget (admission control); 0 derives
     /// `2 × shards × (queue_cap + batch_max)`.
     pub max_inflight: usize,
+    /// How long graceful shutdown waits for connections that still owe
+    /// replies before force-closing them. A peer that never reads its
+    /// pending replies could otherwise hold `join` (and process exit)
+    /// hostage forever.
+    pub drain_deadline_ms: u64,
     /// How MiniLang sources are traced and encoded server-side.
     pub extract: ExtractOptions,
 }
@@ -94,6 +104,7 @@ impl Default for ServerConfig {
             shards: 0,
             max_conns: 1024,
             max_inflight: 0,
+            drain_deadline_ms: 5000,
             extract: ExtractOptions::default(),
         }
     }
@@ -125,15 +136,47 @@ struct WorkerCtx {
     engine: Option<QuantEngine>,
 }
 
-/// One queued inference request, addressed back to its connection.
+/// One queued unit of shard work, addressed back to its connection.
 struct Job {
-    kind: InferKind,
-    prog: EncodedProgram,
+    work: Work,
     /// Connection slot in the event loop.
     slot: usize,
     /// Slot-reuse guard (see [`Conn::generation`]).
     generation: u64,
     /// Per-connection reply-ordering sequence number.
+    seq: u64,
+    queued: Instant,
+}
+
+/// What a shard runs for one job. Everything CPU-bound ships here —
+/// including `source` extraction and the lint analyses — so the
+/// event-loop thread stays I/O-only: one request carrying a huge
+/// MiniLang source must never stall accepts, reads, and reply flushes
+/// for every other connection behind its parse.
+enum Work {
+    /// Run the model.
+    Infer(InferKind, InferPayload),
+    /// Parse/typecheck/lint a source (never touches the model).
+    Lint(String),
+}
+
+/// An inference job's input, exactly as the client sent it.
+enum InferPayload {
+    /// A pre-extracted program (routed by [`content_hash`]). Boxed so
+    /// the enum stays pointer-sized next to the `Source` variant.
+    Encoded(Box<EncodedProgram>),
+    /// MiniLang source; the shard traces and encodes it (routed by
+    /// [`source_hash`]).
+    Source(String),
+}
+
+/// An inference job resolved to its encoded program on the shard
+/// thread, ready for the batcher's fused/fan-out paths.
+struct Ready {
+    kind: InferKind,
+    prog: EncodedProgram,
+    slot: usize,
+    generation: u64,
     seq: u64,
     queued: Instant,
 }
@@ -247,6 +290,19 @@ pub fn content_hash(prog: &EncodedProgram) -> u64 {
     h.0
 }
 
+/// Stable FNV-1a hash of a raw source string — the routing key for the
+/// jobs a shard parses itself (`source` inference inputs and lint).
+/// Like [`content_hash`] it depends only on the request bytes, so one
+/// source always routes to one shard.
+pub fn source_hash(src: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in src.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Instantiates `bundle` and starts serving it.
 ///
 /// # Errors
@@ -317,6 +373,8 @@ pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHan
             next_gen: 0,
             max_conns,
             max_inflight,
+            drain_deadline: Duration::from_millis(config.drain_deadline_ms),
+            drain_started: None,
             frame_scratch: Vec::new(),
             completion_scratch: Vec::new(),
             touched: Vec::new(),
@@ -359,6 +417,10 @@ struct EventLoop {
     next_gen: u64,
     max_conns: usize,
     max_inflight: usize,
+    /// Grace period for the shutdown drain; see [`ServerConfig`].
+    drain_deadline: Duration,
+    /// When the loop first observed the shutdown flag.
+    drain_started: Option<Instant>,
     /// Reused between events: parsed-but-undispatched frames.
     frame_scratch: Vec<Json>,
     /// Reused double-buffer for draining the completion queue.
@@ -385,7 +447,8 @@ impl EventLoop {
             }
             self.process_completions();
             if self.shared.shutdown.load(Ordering::SeqCst) {
-                self.drain_step();
+                let started = *self.drain_started.get_or_insert_with(Instant::now);
+                self.drain_step(started.elapsed() >= self.drain_deadline);
                 if self.open == 0 && self.inflight == 0 {
                     break;
                 }
@@ -406,7 +469,7 @@ impl EventLoop {
             match accepted {
                 Ok((stream, _peer)) => {
                     if self.open >= self.max_conns {
-                        self.shed_conn(stream);
+                        self.shed_conn(stream, "connection limit reached, try another replica");
                         continue;
                     }
                     if stream.set_nonblocking(true).is_err() {
@@ -420,7 +483,11 @@ impl EventLoop {
                     self.next_gen += 1;
                     if self.poller.register(stream.as_raw_fd(), slot as u64, Interest::READ).is_err()
                     {
+                        // Same contract as the over-cap path: the client
+                        // gets one SHED frame instead of a bare reset,
+                        // and the slot returns to the free list unused.
                         self.free.push(slot);
+                        self.shed_conn(stream, "server cannot register the connection, back off");
                         continue;
                     }
                     self.conns[slot] = Some(Conn::new(stream, self.next_gen));
@@ -434,15 +501,13 @@ impl EventLoop {
         }
     }
 
-    /// Best-effort SHED reply to a connection refused at the door.
-    fn shed_conn(&mut self, stream: TcpStream) {
+    /// Best-effort SHED reply to a connection refused at the door
+    /// (over `max_conns`, or the poller would not take its fd).
+    fn shed_conn(&mut self, stream: TcpStream, reason: &str) {
         self.shared.stats.record_shed();
         let _ = stream.set_nonblocking(true);
         let mut stream = stream;
-        let _ = write_frame(
-            &mut stream,
-            &shed_response("connection limit reached, try another replica"),
-        );
+        let _ = write_frame(&mut stream, &shed_response(reason));
         // Dropping the stream closes it; the frame either made the
         // socket buffer in one write or the client sees a plain reset.
     }
@@ -525,7 +590,9 @@ impl EventLoop {
     }
 
     /// Routes one parsed request: admin verbs answer inline (through the
-    /// ordering ledger), inference hashes to a shard queue.
+    /// ordering ledger); inference *and every other CPU-bound verb*
+    /// (lint, `source` extraction) hash to a shard queue — the loop
+    /// thread itself only parses frames and moves bytes.
     fn dispatch(&mut self, slot: usize, frame: Json) {
         let Some(conn) = self.conns[slot].as_mut() else { return };
         let seq = conn.assign_seq();
@@ -534,7 +601,7 @@ impl EventLoop {
             Ok(request) => request,
             Err(msg) => return self.complete_inline(slot, seq, error_response(msg)),
         };
-        let (kind, input) = match request {
+        let (key, work) = match request {
             Request::Ping => {
                 return self.complete_inline(slot, seq, ok_response(vec![("pong", Json::Bool(true))]))
             }
@@ -547,16 +614,12 @@ impl EventLoop {
                 return self
                     .complete_inline(slot, seq, ok_response(vec![("shutting_down", Json::Bool(true))]));
             }
-            Request::Lint(src) => return self.complete_inline(slot, seq, lint_source(&src)),
-            Request::Infer(kind, input) => (kind, input),
-        };
-        let prog = match input {
-            InferInput::Encoded(prog) => *prog,
-            InferInput::Source(src) => {
-                match extract_encoded(&src, &self.shared.vocab, &self.shared.extract) {
-                    Ok(prog) => prog,
-                    Err(e) => return self.complete_inline(slot, seq, error_response(e.to_string())),
-                }
+            Request::Lint(src) => (source_hash(&src), Work::Lint(src)),
+            Request::Infer(kind, InferInput::Encoded(prog)) => {
+                (content_hash(&prog), Work::Infer(kind, InferPayload::Encoded(prog)))
+            }
+            Request::Infer(kind, InferInput::Source(src)) => {
+                (source_hash(&src), Work::Infer(kind, InferPayload::Source(src)))
             }
         };
         if self.inflight >= self.max_inflight {
@@ -564,9 +627,16 @@ impl EventLoop {
             let reply = shed_response("server over its in-flight budget, back off");
             return self.complete_inline(slot, seq, reply);
         }
-        let shard = (content_hash(&prog) % self.senders.len() as u64) as usize;
-        self.shared.stats.record_enqueued(shard);
-        let job = Job { kind, prog, slot, generation, seq, queued: Instant::now() };
+        let shard = (key % self.senders.len() as u64) as usize;
+        // Lint rides the queues but is not an inference request: it
+        // moves the queue-depth gauges, never the `requests` counter.
+        let infer = matches!(work, Work::Infer(..));
+        if infer {
+            self.shared.stats.record_enqueued(shard);
+        } else {
+            self.shared.stats.record_lint_enqueued(shard);
+        }
+        let job = Job { work, slot, generation, seq, queued: Instant::now() };
         match self.senders[shard].try_send(job) {
             Ok(()) => {
                 self.inflight += 1;
@@ -575,12 +645,20 @@ impl EventLoop {
                 }
             }
             Err(TrySendError::Full(_)) => {
-                self.shared.stats.record_enqueue_reverted(shard);
+                if infer {
+                    self.shared.stats.record_enqueue_reverted(shard);
+                } else {
+                    self.shared.stats.record_lint_reverted(shard);
+                }
                 self.shared.stats.record_rejected();
                 self.complete_inline(slot, seq, busy_response());
             }
             Err(TrySendError::Disconnected(_)) => {
-                self.shared.stats.record_enqueue_reverted(shard);
+                if infer {
+                    self.shared.stats.record_enqueue_reverted(shard);
+                } else {
+                    self.shared.stats.record_lint_reverted(shard);
+                }
                 self.complete_inline(slot, seq, error_response("server is shutting down"));
             }
         }
@@ -671,14 +749,19 @@ impl EventLoop {
     /// Shutdown housekeeping, run once per loop iteration while the
     /// flag is set: close the listener, then retire every connection
     /// that owes nothing. Connections still owed replies stay until
-    /// their shards complete them — accepted work is never dropped.
-    fn drain_step(&mut self) {
+    /// their shards complete them — accepted work is never dropped —
+    /// until the drain deadline passes (`force`): past it, a peer that
+    /// will not take delivery of its replies (never reading, socket
+    /// buffers full) is force-closed rather than allowed to hold
+    /// [`ServerHandle::join`] hostage. Its in-flight completions are
+    /// released by the generation check when they land.
+    fn drain_step(&mut self, force: bool) {
         if let Some(listener) = self.listener.take() {
             let _ = self.poller.deregister(listener.as_raw_fd());
         }
         for slot in 0..self.conns.len() {
             let closable = match &self.conns[slot] {
-                Some(conn) => !conn.owes_replies(),
+                Some(conn) => force || !conn.owes_replies(),
                 None => false,
             };
             if closable {
@@ -698,8 +781,9 @@ impl EventLoop {
 }
 
 /// Runs the always-terminating static analyses on a submitted source and
-/// renders the diagnostics. Never touches the model or the shard
-/// queues, so it is answered inline like the other admin verbs.
+/// renders the diagnostics. Never touches the model, but parsing and
+/// typechecking are CPU-bound, so lint jobs run on the shard workers
+/// (routed by [`source_hash`]) rather than the event-loop thread.
 fn lint_source(src: &str) -> Json {
     let program = match minilang::parse(src) {
         Ok(p) => p,
@@ -788,9 +872,38 @@ fn shard_loop(
         }
 
         // Span opens after the blocking recv: it times coalescing,
-        // fan-out, and replies, not idle queue waits.
+        // resolution, fan-out, and replies, not idle queue waits.
         let _span = obs::span!("serve.batch");
-        let total = batch.len();
+
+        // Resolve each job to a concrete inference input *here*, on the
+        // shard thread: lint runs its analyses and `source` inputs get
+        // traced-and-encoded off the event loop, whose thread must stay
+        // I/O-only. Failures complete immediately as error replies.
+        let mut ready: Vec<Ready> = Vec::with_capacity(batch.len());
+        for job in batch {
+            let Job { work, slot, generation, seq, queued } = job;
+            match work {
+                Work::Lint(src) => {
+                    out.push(Completion { slot, generation, seq, reply: lint_source(&src) });
+                }
+                Work::Infer(kind, payload) => {
+                    let extracted = match payload {
+                        InferPayload::Encoded(prog) => Ok(*prog),
+                        InferPayload::Source(src) => {
+                            extract_encoded(&src, &shared.vocab, &shared.extract)
+                                .map_err(|e| e.to_string())
+                        }
+                    };
+                    match extracted {
+                        Ok(prog) => ready.push(Ready { kind, prog, slot, generation, seq, queued }),
+                        Err(msg) => {
+                            out.push(Completion { slot, generation, seq, reply: error_response(msg) })
+                        }
+                    }
+                }
+            }
+        }
+        let infer_total = ready.len();
 
         // Embed requests take the fused batch-major path: all programs
         // in the batch share one tape, so each layer runs a packed panel
@@ -799,8 +912,8 @@ fn shard_loop(
         // the determinism contract above is unchanged. Name/Classify
         // requests keep the per-program fan-out (decode is sequential
         // per program anyway).
-        let (embeds, rest): (Vec<Job>, Vec<Job>) =
-            batch.into_iter().partition(|job| matches!(job.kind, InferKind::Embed));
+        let (embeds, rest): (Vec<Ready>, Vec<Ready>) =
+            ready.into_iter().partition(|job| matches!(job.kind, InferKind::Embed));
 
         if !embeds.is_empty() {
             if workers.is_empty() {
@@ -847,7 +960,11 @@ fn shard_loop(
                 out.push(Completion { slot, generation, seq, reply });
             }
         }
-        shared.stats.record_batch(shard, total);
+        // Only forward passes count as a batch: a coalesced run of pure
+        // lint (or failed-extraction) jobs executes no model work.
+        if infer_total > 0 {
+            shared.stats.record_batch(shard, infer_total);
+        }
 
         // One lock + one wake per batch, not per reply.
         shared.completions.lock().expect("completion queue poisoned").append(&mut out);

@@ -196,6 +196,22 @@ impl ServeStats {
         self.shards[shard].queue_depth.dec();
     }
 
+    /// Records a lint job entering `shard`'s queue. Lint occupies queue
+    /// space (the depth gauges must balance [`ServeStats::record_dequeued`])
+    /// but is not an inference request, so the `requests` counters —
+    /// whose pre-shard meaning the STATS reply preserves — stay put.
+    pub fn record_lint_enqueued(&self, shard: usize) {
+        self.queue_depth.inc();
+        self.shards[shard].queue_depth.inc();
+    }
+
+    /// Undoes [`ServeStats::record_lint_enqueued`] for a lint job the
+    /// queue refused.
+    pub fn record_lint_reverted(&self, shard: usize) {
+        self.queue_depth.dec();
+        self.shards[shard].queue_depth.dec();
+    }
+
     /// Undoes [`ServeStats::record_enqueued`] for a request the queue
     /// refused (recorded optimistically to keep the depth gauges from
     /// racing below zero).
@@ -311,6 +327,26 @@ mod tests {
         // Rank 99 is the 9th of 10 samples in [65536, 131072).
         assert_eq!(snap.p99_us, 124_518);
         assert!(snap.p50_us <= snap.p99_us);
+    }
+
+    /// Lint jobs ride the queues (depth gauges move and balance) but
+    /// never count as inference requests.
+    #[test]
+    fn lint_jobs_move_queue_depth_but_not_requests() {
+        let stats = ServeStats::new(2);
+        stats.record_lint_enqueued(1);
+        stats.record_lint_enqueued(1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.shards[1].queue_depth, 2);
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.shards[1].requests, 0);
+        // One dequeued into a batch, one refused and reverted.
+        stats.record_dequeued(1);
+        stats.record_lint_reverted(1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_depth, 0);
+        assert_eq!(snap.requests, 0);
     }
 
     #[test]

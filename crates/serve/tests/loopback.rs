@@ -219,7 +219,7 @@ fn quantized_bundle_is_served_through_the_int8_engine() {
 }
 
 #[test]
-fn lint_op_is_served_inline_with_structured_diagnostics() {
+fn lint_op_is_served_with_structured_diagnostics() {
     let bundle = trained_bundle();
     let handle = serve(&bundle, ServerConfig::default()).unwrap();
     let mut client = Client::connect(handle.local_addr()).unwrap();
@@ -434,6 +434,47 @@ fn multi_shard_shutdown_drains_every_shard() {
     let drained: u64 = stats.shards.iter().map(|s| s.requests).sum();
     assert_eq!(drained as usize, 2 * PER_CONN);
     handle.join();
+}
+
+#[test]
+fn drain_deadline_force_closes_stalled_peers() {
+    let bundle = trained_bundle();
+    let handle = serve(
+        &bundle,
+        ServerConfig { drain_deadline_ms: 300, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // A stalled peer: pipelines requests and never reads a reply. Each
+    // unknown-op request echoes its ~64 KiB op name back in the error
+    // reply, so the owed replies (~64 MiB) far exceed what the kernel
+    // socket buffers can absorb (tcp_wmem/tcp_rmem caps) — the
+    // connection owes undeliverable replies indefinitely, which without
+    // a drain deadline would hang `join` forever.
+    let mut stalled = Client::connect(addr).unwrap();
+    let unknown = Json::obj(vec![("op", Json::str("x".repeat(64 * 1024)))]);
+    for _ in 0..1024 {
+        stalled.send(&unknown).unwrap();
+    }
+
+    let mut admin = Client::connect(addr).unwrap();
+    let ack = admin.call(&Json::obj(vec![("op", Json::str("shutdown"))])).unwrap();
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    drop(admin);
+
+    // The server must still come down: past the deadline the stalled
+    // connection is force-closed and every thread exits.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !handle.is_finished() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drain deadline never fired; a stalled peer hung shutdown"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    handle.join();
+    drop(stalled);
 }
 
 #[test]
