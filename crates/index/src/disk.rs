@@ -1,0 +1,244 @@
+//! The `LGRI1` on-disk format: lossless persistence for
+//! [`EmbeddingStore`].
+//!
+//! Grammar (all integers little-endian, mirroring the `LGR1` checkpoint
+//! format in `tensor::serialize`):
+//!
+//! ```text
+//! file    := magic version fingerprint dim:u32 count:u32 entry*
+//! magic   := "LGRI"
+//! version := '1'
+//! fingerprint := len:u32 bytes[len]        ; UTF-8 model fingerprint
+//! entry   := key:u64 vector[dim]:f32 ntok:u32 token[ntok]:u32
+//! ```
+//!
+//! Entries are written in row order and read back into the same rows, so
+//! a save/load round trip is bitwise lossless — including insertion
+//! order, which keeps `stats` and row-indexed diagnostics stable across
+//! restarts. Every malformed input maps to a typed [`IndexError`]
+//! (truncation, wrong magic, unknown version, duplicate keys, trailing
+//! garbage); corruption is never a panic.
+
+use crate::error::IndexError;
+use crate::store::EmbeddingStore;
+use std::io::Write;
+use std::path::Path;
+
+/// The four magic bytes opening every index file.
+pub const MAGIC: &[u8; 4] = b"LGRI";
+/// The current (only) format version byte.
+pub const VERSION: u8 = b'1';
+
+/// A bounds-checked little-endian cursor over the raw file bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], IndexError> {
+        let end = self.pos.checked_add(n).ok_or(IndexError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(IndexError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, IndexError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, IndexError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, IndexError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// Serializes `store` into the `LGRI1` byte format.
+pub fn to_bytes(store: &EmbeddingStore) -> Vec<u8> {
+    let mut out = Vec::with_capacity(store.bytes());
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    let fp = store.fingerprint().as_bytes();
+    out.extend_from_slice(&(fp.len() as u32).to_le_bytes());
+    out.extend_from_slice(fp);
+    out.extend_from_slice(&(store.dim() as u32).to_le_bytes());
+    out.extend_from_slice(&(store.len() as u32).to_le_bytes());
+    for row in 0..store.len() {
+        out.extend_from_slice(&store.keys()[row].to_le_bytes());
+        for &x in store.row(row) {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        let toks = store.postings(row);
+        out.extend_from_slice(&(toks.len() as u32).to_le_bytes());
+        for &t in toks {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+    debug_assert_eq!(out.len(), store.bytes(), "bytes() disagrees with the writer");
+    out
+}
+
+/// Parses an `LGRI1` byte buffer back into a store.
+///
+/// # Errors
+///
+/// [`IndexError::BadMagic`] / [`IndexError::VersionMismatch`] for a file
+/// that is not an index, [`IndexError::Truncated`] when the buffer ends
+/// mid-record, [`IndexError::BadRecord`] for duplicate keys, and
+/// [`IndexError::TrailingBytes`] when data follows the last entry.
+pub fn from_bytes(buf: &[u8]) -> Result<EmbeddingStore, IndexError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(IndexError::BadMagic);
+    }
+    let version = r.take(1)?[0];
+    if version != VERSION {
+        return Err(IndexError::VersionMismatch { found: version });
+    }
+    let fp_len = r.u32()? as usize;
+    let fingerprint = String::from_utf8(r.take(fp_len)?.to_vec())
+        .map_err(|_| IndexError::BadRecord { index: 0 })?;
+    let dim = r.u32()? as usize;
+    let count = r.u32()? as usize;
+    let mut keys = Vec::with_capacity(count.min(1 << 20));
+    let mut matrix: Vec<f32> = Vec::with_capacity(count.min(1 << 20) * dim);
+    let mut postings = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        keys.push(r.u64()?);
+        for _ in 0..dim {
+            matrix.push(r.f32()?);
+        }
+        let ntok = r.u32()? as usize;
+        let mut toks = Vec::with_capacity(ntok.min(1 << 20));
+        for _ in 0..ntok {
+            toks.push(r.u32()?);
+        }
+        postings.push(toks);
+    }
+    if r.pos != buf.len() {
+        return Err(IndexError::TrailingBytes);
+    }
+    EmbeddingStore::from_parts(dim, fingerprint, keys, matrix, postings)
+}
+
+/// Writes `store` to `path` atomically (via a `.tmp` sibling + rename),
+/// so a crash mid-save never corrupts an existing index.
+///
+/// # Errors
+///
+/// [`IndexError::Io`] on any filesystem failure.
+pub fn save_to_path(store: &EmbeddingStore, path: &Path) -> Result<(), IndexError> {
+    let bytes = to_bytes(store);
+    let tmp = path.with_extension("tmp");
+    let io = |e: std::io::Error| IndexError::Io(e.to_string());
+    let mut file = std::fs::File::create(&tmp).map_err(io)?;
+    file.write_all(&bytes).map_err(io)?;
+    file.sync_all().map_err(io)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Reads an `LGRI1` file from `path`.
+///
+/// # Errors
+///
+/// [`IndexError::Io`] when the file cannot be read, plus every parse
+/// error [`from_bytes`] reports.
+pub fn load_from_path(path: &Path) -> Result<EmbeddingStore, IndexError> {
+    let bytes = std::fs::read(path).map_err(|e| IndexError::Io(e.to_string()))?;
+    from_bytes(&bytes)
+}
+
+/// Whether `buf` starts with the `LGRI` magic — cheap format sniffing
+/// for tooling that dispatches on file contents.
+pub fn sniff(buf: &[u8]) -> bool {
+    buf.len() >= 4 && &buf[..4] == MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EmbeddingStore {
+        let mut store = EmbeddingStore::new(3, "demo@16");
+        store.insert(0xdead_beef_cafe_f00d, &[1.0, 2.0, 2.0], &[4, 1, 4]).unwrap();
+        store.insert(42, &[0.0, 0.0, 0.0], &[]).unwrap();
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample();
+        let loaded = from_bytes(&to_bytes(&store)).unwrap();
+        assert_eq!(loaded, store);
+        assert_eq!(loaded.row_of(42), Some(1));
+    }
+
+    #[test]
+    fn bytes_len_matches_store_accounting() {
+        assert_eq!(to_bytes(&sample()).len(), sample().bytes());
+        let empty = EmbeddingStore::new(7, "e");
+        assert_eq!(to_bytes(&empty).len(), empty.bytes());
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let mut bytes = to_bytes(&sample());
+        bytes[0] = b'X';
+        assert_eq!(from_bytes(&bytes).unwrap_err(), IndexError::BadMagic);
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let mut bytes = to_bytes(&sample());
+        bytes[4] = b'9';
+        assert_eq!(from_bytes(&bytes).unwrap_err(), IndexError::VersionMismatch { found: b'9' });
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let bytes = to_bytes(&sample());
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                from_bytes(&bytes[..cut]).unwrap_err(),
+                IndexError::Truncated,
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_typed() {
+        let mut bytes = to_bytes(&sample());
+        bytes.push(0);
+        assert_eq!(from_bytes(&bytes).unwrap_err(), IndexError::TrailingBytes);
+    }
+
+    #[test]
+    fn sniffing() {
+        assert!(sniff(&to_bytes(&sample())));
+        assert!(!sniff(b"LGR1"));
+        assert!(!sniff(b"LG"));
+    }
+
+    #[test]
+    fn path_roundtrip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("lgri-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.lgri");
+        let store = sample();
+        save_to_path(&store, &path).unwrap();
+        assert_eq!(load_from_path(&path).unwrap(), store);
+        assert!(matches!(
+            load_from_path(&dir.join("absent.lgri")).unwrap_err(),
+            IndexError::Io(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,533 @@
+//! # index — a persistent embedding index and semantic code-search core
+//!
+//! LIGER's program embeddings (DESIGN.md §2) put semantically similar
+//! methods near each other in cosine space; this crate makes that
+//! actionable as a *search service* substrate (DESIGN.md §2h):
+//!
+//! - [`EmbeddingStore`] — normalized embedding vectors plus token
+//!   posting lists keyed by the serve routing hash (FNV-1a over program
+//!   structure), deduplicating on re-insert,
+//! - [`Searcher`] — exact brute-force top-k over the batch-major matrix
+//!   ([`ExactSearcher`], via `tensor::cosine_scores`) and a std-only
+//!   HNSW-style graph ([`AnnGraph`]) that activates past
+//!   [`IndexConfig::ann_threshold`] entries,
+//! - [`rrf_fuse`] — hybrid ranking by reciprocal-rank fusion of cosine
+//!   ranks with token-overlap ranks,
+//! - [`disk`] — the lossless `LGRI1` on-disk format, every corruption a
+//!   typed [`IndexError`],
+//! - [`Index`] — the facade `liger-serve` mounts behind its `index` /
+//!   `search` / `similar` ops.
+//!
+//! Determinism contract: search results are a pure function of the set
+//! of stored entries and the query — never of insertion order, shard
+//! interleaving, or save/load cycles. Every ranking breaks ties by key
+//! ascending, and the ANN graph builds from entries in sorted-key order.
+//!
+//! # Examples
+//!
+//! ```
+//! use index::{Index, SearchOptions};
+//!
+//! let mut idx = Index::new(4, "demo-model");
+//! idx.insert(0xa1, &[1.0, 0.0, 0.0, 0.0], &[10, 11]).unwrap();
+//! idx.insert(0xb2, &[0.0, 1.0, 0.0, 0.0], &[12]).unwrap();
+//!
+//! let result = idx
+//!     .search(&[0.9, 0.1, 0.0, 0.0], &[10], &SearchOptions::default())
+//!     .unwrap();
+//! assert_eq!(result.hits[0].key, 0xa1);
+//! assert!(result.hits[0].cosine > 0.99);
+//! ```
+
+pub mod ann;
+pub mod disk;
+pub mod error;
+pub mod rrf;
+pub mod search;
+pub mod store;
+
+pub use ann::{AnnConfig, AnnGraph};
+pub use error::IndexError;
+pub use rrf::{rrf_fuse, DEFAULT_RRF_K};
+pub use search::{ExactSearcher, Hit, SearchMode, SearchOptions, Searcher};
+pub use store::{EmbeddingStore, InsertOutcome};
+
+use std::path::Path;
+
+/// Tunables for the [`Index`] facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Entry count at which search switches from exact brute force to
+    /// the ANN graph. Exact scans stay comfortably under the 100ms
+    /// target below this size; past it the graph pays for itself.
+    pub ann_threshold: usize,
+    /// ANN graph construction/search parameters.
+    pub ann: AnnConfig,
+    /// The damping constant for hybrid reciprocal-rank fusion.
+    pub rrf_k: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> IndexConfig {
+        IndexConfig { ann_threshold: 10_000, ann: AnnConfig::default(), rrf_k: DEFAULT_RRF_K }
+    }
+}
+
+/// What one [`Index::search`] call did, beyond the hits themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// The ranked hits, best first, at most `k`.
+    pub hits: Vec<Hit>,
+    /// How many stored entries were eligible.
+    pub searched: usize,
+    /// Whether the ANN graph produced the candidates.
+    pub ann_used: bool,
+    /// Whether the ANN graph came up short and the query fell back to
+    /// an exact scan (counted on `index.ann_fallback`).
+    pub ann_fallback: bool,
+}
+
+/// A point-in-time summary for the `stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Stored entries.
+    pub entries: usize,
+    /// Serialized (`LGRI1`) size in bytes.
+    pub bytes: usize,
+    /// Searches served since this process opened the index.
+    pub searches: u64,
+}
+
+/// The facade: store + searcher selection + hybrid ranking + stats.
+#[derive(Debug, Clone, Default)]
+pub struct Index {
+    store: EmbeddingStore,
+    config: IndexConfig,
+    /// Built lazily once the store crosses the threshold; dropped when
+    /// an update invalidates stored vectors.
+    graph: Option<AnnGraph>,
+    searches: u64,
+}
+
+impl Index {
+    /// An empty index for `dim`-dimensional vectors from the model
+    /// identified by `fingerprint`.
+    pub fn new(dim: usize, fingerprint: impl Into<String>) -> Index {
+        Index::with_config(dim, fingerprint, IndexConfig::default())
+    }
+
+    /// Like [`Index::new`] with explicit tunables.
+    pub fn with_config(
+        dim: usize,
+        fingerprint: impl Into<String>,
+        config: IndexConfig,
+    ) -> Index {
+        Index { store: EmbeddingStore::new(dim, fingerprint), config, graph: None, searches: 0 }
+    }
+
+    /// Wraps an already-populated store (e.g. one loaded from disk).
+    pub fn from_store(store: EmbeddingStore, config: IndexConfig) -> Index {
+        Index { store, config, graph: None, searches: 0 }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.store.dim()
+    }
+
+    /// The producing model's fingerprint.
+    pub fn fingerprint(&self) -> &str {
+        self.store.fingerprint()
+    }
+
+    /// Stored entry count.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// The configuration this index runs with.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Inserts (or refreshes) an entry; see [`EmbeddingStore::insert`].
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::DimMismatch`] when the vector length is wrong.
+    pub fn insert(
+        &mut self,
+        key: u64,
+        vector: &[f32],
+        tokens: &[u32],
+    ) -> Result<InsertOutcome, IndexError> {
+        let outcome = self.store.insert(key, vector, tokens)?;
+        obs::counter!("index.insert").inc();
+        if outcome == InsertOutcome::Updated {
+            // Stored vectors changed under the graph — its edges are
+            // built on stale similarities. Rebuild from scratch lazily.
+            self.graph = None;
+        }
+        Ok(outcome)
+    }
+
+    /// Whether a search right now would consult the ANN graph.
+    pub fn ann_active(&self) -> bool {
+        self.store.len() >= self.config.ann_threshold
+    }
+
+    /// (Re)builds the graph when missing or when the exact-scanned tail
+    /// of post-build entries has grown past 10% of the graph.
+    fn ensure_graph(&mut self) {
+        let stale = match &self.graph {
+            None => true,
+            Some(g) => (self.store.len() - g.built_rows()) * 10 > g.built_rows(),
+        };
+        if stale {
+            self.graph = Some(AnnGraph::build(&self.store, self.config.ann));
+        }
+    }
+
+    /// Top-k search. `query` is normalized internally; `query_tokens`
+    /// feeds the lexical half of hybrid mode (ignored in cosine mode).
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::BadK`] / [`IndexError::BadMinSim`] for degenerate
+    /// options, [`IndexError::EmptyIndex`] when nothing is stored,
+    /// [`IndexError::DimMismatch`] for a wrong-length query.
+    pub fn search(
+        &mut self,
+        query: &[f32],
+        query_tokens: &[u32],
+        opts: &SearchOptions,
+    ) -> Result<SearchResult, IndexError> {
+        opts.validate()?;
+        if self.store.is_empty() {
+            return Err(IndexError::EmptyIndex);
+        }
+        if query.len() != self.store.dim() {
+            return Err(IndexError::DimMismatch {
+                expected: self.store.dim(),
+                found: query.len(),
+            });
+        }
+        let started = std::time::Instant::now();
+        self.searches += 1;
+        obs::counter!("index.search").inc();
+
+        let mut q = query.to_vec();
+        let norm = q.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            let inv = (1.0 / norm) as f32;
+            q.iter_mut().for_each(|x| *x *= inv);
+        }
+
+        // Hybrid mode fuses ranks, so it needs a candidate pool deeper
+        // than k for the fusion to reorder within.
+        let pool = match opts.mode {
+            SearchMode::Cosine => opts.k,
+            SearchMode::Hybrid => (opts.k * 4).max(20),
+        };
+
+        let mut ann_used = false;
+        let mut ann_fallback = false;
+        let candidates = if self.ann_active() {
+            ann_used = true;
+            self.ensure_graph();
+            let graph = self.graph.as_ref().expect("ensure_graph just built it");
+            let mut found = graph.top_cosine(&self.store, &q, pool);
+            // Entries inserted after the last build are not in the
+            // graph: scan them exactly and merge.
+            let tail_start = graph.built_rows();
+            for row in tail_start..self.store.len() {
+                let sim = self
+                    .store
+                    .row(row)
+                    .iter()
+                    .zip(&q)
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>();
+                found.push((row, sim));
+            }
+            if found.len() < pool.min(self.store.len()) {
+                // The beam starved (disconnected graph region): give the
+                // exact answer instead of a silently bad one.
+                ann_fallback = true;
+                obs::counter!("index.ann_fallback").inc();
+                ExactSearcher.top_cosine(&self.store, &q, pool)
+            } else {
+                search::rank_candidates(&self.store, found, pool)
+            }
+        } else {
+            ExactSearcher.top_cosine(&self.store, &q, pool)
+        };
+
+        let hits = match opts.mode {
+            SearchMode::Cosine => candidates
+                .into_iter()
+                .filter(|&(_, sim)| sim >= opts.min_sim)
+                .take(opts.k)
+                .map(|(row, sim)| Hit {
+                    key: self.store.keys()[row],
+                    cosine: sim,
+                    score: f64::from(sim),
+                })
+                .collect(),
+            SearchMode::Hybrid => self.hybrid_hits(&q, query_tokens, candidates, opts, pool),
+        };
+
+        obs::histogram!("index.search_us").record(started.elapsed().as_micros() as u64);
+        Ok(SearchResult { hits, searched: self.store.len(), ann_used, ann_fallback })
+    }
+
+    /// Fuses the cosine candidate ranking with a token-overlap ranking
+    /// via reciprocal ranks, then filters by `min_sim` and truncates.
+    fn hybrid_hits(
+        &self,
+        query: &[f32],
+        query_tokens: &[u32],
+        cosine_candidates: Vec<(usize, f32)>,
+        opts: &SearchOptions,
+        pool: usize,
+    ) -> Vec<Hit> {
+        let cosine_keys: Vec<u64> =
+            cosine_candidates.iter().map(|&(row, _)| self.store.keys()[row]).collect();
+        let lexical_keys = self.lexical_ranking(query_tokens, pool);
+        let fused = rrf_fuse(&[&cosine_keys, &lexical_keys], self.config.rrf_k);
+        let mut hits = Vec::with_capacity(opts.k);
+        for (key, score) in fused {
+            let row = self.store.row_of(key).expect("fused keys come from the store");
+            let cosine = self
+                .store
+                .row(row)
+                .iter()
+                .zip(query)
+                .map(|(a, b)| a * b)
+                .sum::<f32>();
+            if cosine < opts.min_sim {
+                continue;
+            }
+            hits.push(Hit { key, cosine, score });
+            if hits.len() == opts.k {
+                break;
+            }
+        }
+        hits
+    }
+
+    /// Ranks entries by `|postings ∩ query_tokens|` descending (ties by
+    /// key ascending), dropping zero-overlap entries, truncated to
+    /// `pool`. Both sides are sorted, so overlap is a linear merge.
+    fn lexical_ranking(&self, query_tokens: &[u32], pool: usize) -> Vec<u64> {
+        let mut sorted_query = query_tokens.to_vec();
+        sorted_query.sort_unstable();
+        sorted_query.dedup();
+        if sorted_query.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(usize, u64)> = Vec::new();
+        for row in 0..self.store.len() {
+            let overlap = sorted_merge_overlap(self.store.postings(row), &sorted_query);
+            if overlap > 0 {
+                scored.push((overlap, self.store.keys()[row]));
+            }
+        }
+        scored.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(pool);
+        scored.into_iter().map(|(_, key)| key).collect()
+    }
+
+    /// Stats for the serve `stats` op.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            entries: self.store.len(),
+            bytes: self.store.bytes(),
+            searches: self.searches,
+        }
+    }
+
+    /// Persists the store to `path` in the `LGRI1` format.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Io`] on filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), IndexError> {
+        disk::save_to_path(&self.store, path)
+    }
+
+    /// Loads an index from `path`, refusing files whose model metadata
+    /// does not match the serving model.
+    ///
+    /// # Errors
+    ///
+    /// Every [`disk::load_from_path`] error, plus
+    /// [`IndexError::FingerprintMismatch`] / [`IndexError::DimMismatch`]
+    /// when the file was written for a different model.
+    pub fn load(
+        path: &Path,
+        expected_dim: usize,
+        expected_fingerprint: &str,
+        config: IndexConfig,
+    ) -> Result<Index, IndexError> {
+        let store = disk::load_from_path(path)?;
+        if store.fingerprint() != expected_fingerprint {
+            return Err(IndexError::FingerprintMismatch {
+                found: store.fingerprint().to_string(),
+                expected: expected_fingerprint.to_string(),
+            });
+        }
+        if store.dim() != expected_dim {
+            return Err(IndexError::DimMismatch {
+                expected: expected_dim,
+                found: store.dim(),
+            });
+        }
+        Ok(Index::from_store(store, config))
+    }
+}
+
+/// Intersection size of two sorted, deduplicated slices.
+fn sorted_merge_overlap(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_index() -> Index {
+        let mut idx = Index::new(3, "m");
+        idx.insert(1, &[1.0, 0.0, 0.0], &[10, 11]).unwrap();
+        idx.insert(2, &[0.0, 1.0, 0.0], &[11, 12]).unwrap();
+        idx.insert(3, &[0.0, 0.0, 1.0], &[13]).unwrap();
+        idx
+    }
+
+    #[test]
+    fn cosine_search_ranks_and_filters() {
+        let mut idx = demo_index();
+        let opts = SearchOptions { k: 3, min_sim: 0.5, ..SearchOptions::default() };
+        let result = idx.search(&[1.0, 0.2, 0.0], &[], &opts).unwrap();
+        assert_eq!(result.hits[0].key, 1);
+        assert!(result.hits.iter().all(|h| h.cosine >= 0.5));
+        assert!(!result.ann_used);
+        assert_eq!(result.searched, 3);
+        assert_eq!(idx.stats().searches, 1);
+    }
+
+    #[test]
+    fn hybrid_search_rewards_token_overlap() {
+        let mut idx = Index::new(2, "m");
+        // Two entries equally similar to the query by cosine…
+        idx.insert(5, &[1.0, 1.0], &[100]).unwrap();
+        idx.insert(6, &[1.0, 1.0], &[200, 201]).unwrap();
+        let opts =
+            SearchOptions { k: 2, mode: SearchMode::Hybrid, ..SearchOptions::default() };
+        // …but the query's tokens only overlap entry 6.
+        let result = idx.search(&[1.0, 1.0], &[200, 201], &opts).unwrap();
+        assert_eq!(result.hits[0].key, 6, "lexical overlap should break the cosine tie");
+        assert!(result.hits[0].score > result.hits[1].score);
+    }
+
+    #[test]
+    fn empty_index_and_bad_queries_are_typed() {
+        let mut idx = Index::new(2, "m");
+        assert_eq!(
+            idx.search(&[1.0, 0.0], &[], &SearchOptions::default()).unwrap_err(),
+            IndexError::EmptyIndex
+        );
+        idx.insert(1, &[1.0, 0.0], &[]).unwrap();
+        assert_eq!(
+            idx.search(&[1.0], &[], &SearchOptions::default()).unwrap_err(),
+            IndexError::DimMismatch { expected: 2, found: 1 }
+        );
+        let bad_k = SearchOptions { k: 0, ..SearchOptions::default() };
+        assert_eq!(idx.search(&[1.0, 0.0], &[], &bad_k).unwrap_err(), IndexError::BadK);
+    }
+
+    #[test]
+    fn ann_activates_above_threshold_with_exact_tail() {
+        let config = IndexConfig {
+            ann_threshold: 32,
+            ann: AnnConfig { m: 8, ef_construction: 32, ef_search: 32 },
+            rrf_k: DEFAULT_RRF_K,
+        };
+        let mut idx = Index::with_config(4, "m", config);
+        for i in 0..40u64 {
+            let v = [
+                (i % 7) as f32 - 3.0,
+                (i % 5) as f32 - 2.0,
+                (i % 3) as f32 - 1.0,
+                1.0,
+            ];
+            idx.insert(1000 + i, &v, &[]).unwrap();
+        }
+        assert!(idx.ann_active());
+        let opts = SearchOptions { k: 5, ..SearchOptions::default() };
+        let result = idx.search(&[0.5, -0.5, 0.0, 1.0], &[], &opts).unwrap();
+        assert!(result.ann_used);
+        assert_eq!(result.hits.len(), 5);
+        // A tail insert after the first search is still findable.
+        idx.insert(9999, &[0.5, -0.5, 0.0, 1.0], &[]).unwrap();
+        let result = idx.search(&[0.5, -0.5, 0.0, 1.0], &[], &opts).unwrap();
+        assert_eq!(result.hits[0].key, 9999, "tail entries must be merged: {result:?}");
+        assert!(result.hits[0].cosine > 0.999);
+    }
+
+    #[test]
+    fn save_load_roundtrip_keeps_search_behavior() {
+        let mut idx = demo_index();
+        let dir = std::env::temp_dir().join(format!("lgri-lib-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.lgri");
+        idx.save(&path).unwrap();
+        let mut loaded = Index::load(&path, 3, "m", IndexConfig::default()).unwrap();
+        let opts = SearchOptions::default();
+        let a = idx.search(&[0.2, 0.9, 0.1], &[11], &opts).unwrap();
+        let b = loaded.search(&[0.2, 0.9, 0.1], &[11], &opts).unwrap();
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(
+            Index::load(&path, 3, "other", IndexConfig::default()).unwrap_err().kind(),
+            "fingerprint_mismatch"
+        );
+        assert_eq!(
+            Index::load(&path, 9, "m", IndexConfig::default()).unwrap_err().kind(),
+            "dim_mismatch"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_track_entries_bytes_searches() {
+        let mut idx = demo_index();
+        let s = idx.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.bytes, idx.store().bytes());
+        assert_eq!(s.searches, 0);
+        idx.search(&[1.0, 0.0, 0.0], &[], &SearchOptions::default()).unwrap();
+        assert_eq!(idx.stats().searches, 1);
+    }
+}

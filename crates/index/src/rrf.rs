@@ -1,0 +1,69 @@
+//! Reciprocal-rank fusion: combining the semantic (cosine) and lexical
+//! (token-overlap) rankings without score calibration.
+//!
+//! RRF assigns each candidate `Σ 1 / (K + rankᵢ)` over the ranked lists
+//! it appears in (ranks are 1-based; absent means no contribution).
+//! Because only *ranks* enter the formula, the wildly different scales
+//! of cosine similarity and token-overlap counts never need to be
+//! normalized against each other — the classic robustness argument for
+//! RRF in hybrid retrieval. `K` damps the head of each list; the
+//! literature default of 60 is kept.
+
+/// The damping constant `K` in `1 / (K + rank)`.
+pub const DEFAULT_RRF_K: usize = 60;
+
+/// Fuses ranked key lists. Each inner slice is one ranking, best first.
+/// Returns `(key, fused score)` sorted by score descending, ties broken
+/// by key ascending so fusion is deterministic regardless of input list
+/// order or hash-map iteration.
+pub fn rrf_fuse(lists: &[&[u64]], k: usize) -> Vec<(u64, f64)> {
+    let mut scores: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for list in lists {
+        for (i, &key) in list.iter().enumerate() {
+            *scores.entry(key).or_insert(0.0) += 1.0 / (k as f64 + (i + 1) as f64);
+        }
+    }
+    let mut fused: Vec<(u64, f64)> = scores.into_iter().collect();
+    fused.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_beats_single_list_dominance() {
+        // Key 2 is mid-ranked in both lists; keys 1 and 3 top one list
+        // each but miss the other entirely.
+        let cosine: &[u64] = &[1, 2];
+        let lexical: &[u64] = &[3, 2];
+        let fused = rrf_fuse(&[cosine, lexical], DEFAULT_RRF_K);
+        assert_eq!(fused[0].0, 2, "the doubly-ranked key wins: {fused:?}");
+    }
+
+    #[test]
+    fn ties_break_by_key_ascending() {
+        let a: &[u64] = &[9];
+        let b: &[u64] = &[4];
+        let fused = rrf_fuse(&[a, b], DEFAULT_RRF_K);
+        assert_eq!(fused.iter().map(|f| f.0).collect::<Vec<_>>(), vec![4, 9]);
+        assert_eq!(fused[0].1, fused[1].1);
+    }
+
+    #[test]
+    fn empty_lists_fuse_to_nothing() {
+        assert!(rrf_fuse(&[], DEFAULT_RRF_K).is_empty());
+        assert!(rrf_fuse(&[&[], &[]], DEFAULT_RRF_K).is_empty());
+    }
+
+    #[test]
+    fn scores_follow_the_formula() {
+        let only: &[u64] = &[7, 8];
+        let fused = rrf_fuse(&[only], 60);
+        assert!((fused[0].1 - 1.0 / 61.0).abs() < 1e-12);
+        assert!((fused[1].1 - 1.0 / 62.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! The ANN quality gate (DESIGN.md §2h): on a corpus past the
+//! activation threshold, graph search must reach recall@10 ≥ 0.95
+//! against the exact brute-force ranking, and the [`Index`] front end
+//! must actually switch over to the graph.
+
+use index::{ExactSearcher, Index, IndexConfig, SearchOptions, Searcher};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const DIM: usize = 16;
+const CORPUS: usize = 10_500;
+const QUERIES: usize = 40;
+const K: usize = 10;
+
+fn random_vector(rng: &mut StdRng) -> Vec<f32> {
+    (0..DIM).map(|_| rng.random_range(-1.0f32..1.0)).collect()
+}
+
+#[test]
+fn ann_recall_at_10_beats_0_95_past_the_threshold() {
+    let mut rng = StdRng::seed_from_u64(0x1dc);
+    let mut idx = Index::with_config(DIM, "recall/fp", IndexConfig::default());
+    assert!(idx.config().ann_threshold <= CORPUS, "corpus must cross the activation threshold");
+    for key in 0..CORPUS as u64 {
+        let v = random_vector(&mut rng);
+        idx.insert(key, &v, &[]).unwrap();
+    }
+    assert!(idx.ann_active(), "past the threshold the graph path must be active");
+
+    let opts = SearchOptions { k: K, ..SearchOptions::default() };
+    let mut hit_sum = 0usize;
+    let mut ann_served = 0usize;
+    for q in 0..QUERIES {
+        let mut qrng = StdRng::seed_from_u64(0xbeef ^ q as u64);
+        let query = random_vector(&mut qrng);
+
+        // Ground truth: the exact searcher over the same store.
+        let exact: Vec<u64> = ExactSearcher
+            .top_cosine(idx.store(), &query, K)
+            .into_iter()
+            .map(|(row, _)| idx.store().keys()[row])
+            .collect();
+        assert_eq!(exact.len(), K);
+
+        let result = idx.search(&query, &[], &opts).unwrap();
+        assert_eq!(result.hits.len(), K);
+        if result.ann_used && !result.ann_fallback {
+            ann_served += 1;
+        }
+        hit_sum += result
+            .hits
+            .iter()
+            .filter(|h| exact.contains(&h.key))
+            .count();
+    }
+
+    let recall = hit_sum as f64 / (QUERIES * K) as f64;
+    assert!(recall >= 0.95, "ANN recall@10 = {recall:.3}, below the 0.95 gate");
+    assert!(
+        ann_served * 2 > QUERIES,
+        "graph search fell back to exact on {}/{QUERIES} queries",
+        QUERIES - ann_served
+    );
+}
+
+#[test]
+fn below_the_threshold_search_is_exact() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut idx = Index::with_config(
+        DIM,
+        "exact/fp",
+        IndexConfig { ann_threshold: 1_000, ..IndexConfig::default() },
+    );
+    for key in 0..100u64 {
+        let v = random_vector(&mut rng);
+        idx.insert(key, &v, &[]).unwrap();
+    }
+    assert!(!idx.ann_active());
+    let query = random_vector(&mut rng);
+    let result = idx.search(&query, &[], &SearchOptions::default()).unwrap();
+    assert!(!result.ann_used);
+    assert!(!result.ann_fallback);
+    assert_eq!(result.searched, 100);
+}

@@ -4,8 +4,8 @@
 //! vendors a minimal property-testing runner with the subset of the
 //! proptest API its tests use: the [`proptest!`] macro (with optional
 //! `#![proptest_config(..)]`), [`Strategy`] implemented for numeric
-//! ranges, [`collection::vec`], [`sample::select`], and the
-//! `prop_assert*`/`prop_assume!` macros.
+//! ranges and tuples of strategies, [`collection::vec`],
+//! [`sample::select`], and the `prop_assert*`/`prop_assume!` macros.
 //!
 //! Unlike real proptest there is no shrinking: each test runs
 //! [`ProptestConfig::cases`] deterministic seeded cases (the seed is
@@ -59,6 +59,23 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.sample(rng),)*)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
 
 /// Collection strategies (`proptest::collection`).
 pub mod collection {

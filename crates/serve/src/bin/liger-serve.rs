@@ -7,7 +7,12 @@
 //!             [--drain-deadline-ms 5000]
 //! liger-serve --demo [--save model.lgrb] [flags…]   # train a toy model, then serve it
 //! liger-serve query ADDR JSON [JSON…]               # one-shot client (pipelined)
+//! liger-serve index ADDR FILE [FILE…]               # index MiniLang files by content hash
+//! liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode cosine|hybrid]
 //! ```
+//!
+//! `--index-path FILE.lgri` makes the embedding index persistent: loaded
+//! at startup, saved on graceful shutdown.
 //!
 //! The server shuts down gracefully on SIGTERM/ctrl-c or the admin
 //! `{"op":"shutdown"}` verb: the listener stops accepting, open
@@ -73,10 +78,11 @@ mod signals {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = if args.first().map(String::as_str) == Some("query") {
-        query_main(&args[1..])
-    } else {
-        serve_main(&args)
+    let code = match args.first().map(String::as_str) {
+        Some("query") => query_main(&args[1..]),
+        Some("index") => index_main(&args[1..]),
+        Some("search") => search_main(&args[1..]),
+        _ => serve_main(&args),
     };
     std::process::exit(code);
 }
@@ -111,6 +117,122 @@ fn query_main(args: &[String]) -> i32 {
             all_ok &= reply.get("ok").and_then(Json::as_bool) == Some(true);
         }
         Ok(all_ok)
+    };
+    match run() {
+        Ok(true) => 0,
+        Ok(false) => 1,
+        Err(e) => {
+            eprintln!("liger-serve: {e}");
+            1
+        }
+    }
+}
+
+/// `liger-serve index ADDR FILE…` — indexes each MiniLang file's
+/// embedding under its content hash, one pipelined request per file.
+/// Prints `KEY OUTCOME FILE` per line (KEY is the 16-hex index key).
+fn index_main(args: &[String]) -> i32 {
+    let [addr, files @ ..] = args else {
+        eprintln!("usage: liger-serve index ADDR FILE [FILE...]");
+        return 2;
+    };
+    if files.is_empty() {
+        eprintln!("usage: liger-serve index ADDR FILE [FILE...]");
+        return 2;
+    }
+    let run = || -> std::io::Result<bool> {
+        let mut client = Client::connect(addr)?;
+        for file in files {
+            let source = std::fs::read_to_string(file)?;
+            client.send(&Json::obj(vec![
+                ("op", Json::str("index")),
+                ("source", Json::str(source)),
+            ]))?;
+        }
+        let mut all_ok = true;
+        for file in files {
+            let reply = client.recv()?;
+            if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                let key = reply.get("key").and_then(Json::as_str).unwrap_or("?");
+                let outcome = reply.get("outcome").and_then(Json::as_str).unwrap_or("?");
+                println!("{key} {outcome} {file}");
+            } else {
+                all_ok = false;
+                eprintln!("liger-serve: index {file} failed: {reply}");
+            }
+        }
+        Ok(all_ok)
+    };
+    match run() {
+        Ok(true) => 0,
+        Ok(false) => 1,
+        Err(e) => {
+            eprintln!("liger-serve: {e}");
+            1
+        }
+    }
+}
+
+/// `liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode M]` —
+/// embeds the file and prints its nearest indexed programs, one hit per
+/// line: `RANK KEY COSINE SCORE`.
+fn search_main(args: &[String]) -> i32 {
+    let [addr, file, rest @ ..] = args else {
+        eprintln!("usage: liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode M]");
+        return 2;
+    };
+    let mut fields = vec![("op", Json::str("search"))];
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("liger-serve: cannot read {file}: {e}");
+            return 2;
+        }
+    };
+    fields.push(("source", Json::str(source)));
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("liger-serve: {flag} needs a value");
+            return 2;
+        };
+        match flag.as_str() {
+            "--k" => match value.parse::<usize>() {
+                Ok(k) => fields.push(("k", Json::num(k))),
+                Err(_) => {
+                    eprintln!("liger-serve: --k expects a number, got {value:?}");
+                    return 2;
+                }
+            },
+            "--min-sim" => match value.parse::<f64>() {
+                Ok(s) => fields.push(("min_sim", Json::Num(s))),
+                Err(_) => {
+                    eprintln!("liger-serve: --min-sim expects a number, got {value:?}");
+                    return 2;
+                }
+            },
+            "--mode" => fields.push(("mode", Json::str(value.clone()))),
+            other => {
+                eprintln!("liger-serve: unknown search flag {other:?}");
+                return 2;
+            }
+        }
+    }
+    let run = || -> std::io::Result<bool> {
+        let mut client = Client::connect(addr)?;
+        let reply = client.call(&Json::obj(fields))?;
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("liger-serve: search failed: {reply}");
+            return Ok(false);
+        }
+        let hits = reply.get("hits").and_then(Json::as_arr).unwrap_or(&[]);
+        for (rank, hit) in hits.iter().enumerate() {
+            let key = hit.get("key").and_then(Json::as_str).unwrap_or("?");
+            let cosine = hit.get("cosine").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let score = hit.get("score").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            println!("{} {key} {cosine} {score}", rank + 1);
+        }
+        Ok(true)
     };
     match run() {
         Ok(true) => 0,
@@ -157,6 +279,8 @@ fn serve_main(args: &[String]) -> i32 {
             }
             "--drain-deadline-ms" => parse_num(&mut value, "--drain-deadline-ms")
                 .map(|n| config.drain_deadline_ms = n as u64),
+            "--index-path" => value("--index-path")
+                .map(|v| config.index_path = Some(std::path::PathBuf::from(v))),
             "--threads" => {
                 parse_num(&mut value, "--threads").map(|n| par::set_threads(Some(n)))
             }
@@ -245,9 +369,12 @@ fn print_usage() {
         "usage:\n  \
          liger-serve --ckpt model.lgrb [--addr HOST:PORT] [--batch-max N]\n              \
          [--batch-timeout-ms N] [--queue-cap N] [--threads N] [--shards N]\n              \
-         [--max-conns N] [--max-inflight N] [--drain-deadline-ms N] [--metrics]\n  \
+         [--max-conns N] [--max-inflight N] [--drain-deadline-ms N] [--metrics]\n              \
+         [--index-path FILE.lgri]\n  \
          liger-serve --demo [--save model.lgrb] [flags...]\n  \
-         liger-serve query ADDR JSON [JSON...]"
+         liger-serve query ADDR JSON [JSON...]\n  \
+         liger-serve index ADDR FILE [FILE...]\n  \
+         liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode cosine|hybrid]"
     );
 }
 

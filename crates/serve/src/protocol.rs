@@ -31,6 +31,7 @@
 //! ```
 
 use crate::json::{parse, Json};
+use index::{Hit, InsertOutcome, SearchMode, SearchOptions, SearchResult};
 use liger::{EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram};
 use std::io::{Read, Write};
 
@@ -278,6 +279,32 @@ pub enum Request {
     Lint(String),
     /// Run the model.
     Infer(InferKind, InferInput),
+    /// Embed the input and store it in the embedding index under its
+    /// content hash.
+    Index(InferInput),
+    /// Embed the input and return its top-k nearest stored programs
+    /// (ops `search` and its alias `similar`).
+    Search(InferInput, SearchOptions),
+}
+
+/// Parses the `k` / `min_sim` / `mode` fields of a search request,
+/// defaulting each to [`SearchOptions::default`]. Range validation
+/// (`k == 0`, `min_sim` outside `[-1, 1]`) is deferred to execution so
+/// those degenerate values surface as *typed* protocol errors.
+fn search_options_from_json(value: &Json) -> Result<SearchOptions, String> {
+    let mut opts = SearchOptions::default();
+    if let Some(k) = value.get("k") {
+        opts.k = k.as_usize().ok_or("\"k\" must be a non-negative integer")?;
+    }
+    if let Some(min_sim) = value.get("min_sim") {
+        opts.min_sim = min_sim.as_f64().ok_or("\"min_sim\" must be a number")? as f32;
+    }
+    if let Some(mode) = value.get("mode") {
+        let name = mode.as_str().ok_or("\"mode\" must be a string")?;
+        opts.mode = SearchMode::from_name(name)
+            .ok_or_else(|| format!("unknown mode {name:?} (expected \"cosine\" or \"hybrid\")"))?;
+    }
+    Ok(opts)
 }
 
 impl Request {
@@ -302,19 +329,31 @@ impl Request {
                     .ok_or("op \"lint\" needs a string \"source\" field")?;
                 return Ok(Request::Lint(src.to_string()));
             }
+            "index" => {
+                return Ok(Request::Index(infer_input_from_json(value, op)?));
+            }
+            "search" | "similar" => {
+                let input = infer_input_from_json(value, op)?;
+                return Ok(Request::Search(input, search_options_from_json(value)?));
+            }
             "embed" => InferKind::Embed,
             "name" => InferKind::Name,
             "classify" => InferKind::Classify,
             other => return Err(format!("unknown op {other:?}")),
         };
-        let input = match (value.get("source"), value.get("program")) {
-            (Some(src), None) => InferInput::Source(
-                src.as_str().ok_or("\"source\" must be a string")?.to_string(),
-            ),
-            (None, Some(prog)) => InferInput::Encoded(Box::new(program_from_json(prog)?)),
-            _ => return Err(format!("op {op:?} needs exactly one of \"source\"/\"program\"")),
-        };
-        Ok(Request::Infer(kind, input))
+        Ok(Request::Infer(kind, infer_input_from_json(value, op)?))
+    }
+}
+
+/// Pulls the one-of `source` / `program` input every model-touching op
+/// shares.
+fn infer_input_from_json(value: &Json, op: &str) -> Result<InferInput, String> {
+    match (value.get("source"), value.get("program")) {
+        (Some(src), None) => {
+            Ok(InferInput::Source(src.as_str().ok_or("\"source\" must be a string")?.to_string()))
+        }
+        (None, Some(prog)) => Ok(InferInput::Encoded(Box::new(program_from_json(prog)?))),
+        _ => Err(format!("op {op:?} needs exactly one of \"source\"/\"program\"")),
     }
 }
 
@@ -325,10 +364,7 @@ pub fn infer_request(kind: InferKind, input: &InferInput) -> Json {
         InferKind::Name => "name",
         InferKind::Classify => "classify",
     };
-    let (key, value) = match input {
-        InferInput::Source(src) => ("source", Json::str(src.clone())),
-        InferInput::Encoded(prog) => ("program", program_to_json(prog)),
-    };
+    let (key, value) = infer_input_field(input);
     Json::obj(vec![("op", Json::str(op)), (key, value)])
 }
 
@@ -375,6 +411,98 @@ pub fn ok_response(mut fields: Vec<(&str, Json)>) -> Json {
 /// An error reply: `{"ok":false,"error":...}`.
 pub fn error_response(message: impl Into<String>) -> Json {
     Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(message.into()))])
+}
+
+/// A *typed* error reply: `{"ok":false,"error":…,"kind":…}` — the shape
+/// every index failure takes, with `kind` the stable machine-readable
+/// tag from [`index::IndexError::kind`] (e.g. `bad_k`, `empty_index`).
+pub fn typed_error_response(kind: &str, message: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message.into())),
+        ("kind", Json::str(kind)),
+    ])
+}
+
+/// Renders an [`index::IndexError`] as its typed protocol reply.
+pub fn index_error_response(err: &index::IndexError) -> Json {
+    typed_error_response(err.kind(), err.to_string())
+}
+
+/// Formats an index key for the wire. Keys are 64-bit FNV-1a hashes;
+/// JSON numbers are `f64` and cannot carry them exactly, so they travel
+/// as fixed-width hex strings.
+pub fn key_to_json(key: u64) -> Json {
+    Json::str(format!("{key:016x}"))
+}
+
+/// Parses a key written by [`key_to_json`].
+///
+/// # Errors
+///
+/// Returns a description when the value is not a hex string.
+pub fn key_from_json(value: &Json) -> Result<u64, String> {
+    let text = value.as_str().ok_or("key must be a hex string")?;
+    u64::from_str_radix(text, 16).map_err(|_| format!("bad key {text:?}"))
+}
+
+/// The `index` op's success reply:
+/// `{"ok":true,"key":…,"outcome":"inserted"|"updated"|"unchanged","entries":…}`.
+pub fn index_response(key: u64, outcome: InsertOutcome, entries: usize) -> Json {
+    ok_response(vec![
+        ("key", key_to_json(key)),
+        ("outcome", Json::str(outcome.name())),
+        ("entries", Json::num(entries)),
+    ])
+}
+
+/// The `search` / `similar` success reply:
+/// `{"ok":true,"hits":[{key,cosine,score}…],"searched":…,"ann":…,"ann_fallback":…}`.
+/// Cosines are `f32` widened losslessly; the fused score is a plain
+/// `f64`. Hits are ranked best-first.
+pub fn search_response(result: &SearchResult) -> Json {
+    let hits = result
+        .hits
+        .iter()
+        .map(|h: &Hit| {
+            Json::obj(vec![
+                ("key", key_to_json(h.key)),
+                ("cosine", Json::Num(f64::from(h.cosine))),
+                ("score", Json::Num(h.score)),
+            ])
+        })
+        .collect();
+    ok_response(vec![
+        ("hits", Json::Arr(hits)),
+        ("searched", Json::num(result.searched)),
+        ("ann", Json::Bool(result.ann_used)),
+        ("ann_fallback", Json::Bool(result.ann_fallback)),
+    ])
+}
+
+/// Builds the JSON form of an `index` request (client side).
+pub fn index_request(input: &InferInput) -> Json {
+    let (key, value) = infer_input_field(input);
+    Json::obj(vec![("op", Json::str("index")), (key, value)])
+}
+
+/// Builds the JSON form of a `search` request (client side).
+pub fn search_request(input: &InferInput, opts: &SearchOptions) -> Json {
+    let (key, value) = infer_input_field(input);
+    Json::obj(vec![
+        ("op", Json::str("search")),
+        (key, value),
+        ("k", Json::num(opts.k)),
+        ("min_sim", Json::Num(f64::from(opts.min_sim))),
+        ("mode", Json::str(opts.mode.name())),
+    ])
+}
+
+fn infer_input_field(input: &InferInput) -> (&'static str, Json) {
+    match input {
+        InferInput::Source(src) => ("source", Json::str(src.clone())),
+        InferInput::Encoded(prog) => ("program", program_to_json(prog)),
+    }
 }
 
 /// The backpressure reply: `{"ok":false,"busy":true,...}`. Clients should
@@ -657,6 +785,70 @@ mod tests {
         assert_eq!(first.get("kind").and_then(Json::as_str), Some("division-by-zero"));
         assert_eq!(first.get("severity").and_then(Json::as_str), Some("fatal"));
         assert_eq!(first.get("line").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn index_and_search_requests_parse() {
+        let req = index_request(&InferInput::Source("fn f() {}".into()));
+        assert!(matches!(Request::from_json(&req).unwrap(), Request::Index(InferInput::Source(_))));
+
+        let opts = SearchOptions { k: 3, min_sim: 0.25, mode: SearchMode::Hybrid };
+        let req = search_request(&InferInput::Source("fn f() {}".into()), &opts);
+        let Request::Search(_, parsed) = Request::from_json(&req).unwrap() else {
+            panic!("expected a search request");
+        };
+        assert_eq!(parsed, opts);
+
+        // `similar` is an alias with defaulted options.
+        let alias = parse("{\"op\":\"similar\",\"source\":\"fn f() {}\"}").unwrap();
+        let Request::Search(_, parsed) = Request::from_json(&alias).unwrap() else {
+            panic!("expected the alias to parse as a search");
+        };
+        assert_eq!(parsed, SearchOptions::default());
+
+        // Degenerate ranges still parse (typed rejection happens at
+        // execution); malformed types do not.
+        let zero_k = parse("{\"op\":\"search\",\"source\":\"x\",\"k\":0}").unwrap();
+        assert!(matches!(Request::from_json(&zero_k).unwrap(), Request::Search(_, o) if o.k == 0));
+        let bad_mode = parse("{\"op\":\"search\",\"source\":\"x\",\"mode\":\"dance\"}").unwrap();
+        assert!(Request::from_json(&bad_mode).is_err());
+        let bad_k = parse("{\"op\":\"search\",\"source\":\"x\",\"k\":-2}").unwrap();
+        assert!(Request::from_json(&bad_k).is_err());
+        let no_input = parse("{\"op\":\"index\"}").unwrap();
+        assert!(Request::from_json(&no_input).is_err());
+    }
+
+    #[test]
+    fn keys_roundtrip_as_hex_strings() {
+        for key in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(key_from_json(&key_to_json(key)).unwrap(), key);
+        }
+        assert!(key_from_json(&Json::Num(12.0)).is_err());
+        assert!(key_from_json(&Json::str("zz")).is_err());
+    }
+
+    #[test]
+    fn typed_errors_carry_their_kind() {
+        let reply = index_error_response(&index::IndexError::BadK);
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(reply.get("kind").and_then(Json::as_str), Some("bad_k"));
+        assert!(reply.get("error").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn search_responses_render_hits() {
+        let result = SearchResult {
+            hits: vec![Hit { key: 7, cosine: 0.5, score: 0.5 }],
+            searched: 9,
+            ann_used: false,
+            ann_fallback: false,
+        };
+        let reply = search_response(&result);
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(reply.get("searched").and_then(Json::as_usize), Some(9));
+        let hits = reply.get("hits").and_then(Json::as_arr).unwrap();
+        assert_eq!(key_from_json(hits[0].get("key").unwrap()).unwrap(), 7);
+        assert_eq!(hits[0].get("cosine").and_then(Json::as_f64), Some(0.5));
     }
 
     #[test]

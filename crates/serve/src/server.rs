@@ -50,10 +50,12 @@ use crate::conn::Conn;
 use crate::epoll::{Event, Interest, Poller, Waker};
 use crate::json::Json;
 use crate::protocol::{
-    busy_response, embedding_to_json, error_response, lint_response, ok_response, shed_response,
-    write_frame, InferInput, InferKind, Request,
+    busy_response, embedding_to_json, error_response, index_error_response, index_response,
+    lint_response, ok_response, search_response, shed_response, write_frame, InferInput, InferKind,
+    Request,
 };
 use crate::stats::{ServeStats, StatsSnapshot};
+use index::{Index, IndexConfig, IndexStats, SearchOptions};
 use liger::{
     extract_encoded, EncodedProgram, ExtractOptions, LigerTask, ModelBundle, QuantEngine, Vocab,
     Workspace,
@@ -92,6 +94,11 @@ pub struct ServerConfig {
     pub drain_deadline_ms: u64,
     /// How MiniLang sources are traced and encoded server-side.
     pub extract: ExtractOptions,
+    /// Where the embedding index persists (`LGRI1`). `None` keeps the
+    /// index in memory only. When the file exists it is loaded at
+    /// startup (refusing dim/fingerprint mismatches); the index is
+    /// written back on graceful shutdown, atomically.
+    pub index_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +113,7 @@ impl Default for ServerConfig {
             max_inflight: 0,
             drain_deadline_ms: 5000,
             extract: ExtractOptions::default(),
+            index_path: None,
         }
     }
 }
@@ -121,6 +129,15 @@ struct Shared {
     vocab: Vocab,
     extract: ExtractOptions,
     stats: ServeStats,
+    /// The embedding index behind the `index` / `search` / `similar`
+    /// ops. A plain mutex: every touch happens on shard threads (never
+    /// the event loop), and the critical sections are small next to the
+    /// forward passes that precede them. Determinism across shard
+    /// counts does not depend on lock order — search results are a pure
+    /// function of the stored *set*, not of insertion interleaving.
+    index: Mutex<Index>,
+    /// Where [`ServerHandle::join`] persists the index, if anywhere.
+    index_path: Option<std::path::PathBuf>,
     shutdown: AtomicBool,
     /// Shard → event-loop reply channel, drained on eventfd wake.
     completions: Mutex<Vec<Completion>>,
@@ -158,6 +175,10 @@ enum Work {
     Infer(InferKind, InferPayload),
     /// Parse/typecheck/lint a source (never touches the model).
     Lint(String),
+    /// Embed and store in the embedding index.
+    Index(InferPayload),
+    /// Embed and query the embedding index.
+    Search(InferPayload, SearchOptions),
 }
 
 /// An inference job's input, exactly as the client sent it.
@@ -170,10 +191,29 @@ enum InferPayload {
     Source(String),
 }
 
+/// What happens to a resolved job's forward-pass output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ReadyOp {
+    /// Reply with the inference result itself.
+    Infer(InferKind),
+    /// Insert the embedding into the index under the program's
+    /// content hash.
+    Index,
+    /// Query the index with the embedding.
+    Search(SearchOptions),
+}
+
+impl ReadyOp {
+    /// Whether this op's forward pass is the fused embed panel.
+    fn needs_embedding(self) -> bool {
+        !matches!(self, ReadyOp::Infer(InferKind::Name | InferKind::Classify))
+    }
+}
+
 /// An inference job resolved to its encoded program on the shard
 /// thread, ready for the batcher's fused/fan-out paths.
 struct Ready {
-    kind: InferKind,
+    op: ReadyOp,
     prog: EncodedProgram,
     slot: usize,
     generation: u64,
@@ -221,13 +261,21 @@ impl ServerHandle {
             && self.shard_threads.iter().all(JoinHandle::is_finished)
     }
 
-    /// Waits for the event loop and every shard batcher to finish.
+    /// Waits for the event loop and every shard batcher to finish, then
+    /// persists the embedding index (if an `index_path` is configured) —
+    /// after the threads exit, no insert can race the save.
     pub fn join(mut self) {
         if let Some(t) = self.event_loop.take() {
             t.join().expect("event-loop thread panicked");
         }
         for t in self.shard_threads.drain(..) {
             t.join().expect("shard thread panicked");
+        }
+        if let Some(path) = &self.shared.index_path {
+            let idx = self.shared.index.lock().expect("index poisoned");
+            if let Err(e) = idx.save(path) {
+                eprintln!("liger-serve: failed to save index {}: {e}", path.display());
+            }
         }
     }
 }
@@ -303,16 +351,63 @@ pub fn source_hash(src: &str) -> u64 {
     h
 }
 
+/// A compact fingerprint of the serving model, stored in every index
+/// file: head kind, embedding width, vocabulary size, numeric path, and
+/// an FNV-1a hash of the trained parameter bytes. Two bundles that could
+/// produce different embeddings get different fingerprints, so a stale
+/// index is refused at load rather than silently searched.
+pub fn model_fingerprint(bundle: &ModelBundle) -> String {
+    let head = match &bundle.head {
+        liger::BundleHead::Namer(_) => "namer",
+        liger::BundleHead::Classifier(_) => "classifier",
+    };
+    let numeric = if bundle.qstore.is_some() { "int8" } else { "f32" };
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &tensor::save_store_binary(&bundle.store) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{head}/h{}/v{}/{numeric}/{h:016x}", bundle.cfg.hidden, bundle.vocab.len())
+}
+
+/// Opens (or creates) the embedding index for `bundle`: loads
+/// `index_path` when the file exists, otherwise starts empty.
+///
+/// # Errors
+///
+/// `InvalidData` when the file is corrupt or was written by a different
+/// model (its typed kind is preserved in the message).
+fn open_index(
+    bundle: &ModelBundle,
+    index_path: Option<&std::path::Path>,
+) -> io::Result<Index> {
+    let fingerprint = model_fingerprint(bundle);
+    let dim = bundle.cfg.hidden;
+    match index_path {
+        Some(path) if path.exists() => {
+            Index::load(path, dim, &fingerprint, IndexConfig::default()).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("cannot load index {}: {e} ({})", path.display(), e.kind()),
+                )
+            })
+        }
+        _ => Ok(Index::new(dim, fingerprint)),
+    }
+}
+
 /// Instantiates `bundle` and starts serving it.
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` when the bundle's parameters do not match its
-/// declared architecture, the bind error, or the poller setup error.
+/// declared architecture or a configured index file is unusable, the
+/// bind error, or the poller setup error.
 pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHandle> {
     let (task, store) = bundle
         .instantiate()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let idx = open_index(bundle, config.index_path.as_deref())?;
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
@@ -336,6 +431,8 @@ pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHan
         vocab: bundle.vocab.clone(),
         extract: config.extract.clone(),
         stats: ServeStats::new(shards),
+        index: Mutex::new(idx),
+        index_path: config.index_path.clone(),
         shutdown: AtomicBool::new(false),
         completions: Mutex::new(Vec::new()),
         waker: Waker::new()?,
@@ -606,7 +703,8 @@ impl EventLoop {
                 return self.complete_inline(slot, seq, ok_response(vec![("pong", Json::Bool(true))]))
             }
             Request::Stats => {
-                let reply = stats_response(&self.shared.stats.snapshot());
+                let index_stats = self.shared.index.lock().expect("index poisoned").stats();
+                let reply = stats_response(&self.shared.stats.snapshot(), &index_stats);
                 return self.complete_inline(slot, seq, reply);
             }
             Request::Shutdown => {
@@ -621,6 +719,18 @@ impl EventLoop {
             Request::Infer(kind, InferInput::Source(src)) => {
                 (source_hash(&src), Work::Infer(kind, InferPayload::Source(src)))
             }
+            Request::Index(InferInput::Encoded(prog)) => {
+                (content_hash(&prog), Work::Index(InferPayload::Encoded(prog)))
+            }
+            Request::Index(InferInput::Source(src)) => {
+                (source_hash(&src), Work::Index(InferPayload::Source(src)))
+            }
+            Request::Search(InferInput::Encoded(prog), opts) => {
+                (content_hash(&prog), Work::Search(InferPayload::Encoded(prog), opts))
+            }
+            Request::Search(InferInput::Source(src), opts) => {
+                (source_hash(&src), Work::Search(InferPayload::Source(src), opts))
+            }
         };
         if self.inflight >= self.max_inflight {
             self.shared.stats.record_shed();
@@ -630,7 +740,8 @@ impl EventLoop {
         let shard = (key % self.senders.len() as u64) as usize;
         // Lint rides the queues but is not an inference request: it
         // moves the queue-depth gauges, never the `requests` counter.
-        let infer = matches!(work, Work::Infer(..));
+        // Index and search run a forward pass, so they count.
+        let infer = !matches!(work, Work::Lint(_));
         if infer {
             self.shared.stats.record_enqueued(shard);
         } else {
@@ -795,10 +906,69 @@ fn lint_source(src: &str) -> Json {
     lint_response(&analysis::lint::run(&program))
 }
 
+/// The token posting list the index keeps per program: every tree and
+/// state token the encoded program mentions, as the lexical half of
+/// hybrid search. Sorting/deduplication happens inside the store.
+fn program_tokens(prog: &EncodedProgram) -> Vec<u32> {
+    fn tree(out: &mut Vec<u32>, t: liger::TreeId, prog: &EncodedProgram) {
+        let node = prog.pool.tree(t);
+        out.push(node.token as u32);
+        for &c in &node.children {
+            tree(out, c, prog);
+        }
+    }
+    let mut out = Vec::new();
+    for tr in &prog.traces {
+        for step in &tr.steps {
+            tree(&mut out, step.tree, prog);
+            for &s in &step.states {
+                for v in &prog.pool.state(s).vars {
+                    match v {
+                        liger::PoolVar::Primitive(tok) => out.push(*tok as u32),
+                        liger::PoolVar::Object(obj) => {
+                            out.extend(prog.pool.object(*obj).iter().map(|&t| t as u32));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Executes the `index` op against the shared index: key = the same
+/// content hash that routed the job, so index identity and shard
+/// routing agree on what "the same program" means.
+fn index_insert(shared: &Shared, prog: &EncodedProgram, embedding: &[f32]) -> Json {
+    let key = content_hash(prog);
+    let tokens = program_tokens(prog);
+    let mut idx = shared.index.lock().expect("index poisoned");
+    match idx.insert(key, embedding, &tokens) {
+        Ok(outcome) => index_response(key, outcome, idx.len()),
+        Err(e) => index_error_response(&e),
+    }
+}
+
+/// Executes the `search` / `similar` op against the shared index.
+fn index_search(
+    shared: &Shared,
+    prog: &EncodedProgram,
+    embedding: &[f32],
+    opts: SearchOptions,
+) -> Json {
+    let tokens = program_tokens(prog);
+    let mut idx = shared.index.lock().expect("index poisoned");
+    match idx.search(embedding, &tokens, &opts) {
+        Ok(result) => search_response(&result),
+        Err(e) => index_error_response(&e),
+    }
+}
+
 /// Renders a stats snapshot as the STATS reply payload. The pre-shard
 /// top-level fields keep their exact keys and meanings; `shed`, `conns`,
-/// and the per-shard breakdown are appended after them.
-pub fn stats_response(snap: &StatsSnapshot) -> Json {
+/// the per-shard breakdown, and the `index` block are appended after
+/// them.
+pub fn stats_response(snap: &StatsSnapshot, index_stats: &IndexStats) -> Json {
     let shards = snap
         .shards
         .iter()
@@ -825,6 +995,14 @@ pub fn stats_response(snap: &StatsSnapshot) -> Json {
         ("shed", Json::num(snap.shed as usize)),
         ("conns", Json::num(snap.conns as usize)),
         ("shards", Json::Arr(shards)),
+        (
+            "index",
+            Json::obj(vec![
+                ("entries", Json::num(index_stats.entries)),
+                ("bytes", Json::num(index_stats.bytes)),
+                ("searches", Json::num(index_stats.searches as usize)),
+            ]),
+        ),
     ])
 }
 
@@ -882,38 +1060,40 @@ fn shard_loop(
         let mut ready: Vec<Ready> = Vec::with_capacity(batch.len());
         for job in batch {
             let Job { work, slot, generation, seq, queued } = job;
-            match work {
+            let (op, payload) = match work {
                 Work::Lint(src) => {
                     out.push(Completion { slot, generation, seq, reply: lint_source(&src) });
+                    continue;
                 }
-                Work::Infer(kind, payload) => {
-                    let extracted = match payload {
-                        InferPayload::Encoded(prog) => Ok(*prog),
-                        InferPayload::Source(src) => {
-                            extract_encoded(&src, &shared.vocab, &shared.extract)
-                                .map_err(|e| e.to_string())
-                        }
-                    };
-                    match extracted {
-                        Ok(prog) => ready.push(Ready { kind, prog, slot, generation, seq, queued }),
-                        Err(msg) => {
-                            out.push(Completion { slot, generation, seq, reply: error_response(msg) })
-                        }
-                    }
+                Work::Infer(kind, payload) => (ReadyOp::Infer(kind), payload),
+                Work::Index(payload) => (ReadyOp::Index, payload),
+                Work::Search(payload, opts) => (ReadyOp::Search(opts), payload),
+            };
+            let extracted = match payload {
+                InferPayload::Encoded(prog) => Ok(*prog),
+                InferPayload::Source(src) => extract_encoded(&src, &shared.vocab, &shared.extract)
+                    .map_err(|e| e.to_string()),
+            };
+            match extracted {
+                Ok(prog) => ready.push(Ready { op, prog, slot, generation, seq, queued }),
+                Err(msg) => {
+                    out.push(Completion { slot, generation, seq, reply: error_response(msg) })
                 }
             }
         }
         let infer_total = ready.len();
 
-        // Embed requests take the fused batch-major path: all programs
-        // in the batch share one tape, so each layer runs a packed panel
-        // matmul (`Op::AffineBatch`) instead of per-program matvecs.
-        // Results stay bitwise identical to the per-program encoder, so
-        // the determinism contract above is unchanged. Name/Classify
+        // Embedding-consuming requests — `embed` itself plus `index` and
+        // `search`, which post-process the same forward pass — take the
+        // fused batch-major path: all programs in the batch share one
+        // tape, so each layer runs a packed panel matmul
+        // (`Op::AffineBatch`) instead of per-program matvecs. Results
+        // stay bitwise identical to the per-program encoder, so the
+        // determinism contract above is unchanged. Name/Classify
         // requests keep the per-program fan-out (decode is sequential
         // per program anyway).
         let (embeds, rest): (Vec<Ready>, Vec<Ready>) =
-            ready.into_iter().partition(|job| matches!(job.kind, InferKind::Embed));
+            ready.into_iter().partition(|job| job.op.needs_embedding());
 
         if !embeds.is_empty() {
             if workers.is_empty() {
@@ -931,7 +1111,13 @@ fn shard_loop(
             };
             for (job, embedding) in embeds.into_iter().zip(embeddings) {
                 shared.stats.record_latency(shard, InferKind::Embed, job.queued.elapsed());
-                let reply = ok_response(vec![("embedding", embedding_to_json(&embedding))]);
+                let reply = match job.op {
+                    ReadyOp::Index => index_insert(shared, &job.prog, &embedding),
+                    ReadyOp::Search(opts) => index_search(shared, &job.prog, &embedding, opts),
+                    ReadyOp::Infer(_) => {
+                        ok_response(vec![("embedding", embedding_to_json(&embedding))])
+                    }
+                };
                 out.push(Completion {
                     slot: job.slot,
                     generation: job.generation,
@@ -945,8 +1131,11 @@ fn shard_loop(
             let mut inputs = Vec::with_capacity(rest.len());
             let mut sinks = Vec::with_capacity(rest.len());
             for job in rest {
-                inputs.push((job.kind, job.prog));
-                sinks.push((job.slot, job.generation, job.seq, job.queued, job.kind));
+                let ReadyOp::Infer(kind) = job.op else {
+                    unreachable!("non-infer ops all need embeddings")
+                };
+                inputs.push((kind, job.prog));
+                sinks.push((job.slot, job.generation, job.seq, job.queued, kind));
             }
             let results = par::par_map_ordered_with_cap(
                 &inputs,

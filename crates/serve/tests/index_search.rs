@@ -1,0 +1,305 @@
+//! End-to-end tests for the embedding-index ops: `index`, `search`, and
+//! the `similar` alias, served over real TCP loopback connections.
+//!
+//! Gated contracts:
+//! - index-then-search returns the indexed program itself at rank 1 with
+//!   cosine ≥ 0.999,
+//! - search replies are **bitwise identical** across 1/2/4 shards and
+//!   across a save → restart → load cycle (the determinism contract of
+//!   DESIGN.md §2h),
+//! - degenerate queries come back as *typed* errors (`kind` field), and
+//! - a persisted index is refused by a different model (fingerprint).
+
+use liger::{
+    train_namer, EncBlended, EncState, EncStep, EncTree, EncVar, EncodedProgram, LigerConfig,
+    LigerNamer, ModelBundle, NameSample, OutVocab, TrainConfig, Vocab,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::json::Json;
+use serve::protocol::{index_request, key_from_json, search_request, InferInput};
+use serve::server::{content_hash, serve, Client, ServerConfig};
+use index::{SearchMode, SearchOptions};
+
+/// A small synthetic program whose content is parameterized by `t`.
+fn prog(t: usize) -> EncodedProgram {
+    EncodedProgram::from_traces(vec![EncBlended {
+        steps: vec![
+            EncStep {
+                tree: EncTree {
+                    token: t,
+                    children: vec![EncTree { token: t + 1, children: vec![] }],
+                },
+                states: vec![
+                    EncState { vars: vec![EncVar::Primitive(t + 2)] },
+                    EncState { vars: vec![EncVar::Object(vec![t, t + 1])] },
+                ],
+            },
+            EncStep {
+                tree: EncTree { token: t + 1, children: vec![] },
+                states: vec![EncState { vars: vec![EncVar::Primitive(t)] }],
+            },
+        ],
+    }])
+}
+
+/// Trains a tiny namer over the synthetic programs and packs it.
+fn trained_bundle(seed: u64) -> ModelBundle {
+    let mut vocab = Vocab::new();
+    for i in 0..12 {
+        vocab.add(&format!("tok{i}"));
+    }
+    let mut out = OutVocab::new();
+    for name in ["find", "max", "sum", "item"] {
+        out.add(name);
+    }
+    let cfg = LigerConfig { hidden: 8, attn: 8, ..LigerConfig::default() };
+    let mut store = tensor::ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let namer = LigerNamer::new(&mut store, vocab.len(), out.len(), cfg, &mut rng);
+    let samples: Vec<NameSample> = (1..4)
+        .map(|t| NameSample { program: prog(t), target: vec![3 + (t - 1), liger::EOS] })
+        .collect();
+    train_namer(
+        &namer,
+        &mut store,
+        &samples,
+        &TrainConfig { epochs: 4, lr: 0.02, batch_size: 2 },
+        &mut rng,
+    );
+    ModelBundle::for_namer(cfg, vocab, out, store)
+}
+
+fn encoded(p: &EncodedProgram) -> InferInput {
+    InferInput::Encoded(Box::new(p.clone()))
+}
+
+#[test]
+fn index_then_search_returns_self_at_rank_one() {
+    let bundle = trained_bundle(21);
+    let handle = serve(&bundle, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let programs: Vec<EncodedProgram> = (1..7).map(prog).collect();
+    for (i, p) in programs.iter().enumerate() {
+        let reply = client.call(&index_request(&encoded(p))).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+        assert_eq!(key_from_json(reply.get("key").unwrap()).unwrap(), content_hash(p));
+        assert_eq!(reply.get("outcome").and_then(Json::as_str), Some("inserted"));
+        assert_eq!(reply.get("entries").and_then(Json::as_usize), Some(i + 1));
+    }
+
+    // Re-indexing is dedup, not growth.
+    let reply = client.call(&index_request(&encoded(&programs[0]))).unwrap();
+    assert_eq!(reply.get("outcome").and_then(Json::as_str), Some("unchanged"));
+    assert_eq!(reply.get("entries").and_then(Json::as_usize), Some(programs.len()));
+
+    // Every indexed program finds itself first, essentially exactly.
+    for p in &programs {
+        let opts = SearchOptions { k: 3, ..SearchOptions::default() };
+        let reply = client.call(&search_request(&encoded(p), &opts)).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+        let hits = reply.get("hits").and_then(Json::as_arr).unwrap();
+        assert!(!hits.is_empty());
+        assert_eq!(key_from_json(hits[0].get("key").unwrap()).unwrap(), content_hash(p));
+        let cosine = hits[0].get("cosine").and_then(Json::as_f64).unwrap();
+        assert!(cosine >= 0.999, "self-search cosine {cosine}");
+        assert_eq!(reply.get("searched").and_then(Json::as_usize), Some(programs.len()));
+    }
+
+    // Hybrid mode works over the wire and still finds self first (the
+    // query shares all its tokens with the stored entry).
+    let opts = SearchOptions { k: 3, mode: SearchMode::Hybrid, ..SearchOptions::default() };
+    let reply = client.call(&search_request(&encoded(&programs[2]), &opts)).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+    let hits = reply.get("hits").and_then(Json::as_arr).unwrap();
+    assert_eq!(
+        key_from_json(hits[0].get("key").unwrap()).unwrap(),
+        content_hash(&programs[2])
+    );
+
+    // The `similar` alias answers with defaulted options.
+    let reply = client
+        .call(&Json::obj(vec![
+            ("op", Json::str("similar")),
+            ("program", serve::program_to_json(&programs[1])),
+        ]))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+
+    // The stats block reports the index.
+    let stats = client.call(&Json::obj(vec![("op", Json::str("stats"))])).unwrap();
+    let idx = stats.get("index").expect("stats must carry an index block");
+    assert_eq!(idx.get("entries").and_then(Json::as_usize), Some(programs.len()));
+    assert!(idx.get("bytes").and_then(Json::as_usize).unwrap() > 0);
+    assert!(idx.get("searches").and_then(Json::as_usize).unwrap() >= programs.len());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn degenerate_searches_are_typed_errors_never_panics() {
+    let bundle = trained_bundle(21);
+    let handle = serve(&bundle, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    let p = prog(1);
+
+    // Searching an empty index is a typed error, not a silent empty.
+    let reply = client
+        .call(&search_request(&encoded(&p), &SearchOptions::default()))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false), "reply: {reply}");
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("empty_index"));
+
+    client.call(&index_request(&encoded(&p))).unwrap();
+
+    let cases = [
+        (SearchOptions { k: 0, ..SearchOptions::default() }, "bad_k"),
+        (SearchOptions { min_sim: 2.0, ..SearchOptions::default() }, "bad_min_sim"),
+        (SearchOptions { min_sim: -40.0, ..SearchOptions::default() }, "bad_min_sim"),
+    ];
+    for (opts, kind) in cases {
+        let reply = client.call(&search_request(&encoded(&p), &opts)).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false), "reply: {reply}");
+        assert_eq!(reply.get("kind").and_then(Json::as_str), Some(kind), "reply: {reply}");
+        assert!(reply.get("error").and_then(Json::as_str).is_some());
+    }
+
+    // The connection survives every rejected query.
+    let pong = client.call(&Json::obj(vec![("op", Json::str("ping"))])).unwrap();
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn search_results_survive_save_restart_load_bitwise() {
+    let bundle = trained_bundle(21);
+    let dir = std::env::temp_dir().join(format!("lgri-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("loopback.lgri");
+    let config = || ServerConfig { index_path: Some(path.clone()), ..ServerConfig::default() };
+
+    let programs: Vec<EncodedProgram> = (1..7).map(prog).collect();
+    let opts = SearchOptions { k: 4, ..SearchOptions::default() };
+
+    // First life: index everything, record every search reply.
+    let first: Vec<String> = {
+        let handle = serve(&bundle, config()).unwrap();
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        for p in &programs {
+            let reply = client.call(&index_request(&encoded(p))).unwrap();
+            assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+        }
+        let replies = programs
+            .iter()
+            .map(|p| client.call(&search_request(&encoded(p), &opts)).unwrap().to_string())
+            .collect();
+        handle.shutdown();
+        handle.join(); // persists the index
+        replies
+    };
+    assert!(path.exists(), "join must write the index file");
+
+    // Second life: same model, loaded index, identical replies.
+    {
+        let handle = serve(&bundle, config()).unwrap();
+        let mut client = Client::connect(handle.local_addr()).unwrap();
+        let stats = client.call(&Json::obj(vec![("op", Json::str("stats"))])).unwrap();
+        assert_eq!(
+            stats.get("index").and_then(|i| i.get("entries")).and_then(Json::as_usize),
+            Some(programs.len()),
+            "loaded index lost entries"
+        );
+        for (p, expected) in programs.iter().zip(&first) {
+            let reply = client.call(&search_request(&encoded(p), &opts)).unwrap();
+            assert_eq!(&reply.to_string(), expected, "search diverged across restart");
+        }
+        handle.shutdown();
+        handle.join();
+    }
+
+    // A different model refuses the persisted index outright.
+    let other = trained_bundle(99);
+    let err = match serve(&other, config()) {
+        Err(e) => e,
+        Ok(handle) => {
+            handle.shutdown();
+            handle.join();
+            panic!("a mismatched model must refuse the persisted index");
+        }
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("fingerprint_mismatch"), "err: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    // Each case spins up three real servers; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// The determinism contract: for a random corpus and random
+    /// queries, the full search replies (hit keys, cosines, scores,
+    /// bookkeeping) are byte-identical whether the server runs 1, 2, or
+    /// 4 shards — insertion interleaving across shard threads must
+    /// never leak into results.
+    #[test]
+    fn search_rankings_are_identical_across_shard_counts(
+        token_sets in proptest::collection::vec(
+            proptest::collection::vec(0usize..12, 1..=5),
+            2..=8,
+        ),
+        query_tokens in proptest::collection::vec(0usize..12, 1..=5),
+        hybrid in proptest::sample::select(vec![false, true]),
+    ) {
+        fn prog_from(tokens: &[usize]) -> EncodedProgram {
+            EncodedProgram::from_traces(vec![EncBlended {
+                steps: tokens
+                    .iter()
+                    .map(|&t| EncStep {
+                        tree: EncTree { token: t, children: vec![] },
+                        states: vec![EncState { vars: vec![EncVar::Primitive(t)] }],
+                    })
+                    .collect(),
+            }])
+        }
+        let bundle = trained_bundle(21);
+        let corpus: Vec<EncodedProgram> = token_sets.iter().map(|t| prog_from(t)).collect();
+        let query = prog_from(&query_tokens);
+        let opts = SearchOptions {
+            k: 5,
+            mode: if hybrid { SearchMode::Hybrid } else { SearchMode::Cosine },
+            ..SearchOptions::default()
+        };
+
+        let mut views: Vec<String> = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let handle = serve(
+                &bundle,
+                ServerConfig { shards, batch_max: 4, batch_timeout_ms: 2, ..ServerConfig::default() },
+            )
+            .unwrap();
+            let mut client = Client::connect(handle.local_addr()).unwrap();
+            // Pipeline every insert so multi-shard runs actually
+            // interleave their index writes.
+            for p in &corpus {
+                client.send(&index_request(&encoded(p))).unwrap();
+            }
+            for _ in &corpus {
+                let reply = client.recv().unwrap();
+                prop_assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+            }
+            let reply = client.call(&search_request(&encoded(&query), &opts)).unwrap();
+            prop_assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+            views.push(reply.to_string());
+            handle.shutdown();
+            handle.join();
+        }
+        prop_assert_eq!(&views[0], &views[1], "1 vs 2 shards diverged");
+        prop_assert_eq!(&views[0], &views[2], "1 vs 4 shards diverged");
+    }
+}

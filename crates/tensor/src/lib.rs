@@ -52,4 +52,4 @@ pub use serialize::{
     text_to_binary, CheckpointError, LoadError,
 };
 pub use store::{Param, ParamGrads, ParamId, ParamStore};
-pub use tensor::{f16_bits_to_f32, f32_to_f16_bits, gemm_batch, QuantMat, Tensor};
+pub use tensor::{cosine_scores, f16_bits_to_f32, f32_to_f16_bits, gemm_batch, QuantMat, Tensor};

@@ -444,6 +444,32 @@ pub fn gemm_batch(
     }
 }
 
+/// The embedding-index search kernel: similarity scores of `k` query
+/// vectors against a packed corpus matrix, batch-major over the stored
+/// rows. `out[j * rows + r]` is the dot product of query `j` with corpus
+/// row `r` — the cosine similarity when both sides are L2-normalized
+/// (the `EmbeddingStore` invariant).
+///
+/// This is a thin entry point over [`gemm_batch`] with no bias, so
+/// search rides the same 4-row weight-panel streaming the fused encoder
+/// kernels use: each score is one independent dot product, making the
+/// result bitwise independent of corpus row order and batch shape.
+///
+/// # Panics
+///
+/// Panics on mismatched slice lengths (programming errors, not data
+/// errors — callers validate dimensions before reaching the kernel).
+pub fn cosine_scores(
+    matrix: &[f32],
+    rows: usize,
+    dim: usize,
+    queries: &[f32],
+    k: usize,
+    out: &mut [f32],
+) {
+    gemm_batch(matrix, rows, dim, queries, k, None, out);
+}
+
 /// An int8-quantized matrix with per-row absmax scales: the storage and
 /// inference format behind the `--quantize` checkpoint extension.
 ///
@@ -658,6 +684,24 @@ impl fmt::Display for Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cosine_scores_are_per_row_dot_products() {
+        // 3 corpus rows × dim 2, 2 queries; all hand-checkable.
+        let matrix = [1.0, 0.0, 0.0, 1.0, 0.6, 0.8];
+        let queries = [1.0, 0.0, 0.0, -1.0];
+        let mut out = [0.0f32; 6];
+        cosine_scores(&matrix, 3, 2, &queries, 2, &mut out);
+        assert_eq!(&out[..3], &[1.0, 0.0, 0.6]);
+        assert_eq!(&out[3..], &[0.0, -1.0, -0.8]);
+        // Row order must not change any individual score (no cross-row
+        // accumulation) — swap rows 0 and 2 and compare.
+        let swapped = [0.6, 0.8, 0.0, 1.0, 1.0, 0.0];
+        let mut out2 = [0.0f32; 6];
+        cosine_scores(&swapped, 3, 2, &queries, 2, &mut out2);
+        assert_eq!(out[0].to_bits(), out2[2].to_bits());
+        assert_eq!(out[2].to_bits(), out2[0].to_bits());
+    }
 
     #[test]
     fn matvec_matches_manual() {

@@ -7,8 +7,9 @@
 #   * throughput_serve (1/2/4/8 pipelining clients) -> BENCH_serve.json
 #   * throughput_analysis (lint/facts throughput + symexec pruning) -> BENCH_analysis.json
 #   * throughput_obs (disabled/enabled span-tracing overhead) -> BENCH_obs.json
+#   * throughput_index (insert rate, exact-vs-ANN search p99, recall@10) -> BENCH_index.json
 #
-# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json] [obs_out.json] [kernels_out.json]
+# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json] [obs_out.json] [kernels_out.json] [index_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +19,7 @@ srv_out="${3:-BENCH_serve.json}"
 ana_out="${4:-BENCH_analysis.json}"
 obs_out="${5:-BENCH_obs.json}"
 ker_out="${6:-BENCH_kernels.json}"
+idx_out="${7:-BENCH_index.json}"
 
 # ---- parallel minibatch throughput --------------------------------------
 bench_out=$(cargo bench -p bench --bench throughput_parallel 2>&1)
@@ -287,3 +289,52 @@ fi
 } > "$obs_out"
 
 echo "wrote $obs_out"
+
+# ---- embedding-index throughput (insert rate, exact vs ANN, recall) -----
+idx_bench_out=$(cargo bench -p bench --bench throughput_index 2>&1)
+echo "$idx_bench_out"
+
+idx_json=$(echo "$idx_bench_out" | grep '^INDEX' | awk '
+{
+    delete kv
+    for (i = 2; i <= NF; i++) { split($i, p, "="); kv[p[1]] = p[2] }
+    if (kv["mode"] == "insert") {
+        insert = sprintf("  \"insert\": {\"entries\": %s, \"dim\": %s, \"seconds\": %s, \"inserts_per_sec\": %s, \"bytes\": %s},",
+            kv["entries"], kv["dim"], kv["secs"], kv["inserts_per_sec"], kv["bytes"])
+        next
+    }
+    if (kv["mode"] == "summary") {
+        summary = sprintf("  \"p99_budget_us\": %s,\n  \"recall_at_10\": %s,\n  \"recall_gate\": %s,\n  \"ann_speedup_p50\": %s,\n  \"pass\": %s",
+            kv["p99_budget_us"], kv["recall_at_10"], kv["recall_gate"], kv["ann_speedup_p50"], kv["pass"])
+        next
+    }
+    if (nsearch++ > 0) search = search ",\n"
+    recall = (kv["recall_at_10"] != "") ? sprintf(", \"recall_at_10\": %s", kv["recall_at_10"]) : ""
+    search = search sprintf("    {\"searcher\": \"%s\", \"entries\": %s, \"queries\": %s, \"k\": %s, \"seconds\": %s, \"p50_us\": %s, \"p99_us\": %s%s}",
+        kv["searcher"], kv["entries"], kv["queries"], kv["k"], kv["secs"],
+        kv["p50_us"], kv["p99_us"], recall)
+}
+END {
+    if (insert == "" || nsearch == 0 || summary == "") exit 1
+    print insert
+    print "  \"search\": ["
+    print search
+    print "  ],"
+    print summary
+}')
+
+if [ -z "$idx_json" ]; then
+    echo "error: no INDEX lines in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput_index",'
+    echo '  "workload": "persistent embedding index (LGRI1): 10k random 24-dim vectors; insert rate, exact brute-force vs HNSW-graph top-10 search latency (p99 < 100ms asserted in-bench), ANN recall@10 vs exact (>= 0.95 asserted in-bench)",'
+    printf '%s\n' "$idx_json"
+    echo '}'
+} > "$idx_out.tmp"
+mv "$idx_out.tmp" "$idx_out"
+
+echo "wrote $idx_out"

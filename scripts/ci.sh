@@ -14,6 +14,11 @@
 # (--quantize: int8 prediction must match f32, cosine >= 0.99), and the
 # kernel bench whose in-bench GFLOP/s floor fails on a SIMD/
 # autovectorization regression.
+# PR 8 adds: the semantic code-search smoke gate (index the rendered
+# datagen corpus through a persistent demo server, assert every template
+# finds itself at rank 1, restart the server on the saved LGRI1 file and
+# assert a second query round still does) and the index bench smoke whose
+# in-bench asserts gate ANN recall@10 >= 0.95 and search p99 < 100ms.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -90,6 +95,66 @@ trap 'rm -f "$serve_log"' EXIT
 grep -q 'stopped after' "$serve_log"
 echo "liger-serve smoke test passed"
 
+# ---- semantic code-search smoke gate ------------------------------------
+# Index the rendered datagen corpus through a demo server with a
+# persistent index, assert every template finds itself at rank 1, then
+# restart the server on the saved LGRI1 file and assert a second query
+# round still does (save -> restart -> load must not change results).
+idx_dir=$(mktemp -d)
+trap 'kill "${idx_pid:-0}" 2>/dev/null || true; rm -rf "$idx_dir"; rm -f "$serve_log"' EXIT
+target/release/render-templates "$idx_dir" >/dev/null
+start_index_server() {
+    "$serve_bin" --demo --addr 127.0.0.1:0 --threads 2 \
+        --index-path "$idx_dir/corpus.lgri" > "$idx_dir/serve.log" 2>&1 &
+    idx_pid=$!
+    idx_addr=""
+    for _ in $(seq 1 600); do
+        idx_addr=$(sed -n 's/^liger-serve listening on //p' "$idx_dir/serve.log")
+        [ -n "$idx_addr" ] && break
+        if ! kill -0 "$idx_pid" 2>/dev/null; then
+            echo "error: index smoke server exited before listening" >&2
+            cat "$idx_dir/serve.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$idx_addr" ]; then
+        echo "error: index smoke server never started listening" >&2
+        exit 1
+    fi
+}
+self_query_round() {
+    local round=$1
+    while read -r key _outcome file; do
+        rank1=$("$serve_bin" search "$idx_addr" "$file" --k 1 | head -1 | awk '{print $2}')
+        if [ "$rank1" != "$key" ]; then
+            echo "error: $round: $file expected rank-1 key $key, got ${rank1:-nothing}" >&2
+            exit 1
+        fi
+    done < "$idx_dir/keys.txt"
+}
+start_index_server
+"$serve_bin" index "$idx_addr" "$idx_dir"/*.ml > "$idx_dir/keys.txt"
+distinct=$(awk '{print $1}' "$idx_dir/keys.txt" | sort -u | wc -l)
+self_query_round "first round"
+"$serve_bin" query "$idx_addr" '{"op":"shutdown"}' >/dev/null
+wait "$idx_pid"
+[ -f "$idx_dir/corpus.lgri" ] || { echo "error: index was not persisted on shutdown" >&2; exit 1; }
+
+start_index_server
+entries=$("$serve_bin" query "$idx_addr" '{"op":"stats"}' \
+    | sed -n 's/.*"index":{"entries":\([0-9]*\).*/\1/p')
+if [ "$entries" != "$distinct" ]; then
+    echo "error: reloaded index has $entries entries, expected $distinct" >&2
+    exit 1
+fi
+self_query_round "after reload"
+"$serve_bin" query "$idx_addr" '{"op":"shutdown"}' >/dev/null
+wait "$idx_pid"
+rm -rf "$idx_dir"
+trap 'rm -f "$serve_log"' EXIT
+echo "semantic code-search smoke gate passed ($distinct distinct programs, rank-1 self-hits across restart)"
+
 # ---- profiled quickstart + trace validation -----------------------------
 # A profiled run must produce a chrome-trace file the in-tree JSON codec
 # accepts, with the root span covering >=90% of the recorded wall time.
@@ -121,3 +186,9 @@ cargo bench -p bench --bench throughput_obs
 # Asserts in-bench that gemm_batch clears the autovectorization GFLOP/s
 # floor and the f32 batch-major encoder clears 5x the PR 2 baseline.
 cargo bench -p bench --bench throughput_kernels
+
+# ---- embedding-index smoke gate -----------------------------------------
+# A scaled-down corpus still past a lowered ANN activation threshold;
+# asserts in-bench that graph search hits recall@10 >= 0.95 against the
+# exact ranking and stays under the 100ms p99 budget.
+cargo bench -p bench --bench throughput_index -- --smoke
