@@ -19,6 +19,9 @@ Lints MiniLang sources; reads stdin when no FILE is given.
 options:
   --deny-warnings   exit non-zero on any diagnostic, not just fatal ones
   --fatal-only      print only fatal diagnostics
+  --canon           canonicalize each source first: assert the rewrite
+                    fixpoint is idempotent, lint the canonical form, and
+                    print one `canon <hash> <file>` line per source
   --quiet           suppress the per-run summary line
   --metrics         print the global metrics table (lint.* counters) to
                     stderr after the run
@@ -27,6 +30,7 @@ options:
 struct Options {
     deny_warnings: bool,
     fatal_only: bool,
+    canon: bool,
     quiet: bool,
     metrics: bool,
     files: Vec<String>,
@@ -36,6 +40,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         deny_warnings: false,
         fatal_only: false,
+        canon: false,
         quiet: false,
         metrics: false,
         files: Vec::new(),
@@ -44,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
             "--fatal-only" => opts.fatal_only = true,
+            "--canon" => opts.canon = true,
             "--quiet" => opts.quiet = true,
             "--metrics" => opts.metrics = true,
             "-h" | "--help" => return Err(USAGE.to_string()),
@@ -57,8 +63,19 @@ fn parse_args() -> Result<Options, String> {
 /// Lints one source; returns (diagnostics printed, fatal seen) or an
 /// error message for parse/typecheck failures.
 fn lint_source(label: &str, src: &str, opts: &Options) -> Result<(usize, bool), String> {
-    let program = minilang::parse(src).map_err(|e| format!("{label}: parse error: {e}"))?;
+    let mut program = minilang::parse(src).map_err(|e| format!("{label}: parse error: {e}"))?;
     minilang::typecheck(&program).map_err(|e| format!("{label}: type error: {e}"))?;
+    if opts.canon {
+        let once = analysis::canonicalize(&program);
+        let twice = analysis::canonicalize(&once.program);
+        if once.program != twice.program || once.hash != twice.hash {
+            return Err(format!("{label}: canonicalization is not idempotent"));
+        }
+        minilang::typecheck(&once.program)
+            .map_err(|e| format!("{label}: canonical form fails to typecheck: {e}"))?;
+        println!("canon {:016x} {label}", once.hash);
+        program = once.program;
+    }
     let report = lint::run(&program);
     let mut printed = 0;
     for d in &report.diagnostics {

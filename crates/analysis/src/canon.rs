@@ -1,0 +1,1193 @@
+//! The analysis-driven program canonicalizer.
+//!
+//! [`canonicalize`] rewrites a (typechecked, id-assigned) MiniLang
+//! program into a canonical form that is observationally equivalent on
+//! the concrete interpreter — same return value or same runtime error
+//! for every input — while collapsing the syntactic degrees of freedom
+//! the datagen variation engine exercises: loop style (`for` vs
+//! `while`), compound-assignment sugar, `i < n` vs `i <= n - 1`
+//! comparisons, `x += x` vs `x *= 2`, identifier choice, dead
+//! distractor code, and statically decided guards. Two programs that
+//! are syntactic variants of one another therefore share a
+//! [`CanonProgram::hash`], which the memo cache, the serve router, and
+//! the embedding index use as a *semantic* key tier.
+//!
+//! # The rewrite catalogue
+//!
+//! Pass 0 alpha-uniquifies every binding (scope-aware), so later passes
+//! can hoist and merge scopes without capture. The fixpoint loop then
+//! re-runs the full dataflow stack ([`Analyzed::of`]) each round and
+//! applies, innermost-first:
+//!
+//! 1. **Compound-assign desugaring** — `x op= e` → `x = x op e`
+//!    (always for variable targets; for array targets `a[i] op= e`
+//!    only when `i` and `e` are [`total`], since the desugared form
+//!    evaluates `i` twice and reads `a[i]` before `e`, which must not
+//!    change which fault surfaces).
+//! 2. **Constant folding** — an expression whose [`ConstProp`] value is
+//!    a known int/bool/str constant *and* which is [`total`]
+//!    (syntactically incapable of faulting) folds to the literal. The
+//!    totality side-condition is what keeps folding sound: constprop
+//!    facts are conditioned on the expression producing a value, so a
+//!    possibly-faulting expression must stay.
+//! 3. **Decided-guard elimination** — a guard the interval/constprop
+//!    stack decides (and whose condition is total) disappears: an `if`
+//!    inlines its taken branch, a false `while` vanishes, a false `for`
+//!    leaves only its initializer.
+//! 4. **Dead-statement elimination** — liveness-dead assignments with
+//!    total right-hand sides, self-assignments, statements after a
+//!    `return`/`break`/`continue`, and empty `if`/`else` arms.
+//! 5. **Comparison normalization** — `a > b` → `b < a`, `a >= b` →
+//!    `b <= a` (both operands total, so the operand-order swap cannot
+//!    reorder faults), and `a <= b - 1` → `a < b` when the interval of
+//!    `b` proves `b - 1` cannot underflow.
+//! 6. **Commutative normalization** — operands of `*`, `==`, `!=`, and
+//!    integer `+` are sorted by a total structural order when both are
+//!    total; `x + x` → `x * 2` (identical overflow behavior).
+//! 7. **For→while desugaring** — `for (init; c; u) B` →
+//!    `init; while (c) { B; u }` when `B` has no direct `continue`
+//!    (which would skip `u`).
+//!
+//! Every rewrite either shrinks the AST or strictly reduces a bounded
+//! measure (compound assigns, `>`/`>=` operators, unsorted commutative
+//! pairs, `for` loops), so the fixpoint terminates; `MAX_ROUNDS` is a
+//! belt-and-braces cap. A final pass renames bindings in definition
+//! order (`p0..` for params, `v0..` for locals), erases the function
+//! name and line numbers, and reassigns statement ids — after which
+//! [`canon_hash`] is a pure function of program semantics-relevant
+//! structure. Idempotence (`canon(canon(p)) == canon(p)`) and
+//! differential equivalence are property-tested in
+//! `tests/analysis_properties.rs` and gated over the full template
+//! corpus in CI.
+
+use crate::facts::Analyzed;
+use interp::Value;
+use minilang::{
+    AssignOp, BinOp, Block, Builtin, Expr, ExprKind, LValue, Program, Stmt, StmtId, StmtKind, Type,
+    UnOp,
+};
+use std::collections::HashMap;
+
+/// Upper bound on fixpoint rounds; each round re-runs the dataflow
+/// stack, and every enabled rewrite strictly decreases a bounded
+/// measure, so real programs converge in a handful of rounds.
+const MAX_ROUNDS: usize = 16;
+
+/// A canonicalized program plus its stable semantic key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonProgram {
+    /// The canonical form: ids assigned, lines zeroed, bindings renamed
+    /// in definition order, function name erased to `f`.
+    pub program: Program,
+    /// FNV-1a structural hash of the canonical form — the semantic key
+    /// tier used by the memo cache, serve router, and embedding index.
+    pub hash: u64,
+    /// How many individual rewrites fired (also on `canon.rewrites`).
+    pub rewrites: u64,
+    /// How many fixpoint rounds ran before convergence.
+    pub rounds: u32,
+}
+
+/// Canonicalizes `program` (which must be typechecked with ids
+/// assigned) and hashes the result. The input is not modified.
+pub fn canonicalize(program: &Program) -> CanonProgram {
+    let _span = obs::span!("analysis.canon");
+    obs::counter!("canon.programs").inc();
+    let mut p = program.clone();
+    let mut rewrites = 0u64;
+
+    alpha_uniquify(&mut p);
+    p.assign_ids();
+
+    let mut rounds = 0u32;
+    for _ in 0..MAX_ROUNDS {
+        rounds += 1;
+        let fired = run_round(&mut p);
+        rewrites += fired;
+        if fired == 0 {
+            break;
+        }
+        p.assign_ids();
+    }
+
+    rename_def_order(&mut p);
+    p.function.name = "f".to_string();
+    zero_lines(&mut p.function.body);
+    p.assign_ids();
+
+    obs::counter!("canon.rewrites").add(rewrites);
+    let hash = canon_hash(&p);
+    CanonProgram { program: p, hash, rewrites, rounds }
+}
+
+/// One fixpoint round: analyze, then apply every enabled rewrite once.
+/// Returns the number of rewrites that fired.
+fn run_round(p: &mut Program) -> u64 {
+    let analyzed = Analyzed::of(p);
+    let mut rw = Rewriter::new(&analyzed);
+    let mut body = p.function.body.clone();
+    rw.rewrite_block(&mut body);
+    let fired = rw.fired;
+    if fired > 0 {
+        p.function.body = body;
+    }
+    fired
+}
+
+// ---------------------------------------------------------------------------
+// Totality: syntactic proof that an expression cannot fault.
+// ---------------------------------------------------------------------------
+
+/// True when evaluating `e` can never produce a runtime error, for any
+/// well-typed environment: no checked arithmetic, no indexing, no
+/// partial builtins. Total expressions may be folded to their constant
+/// value, reordered, or deleted without changing observable behavior.
+pub fn total(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) | ExprKind::Var(_) => true,
+        ExprKind::Unary(UnOp::Not, a) => total(a),
+        // `-e` overflows only at i64::MIN; a literal proves the range.
+        ExprKind::Unary(UnOp::Neg, a) => matches!(a.kind, ExprKind::IntLit(v) if v != i64::MIN),
+        ExprKind::Binary(op, a, b) => match op {
+            // Comparisons and short-circuit logic never fault; checked
+            // arithmetic can overflow (or concat — which is total, but
+            // indistinguishable from int `+` without types).
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                total(a) && total(b)
+            }
+            BinOp::And | BinOp::Or => total(a) && total(b),
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => false,
+        },
+        ExprKind::Index(..) => false,
+        ExprKind::Call(b, args) => match b {
+            Builtin::Len | Builtin::Min | Builtin::Max | Builtin::Push => args.iter().all(total),
+            // `abs(i64::MIN)` overflows; substring/newArray/charToStr
+            // have partial domains.
+            Builtin::Abs | Builtin::Substring | Builtin::NewArray | Builtin::CharToStr => false,
+        },
+        ExprKind::ArrayLit(elems) => elems.iter().all(total),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Total structural order on expressions (commutative normalization).
+// ---------------------------------------------------------------------------
+
+fn expr_rank(e: &ExprKind) -> u8 {
+    match e {
+        ExprKind::IntLit(_) => 0,
+        ExprKind::BoolLit(_) => 1,
+        ExprKind::StrLit(_) => 2,
+        ExprKind::Var(_) => 3,
+        ExprKind::Unary(..) => 4,
+        ExprKind::Binary(..) => 5,
+        ExprKind::Index(..) => 6,
+        ExprKind::Call(..) => 7,
+        ExprKind::ArrayLit(_) => 8,
+    }
+}
+
+/// A total, deterministic order on expressions: rank first, then
+/// contents lexicographically. Used to sort commutative operands.
+pub fn cmp_expr(a: &Expr, b: &Expr) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    let r = expr_rank(&a.kind).cmp(&expr_rank(&b.kind));
+    if r != Ordering::Equal {
+        return r;
+    }
+    match (&a.kind, &b.kind) {
+        (ExprKind::IntLit(x), ExprKind::IntLit(y)) => x.cmp(y),
+        (ExprKind::BoolLit(x), ExprKind::BoolLit(y)) => x.cmp(y),
+        (ExprKind::StrLit(x), ExprKind::StrLit(y)) => x.cmp(y),
+        (ExprKind::Var(x), ExprKind::Var(y)) => x.cmp(y),
+        (ExprKind::Unary(xo, xa), ExprKind::Unary(yo, ya)) => {
+            (*xo as u8).cmp(&(*yo as u8)).then_with(|| cmp_expr(xa, ya))
+        }
+        (ExprKind::Binary(xo, xa, xb), ExprKind::Binary(yo, ya, yb)) => (*xo as u8)
+            .cmp(&(*yo as u8))
+            .then_with(|| cmp_expr(xa, ya))
+            .then_with(|| cmp_expr(xb, yb)),
+        (ExprKind::Index(xa, xb), ExprKind::Index(ya, yb)) => {
+            cmp_expr(xa, ya).then_with(|| cmp_expr(xb, yb))
+        }
+        (ExprKind::Call(xb, xs), ExprKind::Call(yb, ys)) => (*xb as u8)
+            .cmp(&(*yb as u8))
+            .then_with(|| cmp_expr_list(xs, ys)),
+        (ExprKind::ArrayLit(xs), ExprKind::ArrayLit(ys)) => cmp_expr_list(xs, ys),
+        _ => Ordering::Equal,
+    }
+}
+
+fn cmp_expr_list(xs: &[Expr], ys: &[Expr]) -> std::cmp::Ordering {
+    xs.len()
+        .cmp(&ys.len())
+        .then_with(|| xs.iter().zip(ys).map(|(x, y)| cmp_expr(x, y)).find(|o| o.is_ne()).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// Syntactic evidence that an expression is `int`-typed regardless of
+/// the environment — needed before reordering `+`, whose string
+/// overload (concatenation) is not commutative.
+fn definitely_int(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::IntLit(_) => true,
+        ExprKind::Unary(UnOp::Neg, _) => true,
+        ExprKind::Binary(op, ..) => matches!(
+            op,
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        ),
+        ExprKind::Call(b, _) => matches!(
+            b,
+            Builtin::Len | Builtin::Abs | Builtin::Min | Builtin::Max
+        ),
+        // `a[i]` yields int for both arrays and strings.
+        ExprKind::Index(..) => true,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 0: scope-aware alpha-uniquification.
+// ---------------------------------------------------------------------------
+
+/// Renames every binding to a globally unique `__u{k}` placeholder,
+/// honoring MiniLang's nested-scope shadowing rules (for-headers open
+/// their own scope). After this, hoisting a `for` initializer or
+/// inlining a branch can never capture a name.
+fn alpha_uniquify(p: &mut Program) {
+    let mut next = 0usize;
+    let mut scopes: Vec<HashMap<String, String>> = vec![HashMap::new()];
+    for q in &mut p.function.params {
+        let new = format!("__u{next}");
+        next += 1;
+        scopes[0].insert(std::mem::replace(&mut q.name, new.clone()), new);
+    }
+    uniq_block(&mut p.function.body, &mut scopes, &mut next);
+}
+
+fn resolve(name: &str, scopes: &[HashMap<String, String>]) -> String {
+    for scope in scopes.iter().rev() {
+        if let Some(n) = scope.get(name) {
+            return n.clone();
+        }
+    }
+    name.to_string()
+}
+
+fn uniq_block(b: &mut Block, scopes: &mut Vec<HashMap<String, String>>, next: &mut usize) {
+    scopes.push(HashMap::new());
+    for s in &mut b.stmts {
+        uniq_stmt(s, scopes, next);
+    }
+    scopes.pop();
+}
+
+fn uniq_stmt(s: &mut Stmt, scopes: &mut Vec<HashMap<String, String>>, next: &mut usize) {
+    match &mut s.kind {
+        StmtKind::Let { name, init, .. } => {
+            uniq_expr(init, scopes);
+            let new = format!("__u{next}");
+            *next += 1;
+            scopes
+                .last_mut()
+                .expect("scope stack never empty")
+                .insert(std::mem::take(name), new.clone());
+            *name = new;
+        }
+        StmtKind::Assign { target, value, .. } => {
+            uniq_expr(value, scopes);
+            match target {
+                LValue::Var(n) => *n = resolve(n, scopes),
+                LValue::Index(n, idx) => {
+                    uniq_expr(idx, scopes);
+                    *n = resolve(n, scopes);
+                }
+            }
+        }
+        StmtKind::If { cond, then_block, else_block } => {
+            uniq_expr(cond, scopes);
+            uniq_block(then_block, scopes, next);
+            if let Some(e) = else_block {
+                uniq_block(e, scopes, next);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            uniq_expr(cond, scopes);
+            uniq_block(body, scopes, next);
+        }
+        StmtKind::For { init, cond, update, body } => {
+            // The for-header is its own scope wrapping init/cond/update
+            // and the body.
+            scopes.push(HashMap::new());
+            uniq_stmt(init, scopes, next);
+            uniq_expr(cond, scopes);
+            uniq_stmt(update, scopes, next);
+            uniq_block(body, scopes, next);
+            scopes.pop();
+        }
+        StmtKind::Return(Some(e)) => uniq_expr(e, scopes),
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+fn uniq_expr(e: &mut Expr, scopes: &[HashMap<String, String>]) {
+    match &mut e.kind {
+        ExprKind::Var(n) => *n = resolve(n, scopes),
+        ExprKind::Unary(_, a) => uniq_expr(a, scopes),
+        ExprKind::Binary(_, a, b) => {
+            uniq_expr(a, scopes);
+            uniq_expr(b, scopes);
+        }
+        ExprKind::Index(a, b) => {
+            uniq_expr(a, scopes);
+            uniq_expr(b, scopes);
+        }
+        ExprKind::Call(_, args) => args.iter_mut().for_each(|a| uniq_expr(a, scopes)),
+        ExprKind::ArrayLit(elems) => elems.iter_mut().for_each(|a| uniq_expr(a, scopes)),
+        ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-round rewriter.
+// ---------------------------------------------------------------------------
+
+struct Rewriter<'a, 'p> {
+    a: &'a Analyzed<'p>,
+    /// Count of assignments per name across the whole program — a `let`
+    /// is only removable when nothing writes the name later.
+    writes: HashMap<String, usize>,
+    fired: u64,
+}
+
+impl<'a, 'p> Rewriter<'a, 'p> {
+    fn new(a: &'a Analyzed<'p>) -> Rewriter<'a, 'p> {
+        let mut writes: HashMap<String, usize> = HashMap::new();
+        for s in a.program.statements() {
+            if let StmtKind::Assign { target: LValue::Var(n) | LValue::Index(n, _), .. } = &s.kind {
+                *writes.entry(n.clone()).or_insert(0) += 1;
+            }
+        }
+        Rewriter { a, writes, fired: 0 }
+    }
+
+    fn hit(&mut self) {
+        self.fired += 1;
+    }
+
+    /// Whether `name` is live after `id` (conservatively live when the
+    /// statement has no liveness fact, e.g. freshly synthesized nodes).
+    fn live_after(&self, id: StmtId, name: &str) -> bool {
+        match (self.a.live_facts.get(&id), self.a.universe.slot(name)) {
+            (Some((_, after)), Some(slot)) => after.contains(slot),
+            _ => true,
+        }
+    }
+
+    /// Folds `e` to a literal when constprop pins its value *and* the
+    /// expression is total; otherwise recurses into subexpressions.
+    fn fold_expr(&mut self, e: &mut Expr, id: StmtId) {
+        if let Some((before, _)) = self.a.const_facts.get(&id) {
+            if total(e) && !matches!(e.kind, ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_)) {
+                let cp = crate::constprop::ConstProp::new(&self.a.universe);
+                if let Some(v) = cp.eval(e, before).as_const() {
+                    let lit = match v {
+                        Value::Int(n) => Some(ExprKind::IntLit(*n)),
+                        Value::Bool(b) => Some(ExprKind::BoolLit(*b)),
+                        Value::Str(s) => Some(ExprKind::StrLit(s.clone())),
+                        _ => None,
+                    };
+                    if let Some(kind) = lit {
+                        e.kind = kind;
+                        self.hit();
+                        return;
+                    }
+                }
+            }
+        }
+        match &mut e.kind {
+            ExprKind::Unary(_, a) => self.fold_expr(a, id),
+            ExprKind::Binary(_, a, b) => {
+                self.fold_expr(a, id);
+                self.fold_expr(b, id);
+            }
+            ExprKind::Index(a, b) => {
+                self.fold_expr(a, id);
+                self.fold_expr(b, id);
+            }
+            ExprKind::Call(_, args) => args.iter_mut().for_each(|a| self.fold_expr(a, id)),
+            ExprKind::ArrayLit(elems) => elems.iter_mut().for_each(|a| self.fold_expr(a, id)),
+            _ => {}
+        }
+    }
+
+    /// Structural expression normalization: comparison direction,
+    /// commutative operand order, `x + x` → `x * 2`, `!!e` → `e`, and
+    /// `a <= b - 1` → `a < b` under interval evidence (via `id`).
+    fn normalize_expr(&mut self, e: &mut Expr, id: StmtId) {
+        // Children first, so parent-level normalization sees canonical
+        // operands.
+        match &mut e.kind {
+            ExprKind::Unary(_, a) => self.normalize_expr(a, id),
+            ExprKind::Binary(_, a, b) => {
+                self.normalize_expr(a, id);
+                self.normalize_expr(b, id);
+            }
+            ExprKind::Index(a, b) => {
+                self.normalize_expr(a, id);
+                self.normalize_expr(b, id);
+            }
+            ExprKind::Call(_, args) => args.iter_mut().for_each(|a| self.normalize_expr(a, id)),
+            ExprKind::ArrayLit(elems) => elems.iter_mut().for_each(|a| self.normalize_expr(a, id)),
+            _ => {}
+        }
+
+        // `!!e` → `e`.
+        if let ExprKind::Unary(UnOp::Not, inner) = &e.kind {
+            if let ExprKind::Unary(UnOp::Not, innermost) = &inner.kind {
+                e.kind = innermost.kind.clone();
+                self.hit();
+            }
+        }
+
+        if let ExprKind::Binary(op, a, b) = &mut e.kind {
+            // `a > b` → `b < a`, `a >= b` → `b <= a`: the swap reorders
+            // operand evaluation, so both sides must be fault-free.
+            if matches!(op, BinOp::Gt | BinOp::Ge) && total(a) && total(b) {
+                *op = if *op == BinOp::Gt { BinOp::Lt } else { BinOp::Le };
+                std::mem::swap(a, b);
+                self.hit();
+            }
+
+            // `a <= b - 1` → `a < b` when the interval of `b` proves
+            // `b - 1` cannot overflow (soundness: if `b` produces a
+            // value at all, it exceeds i64::MIN, so the subtraction in
+            // the original always succeeds and both forms agree).
+            if *op == BinOp::Le {
+                let cannot_underflow = match &b.kind {
+                    ExprKind::Binary(BinOp::Sub, bb, one)
+                        if matches!(one.kind, ExprKind::IntLit(1)) =>
+                    {
+                        self.a.interval_facts.get(&id).is_some_and(|(before, _)| {
+                            let ia = crate::interval::IntervalAnalysis::new(&self.a.universe);
+                            ia.eval(bb, before)
+                                .as_int()
+                                .is_some_and(|iv| iv.lo > i64::MIN)
+                        })
+                    }
+                    _ => false,
+                };
+                if cannot_underflow {
+                    let ExprKind::Binary(BinOp::Sub, bb, _) = &b.kind else { unreachable!() };
+                    *op = BinOp::Lt;
+                    *b = bb.clone();
+                    self.hit();
+                }
+            }
+
+            // `x + x` → `x * 2` (same overflow set: 2x overflows iff
+            // x + x does).
+            if *op == BinOp::Add {
+                if let (ExprKind::Var(x), ExprKind::Var(y)) = (&a.kind, &b.kind) {
+                    if x == y && definitely_int_var(self.a, x) {
+                        *op = BinOp::Mul;
+                        b.kind = ExprKind::IntLit(2);
+                        self.hit();
+                    }
+                }
+            }
+
+            // Commutative operand ordering. `+` only with syntactic
+            // int evidence (string `+` is concatenation); the swap
+            // reorders evaluation, so both operands must be total.
+            let commutative = match op {
+                BinOp::Mul | BinOp::Eq | BinOp::Ne => true,
+                BinOp::Add => definitely_int(a) || definitely_int(b),
+                _ => false,
+            };
+            if commutative
+                && total(a)
+                && total(b)
+                && cmp_expr(a, b) == std::cmp::Ordering::Greater
+            {
+                std::mem::swap(a, b);
+                self.hit();
+            }
+        }
+    }
+
+    fn rewrite_block(&mut self, b: &mut Block) {
+        let mut out: Vec<Stmt> = Vec::with_capacity(b.stmts.len());
+        let stmts = std::mem::take(&mut b.stmts);
+        for mut s in stmts {
+            // Unreachable after a jump: drop the tail.
+            if let Some(last) = out.last() {
+                if matches!(
+                    last.kind,
+                    StmtKind::Return(_) | StmtKind::Break | StmtKind::Continue
+                ) {
+                    self.hit();
+                    continue;
+                }
+            }
+            match self.rewrite_stmt(&mut s) {
+                StmtAction::Keep => out.push(s),
+                StmtAction::Drop => self.hit(),
+                StmtAction::Replace(stmts) => {
+                    self.hit();
+                    out.extend(stmts);
+                }
+            }
+        }
+        b.stmts = out;
+    }
+
+    fn rewrite_stmt(&mut self, s: &mut Stmt) -> StmtAction {
+        let id = s.id;
+        match &mut s.kind {
+            StmtKind::Let { name, init, .. } => {
+                self.fold_expr(init, id);
+                self.normalize_expr(init, id);
+                // Removable only when the value is dead *and* nothing
+                // ever writes the name again (an orphaned assign would
+                // no longer typecheck).
+                if total(init)
+                    && !self.live_after(id, name)
+                    && self.writes.get(name.as_str()).copied().unwrap_or(0) == 0
+                {
+                    return StmtAction::Drop;
+                }
+                StmtAction::Keep
+            }
+            StmtKind::Assign { target, op, value } => {
+                self.fold_expr(value, id);
+                self.normalize_expr(value, id);
+                if let LValue::Index(_, idx) = target {
+                    self.fold_expr(idx, id);
+                    self.normalize_expr(idx, id);
+                }
+                // `x op= e` → `x = x op e`. Always sound for variable
+                // targets (the lookup cannot fault, so the evaluation
+                // order of the sugar and the desugaring agree fault for
+                // fault). An array target `a[i] op= e` desugars to
+                // `a[i] = a[i] op e` only when `i` and `e` are total:
+                // the interpreter evaluates the RHS before the index,
+                // so a faulting `e` or `i` would change *which* error
+                // surfaces; with both total the only fault sources left
+                // are the bounds check and the operator, which fire in
+                // the same order in both forms.
+                if *op != AssignOp::Set {
+                    let desugar = match target {
+                        LValue::Var(_) => true,
+                        LValue::Index(_, idx) => total(idx) && total(value),
+                    };
+                    if desugar {
+                        let bin = match op {
+                            AssignOp::Add => BinOp::Add,
+                            AssignOp::Sub => BinOp::Sub,
+                            AssignOp::Mul => BinOp::Mul,
+                            AssignOp::Set => unreachable!(),
+                        };
+                        let read = match target {
+                            LValue::Var(n) => Expr::var(n.clone()),
+                            LValue::Index(n, idx) => Expr::new(ExprKind::Index(
+                                Box::new(Expr::var(n.clone())),
+                                Box::new(idx.clone()),
+                            )),
+                        };
+                        let rhs =
+                            Expr::binary(bin, read, std::mem::replace(value, Expr::int(0)));
+                        *op = AssignOp::Set;
+                        *value = rhs;
+                        self.hit();
+                        // Re-normalize the fresh RHS (e.g. `x + x`).
+                        self.normalize_expr(value, id);
+                        return StmtAction::Keep;
+                    }
+                }
+                // Self-assignment `x = x;` is a no-op.
+                if let (LValue::Var(n), AssignOp::Set, ExprKind::Var(v)) =
+                    (&*target, *op, &value.kind)
+                {
+                    if n == v {
+                        return StmtAction::Drop;
+                    }
+                }
+                // Dead store to a variable with a total RHS.
+                if let LValue::Var(n) = target {
+                    if total(value) && !self.live_after(id, n) {
+                        return StmtAction::Drop;
+                    }
+                }
+                StmtAction::Keep
+            }
+            StmtKind::If { cond, then_block, else_block } => {
+                self.fold_expr(cond, id);
+                self.normalize_expr(cond, id);
+                if let Some(taken) = self.decided(id, cond) {
+                    let block = if taken {
+                        std::mem::take(then_block)
+                    } else {
+                        else_block.take().unwrap_or_default()
+                    };
+                    let mut block = block;
+                    self.rewrite_block(&mut block);
+                    return StmtAction::Replace(block.stmts);
+                }
+                self.rewrite_block(then_block);
+                if let Some(e) = else_block {
+                    self.rewrite_block(e);
+                    if e.stmts.is_empty() {
+                        *else_block = None;
+                        self.hit();
+                    }
+                }
+                if then_block.stmts.is_empty() && else_block.is_none() && total(cond) {
+                    return StmtAction::Drop;
+                }
+                StmtAction::Keep
+            }
+            StmtKind::While { cond, body } => {
+                self.fold_expr(cond, id);
+                self.normalize_expr(cond, id);
+                if self.decided(id, cond) == Some(false) {
+                    return StmtAction::Drop;
+                }
+                self.rewrite_block(body);
+                StmtAction::Keep
+            }
+            StmtKind::For { init, cond, update, body } => {
+                self.fold_expr(cond, id);
+                self.normalize_expr(cond, id);
+                if self.decided(id, cond) == Some(false) {
+                    // The initializer still runs (alpha-uniquification
+                    // makes hoisting it capture-free).
+                    let mut init = (**init).clone();
+                    return match self.rewrite_stmt(&mut init) {
+                        StmtAction::Keep => StmtAction::Replace(vec![init]),
+                        other => other,
+                    };
+                }
+                let mut init_s = (**init).clone();
+                let keep_init = !matches!(self.rewrite_stmt(&mut init_s), StmtAction::Drop);
+                **init = init_s;
+                let mut update_s = (**update).clone();
+                // The update must stay even if "dead" — dropping it
+                // would change the loop; only expression rewrites apply.
+                if !matches!(self.rewrite_stmt(&mut update_s), StmtAction::Drop) {
+                    **update = update_s;
+                }
+                self.rewrite_block(body);
+                // For→while desugaring, unless a direct `continue`
+                // would skip the update.
+                if keep_init && !has_direct_continue(body) {
+                    let mut wbody = std::mem::take(body);
+                    wbody.stmts.push((**update).clone());
+                    let line = s.line;
+                    let init_stmt = (**init).clone();
+                    let while_stmt = Stmt {
+                        id: StmtId(0),
+                        line,
+                        kind: StmtKind::While { cond: cond.clone(), body: wbody },
+                    };
+                    return StmtAction::Replace(vec![init_stmt, while_stmt]);
+                }
+                StmtAction::Keep
+            }
+            StmtKind::Return(Some(e)) => {
+                self.fold_expr(e, id);
+                self.normalize_expr(e, id);
+                StmtAction::Keep
+            }
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => StmtAction::Keep,
+        }
+    }
+
+    /// The statically decided outcome of the guard at `id`, requiring a
+    /// total condition (eliminating a possibly-faulting guard would
+    /// erase its fault).
+    fn decided(&self, id: StmtId, cond: &Expr) -> Option<bool> {
+        if !total(cond) {
+            return None;
+        }
+        self.a.decided.get(&id).copied().or(match cond.kind {
+            ExprKind::BoolLit(b) => Some(b),
+            _ => None,
+        })
+    }
+}
+
+enum StmtAction {
+    Keep,
+    Drop,
+    Replace(Vec<Stmt>),
+}
+
+/// Whether `x` is an int-typed variable per the universe (needed for
+/// the `x + x` → `x * 2` rewrite: string `+` is concatenation).
+fn definitely_int_var(a: &Analyzed<'_>, name: &str) -> bool {
+    a.universe.slot(name).is_some_and(|s| a.universe.ty(s) == Type::Int)
+}
+
+/// True when the block contains a `continue` not nested inside an
+/// inner loop (which would re-target to the desugared while's head and
+/// skip the hoisted update).
+fn has_direct_continue(b: &Block) -> bool {
+    b.stmts.iter().any(|s| match &s.kind {
+        StmtKind::Continue => true,
+        StmtKind::If { then_block, else_block, .. } => {
+            has_direct_continue(then_block)
+                || else_block.as_ref().is_some_and(has_direct_continue)
+        }
+        // An inner loop captures its own continues.
+        StmtKind::While { .. } | StmtKind::For { .. } => false,
+        _ => false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Final renaming + line erasure.
+// ---------------------------------------------------------------------------
+
+/// Renames parameters to `p0, p1, ..` and locals to `v0, v1, ..` in
+/// definition (pre-order) order. Names are globally unique after pass
+/// 0, so a flat map suffices.
+fn rename_def_order(p: &mut Program) {
+    let mut map: HashMap<String, String> = HashMap::new();
+    for (i, q) in p.function.params.iter_mut().enumerate() {
+        let new = format!("p{i}");
+        map.insert(std::mem::replace(&mut q.name, new.clone()), new);
+    }
+    let mut next_local = 0usize;
+    collect_lets(&p.function.body, &mut map, &mut next_local);
+    apply_renames_block(&mut p.function.body, &map);
+}
+
+fn collect_lets(b: &Block, map: &mut HashMap<String, String>, next: &mut usize) {
+    for s in &b.stmts {
+        collect_lets_stmt(s, map, next);
+    }
+}
+
+fn collect_lets_stmt(s: &Stmt, map: &mut HashMap<String, String>, next: &mut usize) {
+    match &s.kind {
+        StmtKind::Let { name, .. } => {
+            map.insert(name.clone(), format!("v{next}"));
+            *next += 1;
+        }
+        StmtKind::If { then_block, else_block, .. } => {
+            collect_lets(then_block, map, next);
+            if let Some(e) = else_block {
+                collect_lets(e, map, next);
+            }
+        }
+        StmtKind::While { body, .. } => collect_lets(body, map, next),
+        StmtKind::For { init, update, body, .. } => {
+            collect_lets_stmt(init, map, next);
+            collect_lets_stmt(update, map, next);
+            collect_lets(body, map, next);
+        }
+        _ => {}
+    }
+}
+
+fn apply_renames_block(b: &mut Block, map: &HashMap<String, String>) {
+    for s in &mut b.stmts {
+        apply_renames_stmt(s, map);
+    }
+}
+
+fn apply_renames_stmt(s: &mut Stmt, map: &HashMap<String, String>) {
+    let ren = |n: &mut String| {
+        if let Some(new) = map.get(n.as_str()) {
+            *n = new.clone();
+        }
+    };
+    match &mut s.kind {
+        StmtKind::Let { name, init, .. } => {
+            ren(name);
+            apply_renames_expr(init, map);
+        }
+        StmtKind::Assign { target, value, .. } => {
+            match target {
+                LValue::Var(n) => ren(n),
+                LValue::Index(n, idx) => {
+                    ren(n);
+                    apply_renames_expr(idx, map);
+                }
+            }
+            apply_renames_expr(value, map);
+        }
+        StmtKind::If { cond, then_block, else_block } => {
+            apply_renames_expr(cond, map);
+            apply_renames_block(then_block, map);
+            if let Some(e) = else_block {
+                apply_renames_block(e, map);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            apply_renames_expr(cond, map);
+            apply_renames_block(body, map);
+        }
+        StmtKind::For { init, cond, update, body } => {
+            apply_renames_stmt(init, map);
+            apply_renames_expr(cond, map);
+            apply_renames_stmt(update, map);
+            apply_renames_block(body, map);
+        }
+        StmtKind::Return(Some(e)) => apply_renames_expr(e, map),
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+    }
+}
+
+fn apply_renames_expr(e: &mut Expr, map: &HashMap<String, String>) {
+    match &mut e.kind {
+        ExprKind::Var(n) => {
+            if let Some(new) = map.get(n.as_str()) {
+                *n = new.clone();
+            }
+        }
+        ExprKind::Unary(_, a) => apply_renames_expr(a, map),
+        ExprKind::Binary(_, a, b) => {
+            apply_renames_expr(a, map);
+            apply_renames_expr(b, map);
+        }
+        ExprKind::Index(a, b) => {
+            apply_renames_expr(a, map);
+            apply_renames_expr(b, map);
+        }
+        ExprKind::Call(_, args) => args.iter_mut().for_each(|a| apply_renames_expr(a, map)),
+        ExprKind::ArrayLit(elems) => elems.iter_mut().for_each(|a| apply_renames_expr(a, map)),
+        ExprKind::IntLit(_) | ExprKind::BoolLit(_) | ExprKind::StrLit(_) => {}
+    }
+}
+
+fn zero_lines(b: &mut Block) {
+    for s in &mut b.stmts {
+        s.line = 0;
+        match &mut s.kind {
+            StmtKind::If { then_block, else_block, .. } => {
+                zero_lines(then_block);
+                if let Some(e) = else_block {
+                    zero_lines(e);
+                }
+            }
+            StmtKind::While { body, .. } => zero_lines(body),
+            StmtKind::For { init, update, body, .. } => {
+                init.line = 0;
+                update.line = 0;
+                zero_lines(body);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The structural hash.
+// ---------------------------------------------------------------------------
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn num(&mut self, n: u64) {
+        for b in n.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.num(s.len() as u64);
+        for &b in s.as_bytes() {
+            self.byte(b);
+        }
+    }
+}
+
+/// Stable FNV-1a hash of a program's semantic structure: signature
+/// types, statement shapes, operators, literals, and (canonical)
+/// names — never lines, ids, or the function name. Call on the output
+/// of [`canonicalize`] to obtain the semantic key; on arbitrary
+/// programs it is merely a structural hash.
+pub fn canon_hash(p: &Program) -> u64 {
+    let mut h = Fnv::new();
+    h.num(p.function.params.len() as u64);
+    for q in &p.function.params {
+        h.num(ty_tag(q.ty));
+        h.str(&q.name);
+    }
+    h.num(ty_tag(p.function.ret));
+    hash_block(&mut h, &p.function.body);
+    h.0
+}
+
+fn ty_tag(t: Type) -> u64 {
+    match t {
+        Type::Int => 0,
+        Type::Bool => 1,
+        Type::Str => 2,
+        Type::IntArray => 3,
+    }
+}
+
+fn hash_block(h: &mut Fnv, b: &Block) {
+    h.num(0x10);
+    h.num(b.stmts.len() as u64);
+    for s in &b.stmts {
+        hash_stmt(h, s);
+    }
+}
+
+fn hash_stmt(h: &mut Fnv, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Let { name, ty, init } => {
+            h.num(0x20);
+            h.str(name);
+            h.num(ty_tag(*ty));
+            hash_expr(h, init);
+        }
+        StmtKind::Assign { target, op, value } => {
+            h.num(0x21);
+            match target {
+                LValue::Var(n) => {
+                    h.num(0);
+                    h.str(n);
+                }
+                LValue::Index(n, idx) => {
+                    h.num(1);
+                    h.str(n);
+                    hash_expr(h, idx);
+                }
+            }
+            h.num(*op as u64);
+            hash_expr(h, value);
+        }
+        StmtKind::If { cond, then_block, else_block } => {
+            h.num(0x22);
+            hash_expr(h, cond);
+            hash_block(h, then_block);
+            match else_block {
+                Some(e) => {
+                    h.num(1);
+                    hash_block(h, e);
+                }
+                None => h.num(0),
+            }
+        }
+        StmtKind::While { cond, body } => {
+            h.num(0x23);
+            hash_expr(h, cond);
+            hash_block(h, body);
+        }
+        StmtKind::For { init, cond, update, body } => {
+            h.num(0x24);
+            hash_stmt(h, init);
+            hash_expr(h, cond);
+            hash_stmt(h, update);
+            hash_block(h, body);
+        }
+        StmtKind::Return(e) => {
+            h.num(0x25);
+            match e {
+                Some(e) => {
+                    h.num(1);
+                    hash_expr(h, e);
+                }
+                None => h.num(0),
+            }
+        }
+        StmtKind::Break => h.num(0x26),
+        StmtKind::Continue => h.num(0x27),
+    }
+}
+
+fn hash_expr(h: &mut Fnv, e: &Expr) {
+    match &e.kind {
+        ExprKind::IntLit(v) => {
+            h.num(0x30);
+            h.num(*v as u64);
+        }
+        ExprKind::BoolLit(b) => {
+            h.num(0x31);
+            h.num(u64::from(*b));
+        }
+        ExprKind::StrLit(s) => {
+            h.num(0x32);
+            h.str(s);
+        }
+        ExprKind::Var(n) => {
+            h.num(0x33);
+            h.str(n);
+        }
+        ExprKind::Unary(op, a) => {
+            h.num(0x34);
+            h.num(*op as u64);
+            hash_expr(h, a);
+        }
+        ExprKind::Binary(op, a, b) => {
+            h.num(0x35);
+            h.num(*op as u64);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        ExprKind::Index(a, b) => {
+            h.num(0x36);
+            hash_expr(h, a);
+            hash_expr(h, b);
+        }
+        ExprKind::Call(b, args) => {
+            h.num(0x37);
+            h.num(*b as u64);
+            h.num(args.len() as u64);
+            for a in args {
+                hash_expr(h, a);
+            }
+        }
+        ExprKind::ArrayLit(elems) => {
+            h.num(0x38);
+            h.num(elems.len() as u64);
+            for a in elems {
+                hash_expr(h, a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon_src(src: &str) -> CanonProgram {
+        let p = minilang::parse(src).expect("parse");
+        minilang::typecheck(&p).expect("typecheck");
+        canonicalize(&p)
+    }
+
+    #[test]
+    fn for_and_while_variants_collapse() {
+        let a = canon_src(
+            "fn sum(a: array<int>) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < len(a); i += 1) { s += a[i]; }
+                return s;
+            }",
+        );
+        let b = canon_src(
+            "fn total(xs: array<int>) -> int {
+                let acc: int = 0;
+                let j: int = 0;
+                while (j < len(xs)) { acc += xs[j]; j = j + 1; }
+                return acc;
+            }",
+        );
+        assert_eq!(a.hash, b.hash, "loop-style variants must share a canon hash");
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn le_minus_one_collapses_with_lt_under_len_bound() {
+        let a = canon_src(
+            "fn f(a: array<int>) -> int {
+                let s: int = 0;
+                let i: int = 0;
+                while (i < len(a)) { s += a[i]; i += 1; }
+                return s;
+            }",
+        );
+        let b = canon_src(
+            "fn f(a: array<int>) -> int {
+                let s: int = 0;
+                let i: int = 0;
+                while (i <= len(a) - 1) { s += a[i]; i += 1; }
+                return s;
+            }",
+        );
+        assert_eq!(a.hash, b.hash, "cmp-style variants must collapse when len() bounds prove safety");
+    }
+
+    #[test]
+    fn double_as_add_collapses() {
+        let a = canon_src("fn f(x: int) -> int { let y: int = x; y += y; return y; }");
+        let b = canon_src("fn f(x: int) -> int { let y: int = x; y *= 2; return y; }");
+        assert_eq!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn renaming_is_hash_invariant() {
+        let a = canon_src("fn f(n: int) -> int { let acc: int = n; return acc + 1; }");
+        let b = canon_src("fn g(count: int) -> int { let tmp: int = count; return tmp + 1; }");
+        assert_eq!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn decided_guard_and_dead_code_are_erased() {
+        let plain = canon_src("fn f(x: int) -> int { return x; }");
+        let noisy = canon_src(
+            "fn f(x: int) -> int {
+                let zz: int = 7;
+                zz = zz;
+                if (min(x, 0) > 0) { return 0 - 1; }
+                return x;
+            }",
+        );
+        assert_eq!(plain.hash, noisy.hash, "distractors must canonicalize away");
+    }
+
+    #[test]
+    fn lookalike_mutants_do_not_collide() {
+        let sum = canon_src(
+            "fn f(a: array<int>) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < len(a); i += 1) { s += a[i]; }
+                return s;
+            }",
+        );
+        let product = canon_src(
+            "fn f(a: array<int>) -> int {
+                let s: int = 1;
+                for (let i: int = 0; i < len(a); i += 1) { s *= a[i]; }
+                return s;
+            }",
+        );
+        assert_ne!(sum.hash, product.hash);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let one = canon_src(
+            "fn maxv(a: array<int>) -> int {
+                let m: int = a[0];
+                for (let i: int = 1; i < len(a); i += 1) {
+                    if (a[i] > m) { m = a[i]; }
+                }
+                return m;
+            }",
+        );
+        let two = canonicalize(&one.program);
+        assert_eq!(one.program, two.program);
+        assert_eq!(one.hash, two.hash);
+        assert_eq!(two.rewrites, 0, "a canonical program admits no further rewrites");
+    }
+
+    #[test]
+    fn canonical_program_still_typechecks_and_runs() {
+        let c = canon_src(
+            "fn f(a: array<int>) -> int {
+                let s: int = 0;
+                for (let i: int = 0; i < len(a); i += 1) { s += a[i]; }
+                return s;
+            }",
+        );
+        minilang::typecheck(&c.program).expect("canonical form must typecheck");
+        let r = interp::run(&c.program, &[Value::Array(vec![1, 2, 3])]).expect("run");
+        assert_eq!(r.return_value, Value::Int(6));
+    }
+}

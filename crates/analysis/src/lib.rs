@@ -17,7 +17,11 @@
 //!   infeasible branches; and
 //! - [`lint`]: structured diagnostics (dead code, unused definitions,
 //!   constant guards, possibly-uninitialized reads, divergent loops)
-//!   surfaced by the `liger-lint` binary and the serving layer.
+//!   surfaced by the `liger-lint` binary and the serving layer; and
+//! - [`canon`]: the analysis-driven canonicalizer — a fixpoint pipeline
+//!   of semantics-preserving rewrites producing a [`CanonProgram`] and
+//!   a stable [`canon_hash`], the semantic key tier behind memo-cache,
+//!   router, and index dedup.
 //!
 //! Soundness contract: every fact is an over-approximation of the set of
 //! concrete executions, conditioned on the execution reaching the program
@@ -28,6 +32,7 @@
 //! interpreter.
 
 pub mod bitset;
+pub mod canon;
 pub mod cfg;
 pub mod constprop;
 pub mod dataflow;
@@ -38,6 +43,7 @@ pub mod liveness;
 pub mod reaching;
 pub mod vars;
 
+pub use canon::{canon_hash, canonicalize, CanonProgram};
 pub use cfg::{BasicBlock, BlockId, Cfg, NaturalLoop, Terminator};
 pub use dataflow::{solve, Dataflow, Direction, Solution};
 pub use facts::{program_facts, Analyzed, ProgramFacts};

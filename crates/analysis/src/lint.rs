@@ -50,6 +50,16 @@ pub enum LintKind {
     MaybeDivergentLoop,
     /// A division or modulus whose divisor is provably zero.
     DivisionByZero,
+    /// `x = x;` — an assignment of a variable to itself.
+    SelfAssignment,
+    /// A loop guard the analyses decide is always true even though the
+    /// loop has another exit: the guard is never the reason the loop
+    /// stops, so it is misleading (the idiomatic literal `while (true)`
+    /// is exempt).
+    AlwaysTakenGuard,
+    /// An array-element write whose array is dead afterwards — the
+    /// weak-definition counterpart of [`LintKind::UnusedDef`].
+    WriteNeverRead,
 }
 
 impl LintKind {
@@ -64,6 +74,9 @@ impl LintKind {
             LintKind::DivergentLoop => "divergent-loop",
             LintKind::MaybeDivergentLoop => "maybe-divergent-loop",
             LintKind::DivisionByZero => "division-by-zero",
+            LintKind::SelfAssignment => "self-assignment",
+            LintKind::AlwaysTakenGuard => "always-taken-guard",
+            LintKind::WriteNeverRead => "write-never-read",
         }
     }
 
@@ -152,6 +165,8 @@ pub fn run_analyzed(a: &Analyzed<'_>) -> LintReport {
     uninit_reads(a, &mut out);
     loop_lints(a, &mut out);
     division_by_zero(a, &mut out);
+    self_assignments(a, &mut out);
+    write_never_read(a, &mut out);
     out.sort_by_key(|d| (d.line, d.kind, d.stmt));
     let report = LintReport { diagnostics: out };
     obs::counter!("lint.programs").inc();
@@ -278,6 +293,24 @@ fn loop_lints(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
             succs.iter().any(|s| !l.body.contains(s))
         });
         if has_exit {
+            // The guard never stops the loop, yet claims to: a decided-
+            // true non-literal guard over an exiting loop is misleading
+            // (`while (true) { ... break; }` stays idiomatic and exempt).
+            if a.decided.get(&guard) == Some(&true) {
+                let stmt = a.cfg.stmt(guard);
+                let literal_true = a
+                    .cfg
+                    .guard_cond(guard)
+                    .is_some_and(|c| matches!(c.kind, ExprKind::BoolLit(true)));
+                if !literal_true {
+                    out.push(Diagnostic::new(
+                        LintKind::AlwaysTakenGuard,
+                        stmt,
+                        "loop guard is always true; the loop only exits via break or return"
+                            .to_string(),
+                    ));
+                }
+            }
             continue;
         }
         let stmt = a.cfg.stmt(guard);
@@ -348,6 +381,50 @@ fn division_by_zero(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
         }
         for e in exprs {
             ctx.walk(stmt, e, cenv, ienv, out);
+        }
+    }
+}
+
+/// `x = x;` — a plain self-assignment is always a no-op.
+fn self_assignments(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
+    for stmt in a.program.statements() {
+        if !a.is_reachable(stmt.id) {
+            continue;
+        }
+        let StmtKind::Assign {
+            target: minilang::LValue::Var(name),
+            op: minilang::AssignOp::Set,
+            value,
+        } = &stmt.kind
+        else {
+            continue;
+        };
+        if matches!(&value.kind, ExprKind::Var(v) if v == name) {
+            out.push(Diagnostic::new(
+                LintKind::SelfAssignment,
+                stmt,
+                format!("`{name}` is assigned to itself"),
+            ));
+        }
+    }
+}
+
+/// Weak (array-element) writes whose array is dead immediately after:
+/// the strong-definition case is [`LintKind::UnusedDef`]'s job.
+fn write_never_read(a: &Analyzed<'_>, out: &mut Vec<Diagnostic>) {
+    for stmt in a.program.statements() {
+        if !a.is_reachable(stmt.id) {
+            continue;
+        }
+        let Some((name, DefKind::Weak)) = stmt_def(stmt) else { continue };
+        let Some(slot) = a.universe.slot(name) else { continue };
+        let Some((_, after)) = a.live_facts.get(&stmt.id) else { continue };
+        if !after.contains(slot) {
+            out.push(Diagnostic::new(
+                LintKind::WriteNeverRead,
+                stmt,
+                format!("element written into `{name}` is never read"),
+            ));
         }
     }
 }
@@ -584,6 +661,87 @@ mod tests {
             "dead rhs must be skipped:\n{}",
             r2.render()
         );
+    }
+
+    #[test]
+    fn self_assignment_is_flagged() {
+        let r = lint(
+            "fn f(x: int) -> int {
+                let y: int = x;
+                y = y;
+                return y;
+            }",
+        );
+        assert!(kinds(&r).contains(&LintKind::SelfAssignment), "{}", r.render());
+        assert!(!r.has_fatal());
+    }
+
+    #[test]
+    fn compound_self_assignment_is_not_flagged() {
+        let r = lint(
+            "fn f(x: int) -> int {
+                let y: int = x;
+                y += y;
+                return y;
+            }",
+        );
+        assert!(!kinds(&r).contains(&LintKind::SelfAssignment), "y += y doubles y:\n{}", r.render());
+    }
+
+    #[test]
+    fn always_taken_guard_with_exit_is_flagged() {
+        let r = lint(
+            "fn f(n: int) -> int {
+                let i: int = 0;
+                while (abs(n) >= 0) {
+                    i += 1;
+                    if (i >= 3) { break; }
+                }
+                return i;
+            }",
+        );
+        assert!(kinds(&r).contains(&LintKind::AlwaysTakenGuard), "{}", r.render());
+        assert!(!r.has_fatal());
+    }
+
+    #[test]
+    fn literal_while_true_is_exempt_from_always_taken() {
+        let r = lint(
+            "fn f(n: int) -> int {
+                let i: int = 0;
+                while (true) {
+                    i += 1;
+                    if (i >= n) { break; }
+                }
+                return i;
+            }",
+        );
+        assert!(!kinds(&r).contains(&LintKind::AlwaysTakenGuard), "{}", r.render());
+    }
+
+    #[test]
+    fn dead_element_write_is_flagged() {
+        let r = lint(
+            "fn f(n: int) -> int {
+                let a: array<int> = newArray(3, 0);
+                a[0] = n;
+                return n;
+            }",
+        );
+        assert!(kinds(&r).contains(&LintKind::WriteNeverRead), "{}", r.render());
+        assert!(!r.has_fatal());
+    }
+
+    #[test]
+    fn live_element_write_is_not_flagged() {
+        let r = lint(
+            "fn f(n: int) -> int {
+                let a: array<int> = newArray(3, 0);
+                a[0] = n;
+                return a[0];
+            }",
+        );
+        assert!(!kinds(&r).contains(&LintKind::WriteNeverRead), "{}", r.render());
     }
 
     #[test]

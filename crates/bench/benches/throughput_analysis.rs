@@ -10,7 +10,15 @@
 //!   symbolic executor consumes;
 //! - `ANALYSIS mode=symexec …` — one row per pruning setting over the
 //!   whole corpus, verifying the enumerated path multiset is identical
-//!   and reporting the solver-call reduction.
+//!   and reporting the solver-call reduction;
+//! - `ANALYSIS mode=canon …` — canonicalization cost and dedup power
+//!   over a variant-heavy corpus (every behavior rendered under several
+//!   random knob draws), gating in-bench that ≥ 30% of same-behavior
+//!   variant pairs collapse to a shared `canon_hash` and that zero
+//!   lookalike-mutant pairs collide;
+//! - `ANALYSIS mode=canon_memo …` — canonical-key memoized encoding
+//!   (`liger::CanonEncoder`) vs direct per-variant extraction, gating
+//!   in-bench that memo reuse measurably reduces encode work.
 
 use datagen::{with_distractors, with_opaque_distractor, Behavior, Knobs, Strategy};
 use minilang::Program;
@@ -123,9 +131,139 @@ fn bench_symexec(programs: &[Program]) {
     }
 }
 
+/// Lookalike pairs: same loop/branch shape, different semantics. The
+/// canonicalizer must never merge them, under any knob draw.
+const CONFUSABLE: [(Behavior, Behavior); 5] = [
+    (Behavior::SumArray, Behavior::ProductArray),
+    (Behavior::MaxArray, Behavior::MinArray),
+    (Behavior::CountPositive, Behavior::CountNegative),
+    (Behavior::CountEven, Behavior::CountPositive),
+    (Behavior::SumEven, Behavior::SumPositive),
+];
+
+fn bench_canon() {
+    const DRAWS: usize = 6;
+    let mut rng = StdRng::seed_from_u64(29);
+
+    // A variant-heavy corpus: every behavior under DRAWS unrestricted
+    // knob draws (loop style, increment/doubling spelling, comparison
+    // style, misleading-prone identifier assignment).
+    let mut sources: Vec<(usize, String)> = Vec::new();
+    for (bi, b) in Behavior::ALL.iter().enumerate() {
+        for _ in 0..DRAWS {
+            sources.push((bi, b.render(&Knobs::random(&mut rng, 0.5))));
+        }
+    }
+    let parsed: Vec<Program> =
+        sources.iter().map(|(_, s)| minilang::parse(s).expect("variant parses")).collect();
+
+    let start = Instant::now();
+    let canons: Vec<_> = parsed.iter().map(analysis::canonicalize).collect();
+    let canon_secs = start.elapsed().as_secs_f64();
+    let canon_us = canon_secs * 1e6 / parsed.len() as f64;
+
+    // Same-behavior pair collapse + corpus dedup ratio.
+    let mut pairs = 0usize;
+    let mut collapsed = 0usize;
+    for bi in 0..Behavior::ALL.len() {
+        let hashes: Vec<u64> = sources
+            .iter()
+            .zip(&canons)
+            .filter(|((owner, _), _)| *owner == bi)
+            .map(|(_, c)| c.hash)
+            .collect();
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                pairs += 1;
+                collapsed += usize::from(hashes[i] == hashes[j]);
+            }
+        }
+    }
+    let pair_collapse = collapsed as f64 / pairs as f64;
+    let mut distinct: Vec<u64> = canons.iter().map(|c| c.hash).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let dedup_ratio = 1.0 - distinct.len() as f64 / canons.len() as f64;
+
+    // Lookalike mutants: same knobs, different semantics — zero shared
+    // hashes allowed.
+    let mut mutant_pairs = 0usize;
+    let mut mutant_collisions = 0usize;
+    for (left, right) in CONFUSABLE {
+        for _ in 0..4 {
+            let knobs = Knobs::random(&mut rng, 0.5);
+            let l = minilang::parse(&left.render(&knobs)).expect("mutant parses");
+            let r = minilang::parse(&right.render(&knobs)).expect("mutant parses");
+            mutant_pairs += 1;
+            mutant_collisions +=
+                usize::from(analysis::canonicalize(&l).hash == analysis::canonicalize(&r).hash);
+        }
+    }
+
+    println!(
+        "ANALYSIS mode=canon programs={} behaviors={} draws={DRAWS} distinct={} \
+         dedup_ratio={dedup_ratio:.4} pair_collapse={pair_collapse:.4} \
+         mutant_pairs={mutant_pairs} mutant_collisions={mutant_collisions} \
+         canon_us_per_program={canon_us:.2} secs={canon_secs:.6}",
+        parsed.len(),
+        Behavior::ALL.len(),
+        distinct.len(),
+    );
+    assert!(
+        pair_collapse >= 0.30,
+        "variant-pair collapse {pair_collapse:.4} below the 30% floor"
+    );
+    assert_eq!(mutant_collisions, 0, "lookalike mutants collided under canonicalization");
+
+    // Canonical-key memoized encoding vs direct extraction: the memo
+    // extracts once per canonical form, so a variant-heavy corpus does
+    // strictly less encode work.
+    let opts = liger::ExtractOptions::default();
+    let texts: Vec<&str> = sources.iter().map(|(_, s)| s.as_str()).collect();
+    let vocab = liger::vocab_from_sources(&texts, &opts).expect("variant corpus traces");
+
+    let start = Instant::now();
+    for src in &texts {
+        let encoded = liger::extract_encoded(src, &vocab, &opts).expect("variant encodes");
+        std::hint::black_box(&encoded);
+    }
+    let direct_secs = start.elapsed().as_secs_f64();
+
+    let mut encoder = liger::CanonEncoder::new();
+    let start = Instant::now();
+    for src in &texts {
+        let encoded = encoder.encode(src, &vocab, &opts).expect("variant encodes");
+        std::hint::black_box(&encoded);
+    }
+    let memo_secs = start.elapsed().as_secs_f64();
+
+    let extraction_reduction = 1.0 - encoder.misses as f64 / texts.len() as f64;
+    println!(
+        "ANALYSIS mode=canon_memo programs={} encodes_direct={} encodes_memo={} \
+         memo_hits={} extraction_reduction={extraction_reduction:.4} \
+         direct_secs={direct_secs:.6} memo_secs={memo_secs:.6} encode_speedup={:.2}",
+        texts.len(),
+        texts.len(),
+        encoder.misses,
+        encoder.hits,
+        direct_secs / memo_secs,
+    );
+    assert_eq!(encoder.misses as usize, distinct.len(), "memo must extract once per canonical form");
+    assert!(
+        encoder.hits > 0 && (encoder.misses as usize) < texts.len(),
+        "memo reuse never fired on a variant-heavy corpus"
+    );
+    assert!(
+        memo_secs < direct_secs,
+        "canonical-key memoization did not reduce encode time \
+         (memo {memo_secs:.6}s vs direct {direct_secs:.6}s)"
+    );
+}
+
 fn main() {
     let programs = corpus();
     println!("\nstatic-analysis throughput over the {}-template corpus", programs.len());
     bench_analyses(&programs);
     bench_symexec(&corpus_with_distractors());
+    bench_canon();
 }

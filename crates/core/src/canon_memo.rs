@@ -1,0 +1,198 @@
+//! Canonical-key memoization: the semantic second key tier for the
+//! encoder.
+//!
+//! [`extract_encoded`](crate::infer::extract_encoded) is deterministic in
+//! the *source text*, so two syntactic variants of the same routine (a
+//! `for` vs. its `while` desugaring, `x + x` vs. `x * 2`, renamed
+//! locals…) each pay the full trace-collection + encoding cost and land
+//! on different cache keys. The analysis-driven canonicalizer
+//! ([`analysis::canonicalize`]) collapses exactly those variants, so its
+//! stable `canon_hash` is a safe memo key: programs with equal hashes
+//! have identical canonical forms, hence identical canonical source,
+//! hence — by the fixed-seed determinism of the extractor — bitwise
+//! identical [`EncodedProgram`]s.
+//!
+//! Gradients are unaffected (DESIGN.md §2i): the memo only swaps the
+//! *input encoding* for a bitwise-equal one; every downstream forward or
+//! backward pass sees exactly the bytes it would have seen without the
+//! cache.
+
+use crate::encode::EncodedProgram;
+use crate::infer::{extract_encoded, ExtractError, ExtractOptions};
+use crate::vocab::Vocab;
+use std::collections::HashMap;
+
+/// The canonical identity of one MiniLang source: the stable semantic
+/// hash plus the pretty-printed canonical form it names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonKey {
+    /// Stable structural hash of the canonical program
+    /// ([`analysis::canon_hash`]).
+    pub hash: u64,
+    /// Pretty-printed canonical source; re-parses to the canonical tree.
+    pub source: String,
+    /// Rewrites the fixpoint applied to reach the canonical form.
+    pub rewrites: u64,
+}
+
+/// Parses, type-checks, and canonicalizes `source`.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::Frontend`] when the source fails to parse or
+/// type-check.
+pub fn canon_key(source: &str) -> Result<CanonKey, ExtractError> {
+    let program =
+        minilang::parse(source).map_err(|e| ExtractError::Frontend(e.to_string()))?;
+    minilang::typecheck(&program).map_err(|e| ExtractError::Frontend(e.to_string()))?;
+    let canon = analysis::canonicalize(&program);
+    Ok(CanonKey {
+        hash: canon.hash,
+        source: minilang::print_program(&canon.program),
+        rewrites: canon.rewrites,
+    })
+}
+
+/// One [`CanonEncoder::encode`] result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonEncoded {
+    /// The canonical identity of the input source.
+    pub key: CanonKey,
+    /// The encoding of the *canonical* form.
+    pub encoded: EncodedProgram,
+    /// True when the encoding was served from the memo (a previously seen
+    /// source collapsed to the same `canon_hash`).
+    pub collapsed: bool,
+}
+
+/// Memoizing encoder keyed by `canon_hash`.
+///
+/// Each miss canonicalizes, encodes the canonical source once, and
+/// stores the result; every later syntactic variant of the same routine
+/// is a pure map lookup. Hits bump the `canon.hash_collapsed` counter.
+#[derive(Debug, Default)]
+pub struct CanonEncoder {
+    cache: HashMap<u64, EncodedProgram>,
+    /// Memo hits (sources that collapsed onto an already-encoded hash).
+    pub hits: u64,
+    /// Memo misses (distinct canonical forms encoded).
+    pub misses: u64,
+}
+
+impl CanonEncoder {
+    /// An empty memo.
+    pub fn new() -> CanonEncoder {
+        CanonEncoder::default()
+    }
+
+    /// Number of distinct canonical forms cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Canonicalizes `source` and returns the (memoized) encoding of its
+    /// canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError`] when the source fails the frontend or the
+    /// canonical form yields no successful executions to blend.
+    pub fn encode(
+        &mut self,
+        source: &str,
+        vocab: &Vocab,
+        opts: &ExtractOptions,
+    ) -> Result<CanonEncoded, ExtractError> {
+        let key = canon_key(source)?;
+        if let Some(encoded) = self.cache.get(&key.hash) {
+            self.hits += 1;
+            obs::counter!("canon.hash_collapsed").add(1);
+            return Ok(CanonEncoded { encoded: encoded.clone(), key, collapsed: true });
+        }
+        let encoded = extract_encoded(&key.source, vocab, opts)?;
+        self.misses += 1;
+        self.cache.insert(key.hash, encoded.clone());
+        Ok(CanonEncoded { encoded, key, collapsed: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FOR_SUM: &str = "fn sumTo(n: int) -> int {
+        let s: int = 0;
+        for (let i: int = 0; i < n; i += 1) { s += i; }
+        return s;
+    }";
+    const WHILE_SUM: &str = "fn total(limit: int) -> int {
+        let acc: int = 0;
+        let j: int = 0;
+        while (j < limit) { acc += j; j += 1; }
+        return acc;
+    }";
+
+    #[test]
+    fn variants_share_key_and_encoding() {
+        let vocab = Vocab::new();
+        let opts = ExtractOptions::default();
+        let mut memo = CanonEncoder::new();
+        let a = memo.encode(FOR_SUM, &vocab, &opts).unwrap();
+        let b = memo.encode(WHILE_SUM, &vocab, &opts).unwrap();
+        assert_eq!(a.key.hash, b.key.hash, "variants must collapse");
+        assert!(!a.collapsed);
+        assert!(b.collapsed, "second variant must be a memo hit");
+        assert_eq!(a.encoded, b.encoded, "memoized encoding must be identical");
+        assert_eq!(memo.len(), 1);
+        assert_eq!((memo.hits, memo.misses), (1, 1));
+    }
+
+    #[test]
+    fn memoized_encoding_matches_direct_canonical_encode() {
+        let vocab = Vocab::new();
+        let opts = ExtractOptions::default();
+        let mut memo = CanonEncoder::new();
+        let got = memo.encode(FOR_SUM, &vocab, &opts).unwrap();
+        let direct = extract_encoded(&got.key.source, &vocab, &opts).unwrap();
+        assert_eq!(got.encoded, direct);
+    }
+
+    #[test]
+    fn frontend_errors_pass_through() {
+        let vocab = Vocab::new();
+        let opts = ExtractOptions::default();
+        let mut memo = CanonEncoder::new();
+        assert!(matches!(
+            memo.encode("fn broken(", &vocab, &opts),
+            Err(ExtractError::Frontend(_))
+        ));
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn distinct_semantics_get_distinct_entries() {
+        let vocab = Vocab::new();
+        let opts = ExtractOptions::default();
+        let mut memo = CanonEncoder::new();
+        let a = memo.encode(FOR_SUM, &vocab, &opts).unwrap();
+        let b = memo
+            .encode(
+                "fn prodTo(n: int) -> int {
+                    let s: int = 1;
+                    for (let i: int = 1; i < n; i += 1) { s *= i; }
+                    return s;
+                }",
+                &vocab,
+                &opts,
+            )
+            .unwrap();
+        assert_ne!(a.key.hash, b.key.hash);
+        assert!(!b.collapsed);
+        assert_eq!(memo.len(), 2);
+    }
+}

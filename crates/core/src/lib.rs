@@ -78,6 +78,7 @@
 //! ```
 
 pub mod bundle;
+pub mod canon_memo;
 pub mod classifier;
 pub mod decoder;
 pub mod encode;
@@ -88,6 +89,7 @@ pub mod train;
 pub mod vocab;
 
 pub use bundle::{BundleError, BundleHead, ModelBundle};
+pub use canon_memo::{canon_key, CanonEncoded, CanonEncoder, CanonKey};
 pub use classifier::{argmax, LigerClassifier};
 pub use decoder::NameDecoder;
 pub use encode::{

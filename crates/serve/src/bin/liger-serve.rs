@@ -128,29 +128,34 @@ fn query_main(args: &[String]) -> i32 {
     }
 }
 
-/// `liger-serve index ADDR FILE…` — indexes each MiniLang file's
-/// embedding under its content hash, one pipelined request per file.
-/// Prints `KEY OUTCOME FILE` per line (KEY is the 16-hex index key).
+/// `liger-serve index ADDR [--canon] FILE…` — indexes each MiniLang
+/// file's embedding under its content hash, one pipelined request per
+/// file. Prints `KEY OUTCOME FILE` per line (KEY is the 16-hex index
+/// key). With `--canon`, programs are canonicalized first, so syntactic
+/// variants dedup onto one key (`unchanged`).
 fn index_main(args: &[String]) -> i32 {
-    let [addr, files @ ..] = args else {
-        eprintln!("usage: liger-serve index ADDR FILE [FILE...]");
+    let [addr, rest @ ..] = args else {
+        eprintln!("usage: liger-serve index ADDR [--canon] FILE [FILE...]");
         return 2;
     };
+    let canon = rest.iter().any(|a| a == "--canon");
+    let files: Vec<&String> = rest.iter().filter(|a| a.as_str() != "--canon").collect();
     if files.is_empty() {
-        eprintln!("usage: liger-serve index ADDR FILE [FILE...]");
+        eprintln!("usage: liger-serve index ADDR [--canon] FILE [FILE...]");
         return 2;
     }
     let run = || -> std::io::Result<bool> {
         let mut client = Client::connect(addr)?;
-        for file in files {
+        for file in &files {
             let source = std::fs::read_to_string(file)?;
-            client.send(&Json::obj(vec![
-                ("op", Json::str("index")),
-                ("source", Json::str(source)),
-            ]))?;
+            let mut fields = vec![("op", Json::str("index")), ("source", Json::str(source))];
+            if canon {
+                fields.push(("canon", Json::Bool(true)));
+            }
+            client.send(&Json::obj(fields))?;
         }
         let mut all_ok = true;
-        for file in files {
+        for file in &files {
             let reply = client.recv()?;
             if reply.get("ok").and_then(Json::as_bool) == Some(true) {
                 let key = reply.get("key").and_then(Json::as_str).unwrap_or("?");
@@ -173,12 +178,16 @@ fn index_main(args: &[String]) -> i32 {
     }
 }
 
-/// `liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode M]` —
-/// embeds the file and prints its nearest indexed programs, one hit per
-/// line: `RANK KEY COSINE SCORE`.
+/// `liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode M]
+/// [--canon]` — embeds the file and prints its nearest indexed
+/// programs, one hit per line: `RANK KEY COSINE SCORE`. With `--canon`
+/// the query is canonicalized and an `exact KEY` line precedes the hits
+/// when a stored entry shares the query's canonical form.
 fn search_main(args: &[String]) -> i32 {
     let [addr, file, rest @ ..] = args else {
-        eprintln!("usage: liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode M]");
+        eprintln!(
+            "usage: liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode M] [--canon]"
+        );
         return 2;
     };
     let mut fields = vec![("op", Json::str("search"))];
@@ -192,6 +201,10 @@ fn search_main(args: &[String]) -> i32 {
     fields.push(("source", Json::str(source)));
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
+        if flag == "--canon" {
+            fields.push(("canon", Json::Bool(true)));
+            continue;
+        }
         let Some(value) = it.next() else {
             eprintln!("liger-serve: {flag} needs a value");
             return 2;
@@ -224,6 +237,9 @@ fn search_main(args: &[String]) -> i32 {
         if reply.get("ok").and_then(Json::as_bool) != Some(true) {
             eprintln!("liger-serve: search failed: {reply}");
             return Ok(false);
+        }
+        if let Some(exact) = reply.get("exact").and_then(Json::as_str) {
+            println!("exact {exact}");
         }
         let hits = reply.get("hits").and_then(Json::as_arr).unwrap_or(&[]);
         for (rank, hit) in hits.iter().enumerate() {
@@ -373,8 +389,8 @@ fn print_usage() {
          [--index-path FILE.lgri]\n  \
          liger-serve --demo [--save model.lgrb] [flags...]\n  \
          liger-serve query ADDR JSON [JSON...]\n  \
-         liger-serve index ADDR FILE [FILE...]\n  \
-         liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode cosine|hybrid]"
+         liger-serve index ADDR [--canon] FILE [FILE...]\n  \
+         liger-serve search ADDR FILE [--k N] [--min-sim X] [--mode cosine|hybrid] [--canon]"
     );
 }
 

@@ -51,5 +51,5 @@ pub use protocol::{
     read_frame, shed_response, write_frame, write_frame_into, FrameReader, InferInput, InferKind,
     Request, MAX_FRAME,
 };
-pub use server::{content_hash, serve, Client, ServerConfig, ServerHandle};
+pub use server::{content_hash, serve, CanonMemoStats, Client, ServerConfig, ServerHandle};
 pub use stats::{ServeStats, ShardSnapshot, StatsSnapshot};

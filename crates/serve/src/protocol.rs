@@ -259,6 +259,11 @@ pub enum InferKind {
 pub enum InferInput {
     /// MiniLang source text; the server traces and encodes it.
     Source(String),
+    /// MiniLang source text with `"canon": true`: the server
+    /// canonicalizes it first and encodes the canonical form, so every
+    /// syntactic variant of the same routine shares one encoding, one
+    /// content hash, and one index entry.
+    CanonSource(String),
     /// A client-side-extracted encoded program (boxed: the pool tables
     /// make it the dominant variant, and requests move through
     /// channels).
@@ -346,12 +351,22 @@ impl Request {
 }
 
 /// Pulls the one-of `source` / `program` input every model-touching op
-/// shares.
+/// shares, plus the optional `"canon": true` flag (source inputs only:
+/// canonicalization rewrites the AST, which a pre-extracted program no
+/// longer has).
 fn infer_input_from_json(value: &Json, op: &str) -> Result<InferInput, String> {
+    let canon = match value.get("canon") {
+        None => false,
+        Some(flag) => flag.as_bool().ok_or("\"canon\" must be a boolean")?,
+    };
     match (value.get("source"), value.get("program")) {
         (Some(src), None) => {
-            Ok(InferInput::Source(src.as_str().ok_or("\"source\" must be a string")?.to_string()))
+            let src = src.as_str().ok_or("\"source\" must be a string")?.to_string();
+            Ok(if canon { InferInput::CanonSource(src) } else { InferInput::Source(src) })
         }
+        (None, Some(_)) if canon => Err("\"canon\" requires a \"source\" input \
+             (a pre-extracted \"program\" has no AST left to canonicalize)"
+            .to_string()),
         (None, Some(prog)) => Ok(InferInput::Encoded(Box::new(program_from_json(prog)?))),
         _ => Err(format!("op {op:?} needs exactly one of \"source\"/\"program\"")),
     }
@@ -364,8 +379,9 @@ pub fn infer_request(kind: InferKind, input: &InferInput) -> Json {
         InferKind::Name => "name",
         InferKind::Classify => "classify",
     };
-    let (key, value) = infer_input_field(input);
-    Json::obj(vec![("op", Json::str(op)), (key, value)])
+    let mut fields = vec![("op", Json::str(op))];
+    push_infer_input(&mut fields, input);
+    Json::obj(fields)
 }
 
 /// Builds the JSON form of a lint request (client side).
@@ -457,10 +473,13 @@ pub fn index_response(key: u64, outcome: InsertOutcome, entries: usize) -> Json 
 }
 
 /// The `search` / `similar` success reply:
-/// `{"ok":true,"hits":[{key,cosine,score}…],"searched":…,"ann":…,"ann_fallback":…}`.
-/// Cosines are `f32` widened losslessly; the fused score is a plain
-/// `f64`. Hits are ranked best-first.
-pub fn search_response(result: &SearchResult) -> Json {
+/// `{"ok":true,"exact":…,"hits":[{key,cosine,score}…],"searched":…,"ann":…,"ann_fallback":…}`.
+/// `exact` is the canonical-exact tier: the stored key the query
+/// collapsed onto (same content hash — for `"canon": true` queries,
+/// the same canonical form), or `null` when no stored program is
+/// content-identical. Cosines are `f32` widened losslessly; the fused
+/// score is a plain `f64`. Hits are ranked best-first.
+pub fn search_response(result: &SearchResult, exact: Option<u64>) -> Json {
     let hits = result
         .hits
         .iter()
@@ -473,6 +492,7 @@ pub fn search_response(result: &SearchResult) -> Json {
         })
         .collect();
     ok_response(vec![
+        ("exact", exact.map_or(Json::Null, key_to_json)),
         ("hits", Json::Arr(hits)),
         ("searched", Json::num(result.searched)),
         ("ann", Json::Bool(result.ann_used)),
@@ -482,26 +502,29 @@ pub fn search_response(result: &SearchResult) -> Json {
 
 /// Builds the JSON form of an `index` request (client side).
 pub fn index_request(input: &InferInput) -> Json {
-    let (key, value) = infer_input_field(input);
-    Json::obj(vec![("op", Json::str("index")), (key, value)])
+    let mut fields = vec![("op", Json::str("index"))];
+    push_infer_input(&mut fields, input);
+    Json::obj(fields)
 }
 
 /// Builds the JSON form of a `search` request (client side).
 pub fn search_request(input: &InferInput, opts: &SearchOptions) -> Json {
-    let (key, value) = infer_input_field(input);
-    Json::obj(vec![
-        ("op", Json::str("search")),
-        (key, value),
-        ("k", Json::num(opts.k)),
-        ("min_sim", Json::Num(f64::from(opts.min_sim))),
-        ("mode", Json::str(opts.mode.name())),
-    ])
+    let mut fields = vec![("op", Json::str("search"))];
+    push_infer_input(&mut fields, input);
+    fields.push(("k", Json::num(opts.k)));
+    fields.push(("min_sim", Json::Num(f64::from(opts.min_sim))));
+    fields.push(("mode", Json::str(opts.mode.name())));
+    Json::obj(fields)
 }
 
-fn infer_input_field(input: &InferInput) -> (&'static str, Json) {
+fn push_infer_input(fields: &mut Vec<(&'static str, Json)>, input: &InferInput) {
     match input {
-        InferInput::Source(src) => ("source", Json::str(src.clone())),
-        InferInput::Encoded(prog) => ("program", program_to_json(prog)),
+        InferInput::Source(src) => fields.push(("source", Json::str(src.clone()))),
+        InferInput::CanonSource(src) => {
+            fields.push(("source", Json::str(src.clone())));
+            fields.push(("canon", Json::Bool(true)));
+        }
+        InferInput::Encoded(prog) => fields.push(("program", program_to_json(prog))),
     }
 }
 
@@ -843,12 +866,60 @@ mod tests {
             ann_used: false,
             ann_fallback: false,
         };
-        let reply = search_response(&result);
+        let reply = search_response(&result, None);
         assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(reply.get("searched").and_then(Json::as_usize), Some(9));
+        assert_eq!(reply.get("exact"), Some(&Json::Null));
         let hits = reply.get("hits").and_then(Json::as_arr).unwrap();
         assert_eq!(key_from_json(hits[0].get("key").unwrap()).unwrap(), 7);
         assert_eq!(hits[0].get("cosine").and_then(Json::as_f64), Some(0.5));
+
+        let reply = search_response(&result, Some(7));
+        assert_eq!(key_from_json(reply.get("exact").unwrap()).unwrap(), 7);
+    }
+
+    #[test]
+    fn canon_flag_parses_for_source_inputs_only() {
+        let canon = parse("{\"op\":\"embed\",\"source\":\"fn f() {}\",\"canon\":true}").unwrap();
+        assert!(matches!(
+            Request::from_json(&canon).unwrap(),
+            Request::Infer(InferKind::Embed, InferInput::CanonSource(_))
+        ));
+        // canon:false keeps the plain source path.
+        let plain = parse("{\"op\":\"embed\",\"source\":\"fn f() {}\",\"canon\":false}").unwrap();
+        assert!(matches!(
+            Request::from_json(&plain).unwrap(),
+            Request::Infer(InferKind::Embed, InferInput::Source(_))
+        ));
+        // index / search / similar accept the flag too.
+        let idx = parse("{\"op\":\"index\",\"source\":\"fn f() {}\",\"canon\":true}").unwrap();
+        assert!(matches!(
+            Request::from_json(&idx).unwrap(),
+            Request::Index(InferInput::CanonSource(_))
+        ));
+        let sim = parse("{\"op\":\"similar\",\"source\":\"fn f() {}\",\"canon\":true}").unwrap();
+        assert!(matches!(
+            Request::from_json(&sim).unwrap(),
+            Request::Search(InferInput::CanonSource(_), _)
+        ));
+        // canon on a pre-extracted program is a typed protocol error.
+        let enc = infer_request(
+            InferKind::Embed,
+            &InferInput::Encoded(Box::new(sample_program())),
+        );
+        let Json::Obj(mut fields) = enc else { panic!("request must be an object") };
+        fields.push(("canon".to_string(), Json::Bool(true)));
+        assert!(Request::from_json(&Json::Obj(fields)).is_err());
+        // Non-boolean canon is rejected.
+        let bad = parse("{\"op\":\"embed\",\"source\":\"x\",\"canon\":1}").unwrap();
+        assert!(Request::from_json(&bad).is_err());
+        // Client builder round-trips the flag.
+        let req = infer_request(InferKind::Embed, &InferInput::CanonSource("fn f() {}".into()));
+        assert_eq!(req.get("canon").and_then(Json::as_bool), Some(true));
+        assert!(matches!(
+            Request::from_json(&req).unwrap(),
+            Request::Infer(InferKind::Embed, InferInput::CanonSource(_))
+        ));
     }
 
     #[test]

@@ -57,8 +57,8 @@ use crate::protocol::{
 use crate::stats::{ServeStats, StatsSnapshot};
 use index::{Index, IndexConfig, IndexStats, SearchOptions};
 use liger::{
-    extract_encoded, EncodedProgram, ExtractOptions, LigerTask, ModelBundle, QuantEngine, Vocab,
-    Workspace,
+    extract_encoded, CanonEncoder, EncodedProgram, ExtractOptions, LigerTask, ModelBundle,
+    QuantEngine, Vocab, Workspace,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -136,6 +136,13 @@ struct Shared {
     /// counts does not depend on lock order — search results are a pure
     /// function of the stored *set*, not of insertion interleaving.
     index: Mutex<Index>,
+    /// The canonical-key encoding memo behind `"canon": true` requests:
+    /// `canon_hash` → encoded canonical form, shared across shards so a
+    /// variant seen by any shard collapses for all of them. Same locking
+    /// story as `index`: only shard threads touch it, and a memo hit
+    /// skips an entire trace-and-encode pass, which dwarfs the critical
+    /// section.
+    canon: Mutex<CanonEncoder>,
     /// Where [`ServerHandle::join`] persists the index, if anywhere.
     index_path: Option<std::path::PathBuf>,
     shutdown: AtomicBool,
@@ -189,6 +196,11 @@ enum InferPayload {
     /// MiniLang source; the shard traces and encodes it (routed by
     /// [`source_hash`]).
     Source(String),
+    /// MiniLang source with `"canon": true`; the shard canonicalizes it
+    /// and serves the encoding of the canonical form through the shared
+    /// `canon_hash` memo (routed by [`source_hash`] — the canonical key
+    /// is not known until the shard has parsed the source).
+    CanonSource(String),
 }
 
 /// What happens to a resolved job's forward-pass output.
@@ -432,6 +444,7 @@ pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHan
         extract: config.extract.clone(),
         stats: ServeStats::new(shards),
         index: Mutex::new(idx),
+        canon: Mutex::new(CanonEncoder::new()),
         index_path: config.index_path.clone(),
         shutdown: AtomicBool::new(false),
         completions: Mutex::new(Vec::new()),
@@ -704,7 +717,12 @@ impl EventLoop {
             }
             Request::Stats => {
                 let index_stats = self.shared.index.lock().expect("index poisoned").stats();
-                let reply = stats_response(&self.shared.stats.snapshot(), &index_stats);
+                let canon_stats = {
+                    let memo = self.shared.canon.lock().expect("canon memo poisoned");
+                    CanonMemoStats { entries: memo.len(), hits: memo.hits, misses: memo.misses }
+                };
+                let reply =
+                    stats_response(&self.shared.stats.snapshot(), &index_stats, &canon_stats);
                 return self.complete_inline(slot, seq, reply);
             }
             Request::Shutdown => {
@@ -719,17 +737,26 @@ impl EventLoop {
             Request::Infer(kind, InferInput::Source(src)) => {
                 (source_hash(&src), Work::Infer(kind, InferPayload::Source(src)))
             }
+            Request::Infer(kind, InferInput::CanonSource(src)) => {
+                (source_hash(&src), Work::Infer(kind, InferPayload::CanonSource(src)))
+            }
             Request::Index(InferInput::Encoded(prog)) => {
                 (content_hash(&prog), Work::Index(InferPayload::Encoded(prog)))
             }
             Request::Index(InferInput::Source(src)) => {
                 (source_hash(&src), Work::Index(InferPayload::Source(src)))
             }
+            Request::Index(InferInput::CanonSource(src)) => {
+                (source_hash(&src), Work::Index(InferPayload::CanonSource(src)))
+            }
             Request::Search(InferInput::Encoded(prog), opts) => {
                 (content_hash(&prog), Work::Search(InferPayload::Encoded(prog), opts))
             }
             Request::Search(InferInput::Source(src), opts) => {
                 (source_hash(&src), Work::Search(InferPayload::Source(src), opts))
+            }
+            Request::Search(InferInput::CanonSource(src), opts) => {
+                (source_hash(&src), Work::Search(InferPayload::CanonSource(src), opts))
             }
         };
         if self.inflight >= self.max_inflight {
@@ -949,26 +976,51 @@ fn index_insert(shared: &Shared, prog: &EncodedProgram, embedding: &[f32]) -> Js
     }
 }
 
-/// Executes the `search` / `similar` op against the shared index.
+/// Executes the `search` / `similar` op against the shared index. The
+/// reply leads with the *exact tier*: if a stored program has the same
+/// content hash as the query — for `"canon": true` queries, the same
+/// canonical form, so every syntactic variant of an indexed routine
+/// matches — its key is surfaced as `exact` before the cosine ranking.
 fn index_search(
     shared: &Shared,
     prog: &EncodedProgram,
     embedding: &[f32],
     opts: SearchOptions,
 ) -> Json {
+    let key = content_hash(prog);
     let tokens = program_tokens(prog);
     let mut idx = shared.index.lock().expect("index poisoned");
+    let exact = idx.store().row_of(key).map(|_| key);
+    if exact.is_some() {
+        obs::counter!("serve.search_exact").add(1);
+    }
     match idx.search(embedding, &tokens, &opts) {
-        Ok(result) => search_response(&result),
+        Ok(result) => search_response(&result, exact),
         Err(e) => index_error_response(&e),
     }
 }
 
+/// Point-in-time counters of the canonical-key encoding memo, rendered
+/// into the STATS reply's `canon` block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CanonMemoStats {
+    /// Distinct canonical forms cached.
+    pub entries: usize,
+    /// Requests served from the memo (variants that collapsed).
+    pub hits: u64,
+    /// Requests that encoded a new canonical form.
+    pub misses: u64,
+}
+
 /// Renders a stats snapshot as the STATS reply payload. The pre-shard
 /// top-level fields keep their exact keys and meanings; `shed`, `conns`,
-/// the per-shard breakdown, and the `index` block are appended after
-/// them.
-pub fn stats_response(snap: &StatsSnapshot, index_stats: &IndexStats) -> Json {
+/// the per-shard breakdown, and the `index` / `canon` blocks are
+/// appended after them.
+pub fn stats_response(
+    snap: &StatsSnapshot,
+    index_stats: &IndexStats,
+    canon_stats: &CanonMemoStats,
+) -> Json {
     let shards = snap
         .shards
         .iter()
@@ -1001,6 +1053,14 @@ pub fn stats_response(snap: &StatsSnapshot, index_stats: &IndexStats) -> Json {
                 ("entries", Json::num(index_stats.entries)),
                 ("bytes", Json::num(index_stats.bytes)),
                 ("searches", Json::num(index_stats.searches as usize)),
+            ]),
+        ),
+        (
+            "canon",
+            Json::obj(vec![
+                ("entries", Json::num(canon_stats.entries)),
+                ("hits", Json::num(canon_stats.hits as usize)),
+                ("misses", Json::num(canon_stats.misses as usize)),
             ]),
         ),
     ])
@@ -1072,6 +1132,19 @@ fn shard_loop(
             let extracted = match payload {
                 InferPayload::Encoded(prog) => Ok(*prog),
                 InferPayload::Source(src) => extract_encoded(&src, &shared.vocab, &shared.extract)
+                    .map_err(|e| e.to_string()),
+                // The canonical path: parse + canonicalize here, then
+                // serve the canonical form's encoding from the shared
+                // memo. A hit skips the whole trace-and-encode pass;
+                // either way the program the model sees is the
+                // canonical one, so content-hash identity (index keys,
+                // dedup) collapses across syntactic variants.
+                InferPayload::CanonSource(src) => shared
+                    .canon
+                    .lock()
+                    .expect("canon memo poisoned")
+                    .encode(&src, &shared.vocab, &shared.extract)
+                    .map(|c| c.encoded)
                     .map_err(|e| e.to_string()),
             };
             match extracted {

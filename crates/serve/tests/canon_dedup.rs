@@ -1,0 +1,164 @@
+//! End-to-end tests for `"canon": true` — the canonical-key tier of the
+//! serving stack, over real TCP loopback connections.
+//!
+//! Gated contracts:
+//! - syntactic variants of one routine collapse to one index key: the
+//!   second variant's `index` op reports `unchanged` on the *same* key,
+//! - `similar` surfaces the canonical-exact tier (`exact` = the stored
+//!   key every variant collapses onto; `null` without canon),
+//! - canon embeddings of variants are bitwise identical (one memo entry
+//!   serves them all, reported by the stats `canon` block), and
+//! - frontend failures surface as error replies, not hangs.
+
+use liger::{LigerConfig, LigerNamer, ModelBundle, OutVocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::json::Json;
+use serve::protocol::{index_request, infer_request, key_from_json, search_request, InferInput, InferKind};
+use serve::server::{serve, Client, ServerConfig};
+use index::SearchOptions;
+
+/// A `for`-loop summation routine.
+const FOR_SUM: &str = "fn sumTo(n: int) -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < n; i += 1) { s += i; }
+    return s;
+}";
+
+/// The same routine as a `while` loop with different names — a semantic
+/// clone the canonicalizer must collapse onto `FOR_SUM`.
+const WHILE_SUM: &str = "fn total(limit: int) -> int {
+    let acc: int = 0;
+    let j: int = 0;
+    while (j < limit) { acc += j; j += 1; }
+    return acc;
+}";
+
+/// A third variant: `for` loop again, fresh names.
+const RENAMED_SUM: &str = "fn accumulate(bound: int) -> int {
+    let running: int = 0;
+    for (let k: int = 0; k < bound; k += 1) { running += k; }
+    return running;
+}";
+
+/// A lookalike with different semantics (product, not sum) — must NOT
+/// collapse.
+const FOR_PRODUCT: &str = "fn prodTo(n: int) -> int {
+    let s: int = 1;
+    for (let i: int = 1; i < n; i += 1) { s *= i; }
+    return s;
+}";
+
+/// An untrained (but deterministic) namer bundle whose vocabulary covers
+/// the test corpus: identity and determinism contracts do not need
+/// trained weights.
+fn bundle() -> ModelBundle {
+    let opts = liger::ExtractOptions::default();
+    let vocab =
+        liger::vocab_from_sources(&[FOR_SUM, WHILE_SUM, RENAMED_SUM, FOR_PRODUCT], &opts)
+            .expect("corpus traces");
+    let mut out = OutVocab::new();
+    for t in ["sum", "to", "prod"] {
+        out.add(t);
+    }
+    let cfg = LigerConfig { hidden: 8, attn: 8, ..LigerConfig::default() };
+    let mut store = tensor::ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(17);
+    let _namer = LigerNamer::new(&mut store, vocab.len(), out.len(), cfg, &mut rng);
+    ModelBundle::for_namer(cfg, vocab, out, store)
+}
+
+fn canon(src: &str) -> InferInput {
+    InferInput::CanonSource(src.to_string())
+}
+
+#[test]
+fn canon_variants_collapse_to_one_index_entry() {
+    let handle = serve(&bundle(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    // First variant inserts.
+    let reply = client.call(&index_request(&canon(FOR_SUM))).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+    assert_eq!(reply.get("outcome").and_then(Json::as_str), Some("inserted"));
+    let key = key_from_json(reply.get("key").unwrap()).unwrap();
+
+    // The while-variant is the same canonical program: same key, dedup.
+    let reply = client.call(&index_request(&canon(WHILE_SUM))).unwrap();
+    assert_eq!(reply.get("outcome").and_then(Json::as_str), Some("unchanged"), "reply: {reply}");
+    assert_eq!(key_from_json(reply.get("key").unwrap()).unwrap(), key);
+    assert_eq!(reply.get("entries").and_then(Json::as_usize), Some(1));
+
+    // The lookalike mutant does not collapse.
+    let reply = client.call(&index_request(&canon(FOR_PRODUCT))).unwrap();
+    assert_eq!(reply.get("outcome").and_then(Json::as_str), Some("inserted"), "reply: {reply}");
+    assert_ne!(key_from_json(reply.get("key").unwrap()).unwrap(), key);
+    assert_eq!(reply.get("entries").and_then(Json::as_usize), Some(2));
+
+    // `similar` with a third syntactic variant: the canonical-exact tier
+    // finds the stored clone.
+    let opts = SearchOptions { k: 2, ..SearchOptions::default() };
+    let reply = client.call(&search_request(&canon(RENAMED_SUM), &opts)).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+    assert_eq!(key_from_json(reply.get("exact").unwrap()).unwrap(), key);
+    let hits = reply.get("hits").and_then(Json::as_arr).unwrap();
+    assert_eq!(key_from_json(hits[0].get("key").unwrap()).unwrap(), key);
+    let cosine = hits[0].get("cosine").and_then(Json::as_f64).unwrap();
+    assert!(cosine >= 0.999, "canonical self-search cosine {cosine}");
+
+    // Without canon, the raw while-variant encodes differently: no
+    // exact-tier hit.
+    let reply = client
+        .call(&search_request(&InferInput::Source(WHILE_SUM.to_string()), &opts))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+    assert_eq!(reply.get("exact"), Some(&Json::Null), "reply: {reply}");
+
+    // The stats `canon` block saw 2 distinct forms and ≥ 2 collapses
+    // (WHILE_SUM and RENAMED_SUM were memo hits).
+    let stats = client.call(&Json::obj(vec![("op", Json::str("stats"))])).unwrap();
+    let canon_block = stats.get("canon").expect("stats must carry a canon block");
+    assert_eq!(canon_block.get("entries").and_then(Json::as_usize), Some(2));
+    assert!(canon_block.get("hits").and_then(Json::as_usize).unwrap() >= 2);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn canon_embeddings_of_variants_are_bitwise_identical() {
+    let handle = serve(&bundle(), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+
+    let embed = |client: &mut Client, input: &InferInput| {
+        let reply = client.call(&infer_request(InferKind::Embed, input)).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+        serve::embedding_from_json(reply.get("embedding").unwrap()).unwrap()
+    };
+    let bits = |v: Vec<f32>| v.into_iter().map(f32::to_bits).collect::<Vec<u32>>();
+
+    let a = bits(embed(&mut client, &canon(FOR_SUM)));
+    let b = bits(embed(&mut client, &canon(WHILE_SUM)));
+    let c = bits(embed(&mut client, &canon(RENAMED_SUM)));
+    assert_eq!(a, b, "canon embeddings of variants must be bitwise identical");
+    assert_eq!(a, c);
+
+    let p = bits(embed(&mut client, &canon(FOR_PRODUCT)));
+    assert_ne!(a, p, "the lookalike mutant must not collapse");
+
+    // A broken source through the canon path errors cleanly.
+    let reply = client
+        .call(&infer_request(InferKind::Embed, &canon("fn broken(")))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false), "reply: {reply}");
+    assert!(reply.get("error").and_then(Json::as_str).is_some());
+
+    // The connection survives and the memo holds one entry per
+    // canonical form.
+    let stats = client.call(&Json::obj(vec![("op", Json::str("stats"))])).unwrap();
+    let canon_block = stats.get("canon").expect("stats must carry a canon block");
+    assert_eq!(canon_block.get("entries").and_then(Json::as_usize), Some(2));
+
+    handle.shutdown();
+    handle.join();
+}

@@ -85,6 +85,10 @@ pub struct SymExecStats {
     pub solver_calls: usize,
     /// Guard forks resolved by static analysis without any solver call.
     pub pruned_guards: usize,
+    /// Branch-bearing statements the canonicalizer erased before
+    /// execution (only set by [`symbolic_execute_canon`]): each one is a
+    /// fork the enumeration never has to consider.
+    pub canon_pruned: usize,
 }
 
 /// Symbolically executes `program`, returning satisfiable paths with
@@ -154,6 +158,47 @@ pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPa
         }
     }
     record_stats(&stats);
+    (paths, stats)
+}
+
+/// [`symbolic_execute`] over the canonical form of `program`.
+///
+/// When `config.use_analysis` is on, the program is first rewritten by
+/// [`analysis::canonicalize`] — decided guards, dead stores, and
+/// distractor branches disappear before enumeration ever starts, so the
+/// engine explores the (provably equivalent) smaller program.
+/// `stats.canon_pruned` counts the branch-bearing statements the
+/// canonicalizer erased; the feasible path set of the canonical program
+/// is a subset of the original's with identical observable semantics
+/// (witness replay on the concrete interpreter agrees — property-tested
+/// in `tests/symexec_properties.rs` / `tests/analysis_properties.rs`).
+///
+/// With `use_analysis` off this is exactly [`symbolic_execute`].
+pub fn symbolic_execute_canon(
+    program: &Program,
+    config: &SymExecConfig,
+) -> (Vec<SymPath>, SymExecStats) {
+    if !config.use_analysis {
+        return symbolic_execute(program, config);
+    }
+    let canon = analysis::canonicalize(program);
+    let branches = |p: &Program| {
+        p.statements()
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s.kind,
+                    minilang::StmtKind::If { .. }
+                        | minilang::StmtKind::While { .. }
+                        | minilang::StmtKind::For { .. }
+                )
+            })
+            .count()
+    };
+    let pruned = branches(program).saturating_sub(branches(&canon.program));
+    let (paths, mut stats) = symbolic_execute(&canon.program, config);
+    stats.canon_pruned = pruned;
+    obs::counter!("symexec.canon_pruned").add(pruned as u64);
     (paths, stats)
 }
 
@@ -979,5 +1024,68 @@ mod tests {
             stats_with.solver_calls,
             stats_without.solver_calls
         );
+    }
+
+    #[test]
+    fn canon_prunes_branches_and_preserves_semantics() {
+        // The `min(d, 0) > 0` guard is decided false (and its condition is
+        // fault-free), so the canonicalizer erases the whole branch along
+        // with the dead `t` stores. The canonical program therefore has
+        // strictly fewer branch-bearing statements, and every canonical
+        // witness must observe identical semantics on the original program.
+        let src = "fn f(x: int, d: int) -> int {
+            let t: int = 0;
+            if (min(d, 0) > 0) { t = 1; } else { t = 2; }
+            if (x > 0) { return x + 1; }
+            return 0 - x;
+        }";
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let config = SymExecConfig::default();
+        let (orig_paths, orig_stats) = symbolic_execute(&p, &config);
+        let (canon_paths, canon_stats) = symbolic_execute_canon(&p, &config);
+        assert!(canon_stats.canon_pruned > 0, "decided guard must be erased");
+        assert!(
+            canon_stats.sat_paths <= orig_stats.sat_paths,
+            "canonical feasible path set must be a subset ({} vs {})",
+            canon_stats.sat_paths,
+            orig_stats.sat_paths
+        );
+        assert!(!canon_paths.is_empty());
+        // Witness replay: parameters keep their order under renaming, so
+        // each canonical witness runs on both programs and must agree.
+        let canon = analysis::canonicalize(&p);
+        for path in &canon_paths {
+            let on_orig = interp::run(&p, &path.witness).map(|r| r.return_value);
+            let on_canon = interp::run(&canon.program, &path.witness).map(|r| r.return_value);
+            assert_eq!(on_orig.ok(), on_canon.ok(), "witness semantics diverge");
+            // And the witness reproduces its path on the canonical program.
+            let run = interp::run(&canon.program, &path.witness).unwrap();
+            let concrete: Vec<PathStep> = run.events.iter().map(|e| e.path_step()).collect();
+            assert_eq!(concrete, path.steps);
+        }
+        // Every original witness is still a feasible input of the canonical
+        // program with the same observable result (no behavior was lost).
+        for path in &orig_paths {
+            let on_orig = interp::run(&p, &path.witness).map(|r| r.return_value);
+            let on_canon = interp::run(&canon.program, &path.witness).map(|r| r.return_value);
+            assert_eq!(on_orig.ok(), on_canon.ok());
+        }
+    }
+
+    #[test]
+    fn canon_without_analysis_is_plain_symexec() {
+        let src = "fn f(x: int) -> int {
+            if (x > 0) { return 1; }
+            return 0;
+        }";
+        let p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        let config = SymExecConfig { use_analysis: false, ..SymExecConfig::default() };
+        let (plain, plain_stats) = symbolic_execute(&p, &config);
+        let (via_canon, canon_stats) = symbolic_execute_canon(&p, &config);
+        assert_eq!(canon_stats.canon_pruned, 0);
+        assert_eq!(plain.len(), via_canon.len());
+        assert_eq!(plain_stats.sat_paths, canon_stats.sat_paths);
     }
 }

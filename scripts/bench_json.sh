@@ -216,18 +216,36 @@ ana_json=$(echo "$ana_bench_out" | grep '^ANALYSIS' | awk '
             kv["pruned_guards"], kv["call_reduction"], kv["secs"])
         next
     }
+    if (kv["mode"] == "canon") {
+        canon = sprintf("    \"programs\": %s,\n    \"behaviors\": %s,\n    \"draws\": %s,\n    \"distinct\": %s,\n    \"dedup_ratio\": %s,\n    \"pair_collapse\": %s,\n    \"mutant_pairs\": %s,\n    \"mutant_collisions\": %s,\n    \"canon_us_per_program\": %s,\n    \"seconds\": %s",
+            kv["programs"], kv["behaviors"], kv["draws"], kv["distinct"],
+            kv["dedup_ratio"], kv["pair_collapse"], kv["mutant_pairs"],
+            kv["mutant_collisions"], kv["canon_us_per_program"], kv["secs"])
+        next
+    }
+    if (kv["mode"] == "canon_memo") {
+        memo = sprintf("    \"memo\": {\"encodes_direct\": %s, \"encodes_memo\": %s, \"hits\": %s, \"extraction_reduction\": %s, \"direct_secs\": %s, \"memo_secs\": %s, \"encode_speedup\": %s}",
+            kv["encodes_direct"], kv["encodes_memo"], kv["memo_hits"],
+            kv["extraction_reduction"], kv["direct_secs"], kv["memo_secs"],
+            kv["encode_speedup"])
+        next
+    }
     if (nthr++ > 0) thr = thr ",\n"
     thr = thr sprintf("    {\"mode\": \"%s\", \"programs\": %s, \"rounds\": %s, \"seconds\": %s, \"programs_per_sec\": %s}",
         kv["mode"], kv["programs"], kv["rounds"], kv["secs"], kv["programs_per_sec"])
 }
 END {
-    if (nthr == 0 || nsym == 0) exit 1
+    if (nthr == 0 || nsym == 0 || canon == "" || memo == "") exit 1
     print "  \"throughput\": ["
     print thr
     print "  ],"
     print "  \"symexec_pruning\": ["
     print sym
-    print "  ]"
+    print "  ],"
+    print "  \"canon\": {"
+    print canon ","
+    print memo
+    print "  }"
 }')
 
 if [ -z "$ana_json" ]; then
@@ -238,7 +256,7 @@ fi
 {
     echo '{'
     echo '  "bench": "throughput_analysis",'
-    echo '  "workload": "53 datagen templates: lint + program_facts throughput; symexec path enumeration with/without analysis pruning on the distractor-augmented corpus (identical path sets asserted in-bench)",'
+    echo '  "workload": "53 datagen templates: lint + program_facts throughput; symexec path enumeration with/without analysis pruning on the distractor-augmented corpus (identical path sets asserted in-bench); canonicalizer dedup over a variant-heavy corpus (>=30% pair collapse, zero mutant collisions, and memo encode-work reduction asserted in-bench)",'
     printf '%s\n' "$ana_json"
     echo '}'
 } > "$ana_out"

@@ -19,6 +19,12 @@
 # finds itself at rank 1, restart the server on the saved LGRI1 file and
 # assert a second query round still does) and the index bench smoke whose
 # in-bench asserts gate ANN recall@10 >= 0.95 and search p99 < 100ms.
+# PR 9 adds: a liger-lint --canon sweep over the rendered corpus (the
+# canonicalizer must be idempotent and its canonical forms lint-clean on
+# every template) and a clone-detection smoke against the running demo
+# server (two syntactic variants of one routine indexed with canon must
+# dedup onto one key, and a canon search must surface the stored clone
+# through the canonical-exact tier while a plain search must not).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,6 +48,11 @@ trap 'rm -rf "$lint_dir"' EXIT
 target/release/render-templates "$lint_dir"
 target/release/liger-lint --deny-warnings "$lint_dir"/*.ml
 echo "liger-lint: shipped datagen corpus is diagnostic-free"
+# The same sweep through the canonicalizer: the rewrite fixpoint must be
+# idempotent on every template (the binary exits nonzero otherwise) and
+# every canonical form must itself be diagnostic-free.
+target/release/liger-lint --canon --deny-warnings --quiet "$lint_dir"/*.ml | grep -c '^canon ' \
+    | xargs -I{} echo "liger-lint --canon: {} canonical forms, idempotent and diagnostic-free"
 rm -rf "$lint_dir"
 trap - EXIT
 
@@ -149,6 +160,48 @@ if [ "$entries" != "$distinct" ]; then
     exit 1
 fi
 self_query_round "after reload"
+
+# ---- canonicalizer clone-detection smoke --------------------------------
+# Two syntactic variants of one summation routine (for vs while, fresh
+# names, compound vs plain increments) must dedup onto one index key
+# under canon, and a canon search must surface the stored clone through
+# the canonical-exact tier; a plain search must not.
+cat > "$idx_dir/canon_for.ml" <<'EOF'
+fn sumTo(n: int) -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < n; i += 1) { s += i; }
+    return s;
+}
+EOF
+cat > "$idx_dir/canon_while.ml" <<'EOF'
+fn total(limit: int) -> int {
+    let acc: int = 0;
+    let j: int = 0;
+    while (j < limit) { acc = acc + j; j = j + 1; }
+    return acc;
+}
+EOF
+"$serve_bin" index "$idx_addr" --canon \
+    "$idx_dir/canon_for.ml" "$idx_dir/canon_while.ml" > "$idx_dir/canon.txt"
+cat "$idx_dir/canon.txt"
+canon_key=$(awk 'NR==1 {print $1}' "$idx_dir/canon.txt")
+canon_second=$(awk 'NR==2 {print $1, $2}' "$idx_dir/canon.txt")
+if [ "$canon_second" != "$canon_key unchanged" ]; then
+    echo "error: canon variants did not dedup onto one key" >&2
+    exit 1
+fi
+exact=$("$serve_bin" search "$idx_addr" "$idx_dir/canon_while.ml" --canon --k 1 \
+    | sed -n 's/^exact //p')
+if [ "$exact" != "$canon_key" ]; then
+    echo "error: canonical-exact tier missed the stored clone (got ${exact:-nothing}, want $canon_key)" >&2
+    exit 1
+fi
+if "$serve_bin" search "$idx_addr" "$idx_dir/canon_while.ml" --k 1 | grep -q '^exact '; then
+    echo "error: a plain search must not report a canonical-exact hit" >&2
+    exit 1
+fi
+echo "canonicalizer clone-detection smoke passed (variants dedup to $canon_key)"
+
 "$serve_bin" query "$idx_addr" '{"op":"shutdown"}' >/dev/null
 wait "$idx_pid"
 rm -rf "$idx_dir"

@@ -11,7 +11,7 @@
 use analysis::constprop::AbsConst;
 use analysis::interval::AbsVal;
 use analysis::Analyzed;
-use datagen::{Behavior, Knobs};
+use datagen::{Behavior, CmpStyle, Knobs};
 use interp::{EventKind, Value};
 use minilang::{Stmt, StmtId};
 use proptest::prelude::*;
@@ -165,6 +165,106 @@ proptest! {
                 stats_on.solver_calls < stats_off.solver_calls,
                 "{behavior:?}: pruned {} guards without saving a solver call",
                 stats_on.pruned_guards
+            );
+        }
+    }
+
+    /// Differential equivalence of the canonicalizer: for every template
+    /// under random variation knobs and random inputs, the canonical
+    /// program observes exactly the original's behavior — same success /
+    /// failure outcome, same return value — and the rewrite fixpoint is
+    /// idempotent.
+    #[test]
+    fn canonicalization_preserves_observable_behavior(
+        behavior in behavior_strategy(),
+        knob_seed in 0u64..1000,
+        input_seed in 0u64..1000,
+    ) {
+        let mut krng = rand::rngs::StdRng::seed_from_u64(knob_seed);
+        let knobs = Knobs::random(&mut krng, 0.5);
+        let program = minilang::parse(&behavior.render(&knobs)).unwrap();
+        minilang::typecheck(&program).unwrap();
+
+        let canon = analysis::canonicalize(&program);
+        let typecheck = minilang::typecheck(&canon.program);
+        prop_assert!(
+            typecheck.is_ok(),
+            "{behavior:?}: canonical form fails to typecheck: {typecheck:?}"
+        );
+        let again = analysis::canonicalize(&canon.program);
+        prop_assert_eq!(canon.hash, again.hash, "{:?}: canon_hash not stable", behavior);
+        prop_assert_eq!(
+            again.rewrites, 0,
+            "{:?}: second canonicalization still rewrote", behavior
+        );
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(input_seed);
+        for _ in 0..8 {
+            let inputs = randgen::random_inputs(&program, &randgen::InputConfig::default(), &mut rng);
+            let original = interp::run_with_fuel(&program, &inputs, 20_000);
+            let canonical = interp::run_with_fuel(&canon.program, &inputs, 20_000);
+            prop_assert_eq!(
+                original.is_ok(), canonical.is_ok(),
+                "{:?}: outcome diverged on {:?}", behavior, &inputs
+            );
+            prop_assert_eq!(
+                original.ok().map(|r| r.return_value),
+                canonical.ok().map(|r| r.return_value),
+                "{:?}: return value diverged on {:?}", behavior, &inputs
+            );
+        }
+    }
+
+    /// `canon_hash` is invariant under the semantics-preserving variation
+    /// knobs: loop style, increment spelling, doubling spelling, and
+    /// identifier assignment. (The `<=`-pred comparison knob is held
+    /// fixed: collapsing it needs interval evidence the raw-parameter
+    /// loop bounds don't provide.)
+    #[test]
+    fn canon_hash_is_invariant_under_variant_knobs(
+        behavior in behavior_strategy(),
+        seed_a in 0u64..1000,
+        seed_b in 1000u64..2000,
+    ) {
+        let render = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut knobs = Knobs::random(&mut rng, 0.5);
+            knobs.cmp = CmpStyle::Lt;
+            behavior.render(&knobs)
+        };
+        let a = minilang::parse(&render(seed_a)).unwrap();
+        let b = minilang::parse(&render(seed_b)).unwrap();
+        prop_assert_eq!(
+            analysis::canonicalize(&a).hash,
+            analysis::canonicalize(&b).hash,
+            "{:?}: variants did not collapse (seeds {} / {})",
+            behavior, seed_a, seed_b
+        );
+    }
+}
+
+/// Confusable lookalike pairs — same shape, different semantics — must
+/// keep distinct canonical hashes under every knob draw that their
+/// variant collapse is asserted for.
+#[test]
+fn canon_hash_separates_confusable_behaviors() {
+    let pairs = [
+        (Behavior::SumArray, Behavior::ProductArray),
+        (Behavior::MaxArray, Behavior::MinArray),
+        (Behavior::CountPositive, Behavior::CountNegative),
+        (Behavior::CountEven, Behavior::CountPositive),
+        (Behavior::SumEven, Behavior::SumPositive),
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for (left, right) in pairs {
+        for _ in 0..4 {
+            let knobs = Knobs::random(&mut rng, 0.5);
+            let l = minilang::parse(&left.render(&knobs)).unwrap();
+            let r = minilang::parse(&right.render(&knobs)).unwrap();
+            assert_ne!(
+                analysis::canonicalize(&l).hash,
+                analysis::canonicalize(&r).hash,
+                "{left:?} and {right:?} must not collapse"
             );
         }
     }
