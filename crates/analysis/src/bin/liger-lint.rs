@@ -25,6 +25,9 @@ options:
   --quiet           suppress the per-run summary line
   --metrics         print the global metrics table (lint.* counters) to
                     stderr after the run
+  --store-path DIR  read/write lint reports through the artifact store at
+                    DIR: an unchanged source replays its cached report
+                    without re-running the analysis stack
   -h, --help        show this help";
 
 struct Options {
@@ -33,6 +36,7 @@ struct Options {
     canon: bool,
     quiet: bool,
     metrics: bool,
+    store_path: Option<String>,
     files: Vec<String>,
 }
 
@@ -43,15 +47,21 @@ fn parse_args() -> Result<Options, String> {
         canon: false,
         quiet: false,
         metrics: false,
+        store_path: None,
         files: Vec::new(),
     };
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
             "--fatal-only" => opts.fatal_only = true,
             "--canon" => opts.canon = true,
             "--quiet" => opts.quiet = true,
             "--metrics" => opts.metrics = true,
+            "--store-path" => {
+                opts.store_path =
+                    Some(args.next().ok_or(format!("--store-path needs DIR\n\n{USAGE}"))?);
+            }
             "-h" | "--help" => return Err(USAGE.to_string()),
             f if !f.starts_with('-') => opts.files.push(f.to_string()),
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
@@ -62,7 +72,12 @@ fn parse_args() -> Result<Options, String> {
 
 /// Lints one source; returns (diagnostics printed, fatal seen) or an
 /// error message for parse/typecheck failures.
-fn lint_source(label: &str, src: &str, opts: &Options) -> Result<(usize, bool), String> {
+fn lint_source(
+    label: &str,
+    src: &str,
+    opts: &Options,
+    store: Option<&store::Store>,
+) -> Result<(usize, bool), String> {
     let mut program = minilang::parse(src).map_err(|e| format!("{label}: parse error: {e}"))?;
     minilang::typecheck(&program).map_err(|e| format!("{label}: type error: {e}"))?;
     if opts.canon {
@@ -76,7 +91,16 @@ fn lint_source(label: &str, src: &str, opts: &Options) -> Result<(usize, bool), 
         println!("canon {:016x} {label}", once.hash);
         program = once.program;
     }
-    let report = lint::run(&program);
+    // The key is the hash of what is actually linted: canonicalization
+    // changes the program, so `--canon` runs live in a different key
+    // space than plain runs and the two never share reports.
+    let key = if opts.canon {
+        analysis::canon_hash(&program)
+    } else {
+        store::hash::fnv1a_str(src)
+    };
+    let report = analysis::lint_with_store(&program, key, store)
+        .map_err(|e| format!("{label}: store error: {e}"))?;
     let mut printed = 0;
     for d in &report.diagnostics {
         if opts.fatal_only && d.severity != lint::Severity::Fatal {
@@ -117,12 +141,23 @@ fn main() -> ExitCode {
         }
     }
 
+    let astore = match &opts.store_path {
+        Some(dir) => match store::Store::open(std::path::Path::new(dir)) {
+            Ok(st) => Some(st),
+            Err(e) => {
+                eprintln!("liger-lint: cannot open store {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+
     let mut total = 0usize;
     let mut any_fatal = false;
     let mut any_error = false;
     let n_sources = sources.len();
     for (label, src) in &sources {
-        match lint_source(label, src, &opts) {
+        match lint_source(label, src, &opts, astore.as_ref()) {
             Ok((printed, fatal)) => {
                 total += printed;
                 any_fatal |= fatal;

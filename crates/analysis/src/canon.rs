@@ -886,31 +886,13 @@ fn zero_lines(b: &mut Block) {
 // The structural hash.
 // ---------------------------------------------------------------------------
 
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Fnv {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn byte(&mut self, b: u8) {
-        self.0 ^= u64::from(b);
-        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-    }
-
-    fn num(&mut self, n: u64) {
-        for b in n.to_le_bytes() {
-            self.byte(b);
-        }
-    }
-
-    fn str(&mut self, s: &str) {
-        self.num(s.len() as u64);
-        for &b in s.as_bytes() {
-            self.byte(b);
-        }
-    }
-}
+// The hasher itself is the workspace-shared FNV-1a from `store::hash`
+// — the same implementation behind the serve router, the index key,
+// and the store's artifact addressing, so the semantic memo can never
+// drift from the other key spaces. `num`/`str` feed the exact byte
+// schedule the private hasher here historically used; adopting the
+// shared type changed no key.
+use store::hash::Fnv64 as Fnv;
 
 /// Stable FNV-1a hash of a program's semantic structure: signature
 /// types, statement shapes, operators, literals, and (canonical)
@@ -926,7 +908,7 @@ pub fn canon_hash(p: &Program) -> u64 {
     }
     h.num(ty_tag(p.function.ret));
     hash_block(&mut h, &p.function.body);
-    h.0
+    h.finish()
 }
 
 fn ty_tag(t: Type) -> u64 {
@@ -1069,6 +1051,17 @@ mod tests {
         let p = minilang::parse(src).expect("parse");
         minilang::typecheck(&p).expect("typecheck");
         canonicalize(&p)
+    }
+
+    /// Pins `canon_hash` on the store's shared pin program. Canonical
+    /// hashes are baked into persistent artifacts (memo entries, index
+    /// keys), so an accidental change to the hash walk or the rewrite
+    /// pipeline must fail loudly here, not corrupt caches silently.
+    #[test]
+    fn canon_hash_of_pin_program_is_stable() {
+        let p = minilang::parse(store::hash::PIN_PROGRAM).expect("pin parses");
+        minilang::typecheck(&p).expect("pin typechecks");
+        assert_eq!(canon_hash(&p), 0xa572_81a7_55e5_03a6);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod facts;
 pub mod interval;
 pub mod lint;
 pub mod liveness;
+pub mod persist;
 pub mod reaching;
 pub mod vars;
 
@@ -48,4 +49,5 @@ pub use cfg::{BasicBlock, BlockId, Cfg, NaturalLoop, Terminator};
 pub use dataflow::{solve, Dataflow, Direction, Solution};
 pub use facts::{program_facts, Analyzed, ProgramFacts};
 pub use lint::{Diagnostic, LintKind, LintReport, Severity};
+pub use persist::{facts_with_store, lint_with_store};
 pub use vars::VarUniverse;

@@ -92,7 +92,7 @@ impl LintKind {
 }
 
 /// One diagnostic, anchored to a statement and source line.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// What was found.
     pub kind: LintKind,
@@ -122,7 +122,7 @@ impl Diagnostic {
 }
 
 /// All diagnostics for one program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LintReport {
     /// Diagnostics sorted by line, then kind.
     pub diagnostics: Vec<Diagnostic>,

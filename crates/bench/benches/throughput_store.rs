@@ -1,0 +1,107 @@
+//! Artifact-store throughput: a full corpus pass cold (tracing every
+//! program, populating the store) vs warm (replaying every outcome from
+//! disk), with the ISSUE 10 acceptance gate asserted in-bench:
+//!
+//! - the warm pass must run at least **3×** faster than the cold pass,
+//! - the warm pass must report **zero** misses (no program re-traced),
+//! - warm samples must be bitwise identical to cold samples.
+//!
+//! Lines are consumed by `scripts/bench_json.sh` into
+//! `BENCH_store.json`:
+//!
+//! - `STORE mode=cold …` — generation + store population,
+//! - `STORE mode=warm …` — replay from disk (hits/misses reported),
+//! - `STORE mode=summary …` — the gates and the observed speedup.
+//!
+//! `--smoke` shrinks the corpus for the CI gate.
+
+use std::time::Instant;
+
+use datagen::{generate_method_corpus_with_store, CorpusConfig, MethodCorpus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+fn config(variants: usize, paths: usize) -> CorpusConfig {
+    CorpusConfig {
+        variants_per_family: variants,
+        defect_prob: 0.1,
+        gen: randgen::GenConfig {
+            target_paths: paths,
+            concrete_per_path: 5,
+            max_attempts: 800,
+            ..randgen::GenConfig::default()
+        },
+        ..CorpusConfig::default()
+    }
+}
+
+fn corpus_pass(
+    config: &CorpusConfig,
+    seed: u64,
+    st: &store::Store,
+) -> (MethodCorpus, f64, store::StoreStats) {
+    let before = store::StoreStats::snapshot();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let corpus =
+        generate_method_corpus_with_store(config, &mut rng, Some(st)).expect("store pass");
+    let secs = start.elapsed().as_secs_f64();
+    (corpus, secs, store::StoreStats::snapshot().since(&before))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (variants, paths, seed) = if smoke { (2, 6, 0x57) } else { (8, 12, 0x57) };
+    let config = config(variants, paths);
+
+    let dir = std::env::temp_dir().join(format!("lgrs-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let st = store::Store::open(&dir).expect("open store");
+
+    // ---- cold pass: trace everything, populate the store ----------------
+    let (cold, cold_secs, cold_stats) = corpus_pass(&config, seed, &st);
+    let programs = cold.stats.original;
+    println!(
+        "STORE mode=cold programs={programs} kept={} secs={cold_secs:.6} \
+         programs_per_sec={:.2} misses={} bytes={}",
+        cold.stats.kept,
+        programs as f64 / cold_secs,
+        cold_stats.misses,
+        cold_stats.bytes,
+    );
+
+    // ---- warm pass: replay every outcome from disk -----------------------
+    let st = store::Store::open(&dir).expect("reopen store");
+    let (warm, warm_secs, warm_stats) = corpus_pass(&config, seed, &st);
+    println!(
+        "STORE mode=warm programs={programs} kept={} secs={warm_secs:.6} \
+         programs_per_sec={:.2} hits={} misses={}",
+        warm.stats.kept,
+        programs as f64 / warm_secs,
+        warm_stats.hits,
+        warm_stats.misses,
+    );
+
+    // ---- the gates -------------------------------------------------------
+    assert_eq!(warm_stats.misses, 0, "warm pass re-traced {} program(s)", warm_stats.misses);
+    assert_eq!(cold.stats, warm.stats, "warm pass changed the filter verdicts");
+    for (a, b) in cold.samples.iter().zip(&warm.samples) {
+        assert_eq!(a.program, b.program, "warm program drifted: {}", a.name);
+        assert_eq!(a.groups, b.groups, "warm traces not bitwise identical: {}", a.name);
+    }
+    let speedup = cold_secs / warm_secs.max(1e-9);
+    assert!(
+        speedup >= SPEEDUP_FLOOR,
+        "warm corpus pass speedup {speedup:.2}x fell below the {SPEEDUP_FLOOR}x floor \
+         (cold {cold_secs:.3}s, warm {warm_secs:.3}s)"
+    );
+    println!(
+        "STORE mode=summary programs={programs} cold_secs={cold_secs:.6} \
+         warm_secs={warm_secs:.6} warm_speedup={speedup:.2} \
+         speedup_floor={SPEEDUP_FLOOR} warm_misses={} pass=true",
+        warm_stats.misses,
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -161,6 +161,23 @@ impl ModelBundle {
         ModelBundle { cfg, vocab, head: BundleHead::Classifier(labels), store, qstore: None }
     }
 
+    /// A compact fingerprint of this model: head kind, embedding
+    /// width, vocabulary size, numeric path, and an FNV-1a digest of
+    /// the trained parameter bytes. Two bundles that could produce
+    /// different embeddings get different fingerprints, so both the
+    /// embedding index (`LGRI1`) and the artifact store (`LGRS1`)
+    /// refuse or miss stale entries instead of serving wrong vectors.
+    /// The serve router's `model_fingerprint` delegates here.
+    pub fn fingerprint(&self) -> String {
+        let head = match &self.head {
+            BundleHead::Namer(_) => "namer",
+            BundleHead::Classifier(_) => "classifier",
+        };
+        let numeric = if self.qstore.is_some() { "int8" } else { "f32" };
+        let h = store::hash::param_store_digest(&self.store);
+        format!("{head}/h{}/v{}/{numeric}/{h:016x}", self.cfg.hidden, self.vocab.len())
+    }
+
     /// The shared header (magic, cfg, vocabularies) without the params
     /// section.
     fn header(&self) -> String {

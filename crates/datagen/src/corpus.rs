@@ -93,7 +93,16 @@ pub struct CorpusConfig {
     pub gen: GenConfig,
     /// Minimum statement count (the "too small" filter).
     pub min_statements: usize,
+    /// Base seed for the *store-aware* pipeline's per-program trace RNGs.
+    /// Each program's executions are drawn from
+    /// `splitmix64(content_hash ^ gen_seed)`, so a cache hit skips exactly
+    /// the draws that program would have consumed — the shared corpus RNG
+    /// stream never observes whether the store was warm.
+    pub gen_seed: u64,
 }
+
+/// Default [`CorpusConfig::gen_seed`].
+pub const DEFAULT_GEN_SEED: u64 = 0x4c49_4745_5253_3130; // "LIGERS10"
 
 impl Default for CorpusConfig {
     fn default() -> Self {
@@ -104,6 +113,7 @@ impl Default for CorpusConfig {
             max_distractors: 2,
             gen: GenConfig { target_paths: 12, concrete_per_path: 5, ..GenConfig::default() },
             min_statements: 3,
+            gen_seed: DEFAULT_GEN_SEED,
         }
     }
 }
@@ -269,6 +279,217 @@ pub fn generate_coset_corpus<R: Rng + ?Sized>(config: &CorpusConfig, rng: &mut R
     CosetCorpus { samples, stats }
 }
 
+// ---------------------------------------------------------------------------
+// Store-aware pipeline: red-green incremental corpus generation.
+// ---------------------------------------------------------------------------
+
+/// Stable wire tags for [`FilterReason`].
+const REASON_TAGS: [FilterReason; 4] = [
+    FilterReason::DoesNotCompile,
+    FilterReason::NoExecutions,
+    FilterReason::Timeout,
+    FilterReason::TooSmall,
+];
+
+/// Fingerprint stamped on cached corpus outcomes: every knob that can
+/// change a program's filter verdict or its traces. A changed knob reads
+/// every cached outcome as a miss instead of replaying stale traces.
+#[must_use]
+pub fn corpus_fingerprint(config: &CorpusConfig) -> String {
+    let g = &config.gen;
+    let alphabet: String = g.inputs.alphabet.iter().collect();
+    format!(
+        "corpus@1/s{:016x}/p{}/c{}/a{}/f{}/ib{}/al{}/sl{}/ab{}/scr{}/min{}",
+        config.gen_seed,
+        g.target_paths,
+        g.concrete_per_path,
+        g.max_attempts,
+        g.fuel,
+        g.inputs.int_bound,
+        g.inputs.max_array_len,
+        g.inputs.max_str_len,
+        alphabet,
+        u8::from(g.static_screen),
+        config.min_statements,
+    )
+}
+
+/// Serializes one filter outcome: `0 reason` for a rejection, `1 groups`
+/// for an acceptance. The program itself never travels — it is reparsed
+/// from the (locally regenerated) source on a hit, which `parse`'s
+/// pre-order id assignment makes bitwise-faithful.
+fn outcome_to_bytes(outcome: &Result<Vec<PathGroup>, FilterReason>) -> Vec<u8> {
+    let mut w = store::ByteWriter::new();
+    match outcome {
+        Ok(groups) => {
+            w.u8(1);
+            trace::persist::write_groups(&mut w, groups);
+        }
+        Err(reason) => {
+            w.u8(0);
+            w.u8(REASON_TAGS.iter().position(|r| r == reason).expect("reason in wire table")
+                as u8);
+        }
+    }
+    w.into_bytes()
+}
+
+fn outcome_from_bytes(buf: &[u8]) -> Result<Result<Vec<PathGroup>, FilterReason>, store::StoreError> {
+    let mut r = store::ByteReader::new(buf);
+    let outcome = match r.u8()? {
+        0 => {
+            let tag = r.u8()? as usize;
+            Err(*REASON_TAGS.get(tag).ok_or(store::StoreError::BadRecord)?)
+        }
+        1 => Ok(trace::persist::read_groups(&mut r)?),
+        _ => return Err(store::StoreError::BadRecord),
+    };
+    r.finish()?;
+    Ok(outcome)
+}
+
+/// [`filter_one`] with a per-program RNG and an optional artifact store.
+///
+/// The trace RNG is derived from the source's content hash, so the
+/// verdict is a pure function of `(src, config)` — that is what makes
+/// the cached outcome replayable. With a warm store the program is
+/// neither executed nor traced; with `store == None` the verdict is
+/// identical, just recomputed.
+///
+/// # Errors
+///
+/// Typed [`store::StoreError`] when a cached outcome is corrupt.
+pub fn filter_one_stored(
+    src: &str,
+    config: &CorpusConfig,
+    store: Option<&store::Store>,
+) -> Result<Result<(Program, Vec<PathGroup>), FilterReason>, store::StoreError> {
+    let key = store::hash::fnv1a_str(src);
+    let fp = corpus_fingerprint(config);
+    if let Some(store) = store {
+        if let Some(payload) = store.get(store::ArtifactKind::CorpusOutcome, key, &fp)? {
+            return match outcome_from_bytes(&payload)? {
+                Ok(groups) => {
+                    // An accepted entry proves the source compiled; a
+                    // store that disagrees is handing back bytes for a
+                    // different program.
+                    let program = minilang::parse(src)
+                        .ok()
+                        .filter(|p| minilang::typecheck(p).is_ok())
+                        .ok_or(store::StoreError::BadRecord)?;
+                    Ok(Ok((program, groups)))
+                }
+                Err(reason) => Ok(Err(reason)),
+            };
+        }
+    }
+    let mut rng = derived_trace_rng(key, config.gen_seed);
+    let outcome = filter_one(src, config, &mut rng);
+    if let Some(store) = store {
+        let cacheable = match &outcome {
+            Ok((_, groups)) => Ok(groups.clone()),
+            Err(reason) => Err(*reason),
+        };
+        store.put(store::ArtifactKind::CorpusOutcome, key, &fp, &outcome_to_bytes(&cacheable))?;
+    }
+    Ok(outcome)
+}
+
+/// The per-program trace RNG: mixing the content hash with the corpus
+/// seed keeps sibling programs' streams independent even when sources
+/// differ by one byte.
+fn derived_trace_rng(key: u64, gen_seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(store::hash::splitmix64(key ^ gen_seed))
+}
+
+/// [`generate_method_corpus`] through the artifact store. Sources are
+/// drawn from `rng` exactly as in the plain generator; tracing uses
+/// per-program derived RNGs, so a warm store replays the identical
+/// corpus without executing a single program.
+///
+/// # Errors
+///
+/// Typed [`store::StoreError`] when a cached outcome is corrupt.
+pub fn generate_method_corpus_with_store<R: Rng + ?Sized>(
+    config: &CorpusConfig,
+    rng: &mut R,
+    store: Option<&store::Store>,
+) -> Result<MethodCorpus, store::StoreError> {
+    let mut samples = Vec::new();
+    let mut stats = FilterStats::default();
+    for behavior in Behavior::ALL {
+        for _ in 0..config.variants_per_family {
+            stats.original += 1;
+            let knobs = Knobs::random(rng, config.misleading_prob);
+            let pool = behavior.name_pool();
+            let name = pool[rng.random_range(0..pool.len())];
+            let distractors = rng.random_range(0..=config.max_distractors);
+            let mut src = crate::variation::with_distractors(
+                &behavior.render_named(&knobs, name),
+                distractors,
+                rng,
+            );
+            if rng.random_bool(config.defect_prob) {
+                src = corrupt(&src, rng).0;
+            }
+            match filter_one_stored(&src, config, store)? {
+                Ok((program, groups)) => {
+                    stats.kept += 1;
+                    samples.push(MethodSample {
+                        name: name.to_string(),
+                        behavior,
+                        program,
+                        groups,
+                    });
+                }
+                Err(reason) => record(&mut stats, reason),
+            }
+        }
+    }
+    Ok(MethodCorpus { samples, stats })
+}
+
+/// [`generate_coset_corpus`] through the artifact store; see
+/// [`generate_method_corpus_with_store`] for the replay contract.
+///
+/// # Errors
+///
+/// Typed [`store::StoreError`] when a cached outcome is corrupt.
+pub fn generate_coset_corpus_with_store<R: Rng + ?Sized>(
+    config: &CorpusConfig,
+    rng: &mut R,
+    store: Option<&store::Store>,
+) -> Result<CosetCorpus, store::StoreError> {
+    let mut samples = Vec::new();
+    let mut stats = FilterStats::default();
+    for strategy in Strategy::ALL {
+        for _ in 0..config.variants_per_family {
+            stats.original += 1;
+            let knobs = Knobs::random(rng, config.misleading_prob);
+            let distractors = rng.random_range(0..=config.max_distractors);
+            let mut src =
+                crate::variation::with_distractors(&strategy.render(&knobs), distractors, rng);
+            if rng.random_bool(config.defect_prob) {
+                src = corrupt(&src, rng).0;
+            }
+            match filter_one_stored(&src, config, store)? {
+                Ok((program, groups)) => {
+                    stats.kept += 1;
+                    samples.push(CosetSample {
+                        label: strategy.label(),
+                        strategy,
+                        program,
+                        groups,
+                    });
+                }
+                Err(reason) => record(&mut stats, reason),
+            }
+        }
+    }
+    Ok(CosetCorpus { samples, stats })
+}
+
 /// A train/validation/test split (by index, variants disjoint).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Split {
@@ -403,6 +624,117 @@ mod tests {
             }
         }
         assert!(seen_failure, "corruption never produced a filtered program");
+    }
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, store::Store) {
+        let dir = std::env::temp_dir().join(format!("lgrs-datagen-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let st = store::Store::open(&dir).unwrap();
+        (dir, st)
+    }
+
+    fn assert_same_method_corpus(a: &MethodCorpus, b: &MethodCorpus) {
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.behavior, y.behavior);
+            assert_eq!(x.program, y.program);
+            assert_eq!(x.groups, y.groups);
+        }
+    }
+
+    #[test]
+    fn warm_store_replays_the_identical_corpus() {
+        let config = small_config();
+        let (dir, st) = temp_store("warm");
+
+        let mut rng = StdRng::seed_from_u64(500);
+        let cold = generate_method_corpus_with_store(&config, &mut rng, Some(&st)).unwrap();
+        assert!(cold.stats.kept > 0);
+
+        let mut rng = StdRng::seed_from_u64(500);
+        let warm = generate_method_corpus_with_store(&config, &mut rng, Some(&st)).unwrap();
+        assert_same_method_corpus(&cold, &warm);
+
+        // No store at all: same corpus, recomputed (derived trace RNGs
+        // make the outcome a pure function of source + config).
+        let mut rng = StdRng::seed_from_u64(500);
+        let plain = generate_method_corpus_with_store(&config, &mut rng, None).unwrap();
+        assert_same_method_corpus(&cold, &plain);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn changed_knobs_read_as_misses_not_wrong_hits() {
+        let config = small_config();
+        let (dir, st) = temp_store("knobs");
+        let mut rng = StdRng::seed_from_u64(500);
+        let cold = generate_method_corpus_with_store(&config, &mut rng, Some(&st)).unwrap();
+
+        // Same sources, different trace budget: fingerprint changes, so
+        // the cached outcomes must NOT be replayed.
+        let mut bigger = config.clone();
+        bigger.gen.concrete_per_path += 1;
+        assert_ne!(corpus_fingerprint(&config), corpus_fingerprint(&bigger));
+        let mut rng = StdRng::seed_from_u64(500);
+        let fresh = generate_method_corpus_with_store(&bigger, &mut rng, Some(&st)).unwrap();
+        assert_eq!(cold.stats.original, fresh.stats.original);
+        let more_traces: usize = fresh.samples.iter().flat_map(|s| &s.groups).map(|g| g.traces.len()).sum();
+        let cold_traces: usize = cold.samples.iter().flat_map(|s| &s.groups).map(|g| g.traces.len()).sum();
+        assert!(more_traces > cold_traces, "stale outcome replayed despite knob change");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn editing_one_program_invalidates_exactly_that_program() {
+        let config = small_config();
+        let (dir, st) = temp_store("redgreen");
+        let src_a = Behavior::SumArray.render(&Knobs::plain());
+        let src_b = Behavior::MaxArray.render(&Knobs::plain());
+        let a = filter_one_stored(&src_a, &config, Some(&st)).unwrap().unwrap();
+        let b = filter_one_stored(&src_b, &config, Some(&st)).unwrap().unwrap();
+
+        // Edit program A: its artifact moves to a new key; B's stays put.
+        let src_a2 = src_a.replace("return", "return 0 + ");
+        let key_a = store::hash::fnv1a_str(&src_a);
+        let key_a2 = store::hash::fnv1a_str(&src_a2);
+        let key_b = store::hash::fnv1a_str(&src_b);
+        assert_ne!(key_a, key_a2);
+        let fp = corpus_fingerprint(&config);
+        let _ = filter_one_stored(&src_a2, &config, Some(&st)).unwrap().unwrap();
+        for key in [key_a, key_a2, key_b] {
+            assert!(
+                st.get(store::ArtifactKind::CorpusOutcome, key, &fp).unwrap().is_some(),
+                "artifact for {key:#x} missing"
+            );
+        }
+        // B replays bitwise from its untouched artifact.
+        let b2 = filter_one_stored(&src_b, &config, Some(&st)).unwrap().unwrap();
+        assert_eq!(b.0, b2.0);
+        assert_eq!(b.1, b2.1);
+        // A's new source replays from its own (new) artifact.
+        let a2 = filter_one_stored(&src_a2, &config, Some(&st)).unwrap().unwrap();
+        assert_eq!(a2.1.is_empty(), a.1.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejected_outcomes_are_cached_too() {
+        let config = small_config();
+        let (dir, st) = temp_store("reject");
+        let src = "fn tiny() -> int {\nreturn 0;\n}";
+        let cold = filter_one_stored(src, &config, Some(&st)).unwrap();
+        assert_eq!(cold.unwrap_err(), FilterReason::TooSmall);
+        let warm = filter_one_stored(src, &config, Some(&st)).unwrap();
+        assert_eq!(warm.unwrap_err(), FilterReason::TooSmall);
+        let key = store::hash::fnv1a_str(src);
+        let payload = st
+            .get(store::ArtifactKind::CorpusOutcome, key, &corpus_fingerprint(&config))
+            .unwrap()
+            .expect("rejection cached");
+        assert_eq!(payload, vec![0u8, 3u8]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

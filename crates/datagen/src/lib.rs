@@ -31,8 +31,10 @@ pub mod templates;
 pub mod variation;
 
 pub use corpus::{
-    generate_coset_corpus, generate_method_corpus, split_indices, CorpusConfig, CosetCorpus,
-    CosetSample, FilterReason, FilterStats, MethodCorpus, MethodSample, Split,
+    corpus_fingerprint, filter_one_stored, generate_coset_corpus,
+    generate_coset_corpus_with_store, generate_method_corpus, generate_method_corpus_with_store,
+    split_indices, CorpusConfig, CosetCorpus, CosetSample, FilterReason, FilterStats,
+    MethodCorpus, MethodSample, Split, DEFAULT_GEN_SEED,
 };
 pub use coset::Strategy;
 pub use templates::Behavior;

@@ -191,6 +191,32 @@ pub fn build_method_dataset(scale: &Scale) -> (MethodDataset, FilterStats) {
     (ds, stats)
 }
 
+/// [`build_method_dataset`] through the artifact store: a warm store
+/// serves every program's filter verdict and traces without executing
+/// anything. Note the stored pipeline derives per-program trace RNGs,
+/// so its corpus differs from the plain builder's even cold — but is
+/// identical across cold/warm/no-store runs of *itself*.
+///
+/// # Errors
+///
+/// Typed [`store::StoreError`] when a cached outcome is corrupt.
+pub fn build_method_dataset_stored(
+    scale: &Scale,
+    store: Option<&store::Store>,
+) -> Result<(MethodDataset, FilterStats), store::StoreError> {
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let corpus =
+        datagen::generate_method_corpus_with_store(&scale.corpus_config(), &mut rng, store)?;
+    let stats = corpus.stats;
+    let ds = prepare_method_dataset(
+        &corpus,
+        &scale.prepare_options(),
+        scale.concrete_per_path,
+        &mut rng,
+    );
+    Ok((ds, stats))
+}
+
 /// Builds the COSET-like dataset for a scale.
 pub fn build_coset_dataset(scale: &Scale) -> (CosetDataset, FilterStats) {
     let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(1000));
@@ -203,6 +229,29 @@ pub fn build_coset_dataset(scale: &Scale) -> (CosetDataset, FilterStats) {
         &mut rng,
     );
     (ds, stats)
+}
+
+/// [`build_coset_dataset`] through the artifact store; see
+/// [`build_method_dataset_stored`] for the replay contract.
+///
+/// # Errors
+///
+/// Typed [`store::StoreError`] when a cached outcome is corrupt.
+pub fn build_coset_dataset_stored(
+    scale: &Scale,
+    store: Option<&store::Store>,
+) -> Result<(CosetDataset, FilterStats), store::StoreError> {
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(1000));
+    let corpus =
+        datagen::generate_coset_corpus_with_store(&scale.corpus_config(), &mut rng, store)?;
+    let stats = corpus.stats;
+    let ds = prepare_coset_dataset(
+        &corpus,
+        &scale.prepare_options(),
+        scale.concrete_per_path,
+        &mut rng,
+    );
+    Ok((ds, stats))
 }
 
 /// **Table 1** — dataset statistics before/after filtering.

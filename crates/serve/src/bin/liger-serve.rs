@@ -14,6 +14,10 @@
 //! `--index-path FILE.lgri` makes the embedding index persistent: loaded
 //! at startup, saved on graceful shutdown.
 //!
+//! `--store-path DIR` points shard workers at the content-addressed
+//! artifact store: embedding requests whose content hash (and model
+//! fingerprint) match a cached entry skip the forward pass entirely.
+//!
 //! The server shuts down gracefully on SIGTERM/ctrl-c or the admin
 //! `{"op":"shutdown"}` verb: the listener stops accepting, open
 //! connections drain, and every accepted request is answered.
@@ -297,6 +301,8 @@ fn serve_main(args: &[String]) -> i32 {
                 .map(|n| config.drain_deadline_ms = n as u64),
             "--index-path" => value("--index-path")
                 .map(|v| config.index_path = Some(std::path::PathBuf::from(v))),
+            "--store-path" => value("--store-path")
+                .map(|v| config.store_path = Some(std::path::PathBuf::from(v))),
             "--threads" => {
                 parse_num(&mut value, "--threads").map(|n| par::set_threads(Some(n)))
             }
@@ -386,7 +392,7 @@ fn print_usage() {
          liger-serve --ckpt model.lgrb [--addr HOST:PORT] [--batch-max N]\n              \
          [--batch-timeout-ms N] [--queue-cap N] [--threads N] [--shards N]\n              \
          [--max-conns N] [--max-inflight N] [--drain-deadline-ms N] [--metrics]\n              \
-         [--index-path FILE.lgri]\n  \
+         [--index-path FILE.lgri] [--store-path DIR]\n  \
          liger-serve --demo [--save model.lgrb] [flags...]\n  \
          liger-serve query ADDR JSON [JSON...]\n  \
          liger-serve index ADDR [--canon] FILE [FILE...]\n  \

@@ -99,6 +99,12 @@ pub struct ServerConfig {
     /// startup (refusing dim/fingerprint mismatches); the index is
     /// written back on graceful shutdown, atomically.
     pub index_path: Option<std::path::PathBuf>,
+    /// Root of the content-addressed artifact store (`LGRS1`). Shard
+    /// workers resolve embedding requests through it before the fused
+    /// GEMM pass: a hit skips the forward pass entirely, and every
+    /// entry is stamped with the bundle's fingerprint so a swapped
+    /// checkpoint reads as a miss, never a stale embedding.
+    pub store_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +120,7 @@ impl Default for ServerConfig {
             drain_deadline_ms: 5000,
             extract: ExtractOptions::default(),
             index_path: None,
+            store_path: None,
         }
     }
 }
@@ -145,6 +152,13 @@ struct Shared {
     canon: Mutex<CanonEncoder>,
     /// Where [`ServerHandle::join`] persists the index, if anywhere.
     index_path: Option<std::path::PathBuf>,
+    /// The content-addressed artifact store, if configured. Shard
+    /// threads consult it for cached embeddings keyed by the routing
+    /// content hash; corruption never takes a request down — the shard
+    /// recomputes and counts `serve.store_error`.
+    astore: Option<store::Store>,
+    /// The bundle fingerprint stamped on every cached embedding.
+    model_fp: String,
     shutdown: AtomicBool,
     /// Shard → event-loop reply channel, drained on eventfd wake.
     completions: Mutex<Vec<Completion>>,
@@ -300,15 +314,7 @@ impl ServerHandle {
 /// which is what keeps `stats` aggregation and drain accounting
 /// deterministic under resharding.
 pub fn content_hash(prog: &EncodedProgram) -> u64 {
-    struct Fnv(u64);
-    impl Fnv {
-        fn num(&mut self, n: u64) {
-            for b in n.to_le_bytes() {
-                self.0 ^= u64::from(b);
-                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-            }
-        }
-    }
+    use store::hash::Fnv64 as Fnv;
     fn tree(h: &mut Fnv, t: liger::TreeId, prog: &EncodedProgram) {
         let node = prog.pool.tree(t);
         h.num(1);
@@ -318,7 +324,7 @@ pub fn content_hash(prog: &EncodedProgram) -> u64 {
             tree(h, c, prog);
         }
     }
-    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let mut h = Fnv::new();
     h.num(prog.traces.len() as u64);
     for tr in &prog.traces {
         h.num(2);
@@ -347,39 +353,28 @@ pub fn content_hash(prog: &EncodedProgram) -> u64 {
             }
         }
     }
-    h.0
+    h.finish()
 }
 
 /// Stable FNV-1a hash of a raw source string — the routing key for the
-/// jobs a shard parses itself (`source` inference inputs and lint).
-/// Like [`content_hash`] it depends only on the request bytes, so one
-/// source always routes to one shard.
+/// jobs a shard parses itself (`source` inference inputs and lint),
+/// and the artifact-store key for source-derived caches. Delegates to
+/// the workspace-shared hasher so the routing and store key spaces are
+/// one; it depends only on the request bytes, so one source always
+/// routes to one shard.
 pub fn source_hash(src: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in src.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    store::hash::fnv1a_str(src)
 }
 
 /// A compact fingerprint of the serving model, stored in every index
 /// file: head kind, embedding width, vocabulary size, numeric path, and
 /// an FNV-1a hash of the trained parameter bytes. Two bundles that could
 /// produce different embeddings get different fingerprints, so a stale
-/// index is refused at load rather than silently searched.
+/// index is refused at load rather than silently searched. Delegates to
+/// [`ModelBundle::fingerprint`], which the artifact store stamps on
+/// every cached embedding for the same staleness guarantee.
 pub fn model_fingerprint(bundle: &ModelBundle) -> String {
-    let head = match &bundle.head {
-        liger::BundleHead::Namer(_) => "namer",
-        liger::BundleHead::Classifier(_) => "classifier",
-    };
-    let numeric = if bundle.qstore.is_some() { "int8" } else { "f32" };
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in &tensor::save_store_binary(&bundle.store) {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    format!("{head}/h{}/v{}/{numeric}/{h:016x}", bundle.cfg.hidden, bundle.vocab.len())
+    bundle.fingerprint()
 }
 
 /// Opens (or creates) the embedding index for `bundle`: loads
@@ -420,6 +415,15 @@ pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHan
         .instantiate()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let idx = open_index(bundle, config.index_path.as_deref())?;
+    let astore = match config.store_path.as_deref() {
+        Some(dir) => Some(store::Store::open(dir).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cannot open artifact store {}: {e}", dir.display()),
+            )
+        })?),
+        None => None,
+    };
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
@@ -446,6 +450,8 @@ pub fn serve(bundle: &ModelBundle, config: ServerConfig) -> io::Result<ServerHan
         index: Mutex::new(idx),
         canon: Mutex::new(CanonEncoder::new()),
         index_path: config.index_path.clone(),
+        astore,
+        model_fp: model_fingerprint(bundle),
         shutdown: AtomicBool::new(false),
         completions: Mutex::new(Vec::new()),
         waker: Waker::new()?,
@@ -1174,14 +1180,57 @@ fn shard_loop(
             }
             obs::counter!("serve.fused_embed_batch").add(embeds.len() as u64);
             let ctx = &mut workers[0];
-            let progs: Vec<&EncodedProgram> = embeds.iter().map(|job| &job.prog).collect();
-            let embeddings: Vec<Vec<f32>> = match &mut ctx.engine {
-                Some(engine) => {
-                    let model = shared.task.model();
-                    progs.iter().map(|prog| engine.embed(model, prog)).collect()
+            // Resolve cache hits through the artifact store first, keyed
+            // by the routing content hash + bundle fingerprint. Hits drop
+            // out of the fused GEMM panel entirely; only misses are
+            // computed, and their results are written back. A corrupt
+            // entry recomputes (counted) rather than failing the request.
+            let mut cached: Vec<Option<Vec<f32>>> = vec![None; embeds.len()];
+            let mut keys: Vec<u64> = Vec::new();
+            if let Some(st) = &shared.astore {
+                keys = embeds.iter().map(|job| content_hash(&job.prog)).collect();
+                for (slot, key) in cached.iter_mut().zip(&keys) {
+                    match st.get(store::ArtifactKind::Embedding, *key, &shared.model_fp) {
+                        Ok(Some(payload)) => match store::embedding_from_bytes(&payload) {
+                            Ok(emb) => *slot = Some(emb),
+                            Err(_) => obs::counter!("serve.store_error").inc(),
+                        },
+                        Ok(None) => {}
+                        Err(_) => obs::counter!("serve.store_error").inc(),
+                    }
                 }
-                None => shared.task.embed_batch_in(&mut ctx.ws, &shared.store, &progs),
+            }
+            let miss_idx: Vec<usize> =
+                (0..embeds.len()).filter(|&i| cached[i].is_none()).collect();
+            let progs: Vec<&EncodedProgram> =
+                miss_idx.iter().map(|&i| &embeds[i].prog).collect();
+            let computed: Vec<Vec<f32>> = if progs.is_empty() {
+                Vec::new()
+            } else {
+                match &mut ctx.engine {
+                    Some(engine) => {
+                        let model = shared.task.model();
+                        progs.iter().map(|prog| engine.embed(model, prog)).collect()
+                    }
+                    None => shared.task.embed_batch_in(&mut ctx.ws, &shared.store, &progs),
+                }
             };
+            if let Some(st) = &shared.astore {
+                for (&i, emb) in miss_idx.iter().zip(&computed) {
+                    let payload = store::embedding_to_bytes(emb);
+                    if st
+                        .put(store::ArtifactKind::Embedding, keys[i], &shared.model_fp, &payload)
+                        .is_err()
+                    {
+                        obs::counter!("serve.store_error").inc();
+                    }
+                }
+            }
+            let mut fresh = computed.into_iter();
+            let embeddings: Vec<Vec<f32>> = cached
+                .into_iter()
+                .map(|slot| slot.unwrap_or_else(|| fresh.next().expect("one result per miss")))
+                .collect();
             for (job, embedding) in embeds.into_iter().zip(embeddings) {
                 shared.stats.record_latency(shard, InferKind::Embed, job.queued.elapsed());
                 let reply = match job.op {
@@ -1379,5 +1428,19 @@ impl Client {
     pub fn call(&mut self, request: &Json) -> io::Result<Json> {
         self.send(request)?;
         self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the routing hash on the store's shared pin program. Source
+    /// hashes key persistent artifacts (embedding cache entries, index
+    /// identities), so a drift in the shared FNV-1a implementation must
+    /// fail this test rather than silently orphan every cached artifact.
+    #[test]
+    fn source_hash_agrees_with_the_store_pin() {
+        assert_eq!(source_hash(store::hash::PIN_PROGRAM), store::hash::PIN_SOURCE_HASH);
     }
 }

@@ -1,0 +1,91 @@
+//! End-to-end tests for `--store-path`: shard workers resolve embedding
+//! requests through the content-addressed artifact store.
+//!
+//! Gated contracts:
+//! - a server restart over the same store serves the cached embedding
+//!   bitwise identically, with zero misses (red-green warm restart),
+//! - a different checkpoint (different fingerprint) misses instead of
+//!   replaying the other model's embedding.
+
+use liger::{LigerConfig, LigerNamer, ModelBundle, OutVocab};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serve::json::Json;
+use serve::protocol::{infer_request, InferInput, InferKind};
+use serve::server::{serve, Client, ServerConfig};
+
+const SOURCE: &str = "fn sumTo(n: int) -> int {
+    let s: int = 0;
+    for (let i: int = 0; i < n; i += 1) { s += i; }
+    return s;
+}";
+
+fn bundle(seed: u64) -> ModelBundle {
+    let opts = liger::ExtractOptions::default();
+    let vocab = liger::vocab_from_sources(&[SOURCE], &opts).expect("corpus traces");
+    let mut out = OutVocab::new();
+    for t in ["sum", "to"] {
+        out.add(t);
+    }
+    let cfg = LigerConfig { hidden: 8, attn: 8, ..LigerConfig::default() };
+    let mut pstore = tensor::ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _namer = LigerNamer::new(&mut pstore, vocab.len(), out.len(), cfg, &mut rng);
+    ModelBundle::for_namer(cfg, vocab, out, pstore)
+}
+
+fn config(dir: &std::path::Path) -> ServerConfig {
+    ServerConfig { store_path: Some(dir.to_path_buf()), ..ServerConfig::default() }
+}
+
+fn embed_bits(addr: std::net::SocketAddr) -> Vec<u32> {
+    let mut client = Client::connect(addr).unwrap();
+    let input = InferInput::Source(SOURCE.to_string());
+    let reply = client.call(&infer_request(InferKind::Embed, &input)).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true), "reply: {reply}");
+    serve::embedding_from_json(reply.get("embedding").unwrap())
+        .unwrap()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect()
+}
+
+#[test]
+fn warm_restart_replays_cached_embeddings_bitwise() {
+    let dir = std::env::temp_dir().join(format!("lgrs-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Cold server: computes and persists the embedding.
+    let handle = serve(&bundle(17), config(&dir)).unwrap();
+    let cold = embed_bits(handle.local_addr());
+    handle.shutdown();
+    handle.join();
+    let st = store::Store::open(&dir).unwrap();
+    assert_eq!(st.len(store::ArtifactKind::Embedding).unwrap(), 1);
+
+    // Warm restart, same checkpoint: bitwise identical reply, zero
+    // misses — the forward pass never ran.
+    let before = store::StoreStats::snapshot();
+    let handle = serve(&bundle(17), config(&dir)).unwrap();
+    let warm = embed_bits(handle.local_addr());
+    handle.shutdown();
+    handle.join();
+    assert_eq!(cold, warm, "warm embedding must be bitwise identical");
+    let delta = store::StoreStats::snapshot().since(&before);
+    assert!(delta.hits >= 1, "warm request must hit the store: {delta}");
+    assert_eq!(delta.misses, 0, "warm request must not miss: {delta}");
+
+    // A different checkpoint has a different fingerprint: its request
+    // misses and recomputes instead of replaying the wrong model's
+    // embedding.
+    let before = store::StoreStats::snapshot();
+    let handle = serve(&bundle(99), config(&dir)).unwrap();
+    let other = embed_bits(handle.local_addr());
+    handle.shutdown();
+    handle.join();
+    let delta = store::StoreStats::snapshot().since(&before);
+    assert!(delta.misses >= 1, "swapped checkpoint must miss: {delta}");
+    assert_ne!(cold, other, "different weights must produce a different embedding");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,293 @@
+//! Little-endian payload codec helpers shared by every artifact kind.
+//!
+//! The store itself only moves opaque payload bytes; the crates that
+//! own the artifact types (trace, analysis, core) define their payload
+//! grammar on top of these two cursors so that every codec inherits the
+//! same discipline: bounds-checked reads, typed [`StoreError`] on any
+//! malformed input, and never a panic.
+
+use crate::error::StoreError;
+use minilang::StmtId;
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Finishes and returns the accumulated bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f32` as its IEEE-754 bits (bitwise lossless).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends raw bytes verbatim (no length prefix) — for splicing an
+    /// already-framed sub-payload.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a statement id.
+    pub fn stmt(&mut self, s: StmtId) {
+        self.u32(s.0);
+    }
+}
+
+/// Bounds-checked little-endian cursor over payload bytes.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor positioned at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).ok_or(StoreError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(StoreError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] when the buffer ends mid-number.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] when the buffer ends mid-number.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] when the buffer ends mid-number.
+    pub fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f32` from its IEEE-754 bits.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] when the buffer ends mid-number.
+    pub fn f32(&mut self) -> Result<f32, StoreError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] mid-string, [`StoreError::BadRecord`]
+    /// on invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| StoreError::BadRecord)
+    }
+
+    /// Reads a statement id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Truncated`] when the buffer ends mid-number.
+    pub fn stmt(&mut self) -> Result<StmtId, StoreError> {
+        Ok(StmtId(self.u32()?))
+    }
+
+    /// Whether the cursor has consumed every byte.
+    #[must_use]
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Asserts the payload ends here.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::TrailingBytes`] when data remains.
+    pub fn finish(&self) -> Result<(), StoreError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(StoreError::TrailingBytes)
+        }
+    }
+}
+
+/// Serializes an embedding vector as a length-prefixed run of IEEE-754
+/// bits — the payload grammar of [`crate::ArtifactKind::Embedding`]
+/// entries, shared by serve, quickstart, and the eval pipeline so a
+/// vector cached by one consumer loads bitwise-identical in another.
+#[must_use]
+pub fn embedding_to_bytes(vec: &[f32]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(vec.len() as u32);
+    for &x in vec {
+        w.f32(x);
+    }
+    w.into_bytes()
+}
+
+/// Parses an embedding payload written by [`embedding_to_bytes`].
+///
+/// # Errors
+///
+/// [`StoreError::Truncated`] / [`StoreError::TrailingBytes`] when the
+/// byte count disagrees with the length prefix.
+pub fn embedding_from_bytes(buf: &[u8]) -> Result<Vec<f32>, StoreError> {
+    let mut r = ByteReader::new(buf);
+    let n = r.u32()? as usize;
+    let mut vec = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        vec.push(r.f32()?);
+    }
+    r.finish()?;
+    Ok(vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.f32(1.5);
+        w.str("héllo");
+        w.stmt(StmtId(99));
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.stmt().unwrap(), StmtId(99));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_are_typed() {
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..7]);
+        assert_eq!(r.u64().unwrap_err(), StoreError::Truncated);
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u32().unwrap(), 1);
+        assert_eq!(r.finish().unwrap_err(), StoreError::TrailingBytes);
+    }
+
+    #[test]
+    fn embedding_payload_roundtrip_is_bitwise() {
+        let vec = [1.0f32, -0.0, f32::MIN_POSITIVE, 3.25e-7];
+        let bytes = embedding_to_bytes(&vec);
+        let back = embedding_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), vec.len());
+        for (a, b) in vec.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(embedding_from_bytes(&bytes[..bytes.len() - 1]), Err(StoreError::Truncated));
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(embedding_from_bytes(&long), Err(StoreError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_utf8_is_typed() {
+        let mut w = ByteWriter::new();
+        w.u32(2);
+        w.u8(0xff);
+        w.u8(0xfe);
+        let bytes = w.into_bytes();
+        assert_eq!(ByteReader::new(&bytes).str().unwrap_err(), StoreError::BadRecord);
+    }
+}

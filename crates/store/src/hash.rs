@@ -1,0 +1,174 @@
+//! The one FNV-1a implementation every key space in the workspace
+//! shares.
+//!
+//! Before this crate existed, three call sites re-implemented the same
+//! hash independently: the serve router (`content_hash`/`source_hash`),
+//! the index key (produced by serve), and the canonicalizer's semantic
+//! memo (`analysis::canon_hash`). They agreed only by convention. They
+//! now all build on [`Fnv64`], and the pinned-value tests at the bottom
+//! of this module freeze the key space: if any consumer's hash of the
+//! reference program drifts, a test fails here rather than a cache
+//! silently splitting.
+
+/// 64-bit FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// The `num`/`str` feeders match the byte schedules the serve router
+/// and the canonicalizer historically used (`num` feeds the eight
+/// little-endian bytes, `str` is length-prefixed), so adopting this
+/// struct changed no existing key.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher seeded with the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Fnv64 {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Feeds one byte.
+    pub fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    /// Feeds a byte slice.
+    pub fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    /// Feeds a `u64` as its eight little-endian bytes.
+    pub fn num(&mut self, n: u64) {
+        self.bytes(&n.to_le_bytes());
+    }
+
+    /// Feeds a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn str(&mut self, s: &str) {
+        self.num(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// FNV-1a of a raw byte slice.
+#[must_use]
+pub fn fnv1a_bytes(bs: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.bytes(bs);
+    h.finish()
+}
+
+/// FNV-1a of a string's UTF-8 bytes — the store key for artifacts
+/// derived from a source text (traces, corpus outcomes, lint reports).
+/// Identical to the serve router's `source_hash`, which now delegates
+/// here.
+#[must_use]
+pub fn fnv1a_str(s: &str) -> u64 {
+    fnv1a_bytes(s.as_bytes())
+}
+
+/// FNV-1a digest of a trained parameter store's serialized bytes — the
+/// weights component of every model fingerprint. Two checkpoints that
+/// could produce different embeddings digest differently, so a stale
+/// cached embedding (or index) reads as a miss rather than a wrong hit.
+#[must_use]
+pub fn param_store_digest(params: &tensor::ParamStore) -> u64 {
+    fnv1a_bytes(&tensor::save_store_binary(params))
+}
+
+/// SplitMix64 finalizer: spreads a store key into an independent RNG
+/// seed. The corpus pipeline derives each program's trace seed as
+/// `splitmix64(source_key ^ gen_seed)` so that a cache hit — which
+/// skips tracing entirely — cannot perturb any other program's
+/// randomness: no shared RNG stream threads through the per-program
+/// work.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The reference program for the key-space pin tests: consumers in
+/// other crates (serve routing, canon memo) hash this same source and
+/// assert their own pinned digests against it.
+pub const PIN_PROGRAM: &str =
+    "fn addOne(x: int) -> int { return x + 1; }";
+
+/// The pinned [`fnv1a_str`] digest of [`PIN_PROGRAM`]. Baked into a
+/// test below; changing the hash schedule invalidates every on-disk
+/// store, so this constant failing to match is a release blocker, not
+/// a test to update casually.
+pub const PIN_SOURCE_HASH: u64 = 0xf734_7679_3022_3959;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn pinned_program_hash_never_drifts() {
+        // The key spaces of the store, the serve router, and the index
+        // all derive from this byte schedule; a drift here silently
+        // orphans every artifact on disk.
+        assert_eq!(fnv1a_str(PIN_PROGRAM), PIN_SOURCE_HASH);
+        // And the program must actually be valid minilang, so the
+        // cross-crate pin tests can parse it.
+        minilang::parse(PIN_PROGRAM).expect("pin program parses");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.bytes(b"foo");
+        h.bytes(b"bar");
+        assert_eq!(h.finish(), fnv1a_bytes(b"foobar"));
+    }
+
+    #[test]
+    fn str_is_length_prefixed() {
+        let digest = |parts: &[&str]| {
+            let mut h = Fnv64::new();
+            for p in parts {
+                h.str(p);
+            }
+            h.finish()
+        };
+        assert_ne!(digest(&["ab", "c"]), digest(&["a", "bc"]));
+    }
+
+    #[test]
+    fn splitmix_spreads_near_keys() {
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Known SplitMix64 vector (seed 0 -> first output).
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+    }
+}

@@ -1,0 +1,37 @@
+//! Content-addressed on-disk artifact store for the LIGER pipeline.
+//!
+//! The paper's blended embeddings are expensive by construction: every
+//! program is traced, symbolically executed, and encoded before its
+//! vector exists. This crate makes that work incremental across process
+//! restarts — a corpus pass consults the store before tracing or
+//! encoding, and an unchanged program loads bitwise-identical artifacts
+//! instead of recomputing them.
+//!
+//! Three pieces:
+//!
+//! * [`hash`] — the one FNV-1a implementation every key space shares
+//!   (serve routing, index identity, canon memo, store keys), plus the
+//!   SplitMix64 seed-derivation used by the incremental corpus
+//!   pipeline.
+//! * [`Store`] — the content-addressed store itself: `LGRS1` entries,
+//!   atomic writes, fingerprint-checked lookups, typed [`StoreError`]
+//!   on any corruption, `store.hits`/`store.misses`/`store.bytes`/
+//!   `store.evictions` obs counters and a `store.lookup` span.
+//! * [`codec`] — the little-endian payload cursors the artifact-owning
+//!   crates (trace, analysis, core) build their codecs on.
+//!
+//! The store holds payloads as opaque bytes; it depends only on
+//! `tensor`, `obs`, and `minilang`, so every layer of the stack — from
+//! `randgen` up to `liger-serve` — can reach it without cycles.
+
+mod codec;
+mod error;
+pub mod hash;
+mod store;
+
+pub use codec::{embedding_from_bytes, embedding_to_bytes, ByteReader, ByteWriter};
+pub use error::StoreError;
+pub use store::{
+    entry_from_bytes, entry_to_bytes, sniff, ArtifactKind, Entry, Store, StoreStats, MAGIC,
+    VERSION,
+};

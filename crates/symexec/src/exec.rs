@@ -97,6 +97,42 @@ pub struct SymExecStats {
 /// Returns an empty path list (with `aborted_paths > 0`) for programs with
 /// `str` parameters, which this executor does not model symbolically.
 pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPath>, SymExecStats) {
+    // Static facts are computed once per program; decided guards let the
+    // engine skip both per-polarity feasibility solves at a fork.
+    let facts = config.use_analysis.then(|| analysis::program_facts(program));
+    execute_with_facts(program, config, facts)
+}
+
+/// [`symbolic_execute`] with the pruning facts resolved through the
+/// artifact store: `key` is the FNV-1a hash of the source `program` was
+/// parsed from, and a warm store serves the facts without re-running
+/// the dataflow stack. With `store == None` this is exactly
+/// [`symbolic_execute`].
+///
+/// # Errors
+///
+/// Typed [`store::StoreError`] when a cached facts artifact is corrupt
+/// — surfaced rather than silently recomputed, mirroring the store's
+/// corruption contract.
+pub fn symbolic_execute_stored(
+    program: &Program,
+    config: &SymExecConfig,
+    key: u64,
+    store: Option<&store::Store>,
+) -> Result<(Vec<SymPath>, SymExecStats), store::StoreError> {
+    let facts = if config.use_analysis {
+        Some(analysis::facts_with_store(program, key, store)?)
+    } else {
+        None
+    };
+    Ok(execute_with_facts(program, config, facts))
+}
+
+fn execute_with_facts(
+    program: &Program,
+    config: &SymExecConfig,
+    facts: Option<analysis::ProgramFacts>,
+) -> (Vec<SymPath>, SymExecStats) {
     let _span = obs::span!("symexec.execute");
     obs::counter!("symexec.programs").inc();
     let mut stats = SymExecStats::default();
@@ -119,10 +155,6 @@ pub fn symbolic_execute(program: &Program, config: &SymExecConfig) -> (Vec<SymPa
         .map(|(i, _)| i)
         .collect();
     let combos = length_combos(array_params.len(), config.max_array_len);
-
-    // Static facts are computed once per program; decided guards let the
-    // engine skip both per-polarity feasibility solves at a fork.
-    let facts = config.use_analysis.then(|| analysis::program_facts(program));
 
     'combos: for combo in combos {
         let mut engine = Engine { program, config, stats: &mut stats, facts: facts.as_ref() };
@@ -1071,6 +1103,41 @@ mod tests {
             let on_canon = interp::run(&canon.program, &path.witness).map(|r| r.return_value);
             assert_eq!(on_orig.ok(), on_canon.ok());
         }
+    }
+
+    #[test]
+    fn stored_matches_plain_and_hits_on_rerun() {
+        let src = "fn f(x: int) -> int {
+            if (true) { return x + 1; }
+            return 0;
+        }";
+        let mut p = minilang::parse(src).unwrap();
+        minilang::typecheck(&p).unwrap();
+        p.assign_ids();
+        let config = SymExecConfig::default();
+        let key = store::hash::fnv1a_str(src);
+        let dir = std::env::temp_dir().join(format!("lgrs-symexec-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let st = store::Store::open(&dir).unwrap();
+
+        let (plain, plain_stats) = symbolic_execute(&p, &config);
+        let (cold, cold_stats) = symbolic_execute_stored(&p, &config, key, Some(&st)).unwrap();
+        let (warm, warm_stats) = symbolic_execute_stored(&p, &config, key, Some(&st)).unwrap();
+        for paths in [&cold, &warm] {
+            assert_eq!(paths.len(), plain.len());
+            for (a, b) in plain.iter().zip(paths.iter()) {
+                assert_eq!(a.steps, b.steps);
+                assert_eq!(a.witness, b.witness);
+            }
+        }
+        assert_eq!(plain_stats.sat_paths, cold_stats.sat_paths);
+        assert_eq!(plain_stats.sat_paths, warm_stats.sat_paths);
+        // The facts artifact landed in the store on the cold pass.
+        assert!(!st.is_empty(store::ArtifactKind::Facts).unwrap());
+        // And with no store it is exactly the plain entry point.
+        let (none, _) = symbolic_execute_stored(&p, &config, key, None).unwrap();
+        assert_eq!(none.len(), plain.len());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

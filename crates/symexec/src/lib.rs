@@ -41,6 +41,9 @@ pub mod exec;
 pub mod solver;
 pub mod sym;
 
-pub use exec::{symbolic_execute, symbolic_execute_canon, SymExecConfig, SymExecStats, SymPath};
+pub use exec::{
+    symbolic_execute, symbolic_execute_canon, symbolic_execute_stored, SymExecConfig,
+    SymExecStats, SymPath,
+};
 pub use solver::{solve, SolveResult, SolverConfig};
 pub use sym::{IntOp, PathCondition, SymBool, SymInt, SymVar};

@@ -41,6 +41,7 @@
 pub mod blended;
 pub mod encode;
 pub mod execution;
+pub mod persist;
 
 pub use blended::{group_by_path, BlendError, BlendedStep, BlendedTrace, PathGroup};
 pub use encode::{

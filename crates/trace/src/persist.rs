@@ -1,0 +1,310 @@
+//! `LGRS1` payload codec for blended path groups.
+//!
+//! The artifact store caches the expensive half of the pipeline — the
+//! per-program [`PathGroup`] list that `randgen::generate_grouped`
+//! produces by running the tracing interpreter over sampled inputs.
+//! This module defines the byte grammar of those payloads (kind
+//! `TraceGroups` / `CorpusOutcome` in `store::ArtifactKind`) on top of
+//! the store's bounds-checked cursors, so a reload is bitwise-faithful:
+//! every state slot, guard direction, return value, and input vector
+//! survives exactly, and any corruption surfaces as a typed
+//! [`StoreError`], never a panic.
+//!
+//! Grammar (integers little-endian, strings length-prefixed):
+//!
+//! ```text
+//! groups  := ngroups:u32 group*
+//! group   := nsteps:u32 step* ntraces:u32 trace*
+//! step    := stmt:u32 kind
+//! kind    := 0 | 1 taken:u8
+//! trace   := state nevents:u32 event* value nvals:u32 value*
+//! event   := stmt:u32 line:u32 kind state
+//! state   := nslots:u32 slot*
+//! slot    := 0 | 1 value
+//! value   := 0 i64 | 1 u8 | 2 str | 3 len:u32 i64*
+//! ```
+
+use crate::blended::PathGroup;
+use crate::execution::{ExecutionTrace, SymbolicTrace};
+use interp::{EventKind, PathStep, State, TraceEvent, Value};
+use store::{ByteReader, ByteWriter, StoreError};
+
+fn write_value(w: &mut ByteWriter, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            w.u8(0);
+            w.i64(*i);
+        }
+        Value::Bool(b) => {
+            w.u8(1);
+            w.u8(u8::from(*b));
+        }
+        Value::Str(s) => {
+            w.u8(2);
+            w.str(s);
+        }
+        Value::Array(a) => {
+            w.u8(3);
+            w.u32(a.len() as u32);
+            for &x in a {
+                w.i64(x);
+            }
+        }
+    }
+}
+
+fn read_value(r: &mut ByteReader) -> Result<Value, StoreError> {
+    match r.u8()? {
+        0 => Ok(Value::Int(r.i64()?)),
+        1 => match r.u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            _ => Err(StoreError::BadRecord),
+        },
+        2 => Ok(Value::Str(r.str()?)),
+        3 => {
+            let n = r.u32()? as usize;
+            let mut a = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                a.push(r.i64()?);
+            }
+            Ok(Value::Array(a))
+        }
+        _ => Err(StoreError::BadRecord),
+    }
+}
+
+fn write_state(w: &mut ByteWriter, s: &State) {
+    w.u32(s.values.len() as u32);
+    for slot in &s.values {
+        match slot {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                write_value(w, v);
+            }
+        }
+    }
+}
+
+fn read_state(r: &mut ByteReader) -> Result<State, StoreError> {
+    let n = r.u32()? as usize;
+    let mut values = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        values.push(match r.u8()? {
+            0 => None,
+            1 => Some(read_value(r)?),
+            _ => return Err(StoreError::BadRecord),
+        });
+    }
+    Ok(State { values })
+}
+
+fn write_kind(w: &mut ByteWriter, k: EventKind) {
+    match k {
+        EventKind::Exec => w.u8(0),
+        EventKind::Guard { taken } => {
+            w.u8(1);
+            w.u8(u8::from(taken));
+        }
+    }
+}
+
+fn read_kind(r: &mut ByteReader) -> Result<EventKind, StoreError> {
+    match r.u8()? {
+        0 => Ok(EventKind::Exec),
+        1 => match r.u8()? {
+            0 => Ok(EventKind::Guard { taken: false }),
+            1 => Ok(EventKind::Guard { taken: true }),
+            _ => Err(StoreError::BadRecord),
+        },
+        _ => Err(StoreError::BadRecord),
+    }
+}
+
+fn write_trace(w: &mut ByteWriter, t: &ExecutionTrace) {
+    write_state(w, &t.initial_state);
+    w.u32(t.events.len() as u32);
+    for e in &t.events {
+        w.stmt(e.stmt);
+        w.u32(e.line);
+        write_kind(w, e.kind);
+        write_state(w, &e.state);
+    }
+    write_value(w, &t.return_value);
+    w.u32(t.inputs.len() as u32);
+    for v in &t.inputs {
+        write_value(w, v);
+    }
+}
+
+fn read_trace(r: &mut ByteReader) -> Result<ExecutionTrace, StoreError> {
+    let initial_state = read_state(r)?;
+    let nevents = r.u32()? as usize;
+    let mut events = Vec::with_capacity(nevents.min(1 << 20));
+    for _ in 0..nevents {
+        let stmt = r.stmt()?;
+        let line = r.u32()?;
+        let kind = read_kind(r)?;
+        let state = read_state(r)?;
+        events.push(TraceEvent { stmt, line, kind, state });
+    }
+    let return_value = read_value(r)?;
+    let ninputs = r.u32()? as usize;
+    let mut inputs = Vec::with_capacity(ninputs.min(1 << 20));
+    for _ in 0..ninputs {
+        inputs.push(read_value(r)?);
+    }
+    Ok(ExecutionTrace { initial_state, events, return_value, inputs })
+}
+
+/// Serializes blended path groups into an artifact payload.
+#[must_use]
+pub fn groups_to_bytes(groups: &[PathGroup]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(groups.len() as u32);
+    for g in groups {
+        w.u32(g.symbolic.steps.len() as u32);
+        for step in &g.symbolic.steps {
+            w.stmt(step.stmt);
+            write_kind(&mut w, step.kind);
+        }
+        w.u32(g.traces.len() as u32);
+        for t in &g.traces {
+            write_trace(&mut w, t);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Parses an artifact payload written by [`groups_to_bytes`].
+///
+/// # Errors
+///
+/// [`StoreError::Truncated`] when the payload ends mid-record,
+/// [`StoreError::TrailingBytes`] when data follows the last group, and
+/// [`StoreError::BadRecord`] for an invalid tag byte.
+pub fn groups_from_bytes(buf: &[u8]) -> Result<Vec<PathGroup>, StoreError> {
+    let mut r = ByteReader::new(buf);
+    let groups = read_groups(&mut r)?;
+    r.finish()?;
+    Ok(groups)
+}
+
+/// Reads a group list from an open cursor (for payloads that embed
+/// groups alongside other fields, like datagen's corpus outcomes).
+///
+/// # Errors
+///
+/// Same as [`groups_from_bytes`], minus the trailing-bytes check.
+pub fn read_groups(r: &mut ByteReader) -> Result<Vec<PathGroup>, StoreError> {
+    let ngroups = r.u32()? as usize;
+    let mut groups = Vec::with_capacity(ngroups.min(1 << 20));
+    for _ in 0..ngroups {
+        let nsteps = r.u32()? as usize;
+        let mut steps = Vec::with_capacity(nsteps.min(1 << 20));
+        for _ in 0..nsteps {
+            let stmt = r.stmt()?;
+            let kind = read_kind(r)?;
+            steps.push(PathStep { stmt, kind });
+        }
+        let ntraces = r.u32()? as usize;
+        let mut traces = Vec::with_capacity(ntraces.min(1 << 20));
+        for _ in 0..ntraces {
+            traces.push(read_trace(r)?);
+        }
+        groups.push(PathGroup { symbolic: SymbolicTrace { steps }, traces });
+    }
+    Ok(groups)
+}
+
+/// Writes a group list into an open writer (the inverse of
+/// [`read_groups`]).
+pub fn write_groups(w: &mut ByteWriter, groups: &[PathGroup]) {
+    w.raw(&groups_to_bytes(groups));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::StmtId;
+
+    fn sample_groups() -> Vec<PathGroup> {
+        let state = |vals: Vec<Option<Value>>| State { values: vals };
+        let t = ExecutionTrace {
+            initial_state: state(vec![Some(Value::Int(4)), None]),
+            events: vec![
+                TraceEvent {
+                    stmt: StmtId(0),
+                    line: 2,
+                    kind: EventKind::Guard { taken: true },
+                    state: state(vec![Some(Value::Int(4)), Some(Value::Bool(false))]),
+                },
+                TraceEvent {
+                    stmt: StmtId(1),
+                    line: 3,
+                    kind: EventKind::Exec,
+                    state: state(vec![
+                        Some(Value::Array(vec![1, -2, 3])),
+                        Some(Value::Str("höi".into())),
+                    ]),
+                },
+            ],
+            return_value: Value::Int(-9),
+            inputs: vec![Value::Int(4), Value::Array(vec![])],
+        };
+        vec![
+            PathGroup {
+                symbolic: SymbolicTrace {
+                    steps: vec![
+                        PathStep { stmt: StmtId(0), kind: EventKind::Guard { taken: true } },
+                        PathStep { stmt: StmtId(1), kind: EventKind::Exec },
+                    ],
+                },
+                traces: vec![t.clone(), t],
+            },
+            PathGroup { symbolic: SymbolicTrace { steps: vec![] }, traces: vec![] },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let groups = sample_groups();
+        let bytes = groups_to_bytes(&groups);
+        assert_eq!(groups_from_bytes(&bytes).unwrap(), groups);
+    }
+
+    #[test]
+    fn empty_roundtrips() {
+        assert_eq!(groups_from_bytes(&groups_to_bytes(&[])).unwrap(), Vec::<PathGroup>::new());
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let bytes = groups_to_bytes(&sample_groups());
+        for cut in 0..bytes.len() {
+            match groups_from_bytes(&bytes[..cut]) {
+                Err(StoreError::Truncated) | Err(StoreError::BadRecord) => {}
+                other => panic!("prefix of {cut} bytes: expected typed error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_typed() {
+        let mut bytes = groups_to_bytes(&sample_groups());
+        bytes.push(7);
+        assert_eq!(groups_from_bytes(&bytes).unwrap_err(), StoreError::TrailingBytes);
+    }
+
+    #[test]
+    fn bad_tags_are_typed() {
+        let groups = sample_groups();
+        let mut bytes = groups_to_bytes(&groups);
+        // The first kind tag byte lives right after ngroups, nsteps,
+        // and the first stmt id.
+        let tag_at = 4 + 4 + 4;
+        bytes[tag_at] = 9;
+        assert_eq!(groups_from_bytes(&bytes).unwrap_err(), StoreError::BadRecord);
+    }
+}

@@ -38,6 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let retrain = std::env::args().any(|a| a == "--retrain");
     let profile = std::env::args().any(|a| a == "--profile");
     let quantize = std::env::args().any(|a| a == "--quantize");
+    let args: Vec<String> = std::env::args().collect();
+    let store_path = args
+        .iter()
+        .position(|a| a == "--store-path")
+        .and_then(|i| args.get(i + 1).cloned());
     if profile {
         obs::trace::set_enabled(Some(true));
     }
@@ -45,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Root span around the whole pipeline, so the emitted trace has a
         // single top-level event covering ~all wall time.
         let _root = obs::span!("quickstart");
-        run(retrain, quantize)
+        run(retrain, quantize, store_path.as_deref())
     };
     if profile || obs::trace::enabled() {
         // Collect once: the write drains the recorded events, then the
@@ -60,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     result
 }
 
-fn run(retrain: bool, quantize: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn run(
+    retrain: bool,
+    quantize: bool,
+    store_path: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let source = "fn maxArray(a: array<int>) -> int {
         if (len(a) == 0) { return 0; }
         let best: int = a[0];
@@ -70,6 +79,16 @@ fn run(retrain: bool, quantize: bool) -> Result<(), Box<dyn std::error::Error>> 
         return best;
     }";
     println!("== Source ==\n{source}\n");
+
+    // Optional artifact store: traces and the final embedding are keyed by
+    // the source's content hash, so a warm rerun skips the dynamic side
+    // entirely and the `store:` line at the end reports zero misses.
+    let astore = match store_path {
+        Some(dir) => Some(store::Store::open(std::path::Path::new(dir))?),
+        None => None,
+    };
+    let stats_before = store::StoreStats::snapshot();
+    let key = store::hash::fnv1a_str(source);
 
     // 1. Front end: parse and type-check.
     let program = minilang::parse(source)?;
@@ -83,11 +102,42 @@ fn run(retrain: bool, quantize: bool) -> Result<(), Box<dyn std::error::Error>> 
         concrete_per_path: 3,
         ..randgen::GenConfig::default()
     };
-    let (groups, stats) = randgen::generate_grouped(&program, &gen_config, &mut rng);
-    println!(
-        "collected {} executions over {} paths ({} attempts, {} failures)",
-        stats.kept, stats.paths, stats.attempts, stats.failures
+    let trace_fp = format!(
+        "quickstart@1/p{}/c{}/a{}/f{}",
+        gen_config.target_paths, gen_config.concrete_per_path, gen_config.max_attempts,
+        gen_config.fuel
     );
+    let groups = if let Some(st) = &astore {
+        if let Some(payload) = st.get(store::ArtifactKind::TraceGroups, key, &trace_fp)? {
+            let groups = trace::persist::groups_from_bytes(&payload)?;
+            println!("store: replayed {} cached path group(s) — no executions", groups.len());
+            groups
+        } else {
+            // A per-program RNG keeps the traces a pure function of the
+            // source, so the cached artifact replays bitwise.
+            let mut trace_rng =
+                rand::rngs::StdRng::seed_from_u64(store::hash::splitmix64(key ^ 42));
+            let (groups, stats) = randgen::generate_grouped(&program, &gen_config, &mut trace_rng);
+            println!(
+                "collected {} executions over {} paths ({} attempts, {} failures)",
+                stats.kept, stats.paths, stats.attempts, stats.failures
+            );
+            st.put(
+                store::ArtifactKind::TraceGroups,
+                key,
+                &trace_fp,
+                &trace::persist::groups_to_bytes(&groups),
+            )?;
+            groups
+        }
+    } else {
+        let (groups, stats) = randgen::generate_grouped(&program, &gen_config, &mut rng);
+        println!(
+            "collected {} executions over {} paths ({} attempts, {} failures)",
+            stats.kept, stats.paths, stats.attempts, stats.failures
+        );
+        groups
+    };
 
     // 3. Blend: pair each path's symbolic trace with its concrete states
     //    (Definition 5.1).
@@ -154,6 +204,25 @@ fn run(retrain: bool, quantize: bool) -> Result<(), Box<dyn std::error::Error>> 
     let predicted = inferencer.name(&encoded).expect("quickstart bundle is a namer");
     println!("\npredicted name sub-tokens: {predicted:?}");
     println!("joined: {}", minilang::join_subtokens(&predicted));
+
+    // 6b. With a store: resolve the program embedding through it. The
+    // fingerprint carries the model digest and the encode knobs, so a
+    // retrained checkpoint or changed flag reads as a miss, never a
+    // wrong hit.
+    if let Some(st) = &astore {
+        let emb_fp =
+            format!("{}/ms{}/mt{}", bundle.fingerprint(), opts.max_steps, opts.max_traces);
+        let embedding = match st.get(store::ArtifactKind::Embedding, key, &emb_fp)? {
+            Some(payload) => store::embedding_from_bytes(&payload)?,
+            None => {
+                let emb = inferencer.embed(&encoded);
+                st.put(store::ArtifactKind::Embedding, key, &emb_fp, &store::embedding_to_bytes(&emb))?;
+                emb
+            }
+        };
+        println!("embedding: {} dims under fingerprint {emb_fp}", embedding.len());
+        println!("store: {}", store::StoreStats::snapshot().since(&stats_before));
+    }
 
     // 7. --quantize: rewrite the checkpoint in the int8 `qparams` variant
     //    and gate it before trusting it — the dequantize-free engine must

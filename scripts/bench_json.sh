@@ -8,8 +8,9 @@
 #   * throughput_analysis (lint/facts throughput + symexec pruning) -> BENCH_analysis.json
 #   * throughput_obs (disabled/enabled span-tracing overhead) -> BENCH_obs.json
 #   * throughput_index (insert rate, exact-vs-ANN search p99, recall@10) -> BENCH_index.json
+#   * throughput_store (cold-vs-warm corpus pass through the artifact store) -> BENCH_store.json
 #
-# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json] [obs_out.json] [kernels_out.json] [index_out.json]
+# Usage: scripts/bench_json.sh [parallel_out.json] [encode_out.json] [serve_out.json] [analysis_out.json] [obs_out.json] [kernels_out.json] [index_out.json] [store_out.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,7 @@ ana_out="${4:-BENCH_analysis.json}"
 obs_out="${5:-BENCH_obs.json}"
 ker_out="${6:-BENCH_kernels.json}"
 idx_out="${7:-BENCH_index.json}"
+sto_out="${8:-BENCH_store.json}"
 
 # ---- parallel minibatch throughput --------------------------------------
 bench_out=$(cargo bench -p bench --bench throughput_parallel 2>&1)
@@ -356,3 +358,49 @@ fi
 mv "$idx_out.tmp" "$idx_out"
 
 echo "wrote $idx_out"
+
+# ---- artifact-store incremental pipeline (cold vs warm corpus pass) ------
+sto_bench_out=$(cargo bench -p bench --bench throughput_store 2>&1)
+echo "$sto_bench_out"
+
+sto_json=$(echo "$sto_bench_out" | grep '^STORE' | awk '
+{
+    delete kv
+    for (i = 2; i <= NF; i++) { split($i, p, "="); kv[p[1]] = p[2] }
+    if (kv["mode"] == "cold") {
+        cold = sprintf("  \"cold\": {\"programs\": %s, \"kept\": %s, \"seconds\": %s, \"programs_per_sec\": %s, \"misses\": %s, \"bytes\": %s},",
+            kv["programs"], kv["kept"], kv["secs"], kv["programs_per_sec"], kv["misses"], kv["bytes"])
+        next
+    }
+    if (kv["mode"] == "warm") {
+        warm = sprintf("  \"warm\": {\"programs\": %s, \"kept\": %s, \"seconds\": %s, \"programs_per_sec\": %s, \"hits\": %s, \"misses\": %s},",
+            kv["programs"], kv["kept"], kv["secs"], kv["programs_per_sec"], kv["hits"], kv["misses"])
+        next
+    }
+    if (kv["mode"] == "summary") {
+        summary = sprintf("  \"warm_speedup\": %s,\n  \"speedup_floor\": %s,\n  \"warm_misses\": %s,\n  \"pass\": %s",
+            kv["warm_speedup"], kv["speedup_floor"], kv["warm_misses"], kv["pass"])
+    }
+}
+END {
+    if (cold == "" || warm == "" || summary == "") exit 1
+    print cold
+    print warm
+    print summary
+}')
+
+if [ -z "$sto_json" ]; then
+    echo "error: no STORE lines in bench output" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "throughput_store",'
+    echo '  "workload": "content-addressed artifact store (LGRS1): full method-corpus pass cold (trace + filter every program, populate the store) vs warm (replay every cached outcome; zero misses and >= 3x speedup asserted in-bench, warm samples bitwise identical)",'
+    printf '%s\n' "$sto_json"
+    echo '}'
+} > "$sto_out.tmp"
+mv "$sto_out.tmp" "$sto_out"
+
+echo "wrote $sto_out"

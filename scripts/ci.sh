@@ -25,6 +25,11 @@
 # server (two syntactic variants of one routine indexed with canon must
 # dedup onto one key, and a canon search must surface the stored clone
 # through the canonical-exact tier while a plain search must not).
+# PR 10 adds: the artifact-store red-green gate (quickstart twice over one
+# --store-path: the second run must report zero store misses — nothing
+# re-traced, nothing re-embedded) and the store bench smoke whose in-bench
+# asserts gate zero warm misses, bitwise-identical warm samples, and the
+# >=3x warm-speedup floor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -137,7 +142,9 @@ start_index_server() {
 self_query_round() {
     local round=$1
     while read -r key _outcome file; do
-        rank1=$("$serve_bin" search "$idx_addr" "$file" --k 1 | head -1 | awk '{print $2}')
+        # awk reads to EOF (head -1 would close the pipe after the exact
+        # tier's first line and SIGPIPE-panic the client under pipefail)
+        rank1=$("$serve_bin" search "$idx_addr" "$file" --k 1 | awk 'NR==1{print $2}')
         if [ "$rank1" != "$key" ]; then
             echo "error: $round: $file expected rank-1 key $key, got ${rank1:-nothing}" >&2
             exit 1
@@ -245,3 +252,25 @@ cargo bench -p bench --bench throughput_kernels
 # asserts in-bench that graph search hits recall@10 >= 0.95 against the
 # exact ranking and stays under the 100ms p99 budget.
 cargo bench -p bench --bench throughput_index -- --smoke
+
+# ---- artifact-store red-green gate --------------------------------------
+# Quickstart twice over one store: the cold run traces and embeds, the
+# warm run must replay everything from the store — its `store:` line must
+# report zero misses (no program re-traced, no embedding recomputed).
+store_dir=$(mktemp -d)
+trap 'rm -f "$serve_log"; rm -rf "$store_dir"' EXIT
+cargo run --release --example quickstart -- --store-path "$store_dir" > /dev/null
+warm_out=$(cargo run --release --example quickstart -- --store-path "$store_dir")
+echo "$warm_out" | grep '^store: ' || { echo "error: quickstart printed no store line" >&2; exit 1; }
+echo "$warm_out" | grep -q '^store: hits=[1-9][0-9]* misses=0 ' || {
+    echo "error: warm quickstart re-traced or re-embedded (expected zero misses)" >&2
+    echo "$warm_out" | grep '^store: ' >&2
+    exit 1
+}
+echo "artifact-store red-green gate passed (warm quickstart: zero misses)"
+
+# ---- artifact-store incremental-pipeline smoke gate ---------------------
+# Cold-vs-warm corpus pass through the store; asserts in-bench that the
+# warm pass misses zero programs, replays bitwise-identical samples, and
+# clears the 3x warm-speedup floor.
+cargo bench -p bench --bench throughput_store -- --smoke
